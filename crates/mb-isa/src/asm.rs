@@ -1,0 +1,438 @@
+//! A two-pass assembler with labels and pseudo-ops.
+
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use crate::insn::{Cond, Insn};
+use crate::{Program, Reg, INSN_BYTES};
+
+/// Error produced while assembling a [`Program`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// A label or `equ` name was defined twice.
+    DuplicateSymbol(String),
+    /// A branch or `la` referenced an undefined symbol.
+    UndefinedSymbol(String),
+    /// A PC-relative branch target does not fit in the 16-bit offset.
+    BranchOutOfRange {
+        /// The referenced label.
+        label: String,
+        /// The required byte offset.
+        offset: i64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::DuplicateSymbol(s) => write!(f, "duplicate symbol `{s}`"),
+            AsmError::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            AsmError::BranchOutOfRange { label, offset } => {
+                write!(f, "branch to `{label}` out of range (offset {offset})")
+            }
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[derive(Clone, Debug)]
+enum Item {
+    /// A fully-resolved instruction.
+    Fixed(Insn),
+    /// PC-relative unconditional branch to a label (`bri`-family).
+    BranchTo { label: String, link: Option<Reg>, delay: bool },
+    /// PC-relative conditional branch to a label (`bci`-family).
+    CondBranchTo { cond: Cond, ra: Reg, label: String, delay: bool },
+    /// Load a 32-bit symbol address: expands to `imm` + `addik` (2 words).
+    LoadAddr { rd: Reg, label: String },
+    /// A raw data word embedded in the instruction stream.
+    Raw(u32),
+}
+
+impl Item {
+    fn words(&self) -> u32 {
+        match self {
+            Item::LoadAddr { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// A two-pass assembler producing a [`Program`].
+///
+/// Instructions are pushed in order; labels may be referenced before they
+/// are defined. Pseudo-ops:
+///
+/// * [`li`](Assembler::li) — load a 32-bit constant (1 or 2 words),
+/// * [`la`](Assembler::la) — load a symbol address (always 2 words),
+/// * [`call`](Assembler::call) — `brlid r15, label` plus delay-slot `nop`,
+/// * [`ret`](Assembler::ret) — `rtsd r15, 8` plus delay-slot `nop`,
+/// * [`equ`](Assembler::equ) — define a named constant (e.g. a data
+///   address) that participates in the symbol table.
+///
+/// # Example
+///
+/// ```
+/// use mb_isa::{Assembler, Cond, Insn, Reg};
+///
+/// let mut a = Assembler::new(0);
+/// a.equ("buf", 0x200).unwrap();
+/// a.li(Reg::R5, 0x12345678);
+/// a.la(Reg::R6, "buf");
+/// a.label("spin");
+/// a.push(Insn::addik(Reg::R5, Reg::R5, -1));
+/// a.bnei(Reg::R5, "spin");
+/// let p = a.finish().unwrap();
+/// assert_eq!(p.symbol("spin"), Some(4 * 4)); // li=2 words, la=2 words
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    base: u32,
+    items: Vec<Item>,
+    /// label → index into `items` of the next instruction.
+    labels: Vec<(String, usize)>,
+    equs: HashMap<String, u32>,
+}
+
+impl Assembler {
+    /// Creates an assembler whose first instruction lives at `base`.
+    #[must_use]
+    pub fn new(base: u32) -> Self {
+        Assembler { base, ..Assembler::default() }
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        self.labels.push((name.into(), self.items.len()));
+        self
+    }
+
+    /// Defines a named constant (typically a data-memory address).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::DuplicateSymbol`] if the name already exists.
+    pub fn equ(&mut self, name: impl Into<String>, value: u32) -> Result<&mut Self, AsmError> {
+        let name = name.into();
+        if self.equs.insert(name.clone(), value).is_some() {
+            return Err(AsmError::DuplicateSymbol(name));
+        }
+        Ok(self)
+    }
+
+    /// Appends a concrete instruction.
+    pub fn push(&mut self, insn: Insn) -> &mut Self {
+        self.items.push(Item::Fixed(insn));
+        self
+    }
+
+    /// Appends several concrete instructions.
+    pub fn extend(&mut self, insns: impl IntoIterator<Item = Insn>) -> &mut Self {
+        for i in insns {
+            self.push(i);
+        }
+        self
+    }
+
+    /// Appends a raw data word (e.g. a jump table entry).
+    pub fn raw(&mut self, word: u32) -> &mut Self {
+        self.items.push(Item::Raw(word));
+        self
+    }
+
+    /// Appends a `nop` (`or r0, r0, r0`).
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Insn::nop())
+    }
+
+    /// `bri label` — PC-relative unconditional branch.
+    pub fn bri(&mut self, label: impl Into<String>) -> &mut Self {
+        self.items.push(Item::BranchTo { label: label.into(), link: None, delay: false });
+        self
+    }
+
+    /// `brid label` — unconditional branch with delay slot.
+    pub fn brid(&mut self, label: impl Into<String>) -> &mut Self {
+        self.items.push(Item::BranchTo { label: label.into(), link: None, delay: true });
+        self
+    }
+
+    /// `brlid rd, label` — branch and link with delay slot.
+    pub fn brlid(&mut self, rd: Reg, label: impl Into<String>) -> &mut Self {
+        self.items.push(Item::BranchTo { label: label.into(), link: Some(rd), delay: true });
+        self
+    }
+
+    /// Subroutine call: `brlid r15, label` followed by a delay-slot `nop`.
+    pub fn call(&mut self, label: impl Into<String>) -> &mut Self {
+        self.brlid(Reg::R15, label);
+        self.nop()
+    }
+
+    /// Subroutine return: `rtsd r15, 8` followed by a delay-slot `nop`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Insn::ret());
+        self.nop()
+    }
+
+    /// Conditional branch `b<cond>i ra, label`.
+    pub fn bci(&mut self, cond: Cond, ra: Reg, label: impl Into<String>) -> &mut Self {
+        self.items.push(Item::CondBranchTo { cond, ra, label: label.into(), delay: false });
+        self
+    }
+
+    /// Conditional branch with delay slot, `b<cond>id ra, label`.
+    pub fn bcid(&mut self, cond: Cond, ra: Reg, label: impl Into<String>) -> &mut Self {
+        self.items.push(Item::CondBranchTo { cond, ra, label: label.into(), delay: true });
+        self
+    }
+
+    /// `beqi ra, label`.
+    pub fn beqi(&mut self, ra: Reg, label: impl Into<String>) -> &mut Self {
+        self.bci(Cond::Eq, ra, label)
+    }
+
+    /// `bnei ra, label`.
+    pub fn bnei(&mut self, ra: Reg, label: impl Into<String>) -> &mut Self {
+        self.bci(Cond::Ne, ra, label)
+    }
+
+    /// `blti ra, label`.
+    pub fn blti(&mut self, ra: Reg, label: impl Into<String>) -> &mut Self {
+        self.bci(Cond::Lt, ra, label)
+    }
+
+    /// `blei ra, label`.
+    pub fn blei(&mut self, ra: Reg, label: impl Into<String>) -> &mut Self {
+        self.bci(Cond::Le, ra, label)
+    }
+
+    /// `bgti ra, label`.
+    pub fn bgti(&mut self, ra: Reg, label: impl Into<String>) -> &mut Self {
+        self.bci(Cond::Gt, ra, label)
+    }
+
+    /// `bgei ra, label`.
+    pub fn bgei(&mut self, ra: Reg, label: impl Into<String>) -> &mut Self {
+        self.bci(Cond::Ge, ra, label)
+    }
+
+    /// Loads a 32-bit constant into `rd` (1 word if it fits in a signed
+    /// 16-bit immediate, otherwise `imm` + `addik`).
+    pub fn li(&mut self, rd: Reg, value: i32) -> &mut Self {
+        if let Ok(small) = i16::try_from(value) {
+            self.push(Insn::addik(rd, Reg::R0, small))
+        } else {
+            self.push(Insn::Imm { imm: (value >> 16) as i16 });
+            self.push(Insn::addik(rd, Reg::R0, value as i16))
+        }
+    }
+
+    /// Loads the 32-bit address of a symbol into `rd` (always 2 words so
+    /// that forward references keep addresses stable).
+    pub fn la(&mut self, rd: Reg, label: impl Into<String>) -> &mut Self {
+        self.items.push(Item::LoadAddr { rd, label: label.into() });
+        self
+    }
+
+    /// Number of instruction words emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.iter().map(|i| i.words() as usize).sum()
+    }
+
+    /// Whether no instructions have been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The byte address of the next instruction to be emitted.
+    #[must_use]
+    pub fn here(&self) -> u32 {
+        self.base + self.len() as u32 * INSN_BYTES
+    }
+
+    /// Resolves all labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] for duplicate/undefined symbols or branch
+    /// offsets that do not fit in 16 bits.
+    pub fn finish(self) -> Result<Program, AsmError> {
+        // Pass 1: item index → byte address.
+        let mut item_addr = Vec::with_capacity(self.items.len());
+        let mut addr = self.base;
+        for item in &self.items {
+            item_addr.push(addr);
+            addr += item.words() * INSN_BYTES;
+        }
+        let end_addr = addr;
+
+        let mut symbols: BTreeMap<String, u32> = BTreeMap::new();
+        for (name, value) in &self.equs {
+            symbols.insert(name.clone(), *value);
+        }
+        for (name, idx) in &self.labels {
+            let a = if *idx == self.items.len() { end_addr } else { item_addr[*idx] };
+            if symbols.insert(name.clone(), a).is_some() {
+                return Err(AsmError::DuplicateSymbol(name.clone()));
+            }
+        }
+
+        let lookup = |label: &str| -> Result<u32, AsmError> {
+            symbols.get(label).copied().ok_or_else(|| AsmError::UndefinedSymbol(label.to_string()))
+        };
+        let rel_offset = |label: &str, from: u32| -> Result<i16, AsmError> {
+            let target = lookup(label)?;
+            let offset = i64::from(target) - i64::from(from);
+            i16::try_from(offset)
+                .map_err(|_| AsmError::BranchOutOfRange { label: label.to_string(), offset })
+        };
+
+        // Pass 2: emit words.
+        let mut words = Vec::with_capacity(self.len());
+        for (item, &at) in self.items.iter().zip(&item_addr) {
+            match item {
+                Item::Fixed(insn) => words.push(crate::encode(insn)),
+                Item::Raw(w) => words.push(*w),
+                Item::BranchTo { label, link, delay } => {
+                    let imm = rel_offset(label, at)?;
+                    let insn = Insn::Bri {
+                        rd: link.unwrap_or(Reg::R0),
+                        imm,
+                        link: link.is_some(),
+                        absolute: false,
+                        delay: *delay,
+                    };
+                    words.push(crate::encode(&insn));
+                }
+                Item::CondBranchTo { cond, ra, label, delay } => {
+                    let imm = rel_offset(label, at)?;
+                    let insn = Insn::Bci { cond: *cond, ra: *ra, imm, delay: *delay };
+                    words.push(crate::encode(&insn));
+                }
+                Item::LoadAddr { rd, label } => {
+                    let value = lookup(label)?;
+                    words.push(crate::encode(&Insn::Imm { imm: (value >> 16) as i16 }));
+                    words.push(crate::encode(&Insn::addik(*rd, Reg::R0, value as i16)));
+                }
+            }
+        }
+
+        Ok(Program { base: self.base, words, symbols })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Assembler::new(0x40);
+        a.label("top");
+        a.push(Insn::addik(Reg::R3, Reg::R3, 1));
+        a.bnei(Reg::R3, "bottom"); // forward: +8 from 0x44
+        a.bri("top"); // backward: -8 from 0x48
+        a.label("bottom");
+        a.nop();
+        let p = a.finish().unwrap();
+        assert_eq!(p.symbol("top"), Some(0x40));
+        assert_eq!(p.symbol("bottom"), Some(0x4C));
+        match decode(p.words[1]).unwrap() {
+            Insn::Bci { imm, cond: Cond::Ne, .. } => assert_eq!(imm, 8),
+            other => panic!("unexpected {other:?}"),
+        }
+        match decode(p.words[2]).unwrap() {
+            Insn::Bri { imm, .. } => assert_eq!(imm, -8),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn li_picks_short_or_long_form() {
+        let mut a = Assembler::new(0);
+        a.li(Reg::R5, 100); // 1 word
+        a.li(Reg::R6, 0x0012_3456); // 2 words
+        let p = a.finish().unwrap();
+        assert_eq!(p.words.len(), 3);
+        assert_eq!(decode(p.words[0]).unwrap(), Insn::addik(Reg::R5, Reg::R0, 100));
+        assert_eq!(decode(p.words[1]).unwrap(), Insn::Imm { imm: 0x0012 });
+        assert_eq!(decode(p.words[2]).unwrap(), Insn::addik(Reg::R6, Reg::R0, 0x3456));
+    }
+
+    #[test]
+    fn la_resolves_equ_and_forward_labels() {
+        let mut a = Assembler::new(0);
+        a.equ("data", 0xBEEF_0000u32 as u32).unwrap();
+        a.la(Reg::R5, "data");
+        a.la(Reg::R6, "fwd");
+        a.label("fwd");
+        a.nop();
+        let p = a.finish().unwrap();
+        assert_eq!(p.words.len(), 5);
+        assert_eq!(decode(p.words[0]).unwrap(), Insn::Imm { imm: 0xBEEFu16 as i16 });
+        assert_eq!(p.symbol("fwd"), Some(16));
+    }
+
+    #[test]
+    fn duplicate_symbol_rejected() {
+        let mut a = Assembler::new(0);
+        a.label("x");
+        a.nop();
+        a.label("x");
+        a.nop();
+        assert_eq!(a.finish().unwrap_err(), AsmError::DuplicateSymbol("x".into()));
+
+        let mut b = Assembler::new(0);
+        b.equ("y", 1).unwrap();
+        assert_eq!(b.equ("y", 2).unwrap_err(), AsmError::DuplicateSymbol("y".into()));
+    }
+
+    #[test]
+    fn undefined_symbol_rejected() {
+        let mut a = Assembler::new(0);
+        a.bri("nowhere");
+        assert_eq!(a.finish().unwrap_err(), AsmError::UndefinedSymbol("nowhere".into()));
+    }
+
+    #[test]
+    fn label_at_end_points_past_last_word() {
+        let mut a = Assembler::new(0);
+        a.nop();
+        a.label("end");
+        let p = a.finish().unwrap();
+        assert_eq!(p.symbol("end"), Some(4));
+    }
+
+    #[test]
+    fn call_and_ret_shapes() {
+        let mut a = Assembler::new(0);
+        a.call("f");
+        a.label("f");
+        a.ret();
+        let p = a.finish().unwrap();
+        // call = brlid + nop; ret = rtsd + nop.
+        assert_eq!(p.words.len(), 4);
+        match decode(p.words[0]).unwrap() {
+            Insn::Bri { rd, link: true, delay: true, imm, .. } => {
+                assert_eq!(rd, Reg::R15);
+                assert_eq!(imm, 8);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(decode(p.words[2]).unwrap(), Insn::ret());
+    }
+
+    #[test]
+    fn here_tracks_pseudo_op_expansion() {
+        let mut a = Assembler::new(0x10);
+        assert_eq!(a.here(), 0x10);
+        a.li(Reg::R3, 0x7FFF_0000);
+        assert_eq!(a.here(), 0x18); // two words
+    }
+}

@@ -1,0 +1,127 @@
+//! Instruction classification used by timing and power models.
+
+use std::fmt;
+
+use crate::Insn;
+
+/// Coarse instruction class.
+///
+/// The simulator's pipeline model and the power estimator both key off
+/// this classification rather than individual opcodes, mirroring how the
+/// paper reports per-class latencies (1-cycle ALU, 3-cycle multiply,
+/// 2-cycle loads, 1–3-cycle branches).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpClass {
+    /// Single-cycle integer/logic operations, including single-bit shifts.
+    Alu,
+    /// Barrel-shifter operations (optional unit).
+    BarrelShift,
+    /// Hardware multiply (optional unit).
+    Mul,
+    /// Hardware divide (optional unit).
+    Div,
+    /// Memory loads.
+    Load,
+    /// Memory stores.
+    Store,
+    /// Branches, jumps, and returns.
+    Branch,
+    /// The `imm` prefix.
+    ImmPrefix,
+}
+
+impl OpClass {
+    /// All classes, in a stable order (useful for histogram reports).
+    pub const ALL: [OpClass; 8] = [
+        OpClass::Alu,
+        OpClass::BarrelShift,
+        OpClass::Mul,
+        OpClass::Div,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::ImmPrefix,
+    ];
+
+    /// A stable index for this class, `0..OpClass::ALL.len()`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Alu => 0,
+            OpClass::BarrelShift => 1,
+            OpClass::Mul => 2,
+            OpClass::Div => 3,
+            OpClass::Load => 4,
+            OpClass::Store => 5,
+            OpClass::Branch => 6,
+            OpClass::ImmPrefix => 7,
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::Alu => "alu",
+            OpClass::BarrelShift => "barrel-shift",
+            OpClass::Mul => "mul",
+            OpClass::Div => "div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::ImmPrefix => "imm",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Insn {
+    /// The coarse class of this instruction.
+    #[must_use]
+    pub fn class(&self) -> OpClass {
+        match self {
+            Insn::Mul { .. } | Insn::Muli { .. } => OpClass::Mul,
+            Insn::Idiv { .. } => OpClass::Div,
+            Insn::Bs { .. } | Insn::Bsi { .. } => OpClass::BarrelShift,
+            Insn::Load { .. } | Insn::Loadi { .. } => OpClass::Load,
+            Insn::Store { .. } | Insn::Storei { .. } => OpClass::Store,
+            Insn::Br { .. } | Insn::Bri { .. } | Insn::Bc { .. } | Insn::Bci { .. } | Insn::Rtsd { .. } => {
+                OpClass::Branch
+            }
+            Insn::Imm { .. } => OpClass::ImmPrefix,
+            _ => OpClass::Alu,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemSize, Reg};
+
+    #[test]
+    fn classes_cover_representatives() {
+        assert_eq!(Insn::addk(Reg::R1, Reg::R2, Reg::R3).class(), OpClass::Alu);
+        assert_eq!(Insn::Sra { rd: Reg::R1, ra: Reg::R2 }.class(), OpClass::Alu);
+        assert_eq!(Insn::mul(Reg::R1, Reg::R2, Reg::R3).class(), OpClass::Mul);
+        assert_eq!(Insn::bslli(Reg::R1, Reg::R2, 3).class(), OpClass::BarrelShift);
+        assert_eq!(
+            Insn::Idiv { rd: Reg::R1, ra: Reg::R2, rb: Reg::R3, unsigned: false }.class(),
+            OpClass::Div
+        );
+        assert_eq!(Insn::lwi(Reg::R1, Reg::R2, 0).class(), OpClass::Load);
+        assert_eq!(
+            Insn::Store { size: MemSize::Half, rd: Reg::R1, ra: Reg::R2, rb: Reg::R3 }.class(),
+            OpClass::Store
+        );
+        assert_eq!(Insn::ret().class(), OpClass::Branch);
+        assert_eq!(Insn::Imm { imm: 0 }.class(), OpClass::ImmPrefix);
+    }
+
+    #[test]
+    fn index_is_consistent_with_all() {
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

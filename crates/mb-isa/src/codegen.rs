@@ -1,0 +1,367 @@
+//! Configuration-aware code generation helpers.
+//!
+//! The paper's Section 2 studies how the MicroBlaze's configurable options
+//! change performance: without the hardware barrel shifter an `n`-bit left
+//! shift is emitted as `n` successive add instructions (each doubling the
+//! value), and without the hardware multiplier every multiplication calls
+//! a software routine. This module reproduces that compiler behaviour so
+//! the same benchmark source builds into different binaries per
+//! [`MbFeatures`] configuration.
+
+use crate::insn::{Cond, Insn, ShiftKind};
+use crate::{AsmError, Assembler, MbFeatures, Program, Reg};
+
+/// Registers clobbered by the software multiply/shift runtime routines.
+///
+/// Callers of [`CodeGen::mul`] and the dynamic-shift helpers must not keep
+/// live values in these registers (they follow the MicroBlaze ABI scratch
+/// registers plus the argument/return registers).
+pub const RUNTIME_CLOBBERS: [Reg; 6] = [Reg::R3, Reg::R5, Reg::R6, Reg::R7, Reg::R8, Reg::R15];
+
+#[derive(Clone, Copy, Default, Debug)]
+struct RuntimeNeeds {
+    mulsi3: bool,
+    lshl: bool,
+    lshr: bool,
+}
+
+/// A code generator wrapping an [`Assembler`] with feature-dependent
+/// expansion of shifts and multiplies.
+///
+/// # Example
+///
+/// ```
+/// use mb_isa::codegen::CodeGen;
+/// use mb_isa::{MbFeatures, Reg};
+///
+/// // With a barrel shifter this is one instruction; without, four adds.
+/// let mut with_bs = CodeGen::new(0, MbFeatures::paper_default());
+/// with_bs.shl_const(Reg::R3, Reg::R4, 4);
+/// assert_eq!(with_bs.asm_ref().len(), 1);
+///
+/// let mut without = CodeGen::new(0, MbFeatures::minimal());
+/// without.shl_const(Reg::R3, Reg::R4, 4);
+/// assert_eq!(without.asm_ref().len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct CodeGen {
+    asm: Assembler,
+    features: MbFeatures,
+    counter: u32,
+    needs: RuntimeNeeds,
+}
+
+impl CodeGen {
+    /// Creates a code generator targeting the given feature configuration.
+    #[must_use]
+    pub fn new(base: u32, features: MbFeatures) -> Self {
+        CodeGen { asm: Assembler::new(base), features, counter: 0, needs: RuntimeNeeds::default() }
+    }
+
+    /// The feature configuration being targeted.
+    #[must_use]
+    pub fn features(&self) -> MbFeatures {
+        self.features
+    }
+
+    /// Mutable access to the underlying assembler for plain instructions,
+    /// labels, and branches.
+    pub fn asm_mut(&mut self) -> &mut Assembler {
+        &mut self.asm
+    }
+
+    /// Shared access to the underlying assembler.
+    #[must_use]
+    pub fn asm_ref(&self) -> &Assembler {
+        &self.asm
+    }
+
+    fn fresh_label(&mut self, tag: &str) -> String {
+        self.counter += 1;
+        format!("__cg_{tag}_{}", self.counter)
+    }
+
+    /// Emits `rd = ra << amount` for a constant amount.
+    ///
+    /// With the barrel shifter this is a single `bslli`; without it the
+    /// shift is `amount` successive doubling adds, exactly as the paper
+    /// describes for a core lacking the shifter.
+    pub fn shl_const(&mut self, rd: Reg, ra: Reg, amount: u8) {
+        let amount = amount & 31;
+        if amount == 0 {
+            self.asm.push(Insn::addk(rd, ra, Reg::R0));
+            return;
+        }
+        if self.features.barrel_shifter {
+            self.asm.push(Insn::bslli(rd, ra, amount));
+        } else {
+            self.asm.push(Insn::addk(rd, ra, ra));
+            for _ in 1..amount {
+                self.asm.push(Insn::addk(rd, rd, rd));
+            }
+        }
+    }
+
+    /// Emits `rd = ra >> amount` (logical) for a constant amount.
+    ///
+    /// Without the barrel shifter this is `amount` single-bit `srl`
+    /// instructions.
+    pub fn shr_const(&mut self, rd: Reg, ra: Reg, amount: u8) {
+        let amount = amount & 31;
+        if amount == 0 {
+            self.asm.push(Insn::addk(rd, ra, Reg::R0));
+            return;
+        }
+        if self.features.barrel_shifter {
+            self.asm.push(Insn::bsrli(rd, ra, amount));
+        } else {
+            self.asm.push(Insn::Srl { rd, ra });
+            for _ in 1..amount {
+                self.asm.push(Insn::Srl { rd, ra: rd });
+            }
+        }
+    }
+
+    /// Emits `rd = ra >> amount` (arithmetic) for a constant amount.
+    pub fn sar_const(&mut self, rd: Reg, ra: Reg, amount: u8) {
+        let amount = amount & 31;
+        if amount == 0 {
+            self.asm.push(Insn::addk(rd, ra, Reg::R0));
+            return;
+        }
+        if self.features.barrel_shifter {
+            self.asm.push(Insn::bsrai(rd, ra, amount));
+        } else {
+            self.asm.push(Insn::Sra { rd, ra });
+            for _ in 1..amount {
+                self.asm.push(Insn::Sra { rd, ra: rd });
+            }
+        }
+    }
+
+    /// Emits `rd = ra << rb` for a dynamic amount.
+    ///
+    /// Without the barrel shifter this calls the `__lshl` runtime routine
+    /// (clobbering [`RUNTIME_CLOBBERS`]).
+    pub fn shl_dyn(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        if self.features.barrel_shifter {
+            self.asm.push(Insn::Bs { rd, ra, rb, kind: ShiftKind::LogicalLeft });
+        } else {
+            self.needs.lshl = true;
+            self.call_runtime2(rd, ra, rb, "__lshl");
+        }
+    }
+
+    /// Emits `rd = ra >> rb` (logical) for a dynamic amount.
+    pub fn shr_dyn(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        if self.features.barrel_shifter {
+            self.asm.push(Insn::Bs { rd, ra, rb, kind: ShiftKind::LogicalRight });
+        } else {
+            self.needs.lshr = true;
+            self.call_runtime2(rd, ra, rb, "__lshr");
+        }
+    }
+
+    /// Emits `rd = ra * rb`.
+    ///
+    /// With the multiplier this is a 3-cycle `mul`; without it the
+    /// `__mulsi3` shift-add routine is called (clobbering
+    /// [`RUNTIME_CLOBBERS`]), just as the compiler would for a core
+    /// configured without the multiplier.
+    pub fn mul(&mut self, rd: Reg, ra: Reg, rb: Reg) {
+        if self.features.multiplier {
+            self.asm.push(Insn::mul(rd, ra, rb));
+        } else {
+            self.needs.mulsi3 = true;
+            self.call_runtime2(rd, ra, rb, "__mulsi3");
+        }
+    }
+
+    /// Emits `rd = ra * constant`.
+    ///
+    /// With the multiplier this is a 3-cycle `muli`; without it the
+    /// constant is materialized and `__mulsi3` is called (clobbering
+    /// [`RUNTIME_CLOBBERS`]).
+    pub fn mul_const(&mut self, rd: Reg, ra: Reg, constant: i16) {
+        if self.features.multiplier {
+            self.asm.push(Insn::Muli { rd, ra, imm: constant });
+        } else {
+            self.needs.mulsi3 = true;
+            if ra != Reg::R5 {
+                self.asm.push(Insn::addk(Reg::R5, ra, Reg::R0));
+            }
+            self.asm.push(Insn::addik(Reg::R6, Reg::R0, constant));
+            self.asm.call("__mulsi3");
+            if rd != Reg::R3 {
+                self.asm.push(Insn::addk(rd, Reg::R3, Reg::R0));
+            }
+        }
+    }
+
+    /// Marshals (ra, rb) into (r5, r6), calls `routine`, moves r3 to rd.
+    fn call_runtime2(&mut self, rd: Reg, ra: Reg, rb: Reg, routine: &str) {
+        if ra != Reg::R5 {
+            self.asm.push(Insn::addk(Reg::R5, ra, Reg::R0));
+        }
+        if rb != Reg::R6 {
+            self.asm.push(Insn::addk(Reg::R6, rb, Reg::R0));
+        }
+        self.asm.call(routine.to_string());
+        if rd != Reg::R3 {
+            self.asm.push(Insn::addk(rd, Reg::R3, Reg::R0));
+        }
+    }
+
+    /// Emits the `__mulsi3` routine: shift-add multiply with a zero fast
+    /// path and early exit once the remaining multiplier bits are zero.
+    fn emit_mulsi3(&mut self) {
+        let done = self.fresh_label("mul_done");
+        let looptop = self.fresh_label("mul_loop");
+        let skip = self.fresh_label("mul_skip");
+        let a = &mut self.asm;
+        a.label("__mulsi3");
+        a.push(Insn::addk(Reg::R3, Reg::R0, Reg::R0)); // acc = 0
+        a.beqi(Reg::R6, done.clone()); // 0 * x fast path
+        a.push(Insn::addk(Reg::R7, Reg::R5, Reg::R0)); // a
+        a.push(Insn::addk(Reg::R8, Reg::R6, Reg::R0)); // b
+        a.label(looptop.clone());
+        a.push(Insn::Andi { rd: Reg::R9, ra: Reg::R8, imm: 1 });
+        a.beqi(Reg::R9, skip.clone());
+        a.push(Insn::addk(Reg::R3, Reg::R3, Reg::R7));
+        a.label(skip);
+        a.push(Insn::addk(Reg::R7, Reg::R7, Reg::R7)); // a <<= 1
+        a.push(Insn::Srl { rd: Reg::R8, ra: Reg::R8 }); // b >>= 1
+        a.bnei(Reg::R8, looptop);
+        a.label(done);
+        a.ret();
+    }
+
+    /// Emits a single-bit-at-a-time dynamic shift routine.
+    fn emit_dyn_shift(&mut self, name: &str, left: bool) {
+        let done = self.fresh_label("sh_done");
+        let looptop = self.fresh_label("sh_loop");
+        let a = &mut self.asm;
+        a.label(name.to_string());
+        a.push(Insn::addk(Reg::R3, Reg::R5, Reg::R0)); // value
+        a.push(Insn::Andi { rd: Reg::R8, ra: Reg::R6, imm: 31 }); // count
+        a.beqi(Reg::R8, done.clone());
+        a.label(looptop.clone());
+        if left {
+            a.push(Insn::addk(Reg::R3, Reg::R3, Reg::R3));
+        } else {
+            a.push(Insn::Srl { rd: Reg::R3, ra: Reg::R3 });
+        }
+        a.push(Insn::addik(Reg::R8, Reg::R8, -1));
+        a.bnei(Reg::R8, looptop);
+        a.label(done);
+        a.ret();
+    }
+
+    /// Emits any required runtime routines and assembles the program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AsmError`] from the underlying assembler.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        if self.needs.mulsi3 {
+            self.emit_mulsi3();
+        }
+        if self.needs.lshl {
+            self.emit_dyn_shift("__lshl", true);
+        }
+        if self.needs.lshr {
+            self.emit_dyn_shift("__lshr", false);
+        }
+        self.asm.finish()
+    }
+}
+
+/// Emits `cmp`+branch: branch to `label` if `ra < rb` (signed).
+///
+/// This is the standard MicroBlaze compare-and-branch idiom; `scratch`
+/// receives the comparison result.
+pub fn branch_if_lt(asm: &mut Assembler, scratch: Reg, ra: Reg, rb: Reg, label: impl Into<String>) {
+    // cmp scratch, rb, ra computes ra - rb with sign = (ra < rb).
+    asm.push(Insn::cmp(scratch, rb, ra));
+    asm.bci(Cond::Lt, scratch, label);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shl_const_uses_barrel_when_available() {
+        let mut cg = CodeGen::new(0, MbFeatures::paper_default());
+        cg.shl_const(Reg::R3, Reg::R4, 7);
+        let p = cg.finish().unwrap();
+        assert_eq!(p.words.len(), 1);
+        assert_eq!(crate::decode(p.words[0]).unwrap(), Insn::bslli(Reg::R3, Reg::R4, 7));
+    }
+
+    #[test]
+    fn shl_const_expands_to_adds_without_barrel() {
+        let mut cg = CodeGen::new(0, MbFeatures::minimal());
+        cg.shl_const(Reg::R3, Reg::R4, 7);
+        let p = cg.finish().unwrap();
+        assert_eq!(p.words.len(), 7); // n successive doubling adds
+        assert_eq!(crate::decode(p.words[0]).unwrap(), Insn::addk(Reg::R3, Reg::R4, Reg::R4));
+        assert_eq!(crate::decode(p.words[1]).unwrap(), Insn::addk(Reg::R3, Reg::R3, Reg::R3));
+    }
+
+    #[test]
+    fn shift_by_zero_is_a_move() {
+        let mut cg = CodeGen::new(0, MbFeatures::minimal());
+        cg.shr_const(Reg::R3, Reg::R4, 0);
+        let p = cg.finish().unwrap();
+        assert_eq!(p.words.len(), 1);
+        assert_eq!(crate::decode(p.words[0]).unwrap(), Insn::addk(Reg::R3, Reg::R4, Reg::R0));
+    }
+
+    #[test]
+    fn mul_emits_hw_instruction_or_call() {
+        let mut hw = CodeGen::new(0, MbFeatures::paper_default());
+        hw.mul(Reg::R10, Reg::R11, Reg::R12);
+        assert_eq!(hw.finish().unwrap().words.len(), 1);
+
+        let mut sw = CodeGen::new(0, MbFeatures::minimal());
+        sw.mul(Reg::R10, Reg::R11, Reg::R12);
+        let p = sw.finish().unwrap();
+        // marshal (2) + call (2) + move (1) + routine body.
+        assert!(p.words.len() > 10, "expected runtime routine, got {} words", p.words.len());
+        assert!(p.symbol("__mulsi3").is_some());
+    }
+
+    #[test]
+    fn runtime_emitted_once_for_many_calls() {
+        let mut sw = CodeGen::new(0, MbFeatures::minimal());
+        sw.mul(Reg::R10, Reg::R11, Reg::R12);
+        sw.mul(Reg::R20, Reg::R21, Reg::R22);
+        let p = sw.finish().unwrap();
+        let mulsi3_count = p.symbols.keys().filter(|k| k.as_str() == "__mulsi3").count();
+        assert_eq!(mulsi3_count, 1);
+    }
+
+    #[test]
+    fn dynamic_shifts_route_through_runtime_without_barrel() {
+        let mut sw = CodeGen::new(0, MbFeatures::minimal());
+        sw.shl_dyn(Reg::R3, Reg::R4, Reg::R5);
+        sw.shr_dyn(Reg::R9, Reg::R4, Reg::R5);
+        let p = sw.finish().unwrap();
+        assert!(p.symbol("__lshl").is_some());
+        assert!(p.symbol("__lshr").is_some());
+
+        let mut hw = CodeGen::new(0, MbFeatures::paper_default());
+        hw.shl_dyn(Reg::R3, Reg::R4, Reg::R5);
+        assert_eq!(hw.finish().unwrap().words.len(), 1);
+    }
+
+    #[test]
+    fn sar_const_without_barrel_uses_sra_chain() {
+        let mut cg = CodeGen::new(0, MbFeatures::minimal());
+        cg.sar_const(Reg::R3, Reg::R4, 3);
+        let p = cg.finish().unwrap();
+        assert_eq!(p.words.len(), 3);
+        assert_eq!(crate::decode(p.words[0]).unwrap(), Insn::Sra { rd: Reg::R3, ra: Reg::R4 });
+    }
+}

@@ -1,0 +1,520 @@
+//! 32-bit instruction word encoding and decoding.
+//!
+//! The layout follows the MicroBlaze format: a 6-bit opcode in the top
+//! bits, then three 5-bit register fields (`rd`, `ra`, `rb`) for Type A
+//! instructions or a 16-bit immediate for Type B instructions:
+//!
+//! ```text
+//!  31    26 25  21 20  16 15   11 10         0
+//! +--------+------+------+-------+------------+
+//! | opcode |  rd  |  ra  |  rb   |  sub (11)  |   Type A
+//! +--------+------+------+-------+------------+
+//! | opcode |  rd  |  ra  |      imm16         |   Type B
+//! +--------+------+------+--------------------+
+//! ```
+//!
+//! [`encode`] is canonicalizing: fields that the format does not represent
+//! (for example the link register of a non-linking branch) are encoded as
+//! zero, so `decode(encode(i))` equals `i` for canonical instructions.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::insn::{Cond, Insn, MemSize, ShiftKind};
+use crate::Reg;
+
+// 6-bit primary opcodes (MicroBlaze numbering).
+const OP_ADD: u32 = 0x00; // ..0x07 with R/C/K bits
+const OP_ADDI: u32 = 0x08; // ..0x0F
+const OP_MUL: u32 = 0x10;
+const OP_BS: u32 = 0x11;
+const OP_IDIV: u32 = 0x12;
+const OP_MULI: u32 = 0x18;
+const OP_BSI: u32 = 0x19;
+const OP_OR: u32 = 0x20;
+const OP_AND: u32 = 0x21;
+const OP_XOR: u32 = 0x22;
+const OP_ANDN: u32 = 0x23;
+const OP_SHIFT: u32 = 0x24; // sra/src/srl/sext8/sext16 via imm16 subcode
+const OP_BR: u32 = 0x26;
+const OP_BC: u32 = 0x27;
+const OP_ORI: u32 = 0x28;
+const OP_ANDI: u32 = 0x29;
+const OP_XORI: u32 = 0x2A;
+const OP_ANDNI: u32 = 0x2B;
+const OP_IMM: u32 = 0x2C;
+const OP_RTSD: u32 = 0x2D;
+const OP_BRI: u32 = 0x2E;
+const OP_BCI: u32 = 0x2F;
+const OP_LBU: u32 = 0x30;
+const OP_LHU: u32 = 0x31;
+const OP_LW: u32 = 0x32;
+const OP_SB: u32 = 0x34;
+const OP_SH: u32 = 0x35;
+const OP_SW: u32 = 0x36;
+const OP_LBUI: u32 = 0x38;
+const OP_LHUI: u32 = 0x39;
+const OP_LWI: u32 = 0x3A;
+const OP_SBI: u32 = 0x3C;
+const OP_SHI: u32 = 0x3D;
+const OP_SWI: u32 = 0x3E;
+
+// Subcodes within the OP_SHIFT group (held in the imm16 field).
+const SUB_SRA: u32 = 0x0001;
+const SUB_SRC: u32 = 0x0021;
+const SUB_SRL: u32 = 0x0041;
+const SUB_SEXT8: u32 = 0x0060;
+const SUB_SEXT16: u32 = 0x0061;
+
+// Compare subcodes within the RSUBK opcode (Type A `sub` field).
+const SUB_CMP: u32 = 0x001;
+const SUB_CMPU: u32 = 0x003;
+
+// Branch flag bits (in the `ra` field for unconditional branches, in the
+// `rd` field for conditional branches).
+const FLAG_D: u32 = 0x10;
+const FLAG_A: u32 = 0x08;
+const FLAG_L: u32 = 0x04;
+
+/// Error returned by [`decode`] for words that are not valid instructions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The 6-bit primary opcode is not assigned.
+    UnknownOpcode {
+        /// The offending word.
+        word: u32,
+        /// The extracted primary opcode.
+        opcode: u32,
+    },
+    /// The primary opcode is valid but a subcode field is not.
+    UnknownSubcode {
+        /// The offending word.
+        word: u32,
+        /// The extracted subcode.
+        subcode: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode { word, opcode } => {
+                write!(f, "unknown opcode {opcode:#04x} in word {word:#010x}")
+            }
+            DecodeError::UnknownSubcode { word, subcode } => {
+                write!(f, "unknown subcode {subcode:#05x} in word {word:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+fn pack_a(op: u32, rd: Reg, ra: Reg, rb: Reg, sub: u32) -> u32 {
+    debug_assert!(sub < (1 << 11));
+    op << 26 | u32::from(rd) << 21 | u32::from(ra) << 16 | u32::from(rb) << 11 | sub
+}
+
+fn pack_b(op: u32, rd: Reg, ra: Reg, imm: i16) -> u32 {
+    op << 26 | u32::from(rd) << 21 | u32::from(ra) << 16 | u32::from(imm as u16)
+}
+
+fn shift_kind_bits(kind: ShiftKind) -> u32 {
+    match kind {
+        ShiftKind::LogicalRight => 0,
+        ShiftKind::ArithmeticRight => 1 << 9,
+        ShiftKind::LogicalLeft => 1 << 10,
+    }
+}
+
+fn shift_kind_from_bits(bits: u32) -> Option<ShiftKind> {
+    match bits & (0b11 << 9) {
+        0 => Some(ShiftKind::LogicalRight),
+        x if x == 1 << 9 => Some(ShiftKind::ArithmeticRight),
+        x if x == 1 << 10 => Some(ShiftKind::LogicalLeft),
+        _ => None,
+    }
+}
+
+fn branch_flags(link: bool, absolute: bool, delay: bool) -> u32 {
+    (if delay { FLAG_D } else { 0 }) | (if absolute { FLAG_A } else { 0 }) | (if link { FLAG_L } else { 0 })
+}
+
+/// Encodes an instruction into its 32-bit word.
+///
+/// Encoding is canonicalizing: the link register of non-linking branches
+/// and the shift amount above 5 bits are masked away.
+#[must_use]
+pub fn encode(insn: &Insn) -> u32 {
+    match *insn {
+        Insn::Add { rd, ra, rb, keep_carry, use_carry } => {
+            let op = OP_ADD | (u32::from(keep_carry) << 2) | (u32::from(use_carry) << 1);
+            pack_a(op, rd, ra, rb, 0)
+        }
+        Insn::Rsub { rd, ra, rb, keep_carry, use_carry } => {
+            let op = OP_ADD | 1 | (u32::from(keep_carry) << 2) | (u32::from(use_carry) << 1);
+            pack_a(op, rd, ra, rb, 0)
+        }
+        Insn::Addi { rd, ra, imm, keep_carry, use_carry } => {
+            let op = OP_ADDI | (u32::from(keep_carry) << 2) | (u32::from(use_carry) << 1);
+            pack_b(op, rd, ra, imm)
+        }
+        Insn::Rsubi { rd, ra, imm, keep_carry, use_carry } => {
+            let op = OP_ADDI | 1 | (u32::from(keep_carry) << 2) | (u32::from(use_carry) << 1);
+            pack_b(op, rd, ra, imm)
+        }
+        Insn::Cmp { rd, ra, rb, unsigned } => {
+            pack_a(OP_ADD | 0x05, rd, ra, rb, if unsigned { SUB_CMPU } else { SUB_CMP })
+        }
+        Insn::Mul { rd, ra, rb } => pack_a(OP_MUL, rd, ra, rb, 0),
+        Insn::Muli { rd, ra, imm } => pack_b(OP_MULI, rd, ra, imm),
+        Insn::Idiv { rd, ra, rb, unsigned } => {
+            pack_a(OP_IDIV, rd, ra, rb, u32::from(unsigned) << 1)
+        }
+        Insn::Bs { rd, ra, rb, kind } => pack_a(OP_BS, rd, ra, rb, shift_kind_bits(kind)),
+        Insn::Bsi { rd, ra, amount, kind } => {
+            let imm = shift_kind_bits(kind) | u32::from(amount & 31);
+            pack_b(OP_BSI, rd, ra, imm as i16)
+        }
+        Insn::Or { rd, ra, rb } => pack_a(OP_OR, rd, ra, rb, 0),
+        Insn::And { rd, ra, rb } => pack_a(OP_AND, rd, ra, rb, 0),
+        Insn::Xor { rd, ra, rb } => pack_a(OP_XOR, rd, ra, rb, 0),
+        Insn::Andn { rd, ra, rb } => pack_a(OP_ANDN, rd, ra, rb, 0),
+        Insn::Ori { rd, ra, imm } => pack_b(OP_ORI, rd, ra, imm),
+        Insn::Andi { rd, ra, imm } => pack_b(OP_ANDI, rd, ra, imm),
+        Insn::Xori { rd, ra, imm } => pack_b(OP_XORI, rd, ra, imm),
+        Insn::Andni { rd, ra, imm } => pack_b(OP_ANDNI, rd, ra, imm),
+        Insn::Sra { rd, ra } => pack_b(OP_SHIFT, rd, ra, SUB_SRA as i16),
+        Insn::Src { rd, ra } => pack_b(OP_SHIFT, rd, ra, SUB_SRC as i16),
+        Insn::Srl { rd, ra } => pack_b(OP_SHIFT, rd, ra, SUB_SRL as i16),
+        Insn::Sext8 { rd, ra } => pack_b(OP_SHIFT, rd, ra, SUB_SEXT8 as i16),
+        Insn::Sext16 { rd, ra } => pack_b(OP_SHIFT, rd, ra, SUB_SEXT16 as i16),
+        Insn::Br { rd, rb, link, absolute, delay } => {
+            let flags = branch_flags(link, absolute, delay);
+            let rd = if link { rd } else { Reg::R0 };
+            pack_a(OP_BR, rd, Reg::new(flags as u8), rb, 0)
+        }
+        Insn::Bri { rd, imm, link, absolute, delay } => {
+            let flags = branch_flags(link, absolute, delay);
+            let rd = if link { rd } else { Reg::R0 };
+            pack_b(OP_BRI, rd, Reg::new(flags as u8), imm)
+        }
+        Insn::Bc { cond, ra, rb, delay } => {
+            let rd = (if delay { FLAG_D } else { 0 }) | cond.code();
+            pack_a(OP_BC, Reg::new(rd as u8), ra, rb, 0)
+        }
+        Insn::Bci { cond, ra, imm, delay } => {
+            let rd = (if delay { FLAG_D } else { 0 }) | cond.code();
+            pack_b(OP_BCI, Reg::new(rd as u8), ra, imm)
+        }
+        Insn::Rtsd { ra, imm } => pack_b(OP_RTSD, Reg::new(0x10), ra, imm),
+        Insn::Load { size, rd, ra, rb } => {
+            let op = match size {
+                MemSize::Byte => OP_LBU,
+                MemSize::Half => OP_LHU,
+                MemSize::Word => OP_LW,
+            };
+            pack_a(op, rd, ra, rb, 0)
+        }
+        Insn::Loadi { size, rd, ra, imm } => {
+            let op = match size {
+                MemSize::Byte => OP_LBUI,
+                MemSize::Half => OP_LHUI,
+                MemSize::Word => OP_LWI,
+            };
+            pack_b(op, rd, ra, imm)
+        }
+        Insn::Store { size, rd, ra, rb } => {
+            let op = match size {
+                MemSize::Byte => OP_SB,
+                MemSize::Half => OP_SH,
+                MemSize::Word => OP_SW,
+            };
+            pack_a(op, rd, ra, rb, 0)
+        }
+        Insn::Storei { size, rd, ra, imm } => {
+            let op = match size {
+                MemSize::Byte => OP_SBI,
+                MemSize::Half => OP_SHI,
+                MemSize::Word => OP_SWI,
+            };
+            pack_b(op, rd, ra, imm)
+        }
+        Insn::Imm { imm } => pack_b(OP_IMM, Reg::R0, Reg::R0, imm),
+    }
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode or a subcode field is unassigned.
+pub fn decode(word: u32) -> Result<Insn, DecodeError> {
+    let op = word >> 26;
+    let rd = Reg::new(((word >> 21) & 31) as u8);
+    let ra = Reg::new(((word >> 16) & 31) as u8);
+    let rb = Reg::new(((word >> 11) & 31) as u8);
+    let sub = word & 0x7FF;
+    let imm = (word & 0xFFFF) as u16 as i16;
+
+    let unknown_sub = |subcode: u32| DecodeError::UnknownSubcode { word, subcode };
+
+    Ok(match op {
+        // add/rsub family with R (bit0), C (bit1), K (bit2) flags; the
+        // RSUBK encoding doubles as cmp/cmpu via its subcode field.
+        0x00..=0x07 => {
+            let keep_carry = op & 0x4 != 0;
+            let use_carry = op & 0x2 != 0;
+            let rsub = op & 0x1 != 0;
+            if rsub && keep_carry && !use_carry && sub != 0 {
+                match sub {
+                    SUB_CMP => Insn::Cmp { rd, ra, rb, unsigned: false },
+                    SUB_CMPU => Insn::Cmp { rd, ra, rb, unsigned: true },
+                    s => return Err(unknown_sub(s)),
+                }
+            } else if rsub {
+                Insn::Rsub { rd, ra, rb, keep_carry, use_carry }
+            } else {
+                Insn::Add { rd, ra, rb, keep_carry, use_carry }
+            }
+        }
+        0x08..=0x0F => {
+            let keep_carry = op & 0x4 != 0;
+            let use_carry = op & 0x2 != 0;
+            if op & 0x1 != 0 {
+                Insn::Rsubi { rd, ra, imm, keep_carry, use_carry }
+            } else {
+                Insn::Addi { rd, ra, imm, keep_carry, use_carry }
+            }
+        }
+        OP_MUL => Insn::Mul { rd, ra, rb },
+        OP_MULI => Insn::Muli { rd, ra, imm },
+        OP_BS => {
+            let kind = shift_kind_from_bits(sub).ok_or(unknown_sub(sub))?;
+            Insn::Bs { rd, ra, rb, kind }
+        }
+        OP_BSI => {
+            let bits = u32::from(imm as u16);
+            let kind = shift_kind_from_bits(bits).ok_or(unknown_sub(bits))?;
+            Insn::Bsi { rd, ra, amount: (bits & 31) as u8, kind }
+        }
+        OP_IDIV => Insn::Idiv { rd, ra, rb, unsigned: sub & 0x2 != 0 },
+        OP_OR => Insn::Or { rd, ra, rb },
+        OP_AND => Insn::And { rd, ra, rb },
+        OP_XOR => Insn::Xor { rd, ra, rb },
+        OP_ANDN => Insn::Andn { rd, ra, rb },
+        OP_ORI => Insn::Ori { rd, ra, imm },
+        OP_ANDI => Insn::Andi { rd, ra, imm },
+        OP_XORI => Insn::Xori { rd, ra, imm },
+        OP_ANDNI => Insn::Andni { rd, ra, imm },
+        OP_SHIFT => match u32::from(imm as u16) {
+            SUB_SRA => Insn::Sra { rd, ra },
+            SUB_SRC => Insn::Src { rd, ra },
+            SUB_SRL => Insn::Srl { rd, ra },
+            SUB_SEXT8 => Insn::Sext8 { rd, ra },
+            SUB_SEXT16 => Insn::Sext16 { rd, ra },
+            s => return Err(unknown_sub(s)),
+        },
+        OP_BR => {
+            let flags = u32::from(ra);
+            let link = flags & FLAG_L != 0;
+            Insn::Br {
+                rd: if link { rd } else { Reg::R0 },
+                rb,
+                link,
+                absolute: flags & FLAG_A != 0,
+                delay: flags & FLAG_D != 0,
+            }
+        }
+        OP_BRI => {
+            let flags = u32::from(ra);
+            let link = flags & FLAG_L != 0;
+            Insn::Bri {
+                rd: if link { rd } else { Reg::R0 },
+                imm,
+                link,
+                absolute: flags & FLAG_A != 0,
+                delay: flags & FLAG_D != 0,
+            }
+        }
+        OP_BC => {
+            let bits = u32::from(rd);
+            let cond = Cond::from_code(bits & 0x7).ok_or(unknown_sub(bits))?;
+            Insn::Bc { cond, ra, rb, delay: bits & FLAG_D != 0 }
+        }
+        OP_BCI => {
+            let bits = u32::from(rd);
+            let cond = Cond::from_code(bits & 0x7).ok_or(unknown_sub(bits))?;
+            Insn::Bci { cond, ra, imm, delay: bits & FLAG_D != 0 }
+        }
+        OP_RTSD => Insn::Rtsd { ra, imm },
+        OP_IMM => Insn::Imm { imm },
+        OP_LBU => Insn::Load { size: MemSize::Byte, rd, ra, rb },
+        OP_LHU => Insn::Load { size: MemSize::Half, rd, ra, rb },
+        OP_LW => Insn::Load { size: MemSize::Word, rd, ra, rb },
+        OP_SB => Insn::Store { size: MemSize::Byte, rd, ra, rb },
+        OP_SH => Insn::Store { size: MemSize::Half, rd, ra, rb },
+        OP_SW => Insn::Store { size: MemSize::Word, rd, ra, rb },
+        OP_LBUI => Insn::Loadi { size: MemSize::Byte, rd, ra, imm },
+        OP_LHUI => Insn::Loadi { size: MemSize::Half, rd, ra, imm },
+        OP_LWI => Insn::Loadi { size: MemSize::Word, rd, ra, imm },
+        OP_SBI => Insn::Storei { size: MemSize::Byte, rd, ra, imm },
+        OP_SHI => Insn::Storei { size: MemSize::Half, rd, ra, imm },
+        OP_SWI => Insn::Storei { size: MemSize::Word, rd, ra, imm },
+        opcode => return Err(DecodeError::UnknownOpcode { word, opcode }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reg_strategy() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(Reg::new)
+    }
+
+    fn cond_strategy() -> impl Strategy<Value = Cond> {
+        prop::sample::select(Cond::ALL.to_vec())
+    }
+
+    fn size_strategy() -> impl Strategy<Value = MemSize> {
+        prop::sample::select(vec![MemSize::Byte, MemSize::Half, MemSize::Word])
+    }
+
+    fn kind_strategy() -> impl Strategy<Value = ShiftKind> {
+        prop::sample::select(vec![
+            ShiftKind::LogicalRight,
+            ShiftKind::ArithmeticRight,
+            ShiftKind::LogicalLeft,
+        ])
+    }
+
+    /// Strategy producing canonical instructions (the forms [`encode`]
+    /// represents exactly).
+    fn insn_strategy() -> impl Strategy<Value = Insn> {
+        let r = reg_strategy;
+        prop_oneof![
+            (r(), r(), r(), any::<bool>(), any::<bool>())
+                .prop_map(|(rd, ra, rb, k, c)| Insn::Add { rd, ra, rb, keep_carry: k, use_carry: c }),
+            (r(), r(), r(), any::<bool>(), any::<bool>())
+                .prop_map(|(rd, ra, rb, k, c)| Insn::Rsub { rd, ra, rb, keep_carry: k, use_carry: c }),
+            (r(), r(), any::<i16>(), any::<bool>(), any::<bool>())
+                .prop_map(|(rd, ra, imm, k, c)| Insn::Addi { rd, ra, imm, keep_carry: k, use_carry: c }),
+            (r(), r(), any::<i16>(), any::<bool>(), any::<bool>())
+                .prop_map(|(rd, ra, imm, k, c)| Insn::Rsubi { rd, ra, imm, keep_carry: k, use_carry: c }),
+            (r(), r(), r(), any::<bool>())
+                .prop_map(|(rd, ra, rb, u)| Insn::Cmp { rd, ra, rb, unsigned: u }),
+            (r(), r(), r()).prop_map(|(rd, ra, rb)| Insn::Mul { rd, ra, rb }),
+            (r(), r(), any::<i16>()).prop_map(|(rd, ra, imm)| Insn::Muli { rd, ra, imm }),
+            (r(), r(), r(), any::<bool>())
+                .prop_map(|(rd, ra, rb, u)| Insn::Idiv { rd, ra, rb, unsigned: u }),
+            (r(), r(), r(), kind_strategy()).prop_map(|(rd, ra, rb, kind)| Insn::Bs { rd, ra, rb, kind }),
+            (r(), r(), 0u8..32, kind_strategy())
+                .prop_map(|(rd, ra, amount, kind)| Insn::Bsi { rd, ra, amount, kind }),
+            (r(), r(), r()).prop_map(|(rd, ra, rb)| Insn::Or { rd, ra, rb }),
+            (r(), r(), r()).prop_map(|(rd, ra, rb)| Insn::And { rd, ra, rb }),
+            (r(), r(), r()).prop_map(|(rd, ra, rb)| Insn::Xor { rd, ra, rb }),
+            (r(), r(), r()).prop_map(|(rd, ra, rb)| Insn::Andn { rd, ra, rb }),
+            (r(), r(), any::<i16>()).prop_map(|(rd, ra, imm)| Insn::Ori { rd, ra, imm }),
+            (r(), r(), any::<i16>()).prop_map(|(rd, ra, imm)| Insn::Andi { rd, ra, imm }),
+            (r(), r(), any::<i16>()).prop_map(|(rd, ra, imm)| Insn::Xori { rd, ra, imm }),
+            (r(), r(), any::<i16>()).prop_map(|(rd, ra, imm)| Insn::Andni { rd, ra, imm }),
+            (r(), r()).prop_map(|(rd, ra)| Insn::Sra { rd, ra }),
+            (r(), r()).prop_map(|(rd, ra)| Insn::Src { rd, ra }),
+            (r(), r()).prop_map(|(rd, ra)| Insn::Srl { rd, ra }),
+            (r(), r()).prop_map(|(rd, ra)| Insn::Sext8 { rd, ra }),
+            (r(), r()).prop_map(|(rd, ra)| Insn::Sext16 { rd, ra }),
+            (r(), r(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+                |(rd, rb, link, absolute, delay)| Insn::Br {
+                    rd: if link { rd } else { Reg::R0 },
+                    rb,
+                    link,
+                    absolute,
+                    delay
+                }
+            ),
+            (r(), any::<i16>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+                |(rd, imm, link, absolute, delay)| Insn::Bri {
+                    rd: if link { rd } else { Reg::R0 },
+                    imm,
+                    link,
+                    absolute,
+                    delay
+                }
+            ),
+            (cond_strategy(), r(), r(), any::<bool>())
+                .prop_map(|(cond, ra, rb, delay)| Insn::Bc { cond, ra, rb, delay }),
+            (cond_strategy(), r(), any::<i16>(), any::<bool>())
+                .prop_map(|(cond, ra, imm, delay)| Insn::Bci { cond, ra, imm, delay }),
+            (r(), any::<i16>()).prop_map(|(ra, imm)| Insn::Rtsd { ra, imm }),
+            (size_strategy(), r(), r(), r()).prop_map(|(size, rd, ra, rb)| Insn::Load { size, rd, ra, rb }),
+            (size_strategy(), r(), r(), any::<i16>())
+                .prop_map(|(size, rd, ra, imm)| Insn::Loadi { size, rd, ra, imm }),
+            (size_strategy(), r(), r(), r()).prop_map(|(size, rd, ra, rb)| Insn::Store { size, rd, ra, rb }),
+            (size_strategy(), r(), r(), any::<i16>())
+                .prop_map(|(size, rd, ra, imm)| Insn::Storei { size, rd, ra, imm }),
+            any::<i16>().prop_map(|imm| Insn::Imm { imm }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_round_trip(insn in insn_strategy()) {
+            let word = encode(&insn);
+            let back = decode(word).expect("canonical instruction decodes");
+            prop_assert_eq!(insn, back);
+        }
+
+        #[test]
+        fn decode_never_panics(word in any::<u32>()) {
+            let _ = decode(word);
+        }
+
+        #[test]
+        fn decoded_words_reencode_identically(word in any::<u32>()) {
+            if let Ok(insn) = decode(word) {
+                // Decoding is not injective (don't-care fields), but the
+                // canonical re-encoding must decode to the same instruction.
+                let canon = encode(&insn);
+                prop_assert_eq!(decode(canon).unwrap(), insn);
+            }
+        }
+    }
+
+    #[test]
+    fn specific_encodings() {
+        // addk r3, r4, r5 -> opcode 0x04.
+        let w = encode(&Insn::addk(Reg::R3, Reg::R4, Reg::R5));
+        assert_eq!(w >> 26, 0x04);
+        assert_eq!((w >> 21) & 31, 3);
+        assert_eq!((w >> 16) & 31, 4);
+        assert_eq!((w >> 11) & 31, 5);
+
+        // imm prefix uses opcode 0x2C.
+        assert_eq!(encode(&Insn::Imm { imm: -1 }) >> 26, 0x2C);
+
+        // rtsd r15, 8 fixes rd = 0b10000.
+        let r = encode(&Insn::ret());
+        assert_eq!(r >> 26, 0x2D);
+        assert_eq!((r >> 21) & 31, 0x10);
+    }
+
+    #[test]
+    fn unknown_opcode_reports_error() {
+        // Opcode 0x3F is unassigned.
+        let word = 0x3F << 26;
+        assert_eq!(decode(word), Err(DecodeError::UnknownOpcode { word, opcode: 0x3F }));
+    }
+
+    #[test]
+    fn unknown_shift_subcode_reports_error() {
+        let word = (OP_SHIFT << 26) | 0x7; // not an assigned subcode
+        assert!(matches!(decode(word), Err(DecodeError::UnknownSubcode { .. })));
+    }
+
+    #[test]
+    fn nop_round_trips() {
+        assert_eq!(decode(encode(&Insn::nop())).unwrap(), Insn::nop());
+    }
+}

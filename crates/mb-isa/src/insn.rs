@@ -1,0 +1,594 @@
+//! The instruction set as a typed enum, plus convenience constructors.
+
+use std::fmt;
+
+use crate::Reg;
+
+/// Branch condition for `beq*`/`bne*`/… instructions.
+///
+/// MicroBlaze conditional branches test a single register against zero; the
+/// comparison itself is done earlier by `cmp`/`cmpu` (which leave the sign
+/// of the comparison in the destination register).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Cond {
+    /// Branch if the register equals zero (`beq`).
+    Eq,
+    /// Branch if the register is non-zero (`bne`).
+    Ne,
+    /// Branch if the register is negative (`blt`).
+    Lt,
+    /// Branch if the register is negative or zero (`ble`).
+    Le,
+    /// Branch if the register is positive (`bgt`).
+    Gt,
+    /// Branch if the register is positive or zero (`bge`).
+    Ge,
+}
+
+impl Cond {
+    /// The 3-bit condition code used in the instruction encoding.
+    #[must_use]
+    pub fn code(self) -> u32 {
+        match self {
+            Cond::Eq => 0,
+            Cond::Ne => 1,
+            Cond::Lt => 2,
+            Cond::Le => 3,
+            Cond::Gt => 4,
+            Cond::Ge => 5,
+        }
+    }
+
+    /// Decodes a 3-bit condition code.
+    #[must_use]
+    pub fn from_code(code: u32) -> Option<Self> {
+        Some(match code {
+            0 => Cond::Eq,
+            1 => Cond::Ne,
+            2 => Cond::Lt,
+            3 => Cond::Le,
+            4 => Cond::Gt,
+            5 => Cond::Ge,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the condition against a register value.
+    #[must_use]
+    pub fn eval(self, value: u32) -> bool {
+        let v = value as i32;
+        match self {
+            Cond::Eq => v == 0,
+            Cond::Ne => v != 0,
+            Cond::Lt => v < 0,
+            Cond::Le => v <= 0,
+            Cond::Gt => v > 0,
+            Cond::Ge => v >= 0,
+        }
+    }
+
+    /// The mnemonic suffix (`eq`, `ne`, …).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+        }
+    }
+
+    /// All six conditions.
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Access width of a load or store.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemSize {
+    /// 8-bit access (`lbu`/`sb`), zero-extended on load.
+    Byte,
+    /// 16-bit access (`lhu`/`sh`), zero-extended on load.
+    Half,
+    /// 32-bit access (`lw`/`sw`).
+    Word,
+}
+
+impl MemSize {
+    /// The access width in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemSize::Byte => 1,
+            MemSize::Half => 2,
+            MemSize::Word => 4,
+        }
+    }
+}
+
+/// Direction/kind of a barrel-shift instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ShiftKind {
+    /// `bsrl` — logical shift right.
+    LogicalRight,
+    /// `bsra` — arithmetic shift right.
+    ArithmeticRight,
+    /// `bsll` — logical shift left.
+    LogicalLeft,
+}
+
+impl ShiftKind {
+    /// Applies the shift to `value` by `amount & 31` bits.
+    #[must_use]
+    pub fn apply(self, value: u32, amount: u32) -> u32 {
+        let sh = amount & 31;
+        match self {
+            ShiftKind::LogicalRight => value >> sh,
+            ShiftKind::ArithmeticRight => ((value as i32) >> sh) as u32,
+            ShiftKind::LogicalLeft => value << sh,
+        }
+    }
+
+    fn mnemonic_tail(self) -> &'static str {
+        match self {
+            ShiftKind::LogicalRight => "rl",
+            ShiftKind::ArithmeticRight => "ra",
+            ShiftKind::LogicalLeft => "ll",
+        }
+    }
+}
+
+/// One MicroBlaze-style instruction.
+///
+/// Type A instructions take two source registers; Type B instructions take
+/// a source register and a 16-bit immediate that is sign-extended unless
+/// preceded by an [`Insn::Imm`] prefix, which supplies the upper 16 bits.
+///
+/// The `keep_carry` flag on add/subtract corresponds to the MicroBlaze `K`
+/// bit (do **not** update the carry flag); `use_carry` corresponds to the
+/// `C` bit (add the carry flag into the sum).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)] // field meanings documented on the enum
+pub enum Insn {
+    /// `add`/`addc`/`addk`/`addkc` — rd = ra + rb (+ carry).
+    Add { rd: Reg, ra: Reg, rb: Reg, keep_carry: bool, use_carry: bool },
+    /// `rsub`/… — rd = rb - ra (reverse subtract).
+    Rsub { rd: Reg, ra: Reg, rb: Reg, keep_carry: bool, use_carry: bool },
+    /// `addi`/… — rd = ra + imm.
+    Addi { rd: Reg, ra: Reg, imm: i16, keep_carry: bool, use_carry: bool },
+    /// `rsubi`/… — rd = imm - ra.
+    Rsubi { rd: Reg, ra: Reg, imm: i16, keep_carry: bool, use_carry: bool },
+    /// `cmp`/`cmpu` — rd = rb - ra with the sign bit forced to the
+    /// (signed or unsigned) comparison outcome `rb < ra`.
+    Cmp { rd: Reg, ra: Reg, rb: Reg, unsigned: bool },
+    /// `mul` — rd = low 32 bits of ra × rb (requires the multiplier unit).
+    Mul { rd: Reg, ra: Reg, rb: Reg },
+    /// `muli` — rd = low 32 bits of ra × imm.
+    Muli { rd: Reg, ra: Reg, imm: i16 },
+    /// `idiv`/`idivu` — rd = rb ÷ ra (requires the divider unit).
+    Idiv { rd: Reg, ra: Reg, rb: Reg, unsigned: bool },
+    /// `bsrl`/`bsra`/`bsll` — dynamic barrel shift by rb (requires the
+    /// barrel shifter unit).
+    Bs { rd: Reg, ra: Reg, rb: Reg, kind: ShiftKind },
+    /// `bsrli`/`bsrai`/`bslli` — barrel shift by a 5-bit constant.
+    Bsi { rd: Reg, ra: Reg, amount: u8, kind: ShiftKind },
+    /// `or` — rd = ra | rb.
+    Or { rd: Reg, ra: Reg, rb: Reg },
+    /// `and` — rd = ra & rb.
+    And { rd: Reg, ra: Reg, rb: Reg },
+    /// `xor` — rd = ra ^ rb.
+    Xor { rd: Reg, ra: Reg, rb: Reg },
+    /// `andn` — rd = ra & !rb.
+    Andn { rd: Reg, ra: Reg, rb: Reg },
+    /// `ori` — rd = ra | imm.
+    Ori { rd: Reg, ra: Reg, imm: i16 },
+    /// `andi` — rd = ra & imm.
+    Andi { rd: Reg, ra: Reg, imm: i16 },
+    /// `xori` — rd = ra ^ imm.
+    Xori { rd: Reg, ra: Reg, imm: i16 },
+    /// `andni` — rd = ra & !imm.
+    Andni { rd: Reg, ra: Reg, imm: i16 },
+    /// `sra` — rd = ra >> 1 arithmetic; carry receives the shifted-out bit.
+    Sra { rd: Reg, ra: Reg },
+    /// `src` — rd = ra >> 1 with the old carry shifted into the MSB.
+    Src { rd: Reg, ra: Reg },
+    /// `srl` — rd = ra >> 1 logical; carry receives the shifted-out bit.
+    Srl { rd: Reg, ra: Reg },
+    /// `sext8` — rd = sign-extend low byte of ra.
+    Sext8 { rd: Reg, ra: Reg },
+    /// `sext16` — rd = sign-extend low half of ra.
+    Sext16 { rd: Reg, ra: Reg },
+    /// `br`/`bra`/`brd`/`brld`/… — unconditional branch to rb
+    /// (PC-relative unless `absolute`), optionally linking PC into rd.
+    Br { rd: Reg, rb: Reg, link: bool, absolute: bool, delay: bool },
+    /// `bri`/`brai`/`brid`/`brlid`/… — unconditional branch to an
+    /// immediate target.
+    Bri { rd: Reg, imm: i16, link: bool, absolute: bool, delay: bool },
+    /// `beq`/`bne`/… — conditional branch on `ra` to PC + rb.
+    Bc { cond: Cond, ra: Reg, rb: Reg, delay: bool },
+    /// `beqi`/`bnei`/… — conditional branch on `ra` to PC + imm.
+    Bci { cond: Cond, ra: Reg, imm: i16, delay: bool },
+    /// `rtsd` — return: PC = ra + imm, with a mandatory delay slot.
+    Rtsd { ra: Reg, imm: i16 },
+    /// `lbu`/`lhu`/`lw` — rd = mem[ra + rb].
+    Load { size: MemSize, rd: Reg, ra: Reg, rb: Reg },
+    /// `lbui`/`lhui`/`lwi` — rd = mem[ra + imm].
+    Loadi { size: MemSize, rd: Reg, ra: Reg, imm: i16 },
+    /// `sb`/`sh`/`sw` — mem[ra + rb] = rd.
+    Store { size: MemSize, rd: Reg, ra: Reg, rb: Reg },
+    /// `sbi`/`shi`/`swi` — mem[ra + imm] = rd.
+    Storei { size: MemSize, rd: Reg, ra: Reg, imm: i16 },
+    /// `imm` — supplies the upper 16 bits for the next Type B immediate.
+    Imm { imm: i16 },
+}
+
+impl Insn {
+    /// `addk rd, ra, rb` — add without touching the carry flag.
+    #[must_use]
+    pub fn addk(rd: Reg, ra: Reg, rb: Reg) -> Self {
+        Insn::Add { rd, ra, rb, keep_carry: true, use_carry: false }
+    }
+
+    /// `add rd, ra, rb` — add, updating the carry flag.
+    #[must_use]
+    pub fn add(rd: Reg, ra: Reg, rb: Reg) -> Self {
+        Insn::Add { rd, ra, rb, keep_carry: false, use_carry: false }
+    }
+
+    /// `addik rd, ra, imm` — add immediate without touching carry.
+    #[must_use]
+    pub fn addik(rd: Reg, ra: Reg, imm: i16) -> Self {
+        Insn::Addi { rd, ra, imm, keep_carry: true, use_carry: false }
+    }
+
+    /// `rsubk rd, ra, rb` — rd = rb - ra without touching carry.
+    #[must_use]
+    pub fn rsubk(rd: Reg, ra: Reg, rb: Reg) -> Self {
+        Insn::Rsub { rd, ra, rb, keep_carry: true, use_carry: false }
+    }
+
+    /// `cmp rd, ra, rb` — signed compare (rd sign = rb < ra).
+    #[must_use]
+    pub fn cmp(rd: Reg, ra: Reg, rb: Reg) -> Self {
+        Insn::Cmp { rd, ra, rb, unsigned: false }
+    }
+
+    /// `cmpu rd, ra, rb` — unsigned compare.
+    #[must_use]
+    pub fn cmpu(rd: Reg, ra: Reg, rb: Reg) -> Self {
+        Insn::Cmp { rd, ra, rb, unsigned: true }
+    }
+
+    /// `mul rd, ra, rb`.
+    #[must_use]
+    pub fn mul(rd: Reg, ra: Reg, rb: Reg) -> Self {
+        Insn::Mul { rd, ra, rb }
+    }
+
+    /// `bslli rd, ra, amount` — constant logical shift left.
+    #[must_use]
+    pub fn bslli(rd: Reg, ra: Reg, amount: u8) -> Self {
+        Insn::Bsi { rd, ra, amount, kind: ShiftKind::LogicalLeft }
+    }
+
+    /// `bsrli rd, ra, amount` — constant logical shift right.
+    #[must_use]
+    pub fn bsrli(rd: Reg, ra: Reg, amount: u8) -> Self {
+        Insn::Bsi { rd, ra, amount, kind: ShiftKind::LogicalRight }
+    }
+
+    /// `bsrai rd, ra, amount` — constant arithmetic shift right.
+    #[must_use]
+    pub fn bsrai(rd: Reg, ra: Reg, amount: u8) -> Self {
+        Insn::Bsi { rd, ra, amount, kind: ShiftKind::ArithmeticRight }
+    }
+
+    /// `lwi rd, ra, imm` — load word at ra + imm.
+    #[must_use]
+    pub fn lwi(rd: Reg, ra: Reg, imm: i16) -> Self {
+        Insn::Loadi { size: MemSize::Word, rd, ra, imm }
+    }
+
+    /// `swi rd, ra, imm` — store word at ra + imm.
+    #[must_use]
+    pub fn swi(rd: Reg, ra: Reg, imm: i16) -> Self {
+        Insn::Storei { size: MemSize::Word, rd, ra, imm }
+    }
+
+    /// `lbui rd, ra, imm` — load byte (zero-extended) at ra + imm.
+    #[must_use]
+    pub fn lbui(rd: Reg, ra: Reg, imm: i16) -> Self {
+        Insn::Loadi { size: MemSize::Byte, rd, ra, imm }
+    }
+
+    /// `sbi rd, ra, imm` — store byte at ra + imm.
+    #[must_use]
+    pub fn sbi(rd: Reg, ra: Reg, imm: i16) -> Self {
+        Insn::Storei { size: MemSize::Byte, rd, ra, imm }
+    }
+
+    /// `nop` — encoded as `or r0, r0, r0`.
+    #[must_use]
+    pub fn nop() -> Self {
+        Insn::Or { rd: Reg::R0, ra: Reg::R0, rb: Reg::R0 }
+    }
+
+    /// `rtsd r15, 8` — the conventional subroutine return.
+    #[must_use]
+    pub fn ret() -> Self {
+        Insn::Rtsd { ra: Reg::R15, imm: 8 }
+    }
+
+    /// Whether this instruction is any kind of branch, jump, or return.
+    #[must_use]
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Insn::Br { .. } | Insn::Bri { .. } | Insn::Bc { .. } | Insn::Bci { .. } | Insn::Rtsd { .. }
+        )
+    }
+
+    /// Whether this instruction executes the following instruction in a
+    /// delay slot when taken.
+    #[must_use]
+    pub fn has_delay_slot(&self) -> bool {
+        match self {
+            Insn::Br { delay, .. } | Insn::Bri { delay, .. } => *delay,
+            Insn::Bc { delay, .. } | Insn::Bci { delay, .. } => *delay,
+            Insn::Rtsd { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// The destination register written by this instruction, if any.
+    #[must_use]
+    pub fn dest(&self) -> Option<Reg> {
+        match *self {
+            Insn::Add { rd, .. }
+            | Insn::Rsub { rd, .. }
+            | Insn::Addi { rd, .. }
+            | Insn::Rsubi { rd, .. }
+            | Insn::Cmp { rd, .. }
+            | Insn::Mul { rd, .. }
+            | Insn::Muli { rd, .. }
+            | Insn::Idiv { rd, .. }
+            | Insn::Bs { rd, .. }
+            | Insn::Bsi { rd, .. }
+            | Insn::Or { rd, .. }
+            | Insn::And { rd, .. }
+            | Insn::Xor { rd, .. }
+            | Insn::Andn { rd, .. }
+            | Insn::Ori { rd, .. }
+            | Insn::Andi { rd, .. }
+            | Insn::Xori { rd, .. }
+            | Insn::Andni { rd, .. }
+            | Insn::Sra { rd, .. }
+            | Insn::Src { rd, .. }
+            | Insn::Srl { rd, .. }
+            | Insn::Sext8 { rd, .. }
+            | Insn::Sext16 { rd, .. }
+            | Insn::Load { rd, .. }
+            | Insn::Loadi { rd, .. } => Some(rd),
+            Insn::Br { rd, link, .. } | Insn::Bri { rd, link, .. } => link.then_some(rd),
+            _ => None,
+        }
+    }
+
+    /// The source registers read by this instruction (up to three;
+    /// `r0` sources are included).
+    #[must_use]
+    pub fn sources(&self) -> Vec<Reg> {
+        match *self {
+            Insn::Add { ra, rb, .. }
+            | Insn::Rsub { ra, rb, .. }
+            | Insn::Cmp { ra, rb, .. }
+            | Insn::Mul { ra, rb, .. }
+            | Insn::Idiv { ra, rb, .. }
+            | Insn::Bs { ra, rb, .. }
+            | Insn::Or { ra, rb, .. }
+            | Insn::And { ra, rb, .. }
+            | Insn::Xor { ra, rb, .. }
+            | Insn::Andn { ra, rb, .. }
+            | Insn::Load { ra, rb, .. } => vec![ra, rb],
+            Insn::Addi { ra, .. }
+            | Insn::Rsubi { ra, .. }
+            | Insn::Muli { ra, .. }
+            | Insn::Bsi { ra, .. }
+            | Insn::Ori { ra, .. }
+            | Insn::Andi { ra, .. }
+            | Insn::Xori { ra, .. }
+            | Insn::Andni { ra, .. }
+            | Insn::Sra { ra, .. }
+            | Insn::Src { ra, .. }
+            | Insn::Srl { ra, .. }
+            | Insn::Sext8 { ra, .. }
+            | Insn::Sext16 { ra, .. }
+            | Insn::Loadi { ra, .. }
+            | Insn::Rtsd { ra, .. } => vec![ra],
+            Insn::Store { rd, ra, rb, .. } => vec![rd, ra, rb],
+            Insn::Storei { rd, ra, .. } => vec![rd, ra],
+            Insn::Br { rb, .. } => vec![rb],
+            Insn::Bc { ra, rb, .. } => vec![ra, rb],
+            Insn::Bci { ra, .. } => vec![ra],
+            Insn::Bri { .. } | Insn::Imm { .. } => vec![],
+        }
+    }
+}
+
+fn carry_suffix(keep_carry: bool, use_carry: bool) -> &'static str {
+    match (keep_carry, use_carry) {
+        (false, false) => "",
+        (false, true) => "c",
+        (true, false) => "k",
+        (true, true) => "kc",
+    }
+}
+
+fn size_letter(size: MemSize) -> &'static str {
+    match size {
+        MemSize::Byte => "b",
+        MemSize::Half => "h",
+        MemSize::Word => "w",
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Insn::Add { rd, ra, rb, keep_carry, use_carry } => {
+                write!(f, "add{} {rd}, {ra}, {rb}", carry_suffix(keep_carry, use_carry))
+            }
+            Insn::Rsub { rd, ra, rb, keep_carry, use_carry } => {
+                write!(f, "rsub{} {rd}, {ra}, {rb}", carry_suffix(keep_carry, use_carry))
+            }
+            Insn::Addi { rd, ra, imm, keep_carry, use_carry } => {
+                write!(f, "addi{} {rd}, {ra}, {imm}", carry_suffix(keep_carry, use_carry))
+            }
+            Insn::Rsubi { rd, ra, imm, keep_carry, use_carry } => {
+                write!(f, "rsubi{} {rd}, {ra}, {imm}", carry_suffix(keep_carry, use_carry))
+            }
+            Insn::Cmp { rd, ra, rb, unsigned } => {
+                write!(f, "cmp{} {rd}, {ra}, {rb}", if unsigned { "u" } else { "" })
+            }
+            Insn::Mul { rd, ra, rb } => write!(f, "mul {rd}, {ra}, {rb}"),
+            Insn::Muli { rd, ra, imm } => write!(f, "muli {rd}, {ra}, {imm}"),
+            Insn::Idiv { rd, ra, rb, unsigned } => {
+                write!(f, "idiv{} {rd}, {ra}, {rb}", if unsigned { "u" } else { "" })
+            }
+            Insn::Bs { rd, ra, rb, kind } => {
+                write!(f, "bs{} {rd}, {ra}, {rb}", kind.mnemonic_tail())
+            }
+            Insn::Bsi { rd, ra, amount, kind } => {
+                write!(f, "bs{}i {rd}, {ra}, {amount}", kind.mnemonic_tail())
+            }
+            Insn::Or { rd, ra, rb } => write!(f, "or {rd}, {ra}, {rb}"),
+            Insn::And { rd, ra, rb } => write!(f, "and {rd}, {ra}, {rb}"),
+            Insn::Xor { rd, ra, rb } => write!(f, "xor {rd}, {ra}, {rb}"),
+            Insn::Andn { rd, ra, rb } => write!(f, "andn {rd}, {ra}, {rb}"),
+            Insn::Ori { rd, ra, imm } => write!(f, "ori {rd}, {ra}, {imm}"),
+            Insn::Andi { rd, ra, imm } => write!(f, "andi {rd}, {ra}, {imm}"),
+            Insn::Xori { rd, ra, imm } => write!(f, "xori {rd}, {ra}, {imm}"),
+            Insn::Andni { rd, ra, imm } => write!(f, "andni {rd}, {ra}, {imm}"),
+            Insn::Sra { rd, ra } => write!(f, "sra {rd}, {ra}"),
+            Insn::Src { rd, ra } => write!(f, "src {rd}, {ra}"),
+            Insn::Srl { rd, ra } => write!(f, "srl {rd}, {ra}"),
+            Insn::Sext8 { rd, ra } => write!(f, "sext8 {rd}, {ra}"),
+            Insn::Sext16 { rd, ra } => write!(f, "sext16 {rd}, {ra}"),
+            Insn::Br { rd, rb, link, absolute, delay } => {
+                let a = if absolute { "a" } else { "" };
+                let l = if link { "l" } else { "" };
+                let d = if delay { "d" } else { "" };
+                if link {
+                    write!(f, "br{a}{l}{d} {rd}, {rb}")
+                } else {
+                    write!(f, "br{a}{d} {rb}")
+                }
+            }
+            Insn::Bri { rd, imm, link, absolute, delay } => {
+                let a = if absolute { "a" } else { "" };
+                let l = if link { "l" } else { "" };
+                let d = if delay { "d" } else { "" };
+                if link {
+                    write!(f, "br{a}{l}{d}i {rd}, {imm}")
+                } else {
+                    write!(f, "br{a}{d}i {imm}")
+                }
+            }
+            Insn::Bc { cond, ra, rb, delay } => {
+                write!(f, "b{cond}{} {ra}, {rb}", if delay { "d" } else { "" })
+            }
+            Insn::Bci { cond, ra, imm, delay } => {
+                write!(f, "b{cond}{}i {ra}, {imm}", if delay { "d" } else { "" })
+            }
+            Insn::Rtsd { ra, imm } => write!(f, "rtsd {ra}, {imm}"),
+            Insn::Load { size, rd, ra, rb } => {
+                write!(f, "l{}u {rd}, {ra}, {rb}", size_letter(size))
+            }
+            Insn::Loadi { size, rd, ra, imm } => {
+                write!(f, "l{}ui {rd}, {ra}, {imm}", size_letter(size))
+            }
+            Insn::Store { size, rd, ra, rb } => {
+                write!(f, "s{} {rd}, {ra}, {rb}", size_letter(size))
+            }
+            Insn::Storei { size, rd, ra, imm } => {
+                write!(f, "s{}i {rd}, {ra}, {imm}", size_letter(size))
+            }
+            Insn::Imm { imm } => write!(f, "imm {imm}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval_matches_sign_tests() {
+        assert!(Cond::Eq.eval(0));
+        assert!(!Cond::Eq.eval(5));
+        assert!(Cond::Ne.eval(5));
+        assert!(Cond::Lt.eval(0x8000_0000));
+        assert!(!Cond::Lt.eval(1));
+        assert!(Cond::Le.eval(0));
+        assert!(Cond::Gt.eval(7));
+        assert!(!Cond::Gt.eval(0));
+        assert!(Cond::Ge.eval(0));
+        assert!(!Cond::Ge.eval(u32::MAX));
+    }
+
+    #[test]
+    fn cond_codes_round_trip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_code(c.code()), Some(c));
+        }
+        assert_eq!(Cond::from_code(7), None);
+    }
+
+    #[test]
+    fn shift_kind_apply() {
+        assert_eq!(ShiftKind::LogicalLeft.apply(1, 4), 16);
+        assert_eq!(ShiftKind::LogicalRight.apply(0x8000_0000, 31), 1);
+        assert_eq!(ShiftKind::ArithmeticRight.apply(0x8000_0000, 31), u32::MAX);
+    }
+
+    #[test]
+    fn dest_and_sources() {
+        let i = Insn::addk(Reg::R3, Reg::R4, Reg::R5);
+        assert_eq!(i.dest(), Some(Reg::R3));
+        assert_eq!(i.sources(), vec![Reg::R4, Reg::R5]);
+
+        let s = Insn::swi(Reg::R6, Reg::R7, 4);
+        assert_eq!(s.dest(), None);
+        assert_eq!(s.sources(), vec![Reg::R6, Reg::R7]);
+
+        let b = Insn::Bri { rd: Reg::R15, imm: 8, link: true, absolute: false, delay: true };
+        assert_eq!(b.dest(), Some(Reg::R15));
+    }
+
+    #[test]
+    fn control_flow_and_delay_slots() {
+        assert!(Insn::ret().is_control_flow());
+        assert!(Insn::ret().has_delay_slot());
+        assert!(!Insn::nop().is_control_flow());
+        let b = Insn::Bci { cond: Cond::Ne, ra: Reg::R3, imm: -8, delay: false };
+        assert!(b.is_control_flow());
+        assert!(!b.has_delay_slot());
+    }
+
+    #[test]
+    fn display_mnemonics() {
+        assert_eq!(Insn::addk(Reg::R3, Reg::R4, Reg::R5).to_string(), "addk r3, r4, r5");
+        assert_eq!(Insn::bslli(Reg::R3, Reg::R4, 7).to_string(), "bslli r3, r4, 7");
+        assert_eq!(Insn::nop().to_string(), "or r0, r0, r0");
+        assert_eq!(Insn::ret().to_string(), "rtsd r15, 8");
+        let b = Insn::Bci { cond: Cond::Ne, ra: Reg::R3, imm: -8, delay: false };
+        assert_eq!(b.to_string(), "bnei r3, -8");
+    }
+}

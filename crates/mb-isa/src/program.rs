@@ -1,0 +1,139 @@
+//! Assembled program images.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{decode, Insn, INSN_BYTES};
+
+/// An assembled binary: instruction words plus a symbol table.
+///
+/// This is a passive data structure: the instruction BRAM contents exactly
+/// as the loader would place them, with `base` giving the address of
+/// `words[0]`. Symbols map label names to byte addresses and include both
+/// code labels and `equ` data-address constants.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Program {
+    /// Byte address of the first instruction word.
+    pub base: u32,
+    /// Encoded instruction words in address order.
+    pub words: Vec<u32>,
+    /// Label/constant name → byte address.
+    pub symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Creates a program from raw encoded words.
+    #[must_use]
+    pub fn from_words(base: u32, words: Vec<u32>) -> Self {
+        Program { base, words, symbols: BTreeMap::new() }
+    }
+
+    /// The byte address one past the last instruction.
+    #[must_use]
+    pub fn end(&self) -> u32 {
+        self.base + self.words.len() as u32 * INSN_BYTES
+    }
+
+    /// Looks up a symbol's byte address.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// The encoded word at a byte address, if it lies inside the program.
+    #[must_use]
+    pub fn word_at(&self, addr: u32) -> Option<u32> {
+        if addr < self.base || addr >= self.end() || addr % INSN_BYTES != 0 {
+            return None;
+        }
+        Some(self.words[((addr - self.base) / INSN_BYTES) as usize])
+    }
+
+    /// Decodes the instruction at a byte address.
+    #[must_use]
+    pub fn insn_at(&self, addr: u32) -> Option<Insn> {
+        self.word_at(addr).and_then(|w| decode(w).ok())
+    }
+
+    /// Iterates over `(byte address, decoded instruction)` pairs, skipping
+    /// words that fail to decode (e.g. data embedded in the text section).
+    pub fn iter_insns(&self) -> impl Iterator<Item = (u32, Insn)> + '_ {
+        self.words.iter().enumerate().filter_map(move |(i, &w)| {
+            decode(w).ok().map(|insn| (self.base + i as u32 * INSN_BYTES, insn))
+        })
+    }
+
+    /// A disassembly listing (one instruction per line, with addresses and
+    /// label annotations) for debugging.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        let mut by_addr: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+        for (name, &addr) in &self.symbols {
+            by_addr.entry(addr).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (i, &w) in self.words.iter().enumerate() {
+            let addr = self.base + i as u32 * INSN_BYTES;
+            if let Some(names) = by_addr.get(&addr) {
+                for n in names {
+                    out.push_str(n);
+                    out.push_str(":\n");
+                }
+            }
+            match decode(w) {
+                Ok(insn) => out.push_str(&format!("  {addr:#06x}: {insn}\n")),
+                Err(_) => out.push_str(&format!("  {addr:#06x}: .word {w:#010x}\n")),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "program: {} words at {:#x}, {} symbols", self.words.len(), self.base, self.symbols.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{encode, Insn, Reg};
+
+    fn sample() -> Program {
+        let mut p = Program::from_words(
+            0x100,
+            vec![
+                encode(&Insn::addik(Reg::R3, Reg::R0, 5)),
+                encode(&Insn::addik(Reg::R3, Reg::R3, -1)),
+                encode(&Insn::Bci { cond: crate::Cond::Ne, ra: Reg::R3, imm: -4, delay: false }),
+            ],
+        );
+        p.symbols.insert("start".into(), 0x100);
+        p.symbols.insert("loop".into(), 0x104);
+        p
+    }
+
+    #[test]
+    fn addressing() {
+        let p = sample();
+        assert_eq!(p.end(), 0x10C);
+        assert_eq!(p.symbol("loop"), Some(0x104));
+        assert_eq!(p.symbol("missing"), None);
+        assert!(p.word_at(0x0FF).is_none());
+        assert!(p.word_at(0x10C).is_none());
+        assert!(p.word_at(0x102).is_none()); // unaligned
+        assert_eq!(p.insn_at(0x100), Some(Insn::addik(Reg::R3, Reg::R0, 5)));
+    }
+
+    #[test]
+    fn iteration_and_disassembly() {
+        let p = sample();
+        let insns: Vec<_> = p.iter_insns().collect();
+        assert_eq!(insns.len(), 3);
+        assert_eq!(insns[0].0, 0x100);
+        let dis = p.disassemble();
+        assert!(dis.contains("loop:"));
+        assert!(dis.contains("bnei r3, -4"));
+    }
+}

@@ -1,0 +1,136 @@
+//! General-purpose register names.
+
+use std::fmt;
+
+/// One of the 32 general-purpose registers, `r0`–`r31`.
+///
+/// `r0` always reads as zero and ignores writes, matching the MicroBlaze
+/// convention. The remaining registers follow the MicroBlaze ABI roles in
+/// the [`workloads`] crate (r1 stack pointer, r3/r4 return values, r5–r10
+/// arguments, r15 return address) but nothing in this crate enforces those
+/// roles.
+///
+/// [`workloads`]: https://docs.rs/workloads
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Reg(u8);
+
+macro_rules! reg_consts {
+    ($($name:ident = $num:expr),* $(,)?) => {
+        $(
+            #[doc = concat!("Register `r", stringify!($num), "`.")]
+            pub const $name: Reg = Reg($num);
+        )*
+    };
+}
+
+impl Reg {
+    reg_consts! {
+        R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+        R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14,
+        R15 = 15, R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20,
+        R21 = 21, R22 = 22, R23 = 23, R24 = 24, R25 = 25, R26 = 26,
+        R27 = 27, R28 = 28, R29 = 29, R30 = 30, R31 = 31,
+    }
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 31`.
+    #[must_use]
+    pub fn new(n: u8) -> Self {
+        assert!(n < 32, "register number {n} out of range 0..32");
+        Reg(n)
+    }
+
+    /// Creates a register from its number, returning `None` if `n > 31`.
+    #[must_use]
+    pub fn try_new(n: u8) -> Option<Self> {
+        (n < 32).then_some(Reg(n))
+    }
+
+    /// The register number, `0..=31`.
+    #[must_use]
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The register number as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is `r0`, the hard-wired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 32 registers in order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> Self {
+        r.0
+    }
+}
+
+impl From<Reg> for u32 {
+    fn from(r: Reg) -> Self {
+        u32::from(r.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_round_trips() {
+        for n in 0..32 {
+            assert_eq!(Reg::new(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range() {
+        assert_eq!(Reg::try_new(32), None);
+        assert_eq!(Reg::try_new(31), Some(Reg::R31));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(40);
+    }
+
+    #[test]
+    fn display_uses_r_prefix() {
+        assert_eq!(Reg::R17.to_string(), "r17");
+        assert_eq!(Reg::R0.to_string(), "r0");
+    }
+
+    #[test]
+    fn zero_register_identified() {
+        assert!(Reg::R0.is_zero());
+        assert!(!Reg::R1.is_zero());
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        assert_eq!(regs[0], Reg::R0);
+        assert_eq!(regs[31], Reg::R31);
+    }
+}

@@ -1,0 +1,91 @@
+//! System configuration.
+
+use mb_isa::MbFeatures;
+
+use crate::cache::CacheConfig;
+
+/// MicroBlaze clock frequency on the Spartan3 FPGA used in the paper.
+pub const MB_CLOCK_HZ: u64 = 85_000_000;
+
+/// Configuration of a simulated MicroBlaze system.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MbConfig {
+    /// Optional functional units (barrel shifter, multiplier, divider).
+    pub features: MbFeatures,
+    /// Core clock frequency in Hz (85 MHz on Spartan3 in the paper).
+    pub clock_hz: u64,
+    /// Instruction BRAM size in bytes.
+    pub imem_bytes: u32,
+    /// Data BRAM size in bytes.
+    pub dmem_bytes: u32,
+    /// Optional instruction cache (the paper's system uses local BRAM
+    /// without caches; caches are provided for configurability studies).
+    pub icache: Option<CacheConfig>,
+    /// Optional data cache.
+    pub dcache: Option<CacheConfig>,
+}
+
+impl MbConfig {
+    /// The configuration used in the paper's experiments: 85 MHz, barrel
+    /// shifter and multiplier included, no divider, local BRAM memories
+    /// and no caches.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        MbConfig {
+            features: MbFeatures::paper_default(),
+            clock_hz: MB_CLOCK_HZ,
+            imem_bytes: 64 * 1024,
+            dmem_bytes: 64 * 1024,
+            icache: None,
+            dcache: None,
+        }
+    }
+
+    /// Returns a copy with different functional units.
+    #[must_use]
+    pub fn with_features(mut self, features: MbFeatures) -> Self {
+        self.features = features;
+        self
+    }
+
+    /// Returns a copy with a different clock frequency.
+    #[must_use]
+    pub fn with_clock_hz(mut self, hz: u64) -> Self {
+        self.clock_hz = hz;
+        self
+    }
+
+    /// Seconds taken by `cycles` at this configuration's clock.
+    #[must_use]
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz as f64
+    }
+}
+
+impl Default for MbConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_4() {
+        let c = MbConfig::paper_default();
+        assert_eq!(c.clock_hz, 85_000_000);
+        assert!(c.features.barrel_shifter);
+        assert!(c.features.multiplier);
+        assert!(!c.features.divider);
+        assert!(c.icache.is_none() && c.dcache.is_none());
+    }
+
+    #[test]
+    fn seconds_scale_with_clock() {
+        let c = MbConfig::paper_default();
+        let t = c.seconds(85_000_000);
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+}

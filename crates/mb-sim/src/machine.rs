@@ -1,0 +1,836 @@
+//! The complete simulated system: CPU + memories + buses + peripherals.
+
+use std::error::Error;
+use std::fmt;
+
+use mb_isa::{decode, DecodeError, Insn, MemSize, Program};
+
+use crate::cache::Cache;
+use crate::periph::{OpbBus, Peripheral, EXIT_PORT_BASE, OPB_BASE};
+use crate::timing::{branch_latency, insn_latency};
+use crate::trace::{Trace, TraceEvent};
+use crate::{Bram, Cpu, ExecStats, ExitPort, MbConfig, MemError};
+
+/// Why a [`System::run`] call stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// The program wrote the exit port with this code.
+    Exited(u32),
+    /// The cycle budget was exhausted first.
+    CycleLimit,
+}
+
+/// Result of running the system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Outcome {
+    /// Why execution stopped.
+    pub stop: StopReason,
+    /// Total cycles consumed.
+    pub cycles: u64,
+    /// Total instructions retired.
+    pub instructions: u64,
+}
+
+impl Outcome {
+    /// Whether the program exited via the exit port.
+    #[must_use]
+    pub fn exited(&self) -> bool {
+        matches!(self.stop, StopReason::Exited(_))
+    }
+
+    /// The exit code, if the program exited.
+    #[must_use]
+    pub fn exit_code(&self) -> Option<u32> {
+        match self.stop {
+            StopReason::Exited(c) => Some(c),
+            StopReason::CycleLimit => None,
+        }
+    }
+}
+
+/// Execution error: the simulated program did something illegal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunError {
+    /// A memory access failed.
+    Mem {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// Underlying memory error.
+        err: MemError,
+    },
+    /// Instruction fetch returned an undecodable word.
+    Decode {
+        /// PC of the faulting fetch.
+        pc: u32,
+        /// Underlying decode error.
+        err: DecodeError,
+    },
+    /// The instruction needs a functional unit this configuration lacks.
+    UnsupportedInsn {
+        /// PC of the faulting instruction.
+        pc: u32,
+    },
+    /// A data access hit an address with no memory or peripheral.
+    UnmappedAddress {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// The unmapped data address.
+        addr: u32,
+    },
+    /// A control-flow instruction appeared in a delay slot.
+    BranchInDelaySlot {
+        /// PC of the offending delay-slot instruction.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Mem { pc, err } => write!(f, "memory fault at pc {pc:#010x}: {err}"),
+            RunError::Decode { pc, err } => write!(f, "fetch fault at pc {pc:#010x}: {err}"),
+            RunError::UnsupportedInsn { pc } => {
+                write!(f, "instruction at pc {pc:#010x} needs a unit this core lacks")
+            }
+            RunError::UnmappedAddress { pc, addr } => {
+                write!(f, "unmapped address {addr:#010x} at pc {pc:#010x}")
+            }
+            RunError::BranchInDelaySlot { pc } => {
+                write!(f, "control-flow instruction in delay slot at pc {pc:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for RunError {}
+
+/// Control-flow outcome of one instruction.
+enum Next {
+    Seq,
+    Jump(u32),
+    JumpAfterDelay(u32),
+}
+
+struct Exec {
+    next: Next,
+    cycles: u32,
+    taken: Option<bool>,
+    target: Option<u32>,
+    ea: Option<u32>,
+}
+
+/// A complete MicroBlaze system (Figure 1 of the paper): CPU, separate
+/// instruction and data BRAMs on local memory buses, and an OPB
+/// peripheral bus with at least the exit port mapped.
+pub struct System {
+    config: MbConfig,
+    cpu: Cpu,
+    imem: Bram,
+    dmem: Bram,
+    opb: OpbBus,
+    icache: Option<Cache>,
+    dcache: Option<Cache>,
+    stats: ExecStats,
+    halted: Option<u32>,
+}
+
+impl System {
+    /// Creates a system per the configuration, with the exit port mapped
+    /// at [`EXIT_PORT_BASE`].
+    #[must_use]
+    pub fn new(config: MbConfig) -> Self {
+        let mut opb = OpbBus::default();
+        opb.map(EXIT_PORT_BASE, 16, Box::new(ExitPort::new()));
+        System {
+            cpu: Cpu::new(),
+            imem: Bram::new(config.imem_bytes),
+            dmem: Bram::new(config.dmem_bytes),
+            opb,
+            icache: config.icache.map(Cache::new),
+            dcache: config.dcache.map(Cache::new),
+            stats: ExecStats::new(),
+            halted: None,
+            config,
+        }
+    }
+
+    /// The system configuration.
+    #[must_use]
+    pub fn config(&self) -> &MbConfig {
+        &self.config
+    }
+
+    /// Loads a program into instruction memory and points the PC at its
+    /// base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Mem`] if the program does not fit.
+    pub fn load_program(&mut self, program: &Program) -> Result<(), RunError> {
+        self.imem
+            .load_words(program.base, &program.words)
+            .map_err(|err| RunError::Mem { pc: program.base, err })?;
+        self.cpu.set_pc(program.base);
+        Ok(())
+    }
+
+    /// Loads words into data memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Mem`] if the region does not fit.
+    pub fn load_data(&mut self, addr: u32, words: &[u32]) -> Result<(), RunError> {
+        self.dmem.load_words(addr, words).map_err(|err| RunError::Mem { pc: 0, err })
+    }
+
+    /// Maps a peripheral into the OPB window.
+    pub fn map_peripheral(&mut self, base: u32, size: u32, dev: Box<dyn Peripheral>) {
+        self.opb.map(base, size, dev);
+    }
+
+    /// The CPU state.
+    #[must_use]
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable CPU state (for test setup).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// The data BRAM.
+    #[must_use]
+    pub fn dmem(&self) -> &Bram {
+        &self.dmem
+    }
+
+    /// Mutable data BRAM.
+    pub fn dmem_mut(&mut self) -> &mut Bram {
+        &mut self.dmem
+    }
+
+    /// The instruction BRAM (the DPM reads and patches it through the
+    /// dual-ported interface).
+    #[must_use]
+    pub fn imem(&self) -> &Bram {
+        &self.imem
+    }
+
+    /// Mutable instruction BRAM — this is the interface the dynamic
+    /// partitioning module uses to patch the running binary.
+    pub fn imem_mut(&mut self) -> &mut Bram {
+        &mut self.imem
+    }
+
+    /// Accumulated execution statistics.
+    #[must_use]
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Whether the program has written the exit port.
+    #[must_use]
+    pub fn halted(&self) -> Option<u32> {
+        self.halted
+    }
+
+    fn fetch(&mut self, pc: u32) -> Result<(Insn, u32), RunError> {
+        let word = self.imem.read_word(pc).map_err(|err| RunError::Mem { pc, err })?;
+        let insn = decode(word).map_err(|err| RunError::Decode { pc, err })?;
+        let wait = self.icache.as_mut().map_or(0, |c| c.access(pc));
+        Ok((insn, wait))
+    }
+
+    fn data_load(&mut self, pc: u32, addr: u32, size: MemSize) -> Result<(u32, u32), RunError> {
+        if addr >= OPB_BASE {
+            let Some((m, off)) = self.opb.find(addr) else {
+                return Err(RunError::UnmappedAddress { pc, addr });
+            };
+            let r = m.dev.read(off, &mut self.dmem);
+            Ok((r.value, r.wait))
+        } else {
+            let value = self.dmem.read(addr, size).map_err(|err| RunError::Mem { pc, err })?;
+            let wait = self.dcache.as_mut().map_or(0, |c| c.access(addr));
+            Ok((value, wait))
+        }
+    }
+
+    fn data_store(&mut self, pc: u32, addr: u32, value: u32, size: MemSize) -> Result<u32, RunError> {
+        if addr >= OPB_BASE {
+            let Some((m, off)) = self.opb.find(addr) else {
+                return Err(RunError::UnmappedAddress { pc, addr });
+            };
+            Ok(m.dev.write(off, value, &mut self.dmem))
+        } else {
+            self.dmem.write(addr, value, size).map_err(|err| RunError::Mem { pc, err })?;
+            Ok(self.dcache.as_mut().map_or(0, |c| c.access(addr)))
+        }
+    }
+
+    fn add_with_carry(&mut self, a: u32, b: u32, cin: u32, keep: bool) -> u32 {
+        let wide = u64::from(a) + u64::from(b) + u64::from(cin);
+        if !keep {
+            self.cpu.set_carry(wide >> 32 != 0);
+        }
+        wide as u32
+    }
+
+    /// Executes one instruction (no delay-slot handling).
+    fn execute(&mut self, pc: u32, insn: Insn) -> Result<Exec, RunError> {
+        if !self.config.features.supports(&insn) {
+            return Err(RunError::UnsupportedInsn { pc });
+        }
+        let cpu_carry = u32::from(self.cpu.carry());
+        let mut cycles = insn_latency(&insn);
+        let mut next = Next::Seq;
+        let mut taken = None;
+        let mut target = None;
+        let mut ea = None;
+
+        match insn {
+            Insn::Add { rd, ra, rb, keep_carry, use_carry } => {
+                let cin = if use_carry { cpu_carry } else { 0 };
+                let v = self.add_with_carry(self.cpu.reg(ra), self.cpu.reg(rb), cin, keep_carry);
+                self.cpu.set_reg(rd, v);
+                self.cpu.clear_imm_prefix();
+            }
+            Insn::Rsub { rd, ra, rb, keep_carry, use_carry } => {
+                let cin = if use_carry { cpu_carry } else { 1 };
+                let v = self.add_with_carry(!self.cpu.reg(ra), self.cpu.reg(rb), cin, keep_carry);
+                self.cpu.set_reg(rd, v);
+                self.cpu.clear_imm_prefix();
+            }
+            Insn::Addi { rd, ra, imm, keep_carry, use_carry } => {
+                let imm32 = self.cpu.take_imm(imm);
+                let cin = if use_carry { cpu_carry } else { 0 };
+                let v = self.add_with_carry(self.cpu.reg(ra), imm32, cin, keep_carry);
+                self.cpu.set_reg(rd, v);
+            }
+            Insn::Rsubi { rd, ra, imm, keep_carry, use_carry } => {
+                let imm32 = self.cpu.take_imm(imm);
+                let cin = if use_carry { cpu_carry } else { 1 };
+                let v = self.add_with_carry(!self.cpu.reg(ra), imm32, cin, keep_carry);
+                self.cpu.set_reg(rd, v);
+            }
+            Insn::Cmp { rd, ra, rb, unsigned } => {
+                let a = self.cpu.reg(ra);
+                let b = self.cpu.reg(rb);
+                let diff = b.wrapping_sub(a);
+                let lt = if unsigned { b < a } else { (b as i32) < (a as i32) };
+                let v = (diff & 0x7FFF_FFFF) | (u32::from(lt) << 31);
+                self.cpu.set_reg(rd, v);
+                self.cpu.clear_imm_prefix();
+            }
+            Insn::Mul { rd, ra, rb } => {
+                let v = self.cpu.reg(ra).wrapping_mul(self.cpu.reg(rb));
+                self.cpu.set_reg(rd, v);
+                self.cpu.clear_imm_prefix();
+            }
+            Insn::Muli { rd, ra, imm } => {
+                let imm32 = self.cpu.take_imm(imm);
+                let v = self.cpu.reg(ra).wrapping_mul(imm32);
+                self.cpu.set_reg(rd, v);
+            }
+            Insn::Idiv { rd, ra, rb, unsigned } => {
+                let a = self.cpu.reg(ra);
+                let b = self.cpu.reg(rb);
+                // MicroBlaze: rd = rb ÷ ra; divide-by-zero yields 0.
+                let v = if a == 0 {
+                    0
+                } else if unsigned {
+                    b / a
+                } else {
+                    ((b as i32).wrapping_div(a as i32)) as u32
+                };
+                self.cpu.set_reg(rd, v);
+                self.cpu.clear_imm_prefix();
+            }
+            Insn::Bs { rd, ra, rb, kind } => {
+                let v = kind.apply(self.cpu.reg(ra), self.cpu.reg(rb));
+                self.cpu.set_reg(rd, v);
+                self.cpu.clear_imm_prefix();
+            }
+            Insn::Bsi { rd, ra, amount, kind } => {
+                let v = kind.apply(self.cpu.reg(ra), u32::from(amount));
+                self.cpu.set_reg(rd, v);
+                self.cpu.clear_imm_prefix();
+            }
+            Insn::Or { rd, ra, rb } => {
+                let v = self.cpu.reg(ra) | self.cpu.reg(rb);
+                self.cpu.set_reg(rd, v);
+                self.cpu.clear_imm_prefix();
+            }
+            Insn::And { rd, ra, rb } => {
+                let v = self.cpu.reg(ra) & self.cpu.reg(rb);
+                self.cpu.set_reg(rd, v);
+                self.cpu.clear_imm_prefix();
+            }
+            Insn::Xor { rd, ra, rb } => {
+                let v = self.cpu.reg(ra) ^ self.cpu.reg(rb);
+                self.cpu.set_reg(rd, v);
+                self.cpu.clear_imm_prefix();
+            }
+            Insn::Andn { rd, ra, rb } => {
+                let v = self.cpu.reg(ra) & !self.cpu.reg(rb);
+                self.cpu.set_reg(rd, v);
+                self.cpu.clear_imm_prefix();
+            }
+            Insn::Ori { rd, ra, imm } => {
+                let imm32 = self.cpu.take_imm(imm);
+                self.cpu.set_reg(rd, self.cpu.reg(ra) | imm32);
+            }
+            Insn::Andi { rd, ra, imm } => {
+                let imm32 = self.cpu.take_imm(imm);
+                self.cpu.set_reg(rd, self.cpu.reg(ra) & imm32);
+            }
+            Insn::Xori { rd, ra, imm } => {
+                let imm32 = self.cpu.take_imm(imm);
+                self.cpu.set_reg(rd, self.cpu.reg(ra) ^ imm32);
+            }
+            Insn::Andni { rd, ra, imm } => {
+                let imm32 = self.cpu.take_imm(imm);
+                self.cpu.set_reg(rd, self.cpu.reg(ra) & !imm32);
+            }
+            Insn::Sra { rd, ra } => {
+                let a = self.cpu.reg(ra);
+                self.cpu.set_carry(a & 1 != 0);
+                self.cpu.set_reg(rd, ((a as i32) >> 1) as u32);
+                self.cpu.clear_imm_prefix();
+            }
+            Insn::Src { rd, ra } => {
+                let a = self.cpu.reg(ra);
+                let v = (cpu_carry << 31) | (a >> 1);
+                self.cpu.set_carry(a & 1 != 0);
+                self.cpu.set_reg(rd, v);
+                self.cpu.clear_imm_prefix();
+            }
+            Insn::Srl { rd, ra } => {
+                let a = self.cpu.reg(ra);
+                self.cpu.set_carry(a & 1 != 0);
+                self.cpu.set_reg(rd, a >> 1);
+                self.cpu.clear_imm_prefix();
+            }
+            Insn::Sext8 { rd, ra } => {
+                let v = self.cpu.reg(ra) as u8 as i8 as i32 as u32;
+                self.cpu.set_reg(rd, v);
+                self.cpu.clear_imm_prefix();
+            }
+            Insn::Sext16 { rd, ra } => {
+                let v = self.cpu.reg(ra) as u16 as i16 as i32 as u32;
+                self.cpu.set_reg(rd, v);
+                self.cpu.clear_imm_prefix();
+            }
+            Insn::Br { rd, rb, link, absolute, delay } => {
+                let t = if absolute {
+                    self.cpu.reg(rb)
+                } else {
+                    pc.wrapping_add(self.cpu.reg(rb))
+                };
+                if link {
+                    self.cpu.set_reg(rd, pc);
+                }
+                self.cpu.clear_imm_prefix();
+                cycles = branch_latency(&insn, true);
+                taken = Some(true);
+                target = Some(t);
+                next = if delay { Next::JumpAfterDelay(t) } else { Next::Jump(t) };
+            }
+            Insn::Bri { rd, imm, link, absolute, delay } => {
+                let imm32 = self.cpu.take_imm(imm);
+                let t = if absolute { imm32 } else { pc.wrapping_add(imm32) };
+                if link {
+                    self.cpu.set_reg(rd, pc);
+                }
+                cycles = branch_latency(&insn, true);
+                taken = Some(true);
+                target = Some(t);
+                next = if delay { Next::JumpAfterDelay(t) } else { Next::Jump(t) };
+            }
+            Insn::Bc { cond, ra, rb, delay } => {
+                let t = pc.wrapping_add(self.cpu.reg(rb));
+                let is_taken = cond.eval(self.cpu.reg(ra));
+                self.cpu.clear_imm_prefix();
+                cycles = branch_latency(&insn, is_taken);
+                taken = Some(is_taken);
+                if is_taken {
+                    target = Some(t);
+                    next = if delay { Next::JumpAfterDelay(t) } else { Next::Jump(t) };
+                }
+            }
+            Insn::Bci { cond, ra, imm, delay } => {
+                let imm32 = self.cpu.take_imm(imm);
+                let t = pc.wrapping_add(imm32);
+                let is_taken = cond.eval(self.cpu.reg(ra));
+                cycles = branch_latency(&insn, is_taken);
+                taken = Some(is_taken);
+                if is_taken {
+                    target = Some(t);
+                    next = if delay { Next::JumpAfterDelay(t) } else { Next::Jump(t) };
+                }
+            }
+            Insn::Rtsd { ra, imm } => {
+                let imm32 = self.cpu.take_imm(imm);
+                let t = self.cpu.reg(ra).wrapping_add(imm32);
+                cycles = branch_latency(&insn, true);
+                taken = Some(true);
+                target = Some(t);
+                next = Next::JumpAfterDelay(t);
+            }
+            Insn::Load { size, rd, ra, rb } => {
+                let addr = self.cpu.reg(ra).wrapping_add(self.cpu.reg(rb));
+                let (v, wait) = self.data_load(pc, addr, size)?;
+                self.cpu.set_reg(rd, v);
+                self.cpu.clear_imm_prefix();
+                cycles += wait;
+                ea = Some(addr);
+            }
+            Insn::Loadi { size, rd, ra, imm } => {
+                let imm32 = self.cpu.take_imm(imm);
+                let addr = self.cpu.reg(ra).wrapping_add(imm32);
+                let (v, wait) = self.data_load(pc, addr, size)?;
+                self.cpu.set_reg(rd, v);
+                cycles += wait;
+                ea = Some(addr);
+            }
+            Insn::Store { size, rd, ra, rb } => {
+                let addr = self.cpu.reg(ra).wrapping_add(self.cpu.reg(rb));
+                let wait = self.data_store(pc, addr, self.cpu.reg(rd), size)?;
+                self.cpu.clear_imm_prefix();
+                cycles += wait;
+                ea = Some(addr);
+            }
+            Insn::Storei { size, rd, ra, imm } => {
+                let imm32 = self.cpu.take_imm(imm);
+                let addr = self.cpu.reg(ra).wrapping_add(imm32);
+                let wait = self.data_store(pc, addr, self.cpu.reg(rd), size)?;
+                cycles += wait;
+                ea = Some(addr);
+            }
+            Insn::Imm { imm } => {
+                self.cpu.set_imm_prefix(imm);
+            }
+        }
+
+        Ok(Exec { next, cycles, taken, target, ea })
+    }
+
+    fn record(&mut self, pc: u32, insn: Insn, exec: &Exec, trace: &mut Option<&mut Trace>) {
+        self.stats.record(insn.class(), exec.cycles);
+        if let Some(t) = exec.taken {
+            if t {
+                self.stats.branches_taken += 1;
+                if exec.target.is_some_and(|tt| tt <= pc) {
+                    self.stats.backward_taken += 1;
+                }
+            } else {
+                self.stats.branches_not_taken += 1;
+            }
+        }
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.push(TraceEvent {
+                pc,
+                insn,
+                cycles: exec.cycles,
+                taken: exec.taken,
+                target: if exec.taken == Some(true) { exec.target } else { None },
+                ea: exec.ea,
+            });
+        }
+    }
+
+    /// Executes one instruction (plus its delay slot if the branch is
+    /// taken), returning the cycles consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] on illegal execution (bad memory access,
+    /// undecodable instruction, missing functional unit, or a branch in a
+    /// delay slot).
+    pub fn step(&mut self, mut trace: Option<&mut Trace>) -> Result<u32, RunError> {
+        let pc = self.cpu.pc();
+        let (insn, fetch_wait) = self.fetch(pc)?;
+        let mut exec = self.execute(pc, insn)?;
+        exec.cycles += fetch_wait;
+        self.record(pc, insn, &exec, &mut trace);
+        let mut total = exec.cycles;
+
+        match exec.next {
+            Next::Seq => self.cpu.set_pc(pc.wrapping_add(4)),
+            Next::Jump(t) => self.cpu.set_pc(t),
+            Next::JumpAfterDelay(t) => {
+                let dpc = pc.wrapping_add(4);
+                let (dinsn, dwait) = self.fetch(dpc)?;
+                if dinsn.is_control_flow() {
+                    return Err(RunError::BranchInDelaySlot { pc: dpc });
+                }
+                let mut dexec = self.execute(dpc, dinsn)?;
+                dexec.cycles += dwait;
+                self.record(dpc, dinsn, &dexec, &mut trace);
+                total += dexec.cycles;
+                self.cpu.set_pc(t);
+            }
+        }
+
+        if self.halted.is_none() {
+            self.halted = self.opb.exit_request();
+        }
+        Ok(total)
+    }
+
+    fn run_inner(&mut self, max_cycles: u64, mut trace: Option<&mut Trace>) -> Result<Outcome, RunError> {
+        let start_cycles = self.stats.cycles();
+        let start_insns = self.stats.instructions();
+        loop {
+            if let Some(code) = self.halted {
+                return Ok(Outcome {
+                    stop: StopReason::Exited(code),
+                    cycles: self.stats.cycles() - start_cycles,
+                    instructions: self.stats.instructions() - start_insns,
+                });
+            }
+            if self.stats.cycles() - start_cycles >= max_cycles {
+                return Ok(Outcome {
+                    stop: StopReason::CycleLimit,
+                    cycles: self.stats.cycles() - start_cycles,
+                    instructions: self.stats.instructions() - start_insns,
+                });
+            }
+            self.step(trace.as_deref_mut())?;
+        }
+    }
+
+    /// Runs until the program exits or `max_cycles` elapse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] from [`System::step`].
+    pub fn run(&mut self, max_cycles: u64) -> Result<Outcome, RunError> {
+        self.run_inner(max_cycles, None)
+    }
+
+    /// Runs like [`System::run`] while recording a full instruction
+    /// trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] from [`System::step`].
+    pub fn run_traced(&mut self, max_cycles: u64) -> Result<(Outcome, Trace), RunError> {
+        let mut trace = Trace::new();
+        let outcome = self.run_inner(max_cycles, Some(&mut trace))?;
+        Ok((outcome, trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_isa::{Assembler, Cond, Reg};
+
+    fn exit_sequence(a: &mut Assembler) {
+        a.li(Reg::R31, EXIT_PORT_BASE as i32);
+        a.push(Insn::swi(Reg::R0, Reg::R31, 0));
+    }
+
+    fn run_program(build: impl FnOnce(&mut Assembler)) -> System {
+        let mut a = Assembler::new(0);
+        build(&mut a);
+        exit_sequence(&mut a);
+        let p = a.finish().unwrap();
+        let mut sys = System::new(MbConfig::paper_default());
+        sys.load_program(&p).unwrap();
+        let out = sys.run(1_000_000).unwrap();
+        assert!(out.exited(), "program must exit, stopped at pc {:#x}", sys.cpu().pc());
+        sys
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let sys = run_program(|a| {
+            a.li(Reg::R3, 20);
+            a.li(Reg::R4, 22);
+            a.push(Insn::addk(Reg::R5, Reg::R3, Reg::R4)); // 42
+            a.push(Insn::rsubk(Reg::R6, Reg::R3, Reg::R4)); // 22-20 = 2
+            a.push(Insn::Xor { rd: Reg::R7, ra: Reg::R3, rb: Reg::R4 });
+            a.push(Insn::Andn { rd: Reg::R8, ra: Reg::R4, rb: Reg::R3 });
+        });
+        assert_eq!(sys.cpu().reg(Reg::R5), 42);
+        assert_eq!(sys.cpu().reg(Reg::R6), 2);
+        assert_eq!(sys.cpu().reg(Reg::R7), 20 ^ 22);
+        assert_eq!(sys.cpu().reg(Reg::R8), 22 & !20);
+    }
+
+    #[test]
+    fn carry_chain_addc() {
+        let sys = run_program(|a| {
+            // 0xFFFF_FFFF + 1 sets carry; addc folds it into the high word.
+            a.li(Reg::R3, -1);
+            a.li(Reg::R4, 1);
+            a.push(Insn::add(Reg::R5, Reg::R3, Reg::R4)); // 0, carry=1
+            a.push(Insn::Add { rd: Reg::R6, ra: Reg::R0, rb: Reg::R0, keep_carry: false, use_carry: true });
+        });
+        assert_eq!(sys.cpu().reg(Reg::R5), 0);
+        assert_eq!(sys.cpu().reg(Reg::R6), 1, "carry must propagate via addc");
+    }
+
+    #[test]
+    fn cmp_sets_sign_for_signed_compare() {
+        let sys = run_program(|a| {
+            a.li(Reg::R3, -5);
+            a.li(Reg::R4, 3);
+            // cmp rd, ra, rb: sign(rd) = (rb < ra). rb=-5 < ra=3 -> neg.
+            a.push(Insn::cmp(Reg::R5, Reg::R4, Reg::R3));
+            // Unsigned: 0xFFFF_FFFB > 3 -> not less -> positive.
+            a.push(Insn::cmpu(Reg::R6, Reg::R4, Reg::R3));
+        });
+        assert!((sys.cpu().reg(Reg::R5) as i32) < 0);
+        assert!((sys.cpu().reg(Reg::R6) as i32) >= 0);
+    }
+
+    #[test]
+    fn loads_stores_and_subword() {
+        let sys = run_program(|a| {
+            a.li(Reg::R3, 0x11223344);
+            a.li(Reg::R4, 0x100);
+            a.push(Insn::swi(Reg::R3, Reg::R4, 0));
+            a.push(Insn::lbui(Reg::R5, Reg::R4, 1)); // big endian: 0x22
+            a.push(Insn::Loadi { size: MemSize::Half, rd: Reg::R6, ra: Reg::R4, imm: 2 });
+            a.push(Insn::sbi(Reg::R3, Reg::R4, 7)); // low byte 0x44
+            a.push(Insn::lwi(Reg::R7, Reg::R4, 4));
+        });
+        assert_eq!(sys.cpu().reg(Reg::R5), 0x22);
+        assert_eq!(sys.cpu().reg(Reg::R6), 0x3344);
+        assert_eq!(sys.cpu().reg(Reg::R7), 0x0000_0044);
+        assert_eq!(sys.dmem().read_word(0x100).unwrap(), 0x11223344);
+    }
+
+    #[test]
+    fn loop_counts_and_branch_stats() {
+        let sys = run_program(|a| {
+            a.li(Reg::R3, 5);
+            a.li(Reg::R4, 0);
+            a.label("loop");
+            a.push(Insn::addik(Reg::R4, Reg::R4, 2));
+            a.push(Insn::addik(Reg::R3, Reg::R3, -1));
+            a.bnei(Reg::R3, "loop");
+        });
+        assert_eq!(sys.cpu().reg(Reg::R4), 10);
+        // 4 taken backward branches + 1 not taken.
+        assert_eq!(sys.stats().backward_taken, 4);
+        assert_eq!(sys.stats().branches_not_taken, 1);
+    }
+
+    #[test]
+    fn delay_slot_executes_before_jump() {
+        let sys = run_program(|a| {
+            a.li(Reg::R3, 1);
+            a.brid("target"); // delayed branch
+            a.push(Insn::addik(Reg::R3, Reg::R3, 10)); // delay slot runs
+            a.push(Insn::addik(Reg::R3, Reg::R3, 100)); // skipped
+            a.label("target");
+        });
+        assert_eq!(sys.cpu().reg(Reg::R3), 11);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let sys = run_program(|a| {
+            a.li(Reg::R5, 7);
+            a.call("double");
+            a.push(Insn::addk(Reg::R20, Reg::R3, Reg::R0));
+            a.bri("done");
+            a.label("double");
+            a.push(Insn::addk(Reg::R3, Reg::R5, Reg::R5));
+            a.ret();
+            a.label("done");
+        });
+        assert_eq!(sys.cpu().reg(Reg::R20), 14);
+    }
+
+    #[test]
+    fn imm_prefix_builds_32bit_constants() {
+        let sys = run_program(|a| {
+            a.li(Reg::R3, 0x1234_5678);
+            a.li(Reg::R4, -123456);
+        });
+        assert_eq!(sys.cpu().reg(Reg::R3), 0x1234_5678);
+        assert_eq!(sys.cpu().reg(Reg::R4) as i32, -123456);
+    }
+
+    #[test]
+    fn mul_without_multiplier_faults() {
+        let mut a = Assembler::new(0);
+        a.push(Insn::mul(Reg::R3, Reg::R4, Reg::R5));
+        let p = a.finish().unwrap();
+        let cfg = MbConfig::paper_default().with_features(mb_isa::MbFeatures::minimal());
+        let mut sys = System::new(cfg);
+        sys.load_program(&p).unwrap();
+        assert_eq!(sys.run(100), Err(RunError::UnsupportedInsn { pc: 0 }));
+    }
+
+    #[test]
+    fn unmapped_opb_address_faults() {
+        let mut a = Assembler::new(0);
+        a.li(Reg::R4, (OPB_BASE + 0x1000) as i32);
+        a.push(Insn::lwi(Reg::R3, Reg::R4, 0));
+        let p = a.finish().unwrap();
+        let mut sys = System::new(MbConfig::paper_default());
+        sys.load_program(&p).unwrap();
+        let err = sys.run(100).unwrap_err();
+        assert!(matches!(err, RunError::UnmappedAddress { .. }));
+    }
+
+    #[test]
+    fn cycle_limit_stops_infinite_loop() {
+        let mut a = Assembler::new(0);
+        a.label("spin");
+        a.bri("spin");
+        let p = a.finish().unwrap();
+        let mut sys = System::new(MbConfig::paper_default());
+        sys.load_program(&p).unwrap();
+        let out = sys.run(1000).unwrap();
+        assert_eq!(out.stop, StopReason::CycleLimit);
+        assert!(out.cycles >= 1000);
+    }
+
+    #[test]
+    fn trace_records_branches_and_memory() {
+        let mut a = Assembler::new(0);
+        a.li(Reg::R3, 2);
+        a.label("loop");
+        a.push(Insn::addik(Reg::R3, Reg::R3, -1));
+        a.bnei(Reg::R3, "loop");
+        a.li(Reg::R31, EXIT_PORT_BASE as i32);
+        a.push(Insn::swi(Reg::R0, Reg::R31, 0));
+        let p = a.finish().unwrap();
+        let mut sys = System::new(MbConfig::paper_default());
+        sys.load_program(&p).unwrap();
+        let (out, trace) = sys.run_traced(10_000).unwrap();
+        assert!(out.exited());
+        assert_eq!(trace.len() as u64, out.instructions);
+        assert!(trace.iter().any(|e| e.is_backward_taken_branch()));
+        assert!(trace.iter().any(|e| e.ea.is_some()));
+        assert_eq!(trace.cycles(), out.cycles);
+    }
+
+    #[test]
+    fn timing_loop_matches_hand_count() {
+        // li(1) + loop of 3 iterations: addik(1) + bnei(taken 2, not 1)
+        // + exit li(1) + swi(2).
+        let mut a = Assembler::new(0);
+        a.li(Reg::R3, 3);
+        a.label("loop");
+        a.push(Insn::addik(Reg::R3, Reg::R3, -1));
+        a.bnei(Reg::R3, "loop");
+        a.li(Reg::R31, EXIT_PORT_BASE as i32);
+        a.push(Insn::swi(Reg::R0, Reg::R31, 0));
+        let p = a.finish().unwrap();
+        let mut sys = System::new(MbConfig::paper_default());
+        sys.load_program(&p).unwrap();
+        let out = sys.run(10_000).unwrap();
+        // 1 + (1+2) + (1+2) + (1+1) + 2 (li long? no: EXIT_PORT_BASE needs
+        // imm prefix: 2 words = imm(1)+addik(1)) + swi(2).
+        let expected = 1 + (1 + 2) + (1 + 2) + (1 + 1) + 1 + 1 + 2;
+        assert_eq!(out.cycles, expected);
+    }
+}

@@ -1,0 +1,241 @@
+//! Block RAM model.
+
+use std::error::Error;
+use std::fmt;
+
+use mb_isa::MemSize;
+
+/// Error for out-of-range or misaligned memory accesses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemError {
+    /// The byte address lies outside the BRAM.
+    OutOfRange {
+        /// Offending byte address.
+        addr: u32,
+        /// Size of the BRAM in bytes.
+        size: u32,
+    },
+    /// The access is not aligned to its width.
+    Misaligned {
+        /// Offending byte address.
+        addr: u32,
+        /// Required alignment in bytes.
+        align: u32,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfRange { addr, size } => {
+                write!(f, "address {addr:#010x} outside memory of {size} bytes")
+            }
+            MemError::Misaligned { addr, align } => {
+                write!(f, "address {addr:#010x} not {align}-byte aligned")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+/// A dual-ported block RAM, word-organized with big-endian byte order
+/// (matching the MicroBlaze).
+///
+/// Both the CPU's local memory bus and — for the data BRAM — the WCLA's
+/// data address generator access the same array; the dual-ported BRAM of
+/// the paper means these accesses do not contend.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Bram {
+    words: Vec<u32>,
+}
+
+impl Bram {
+    /// Creates a zero-filled BRAM of `size_bytes` (rounded up to a word).
+    #[must_use]
+    pub fn new(size_bytes: u32) -> Self {
+        Bram { words: vec![0; (size_bytes as usize).div_ceil(4)] }
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        (self.words.len() * 4) as u32
+    }
+
+    /// The raw word array.
+    #[must_use]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    fn word_index(&self, addr: u32, align: u32) -> Result<usize, MemError> {
+        if addr % align != 0 {
+            return Err(MemError::Misaligned { addr, align });
+        }
+        let idx = (addr / 4) as usize;
+        if idx >= self.words.len() {
+            return Err(MemError::OutOfRange { addr, size: self.size() });
+        }
+        Ok(idx)
+    }
+
+    /// Reads a 32-bit word at a 4-aligned byte address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on misalignment or out-of-range access.
+    pub fn read_word(&self, addr: u32) -> Result<u32, MemError> {
+        Ok(self.words[self.word_index(addr, 4)?])
+    }
+
+    /// Writes a 32-bit word at a 4-aligned byte address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on misalignment or out-of-range access.
+    pub fn write_word(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
+        let idx = self.word_index(addr, 4)?;
+        self.words[idx] = value;
+        Ok(())
+    }
+
+    /// Reads with the given access width; sub-word reads are
+    /// zero-extended.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on misalignment or out-of-range access.
+    pub fn read(&self, addr: u32, size: MemSize) -> Result<u32, MemError> {
+        match size {
+            MemSize::Word => self.read_word(addr),
+            MemSize::Half => {
+                let idx = self.word_index(addr, 2)?;
+                let word = self.words[idx];
+                let shift = (2 - (addr & 2)) * 8; // big-endian halves
+                Ok((word >> shift) & 0xFFFF)
+            }
+            MemSize::Byte => {
+                let idx = self.word_index(addr, 1)?;
+                let word = self.words[idx];
+                let shift = (3 - (addr & 3)) * 8; // big-endian bytes
+                Ok((word >> shift) & 0xFF)
+            }
+        }
+    }
+
+    /// Writes with the given access width (sub-word writes merge into the
+    /// containing word).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on misalignment or out-of-range access.
+    pub fn write(&mut self, addr: u32, value: u32, size: MemSize) -> Result<(), MemError> {
+        match size {
+            MemSize::Word => self.write_word(addr, value),
+            MemSize::Half => {
+                let idx = self.word_index(addr, 2)?;
+                let shift = (2 - (addr & 2)) * 8;
+                let mask = 0xFFFFu32 << shift;
+                self.words[idx] = (self.words[idx] & !mask) | ((value & 0xFFFF) << shift);
+                Ok(())
+            }
+            MemSize::Byte => {
+                let idx = self.word_index(addr, 1)?;
+                let shift = (3 - (addr & 3)) * 8;
+                let mask = 0xFFu32 << shift;
+                self.words[idx] = (self.words[idx] & !mask) | ((value & 0xFF) << shift);
+                Ok(())
+            }
+        }
+    }
+
+    /// Copies a slice of words into the BRAM starting at a byte address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the region does not fit.
+    pub fn load_words(&mut self, addr: u32, data: &[u32]) -> Result<(), MemError> {
+        for (i, &w) in data.iter().enumerate() {
+            self.write_word(addr + (i as u32) * 4, w)?;
+        }
+        Ok(())
+    }
+
+    /// Reads `count` consecutive words starting at a byte address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the region does not fit.
+    pub fn read_words(&self, addr: u32, count: usize) -> Result<Vec<u32>, MemError> {
+        (0..count).map(|i| self.read_word(addr + (i as u32) * 4)).collect()
+    }
+
+    /// Fills the entire BRAM with zeros.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_round_trip() {
+        let mut m = Bram::new(64);
+        m.write_word(8, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.read_word(8).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn big_endian_bytes() {
+        let mut m = Bram::new(16);
+        m.write_word(0, 0x1122_3344).unwrap();
+        assert_eq!(m.read(0, MemSize::Byte).unwrap(), 0x11);
+        assert_eq!(m.read(1, MemSize::Byte).unwrap(), 0x22);
+        assert_eq!(m.read(2, MemSize::Byte).unwrap(), 0x33);
+        assert_eq!(m.read(3, MemSize::Byte).unwrap(), 0x44);
+        assert_eq!(m.read(0, MemSize::Half).unwrap(), 0x1122);
+        assert_eq!(m.read(2, MemSize::Half).unwrap(), 0x3344);
+    }
+
+    #[test]
+    fn sub_word_writes_merge() {
+        let mut m = Bram::new(16);
+        m.write_word(4, 0xAABB_CCDD).unwrap();
+        m.write(5, 0xEE, MemSize::Byte).unwrap();
+        assert_eq!(m.read_word(4).unwrap(), 0xAAEE_CCDD);
+        m.write(6, 0x1234, MemSize::Half).unwrap();
+        assert_eq!(m.read_word(4).unwrap(), 0xAAEE_1234);
+    }
+
+    #[test]
+    fn alignment_enforced() {
+        let mut m = Bram::new(16);
+        assert_eq!(m.read_word(2), Err(MemError::Misaligned { addr: 2, align: 4 }));
+        assert_eq!(m.read(1, MemSize::Half), Err(MemError::Misaligned { addr: 1, align: 2 }));
+        assert!(m.write(3, 0, MemSize::Half).is_err());
+    }
+
+    #[test]
+    fn bounds_enforced() {
+        let m = Bram::new(16);
+        assert_eq!(m.read_word(16), Err(MemError::OutOfRange { addr: 16, size: 16 }));
+        assert!(m.read(100, MemSize::Byte).is_err());
+    }
+
+    #[test]
+    fn bulk_load_and_read() {
+        let mut m = Bram::new(64);
+        m.load_words(8, &[1, 2, 3]).unwrap();
+        assert_eq!(m.read_words(8, 3).unwrap(), vec![1, 2, 3]);
+        m.clear();
+        assert_eq!(m.read_word(8).unwrap(), 0);
+    }
+
+    #[test]
+    fn size_rounds_up() {
+        assert_eq!(Bram::new(10).size(), 12);
+    }
+}

@@ -1,0 +1,144 @@
+//! On-chip peripheral bus (OPB) and peripherals.
+
+use crate::Bram;
+
+/// Base address of the OPB peripheral window.
+///
+/// Data addresses below this go to the data BRAM over the local memory
+/// bus; addresses at or above it are routed to peripherals.
+pub const OPB_BASE: u32 = 0x8000_0000;
+
+/// Address of the exit port peripheral: a word store to this address
+/// halts the simulated system with the stored value as exit code.
+pub const EXIT_PORT_BASE: u32 = 0x8000_0000;
+
+/// Result of an OPB read: the value and the bus wait cycles consumed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BusResponse {
+    /// Value returned to the CPU.
+    pub value: u32,
+    /// Wait cycles beyond the base load/store latency. A peripheral that
+    /// stalls the processor (e.g. the WCLA while hardware executes)
+    /// returns the full stall here.
+    pub wait: u32,
+}
+
+impl BusResponse {
+    /// A zero-wait response.
+    #[must_use]
+    pub fn immediate(value: u32) -> Self {
+        BusResponse { value, wait: 0 }
+    }
+}
+
+/// A memory-mapped OPB peripheral.
+///
+/// Peripherals receive mutable access to the data BRAM on every call,
+/// modelling the dual-ported BRAM of the paper's warp system (the WCLA's
+/// data address generator reads and writes application data directly).
+pub trait Peripheral {
+    /// Short name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Handles a word read at a byte offset within the peripheral window.
+    fn read(&mut self, offset: u32, dmem: &mut Bram) -> BusResponse;
+
+    /// Handles a word write; returns wait cycles.
+    fn write(&mut self, offset: u32, value: u32, dmem: &mut Bram) -> u32;
+
+    /// If the peripheral has requested a system halt, its exit code.
+    fn exit_request(&self) -> Option<u32> {
+        None
+    }
+}
+
+/// The exit port: writing a word halts the system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ExitPort {
+    code: Option<u32>,
+}
+
+impl ExitPort {
+    /// Creates an exit port that has not yet been triggered.
+    #[must_use]
+    pub fn new() -> Self {
+        ExitPort::default()
+    }
+}
+
+impl Peripheral for ExitPort {
+    fn name(&self) -> &str {
+        "exit-port"
+    }
+
+    fn read(&mut self, _offset: u32, _dmem: &mut Bram) -> BusResponse {
+        BusResponse::immediate(self.code.unwrap_or(0))
+    }
+
+    fn write(&mut self, _offset: u32, value: u32, _dmem: &mut Bram) -> u32 {
+        self.code = Some(value);
+        0
+    }
+
+    fn exit_request(&self) -> Option<u32> {
+        self.code
+    }
+}
+
+/// A registered peripheral and its address window.
+pub(crate) struct Mapping {
+    pub base: u32,
+    pub size: u32,
+    pub dev: Box<dyn Peripheral>,
+}
+
+/// The OPB bus: routes CPU accesses at or above [`OPB_BASE`] to
+/// registered peripherals.
+#[derive(Default)]
+pub(crate) struct OpbBus {
+    pub mappings: Vec<Mapping>,
+}
+
+impl OpbBus {
+    pub fn map(&mut self, base: u32, size: u32, dev: Box<dyn Peripheral>) {
+        self.mappings.push(Mapping { base, size, dev });
+    }
+
+    pub fn find(&mut self, addr: u32) -> Option<(&mut Mapping, u32)> {
+        for m in &mut self.mappings {
+            if addr >= m.base && addr < m.base + m.size {
+                let off = addr - m.base;
+                return Some((m, off));
+            }
+        }
+        None
+    }
+
+    pub fn exit_request(&self) -> Option<u32> {
+        self.mappings.iter().find_map(|m| m.dev.exit_request())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_port_latches_code() {
+        let mut p = ExitPort::new();
+        let mut dmem = Bram::new(16);
+        assert_eq!(p.exit_request(), None);
+        p.write(0, 42, &mut dmem);
+        assert_eq!(p.exit_request(), Some(42));
+        assert_eq!(p.read(0, &mut dmem).value, 42);
+    }
+
+    #[test]
+    fn bus_routes_by_address() {
+        let mut bus = OpbBus::default();
+        bus.map(OPB_BASE, 16, Box::new(ExitPort::new()));
+        assert!(bus.find(OPB_BASE + 4).is_some());
+        assert!(bus.find(OPB_BASE + 16).is_none());
+        assert!(bus.find(0).is_none());
+    }
+}

@@ -1,0 +1,148 @@
+//! Execution statistics.
+
+use std::fmt;
+
+use mb_isa::OpClass;
+
+/// Per-class instruction and cycle counters for one execution.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ExecStats {
+    instret: [u64; OpClass::ALL.len()],
+    cycles: [u64; OpClass::ALL.len()],
+    /// Number of taken branches.
+    pub branches_taken: u64,
+    /// Number of not-taken branches.
+    pub branches_not_taken: u64,
+    /// Number of backward (negative-displacement) taken branches — the
+    /// events the warp profiler watches.
+    pub backward_taken: u64,
+}
+
+impl ExecStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one retired instruction of `class` costing `cycles`.
+    pub fn record(&mut self, class: OpClass, cycles: u32) {
+        self.instret[class.index()] += 1;
+        self.cycles[class.index()] += u64::from(cycles);
+    }
+
+    /// Total retired instructions.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.instret.iter().sum()
+    }
+
+    /// Total cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Retired instructions of one class.
+    #[must_use]
+    pub fn instructions_of(&self, class: OpClass) -> u64 {
+        self.instret[class.index()]
+    }
+
+    /// Cycles spent in one class.
+    #[must_use]
+    pub fn cycles_of(&self, class: OpClass) -> u64 {
+        self.cycles[class.index()]
+    }
+
+    /// Cycles per instruction; 0 when nothing retired.
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        let n = self.instructions();
+        if n == 0 {
+            0.0
+        } else {
+            self.cycles() as f64 / n as f64
+        }
+    }
+
+    /// Merges another set of statistics into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        for i in 0..self.instret.len() {
+            self.instret[i] += other.instret[i];
+            self.cycles[i] += other.cycles[i];
+        }
+        self.branches_taken += other.branches_taken;
+        self.branches_not_taken += other.branches_not_taken;
+        self.backward_taken += other.backward_taken;
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} instructions, {} cycles (CPI {:.2})",
+            self.instructions(),
+            self.cycles(),
+            self.cpi()
+        )?;
+        for class in OpClass::ALL {
+            let n = self.instructions_of(class);
+            if n > 0 {
+                writeln!(f, "  {class:>13}: {n:>10} insns, {:>10} cycles", self.cycles_of(class))?;
+            }
+        }
+        write!(
+            f,
+            "  branches: {} taken ({} backward), {} not taken",
+            self.branches_taken, self.backward_taken, self.branches_not_taken
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = ExecStats::new();
+        s.record(OpClass::Alu, 1);
+        s.record(OpClass::Alu, 1);
+        s.record(OpClass::Mul, 3);
+        assert_eq!(s.instructions(), 3);
+        assert_eq!(s.cycles(), 5);
+        assert_eq!(s.instructions_of(OpClass::Alu), 2);
+        assert_eq!(s.cycles_of(OpClass::Mul), 3);
+        assert!((s.cpi() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cpi_is_zero() {
+        assert_eq!(ExecStats::new().cpi(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = ExecStats::new();
+        a.record(OpClass::Load, 2);
+        a.branches_taken = 3;
+        let mut b = ExecStats::new();
+        b.record(OpClass::Load, 2);
+        b.backward_taken = 1;
+        a.merge(&b);
+        assert_eq!(a.instructions_of(OpClass::Load), 2);
+        assert_eq!(a.branches_taken, 3);
+        assert_eq!(a.backward_taken, 1);
+    }
+
+    #[test]
+    fn display_mentions_classes() {
+        let mut s = ExecStats::new();
+        s.record(OpClass::Mul, 3);
+        let text = s.to_string();
+        assert!(text.contains("mul"));
+        assert!(text.contains("CPI"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Pipeline timing model.
+//!
+//! Latencies follow Section 2 of the paper: the MicroBlaze has a
+//! three-stage pipeline where instructions have one- to three-cycle
+//! execute latencies. Addition takes one cycle, multiplication three;
+//! loads and stores take two (local memory bus); branch latency depends
+//! on the branch kind, whether it is taken, and whether its delay slot is
+//! used — "most branch instructions had a latency of two cycles, as the
+//! compiler often did not utilize the branch delay slot".
+
+use mb_isa::{Insn, OpClass};
+
+/// Cycles for a non-branch instruction.
+#[must_use]
+pub fn insn_latency(insn: &Insn) -> u32 {
+    match insn.class() {
+        OpClass::Alu => 1,
+        OpClass::BarrelShift => 2,
+        OpClass::Mul => 3,
+        OpClass::Div => 34,
+        OpClass::Load | OpClass::Store => 2,
+        OpClass::ImmPrefix => 1,
+        // Use `branch_latency` for branches; treat a bare query as
+        // not-taken.
+        OpClass::Branch => 1,
+    }
+}
+
+/// Cycles for a branch given its runtime outcome.
+///
+/// * not taken: 1 cycle;
+/// * taken immediate-target branch: 2 cycles, or 1 with a delay slot
+///   (the slot instruction is charged separately as itself);
+/// * taken register-target branch (`br`, `rtsd`): 3 cycles, or 2 with a
+///   delay slot.
+#[must_use]
+pub fn branch_latency(insn: &Insn, taken: bool) -> u32 {
+    if !taken {
+        return 1;
+    }
+    match insn {
+        Insn::Bri { delay, .. } | Insn::Bci { delay, .. } | Insn::Bc { delay, .. } => {
+            if *delay {
+                1
+            } else {
+                2
+            }
+        }
+        Insn::Br { delay, .. } => {
+            if *delay {
+                2
+            } else {
+                3
+            }
+        }
+        Insn::Rtsd { .. } => 2, // mandatory delay slot
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_isa::{Cond, Reg};
+
+    #[test]
+    fn alu_is_single_cycle() {
+        assert_eq!(insn_latency(&Insn::addk(Reg::R1, Reg::R2, Reg::R3)), 1);
+    }
+
+    #[test]
+    fn mul_is_three_cycles() {
+        assert_eq!(insn_latency(&Insn::mul(Reg::R1, Reg::R2, Reg::R3)), 3);
+    }
+
+    #[test]
+    fn loads_and_stores_cost_two() {
+        assert_eq!(insn_latency(&Insn::lwi(Reg::R1, Reg::R2, 0)), 2);
+        assert_eq!(insn_latency(&Insn::swi(Reg::R1, Reg::R2, 0)), 2);
+    }
+
+    #[test]
+    fn divider_is_many_cycles() {
+        let idiv = Insn::Idiv { rd: Reg::R1, ra: Reg::R2, rb: Reg::R3, unsigned: false };
+        assert_eq!(insn_latency(&idiv), 34);
+    }
+
+    #[test]
+    fn branch_latencies_match_paper() {
+        let bnei = Insn::Bci { cond: Cond::Ne, ra: Reg::R3, imm: -8, delay: false };
+        assert_eq!(branch_latency(&bnei, false), 1);
+        assert_eq!(branch_latency(&bnei, true), 2); // the common case
+        let bneid = Insn::Bci { cond: Cond::Ne, ra: Reg::R3, imm: -8, delay: true };
+        assert_eq!(branch_latency(&bneid, true), 1);
+        let br = Insn::Br { rd: Reg::R0, rb: Reg::R5, link: false, absolute: false, delay: false };
+        assert_eq!(branch_latency(&br, true), 3);
+        assert_eq!(branch_latency(&Insn::ret(), true), 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! Criterion benches for the on-chip CAD pipeline stages — the
+//! just-in-time compilation path the warp processor runs on its DPM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mb_isa::MbFeatures;
+use std::hint::black_box;
+use warp_fabric::FabricConfig;
+use warp_synth::map::map_netlist;
+
+fn kernel_for(name: &str) -> warp_cdfg::LoopKernel {
+    let built = workloads::by_name(name).unwrap().build(MbFeatures::paper_default());
+    warp_cdfg::decompile_loop(&built.program, built.kernel.head, built.kernel.tail).unwrap()
+}
+
+fn bench_decompile(c: &mut Criterion) {
+    let built = workloads::by_name("canrdr").unwrap().build(MbFeatures::paper_default());
+    c.bench_function("cad/decompile/canrdr", |b| {
+        b.iter(|| {
+            warp_cdfg::decompile_loop(
+                black_box(&built.program),
+                built.kernel.head,
+                built.kernel.tail,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    for name in ["canrdr", "bitmnp"] {
+        let kernel = kernel_for(name);
+        c.bench_function(&format!("cad/synthesize/{name}"), |b| {
+            b.iter(|| warp_synth::synthesize(black_box(&kernel)))
+        });
+    }
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let kernel = kernel_for("bitmnp");
+    let report = warp_synth::synthesize(&kernel);
+    c.bench_function("cad/map/bitmnp", |b| b.iter(|| map_netlist(black_box(&report.netlist))));
+}
+
+fn bench_place_route(c: &mut Criterion) {
+    let kernel = kernel_for("canrdr");
+    let report = warp_synth::synthesize(&kernel);
+    let netlist = map_netlist(&report.netlist);
+    let config = FabricConfig::sized_for(netlist.lut_count(), netlist.ffs().len());
+    c.bench_function("cad/place_route/canrdr", |b| {
+        b.iter(|| warp_fabric::compile(black_box(&netlist), &config).unwrap())
+    });
+}
+
+fn bench_rocm(c: &mut Criterion) {
+    use warp_synth::rocm::Cover;
+    // A 6-variable cover with structure to minimize.
+    let minterms: Vec<u16> = (0..64).filter(|m| m % 3 != 0).collect();
+    let cover = Cover::from_minterms(6, &minterms);
+    c.bench_function("cad/rocm/6var", |b| b.iter(|| black_box(&cover).minimize()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_decompile, bench_synthesis, bench_mapping, bench_place_route, bench_rocm
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benches for the end-to-end experiment flow: one complete
+//! warp (Figure 6/7 data point) and the Section 2 configuration study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mb_isa::MbFeatures;
+use std::hint::black_box;
+use warp_core::{warp_run, WarpOptions};
+
+fn bench_warp_run(c: &mut Criterion) {
+    let options = WarpOptions::default();
+    for name in ["brev", "canrdr"] {
+        let built = workloads::by_name(name).unwrap().build(MbFeatures::paper_default());
+        c.bench_function(&format!("figure6/warp_run/{name}"), |b| {
+            b.iter(|| warp_run(black_box(&built), &options).unwrap())
+        });
+    }
+}
+
+fn bench_config_study(c: &mut Criterion) {
+    c.bench_function("section2/config_study", |b| {
+        b.iter(warp_core::experiments::config_study)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_warp_run, bench_config_study
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches for the simulation substrates: the MicroBlaze
+//! system simulator, the ARM baseline models, and the WCLA executor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mb_isa::MbFeatures;
+use mb_sim::MbConfig;
+use std::hint::black_box;
+
+fn bench_mb_sim(c: &mut Criterion) {
+    let built = workloads::by_name("canrdr").unwrap().build(MbFeatures::paper_default());
+    c.bench_function("sim/microblaze/canrdr", |b| {
+        b.iter(|| {
+            let mut sys = built.instantiate(&MbConfig::paper_default());
+            black_box(sys.run(100_000_000).unwrap())
+        })
+    });
+}
+
+fn bench_arm_models(c: &mut Criterion) {
+    let built = workloads::by_name("canrdr").unwrap().build(MbFeatures::paper_default());
+    let mut sys = built.instantiate(&MbConfig::paper_default());
+    let (_, trace) = sys.run_traced(100_000_000).unwrap();
+    for core in arm_sim::paper_cores() {
+        c.bench_function(&format!("sim/{}/canrdr", core.name.to_lowercase()), |b| {
+            b.iter(|| arm_sim::simulate(black_box(&core), black_box(&trace)))
+        });
+    }
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let built = workloads::by_name("canrdr").unwrap().build(MbFeatures::paper_default());
+    let mut sys = built.instantiate(&MbConfig::paper_default());
+    let (_, trace) = sys.run_traced(100_000_000).unwrap();
+    c.bench_function("sim/profiler/canrdr", |b| {
+        b.iter(|| {
+            let mut p = warp_profiler::Profiler::new(warp_profiler::ProfilerConfig::default());
+            p.observe_trace(black_box(&trace));
+            p.best()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mb_sim, bench_arm_models, bench_profiler
+}
+criterion_main!(benches);

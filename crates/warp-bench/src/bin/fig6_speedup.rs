@@ -1,0 +1,14 @@
+//! Regenerates Figure 6: speedups of the MicroBlaze-based warp processor
+//! and the ARM7/9/10/11 hard cores compared to the MicroBlaze alone.
+
+use warp_bench::{render_fig6, render_summary};
+use warp_core::experiments::{figure6, run_paper_suite};
+use warp_core::WarpOptions;
+
+fn main() {
+    let comparisons = run_paper_suite(&WarpOptions::default()).expect("paper suite runs");
+    println!("Figure 6: speedups vs. MicroBlaze alone (clock MHz in parentheses)\n");
+    print!("{}", render_fig6(&figure6(&comparisons)));
+    println!();
+    print!("{}", render_summary(&comparisons));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 7: normalized energy consumption of the warp
+//! processor and the ARM hard cores compared to the MicroBlaze alone.
+
+use warp_bench::{render_fig7, render_summary};
+use warp_core::experiments::{figure7, run_paper_suite};
+use warp_core::WarpOptions;
+
+fn main() {
+    let comparisons = run_paper_suite(&WarpOptions::default()).expect("paper suite runs");
+    println!("Figure 7: normalized energy vs. MicroBlaze alone (clock MHz in parentheses)\n");
+    print!("{}", render_fig7(&figure7(&comparisons)));
+    println!();
+    print!("{}", render_summary(&comparisons));
+}

@@ -1,0 +1,28 @@
+//! Figure 4 extension study: a multi-processor warp system with a
+//! single shared DPM serving the processors round-robin.
+
+use warp_core::multi::multi_warp;
+use warp_core::WarpOptions;
+
+fn main() {
+    let apps: Vec<workloads::Workload> = workloads::paper_suite();
+    let report =
+        multi_warp(&apps, &WarpOptions::default(), 85_000_000).expect("multi-processor warp");
+    println!("Multi-processor warp system: {} MicroBlazes, one shared DPM\n", report.apps.len());
+    println!(
+        "{:>9} | {:>9} | {:>10} | {:>13}",
+        "processor", "speedup", "energy red.", "HW ready at"
+    );
+    println!("{}", "-".repeat(52));
+    for app in &report.apps {
+        println!(
+            "{:>9} | {:>8.2}x | {:>9.0}% | {:>11.3} s",
+            app.name,
+            app.report.speedup(),
+            app.report.energy_reduction() * 100.0,
+            app.dpm_ready_at_s
+        );
+    }
+    println!("\naggregate steady-state speedup: {:.2}x", report.aggregate_speedup());
+    println!("total one-time DPM work:        {:.3} s", report.total_dpm_seconds());
+}

@@ -1,0 +1,38 @@
+//! On-chip CAD cost table: per-benchmark circuit sizes, tool work, DPM
+//! execution-time model, and memory footprint — the leanness claims of
+//! the ROCPART tool papers (refs [15][16][17]).
+
+use mb_isa::MbFeatures;
+use warp_core::dpm;
+use warp_wcla::WclaCircuit;
+
+fn main() {
+    println!("On-chip CAD (DPM) cost per benchmark — MicroBlaze DPM at 85 MHz\n");
+    println!(
+        "{:>9} | {:>5} {:>5} {:>4} {:>5} | {:>7} {:>6} | {:>9} {:>9} | {:>8}",
+        "benchmark", "gates", "LUTs", "FFs", "MACs", "crit ns", "tracks", "DPM cyc", "DPM sec", "mem KiB"
+    );
+    println!("{}", "-".repeat(100));
+    for w in workloads::all() {
+        let built = w.build(MbFeatures::paper_default());
+        let kernel =
+            warp_cdfg::decompile_loop(&built.program, built.kernel.head, built.kernel.tail)
+                .expect("kernel decompiles");
+        let (circuit, synth) = WclaCircuit::build(kernel).expect("kernel compiles");
+        let report = dpm::estimate(&circuit.kernel, &synth, &circuit.netlist, &circuit.compiled);
+        let st = circuit.netlist.stats();
+        println!(
+            "{:>9} | {:>5} {:>5} {:>4} {:>5} | {:>7.1} {:>6} | {:>9} {:>9.3} | {:>8.1}",
+            built.name,
+            synth.stats.gates,
+            st.luts,
+            st.ffs,
+            st.macs,
+            circuit.compiled.timing.critical_path_ns,
+            circuit.compiled.route_stats.tracks,
+            report.total_cycles(),
+            report.seconds(85_000_000),
+            report.peak_memory_bytes as f64 / 1024.0,
+        );
+    }
+}

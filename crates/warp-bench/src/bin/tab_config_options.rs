@@ -1,0 +1,19 @@
+//! Regenerates the Section 2 configurability study: execution-time
+//! impact of excluding the barrel shifter and multiplier.
+//! Paper: brev 2.1x slower without barrel shifter + multiplier; matmul
+//! 1.3x slower without the multiplier.
+
+use warp_core::experiments::config_study;
+
+fn main() {
+    println!("Section 2 study: configurable-option impact on execution time\n");
+    println!("{:>9} | {:<34} | {:>12} | {:>8}", "benchmark", "configuration", "cycles", "slowdown");
+    println!("{}", "-".repeat(74));
+    for row in config_study() {
+        println!(
+            "{:>9} | {:<34} | {:>12} | {:>7.2}x",
+            row.benchmark, row.config, row.cycles, row.slowdown
+        );
+    }
+    println!("\npaper: brev 2.1x without barrel shifter+multiplier; matmul 1.3x without multiplier");
+}

@@ -1,0 +1,321 @@
+//! Binary-level control-flow analysis: basic blocks, dominators, and
+//! natural loops.
+//!
+//! Binary-level partitioning (Stitt & Vahid, ICCAD'02) recovers program
+//! structure directly from the instruction stream. This module provides
+//! that recovery for whole programs; the warp flow itself uses it to
+//! validate that a profiled hot region really is a natural loop before
+//! attempting decompilation.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mb_isa::{Insn, Program};
+
+/// A basic block: a maximal straight-line instruction sequence.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: u32,
+    /// Address one past the last instruction.
+    pub end: u32,
+    /// Successor block start addresses.
+    pub successors: Vec<u32>,
+}
+
+impl BasicBlock {
+    /// Whether the block contains the address.
+    #[must_use]
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.start && addr < self.end
+    }
+}
+
+/// A natural loop discovered from a back edge.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NaturalLoop {
+    /// The loop header block's start address.
+    pub header: u32,
+    /// The back edge's source block start address.
+    pub latch: u32,
+    /// Start addresses of all blocks in the loop body (including the
+    /// header).
+    pub blocks: BTreeSet<u32>,
+}
+
+/// A whole-program control-flow graph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ControlFlowGraph {
+    blocks: BTreeMap<u32, BasicBlock>,
+    entry: u32,
+}
+
+/// Branch targets of an instruction at `pc` (static targets only;
+/// register-indirect branches contribute none).
+fn static_targets(pc: u32, insn: &Insn) -> (Vec<u32>, bool) {
+    // Returns (targets, falls_through).
+    match *insn {
+        Insn::Bri { imm, absolute, .. } => {
+            let t = if absolute { imm as i32 as u32 } else { pc.wrapping_add(imm as i32 as u32) };
+            (vec![t], false)
+        }
+        Insn::Bci { imm, .. } => (vec![pc.wrapping_add(imm as i32 as u32)], true),
+        Insn::Br { .. } | Insn::Rtsd { .. } => (vec![], false), // indirect
+        Insn::Bc { .. } => (vec![], true), // indirect target, may fall through
+        _ => (vec![], true),
+    }
+}
+
+impl ControlFlowGraph {
+    /// Builds the CFG of a program.
+    ///
+    /// Delay slots are treated as part of their branch's block (the
+    /// branch takes effect after the following instruction).
+    #[must_use]
+    pub fn from_program(program: &Program) -> Self {
+        let insns: BTreeMap<u32, Insn> = program.iter_insns().collect();
+
+        // Leaders: entry, branch targets, instructions after branches
+        // (accounting for delay slots).
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        leaders.insert(program.base);
+        for (&pc, insn) in &insns {
+            if !insn.is_control_flow() {
+                continue;
+            }
+            let (targets, falls) = static_targets(pc, insn);
+            for t in targets {
+                leaders.insert(t);
+            }
+            let after = if insn.has_delay_slot() { pc + 8 } else { pc + 4 };
+            if falls || insn.has_delay_slot() {
+                // The instruction after the branch (and slot) starts a block.
+            }
+            if after < program.end() {
+                leaders.insert(after);
+            }
+        }
+
+        // Carve blocks.
+        let leader_list: Vec<u32> = leaders.iter().copied().collect();
+        let mut blocks = BTreeMap::new();
+        for (i, &start) in leader_list.iter().enumerate() {
+            let next_leader = leader_list.get(i + 1).copied().unwrap_or(program.end());
+            // Find the terminating branch within [start, next_leader).
+            let mut end = next_leader;
+            let mut successors = Vec::new();
+            let mut pc = start;
+            let mut terminated = false;
+            while pc < next_leader {
+                let Some(insn) = insns.get(&pc) else {
+                    pc += 4;
+                    continue;
+                };
+                if insn.is_control_flow() {
+                    let slot = if insn.has_delay_slot() { 4 } else { 0 };
+                    end = pc + 4 + slot;
+                    let (targets, falls) = static_targets(pc, insn);
+                    successors.extend(targets);
+                    if falls && end < program.end() {
+                        successors.push(end);
+                    }
+                    terminated = true;
+                    break;
+                }
+                pc += 4;
+            }
+            if !terminated {
+                end = next_leader;
+                if end < program.end() {
+                    successors.push(end);
+                }
+            }
+            blocks.insert(start, BasicBlock { start, end, successors });
+        }
+
+        ControlFlowGraph { blocks, entry: program.base }
+    }
+
+    /// The entry block address.
+    #[must_use]
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// All blocks keyed by start address.
+    #[must_use]
+    pub fn blocks(&self) -> &BTreeMap<u32, BasicBlock> {
+        &self.blocks
+    }
+
+    /// The block containing an address.
+    #[must_use]
+    pub fn block_of(&self, addr: u32) -> Option<&BasicBlock> {
+        self.blocks.range(..=addr).next_back().map(|(_, b)| b).filter(|b| b.contains(addr))
+    }
+
+    /// Immediate-dominator-free dominator sets (iterative data-flow).
+    ///
+    /// Returns, for each reachable block start, the set of block starts
+    /// dominating it (including itself).
+    #[must_use]
+    pub fn dominators(&self) -> BTreeMap<u32, BTreeSet<u32>> {
+        let all: BTreeSet<u32> = self.blocks.keys().copied().collect();
+        let mut dom: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+        // Predecessor map.
+        let mut preds: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (&s, b) in &self.blocks {
+            for &t in &b.successors {
+                preds.entry(t).or_default().push(s);
+            }
+        }
+        for &s in &all {
+            if s == self.entry {
+                dom.insert(s, BTreeSet::from([s]));
+            } else {
+                dom.insert(s, all.clone());
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &s in &all {
+                if s == self.entry {
+                    continue;
+                }
+                let Some(ps) = preds.get(&s) else { continue };
+                let mut new: Option<BTreeSet<u32>> = None;
+                for p in ps {
+                    if let Some(pd) = dom.get(p) {
+                        new = Some(match new {
+                            None => pd.clone(),
+                            Some(acc) => acc.intersection(pd).copied().collect(),
+                        });
+                    }
+                }
+                let mut new = new.unwrap_or_default();
+                new.insert(s);
+                if dom[&s] != new {
+                    dom.insert(s, new);
+                    changed = true;
+                }
+            }
+        }
+        dom
+    }
+
+    /// Finds natural loops: back edges `latch → header` where the header
+    /// dominates the latch, with their bodies.
+    #[must_use]
+    pub fn natural_loops(&self) -> Vec<NaturalLoop> {
+        let dom = self.dominators();
+        let mut preds: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (&s, b) in &self.blocks {
+            for &t in &b.successors {
+                preds.entry(t).or_default().push(s);
+            }
+        }
+        let mut loops = Vec::new();
+        for (&latch, b) in &self.blocks {
+            for &header in &b.successors {
+                let dominated = dom.get(&latch).is_some_and(|d| d.contains(&header));
+                if !dominated {
+                    continue;
+                }
+                // Collect the loop body: header plus everything that can
+                // reach the latch without passing through the header.
+                let mut body = BTreeSet::from([header, latch]);
+                let mut stack = vec![latch];
+                while let Some(n) = stack.pop() {
+                    if n == header {
+                        continue;
+                    }
+                    for &p in preds.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+                        if body.insert(p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+                loops.push(NaturalLoop { header, latch, blocks: body });
+            }
+        }
+        loops.sort_by_key(|l| (l.header, l.latch));
+        loops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_isa::{Assembler, Reg};
+
+    fn loop_program() -> Program {
+        let mut a = Assembler::new(0);
+        a.li(Reg::R3, 10); // block A
+        a.label("loop"); // block B
+        a.push(Insn::addik(Reg::R3, Reg::R3, -1));
+        a.bnei(Reg::R3, "loop");
+        a.nop(); // block C
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn blocks_split_at_loop_boundaries() {
+        let p = loop_program();
+        let cfg = ControlFlowGraph::from_program(&p);
+        let starts: Vec<u32> = cfg.blocks().keys().copied().collect();
+        assert_eq!(starts, vec![0x0, 0x4, 0xC]);
+        let loop_block = &cfg.blocks()[&0x4];
+        assert!(loop_block.successors.contains(&0x4), "back edge");
+        assert!(loop_block.successors.contains(&0xC), "exit edge");
+    }
+
+    #[test]
+    fn dominators_flow_through_entry() {
+        let p = loop_program();
+        let cfg = ControlFlowGraph::from_program(&p);
+        let dom = cfg.dominators();
+        assert!(dom[&0xC].contains(&0x0));
+        assert!(dom[&0xC].contains(&0x4));
+        assert!(dom[&0x4].contains(&0x0));
+        assert!(!dom[&0x0].contains(&0x4));
+    }
+
+    #[test]
+    fn natural_loop_found() {
+        let p = loop_program();
+        let cfg = ControlFlowGraph::from_program(&p);
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, 0x4);
+        assert_eq!(loops[0].latch, 0x4);
+    }
+
+    #[test]
+    fn nested_loops_both_found() {
+        let mut a = Assembler::new(0);
+        a.li(Reg::R3, 5);
+        a.label("outer");
+        a.li(Reg::R4, 5);
+        a.label("inner");
+        a.push(Insn::addik(Reg::R4, Reg::R4, -1));
+        a.bnei(Reg::R4, "inner");
+        a.push(Insn::addik(Reg::R3, Reg::R3, -1));
+        a.bnei(Reg::R3, "outer");
+        a.nop();
+        let p = a.finish().unwrap();
+        let cfg = ControlFlowGraph::from_program(&p);
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 2);
+        let inner = loops.iter().find(|l| l.header == p.symbol("inner").unwrap()).unwrap();
+        let outer = loops.iter().find(|l| l.header == p.symbol("outer").unwrap()).unwrap();
+        assert!(outer.blocks.is_superset(&inner.blocks), "inner loop nests in outer");
+    }
+
+    #[test]
+    fn block_of_locates_addresses() {
+        let p = loop_program();
+        let cfg = ControlFlowGraph::from_program(&p);
+        assert_eq!(cfg.block_of(0x8).unwrap().start, 0x4);
+        assert!(cfg.block_of(0x100).is_none());
+    }
+}

@@ -1,0 +1,907 @@
+//! The loop decompiler: binary region → [`LoopKernel`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use mb_isa::{decode, Cond, Insn, MemSize, Program, Reg};
+
+use crate::dfg::{Dfg, NodeId, Op};
+use crate::DecompileError;
+
+/// Number of address streams the WCLA's data address generator provides
+/// (one per WCLA register Reg0–Reg2).
+pub const DADG_STREAMS: usize = 3;
+
+/// One per-iteration memory stream: a pointer register advanced by a
+/// constant stride each iteration, with a set of constant byte offsets
+/// accessed relative to it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MemStream {
+    /// The pointer register seeding the stream's base address.
+    pub base: Reg,
+    /// Bytes the pointer advances per iteration.
+    pub stride: i32,
+    /// Offsets loaded each iteration (in body order, deduplicated).
+    pub load_offsets: Vec<i32>,
+    /// Offsets stored each iteration (in body order).
+    pub store_offsets: Vec<i32>,
+}
+
+/// One store performed each iteration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StoreOp {
+    /// Index into [`LoopKernel::streams`].
+    pub stream: usize,
+    /// Byte offset from the stream cursor.
+    pub offset: i32,
+    /// The DFG node whose value is stored.
+    pub value: NodeId,
+}
+
+/// A loop-carried accumulator: reads its previous value (via
+/// [`Op::Acc`]) and is updated to `next` each iteration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccUpdate {
+    /// The accumulator register.
+    pub reg: Reg,
+    /// The DFG node producing the next value.
+    pub next: NodeId,
+}
+
+/// A decompiled critical loop, ready for synthesis onto the WCLA.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LoopKernel {
+    /// Loop head address (branch target).
+    pub head: u32,
+    /// Loop tail address (the backward branch).
+    pub tail: u32,
+    /// The trip-count register (counts down to zero; the loop executes
+    /// `initial value` iterations, do-while style).
+    pub counter: Reg,
+    /// Memory streams for the data address generator.
+    pub streams: Vec<MemStream>,
+    /// The body's data-flow graph.
+    pub dfg: Dfg,
+    /// Stores performed each iteration, in body order.
+    pub stores: Vec<StoreOp>,
+    /// Loop-carried accumulators.
+    pub accs: Vec<AccUpdate>,
+    /// Loop-invariant scalar inputs.
+    pub invariants: Vec<Reg>,
+    /// Registers the body overwrites whose values are dead after the
+    /// loop (safe scratch space for the hardware-invocation stub).
+    pub dead_temps: Vec<Reg>,
+    /// Number of instructions in the loop body (including the branch).
+    pub body_insns: usize,
+}
+
+/// Runtime environment for [`LoopKernel::interpret`]: the register values
+/// the hardware is seeded with at invocation.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct KernelEnv {
+    /// Initial trip-counter value (iterations to run).
+    pub counter: u32,
+    /// Initial pointer value per stream base register.
+    pub pointers: BTreeMap<Reg, u32>,
+    /// Initial accumulator values.
+    pub accs: BTreeMap<Reg, u32>,
+    /// Loop-invariant scalar values.
+    pub invariants: BTreeMap<Reg, u32>,
+}
+
+impl LoopKernel {
+    /// Reference interpreter: executes the kernel exactly as the WCLA
+    /// would, against a caller-provided memory. Mutates the environment
+    /// (pointers advance, accumulators update) and returns the number of
+    /// iterations executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `env` lacks a pointer for a stream base or a value for
+    /// an accumulator/invariant the kernel uses.
+    pub fn interpret(
+        &self,
+        env: &mut KernelEnv,
+        mut load: impl FnMut(u32) -> u32,
+        mut store: impl FnMut(u32, u32),
+    ) -> u64 {
+        let iterations = u64::from(env.counter);
+        for _ in 0..iterations {
+            let pointers = env.pointers.clone();
+            let accs = env.accs.clone();
+            let invariants = env.invariants.clone();
+            let vals = self.dfg.eval(
+                |stream, offset| {
+                    let base = pointers[&self.streams[stream].base];
+                    load(base.wrapping_add(offset as u32))
+                },
+                |reg| invariants[&reg],
+                |reg| accs[&reg],
+            );
+            for s in &self.stores {
+                let base = pointers[&self.streams[s.stream].base];
+                store(base.wrapping_add(s.offset as u32), vals[s.value.0 as usize]);
+            }
+            for a in &self.accs {
+                env.accs.insert(a.reg, vals[a.next.0 as usize]);
+            }
+            for st in &self.streams {
+                let p = env.pointers.get_mut(&st.base).expect("pointer seeded");
+                *p = p.wrapping_add(st.stride as u32);
+            }
+        }
+        env.counter = 0;
+        iterations
+    }
+
+    /// Registers the hardware must be seeded with at invocation (counter,
+    /// stream bases, accumulators, invariants) in a stable order.
+    #[must_use]
+    pub fn live_ins(&self) -> Vec<Reg> {
+        let mut v = vec![self.counter];
+        v.extend(self.streams.iter().map(|s| s.base));
+        v.extend(self.accs.iter().map(|a| a.reg));
+        v.extend(self.invariants.iter().copied());
+        v
+    }
+
+    /// Total memory operations per iteration (DADG cycles).
+    #[must_use]
+    pub fn mem_ops_per_iter(&self) -> usize {
+        self.streams.iter().map(|s| s.load_offsets.len() + s.store_offsets.len()).sum()
+    }
+
+    /// Number of multiply nodes per iteration (MAC serialization cost).
+    #[must_use]
+    pub fn mul_ops_per_iter(&self) -> usize {
+        self.dfg.count_where(|o| matches!(o, Op::Mul))
+    }
+}
+
+/// Tracking value for the classification pass.
+#[derive(Clone, Copy, Debug)]
+struct AVal {
+    /// `Some((r, off))` while the value is exactly `initial(r) + off`.
+    base: Option<(Reg, i32)>,
+    /// Bitmask of registers whose *initial* value feeds this value
+    /// through data operations.
+    deps: u32,
+}
+
+impl AVal {
+    fn init(r: Reg) -> Self {
+        AVal { base: Some((r, 0)), deps: 1 << r.number() }
+    }
+
+    fn expr(deps: u32) -> Self {
+        AVal { base: None, deps }
+    }
+}
+
+fn bit(r: Reg) -> u32 {
+    1 << r.number()
+}
+
+/// The decoded loop body plus its closing branch.
+struct Body {
+    /// `(pc, insn, imm_prefix)` triples — Type B immediates already
+    /// merged with any preceding `imm` prefix into `imm32`.
+    insns: Vec<(u32, Insn, Option<u32>)>,
+    counter: Reg,
+    body_insns: usize,
+}
+
+fn fetch_region(program: &Program, head: u32, tail: u32) -> Result<Body, DecompileError> {
+    if tail < head || (tail - head) % 4 != 0 {
+        return Err(DecompileError::NotALoop { head, tail });
+    }
+    // Decode raw instructions.
+    let mut raw = Vec::new();
+    let mut pc = head;
+    while pc <= tail {
+        let word = program.word_at(pc).ok_or(DecompileError::BadInstruction { pc })?;
+        let insn = decode(word).map_err(|_| DecompileError::BadInstruction { pc })?;
+        raw.push((pc, insn));
+        pc += 4;
+    }
+    // The final instruction must be `bnei counter, head` (no delay slot).
+    let (branch_pc, branch) = *raw.last().ok_or(DecompileError::NotALoop { head, tail })?;
+    let counter = match branch {
+        Insn::Bci { cond: Cond::Ne, ra, imm, delay: false }
+            if branch_pc.wrapping_add(imm as i32 as u32) == head =>
+        {
+            ra
+        }
+        _ => return Err(DecompileError::NotALoop { head, tail }),
+    };
+    // Merge `imm` prefixes and reject interior control flow.
+    let mut insns = Vec::new();
+    let mut pending_imm: Option<u16> = None;
+    for &(pc, insn) in &raw[..raw.len() - 1] {
+        if insn.is_control_flow() {
+            return Err(DecompileError::ControlFlowInBody { pc });
+        }
+        match insn {
+            Insn::Imm { imm } => {
+                pending_imm = Some(imm as u16);
+            }
+            _ => {
+                let imm32 = pending_imm.take().map(|hi| u32::from(hi) << 16);
+                insns.push((pc, insn, imm32));
+            }
+        }
+    }
+    let body_insns = raw.len();
+    Ok(Body { insns, counter, body_insns })
+}
+
+/// Computes the merged 32-bit immediate for a Type B instruction.
+fn imm32_of(imm: i16, prefix: Option<u32>) -> u32 {
+    match prefix {
+        Some(hi) => hi | u32::from(imm as u16),
+        None => imm as i32 as u32,
+    }
+}
+
+/// Classification result: which register plays which role.
+struct Roles {
+    pointers: BTreeMap<Reg, i32>, // base -> stride
+    accs: Vec<Reg>,
+    invariants: Vec<Reg>,
+}
+
+fn classify(body: &Body) -> Result<Roles, DecompileError> {
+    let mut state: HashMap<Reg, AVal> = HashMap::new();
+    let mut data_deps: u32 = 0; // initial regs feeding data operations
+    let mut mem_bases: BTreeMap<Reg, ()> = BTreeMap::new();
+
+    let get = |state: &mut HashMap<Reg, AVal>, r: Reg| -> AVal {
+        if r.is_zero() {
+            AVal { base: None, deps: 0 }
+        } else {
+            *state.entry(r).or_insert_with(|| AVal::init(r))
+        }
+    };
+
+    for &(pc, insn, prefix) in &body.insns {
+        match insn {
+            Insn::Addi { rd, ra, imm, use_carry: false, .. } => {
+                let a = get(&mut state, ra);
+                let imm32 = imm32_of(imm, prefix) as i32;
+                let v = match a.base {
+                    Some((r, off)) => AVal { base: Some((r, off.wrapping_add(imm32))), deps: a.deps },
+                    None => AVal::expr(a.deps),
+                };
+                state.insert(rd, v);
+            }
+            Insn::Loadi { rd, ra, size: MemSize::Word, .. } => {
+                let a = get(&mut state, ra);
+                match a.base {
+                    Some((r, _)) => {
+                        mem_bases.insert(r, ());
+                    }
+                    None => return Err(DecompileError::IrregularAccess { pc }),
+                }
+                state.insert(rd, AVal::expr(0));
+            }
+            Insn::Storei { rd, ra, size: MemSize::Word, .. } => {
+                let a = get(&mut state, ra);
+                match a.base {
+                    Some((r, _)) => {
+                        mem_bases.insert(r, ());
+                    }
+                    None => return Err(DecompileError::IrregularAccess { pc }),
+                }
+                let v = get(&mut state, rd);
+                data_deps |= v.deps;
+            }
+            Insn::Loadi { .. } | Insn::Storei { .. } | Insn::Load { .. } | Insn::Store { .. } => {
+                return Err(DecompileError::IrregularAccess { pc });
+            }
+            _ => {
+                // Generic data operation: destination becomes an
+                // expression over the sources' dependencies.
+                if let Some(rd) = insn.dest() {
+                    let mut deps = 0;
+                    for s in insn.sources() {
+                        deps |= get(&mut state, s).deps;
+                    }
+                    data_deps |= deps;
+                    state.insert(rd, AVal::expr(deps));
+                }
+            }
+        }
+    }
+
+    // Counter: must end as initial - 1 and not feed data.
+    let cval = state.get(&body.counter).copied().ok_or(DecompileError::NoInductionCounter)?;
+    if cval.base != Some((body.counter, -1)) {
+        return Err(DecompileError::NoInductionCounter);
+    }
+    if data_deps & bit(body.counter) != 0 {
+        return Err(DecompileError::UnsupportedLiveIn { reg: body.counter });
+    }
+
+    // Pointers: every memory base must end as initial + constant stride
+    // and must not feed data operations.
+    let mut pointers = BTreeMap::new();
+    for (&r, _) in &mem_bases {
+        if r == body.counter {
+            return Err(DecompileError::UnsupportedLiveIn { reg: r });
+        }
+        let v = state.get(&r).copied().unwrap_or_else(|| AVal::init(r));
+        match v.base {
+            Some((b, off)) if b == r => {
+                pointers.insert(r, off);
+            }
+            _ => return Err(DecompileError::UnsupportedLiveIn { reg: r }),
+        }
+        if data_deps & bit(r) != 0 {
+            return Err(DecompileError::UnsupportedLiveIn { reg: r });
+        }
+    }
+
+    // Accumulators: registers whose final value is an expression that
+    // depends on their own initial value.
+    let mut accs = Vec::new();
+    for (&r, v) in &state {
+        if r == body.counter || pointers.contains_key(&r) {
+            continue;
+        }
+        if v.base.is_none() && v.deps & bit(r) != 0 {
+            accs.push(r);
+        }
+    }
+    accs.sort();
+
+    // Invariants: initial registers feeding data that are not counter,
+    // pointer, or accumulator, and are never redefined.
+    let mut invariants = Vec::new();
+    for r in Reg::all() {
+        if data_deps & bit(r) == 0 || r.is_zero() {
+            continue;
+        }
+        if r == body.counter || pointers.contains_key(&r) || accs.contains(&r) {
+            continue;
+        }
+        let unchanged = state.get(&r).map_or(true, |v| v.base == Some((r, 0)));
+        if unchanged {
+            invariants.push(r);
+        } else {
+            // A register is both recomputed and read from its initial
+            // value without being an accumulator: that is exactly an
+            // accumulator pattern, so reaching here means it *was* read
+            // before redefinition into a non-self-dependent value — the
+            // WCLA can still seed it as an invariant input.
+            invariants.push(r);
+        }
+    }
+
+    Ok(Roles { pointers, accs, invariants })
+}
+
+/// Value a register holds during the DFG-building pass.
+#[derive(Clone, Copy, Debug)]
+enum RegVal {
+    /// A pointer or counter: initial(reg) + offset (address arithmetic,
+    /// not materialized in the DFG).
+    Addr(Reg, i32),
+    /// A data value.
+    Node(NodeId),
+}
+
+struct DfgBuilder {
+    dfg: Dfg,
+    cse: HashMap<(Op, Vec<NodeId>), NodeId>,
+}
+
+impl DfgBuilder {
+    fn new() -> Self {
+        DfgBuilder { dfg: Dfg::new(), cse: HashMap::new() }
+    }
+
+    fn push(&mut self, op: Op, args: Vec<NodeId>) -> NodeId {
+        if let Some(&id) = self.cse.get(&(op, args.clone())) {
+            return id;
+        }
+        let id = self.dfg.push(op, args.clone());
+        self.cse.insert((op, args), id);
+        id
+    }
+}
+
+/// Decompiles the loop `[head, tail]` of `program` into a
+/// hardware-ready kernel.
+///
+/// `head` is the backward branch's target and `tail` the branch's own
+/// address — exactly what the profiler's [`HotRegion`] reports.
+///
+/// # Errors
+///
+/// Returns a [`DecompileError`] describing why the region cannot be
+/// implemented on the WCLA (the partitioner treats this as "leave the
+/// region in software").
+///
+/// [`HotRegion`]: https://docs.rs/warp-profiler
+pub fn decompile_loop(program: &Program, head: u32, tail: u32) -> Result<LoopKernel, DecompileError> {
+    let body = fetch_region(program, head, tail)?;
+    let roles = classify(&body)?;
+
+    // Stream table in first-use order.
+    let mut stream_index: BTreeMap<Reg, usize> = BTreeMap::new();
+    let mut streams: Vec<MemStream> = Vec::new();
+    let mut intern_stream = |r: Reg, streams: &mut Vec<MemStream>| -> usize {
+        *stream_index.entry(r).or_insert_with(|| {
+            streams.push(MemStream {
+                base: r,
+                stride: roles.pointers[&r],
+                load_offsets: Vec::new(),
+                store_offsets: Vec::new(),
+            });
+            streams.len() - 1
+        })
+    };
+
+    let mut b = DfgBuilder::new();
+    let mut regs: HashMap<Reg, RegVal> = HashMap::new();
+    let mut stores: Vec<StoreOp> = Vec::new();
+
+    // Seed roles.
+    regs.insert(body.counter, RegVal::Addr(body.counter, 0));
+    for (&p, _) in &roles.pointers {
+        regs.insert(p, RegVal::Addr(p, 0));
+    }
+    for &a in &roles.accs {
+        let id = b.push(Op::Acc { reg: a }, vec![]);
+        regs.insert(a, RegVal::Node(id));
+    }
+    for &i in &roles.invariants {
+        let id = b.push(Op::Invariant { reg: i }, vec![]);
+        regs.insert(i, RegVal::Node(id));
+    }
+
+    // Reading a pointer/counter as data (or an unseeded register) is a
+    // classification failure; `pc` is accepted for symmetry with the
+    // other error paths even though the error itself names the register.
+    let value_of = |regs: &mut HashMap<Reg, RegVal>, b: &mut DfgBuilder, r: Reg, _pc: u32| -> Result<NodeId, DecompileError> {
+        if r.is_zero() {
+            return Ok(b.push(Op::Const(0), vec![]));
+        }
+        match regs.get(&r) {
+            Some(RegVal::Node(id)) => Ok(*id),
+            Some(RegVal::Addr(_, _)) | None => Err(DecompileError::UnsupportedLiveIn { reg: r }),
+        }
+    };
+
+    for &(pc, insn, prefix) in &body.insns {
+        match insn {
+            Insn::Addi { rd, ra, imm, use_carry: false, .. } => {
+                let imm32 = imm32_of(imm, prefix);
+                if ra.is_zero() {
+                    // `addik rd, r0, imm` is a constant load.
+                    let c = b.push(Op::Const(imm32), vec![]);
+                    regs.insert(rd, RegVal::Node(c));
+                    continue;
+                }
+                match regs.get(&ra).copied() {
+                    // Pointer/counter arithmetic stays out of the DFG.
+                    Some(RegVal::Addr(base, off)) => {
+                        regs.insert(rd, RegVal::Addr(base, off.wrapping_add(imm32 as i32)));
+                    }
+                    Some(RegVal::Node(a)) => {
+                        let c = b.push(Op::Const(imm32), vec![]);
+                        let id = b.push(Op::Add, vec![a, c]);
+                        regs.insert(rd, RegVal::Node(id));
+                    }
+                    // An unseeded register bumped by a constant is a dead
+                    // pointer-like temp (classification proved it never
+                    // feeds data); track it as address arithmetic.
+                    None => {
+                        regs.insert(rd, RegVal::Addr(ra, imm32 as i32));
+                    }
+                }
+            }
+            Insn::Addi { .. } => {
+                return Err(DecompileError::UnsupportedInsn { pc, mnemonic: insn.to_string() });
+            }
+            Insn::Rsubi { rd, ra, imm, use_carry: false, .. } => {
+                let imm32 = imm32_of(imm, prefix);
+                let a = value_of(&mut regs, &mut b, ra, pc)?;
+                let c = b.push(Op::Const(imm32), vec![]);
+                let id = b.push(Op::Sub, vec![c, a]);
+                regs.insert(rd, RegVal::Node(id));
+            }
+            Insn::Add { rd, ra, rb, use_carry: false, .. } => {
+                let a = value_of(&mut regs, &mut b, ra, pc)?;
+                let c = value_of(&mut regs, &mut b, rb, pc)?;
+                let id = b.push(Op::Add, vec![a, c]);
+                regs.insert(rd, RegVal::Node(id));
+            }
+            Insn::Rsub { rd, ra, rb, use_carry: false, .. } => {
+                let a = value_of(&mut regs, &mut b, ra, pc)?;
+                let c = value_of(&mut regs, &mut b, rb, pc)?;
+                let id = b.push(Op::Sub, vec![c, a]); // rb - ra
+                regs.insert(rd, RegVal::Node(id));
+            }
+            Insn::Mul { rd, ra, rb } => {
+                let a = value_of(&mut regs, &mut b, ra, pc)?;
+                let c = value_of(&mut regs, &mut b, rb, pc)?;
+                let id = b.push(Op::Mul, vec![a, c]);
+                regs.insert(rd, RegVal::Node(id));
+            }
+            Insn::Muli { rd, ra, imm } => {
+                let a = value_of(&mut regs, &mut b, ra, pc)?;
+                let c = b.push(Op::Const(imm32_of(imm, prefix)), vec![]);
+                let id = b.push(Op::Mul, vec![a, c]);
+                regs.insert(rd, RegVal::Node(id));
+            }
+            Insn::And { rd, ra, rb } | Insn::Or { rd, ra, rb } | Insn::Xor { rd, ra, rb } | Insn::Andn { rd, ra, rb } => {
+                let a = value_of(&mut regs, &mut b, ra, pc)?;
+                let c = value_of(&mut regs, &mut b, rb, pc)?;
+                let op = match insn {
+                    Insn::And { .. } => Op::And,
+                    Insn::Or { .. } => Op::Or,
+                    Insn::Xor { .. } => Op::Xor,
+                    _ => Op::AndNot,
+                };
+                let id = b.push(op, vec![a, c]);
+                regs.insert(rd, RegVal::Node(id));
+            }
+            Insn::Andi { rd, ra, imm } | Insn::Ori { rd, ra, imm } | Insn::Xori { rd, ra, imm } | Insn::Andni { rd, ra, imm } => {
+                let a = value_of(&mut regs, &mut b, ra, pc)?;
+                let c = b.push(Op::Const(imm32_of(imm, prefix)), vec![]);
+                let op = match insn {
+                    Insn::Andi { .. } => Op::And,
+                    Insn::Ori { .. } => Op::Or,
+                    Insn::Xori { .. } => Op::Xor,
+                    _ => Op::AndNot,
+                };
+                let id = b.push(op, vec![a, c]);
+                regs.insert(rd, RegVal::Node(id));
+            }
+            Insn::Bsi { rd, ra, amount, kind } => {
+                let a = value_of(&mut regs, &mut b, ra, pc)?;
+                let op = match kind {
+                    mb_isa::ShiftKind::LogicalLeft => Op::Shl(amount),
+                    mb_isa::ShiftKind::LogicalRight => Op::Shr(amount),
+                    mb_isa::ShiftKind::ArithmeticRight => Op::Sar(amount),
+                };
+                let id = b.push(op, vec![a]);
+                regs.insert(rd, RegVal::Node(id));
+            }
+            Insn::Bs { rd, ra, rb, kind } => {
+                let a = value_of(&mut regs, &mut b, ra, pc)?;
+                let c = value_of(&mut regs, &mut b, rb, pc)?;
+                let op = match kind {
+                    mb_isa::ShiftKind::LogicalLeft => Op::ShlDyn,
+                    mb_isa::ShiftKind::LogicalRight => Op::ShrDyn,
+                    mb_isa::ShiftKind::ArithmeticRight => Op::SarDyn,
+                };
+                let id = b.push(op, vec![a, c]);
+                regs.insert(rd, RegVal::Node(id));
+            }
+            Insn::Srl { rd, ra } => {
+                let a = value_of(&mut regs, &mut b, ra, pc)?;
+                let id = b.push(Op::Shr(1), vec![a]);
+                regs.insert(rd, RegVal::Node(id));
+            }
+            Insn::Sra { rd, ra } => {
+                let a = value_of(&mut regs, &mut b, ra, pc)?;
+                let id = b.push(Op::Sar(1), vec![a]);
+                regs.insert(rd, RegVal::Node(id));
+            }
+            Insn::Sext8 { rd, ra } => {
+                let a = value_of(&mut regs, &mut b, ra, pc)?;
+                let id = b.push(Op::Sext8, vec![a]);
+                regs.insert(rd, RegVal::Node(id));
+            }
+            Insn::Sext16 { rd, ra } => {
+                let a = value_of(&mut regs, &mut b, ra, pc)?;
+                let id = b.push(Op::Sext16, vec![a]);
+                regs.insert(rd, RegVal::Node(id));
+            }
+            Insn::Loadi { rd, ra, imm, size: MemSize::Word } => {
+                let Some(RegVal::Addr(base, extra)) = regs.get(&ra).copied() else {
+                    return Err(DecompileError::IrregularAccess { pc });
+                };
+                let offset = extra.wrapping_add(imm32_of(imm, prefix) as i32);
+                let s = intern_stream(base, &mut streams);
+                if !streams[s].load_offsets.contains(&offset) {
+                    streams[s].load_offsets.push(offset);
+                }
+                let id = b.push(Op::LoadValue { stream: s, offset }, vec![]);
+                regs.insert(rd, RegVal::Node(id));
+            }
+            Insn::Storei { rd, ra, imm, size: MemSize::Word } => {
+                let Some(RegVal::Addr(base, extra)) = regs.get(&ra).copied() else {
+                    return Err(DecompileError::IrregularAccess { pc });
+                };
+                let offset = extra.wrapping_add(imm32_of(imm, prefix) as i32);
+                let s = intern_stream(base, &mut streams);
+                streams[s].store_offsets.push(offset);
+                let value = value_of(&mut regs, &mut b, rd, pc)?;
+                stores.push(StoreOp { stream: s, offset, value });
+            }
+            other => {
+                return Err(DecompileError::UnsupportedInsn { pc, mnemonic: other.to_string() });
+            }
+        }
+    }
+
+    if streams.len() > DADG_STREAMS {
+        return Err(DecompileError::TooManyStreams { found: streams.len(), supported: DADG_STREAMS });
+    }
+
+    // Accumulator next-values.
+    let mut accs = Vec::new();
+    for &a in &roles.accs {
+        match regs.get(&a) {
+            Some(RegVal::Node(id)) => accs.push(AccUpdate { reg: a, next: *id }),
+            _ => return Err(DecompileError::UnsupportedLiveIn { reg: a }),
+        }
+    }
+
+    // Dead temps: data registers the body writes that are neither
+    // accumulators nor live-ins — free for the patch stub to clobber.
+    let mut dead_temps: Vec<Reg> = regs
+        .iter()
+        .filter(|(r, v)| {
+            matches!(v, RegVal::Node(_))
+                && !roles.accs.contains(r)
+                && !roles.invariants.contains(r)
+                && !roles.pointers.contains_key(r)
+                && **r != body.counter
+        })
+        .map(|(r, _)| *r)
+        .collect();
+    dead_temps.sort();
+
+    Ok(LoopKernel {
+        head,
+        tail,
+        counter: body.counter,
+        streams,
+        dfg: b.dfg,
+        stores,
+        accs,
+        invariants: roles.invariants,
+        dead_temps,
+        body_insns: body.body_insns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_isa::Assembler;
+
+    /// A canonical copy loop: out[i] = in[i] ^ 7.
+    fn copy_loop() -> Program {
+        let mut a = Assembler::new(0);
+        a.label("head");
+        a.push(Insn::lwi(Reg::R9, Reg::R5, 0));
+        a.push(Insn::Xori { rd: Reg::R9, ra: Reg::R9, imm: 7 });
+        a.push(Insn::swi(Reg::R9, Reg::R6, 0));
+        a.push(Insn::addik(Reg::R5, Reg::R5, 4));
+        a.push(Insn::addik(Reg::R6, Reg::R6, 4));
+        a.push(Insn::addik(Reg::R4, Reg::R4, -1));
+        a.label("tail");
+        a.bnei(Reg::R4, "head");
+        a.finish().unwrap()
+    }
+
+    fn bounds(p: &Program) -> (u32, u32) {
+        (p.symbol("head").unwrap(), p.symbol("tail").unwrap())
+    }
+
+    #[test]
+    fn copy_loop_decompiles() {
+        let p = copy_loop();
+        let (h, t) = bounds(&p);
+        let k = decompile_loop(&p, h, t).unwrap();
+        assert_eq!(k.counter, Reg::R4);
+        assert_eq!(k.streams.len(), 2);
+        assert_eq!(k.streams[0].base, Reg::R5);
+        assert_eq!(k.streams[0].stride, 4);
+        assert_eq!(k.streams[0].load_offsets, vec![0]);
+        assert_eq!(k.streams[1].store_offsets, vec![0]);
+        assert_eq!(k.stores.len(), 1);
+        assert!(k.accs.is_empty());
+        assert!(k.invariants.is_empty());
+        assert_eq!(k.body_insns, 7);
+    }
+
+    #[test]
+    fn interpreter_runs_copy_loop() {
+        let p = copy_loop();
+        let (h, t) = bounds(&p);
+        let k = decompile_loop(&p, h, t).unwrap();
+        let mem_in: Vec<u32> = (0..8).map(|i| i * 11).collect();
+        let mut mem_out = vec![0u32; 8];
+        let mut env = KernelEnv { counter: 8, ..KernelEnv::default() };
+        env.pointers.insert(Reg::R5, 0x100);
+        env.pointers.insert(Reg::R6, 0x200);
+        let iters = k.interpret(
+            &mut env,
+            |addr| mem_in[((addr - 0x100) / 4) as usize],
+            |addr, v| mem_out[((addr - 0x200) / 4) as usize] = v,
+        );
+        assert_eq!(iters, 8);
+        assert_eq!(mem_out, mem_in.iter().map(|v| v ^ 7).collect::<Vec<_>>());
+        assert_eq!(env.pointers[&Reg::R5], 0x100 + 32);
+    }
+
+    #[test]
+    fn accumulator_loop_decompiles() {
+        let mut a = Assembler::new(0);
+        a.label("head");
+        a.push(Insn::lwi(Reg::R9, Reg::R5, 0));
+        a.push(Insn::Xor { rd: Reg::R22, ra: Reg::R22, rb: Reg::R9 });
+        a.push(Insn::addik(Reg::R5, Reg::R5, 4));
+        a.push(Insn::addik(Reg::R4, Reg::R4, -1));
+        a.label("tail");
+        a.bnei(Reg::R4, "head");
+        let p = a.finish().unwrap();
+        let (h, t) = bounds(&p);
+        let k = decompile_loop(&p, h, t).unwrap();
+        assert_eq!(k.accs.len(), 1);
+        assert_eq!(k.accs[0].reg, Reg::R22);
+        assert!(k.stores.is_empty());
+
+        let mut env = KernelEnv { counter: 4, ..KernelEnv::default() };
+        env.pointers.insert(Reg::R5, 0);
+        env.accs.insert(Reg::R22, 0xFF);
+        let data = [1u32, 2, 4, 8];
+        k.interpret(&mut env, |addr| data[(addr / 4) as usize], |_, _| panic!("no stores"));
+        assert_eq!(env.accs[&Reg::R22], 0xFF ^ 1 ^ 2 ^ 4 ^ 8);
+    }
+
+    #[test]
+    fn invariant_input_detected() {
+        // out[i] = in[i] & r20  (r20 set outside the loop).
+        let mut a = Assembler::new(0);
+        a.label("head");
+        a.push(Insn::lwi(Reg::R9, Reg::R5, 0));
+        a.push(Insn::And { rd: Reg::R9, ra: Reg::R9, rb: Reg::R20 });
+        a.push(Insn::swi(Reg::R9, Reg::R6, 0));
+        a.push(Insn::addik(Reg::R5, Reg::R5, 4));
+        a.push(Insn::addik(Reg::R6, Reg::R6, 4));
+        a.push(Insn::addik(Reg::R4, Reg::R4, -1));
+        a.label("tail");
+        a.bnei(Reg::R4, "head");
+        let p = a.finish().unwrap();
+        let (h, t) = bounds(&p);
+        let k = decompile_loop(&p, h, t).unwrap();
+        assert_eq!(k.invariants, vec![Reg::R20]);
+    }
+
+    #[test]
+    fn rejects_non_loop_region() {
+        let mut a = Assembler::new(0);
+        a.nop();
+        a.nop();
+        let p = a.finish().unwrap();
+        assert!(matches!(decompile_loop(&p, 0, 4), Err(DecompileError::NotALoop { .. })));
+    }
+
+    #[test]
+    fn rejects_control_flow_in_body() {
+        let mut a = Assembler::new(0);
+        a.label("head");
+        a.beqi(Reg::R9, "skip");
+        a.nop();
+        a.label("skip");
+        a.push(Insn::addik(Reg::R4, Reg::R4, -1));
+        a.label("tail");
+        a.bnei(Reg::R4, "head");
+        let p = a.finish().unwrap();
+        let (h, t) = bounds(&p);
+        assert!(matches!(
+            decompile_loop(&p, h, t),
+            Err(DecompileError::ControlFlowInBody { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_register_indexed_memory() {
+        let mut a = Assembler::new(0);
+        a.label("head");
+        a.push(Insn::Load { size: MemSize::Word, rd: Reg::R9, ra: Reg::R5, rb: Reg::R7 });
+        a.push(Insn::addik(Reg::R4, Reg::R4, -1));
+        a.label("tail");
+        a.bnei(Reg::R4, "head");
+        let p = a.finish().unwrap();
+        let (h, t) = bounds(&p);
+        assert!(matches!(decompile_loop(&p, h, t), Err(DecompileError::IrregularAccess { .. })));
+    }
+
+    #[test]
+    fn rejects_divide() {
+        let mut a = Assembler::new(0);
+        a.label("head");
+        a.push(Insn::lwi(Reg::R9, Reg::R5, 0));
+        a.push(Insn::Idiv { rd: Reg::R9, ra: Reg::R9, rb: Reg::R10, unsigned: false });
+        a.push(Insn::swi(Reg::R9, Reg::R5, 0));
+        a.push(Insn::addik(Reg::R5, Reg::R5, 4));
+        a.push(Insn::addik(Reg::R4, Reg::R4, -1));
+        a.label("tail");
+        a.bnei(Reg::R4, "head");
+        let p = a.finish().unwrap();
+        let (h, t) = bounds(&p);
+        assert!(matches!(decompile_loop(&p, h, t), Err(DecompileError::UnsupportedInsn { .. })));
+    }
+
+    #[test]
+    fn rejects_too_many_streams() {
+        let mut a = Assembler::new(0);
+        a.label("head");
+        for (i, r) in [Reg::R5, Reg::R6, Reg::R7, Reg::R8].iter().enumerate() {
+            a.push(Insn::lwi(Reg::new(9 + i as u8), *r, 0));
+        }
+        for r in [Reg::R5, Reg::R6, Reg::R7, Reg::R8] {
+            a.push(Insn::addik(r, r, 4));
+        }
+        a.push(Insn::addk(Reg::R20, Reg::R9, Reg::R10));
+        a.push(Insn::addk(Reg::R20, Reg::R20, Reg::R11));
+        a.push(Insn::addk(Reg::R20, Reg::R20, Reg::R12));
+        a.push(Insn::swi(Reg::R20, Reg::R5, 0)); // adds no new stream
+        a.push(Insn::addik(Reg::R4, Reg::R4, -1));
+        a.label("tail");
+        a.bnei(Reg::R4, "head");
+        let p = a.finish().unwrap();
+        let (h, t) = bounds(&p);
+        assert!(matches!(
+            decompile_loop(&p, h, t),
+            Err(DecompileError::TooManyStreams { found: 4, supported: 3 })
+        ));
+    }
+
+    #[test]
+    fn rejects_pointer_used_as_data() {
+        let mut a = Assembler::new(0);
+        a.label("head");
+        a.push(Insn::lwi(Reg::R9, Reg::R5, 0));
+        a.push(Insn::addk(Reg::R9, Reg::R9, Reg::R5)); // pointer as data
+        a.push(Insn::swi(Reg::R9, Reg::R5, 0));
+        a.push(Insn::addik(Reg::R5, Reg::R5, 4));
+        a.push(Insn::addik(Reg::R4, Reg::R4, -1));
+        a.label("tail");
+        a.bnei(Reg::R4, "head");
+        let p = a.finish().unwrap();
+        let (h, t) = bounds(&p);
+        assert!(matches!(decompile_loop(&p, h, t), Err(DecompileError::UnsupportedLiveIn { .. })));
+    }
+
+    #[test]
+    fn imm_prefix_merges_into_constants() {
+        let mut a = Assembler::new(0);
+        a.label("head");
+        a.push(Insn::lwi(Reg::R9, Reg::R5, 0));
+        a.push(Insn::Imm { imm: 0x0F0F });
+        a.push(Insn::Andi { rd: Reg::R9, ra: Reg::R9, imm: 0x0F0Fu16 as i16 });
+        a.push(Insn::swi(Reg::R9, Reg::R6, 0));
+        a.push(Insn::addik(Reg::R5, Reg::R5, 4));
+        a.push(Insn::addik(Reg::R6, Reg::R6, 4));
+        a.push(Insn::addik(Reg::R4, Reg::R4, -1));
+        a.label("tail");
+        a.bnei(Reg::R4, "head");
+        let p = a.finish().unwrap();
+        let (h, t) = bounds(&p);
+        let k = decompile_loop(&p, h, t).unwrap();
+        let has_const = k
+            .dfg
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, Op::Const(0x0F0F_0F0F)));
+        assert!(has_const, "32-bit constant must be reassembled from imm prefix");
+    }
+
+    #[test]
+    fn live_ins_are_ordered_and_complete() {
+        let p = copy_loop();
+        let (h, t) = bounds(&p);
+        let k = decompile_loop(&p, h, t).unwrap();
+        assert_eq!(k.live_ins(), vec![Reg::R4, Reg::R5, Reg::R6]);
+        assert_eq!(k.mem_ops_per_iter(), 2);
+        assert_eq!(k.mul_ops_per_iter(), 0);
+    }
+}

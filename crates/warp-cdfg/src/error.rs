@@ -1,0 +1,106 @@
+//! Decompilation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use mb_isa::Reg;
+
+/// Why a region could not be decompiled into a partitionable kernel.
+///
+/// These are not bugs: the warp processor's on-chip tools support a
+/// specific class of regular loops, and a structured rejection is how
+/// the dynamic partitioner decides to leave a region in software.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DecompileError {
+    /// The region does not end in a conditional backward branch to its
+    /// own head.
+    NotALoop {
+        /// Region head address.
+        head: u32,
+        /// Region tail address.
+        tail: u32,
+    },
+    /// An instruction inside the body transfers control (the body must
+    /// be a single basic block; branch-free idioms replace `if`s).
+    ControlFlowInBody {
+        /// Address of the offending instruction.
+        pc: u32,
+    },
+    /// An instruction could not be fetched or decoded.
+    BadInstruction {
+        /// Address of the offending word.
+        pc: u32,
+    },
+    /// The instruction has no hardware mapping (e.g. carry chains,
+    /// divides).
+    UnsupportedInsn {
+        /// Address of the offending instruction.
+        pc: u32,
+        /// Rendered mnemonic.
+        mnemonic: String,
+    },
+    /// A memory access does not follow the regular base+offset pattern
+    /// the data address generator supports.
+    IrregularAccess {
+        /// Address of the offending instruction.
+        pc: u32,
+    },
+    /// The loop's trip counter could not be identified.
+    NoInductionCounter,
+    /// More distinct memory streams than the WCLA's address generators.
+    TooManyStreams {
+        /// Streams found.
+        found: usize,
+        /// Streams supported.
+        supported: usize,
+    },
+    /// A register is live into the loop in a way the WCLA cannot seed
+    /// (e.g. a pointer that is also used as data).
+    UnsupportedLiveIn {
+        /// The offending register.
+        reg: Reg,
+    },
+}
+
+impl fmt::Display for DecompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompileError::NotALoop { head, tail } => {
+                write!(f, "region {head:#x}..{tail:#x} is not a simple counted loop")
+            }
+            DecompileError::ControlFlowInBody { pc } => {
+                write!(f, "control flow inside loop body at {pc:#x}")
+            }
+            DecompileError::BadInstruction { pc } => write!(f, "undecodable instruction at {pc:#x}"),
+            DecompileError::UnsupportedInsn { pc, mnemonic } => {
+                write!(f, "no hardware mapping for `{mnemonic}` at {pc:#x}")
+            }
+            DecompileError::IrregularAccess { pc } => {
+                write!(f, "irregular memory access pattern at {pc:#x}")
+            }
+            DecompileError::NoInductionCounter => f.write_str("no induction counter found"),
+            DecompileError::TooManyStreams { found, supported } => {
+                write!(f, "{found} memory streams exceed the {supported} DADG channels")
+            }
+            DecompileError::UnsupportedLiveIn { reg } => {
+                write!(f, "live-in register {reg} has no WCLA seeding path")
+            }
+        }
+    }
+}
+
+impl Error for DecompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = DecompileError::TooManyStreams { found: 5, supported: 3 };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('3'));
+        let e = DecompileError::UnsupportedInsn { pc: 0x40, mnemonic: "idiv r1, r2, r3".into() };
+        assert!(e.to_string().contains("idiv"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Binary decompilation to control/data-flow graphs.
+//!
+//! The dynamic partitioning module "decompiles the critical region into a
+//! control-dataflow graph" (paper Section 3, citing Stitt/Lysecky/Vahid
+//! DAC'03). This crate is that stage of the ROCPART tool chain:
+//!
+//! * [`cfg`] — generic binary-level control-flow analysis: basic blocks,
+//!   dominators, and natural-loop detection (the decompilation techniques
+//!   of binary-level partitioning recover loop structure directly from
+//!   the instruction stream);
+//! * [`Dfg`] — a word-level data-flow graph IR whose operations map onto
+//!   the warp configurable logic architecture (logic to LUTs, multiplies
+//!   to the MAC, memory accesses to DADG streams);
+//! * [`decompile_loop`] — the loop decompiler: symbolic execution of a
+//!   single-basic-block loop body that recovers induction pointers and
+//!   their strides (DADG address streams), the trip counter (loop control
+//!   hardware), loop-carried accumulators, loop-invariant inputs, and the
+//!   pure data-flow of the body.
+//!
+//! The decompiler accepts exactly the class of loops the paper's WCLA
+//! supports — "critical loops that … follow regular access patterns" —
+//! and reports a structured [`DecompileError`] otherwise, which is how
+//! the warp processor decides a region is not partitionable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfg;
+mod decompile;
+mod dfg;
+mod error;
+
+pub use decompile::{decompile_loop, AccUpdate, KernelEnv, LoopKernel, MemStream, StoreOp, DADG_STREAMS};
+pub use dfg::{Dfg, Node, NodeId, Op};
+pub use error::DecompileError;

@@ -1,0 +1,115 @@
+//! The decompiler must accept every workload kernel and its reference
+//! interpreter must reproduce the simulator's memory effects exactly.
+
+use mb_isa::MbFeatures;
+use mb_sim::MbConfig;
+use warp_cdfg::{decompile_loop, KernelEnv};
+
+/// Runs a workload on the simulator up to the first kernel entry, then
+/// interprets the decompiled kernel against a copy of data memory and
+/// compares with letting the simulator run the loop in software.
+#[test]
+fn kernel_interpreter_matches_software_execution() {
+    for workload in workloads::all() {
+        let built = workload.build(MbFeatures::paper_default());
+        let kernel = decompile_loop(&built.program, built.kernel.head, built.kernel.tail)
+            .unwrap_or_else(|e| panic!("{}: decompile failed: {e}", workload.name));
+
+        // Execute in software, stopping exactly at the loop head.
+        let mut sys = built.instantiate(&MbConfig::paper_default());
+        let mut guard = 0u64;
+        while sys.cpu().pc() != built.kernel.head {
+            sys.step(None).unwrap();
+            guard += 1;
+            assert!(guard < 10_000_000, "{}: never reached kernel head", workload.name);
+        }
+
+        // Snapshot the pre-loop state for the interpreter.
+        let mut env = KernelEnv {
+            counter: sys.cpu().reg(kernel.counter),
+            ..KernelEnv::default()
+        };
+        for s in &kernel.streams {
+            env.pointers.insert(s.base, sys.cpu().reg(s.base));
+        }
+        for a in &kernel.accs {
+            env.accs.insert(a.reg, sys.cpu().reg(a.reg));
+        }
+        for &r in &kernel.invariants {
+            env.invariants.insert(r, sys.cpu().reg(r));
+        }
+        let mut shadow = sys.dmem().clone();
+
+        // Let the simulator run the whole loop in software.
+        let after = built.kernel.after();
+        let mut guard = 0u64;
+        while sys.cpu().pc() != after {
+            sys.step(None).unwrap();
+            guard += 1;
+            assert!(guard < 50_000_000, "{}: loop never exited", workload.name);
+        }
+
+        // Interpret the kernel against the shadow memory.
+        let mut stores: Vec<(u32, u32)> = Vec::new();
+        let shadow_ro = shadow.clone();
+        let iters = kernel.interpret(
+            &mut env,
+            |addr| shadow_ro.read_word(addr).unwrap(),
+            |addr, v| stores.push((addr, v)),
+        );
+        assert!(iters > 0, "{}: kernel must iterate", workload.name);
+        for (addr, v) in stores {
+            shadow.write_word(addr, v).unwrap();
+        }
+
+        // Memory must match bit for bit.
+        assert_eq!(
+            shadow.words(),
+            sys.dmem().words(),
+            "{}: interpreter and simulator disagree on memory",
+            workload.name
+        );
+        // Accumulator live-outs must match the CPU registers.
+        for a in &kernel.accs {
+            assert_eq!(
+                env.accs[&a.reg],
+                sys.cpu().reg(a.reg),
+                "{}: accumulator {} mismatch",
+                workload.name,
+                a.reg
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_kernels_fit_wcla_constraints() {
+    for workload in workloads::all() {
+        let built = workload.build(MbFeatures::paper_default());
+        let kernel = decompile_loop(&built.program, built.kernel.head, built.kernel.tail).unwrap();
+        assert!(kernel.streams.len() <= 3, "{}: too many streams", workload.name);
+        assert!(!kernel.dfg.is_empty(), "{}: empty dataflow", workload.name);
+        // Every kernel either stores results or carries an accumulator.
+        assert!(
+            !kernel.stores.is_empty() || !kernel.accs.is_empty(),
+            "{}: kernel has no observable effect",
+            workload.name
+        );
+    }
+}
+
+#[test]
+fn kernel_is_a_natural_loop_in_the_cfg() {
+    use warp_cdfg::cfg::ControlFlowGraph;
+    for workload in workloads::paper_suite() {
+        let built = workload.build(MbFeatures::paper_default());
+        let cfg = ControlFlowGraph::from_program(&built.program);
+        let loops = cfg.natural_loops();
+        assert!(
+            loops.iter().any(|l| l.header == built.kernel.head),
+            "{}: kernel head {:#x} is not a natural-loop header",
+            workload.name,
+            built.kernel.head
+        );
+    }
+}

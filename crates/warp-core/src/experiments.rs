@@ -1,0 +1,290 @@
+//! The paper's evaluation, reproduced: Figure 6 (speedups), Figure 7
+//! (normalized energy), the Section 2 configurability study, and the
+//! in-text summary statistics.
+
+use arm_sim::{paper_cores, simulate};
+use mb_isa::MbFeatures;
+use mb_sim::MbConfig;
+use warp_power::arm_energy;
+use workloads::Workload;
+
+use crate::{warp_run, WarpError, WarpOptions, WarpReport};
+
+/// One ARM baseline measurement.
+#[derive(Clone, Debug)]
+pub struct ArmMeasurement {
+    /// Core name (`ARM7` … `ARM11`).
+    pub name: &'static str,
+    /// Core clock in Hz.
+    pub clock_hz: u64,
+    /// Execution seconds.
+    pub seconds: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+}
+
+/// Full comparison for one benchmark: MicroBlaze alone, the four ARM
+/// hard cores, and the warp processor.
+#[derive(Clone, Debug)]
+pub struct BenchmarkComparison {
+    /// Benchmark name.
+    pub name: String,
+    /// MicroBlaze-alone seconds.
+    pub mb_seconds: f64,
+    /// MicroBlaze-alone energy (J).
+    pub mb_energy_j: f64,
+    /// ARM baselines in paper order.
+    pub arms: Vec<ArmMeasurement>,
+    /// The warp run.
+    pub warp: WarpReport,
+}
+
+impl BenchmarkComparison {
+    /// Speedup of a system over the MicroBlaze alone.
+    #[must_use]
+    pub fn speedup_of(&self, seconds: f64) -> f64 {
+        self.mb_seconds / seconds
+    }
+
+    /// Normalized energy of a system against the MicroBlaze alone.
+    #[must_use]
+    pub fn normalized_energy(&self, energy_j: f64) -> f64 {
+        energy_j / self.mb_energy_j
+    }
+}
+
+/// Runs the complete comparison for one workload.
+///
+/// # Errors
+///
+/// Propagates [`WarpError`] from any phase.
+pub fn compare_benchmark(
+    workload: &Workload,
+    options: &WarpOptions,
+) -> Result<BenchmarkComparison, WarpError> {
+    let built = workload.build(MbFeatures::paper_default());
+
+    // The warp run performs the software-only execution internally; we
+    // need the trace for the ARM models, so run it once more here.
+    let mut sys = built.instantiate(&MbConfig::paper_default());
+    let (outcome, trace) = sys
+        .run_traced(options.cycle_budget.max_cycles)
+        .map_err(|e| WarpError::Software(e.to_string()))?;
+    let mb_seconds = outcome.cycles as f64 / MbConfig::paper_default().clock_hz as f64;
+
+    let arms = paper_cores()
+        .iter()
+        .map(|core| {
+            let r = simulate(core, &trace);
+            ArmMeasurement {
+                name: r.name,
+                clock_hz: core.clock_hz,
+                seconds: r.seconds,
+                energy_j: arm_energy(r.name, r.seconds),
+            }
+        })
+        .collect();
+
+    let warp = warp_run(&built, options)?;
+    let mb_energy_j = warp.energy_sw.total();
+
+    Ok(BenchmarkComparison { name: built.name.clone(), mb_seconds, mb_energy_j, arms, warp })
+}
+
+/// Runs the paper's six-benchmark suite.
+///
+/// # Errors
+///
+/// Propagates the first failing benchmark's [`WarpError`].
+pub fn run_paper_suite(options: &WarpOptions) -> Result<Vec<BenchmarkComparison>, WarpError> {
+    workloads::paper_suite().iter().map(|w| compare_benchmark(w, options)).collect()
+}
+
+/// One row of Figure 6: speedups versus the MicroBlaze alone.
+#[derive(Clone, Debug)]
+pub struct Fig6Row {
+    /// Benchmark name (or `"Average:"`).
+    pub benchmark: String,
+    /// `[MicroBlaze, ARM7, ARM9, ARM10, ARM11, Warp]` speedups.
+    pub speedups: [f64; 6],
+}
+
+/// Builds Figure 6 (including the average row).
+#[must_use]
+pub fn figure6(comparisons: &[BenchmarkComparison]) -> Vec<Fig6Row> {
+    let mut rows: Vec<Fig6Row> = comparisons
+        .iter()
+        .map(|c| {
+            let mut s = [1.0f64; 6];
+            for (i, a) in c.arms.iter().enumerate() {
+                s[i + 1] = c.speedup_of(a.seconds);
+            }
+            s[5] = c.warp.speedup();
+            Fig6Row { benchmark: c.name.clone(), speedups: s }
+        })
+        .collect();
+    let n = rows.len().max(1) as f64;
+    let mut avg = [0.0f64; 6];
+    for r in &rows {
+        for (a, v) in avg.iter_mut().zip(r.speedups) {
+            *a += v / n;
+        }
+    }
+    rows.push(Fig6Row { benchmark: "Average:".into(), speedups: avg });
+    rows
+}
+
+/// One row of Figure 7: normalized energy versus the MicroBlaze alone.
+#[derive(Clone, Debug)]
+pub struct Fig7Row {
+    /// Benchmark name (or `"Average:"`).
+    pub benchmark: String,
+    /// `[MicroBlaze, ARM7, ARM9, ARM10, ARM11, Warp]` normalized energy.
+    pub energy: [f64; 6],
+}
+
+/// Builds Figure 7 (including the average row).
+#[must_use]
+pub fn figure7(comparisons: &[BenchmarkComparison]) -> Vec<Fig7Row> {
+    let mut rows: Vec<Fig7Row> = comparisons
+        .iter()
+        .map(|c| {
+            let mut e = [1.0f64; 6];
+            for (i, a) in c.arms.iter().enumerate() {
+                e[i + 1] = c.normalized_energy(a.energy_j);
+            }
+            e[5] = c.normalized_energy(c.warp.energy_warp.total());
+            Fig7Row { benchmark: c.name.clone(), energy: e }
+        })
+        .collect();
+    let n = rows.len().max(1) as f64;
+    let mut avg = [0.0f64; 6];
+    for r in &rows {
+        for (a, v) in avg.iter_mut().zip(r.energy) {
+            *a += v / n;
+        }
+    }
+    rows.push(Fig7Row { benchmark: "Average:".into(), energy: avg });
+    rows
+}
+
+/// The paper's in-text summary statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct Summary {
+    /// Average warp speedup (paper: 5.8).
+    pub avg_warp_speedup: f64,
+    /// Average warp speedup excluding `brev` (paper: 3.6).
+    pub avg_warp_speedup_excl_brev: f64,
+    /// Largest warp speedup (paper: 16.9, `brev`).
+    pub max_warp_speedup: f64,
+    /// Average warp energy reduction (paper: 57%).
+    pub avg_energy_reduction: f64,
+    /// Average warp energy reduction excluding `brev` (paper: 49%).
+    pub avg_energy_reduction_excl_brev: f64,
+    /// Maximum energy reduction (paper: 94%, `brev`).
+    pub max_energy_reduction: f64,
+    /// Mean of per-benchmark ARM11-time-over-warp-time (paper: ARM11 is
+    /// 2.6× faster on average).
+    pub arm11_speed_over_warp: f64,
+    /// Mean of per-benchmark ARM11-energy-over-warp-energy (paper: the
+    /// ARM11 uses ~80% more energy).
+    pub arm11_energy_over_warp: f64,
+    /// Mean of per-benchmark warp-speed-over-ARM10 (paper: 1.3×).
+    pub warp_speed_over_arm10: f64,
+    /// Mean of per-benchmark warp-energy-over-ARM10 (paper: warp uses
+    /// ~26% less).
+    pub warp_energy_over_arm10: f64,
+    /// Mean of per-benchmark MB-energy-over-ARM11 (paper: +48%).
+    pub mb_energy_over_arm11: f64,
+}
+
+/// Computes the summary statistics over a suite of comparisons.
+#[must_use]
+pub fn summary(comparisons: &[BenchmarkComparison]) -> Summary {
+    let n = comparisons.len().max(1) as f64;
+    let mean = |f: &dyn Fn(&BenchmarkComparison) -> f64| -> f64 {
+        comparisons.iter().map(|c| f(c)).sum::<f64>() / n
+    };
+    let excl: Vec<&BenchmarkComparison> =
+        comparisons.iter().filter(|c| c.name != "brev").collect();
+    let n_excl = excl.len().max(1) as f64;
+
+    fn arm<'a>(c: &'a BenchmarkComparison, name: &str) -> &'a ArmMeasurement {
+        c.arms.iter().find(|a| a.name == name).expect("core present")
+    }
+
+    Summary {
+        avg_warp_speedup: mean(&|c| c.warp.speedup()),
+        avg_warp_speedup_excl_brev: excl.iter().map(|c| c.warp.speedup()).sum::<f64>() / n_excl,
+        max_warp_speedup: comparisons
+            .iter()
+            .map(|c| c.warp.speedup())
+            .fold(0.0, f64::max),
+        avg_energy_reduction: mean(&|c| c.warp.energy_reduction()),
+        avg_energy_reduction_excl_brev: excl
+            .iter()
+            .map(|c| c.warp.energy_reduction())
+            .sum::<f64>()
+            / n_excl,
+        max_energy_reduction: comparisons
+            .iter()
+            .map(|c| c.warp.energy_reduction())
+            .fold(0.0, f64::max),
+        arm11_speed_over_warp: mean(&|c| c.warp.warped_seconds / arm(c, "ARM11").seconds),
+        arm11_energy_over_warp: mean(&|c| {
+            arm(c, "ARM11").energy_j / c.warp.energy_warp.total()
+        }),
+        warp_speed_over_arm10: mean(&|c| arm(c, "ARM10").seconds / c.warp.warped_seconds),
+        warp_energy_over_arm10: mean(&|c| {
+            c.warp.energy_warp.total() / arm(c, "ARM10").energy_j
+        }),
+        mb_energy_over_arm11: mean(&|c| c.mb_energy_j / arm(c, "ARM11").energy_j),
+    }
+}
+
+/// One row of the Section 2 configurability study.
+#[derive(Clone, Debug)]
+pub struct ConfigRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Configuration description.
+    pub config: String,
+    /// Execution cycles.
+    pub cycles: u64,
+    /// Slowdown versus the full configuration.
+    pub slowdown: f64,
+}
+
+/// Reproduces the Section 2 study: `brev` without barrel shifter and
+/// multiplier (paper: 2.1× slower) and `matmul` without multiplier
+/// (paper: 1.3× slower). `idct` without multiplier is included as an
+/// extension data point.
+#[must_use]
+pub fn config_study() -> Vec<ConfigRow> {
+    let mut rows = Vec::new();
+    let cases: [(&str, MbFeatures, &str); 6] = [
+        ("brev", MbFeatures::paper_default(), "barrel shifter + multiplier"),
+        ("brev", MbFeatures::minimal(), "no barrel shifter, no multiplier"),
+        ("matmul", MbFeatures::paper_default(), "barrel shifter + multiplier"),
+        ("matmul", MbFeatures::paper_default().with_multiplier(false), "no multiplier"),
+        ("idct", MbFeatures::paper_default(), "barrel shifter + multiplier"),
+        ("idct", MbFeatures::paper_default().with_multiplier(false), "no multiplier"),
+    ];
+    let mut base_cycles = 0u64;
+    for (name, features, desc) in cases {
+        let built = workloads::by_name(name).expect("known benchmark").build(features);
+        let mut sys = built.instantiate(&MbConfig::paper_default());
+        let outcome = sys.run(1_000_000_000).expect("benchmark runs");
+        built.verify(sys.dmem()).expect("results correct");
+        if desc.starts_with("barrel") {
+            base_cycles = outcome.cycles;
+        }
+        rows.push(ConfigRow {
+            benchmark: name.into(),
+            config: desc.into(),
+            cycles: outcome.cycles,
+            slowdown: outcome.cycles as f64 / base_cycles as f64,
+        });
+    }
+    rows
+}

@@ -1,0 +1,56 @@
+//! Warp processor orchestration — the paper's Figure 2 system.
+//!
+//! A warp processor starts executing a standard binary on the soft core
+//! alone. The on-chip profiler watches the instruction bus; once the
+//! critical kernel is known, the dynamic partitioning module (DPM) runs
+//! the ROCPART chain — decompilation, logic synthesis, technology
+//! mapping, placement, routing, bitstream generation — configures the
+//! WCLA, and patches the running binary so the kernel invokes hardware.
+//! All of that is implemented by the sibling crates; this crate wires
+//! the phases together and measures the result:
+//!
+//! * [`warp_run`] — end-to-end single-processor warp execution with
+//!   verification against the software-only run;
+//! * [`dpm`] — the DPM's own execution-time and memory model (the
+//!   "on-chip CAD is lean" claims of refs [15][16][17]);
+//! * [`experiments`] — the paper's evaluation: Figure 6 (speedups),
+//!   Figure 7 (normalized energy), the Section 2 configurability study,
+//!   and the in-text summary statistics;
+//! * [`multi`] — the Figure 4 multi-processor warp system with a single
+//!   shared DPM serving processors round-robin.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dpm;
+pub mod experiments;
+pub mod multi;
+mod system;
+
+pub use system::{warp_run, WarpError, WarpReport};
+
+/// Workspace-wide defaults for the warp flow.
+#[derive(Clone, Debug, Default)]
+pub struct WarpOptions {
+    /// Profiler cache configuration.
+    pub profiler: warp_profiler::ProfilerConfig,
+    /// MicroBlaze power model.
+    pub mb_power: warp_power::MbPower,
+    /// WCLA power model.
+    pub wcla_power: warp_power::WclaPowerModel,
+    /// Simulation cycle budget per phase.
+    pub cycle_budget: CycleBudget,
+}
+
+/// Simulation limits.
+#[derive(Clone, Copy, Debug)]
+pub struct CycleBudget {
+    /// Maximum cycles for each full-application run.
+    pub max_cycles: u64,
+}
+
+impl Default for CycleBudget {
+    fn default() -> Self {
+        CycleBudget { max_cycles: 500_000_000 }
+    }
+}

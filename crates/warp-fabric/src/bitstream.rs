@@ -1,0 +1,514 @@
+//! Configuration bitstream generation and decoding.
+//!
+//! The dynamic partitioning module "configures the configurable logic"
+//! by writing a bitstream. Here the bitstream is a flat `u32` word
+//! stream with a documented layout (header, slot configurations, wire
+//! drivers, input-bus table, MAC taps, output taps, flip-flop table).
+//! [`FabricSim`](crate::sim::FabricSim) evaluates circuits **from the
+//! decoded bitstream only** — never from the netlist — so generation
+//! and decoding are covered by end-to-end equivalence tests.
+
+use std::collections::HashMap;
+
+use mb_isa::Reg;
+use warp_synth::bits::InputWord;
+use warp_synth::map::LutNode;
+use warp_synth::LutNetlist;
+
+use crate::arch::{FabricConfig, SlotId, WireId};
+use crate::place::Placement;
+use crate::route::Routing;
+
+/// Which of a slot's two outputs a connection taps.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SlotOut {
+    /// The LUT's combinational output.
+    Lut,
+    /// The flip-flop's registered output.
+    Ff,
+}
+
+/// Source selection for a pin, bus tap, or output tap.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PinSource {
+    /// Unconnected (reads 0).
+    None,
+    /// Tapped from an adjacent routing wire.
+    Wire(WireId),
+    /// Tapped from the dedicated input bus.
+    Bus(u32),
+    /// Tied to a constant.
+    Const(bool),
+    /// Direct tap of a slot output (dedicated output bus / internal
+    /// LUT→FF feed).
+    Slot(SlotId, SlotOut),
+}
+
+/// Who drives a routing wire.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireDriver {
+    /// Undriven.
+    None,
+    /// Driven by a slot output through its connection box.
+    Slot(SlotId, SlotOut),
+    /// Driven by a neighboring wire through a switch box.
+    Wire(WireId),
+}
+
+/// One input-bus signal: a bit of a word-level input.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BusSignal {
+    /// The word this bit belongs to.
+    pub word: InputWord,
+    /// Bit position.
+    pub bit: u8,
+}
+
+/// Configuration of one slot.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SlotConfig {
+    /// LUT truth table and pin sources, when the LUT is used.
+    pub lut: Option<([PinSource; 3], u8)>,
+    /// FF D source, when the flip-flop is used.
+    pub ff_d: Option<PinSource>,
+}
+
+/// One MAC operation's operand taps.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MacConfig {
+    /// Multiplicand bit sources.
+    pub a: [PinSource; 32],
+    /// Multiplier bit sources.
+    pub b: [PinSource; 32],
+    /// Accumulate-port bit sources.
+    pub addend: [PinSource; 32],
+    /// Accumulate function.
+    pub mode: warp_synth::bits::MacMode,
+}
+
+/// One output word's taps.
+#[derive(Clone, PartialEq, Debug)]
+pub struct OutputConfig {
+    /// Index into the kernel's store list.
+    pub store: u32,
+    /// Bit sources.
+    pub bits: [PinSource; 32],
+}
+
+/// A flip-flop's bookkeeping entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FfEntry {
+    /// The slot hosting the flip-flop.
+    pub slot: SlotId,
+    /// Accumulator register the bit belongs to.
+    pub reg: Reg,
+    /// Bit position within the register.
+    pub bit: u8,
+}
+
+/// The decoded configuration (what the hardware's configuration memory
+/// holds).
+#[derive(Clone, PartialEq, Debug)]
+pub struct DecodedConfig {
+    /// CLB rows.
+    pub rows: usize,
+    /// CLB columns.
+    pub cols: usize,
+    /// Channel tracks.
+    pub tracks: usize,
+    /// Per-slot configuration.
+    pub slots: Vec<SlotConfig>,
+    /// Per-wire driver selection.
+    pub wire_driver: Vec<WireDriver>,
+    /// Input-bus signal table.
+    pub bus: Vec<BusSignal>,
+    /// MAC operand taps, in schedule order.
+    pub macs: Vec<MacConfig>,
+    /// Output word taps.
+    pub outputs: Vec<OutputConfig>,
+    /// Flip-flop table, in netlist FF order.
+    pub ffs: Vec<FfEntry>,
+}
+
+/// A packed configuration bitstream.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Bitstream {
+    words: Vec<u32>,
+}
+
+impl Bitstream {
+    /// The raw configuration words.
+    #[must_use]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn len_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Decodes the bitstream back into structured configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is truncated or malformed (bitstreams are
+    /// produced by [`generate`] in the same process; corruption is a
+    /// program error).
+    #[must_use]
+    pub fn decode(&self) -> DecodedConfig {
+        let mut cur = Cursor { words: &self.words, pos: 0 };
+        let rows = cur.take() as usize;
+        let cols = cur.take() as usize;
+        let tracks = cur.take() as usize;
+        let n_slots = cur.take() as usize;
+        let n_wires = cur.take() as usize;
+
+        let mut slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            let flags = cur.take();
+            let mut sc = SlotConfig::default();
+            if flags & 1 != 0 {
+                let truth = cur.take() as u8;
+                let pins = [decode_src(&mut cur), decode_src(&mut cur), decode_src(&mut cur)];
+                sc.lut = Some((pins, truth));
+            }
+            if flags & 2 != 0 {
+                sc.ff_d = Some(decode_src(&mut cur));
+            }
+            slots.push(sc);
+        }
+
+        let mut wire_driver = Vec::with_capacity(n_wires);
+        for _ in 0..n_wires {
+            let w = cur.take();
+            wire_driver.push(match w & 0x3 {
+                0 => WireDriver::None,
+                1 => WireDriver::Slot(SlotId(w >> 3), if w & 0x4 != 0 { SlotOut::Ff } else { SlotOut::Lut }),
+                2 => WireDriver::Wire(WireId(w >> 3)),
+                _ => unreachable!("invalid wire driver tag"),
+            });
+        }
+
+        let n_bus = cur.take() as usize;
+        let mut bus = Vec::with_capacity(n_bus);
+        for _ in 0..n_bus {
+            let tag = cur.take();
+            let bit = (tag >> 24) as u8;
+            let word = match tag & 0x3 {
+                0 => InputWord::Load {
+                    stream: ((tag >> 2) & 0x3) as usize,
+                    offset: cur.take() as i32,
+                },
+                1 => InputWord::Invariant(Reg::new(((tag >> 2) & 31) as u8)),
+                _ => InputWord::MacOut(((tag >> 2) & 0xFFFF) as usize),
+            };
+            bus.push(BusSignal { word, bit });
+        }
+
+        let n_macs = cur.take() as usize;
+        let mut macs = Vec::with_capacity(n_macs);
+        for _ in 0..n_macs {
+            let mode = match cur.take() {
+                0 => warp_synth::bits::MacMode::MulAdd,
+                1 => warp_synth::bits::MacMode::AddendMinusProd,
+                _ => warp_synth::bits::MacMode::ProdMinusAddend,
+            };
+            let a = core::array::from_fn(|_| decode_src(&mut cur));
+            let b = core::array::from_fn(|_| decode_src(&mut cur));
+            let addend = core::array::from_fn(|_| decode_src(&mut cur));
+            macs.push(MacConfig { a, b, addend, mode });
+        }
+
+        let n_outputs = cur.take() as usize;
+        let mut outputs = Vec::with_capacity(n_outputs);
+        for _ in 0..n_outputs {
+            let store = cur.take();
+            let bits = core::array::from_fn(|_| decode_src(&mut cur));
+            outputs.push(OutputConfig { store, bits });
+        }
+
+        let n_ffs = cur.take() as usize;
+        let mut ffs = Vec::with_capacity(n_ffs);
+        for _ in 0..n_ffs {
+            let slot = SlotId(cur.take());
+            let meta = cur.take();
+            ffs.push(FfEntry {
+                slot,
+                reg: Reg::new((meta & 31) as u8),
+                bit: ((meta >> 5) & 31) as u8,
+            });
+        }
+
+        DecodedConfig { rows, cols, tracks, slots, wire_driver, bus, macs, outputs, ffs }
+    }
+}
+
+struct Cursor<'a> {
+    words: &'a [u32],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self) -> u32 {
+        let w = self.words[self.pos];
+        self.pos += 1;
+        w
+    }
+}
+
+fn encode_src(out: &mut Vec<u32>, s: PinSource) {
+    match s {
+        PinSource::None => out.push(0),
+        PinSource::Wire(w) => out.push(1 | (w.0 << 3)),
+        PinSource::Bus(b) => out.push(2 | (b << 3)),
+        PinSource::Const(v) => out.push(3 | (u32::from(v) << 3)),
+        PinSource::Slot(s, SlotOut::Lut) => out.push(4 | (s.0 << 3)),
+        PinSource::Slot(s, SlotOut::Ff) => out.push(5 | (s.0 << 3)),
+    }
+}
+
+fn decode_src(cur: &mut Cursor<'_>) -> PinSource {
+    let w = cur.take();
+    match w & 0x7 {
+        0 => PinSource::None,
+        1 => PinSource::Wire(WireId(w >> 3)),
+        2 => PinSource::Bus(w >> 3),
+        3 => PinSource::Const(w >> 3 & 1 == 1),
+        4 => PinSource::Slot(SlotId(w >> 3), SlotOut::Lut),
+        5 => PinSource::Slot(SlotId(w >> 3), SlotOut::Ff),
+        other => unreachable!("invalid pin source tag {other}"),
+    }
+}
+
+fn encode_bus_word(out: &mut Vec<u32>, sig: BusSignal) {
+    let bit = u32::from(sig.bit) << 24;
+    match sig.word {
+        InputWord::Load { stream, offset } => {
+            out.push(bit | ((stream as u32) << 2));
+            out.push(offset as u32);
+        }
+        InputWord::Invariant(r) => out.push(bit | 1 | (u32::from(r.number()) << 2)),
+        InputWord::MacOut(k) => out.push(bit | 2 | ((k as u32) << 2)),
+    }
+}
+
+/// Generates the configuration bitstream for a placed-and-routed
+/// netlist.
+#[must_use]
+pub fn generate(
+    netlist: &LutNetlist,
+    placement: &Placement,
+    routing: &Routing,
+    config: &FabricConfig,
+) -> Bitstream {
+    let n_slots = config.lut_slots();
+    let n_wires = config.wire_count();
+
+    // Input-bus table: every Input/Const-free (word, bit) the netlist
+    // references gets a bus index.
+    let mut bus: Vec<BusSignal> = Vec::new();
+    let mut bus_index: HashMap<(InputWord, u8), u32> = HashMap::new();
+    for node in netlist.nodes() {
+        if let LutNode::Input { word, bit } = node {
+            bus_index.entry((*word, *bit)).or_insert_with(|| {
+                bus.push(BusSignal { word: *word, bit: *bit });
+                (bus.len() - 1) as u32
+            });
+        }
+    }
+
+    // Per-(slot, pin) routed wire taps.
+    let mut pin_wire: HashMap<(SlotId, u8), WireId> = HashMap::new();
+    let mut wire_driver = vec![WireDriver::None; n_wires];
+    for net in &routing.nets {
+        let driver_out = match netlist.nodes()[net.driver_node as usize] {
+            LutNode::Lut { .. } => SlotOut::Lut,
+            LutNode::FfQ(_) => SlotOut::Ff,
+            _ => unreachable!("only slot outputs are routed"),
+        };
+        let mut driven: Vec<WireId> = Vec::new();
+        for sink in &net.sinks {
+            for (i, &w) in sink.path.iter().enumerate() {
+                if driven.contains(&w) {
+                    continue;
+                }
+                let d = if i == 0 {
+                    WireDriver::Slot(net.driver_slot, driver_out)
+                } else {
+                    WireDriver::Wire(sink.path[i - 1])
+                };
+                wire_driver[w.0 as usize] = d;
+                driven.push(w);
+            }
+            pin_wire.insert((sink.slot, sink.pin), *sink.path.last().expect("non-empty path"));
+        }
+    }
+
+    // Resolve a netlist node reference into a pin source.
+    let source_of = |node: u32, sink: Option<(SlotId, u8)>| -> PinSource {
+        match &netlist.nodes()[node as usize] {
+            LutNode::Const(v) => PinSource::Const(*v),
+            LutNode::Input { word, bit } => PinSource::Bus(bus_index[&(*word, *bit)]),
+            LutNode::Lut { .. } | LutNode::FfQ(_) => {
+                if let Some(key) = sink {
+                    if let Some(&w) = pin_wire.get(&key) {
+                        return PinSource::Wire(w);
+                    }
+                }
+                // Dedicated tap (output bus, MAC operand, or internal
+                // LUT→FF feed).
+                match &netlist.nodes()[node as usize] {
+                    LutNode::Lut { .. } => PinSource::Slot(placement.slot_of_lut(node), SlotOut::Lut),
+                    LutNode::FfQ(k) => PinSource::Slot(placement.ff_slot[k], SlotOut::Ff),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    };
+
+    // Slot configurations.
+    let mut slots = vec![SlotConfig::default(); n_slots];
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        if let LutNode::Lut { inputs, truth } = node {
+            let slot = placement.slot_of_lut(i as u32);
+            let mut pins = [PinSource::None; 3];
+            for (p, &inp) in inputs.iter().enumerate() {
+                pins[p] = source_of(inp, Some((slot, p as u8)));
+            }
+            slots[slot.0 as usize].lut = Some((pins, *truth));
+        }
+    }
+    let mut ffs = Vec::with_capacity(netlist.ffs().len());
+    for (k, ff) in netlist.ffs().iter().enumerate() {
+        let slot = placement.ff_slot[&k];
+        slots[slot.0 as usize].ff_d = Some(source_of(ff.d, Some((slot, 3))));
+        ffs.push(FfEntry { slot, reg: ff.reg, bit: ff.bit });
+    }
+
+    // MAC and output taps (dedicated buses: direct slot taps).
+    let macs: Vec<MacConfig> = netlist
+        .macs()
+        .iter()
+        .map(|m| MacConfig {
+            a: m.a.map(|r| source_of(r, None)),
+            b: m.b.map(|r| source_of(r, None)),
+            addend: m.addend.map(|r| source_of(r, None)),
+            mode: m.mode,
+        })
+        .collect();
+    let outputs: Vec<OutputConfig> = netlist
+        .outputs()
+        .iter()
+        .map(|o| OutputConfig { store: o.store as u32, bits: o.bits.map(|r| source_of(r, None)) })
+        .collect();
+
+    // Pack.
+    let mut words = vec![
+        config.rows as u32,
+        config.cols as u32,
+        config.tracks as u32,
+        n_slots as u32,
+        n_wires as u32,
+    ];
+    for sc in &slots {
+        let flags = u32::from(sc.lut.is_some()) | (u32::from(sc.ff_d.is_some()) << 1);
+        words.push(flags);
+        if let Some((pins, truth)) = &sc.lut {
+            words.push(u32::from(*truth));
+            for &p in pins {
+                encode_src(&mut words, p);
+            }
+        }
+        if let Some(d) = sc.ff_d {
+            encode_src(&mut words, d);
+        }
+    }
+    for d in &wire_driver {
+        words.push(match *d {
+            WireDriver::None => 0,
+            WireDriver::Slot(s, o) => 1 | (u32::from(o == SlotOut::Ff) << 2) | (s.0 << 3),
+            WireDriver::Wire(w) => 2 | (w.0 << 3),
+        });
+    }
+    words.push(bus.len() as u32);
+    for &sig in &bus {
+        encode_bus_word(&mut words, sig);
+    }
+    words.push(macs.len() as u32);
+    for m in &macs {
+        words.push(match m.mode {
+            warp_synth::bits::MacMode::MulAdd => 0,
+            warp_synth::bits::MacMode::AddendMinusProd => 1,
+            warp_synth::bits::MacMode::ProdMinusAddend => 2,
+        });
+        for &p in m.a.iter().chain(m.b.iter()).chain(m.addend.iter()) {
+            encode_src(&mut words, p);
+        }
+    }
+    words.push(outputs.len() as u32);
+    for o in &outputs {
+        words.push(o.store);
+        for &p in &o.bits {
+            encode_src(&mut words, p);
+        }
+    }
+    words.push(ffs.len() as u32);
+    for f in &ffs {
+        words.push(f.slot.0);
+        words.push(u32::from(f.reg.number()) | (u32::from(f.bit) << 5));
+    }
+
+    Bitstream { words }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_source_encoding_round_trips() {
+        let sources = [
+            PinSource::None,
+            PinSource::Wire(WireId(1234)),
+            PinSource::Bus(77),
+            PinSource::Const(true),
+            PinSource::Const(false),
+            PinSource::Slot(SlotId(99), SlotOut::Lut),
+            PinSource::Slot(SlotId(99), SlotOut::Ff),
+        ];
+        let mut words = Vec::new();
+        for &s in &sources {
+            encode_src(&mut words, s);
+        }
+        let mut cur = Cursor { words: &words, pos: 0 };
+        for &s in &sources {
+            assert_eq!(decode_src(&mut cur), s);
+        }
+    }
+
+    #[test]
+    fn bus_signal_encoding_round_trips() {
+        let sigs = [
+            BusSignal { word: InputWord::Load { stream: 2, offset: -8 }, bit: 31 },
+            BusSignal { word: InputWord::Invariant(Reg::R20), bit: 0 },
+            BusSignal { word: InputWord::MacOut(13), bit: 15 },
+        ];
+        let mut words = Vec::new();
+        for &s in &sigs {
+            encode_bus_word(&mut words, s);
+        }
+        let mut cur = Cursor { words: &words, pos: 0 };
+        for &want in &sigs {
+            let tag = cur.take();
+            let bit = (tag >> 24) as u8;
+            let word = match tag & 0x3 {
+                0 => InputWord::Load { stream: ((tag >> 2) & 0x3) as usize, offset: cur.take() as i32 },
+                1 => InputWord::Invariant(Reg::new(((tag >> 2) & 31) as u8)),
+                _ => InputWord::MacOut(((tag >> 2) & 0xFFFF) as usize),
+            };
+            assert_eq!(BusSignal { word, bit }, want);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The warp processor's simple configurable logic fabric, with on-chip
+//! place & route.
+//!
+//! The paper's warp processor does not target the FPGA's native fabric —
+//! "developing computer aided design tools for existing FPGAs capable of
+//! executing on-chip using very limited memory resources is a difficult
+//! task". Instead it uses a *simple configurable logic fabric* designed
+//! together with "a set of lean synthesis, technology mapping, placement,
+//! and routing algorithms" (DATE'04 / DAC'04, refs [15][16]). This crate
+//! implements that fabric and those back-end tools:
+//!
+//! * [`FabricConfig`] — an island-style array of CLBs (two 3-input LUTs
+//!   with optional flip-flops per CLB), horizontal/vertical routing
+//!   channels with a configurable track count, full connection boxes and
+//!   disjoint switch boxes, and input ports along the left edge fed by
+//!   the WCLA registers;
+//! * [`place`] — levelized placement with greedy swap refinement;
+//! * [`route`] — the Riverside On-Chip Router: a PathFinder-style
+//!   negotiated-congestion router with A*-directed searches, trimmed to
+//!   the memory budget of an on-chip tool;
+//! * [`bitstream`] — configuration bit generation and decoding;
+//! * [`sim`] — functional simulation *from the decoded bitstream* (not
+//!   from the netlist), so a configuration bug cannot hide;
+//! * [`timing`] — routed critical-path extraction, which sets the
+//!   hardware clock the WCLA executor uses.
+//!
+//! The top-level entry point is [`compile`], which runs
+//! place → route → bitstream → timing and retries with wider channels if
+//! routing fails (the channel-width sweep of the DAC'04 evaluation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod bitstream;
+pub mod place;
+pub mod route;
+pub mod sim;
+pub mod timing;
+
+use std::error::Error;
+use std::fmt;
+
+use warp_synth::LutNetlist;
+
+pub use arch::FabricConfig;
+pub use bitstream::Bitstream;
+pub use place::Placement;
+pub use route::RouteStats;
+pub use sim::FabricSim;
+pub use timing::TimingReport;
+
+/// Why a netlist could not be compiled onto the fabric.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CompileError {
+    /// More LUTs/FFs than the fabric has slots.
+    FabricFull {
+        /// LUT slots required.
+        needed: usize,
+        /// LUT slots available.
+        available: usize,
+    },
+    /// Routing failed even at the maximum channel width.
+    Unroutable {
+        /// Channel width at which routing gave up.
+        tracks: usize,
+        /// Nets that remained congested.
+        overused: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::FabricFull { needed, available } => {
+                write!(f, "design needs {needed} LUT slots, fabric has {available}")
+            }
+            CompileError::Unroutable { tracks, overused } => {
+                write!(f, "{overused} nets unroutable at channel width {tracks}")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+/// A fully compiled kernel circuit: configuration plus reports.
+#[derive(Clone, Debug)]
+pub struct CompiledCircuit {
+    /// The fabric configuration used (after any channel-width retries).
+    pub config: FabricConfig,
+    /// Where each netlist node landed.
+    pub placement: Placement,
+    /// The configuration bitstream.
+    pub bitstream: Bitstream,
+    /// Routing statistics (iterations, wirelength, channel width).
+    pub route_stats: RouteStats,
+    /// Routed timing: critical path and achievable clock.
+    pub timing: TimingReport,
+}
+
+/// Places, routes, and configures a mapped netlist onto the fabric,
+/// widening the routing channels (up to 4 doublings) if congestion
+/// cannot be resolved.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if the netlist exceeds the fabric capacity
+/// or remains unroutable at the maximum channel width.
+pub fn compile(netlist: &LutNetlist, base: &FabricConfig) -> Result<CompiledCircuit, CompileError> {
+    let mut config = base.clone();
+    let mut last_overused = 0;
+    for _attempt in 0..5 {
+        let placement = place::place(netlist, &config)?;
+        match route::route(netlist, &placement, &config) {
+            Ok(routing) => {
+                let bitstream = bitstream::generate(netlist, &placement, &routing, &config);
+                let timing = timing::analyze(netlist, &placement, &routing, &config);
+                return Ok(CompiledCircuit {
+                    config,
+                    placement,
+                    bitstream,
+                    route_stats: routing.stats,
+                    timing,
+                });
+            }
+            Err(route::RouteError::Congested { overused }) => {
+                last_overused = overused;
+                config.tracks *= 2;
+            }
+        }
+    }
+    Err(CompileError::Unroutable { tracks: config.tracks, overused: last_overused })
+}

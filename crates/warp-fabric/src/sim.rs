@@ -1,0 +1,303 @@
+//! Functional simulation from the decoded bitstream.
+//!
+//! [`FabricSim`] reconstructs the circuit *only* from configuration
+//! bits: wire drivers, LUT pin taps, bus tables, and output taps. It
+//! never sees the netlist, so a bug anywhere in placement, routing, or
+//! bitstream packing shows up as a functional mismatch in the
+//! equivalence tests.
+
+use warp_synth::bits::InputWord;
+
+use crate::bitstream::{Bitstream, DecodedConfig, PinSource, SlotOut, WireDriver};
+
+/// Evaluation node indices: wires, then slot LUT outputs, then MACs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Node {
+    Wire(usize),
+    SlotLut(usize),
+    Mac(usize),
+}
+
+/// A configured fabric ready to evaluate.
+#[derive(Clone, Debug)]
+pub struct FabricSim {
+    config: DecodedConfig,
+    /// Evaluation order (topological over wires, LUTs, MACs).
+    order: Vec<Node>,
+}
+
+/// One evaluation's results.
+#[derive(Clone, Debug)]
+pub struct FabricEval {
+    /// Output word values, in output-table order (store index, value).
+    pub outputs: Vec<(u32, u32)>,
+    /// Next flip-flop states, in FF-table order.
+    pub ff_next: Vec<bool>,
+    /// Resolved MAC products, in schedule order.
+    pub mac_values: Vec<u32>,
+}
+
+impl FabricSim {
+    /// Decodes a bitstream and computes the evaluation schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration contains a combinational loop (the
+    /// CAD flow never produces one).
+    #[must_use]
+    pub fn new(bitstream: &Bitstream) -> Self {
+        let config = bitstream.decode();
+        let n_wires = config.wire_driver.len();
+        let n_slots = config.slots.len();
+        let n_macs = config.macs.len();
+        let total = n_wires + n_slots + n_macs;
+
+        // Dependency edges for the topological sort.
+        let index_of = |n: Node| -> usize {
+            match n {
+                Node::Wire(w) => w,
+                Node::SlotLut(s) => n_wires + s,
+                Node::Mac(k) => n_wires + n_slots + k,
+            }
+        };
+        let node_of = |i: usize| -> Node {
+            if i < n_wires {
+                Node::Wire(i)
+            } else if i < n_wires + n_slots {
+                Node::SlotLut(i - n_wires)
+            } else {
+                Node::Mac(i - n_wires - n_slots)
+            }
+        };
+        let deps_of = |n: Node, out: &mut Vec<usize>| {
+            out.clear();
+            let push_src = |s: PinSource, out: &mut Vec<usize>| match s {
+                PinSource::Wire(w) => out.push(index_of(Node::Wire(w.0 as usize))),
+                PinSource::Bus(b) => {
+                    if let crate::bitstream::BusSignal { word: InputWord::MacOut(k), .. } =
+                        config.bus[b as usize]
+                    {
+                        out.push(index_of(Node::Mac(k)));
+                    }
+                }
+                PinSource::Slot(slot, SlotOut::Lut) => {
+                    out.push(index_of(Node::SlotLut(slot.0 as usize)));
+                }
+                // FF outputs are state: no combinational dependency.
+                PinSource::Slot(_, SlotOut::Ff) | PinSource::Const(_) | PinSource::None => {}
+            };
+            match n {
+                Node::Wire(w) => match config.wire_driver[w] {
+                    WireDriver::None => {}
+                    WireDriver::Slot(s, SlotOut::Lut) => out.push(index_of(Node::SlotLut(s.0 as usize))),
+                    WireDriver::Slot(_, SlotOut::Ff) => {}
+                    WireDriver::Wire(src) => out.push(index_of(Node::Wire(src.0 as usize))),
+                },
+                Node::SlotLut(s) => {
+                    if let Some((pins, _)) = &config.slots[s].lut {
+                        for &p in pins {
+                            push_src(p, out);
+                        }
+                    }
+                }
+                Node::Mac(k) => {
+                    let m = &config.macs[k];
+                    for &p in m.a.iter().chain(m.b.iter()).chain(m.addend.iter()) {
+                        push_src(p, out);
+                    }
+                }
+            }
+        };
+
+        // Iterative DFS topological sort.
+        let mut state = vec![0u8; total]; // 0 = new, 1 = open, 2 = done
+        let mut order = Vec::with_capacity(total);
+        let mut deps = Vec::new();
+        for start in 0..total {
+            if state[start] != 0 {
+                continue;
+            }
+            let mut stack = vec![(start, false)];
+            while let Some((i, expanded)) = stack.pop() {
+                if expanded {
+                    state[i] = 2;
+                    order.push(node_of(i));
+                    continue;
+                }
+                if state[i] == 2 {
+                    continue;
+                }
+                assert!(state[i] != 1, "combinational loop in configuration");
+                state[i] = 1;
+                stack.push((i, true));
+                deps_of(node_of(i), &mut deps);
+                for &d in &deps {
+                    if state[d] == 0 {
+                        stack.push((d, false));
+                    } else {
+                        assert!(state[d] != 1 || d == i, "combinational loop in configuration");
+                    }
+                }
+            }
+        }
+
+        FabricSim { config, order }
+    }
+
+    /// The decoded configuration.
+    #[must_use]
+    pub fn config(&self) -> &DecodedConfig {
+        &self.config
+    }
+
+    /// Evaluates one iteration: resolves the input bus via `inputs`,
+    /// reads flip-flop state from `ff_state` (FF-table order), and
+    /// returns outputs, next FF states, and MAC products.
+    pub fn eval(&self, mut inputs: impl FnMut(InputWord) -> u32, ff_state: &[bool]) -> FabricEval {
+        let n_wires = self.config.wire_driver.len();
+        let n_slots = self.config.slots.len();
+        let mut wire_val = vec![false; n_wires];
+        let mut lut_val = vec![false; n_slots];
+        let mut mac_val = vec![0u32; self.config.macs.len()];
+
+        // FF state lookup by slot.
+        let mut ff_by_slot = vec![None; n_slots];
+        for (k, f) in self.config.ffs.iter().enumerate() {
+            ff_by_slot[f.slot.0 as usize] = Some(k);
+        }
+        let ff_q = |slot: usize| -> bool {
+            ff_by_slot[slot].map_or(false, |k| ff_state.get(k).copied().unwrap_or(false))
+        };
+
+        let mut bus_cache: Vec<Option<u32>> = vec![None; self.config.bus.len()];
+
+        macro_rules! src_val {
+            ($s:expr, $wire_val:expr, $lut_val:expr, $mac_val:expr, $bus_cache:expr) => {
+                match $s {
+                    PinSource::None => false,
+                    PinSource::Const(v) => v,
+                    PinSource::Wire(w) => $wire_val[w.0 as usize],
+                    PinSource::Slot(slot, SlotOut::Lut) => $lut_val[slot.0 as usize],
+                    PinSource::Slot(slot, SlotOut::Ff) => ff_q(slot.0 as usize),
+                    PinSource::Bus(b) => {
+                        let sig = self.config.bus[b as usize];
+                        let word = match sig.word {
+                            InputWord::MacOut(k) => $mac_val[k],
+                            other => *$bus_cache[b as usize].get_or_insert_with(|| inputs(other)),
+                        };
+                        word >> sig.bit & 1 == 1
+                    }
+                }
+            };
+        }
+
+        for &node in &self.order {
+            match node {
+                Node::Wire(w) => {
+                    wire_val[w] = match self.config.wire_driver[w] {
+                        WireDriver::None => false,
+                        WireDriver::Slot(s, SlotOut::Lut) => lut_val[s.0 as usize],
+                        WireDriver::Slot(s, SlotOut::Ff) => ff_q(s.0 as usize),
+                        WireDriver::Wire(src) => wire_val[src.0 as usize],
+                    };
+                }
+                Node::SlotLut(s) => {
+                    if let Some((pins, truth)) = &self.config.slots[s].lut {
+                        let mut idx = 0u8;
+                        for (p, &pin) in pins.iter().enumerate() {
+                            if src_val!(pin, wire_val, lut_val, mac_val, bus_cache) {
+                                idx |= 1 << p;
+                            }
+                        }
+                        lut_val[s] = truth >> idx & 1 == 1;
+                    }
+                }
+                Node::Mac(k) => {
+                    let take = |bits: &[PinSource; 32],
+                                wire_val: &Vec<bool>,
+                                lut_val: &Vec<bool>,
+                                mac_val: &Vec<u32>,
+                                bus_cache: &mut Vec<Option<u32>>,
+                                inputs: &mut dyn FnMut(InputWord) -> u32|
+                     -> u32 {
+                        let mut v = 0u32;
+                        for (i, &s) in bits.iter().enumerate() {
+                            let b = match s {
+                                PinSource::None => false,
+                                PinSource::Const(c) => c,
+                                PinSource::Wire(w) => wire_val[w.0 as usize],
+                                PinSource::Slot(slot, SlotOut::Lut) => lut_val[slot.0 as usize],
+                                PinSource::Slot(slot, SlotOut::Ff) => ff_q(slot.0 as usize),
+                                PinSource::Bus(bi) => {
+                                    let sig = self.config.bus[bi as usize];
+                                    let word = match sig.word {
+                                        InputWord::MacOut(j) => mac_val[j],
+                                        other => *bus_cache[bi as usize]
+                                            .get_or_insert_with(|| inputs(other)),
+                                    };
+                                    word >> sig.bit & 1 == 1
+                                }
+                            };
+                            v |= u32::from(b) << i;
+                        }
+                        v
+                    };
+                    let a = take(
+                        &self.config.macs[k].a,
+                        &wire_val,
+                        &lut_val,
+                        &mac_val,
+                        &mut bus_cache,
+                        &mut inputs,
+                    );
+                    let b = take(
+                        &self.config.macs[k].b,
+                        &wire_val,
+                        &lut_val,
+                        &mac_val,
+                        &mut bus_cache,
+                        &mut inputs,
+                    );
+                    let addend = take(
+                        &self.config.macs[k].addend,
+                        &wire_val,
+                        &lut_val,
+                        &mac_val,
+                        &mut bus_cache,
+                        &mut inputs,
+                    );
+                    mac_val[k] = self.config.macs[k].mode.apply(a.wrapping_mul(b), addend);
+                }
+            }
+        }
+
+        // Outputs and FF next states.
+        let outputs = self
+            .config
+            .outputs
+            .iter()
+            .map(|o| {
+                let mut v = 0u32;
+                for (i, &s) in o.bits.iter().enumerate() {
+                    if src_val!(s, wire_val, lut_val, mac_val, bus_cache) {
+                        v |= 1 << i;
+                    }
+                }
+                (o.store, v)
+            })
+            .collect();
+        let ff_next = self
+            .config
+            .ffs
+            .iter()
+            .map(|f| {
+                let d = self.config.slots[f.slot.0 as usize]
+                    .ff_d
+                    .expect("configured FF has a D source");
+                src_val!(d, wire_val, lut_val, mac_val, bus_cache)
+            })
+            .collect();
+
+        FabricEval { outputs, ff_next, mac_values: mac_val }
+    }
+}

@@ -1,0 +1,164 @@
+//! Routed timing analysis.
+//!
+//! Computes each net's routed delay (wire segments and switch hops plus
+//! connection taps) and the design's critical combinational path, which
+//! sets the clock the WCLA runs the circuit at. MAC timing is handled
+//! by the WCLA executor (the MAC is a hard block with its own latency);
+//! paths through MAC outputs therefore terminate at the MAC boundary
+//! here.
+
+use std::collections::HashMap;
+
+use warp_synth::map::LutNode;
+use warp_synth::LutNetlist;
+
+use crate::arch::FabricConfig;
+use crate::place::Placement;
+use crate::route::Routing;
+
+/// Timing results for a compiled circuit.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TimingReport {
+    /// Longest register/input-to-register/output combinational path.
+    pub critical_path_ns: f64,
+    /// Maximum clock implied by the critical path.
+    pub fmax_hz: f64,
+    /// Longest routed net delay.
+    pub max_net_ns: f64,
+    /// Average routed net delay.
+    pub avg_net_ns: f64,
+}
+
+/// Analyzes a placed-and-routed design.
+#[must_use]
+pub fn analyze(
+    netlist: &LutNetlist,
+    placement: &Placement,
+    routing: &Routing,
+    config: &FabricConfig,
+) -> TimingReport {
+    let d = &config.delays;
+    let _ = placement;
+
+    // Routed delay per (sink slot, pin): wire count * wire + hops * switch.
+    let mut sink_delay: HashMap<(u32, u8), f64> = HashMap::new();
+    let mut net_delays: Vec<f64> = Vec::new();
+    for net in &routing.nets {
+        for sink in &net.sinks {
+            let wires = sink.path.len() as f64;
+            let delay = wires * d.wire_ns + (wires + 1.0) * d.switch_ns;
+            sink_delay.insert((sink.slot.0, sink.pin), delay);
+            net_delays.push(delay);
+        }
+    }
+
+    // Arrival times over the netlist in topological order.
+    let mut arrival = vec![0.0f64; netlist.nodes().len()];
+    let mut critical = 0.0f64;
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        arrival[i] = match node {
+            // Inputs arrive over the dedicated bus; FF state is clocked.
+            LutNode::Const(_) => 0.0,
+            LutNode::Input { .. } => d.bus_tap_ns,
+            LutNode::FfQ(_) => d.ff_ns,
+            LutNode::Lut { inputs, .. } => {
+                let slot = placement.slot_of_lut(i as u32);
+                let mut worst: f64 = 0.0;
+                for (p, &inp) in inputs.iter().enumerate() {
+                    let net = sink_delay.get(&(slot.0, p as u8)).copied().unwrap_or(d.bus_tap_ns);
+                    worst = worst.max(arrival[inp as usize] + net);
+                }
+                worst + d.lut_ns
+            }
+        };
+        critical = critical.max(arrival[i]);
+    }
+
+    // FF D setup paths.
+    for (k, ff) in netlist.ffs().iter().enumerate() {
+        let slot = placement.ff_slot[&k];
+        let net = sink_delay.get(&(slot.0, 3)).copied().unwrap_or(0.0);
+        critical = critical.max(arrival[ff.d as usize] + net + d.ff_ns);
+    }
+    // Output and MAC taps ride the dedicated bus.
+    for o in netlist.outputs() {
+        for &b in &o.bits {
+            critical = critical.max(arrival[b as usize] + d.bus_tap_ns);
+        }
+    }
+    for m in netlist.macs() {
+        for &b in m.a.iter().chain(m.b.iter()).chain(m.addend.iter()) {
+            critical = critical.max(arrival[b as usize] + d.bus_tap_ns);
+        }
+    }
+
+    let critical = critical.max(d.lut_ns); // empty designs still clock
+    let (max_net, sum_net) =
+        net_delays.iter().fold((0.0f64, 0.0f64), |(m, s), &x| (m.max(x), s + x));
+    TimingReport {
+        critical_path_ns: critical,
+        fmax_hz: 1e9 / critical,
+        max_net_ns: max_net,
+        avg_net_ns: if net_delays.is_empty() { 0.0 } else { sum_net / net_delays.len() as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::place;
+    use crate::route::route;
+    use warp_synth::bits::{GateNetlist, InputWord};
+    use warp_synth::map::map_netlist;
+
+    #[test]
+    fn deeper_logic_has_longer_critical_path() {
+        let shallow = {
+            let mut n = GateNetlist::new();
+            let a = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+            let b = n.input_word(InputWord::Load { stream: 1, offset: 0 });
+            let x = n.xor_word(a, b);
+            n.output(0, x);
+            map_netlist(&n)
+        };
+        let deep = {
+            let mut n = GateNetlist::new();
+            let a = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+            let b = n.input_word(InputWord::Load { stream: 1, offset: 0 });
+            let s = n.add_word(a, b, false); // carry chain
+            n.output(0, s);
+            map_netlist(&n)
+        };
+        let report = |nl: &warp_synth::LutNetlist| {
+            let mut cfg = FabricConfig::sized_for(nl.lut_count().max(8), 0);
+            cfg.tracks = 16;
+            let p = place(nl, &cfg).unwrap();
+            let r = route(nl, &p, &cfg).unwrap();
+            analyze(nl, &p, &r, &cfg)
+        };
+        let ts = report(&shallow);
+        let td = report(&deep);
+        assert!(
+            td.critical_path_ns > ts.critical_path_ns,
+            "adder ({:.1} ns) must be slower than xor ({:.1} ns)",
+            td.critical_path_ns,
+            ts.critical_path_ns
+        );
+        assert!(ts.fmax_hz > td.fmax_hz);
+        assert!(td.max_net_ns >= td.avg_net_ns);
+    }
+
+    #[test]
+    fn pure_wiring_clocks_at_lut_floor() {
+        let mut n = GateNetlist::new();
+        let a = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+        let sh = n.shl_word(a, 3);
+        n.output(0, sh);
+        let nl = map_netlist(&n);
+        let cfg = FabricConfig::paper_default();
+        let p = place(&nl, &cfg).unwrap();
+        let r = route(&nl, &p, &cfg).unwrap();
+        let t = analyze(&nl, &p, &r, &cfg);
+        assert!(t.critical_path_ns <= 2.0, "wire-only design is fast, got {}", t.critical_path_ns);
+    }
+}

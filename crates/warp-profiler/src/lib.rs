@@ -1,0 +1,300 @@
+//! Non-intrusive on-chip profiler model: frequent loop detection.
+//!
+//! The warp processor's profiler (based on Gordon-Ross & Vahid, CASES
+//! 2003, cited as [10] by the paper) watches the instruction addresses on
+//! the local instruction memory bus. "Whenever a backward branch occurs,
+//! the profiler updates a small cache that stores the branch
+//! frequencies." The most frequent backward branch closes the
+//! application's critical loop — the region the dynamic partitioning
+//! module moves to hardware.
+//!
+//! This crate models that hardware: a small fully-associative cache of
+//! branch entries with saturating counters, coldest-entry replacement,
+//! and counter aging by halving on saturation. It consumes the
+//! instruction [`Trace`](mb_sim::Trace) the simulator produces, exactly
+//! as the paper's experimental setup replayed traces captured with the
+//! Xilinx debug engine.
+//!
+//! # Example
+//!
+//! ```
+//! use warp_profiler::{Profiler, ProfilerConfig};
+//!
+//! let mut p = Profiler::new(ProfilerConfig::default());
+//! // A loop at 0x100..0x120 iterating 50 times.
+//! for _ in 0..50 {
+//!     p.observe_branch(0x120, 0x100);
+//! }
+//! let hot = p.best().expect("one hot loop");
+//! assert_eq!(hot.head, 0x100);
+//! assert_eq!(hot.tail, 0x120);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use mb_sim::{Trace, TraceEvent};
+
+/// Geometry of the profiler's branch-frequency cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProfilerConfig {
+    /// Number of cache entries (the CASES'03 design uses a small cache;
+    /// 16 entries suffice for embedded workloads).
+    pub entries: usize,
+    /// Saturating counter width in bits.
+    pub counter_bits: u32,
+}
+
+impl ProfilerConfig {
+    /// The configuration modeled in the paper's warp processor.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ProfilerConfig { entries: 16, counter_bits: 16 }
+    }
+
+    fn max_count(&self) -> u64 {
+        (1u64 << self.counter_bits) - 1
+    }
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A candidate critical region: one backward branch and its loop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HotRegion {
+    /// Loop head: the backward branch's target address.
+    pub head: u32,
+    /// Loop tail: the backward branch's own address.
+    pub tail: u32,
+    /// Saturating execution count observed.
+    pub count: u64,
+}
+
+impl fmt::Display for HotRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loop {:#06x}..{:#06x} (count {})", self.head, self.tail, self.count)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    tail: u32,
+    head: u32,
+    count: u64,
+}
+
+/// Hardware-cost statistics for the profiler cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ProfilerStats {
+    /// Backward-branch events observed.
+    pub events: u64,
+    /// Events that hit an existing cache entry.
+    pub hits: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Counter-aging passes (halving on saturation).
+    pub agings: u64,
+}
+
+/// The frequent-loop-detection cache.
+#[derive(Clone, Debug)]
+pub struct Profiler {
+    config: ProfilerConfig,
+    entries: Vec<Entry>,
+    stats: ProfilerStats,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    #[must_use]
+    pub fn new(config: ProfilerConfig) -> Self {
+        Profiler { config, entries: Vec::with_capacity(config.entries), stats: ProfilerStats::default() }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> ProfilerConfig {
+        self.config
+    }
+
+    /// Accumulated hardware-cost statistics.
+    #[must_use]
+    pub fn stats(&self) -> ProfilerStats {
+        self.stats
+    }
+
+    /// Records one taken backward branch: `branch_pc` → `target`.
+    ///
+    /// Forward branches are ignored (the hardware only watches for
+    /// branches whose target precedes them).
+    pub fn observe_branch(&mut self, branch_pc: u32, target: u32) {
+        if target > branch_pc {
+            return;
+        }
+        self.stats.events += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.tail == branch_pc) {
+            self.stats.hits += 1;
+            e.head = target;
+            e.count += 1;
+            if e.count >= self.config.max_count() {
+                self.age();
+            }
+            return;
+        }
+        if self.entries.len() >= self.config.entries {
+            // Evict the coldest entry — the hardware's replacement choice.
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.count)
+                .map(|(i, _)| i)
+                .expect("cache is non-empty");
+            self.entries.swap_remove(victim);
+            self.stats.evictions += 1;
+        }
+        self.entries.push(Entry { tail: branch_pc, head: target, count: 1 });
+    }
+
+    /// Halves every counter (aging on saturation keeps relative order
+    /// while preventing overflow).
+    fn age(&mut self) {
+        self.stats.agings += 1;
+        for e in &mut self.entries {
+            e.count /= 2;
+        }
+    }
+
+    /// Feeds one trace event to the profiler.
+    pub fn observe(&mut self, event: &TraceEvent) {
+        if event.taken == Some(true) {
+            if let Some(target) = event.target {
+                self.observe_branch(event.pc, target);
+            }
+        }
+    }
+
+    /// Feeds an entire trace.
+    pub fn observe_trace(&mut self, trace: &Trace) {
+        for e in trace {
+            self.observe(e);
+        }
+    }
+
+    /// All candidate regions, hottest first.
+    #[must_use]
+    pub fn hot_regions(&self) -> Vec<HotRegion> {
+        let mut v: Vec<HotRegion> = self
+            .entries
+            .iter()
+            .map(|e| HotRegion { head: e.head, tail: e.tail, count: e.count })
+            .collect();
+        v.sort_by(|a, b| b.count.cmp(&a.count).then(a.tail.cmp(&b.tail)));
+        v
+    }
+
+    /// The single most frequent loop, if any branch was observed.
+    #[must_use]
+    pub fn best(&self) -> Option<HotRegion> {
+        self.hot_regions().into_iter().next()
+    }
+
+    /// Clears all entries and statistics.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.stats = ProfilerStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_loops_by_frequency() {
+        let mut p = Profiler::new(ProfilerConfig::default());
+        for _ in 0..100 {
+            p.observe_branch(0x200, 0x180);
+        }
+        for _ in 0..40 {
+            p.observe_branch(0x300, 0x2C0);
+        }
+        let hot = p.hot_regions();
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].tail, 0x200);
+        assert_eq!(hot[0].count, 100);
+        assert_eq!(hot[1].tail, 0x300);
+    }
+
+    #[test]
+    fn ignores_forward_branches() {
+        let mut p = Profiler::new(ProfilerConfig::default());
+        p.observe_branch(0x100, 0x200);
+        assert!(p.best().is_none());
+        assert_eq!(p.stats().events, 0);
+    }
+
+    #[test]
+    fn self_branch_counts_as_backward() {
+        let mut p = Profiler::new(ProfilerConfig::default());
+        p.observe_branch(0x100, 0x100);
+        assert_eq!(p.best().unwrap().head, 0x100);
+    }
+
+    #[test]
+    fn eviction_removes_coldest() {
+        let mut p = Profiler::new(ProfilerConfig { entries: 2, counter_bits: 16 });
+        for _ in 0..10 {
+            p.observe_branch(0x100, 0x80);
+        }
+        for _ in 0..5 {
+            p.observe_branch(0x200, 0x180);
+        }
+        // Third distinct branch evicts the 5-count entry.
+        p.observe_branch(0x300, 0x280);
+        let hot = p.hot_regions();
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].tail, 0x100);
+        assert_eq!(hot[1].tail, 0x300);
+        assert_eq!(p.stats().evictions, 1);
+    }
+
+    #[test]
+    fn counters_age_on_saturation() {
+        let cfg = ProfilerConfig { entries: 4, counter_bits: 4 }; // max 15
+        let mut p = Profiler::new(cfg);
+        for _ in 0..14 {
+            p.observe_branch(0x100, 0x80);
+        }
+        for _ in 0..3 {
+            p.observe_branch(0x200, 0x180);
+        }
+        // Saturate the hot entry: aging halves everything.
+        p.observe_branch(0x100, 0x80);
+        assert!(p.stats().agings >= 1);
+        let hot = p.hot_regions();
+        assert_eq!(hot[0].tail, 0x100, "relative order preserved after aging");
+        assert!(hot[0].count < 15);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = Profiler::new(ProfilerConfig::default());
+        p.observe_branch(0x100, 0x80);
+        p.reset();
+        assert!(p.best().is_none());
+        assert_eq!(p.stats(), ProfilerStats::default());
+    }
+
+    #[test]
+    fn display_formats_region() {
+        let r = HotRegion { head: 0x80, tail: 0x100, count: 42 };
+        assert_eq!(r.to_string(), "loop 0x0080..0x0100 (count 42)");
+    }
+}

@@ -1,0 +1,39 @@
+//! The profiler must identify each benchmark's annotated kernel as the
+//! hottest loop from a real execution trace.
+
+use mb_isa::MbFeatures;
+use mb_sim::MbConfig;
+use warp_profiler::{Profiler, ProfilerConfig};
+
+#[test]
+fn profiler_finds_annotated_kernel_in_every_workload() {
+    for workload in workloads::all() {
+        let built = workload.build(MbFeatures::paper_default());
+        let mut sys = built.instantiate(&MbConfig::paper_default());
+        let (outcome, trace) = sys.run_traced(200_000_000).unwrap();
+        assert!(outcome.exited(), "{} must exit", workload.name);
+
+        let mut profiler = Profiler::new(ProfilerConfig::paper_default());
+        profiler.observe_trace(&trace);
+        let best = profiler.best().expect("some loop observed");
+        assert_eq!(
+            (best.head, best.tail),
+            (built.kernel.head, built.kernel.tail),
+            "{}: profiler found {best} but kernel is {:?}",
+            workload.name,
+            built.kernel,
+        );
+    }
+}
+
+#[test]
+fn tiny_cache_still_finds_dominant_kernel() {
+    // Even a 4-entry cache keeps the hottest loop resident.
+    let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());
+    let mut sys = built.instantiate(&MbConfig::paper_default());
+    let (_, trace) = sys.run_traced(200_000_000).unwrap();
+    let mut profiler = Profiler::new(ProfilerConfig { entries: 4, counter_bits: 12 });
+    profiler.observe_trace(&trace);
+    let best = profiler.best().unwrap();
+    assert_eq!(best.head, built.kernel.head);
+}

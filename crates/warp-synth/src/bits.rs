@@ -1,0 +1,888 @@
+//! Bit-level gate netlists.
+//!
+//! A [`GateNetlist`] is a topologically-ordered array of bit definitions:
+//! constants, input bits, flip-flop outputs, and 1–3 input gates. The
+//! builder methods fold constants and hash-cons structurally identical
+//! gates as the netlist is constructed, so word-level operations whose
+//! logic disappears (shifts by constants, masks with constant words)
+//! really do cost zero gates.
+
+use std::collections::HashMap;
+
+use mb_isa::Reg;
+
+/// Index of a bit signal in a [`GateNetlist`].
+pub type BitId = u32;
+
+/// A 32-bit word as bit signals, LSB first.
+pub type Word = [BitId; 32];
+
+/// Identity of a word-level input to the fabric.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InputWord {
+    /// The value loaded this iteration from a DADG stream offset.
+    Load {
+        /// Stream index.
+        stream: usize,
+        /// Byte offset from the stream cursor.
+        offset: i32,
+    },
+    /// A loop-invariant scalar seeded at invocation.
+    Invariant(Reg),
+    /// The output of the k-th MAC operation this iteration.
+    MacOut(usize),
+}
+
+/// Definition of one bit signal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BitDef {
+    /// Constant 0 or 1.
+    Const(bool),
+    /// Bit `bit` of a word-level input.
+    Input {
+        /// Which word.
+        word: InputWord,
+        /// Bit position (0 = LSB).
+        bit: u8,
+    },
+    /// Output of flip-flop `ff` (loop-carried accumulator state).
+    FfQ(usize),
+    /// Logical NOT.
+    Not(BitId),
+    /// Logical AND.
+    And(BitId, BitId),
+    /// Logical OR.
+    Or(BitId, BitId),
+    /// Logical XOR.
+    Xor(BitId, BitId),
+    /// 2:1 multiplexer: `sel ? t : f`.
+    Mux {
+        /// Select input.
+        sel: BitId,
+        /// Value when `sel` is 1.
+        t: BitId,
+        /// Value when `sel` is 0.
+        f: BitId,
+    },
+}
+
+impl BitDef {
+    /// The bit's fan-in signals.
+    #[must_use]
+    pub fn args(&self) -> Vec<BitId> {
+        match *self {
+            BitDef::Const(_) | BitDef::Input { .. } | BitDef::FfQ(_) => vec![],
+            BitDef::Not(a) => vec![a],
+            BitDef::And(a, b) | BitDef::Or(a, b) | BitDef::Xor(a, b) => vec![a, b],
+            BitDef::Mux { sel, t, f } => vec![sel, t, f],
+        }
+    }
+
+    /// Whether this is a combinational gate (not an input/constant/FF).
+    #[must_use]
+    pub fn is_gate(&self) -> bool {
+        matches!(self, BitDef::Not(_) | BitDef::And(..) | BitDef::Or(..) | BitDef::Xor(..) | BitDef::Mux { .. })
+    }
+}
+
+/// A loop-carried flip-flop (one bit of an accumulator register).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Ff {
+    /// The accumulator register this bit belongs to.
+    pub reg: Reg,
+    /// Bit position within the register.
+    pub bit: u8,
+    /// The D input (next state), filled in once the body is lowered.
+    pub d: BitId,
+}
+
+/// How a MAC operation combines its product with the addend — the
+/// accumulate function of the WCLA's 32-bit multiplier-accumulator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum MacMode {
+    /// `out = addend + a*b`.
+    #[default]
+    MulAdd,
+    /// `out = addend - a*b`.
+    AddendMinusProd,
+    /// `out = a*b - addend`.
+    ProdMinusAddend,
+}
+
+impl MacMode {
+    /// Applies the accumulate function.
+    #[must_use]
+    pub fn apply(self, prod: u32, addend: u32) -> u32 {
+        match self {
+            MacMode::MulAdd => addend.wrapping_add(prod),
+            MacMode::AddendMinusProd => addend.wrapping_sub(prod),
+            MacMode::ProdMinusAddend => prod.wrapping_sub(addend),
+        }
+    }
+}
+
+/// One MAC operation: `out = f(a * b, addend)` (low 32 bits), serialized
+/// on the WCLA's single 32-bit multiplier-accumulator. Plain multiplies
+/// use a zero addend.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MacOp {
+    /// Multiplicand bits.
+    pub a: Word,
+    /// Multiplier bits.
+    pub b: Word,
+    /// Accumulate input bits.
+    pub addend: Word,
+    /// Accumulate function.
+    pub mode: MacMode,
+}
+
+/// An output word (one store value per iteration).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OutputWord {
+    /// Index into the kernel's store list.
+    pub store: usize,
+    /// The 32 output bits.
+    pub bits: Word,
+}
+
+/// Size statistics for a gate netlist.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct NetlistStats {
+    /// Combinational gates (after folding and sweeping).
+    pub gates: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// MAC operations per iteration.
+    pub macs: u64,
+    /// Input bits.
+    pub inputs: u64,
+    /// Longest combinational path in gate levels.
+    pub depth: u64,
+}
+
+/// A bit-level netlist with structural hashing and constant folding.
+#[derive(Clone, Debug, Default)]
+pub struct GateNetlist {
+    defs: Vec<BitDef>,
+    cse: HashMap<BitDef, BitId>,
+    ffs: Vec<Ff>,
+    macs: Vec<MacOp>,
+    outputs: Vec<OutputWord>,
+}
+
+impl GateNetlist {
+    /// Creates an empty netlist.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern(&mut self, def: BitDef) -> BitId {
+        if let Some(&id) = self.cse.get(&def) {
+            return id;
+        }
+        let id = self.defs.len() as BitId;
+        self.defs.push(def);
+        self.cse.insert(def, id);
+        id
+    }
+
+    /// The definition of a bit.
+    #[must_use]
+    pub fn def(&self, id: BitId) -> BitDef {
+        self.defs[id as usize]
+    }
+
+    /// All bit definitions in topological order.
+    #[must_use]
+    pub fn defs(&self) -> &[BitDef] {
+        &self.defs
+    }
+
+    /// The flip-flops.
+    #[must_use]
+    pub fn ffs(&self) -> &[Ff] {
+        &self.ffs
+    }
+
+    /// The MAC schedule.
+    #[must_use]
+    pub fn macs(&self) -> &[MacOp] {
+        &self.macs
+    }
+
+    /// The output words.
+    #[must_use]
+    pub fn outputs(&self) -> &[OutputWord] {
+        &self.outputs
+    }
+
+    /// A constant bit.
+    pub fn constant(&mut self, v: bool) -> BitId {
+        self.intern(BitDef::Const(v))
+    }
+
+    /// Whether a bit is a known constant.
+    #[must_use]
+    pub fn const_of(&self, id: BitId) -> Option<bool> {
+        match self.defs[id as usize] {
+            BitDef::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// An input bit.
+    pub fn input(&mut self, word: InputWord, bit: u8) -> BitId {
+        self.intern(BitDef::Input { word, bit })
+    }
+
+    /// A full input word (LSB first).
+    pub fn input_word(&mut self, word: InputWord) -> Word {
+        core::array::from_fn(|i| self.input(word, i as u8))
+    }
+
+    /// A constant word.
+    pub fn const_word(&mut self, value: u32) -> Word {
+        core::array::from_fn(|i| self.constant(value >> i & 1 == 1))
+    }
+
+    /// Declares a flip-flop for accumulator `reg` bit `bit`; the D input
+    /// is wired later with [`GateNetlist::set_ff_d`].
+    pub fn ff(&mut self, reg: Reg, bit: u8) -> (usize, BitId) {
+        let idx = self.ffs.len();
+        self.ffs.push(Ff { reg, bit, d: 0 });
+        let q = self.intern(BitDef::FfQ(idx));
+        (idx, q)
+    }
+
+    /// Wires a flip-flop's D input.
+    pub fn set_ff_d(&mut self, ff: usize, d: BitId) {
+        self.ffs[ff].d = d;
+    }
+
+    /// NOT with folding.
+    pub fn not(&mut self, a: BitId) -> BitId {
+        match self.defs[a as usize] {
+            BitDef::Const(v) => self.constant(!v),
+            BitDef::Not(x) => x,
+            _ => self.intern(BitDef::Not(a)),
+        }
+    }
+
+    /// AND with folding.
+    pub fn and(&mut self, a: BitId, b: BitId) -> BitId {
+        let (a, b) = (a.min(b), a.max(b));
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.constant(false),
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        self.intern(BitDef::And(a, b))
+    }
+
+    /// OR with folding.
+    pub fn or(&mut self, a: BitId, b: BitId) -> BitId {
+        let (a, b) = (a.min(b), a.max(b));
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(true), _) | (_, Some(true)) => return self.constant(true),
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        self.intern(BitDef::Or(a, b))
+    }
+
+    /// XOR with folding.
+    pub fn xor(&mut self, a: BitId, b: BitId) -> BitId {
+        let (a, b) = (a.min(b), a.max(b));
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            (Some(true), _) => return self.not(b),
+            (_, Some(true)) => return self.not(a),
+            _ => {}
+        }
+        if a == b {
+            return self.constant(false);
+        }
+        self.intern(BitDef::Xor(a, b))
+    }
+
+    /// 2:1 mux with folding.
+    pub fn mux(&mut self, sel: BitId, t: BitId, f: BitId) -> BitId {
+        match self.const_of(sel) {
+            Some(true) => return t,
+            Some(false) => return f,
+            None => {}
+        }
+        if t == f {
+            return t;
+        }
+        match (self.const_of(t), self.const_of(f)) {
+            (Some(true), Some(false)) => return sel,
+            (Some(false), Some(true)) => return self.not(sel),
+            (Some(true), None) => return self.or(sel, f),
+            (Some(false), None) => {
+                let ns = self.not(sel);
+                return self.and(ns, f);
+            }
+            (None, Some(false)) => return self.and(sel, t),
+            (None, Some(true)) => {
+                let ns = self.not(sel);
+                return self.or(ns, t);
+            }
+            _ => {}
+        }
+        self.intern(BitDef::Mux { sel, t, f })
+    }
+
+    // ---- word-level constructors -------------------------------------
+
+    /// Bitwise AND of two words.
+    pub fn and_word(&mut self, a: Word, b: Word) -> Word {
+        core::array::from_fn(|i| self.and(a[i], b[i]))
+    }
+
+    /// Bitwise OR of two words.
+    pub fn or_word(&mut self, a: Word, b: Word) -> Word {
+        core::array::from_fn(|i| self.or(a[i], b[i]))
+    }
+
+    /// Bitwise XOR of two words.
+    pub fn xor_word(&mut self, a: Word, b: Word) -> Word {
+        core::array::from_fn(|i| self.xor(a[i], b[i]))
+    }
+
+    /// `a & !b` of two words.
+    pub fn andnot_word(&mut self, a: Word, b: Word) -> Word {
+        core::array::from_fn(|i| {
+            let nb = self.not(b[i]);
+            self.and(a[i], nb)
+        })
+    }
+
+    /// Ripple addition over a bit slice; returns the sums and carry-out.
+    fn ripple_slice(&mut self, a: &[BitId], b: &[BitId], cin: BitId) -> (Vec<BitId>, BitId) {
+        let mut carry = cin;
+        let mut sums = Vec::with_capacity(a.len());
+        for i in 0..a.len() {
+            let axb = self.xor(a[i], b[i]);
+            sums.push(self.xor(axb, carry));
+            let and1 = self.and(a[i], b[i]);
+            let and2 = self.and(carry, axb);
+            carry = self.or(and1, and2);
+        }
+        (sums, carry)
+    }
+
+    /// Addition with carry-in, implemented as a carry-select adder with
+    /// 8-bit blocks — the synthesis choice that keeps word arithmetic
+    /// within a few fabric cycles (≈12 LUT levels instead of 33) at a
+    /// modest area premium over plain ripple.
+    pub fn add_word(&mut self, a: Word, b: Word, carry_in: bool) -> Word {
+        const BLOCK: usize = 8;
+        let cin = self.constant(carry_in);
+        let zero = self.constant(false);
+        let one = self.constant(true);
+        let (mut sums, mut carry) = self.ripple_slice(&a[0..BLOCK], &b[0..BLOCK], cin);
+        let mut lo = BLOCK;
+        while lo < 32 {
+            let hi = lo + BLOCK;
+            let (s0, c0) = self.ripple_slice(&a[lo..hi], &b[lo..hi], zero);
+            let (s1, c1) = self.ripple_slice(&a[lo..hi], &b[lo..hi], one);
+            for i in 0..BLOCK {
+                sums.push(self.mux(carry, s1[i], s0[i]));
+            }
+            carry = self.mux(carry, c1, c0);
+            lo = hi;
+        }
+        sums.try_into().expect("32 sum bits")
+    }
+
+    /// Ripple-carry addition (kept for the adder-architecture ablation
+    /// study; linear depth, fewer gates).
+    pub fn add_word_ripple(&mut self, a: Word, b: Word, carry_in: bool) -> Word {
+        let mut carry = self.constant(carry_in);
+        core::array::from_fn(|i| {
+            let axb = self.xor(a[i], b[i]);
+            let sum = self.xor(axb, carry);
+            let and1 = self.and(a[i], b[i]);
+            let and2 = self.and(carry, axb);
+            carry = self.or(and1, and2);
+            sum
+        })
+    }
+
+    /// Subtraction `a - b` (two's complement).
+    pub fn sub_word(&mut self, a: Word, b: Word) -> Word {
+        let nb: Word = core::array::from_fn(|i| self.not(b[i]));
+        self.add_word(a, nb, true)
+    }
+
+    /// Logical shift left by a constant — pure rewiring.
+    pub fn shl_word(&mut self, a: Word, k: u8) -> Word {
+        let k = (k & 31) as usize;
+        let zero = self.constant(false);
+        core::array::from_fn(|i| if i >= k { a[i - k] } else { zero })
+    }
+
+    /// Logical shift right by a constant — pure rewiring.
+    pub fn shr_word(&mut self, a: Word, k: u8) -> Word {
+        let k = (k & 31) as usize;
+        let zero = self.constant(false);
+        core::array::from_fn(|i| if i + k < 32 { a[i + k] } else { zero })
+    }
+
+    /// Arithmetic shift right by a constant — rewiring with sign fill.
+    pub fn sar_word(&mut self, a: Word, k: u8) -> Word {
+        let k = (k & 31) as usize;
+        core::array::from_fn(|i| if i + k < 32 { a[i + k] } else { a[31] })
+    }
+
+    /// Dynamic shift: a 5-level mux barrel using the low 5 bits of
+    /// `amount`.
+    pub fn dyn_shift_word(&mut self, a: Word, amount: Word, kind: ShiftDir) -> Word {
+        let mut cur = a;
+        for level in 0..5u8 {
+            let k = 1u8 << level;
+            let shifted = match kind {
+                ShiftDir::Left => self.shl_word(cur, k),
+                ShiftDir::LogicalRight => self.shr_word(cur, k),
+                ShiftDir::ArithmeticRight => self.sar_word(cur, k),
+            };
+            let sel = amount[level as usize];
+            cur = core::array::from_fn(|i| self.mux(sel, shifted[i], cur[i]));
+        }
+        cur
+    }
+
+    /// Sign-extend the low byte — rewiring.
+    pub fn sext8_word(&mut self, a: Word) -> Word {
+        core::array::from_fn(|i| if i < 8 { a[i] } else { a[7] })
+    }
+
+    /// Sign-extend the low half — rewiring.
+    pub fn sext16_word(&mut self, a: Word) -> Word {
+        core::array::from_fn(|i| if i < 16 { a[i] } else { a[15] })
+    }
+
+    /// Registers a plain multiply on the MAC, returning its output word
+    /// (which enters the fabric as an input).
+    pub fn mac(&mut self, a: Word, b: Word) -> Word {
+        let addend = self.const_word(0);
+        self.mac_fused(a, b, addend, MacMode::MulAdd)
+    }
+
+    /// Registers a fused multiply-accumulate on the MAC.
+    pub fn mac_fused(&mut self, a: Word, b: Word, addend: Word, mode: MacMode) -> Word {
+        let idx = self.macs.len();
+        self.macs.push(MacOp { a, b, addend, mode });
+        self.input_word(InputWord::MacOut(idx))
+    }
+
+    /// Declares an output word for store `store`.
+    pub fn output(&mut self, store: usize, bits: Word) {
+        self.outputs.push(OutputWord { store, bits });
+    }
+
+    // ---- analysis ------------------------------------------------------
+
+    /// Evaluates the netlist for one iteration.
+    ///
+    /// `inputs` resolves load/invariant words; `ff_state` is the current
+    /// accumulator state (indexed by FF number). Returns the value of
+    /// every bit plus the resolved MAC outputs.
+    pub fn eval(&self, mut inputs: impl FnMut(InputWord) -> u32, ff_state: &[bool]) -> EvalResult {
+        let mut vals = vec![false; self.defs.len()];
+        let mut mac_vals: Vec<Option<u32>> = vec![None; self.macs.len()];
+        for (i, def) in self.defs.iter().enumerate() {
+            let value = match *def {
+                BitDef::Const(v) => v,
+                BitDef::Input { word, bit } => match word {
+                    InputWord::MacOut(k) => {
+                        let v = *mac_vals[k].get_or_insert_with(|| {
+                            // Operand bits precede the MAC output bits in
+                            // topological order, so they are resolved.
+                            let take = |w: &Word| -> u32 {
+                                w.iter().enumerate().fold(0u32, |acc, (j, &b)| {
+                                    acc | (u32::from(vals[b as usize]) << j)
+                                })
+                            };
+                            let m = &self.macs[k];
+                            let prod = take(&m.a).wrapping_mul(take(&m.b));
+                            m.mode.apply(prod, take(&m.addend))
+                        });
+                        v >> bit & 1 == 1
+                    }
+                    other => inputs(other) >> bit & 1 == 1,
+                },
+                BitDef::FfQ(k) => ff_state.get(k).copied().unwrap_or(false),
+                BitDef::Not(a) => !vals[a as usize],
+                BitDef::And(a, b) => vals[a as usize] && vals[b as usize],
+                BitDef::Or(a, b) => vals[a as usize] || vals[b as usize],
+                BitDef::Xor(a, b) => vals[a as usize] ^ vals[b as usize],
+                BitDef::Mux { sel, t, f } => {
+                    if vals[sel as usize] {
+                        vals[t as usize]
+                    } else {
+                        vals[f as usize]
+                    }
+                }
+            };
+            vals[i] = value;
+        }
+        EvalResult { bits: vals }
+    }
+
+    /// Removes logic not reachable from outputs, FF inputs, or MAC
+    /// operands, remapping all ids. Returns the number of bits removed.
+    pub fn sweep(&mut self) -> usize {
+        let mut live = vec![false; self.defs.len()];
+        let mut stack: Vec<BitId> = Vec::new();
+        for o in &self.outputs {
+            stack.extend(o.bits);
+        }
+        for f in &self.ffs {
+            stack.push(f.d);
+        }
+        for m in &self.macs {
+            stack.extend(m.a);
+            stack.extend(m.b);
+            stack.extend(m.addend);
+        }
+        while let Some(id) = stack.pop() {
+            if live[id as usize] {
+                continue;
+            }
+            live[id as usize] = true;
+            stack.extend(self.defs[id as usize].args());
+        }
+        // Keep FF Q bits alive if their FF's D is live (state must
+        // persist) — and conservatively keep all FFQ/Input defs that are
+        // live only.
+        let mut remap: Vec<Option<BitId>> = vec![None; self.defs.len()];
+        let mut new_defs = Vec::new();
+        for (i, def) in self.defs.iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            let mapped = match *def {
+                BitDef::Const(v) => BitDef::Const(v),
+                BitDef::Input { word, bit } => BitDef::Input { word, bit },
+                BitDef::FfQ(k) => BitDef::FfQ(k),
+                BitDef::Not(a) => BitDef::Not(remap[a as usize].expect("topo")),
+                BitDef::And(a, b) => {
+                    BitDef::And(remap[a as usize].expect("topo"), remap[b as usize].expect("topo"))
+                }
+                BitDef::Or(a, b) => {
+                    BitDef::Or(remap[a as usize].expect("topo"), remap[b as usize].expect("topo"))
+                }
+                BitDef::Xor(a, b) => {
+                    BitDef::Xor(remap[a as usize].expect("topo"), remap[b as usize].expect("topo"))
+                }
+                BitDef::Mux { sel, t, f } => BitDef::Mux {
+                    sel: remap[sel as usize].expect("topo"),
+                    t: remap[t as usize].expect("topo"),
+                    f: remap[f as usize].expect("topo"),
+                },
+            };
+            remap[i] = Some(new_defs.len() as BitId);
+            new_defs.push(mapped);
+        }
+        let removed = self.defs.len() - new_defs.len();
+        let map_id = |id: BitId| remap[id as usize].expect("referenced bit is live");
+        for o in &mut self.outputs {
+            o.bits = o.bits.map(map_id);
+        }
+        for f in &mut self.ffs {
+            f.d = map_id(f.d);
+        }
+        for m in &mut self.macs {
+            m.a = m.a.map(map_id);
+            m.b = m.b.map(map_id);
+            m.addend = m.addend.map(map_id);
+        }
+        self.defs = new_defs;
+        self.cse.clear();
+        for (i, d) in self.defs.iter().enumerate() {
+            self.cse.insert(*d, i as BitId);
+        }
+        removed
+    }
+
+    /// Size and depth statistics.
+    #[must_use]
+    pub fn stats(&self) -> NetlistStats {
+        let mut depth = vec![0u64; self.defs.len()];
+        let mut max_depth = 0;
+        let mut gates = 0;
+        let mut inputs = 0;
+        for (i, def) in self.defs.iter().enumerate() {
+            if def.is_gate() {
+                gates += 1;
+                depth[i] = def.args().iter().map(|&a| depth[a as usize]).max().unwrap_or(0) + 1;
+                max_depth = max_depth.max(depth[i]);
+            } else {
+                if matches!(def, BitDef::Input { .. }) {
+                    inputs += 1;
+                }
+                depth[i] = 0;
+            }
+        }
+        NetlistStats {
+            gates,
+            ffs: self.ffs.len() as u64,
+            macs: self.macs.len() as u64,
+            inputs,
+            depth: max_depth,
+        }
+    }
+}
+
+/// Direction of a dynamic shift.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShiftDir {
+    /// Shift left, zero fill.
+    Left,
+    /// Shift right, zero fill.
+    LogicalRight,
+    /// Shift right, sign fill.
+    ArithmeticRight,
+}
+
+/// Result of evaluating a netlist.
+#[derive(Clone, Debug)]
+pub struct EvalResult {
+    bits: Vec<bool>,
+}
+
+impl EvalResult {
+    /// The value of one bit.
+    #[must_use]
+    pub fn bit(&self, id: BitId) -> bool {
+        self.bits[id as usize]
+    }
+
+    /// Reassembles a word from its bit signals.
+    #[must_use]
+    pub fn word(&self, w: &Word) -> u32 {
+        w.iter().enumerate().fold(0u32, |acc, (i, &b)| acc | (u32::from(self.bits[b as usize]) << i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word_val(n: &GateNetlist, w: &Word, inputs: impl FnMut(InputWord) -> u32) -> u32 {
+        n.eval(inputs, &[]).word(w)
+    }
+
+    #[test]
+    fn adder_matches_wrapping_add() {
+        let mut n = GateNetlist::new();
+        let a = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+        let b = n.input_word(InputWord::Load { stream: 1, offset: 0 });
+        let sum = n.add_word(a, b, false);
+        for (x, y) in [(5u32, 7u32), (u32::MAX, 1), (0x8000_0000, 0x8000_0000), (12345, 99999)] {
+            let v = word_val(&n, &sum, |w| match w {
+                InputWord::Load { stream: 0, .. } => x,
+                _ => y,
+            });
+            assert_eq!(v, x.wrapping_add(y));
+        }
+    }
+
+    #[test]
+    fn subtractor_matches_wrapping_sub() {
+        let mut n = GateNetlist::new();
+        let a = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+        let b = n.input_word(InputWord::Load { stream: 1, offset: 0 });
+        let d = n.sub_word(a, b);
+        for (x, y) in [(5u32, 7u32), (0, 1), (0xFFFF_0000, 0x1234)] {
+            let v = word_val(&n, &d, |w| match w {
+                InputWord::Load { stream: 0, .. } => x,
+                _ => y,
+            });
+            assert_eq!(v, x.wrapping_sub(y));
+        }
+    }
+
+    #[test]
+    fn constant_shift_is_pure_wiring() {
+        let mut n = GateNetlist::new();
+        let a = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+        let before = n.stats().gates;
+        let sh = n.shl_word(a, 7);
+        let sh2 = n.shr_word(sh, 3);
+        let sar = n.sar_word(sh2, 2);
+        assert_eq!(n.stats().gates, before, "constant shifts must not add gates");
+        let v = word_val(&n, &sar, |_| 0xF000_0081);
+        assert_eq!(v, ((((0xF000_0081u32 << 7) >> 3) as i32) >> 2) as u32);
+    }
+
+    #[test]
+    fn mask_with_constant_folds_away() {
+        let mut n = GateNetlist::new();
+        let a = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+        let mask = n.const_word(0x0000_FFFF);
+        let before = n.stats().gates;
+        let masked = n.and_word(a, mask);
+        assert_eq!(n.stats().gates, before, "and with constant mask is wiring");
+        let v = word_val(&n, &masked, |_| 0xABCD_1234);
+        assert_eq!(v, 0x0000_1234);
+    }
+
+    #[test]
+    fn dynamic_shift_barrel_matches_reference() {
+        let mut n = GateNetlist::new();
+        let a = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+        let amt = n.input_word(InputWord::Invariant(Reg::R20));
+        let l = n.dyn_shift_word(a, amt, ShiftDir::Left);
+        let r = n.dyn_shift_word(a, amt, ShiftDir::LogicalRight);
+        let s = n.dyn_shift_word(a, amt, ShiftDir::ArithmeticRight);
+        for (x, k) in [(0x8000_0101u32, 0u32), (0x8000_0101, 5), (0x8000_0101, 31), (7, 33)] {
+            let res = n.eval(
+                |w| match w {
+                    InputWord::Invariant(_) => k,
+                    _ => x,
+                },
+                &[],
+            );
+            assert_eq!(res.word(&l), x << (k & 31), "shl {x:#x} by {k}");
+            assert_eq!(res.word(&r), x >> (k & 31), "shr {x:#x} by {k}");
+            assert_eq!(res.word(&s), ((x as i32) >> (k & 31)) as u32, "sar {x:#x} by {k}");
+        }
+    }
+
+    #[test]
+    fn mac_output_reenters_fabric() {
+        let mut n = GateNetlist::new();
+        let a = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+        let c = n.const_word(181);
+        let p = n.mac(a, c);
+        let doubled = n.add_word(p, p, false);
+        let res = n.eval(|_| 1000, &[]);
+        assert_eq!(res.word(&p), 181_000);
+        assert_eq!(res.word(&doubled), 362_000);
+        assert_eq!(n.macs().len(), 1);
+    }
+
+    #[test]
+    fn ff_state_reads_back() {
+        let mut n = GateNetlist::new();
+        let (ff0, q0) = n.ff(Reg::R22, 0);
+        let nq = n.not(q0);
+        n.set_ff_d(ff0, nq);
+        let r0 = n.eval(|_| 0, &[false]);
+        assert!(!r0.bit(q0));
+        assert!(r0.bit(nq));
+        let r1 = n.eval(|_| 0, &[true]);
+        assert!(r1.bit(q0));
+        assert!(!r1.bit(nq));
+    }
+
+    #[test]
+    fn sweep_removes_dead_logic() {
+        let mut n = GateNetlist::new();
+        let a = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+        let b = n.input_word(InputWord::Load { stream: 1, offset: 0 });
+        let _dead = n.add_word(a, b, false); // never used
+        let live = n.xor_word(a, b);
+        n.output(0, live);
+        let before = n.defs().len();
+        let removed = n.sweep();
+        assert!(removed > 0, "dead adder must be swept");
+        assert!(n.defs().len() < before);
+        let v = n.eval(|w| if matches!(w, InputWord::Load { stream: 0, .. }) { 0xF0F0 } else { 0x1234 }, &[]);
+        assert_eq!(v.word(&n.outputs()[0].bits), 0xF0F0 ^ 0x1234);
+    }
+
+    #[test]
+    fn structural_hashing_shares_gates() {
+        let mut n = GateNetlist::new();
+        let a = n.input(InputWord::Load { stream: 0, offset: 0 }, 0);
+        let b = n.input(InputWord::Load { stream: 0, offset: 0 }, 1);
+        let g1 = n.and(a, b);
+        let g2 = n.and(b, a); // commuted — must hash to the same gate
+        assert_eq!(g1, g2);
+        let x1 = n.xor(a, a);
+        assert_eq!(n.const_of(x1), Some(false));
+    }
+
+    #[test]
+    fn mux_folding_identities() {
+        let mut n = GateNetlist::new();
+        let a = n.input(InputWord::Load { stream: 0, offset: 0 }, 0);
+        let t = n.input(InputWord::Load { stream: 0, offset: 0 }, 1);
+        let one = n.constant(true);
+        let zero = n.constant(false);
+        assert_eq!(n.mux(one, t, a), t);
+        assert_eq!(n.mux(zero, t, a), a);
+        assert_eq!(n.mux(a, t, t), t);
+        assert_eq!(n.mux(a, one, zero), a);
+        let m = n.mux(a, zero, one);
+        assert_eq!(n.def(m), BitDef::Not(a));
+    }
+
+    #[test]
+    fn sext_is_wiring() {
+        let mut n = GateNetlist::new();
+        let a = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+        let before = n.stats().gates;
+        let e8 = n.sext8_word(a);
+        let e16 = n.sext16_word(a);
+        assert_eq!(n.stats().gates, before);
+        let r = n.eval(|_| 0x80, &[]);
+        assert_eq!(r.word(&e8), 0xFFFF_FF80);
+        assert_eq!(r.word(&e16), 0x80);
+    }
+
+    #[test]
+    fn depth_tracks_ripple_chain() {
+        let mut n = GateNetlist::new();
+        let a = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+        let b = n.input_word(InputWord::Load { stream: 1, offset: 0 });
+        let s = n.add_word_ripple(a, b, false);
+        n.output(0, s);
+        let d = n.stats().depth;
+        assert!(d >= 32, "ripple carry depth {d} should span the word");
+    }
+
+    #[test]
+    fn carry_select_adder_is_shallower_than_ripple() {
+        let mut fast = GateNetlist::new();
+        let a = fast.input_word(InputWord::Load { stream: 0, offset: 0 });
+        let b = fast.input_word(InputWord::Load { stream: 1, offset: 0 });
+        let s = fast.add_word(a, b, false);
+        fast.output(0, s);
+
+        let mut slow = GateNetlist::new();
+        let a = slow.input_word(InputWord::Load { stream: 0, offset: 0 });
+        let b = slow.input_word(InputWord::Load { stream: 1, offset: 0 });
+        let s = slow.add_word_ripple(a, b, false);
+        slow.output(0, s);
+
+        assert!(
+            fast.stats().depth < slow.stats().depth / 2,
+            "carry-select depth {} vs ripple {}",
+            fast.stats().depth,
+            slow.stats().depth
+        );
+        // Both must agree functionally.
+        for (x, y) in [(3u32, 9u32), (u32::MAX, 1), (0x8765_4321, 0x1234_5678)] {
+            let inputs = |w: InputWord| if matches!(w, InputWord::Load { stream: 0, .. }) { x } else { y };
+            let vf = fast.eval(inputs, &[]).word(&fast.outputs()[0].bits);
+            let vs = slow.eval(inputs, &[]).word(&slow.outputs()[0].bits);
+            assert_eq!(vf, x.wrapping_add(y));
+            assert_eq!(vs, x.wrapping_add(y));
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! Technology mapping onto 3-input LUTs.
+//!
+//! The WCLA's configurable-logic fabric is built from 3-input, 2-output
+//! LUTs (two independent 3-LUTs per CLB). This module covers the gate
+//! netlist with 3-input LUTs using greedy cut enlargement — the lean
+//! mapping pass of the on-chip tool flow — and produces the
+//! [`LutNetlist`] that placement and routing consume.
+
+use std::collections::HashMap;
+
+use mb_isa::Reg;
+
+use crate::bits::{BitDef, BitId, GateNetlist, InputWord};
+use crate::rocm;
+
+/// Index of a node in a [`LutNetlist`].
+pub type LutRef = u32;
+
+/// Maximum LUT fan-in of the WCLA fabric.
+pub const LUT_INPUTS: usize = 3;
+
+/// One node of the mapped netlist.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LutNode {
+    /// Constant 0/1 (tied off in the fabric).
+    Const(bool),
+    /// A fabric input bit.
+    Input {
+        /// Which input word.
+        word: InputWord,
+        /// Bit position.
+        bit: u8,
+    },
+    /// Flip-flop output (accumulator state bit).
+    FfQ(usize),
+    /// A configured LUT.
+    Lut {
+        /// 1–3 input nodes.
+        inputs: Vec<LutRef>,
+        /// Truth table over the inputs (bit `i` = output for input
+        /// assignment `i`, input 0 = LSB).
+        truth: u8,
+    },
+}
+
+/// A flip-flop in the mapped netlist.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LutFf {
+    /// Accumulator register.
+    pub reg: Reg,
+    /// Bit within the register.
+    pub bit: u8,
+    /// Next-state input.
+    pub d: LutRef,
+}
+
+/// A MAC operation with mapped operand bits.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LutMac {
+    /// Multiplicand bits.
+    pub a: [LutRef; 32],
+    /// Multiplier bits.
+    pub b: [LutRef; 32],
+    /// Accumulate input bits.
+    pub addend: [LutRef; 32],
+    /// Accumulate function.
+    pub mode: crate::bits::MacMode,
+}
+
+/// An output word with mapped bits.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LutOutput {
+    /// Index into the kernel's store list.
+    pub store: usize,
+    /// Output bits.
+    pub bits: [LutRef; 32],
+}
+
+/// Mapping statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MapStats {
+    /// Number of LUTs.
+    pub luts: u64,
+    /// Number of flip-flops.
+    pub ffs: u64,
+    /// Number of MAC operations.
+    pub macs: u64,
+    /// LUT levels on the longest path.
+    pub depth: u64,
+    /// Total LUT input pins in use.
+    pub pins: u64,
+    /// Sum of minimized SOP literal costs over all LUTs (ROCM metric).
+    pub sop_literals: u64,
+}
+
+/// A 3-LUT netlist ready for placement and routing.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LutNetlist {
+    nodes: Vec<LutNode>,
+    ffs: Vec<LutFf>,
+    macs: Vec<LutMac>,
+    outputs: Vec<LutOutput>,
+}
+
+impl LutNetlist {
+    /// All nodes in topological order.
+    #[must_use]
+    pub fn nodes(&self) -> &[LutNode] {
+        &self.nodes
+    }
+
+    /// The flip-flops.
+    #[must_use]
+    pub fn ffs(&self) -> &[LutFf] {
+        &self.ffs
+    }
+
+    /// The MAC schedule.
+    #[must_use]
+    pub fn macs(&self) -> &[LutMac] {
+        &self.macs
+    }
+
+    /// The output words.
+    #[must_use]
+    pub fn outputs(&self) -> &[LutOutput] {
+        &self.outputs
+    }
+
+    /// Number of LUT nodes (excluding inputs/constants/FFs).
+    #[must_use]
+    pub fn lut_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, LutNode::Lut { .. })).count()
+    }
+
+    /// Evaluates the netlist for one iteration (same contract as
+    /// [`GateNetlist::eval`]).
+    pub fn eval(&self, mut inputs: impl FnMut(InputWord) -> u32, ff_state: &[bool]) -> LutEval {
+        let mut vals = vec![false; self.nodes.len()];
+        let mut mac_vals: Vec<Option<u32>> = vec![None; self.macs.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let value = match node {
+                LutNode::Const(v) => *v,
+                LutNode::Input { word, bit } => match word {
+                    InputWord::MacOut(k) => {
+                        let v = *mac_vals[*k].get_or_insert_with(|| {
+                            let take = |w: &[LutRef; 32]| -> u32 {
+                                w.iter().enumerate().fold(0u32, |acc, (j, &b)| {
+                                    acc | (u32::from(vals[b as usize]) << j)
+                                })
+                            };
+                            let m = &self.macs[*k];
+                            let prod = take(&m.a).wrapping_mul(take(&m.b));
+                            m.mode.apply(prod, take(&m.addend))
+                        });
+                        v >> bit & 1 == 1
+                    }
+                    other => inputs(*other) >> bit & 1 == 1,
+                },
+                LutNode::FfQ(k) => ff_state.get(*k).copied().unwrap_or(false),
+                LutNode::Lut { inputs: ins, truth } => {
+                    let mut idx = 0u8;
+                    for (j, &r) in ins.iter().enumerate() {
+                        if vals[r as usize] {
+                            idx |= 1 << j;
+                        }
+                    }
+                    truth >> idx & 1 == 1
+                }
+            };
+            vals[i] = value;
+        }
+        LutEval { vals }
+    }
+
+    /// Mapping statistics.
+    #[must_use]
+    pub fn stats(&self) -> MapStats {
+        let mut depth = vec![0u64; self.nodes.len()];
+        let mut s = MapStats {
+            ffs: self.ffs.len() as u64,
+            macs: self.macs.len() as u64,
+            ..MapStats::default()
+        };
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let LutNode::Lut { inputs, truth } = node {
+                s.luts += 1;
+                s.pins += inputs.len() as u64;
+                s.sop_literals += u64::from(rocm::lut3_sop_cost(*truth));
+                depth[i] = inputs.iter().map(|&r| depth[r as usize]).max().unwrap_or(0) + 1;
+                s.depth = s.depth.max(depth[i]);
+            }
+        }
+        s
+    }
+}
+
+/// Result of a [`LutNetlist::eval`].
+#[derive(Clone, Debug)]
+pub struct LutEval {
+    vals: Vec<bool>,
+}
+
+impl LutEval {
+    /// The value of one node.
+    #[must_use]
+    pub fn value(&self, r: LutRef) -> bool {
+        self.vals[r as usize]
+    }
+
+    /// Reassembles a word.
+    #[must_use]
+    pub fn word(&self, bits: &[LutRef; 32]) -> u32 {
+        bits.iter()
+            .enumerate()
+            .fold(0u32, |acc, (i, &b)| acc | (u32::from(self.vals[b as usize]) << i))
+    }
+}
+
+/// Maximum cuts kept per node during enumeration.
+const MAX_CUTS: usize = 8;
+
+/// Enumerates 3-feasible cuts for every bit (standard k-feasible cut
+/// enumeration, pruned to [`MAX_CUTS`] per node).
+///
+/// Returns, per bit, the cut list usable by *parents* (including the
+/// trivial cut `{bit}` for non-constant bits) and, for gates, the
+/// non-trivial cuts usable to map the bit itself.
+fn enumerate_cuts(n: &GateNetlist) -> (Vec<Vec<Vec<BitId>>>, Vec<Vec<Vec<BitId>>>) {
+    let len = n.defs().len();
+    let mut parent_cuts: Vec<Vec<Vec<BitId>>> = vec![Vec::new(); len];
+    let mut own_cuts: Vec<Vec<Vec<BitId>>> = vec![Vec::new(); len];
+    for id in 0..len as BitId {
+        let def = n.def(id);
+        match def {
+            BitDef::Const(_) => {
+                // Constants fold into truth tables: empty cut.
+                parent_cuts[id as usize] = vec![vec![]];
+            }
+            BitDef::Input { .. } | BitDef::FfQ(_) => {
+                parent_cuts[id as usize] = vec![vec![id]];
+            }
+            _ => {
+                let args = def.args();
+                // Cartesian merge of argument cut lists.
+                let mut merged: Vec<Vec<BitId>> = vec![vec![]];
+                for &a in &args {
+                    let mut next = Vec::new();
+                    for base in &merged {
+                        for ac in &parent_cuts[a as usize] {
+                            let mut c: Vec<BitId> = base.iter().chain(ac.iter()).copied().collect();
+                            c.sort_unstable();
+                            c.dedup();
+                            if c.len() <= LUT_INPUTS {
+                                next.push(c);
+                            }
+                        }
+                    }
+                    merged = next;
+                    if merged.is_empty() {
+                        break;
+                    }
+                }
+                merged.sort();
+                merged.dedup();
+                // Prefer cuts that materialize few extra gates and stay
+                // small.
+                merged.sort_by_key(|c| {
+                    let gate_members = c.iter().filter(|&&m| n.def(m).is_gate()).count();
+                    (gate_members, c.len())
+                });
+                merged.truncate(MAX_CUTS);
+                own_cuts[id as usize] = merged.clone();
+                let mut pl = merged;
+                pl.insert(0, vec![id]);
+                pl.truncate(MAX_CUTS);
+                parent_cuts[id as usize] = pl;
+            }
+        }
+    }
+    (parent_cuts, own_cuts)
+}
+
+/// Chooses the mapping cut for a gate: fewest gate members, then fewest
+/// members.
+fn choose_cut(own: &[Vec<BitId>]) -> Vec<BitId> {
+    own.first().cloned().unwrap_or_default()
+}
+
+/// Evaluates the cone of `bit` under an assignment to its cut.
+fn cone_value(n: &GateNetlist, bit: BitId, cut: &[BitId], assignment: u8) -> bool {
+    fn eval(n: &GateNetlist, b: BitId, cut: &[BitId], assignment: u8, memo: &mut HashMap<BitId, bool>) -> bool {
+        if let Some(pos) = cut.iter().position(|&c| c == b) {
+            return assignment >> pos & 1 == 1;
+        }
+        if let Some(&v) = memo.get(&b) {
+            return v;
+        }
+        let v = match n.def(b) {
+            BitDef::Const(c) => c,
+            BitDef::Input { .. } | BitDef::FfQ(_) => {
+                unreachable!("cut must cover all non-constant leaves")
+            }
+            BitDef::Not(a) => !eval(n, a, cut, assignment, memo),
+            BitDef::And(a, c) => eval(n, a, cut, assignment, memo) && eval(n, c, cut, assignment, memo),
+            BitDef::Or(a, c) => eval(n, a, cut, assignment, memo) || eval(n, c, cut, assignment, memo),
+            BitDef::Xor(a, c) => eval(n, a, cut, assignment, memo) ^ eval(n, c, cut, assignment, memo),
+            BitDef::Mux { sel, t, f } => {
+                if eval(n, sel, cut, assignment, memo) {
+                    eval(n, t, cut, assignment, memo)
+                } else {
+                    eval(n, f, cut, assignment, memo)
+                }
+            }
+        };
+        memo.insert(b, v);
+        v
+    }
+    let mut memo = HashMap::new();
+    eval(n, bit, cut, assignment, &mut memo)
+}
+
+/// Maps a gate netlist onto 3-input LUTs.
+///
+/// Every output bit, flip-flop input, and MAC operand is materialized;
+/// interior gates are absorbed into LUT cones wherever a 3-feasible cut
+/// exists.
+#[must_use]
+pub fn map_netlist(n: &GateNetlist) -> LutNetlist {
+    let defs_len = n.defs().len();
+
+    // Cuts for every gate.
+    let (_parent_cuts, own_cuts) = enumerate_cuts(n);
+    let mut cuts: Vec<Option<Vec<BitId>>> = vec![None; defs_len];
+    for id in 0..defs_len as BitId {
+        if n.def(id).is_gate() {
+            cuts[id as usize] = Some(choose_cut(&own_cuts[id as usize]));
+        }
+    }
+
+    // Needed bits: roots plus, transitively, cut members of needed gates.
+    let mut needed = vec![false; defs_len];
+    let mut stack: Vec<BitId> = Vec::new();
+    for o in n.outputs() {
+        stack.extend(o.bits);
+    }
+    for f in n.ffs() {
+        stack.push(f.d);
+    }
+    for m in n.macs() {
+        stack.extend(m.a);
+        stack.extend(m.b);
+        stack.extend(m.addend);
+    }
+    while let Some(b) = stack.pop() {
+        if needed[b as usize] {
+            continue;
+        }
+        needed[b as usize] = true;
+        if let Some(cut) = &cuts[b as usize] {
+            stack.extend(cut.iter().copied());
+        }
+    }
+
+    // Materialize in topological order.
+    let mut out = LutNetlist::default();
+    let mut map: Vec<Option<LutRef>> = vec![None; defs_len];
+    for id in 0..defs_len as BitId {
+        if !needed[id as usize] {
+            continue;
+        }
+        let node = match n.def(id) {
+            BitDef::Const(v) => LutNode::Const(v),
+            BitDef::Input { word, bit } => LutNode::Input { word, bit },
+            BitDef::FfQ(k) => LutNode::FfQ(k),
+            _ => {
+                let cut = cuts[id as usize].as_ref().expect("gates have cuts");
+                if cut.is_empty() {
+                    // The cone folds to a constant.
+                    LutNode::Const(cone_value(n, id, cut, 0))
+                } else {
+                    let inputs: Vec<LutRef> =
+                        cut.iter().map(|&c| map[c as usize].expect("cut member materialized")).collect();
+                    let mut truth = 0u8;
+                    for a in 0..(1u8 << cut.len()) {
+                        if cone_value(n, id, cut, a) {
+                            truth |= 1 << a;
+                        }
+                    }
+                    LutNode::Lut { inputs, truth }
+                }
+            }
+        };
+        map[id as usize] = Some(out.nodes.len() as LutRef);
+        out.nodes.push(node);
+    }
+
+    let remap = |b: BitId| map[b as usize].expect("root bit materialized");
+    for o in n.outputs() {
+        out.outputs.push(LutOutput { store: o.store, bits: o.bits.map(remap) });
+    }
+    for f in n.ffs() {
+        out.ffs.push(LutFf { reg: f.reg, bit: f.bit, d: remap(f.d) });
+    }
+    for m in n.macs() {
+        out.macs.push(LutMac {
+            a: m.a.map(remap),
+            b: m.b.map(remap),
+            addend: m.addend.map(remap),
+            mode: m.mode,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::GateNetlist;
+
+    #[test]
+    fn small_cone_packs_into_one_lut() {
+        // f = (a & b) ^ c — 3 inputs, must become exactly one LUT.
+        let mut n = GateNetlist::new();
+        let a = n.input(InputWord::Load { stream: 0, offset: 0 }, 0);
+        let b = n.input(InputWord::Load { stream: 0, offset: 0 }, 1);
+        let c = n.input(InputWord::Load { stream: 0, offset: 0 }, 2);
+        let ab = n.and(a, b);
+        let f = n.xor(ab, c);
+        let mut bits = [n.constant(false); 32];
+        bits[0] = f;
+        n.output(0, bits);
+        let mapped = map_netlist(&n);
+        assert_eq!(mapped.lut_count(), 1, "two gates must share one LUT");
+        // Check the function on all 8 assignments.
+        for x in 0..8u32 {
+            let res = mapped.eval(|_| x, &[]);
+            let want = ((x & 1 != 0) && (x & 2 != 0)) ^ (x & 4 != 0);
+            assert_eq!(res.word(&mapped.outputs()[0].bits) & 1 == 1, want, "x={x}");
+        }
+    }
+
+    #[test]
+    fn wire_outputs_need_no_luts() {
+        let mut n = GateNetlist::new();
+        let w = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+        let sh = n.shl_word(w, 5);
+        n.output(0, sh);
+        let mapped = map_netlist(&n);
+        assert_eq!(mapped.lut_count(), 0, "wiring must map to zero LUTs");
+        let res = mapped.eval(|_| 0xFFFF_FFFF, &[]);
+        assert_eq!(res.word(&mapped.outputs()[0].bits), 0xFFFF_FFFF << 5);
+    }
+
+    #[test]
+    fn adder_maps_with_reasonable_density() {
+        let mut n = GateNetlist::new();
+        let a = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+        let b = n.input_word(InputWord::Load { stream: 1, offset: 0 });
+        let s = n.add_word(a, b, false);
+        n.output(0, s);
+        let gates = n.stats().gates;
+        let mapped = map_netlist(&n);
+        let luts = mapped.lut_count() as u64;
+        assert!(luts < gates, "mapping must compress ({luts} LUTs vs {gates} gates)");
+        // A 32-bit carry-select adder: two ripples plus muxes over
+        // three blocks, one plain ripple block.
+        assert!(luts <= 240, "adder should need ≤240 LUTs, got {luts}");
+        // Functional check.
+        for (x, y) in [(1u32, 2u32), (u32::MAX, 1), (0xABCD, 0x1234)] {
+            let res = mapped.eval(
+                |w| if matches!(w, InputWord::Load { stream: 0, .. }) { x } else { y },
+                &[],
+            );
+            assert_eq!(res.word(&mapped.outputs()[0].bits), x.wrapping_add(y));
+        }
+    }
+
+    #[test]
+    fn ff_and_mac_survive_mapping() {
+        let mut n = GateNetlist::new();
+        let (ff, q) = n.ff(Reg::R22, 0);
+        let a = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+        let c = n.const_word(3);
+        let p = n.mac(a, c);
+        let d = n.xor(q, p[0]);
+        n.set_ff_d(ff, d);
+        let mapped = map_netlist(&n);
+        assert_eq!(mapped.ffs().len(), 1);
+        assert_eq!(mapped.macs().len(), 1);
+        // value 5*3 = 15, bit0 = 1; ff q=0 -> d = 1.
+        let res = mapped.eval(|_| 5, &[false]);
+        assert!(res.value(mapped.ffs()[0].d));
+    }
+
+    #[test]
+    fn stats_count_pins_and_depth() {
+        let mut n = GateNetlist::new();
+        let a = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+        let b = n.input_word(InputWord::Load { stream: 1, offset: 0 });
+        let s = n.add_word(a, b, false);
+        n.output(0, s);
+        let mapped = map_netlist(&n);
+        let st = mapped.stats();
+        assert!(st.luts > 0);
+        assert!(st.pins >= st.luts, "every LUT uses at least one pin");
+        assert!(st.depth > 1, "carry chain spans levels");
+        assert!(st.sop_literals > 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! ROCM — the Riverside On-Chip logic Minimizer.
+//!
+//! Lysecky & Vahid's DAC 2003 paper "On-chip Logic Minimization"
+//! observed that Espresso's full expand/reduce/irredundant iteration is
+//! far too memory- and compute-hungry for an on-chip CAD tool, and that a
+//! *single* expand pass followed by an irredundant-cover pass achieves
+//! nearly the same quality at a fraction of the cost. This module
+//! implements that lean minimizer over single-output covers of up to 16
+//! variables (cube lists in positional notation).
+//!
+//! # Example
+//!
+//! ```
+//! use warp_synth::rocm::Cover;
+//!
+//! // f(a, b) = a·b + a·b̄  minimizes to  f = a.
+//! let cover = Cover::from_minterms(2, &[0b01, 0b11]); // a = bit 0
+//! let min = cover.minimize();
+//! assert_eq!(min.cube_count(), 1);
+//! assert_eq!(min.literal_count(), 1);
+//! ```
+
+use std::fmt;
+
+/// One product term over up to 16 variables: variable `i` appears when
+/// `mask` bit `i` is set, with the polarity of `value` bit `i`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Cube {
+    /// Care mask: which variables are bound in this cube.
+    pub mask: u16,
+    /// Polarity of each bound variable.
+    pub value: u16,
+}
+
+impl Cube {
+    /// A cube binding every one of `num_vars` variables to the bits of
+    /// `minterm`.
+    #[must_use]
+    pub fn minterm(num_vars: u8, minterm: u16) -> Self {
+        let mask = if num_vars >= 16 { u16::MAX } else { (1u16 << num_vars) - 1 };
+        Cube { mask, value: minterm & mask }
+    }
+
+    /// Whether the cube contains the point.
+    #[must_use]
+    pub fn contains(&self, point: u16) -> bool {
+        point & self.mask == self.value & self.mask
+    }
+
+    /// Whether this cube covers every point of `other`.
+    #[must_use]
+    pub fn covers(&self, other: &Cube) -> bool {
+        // Every variable bound here must be bound identically there.
+        self.mask & other.mask == self.mask && (self.value ^ other.value) & self.mask == 0
+    }
+
+    /// Number of literals (bound variables).
+    #[must_use]
+    pub fn literals(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// Iterates over all points (minterm assignments) inside the cube,
+    /// restricted to `num_vars` variables.
+    pub fn points(&self, num_vars: u8) -> impl Iterator<Item = u16> + '_ {
+        let free = !self.mask & if num_vars >= 16 { u16::MAX } else { (1u16 << num_vars) - 1 };
+        let free_bits: Vec<u16> = (0..16).map(|i| 1u16 << i).filter(|b| free & b != 0).collect();
+        let n = free_bits.len() as u32;
+        let base = self.value & self.mask;
+        (0..(1u32 << n)).map(move |combo| {
+            let mut p = base;
+            for (j, &b) in free_bits.iter().enumerate() {
+                if combo >> j & 1 == 1 {
+                    p |= b;
+                }
+            }
+            p
+        })
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..16).rev() {
+            let bit = 1u16 << i;
+            if self.mask & bit == 0 {
+                write!(f, "-")?;
+            } else if self.value & bit != 0 {
+                write!(f, "1")?;
+            } else {
+                write!(f, "0")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A single-output cover: the ON-set as a list of cubes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cover {
+    num_vars: u8,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// Creates a cover from explicit cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 16`.
+    #[must_use]
+    pub fn new(num_vars: u8, cubes: Vec<Cube>) -> Self {
+        assert!(num_vars <= 16, "ROCM covers support at most 16 variables");
+        Cover { num_vars, cubes }
+    }
+
+    /// Creates a cover with one cube per minterm.
+    #[must_use]
+    pub fn from_minterms(num_vars: u8, minterms: &[u16]) -> Self {
+        Cover::new(num_vars, minterms.iter().map(|&m| Cube::minterm(num_vars, m)).collect())
+    }
+
+    /// Creates a cover from a truth table (bit `i` of `truth` = output
+    /// for input assignment `i`).
+    #[must_use]
+    pub fn from_truth(num_vars: u8, truth: u64) -> Self {
+        assert!(num_vars <= 6, "truth-table constructor supports up to 6 variables");
+        let minterms: Vec<u16> =
+            (0..(1u16 << num_vars)).filter(|&m| truth >> m & 1 == 1).collect();
+        Cover::from_minterms(num_vars, &minterms)
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> u8 {
+        self.num_vars
+    }
+
+    /// The cube list.
+    #[must_use]
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of product terms.
+    #[must_use]
+    pub fn cube_count(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total literal count (the standard two-level cost metric).
+    #[must_use]
+    pub fn literal_count(&self) -> u32 {
+        self.cubes.iter().map(Cube::literals).sum()
+    }
+
+    /// Whether the function is 1 at `point`.
+    #[must_use]
+    pub fn contains(&self, point: u16) -> bool {
+        self.cubes.iter().any(|c| c.contains(point))
+    }
+
+    /// Evaluates the whole truth table (only for ≤ 16 variables; cost is
+    /// `2^num_vars`).
+    #[must_use]
+    pub fn truth(&self) -> Vec<bool> {
+        (0..(1u32 << self.num_vars)).map(|p| self.contains(p as u16)).collect()
+    }
+
+    /// The ROCM minimization: one expand pass, then an irredundant-cover
+    /// pass.
+    ///
+    /// *Expand*: each cube tries to drop each of its literals in turn;
+    /// a literal is dropped when the enlarged cube still lies inside the
+    /// function's ON-set. *Irredundant*: cubes whose points are all
+    /// covered by the rest of the cover are removed. Unlike Espresso
+    /// there is no reduce/expand iteration — this is the deliberate
+    /// memory/time trade-off of the on-chip tool.
+    #[must_use]
+    pub fn minimize(&self) -> Cover {
+        let mut expanded: Vec<Cube> = Vec::with_capacity(self.cubes.len());
+        for &cube in &self.cubes {
+            let mut c = cube;
+            // Single expand pass: try dropping each literal once.
+            for var in 0..self.num_vars {
+                let bit = 1u16 << var;
+                if c.mask & bit == 0 {
+                    continue;
+                }
+                let candidate = Cube { mask: c.mask & !bit, value: c.value & !bit };
+                if candidate.points(self.num_vars).all(|p| self.contains(p)) {
+                    c = candidate;
+                }
+            }
+            expanded.push(c);
+        }
+
+        // Drop duplicates and cubes covered by a single other cube.
+        expanded.sort_by_key(|c| c.mask.count_ones());
+        let mut kept: Vec<Cube> = Vec::new();
+        for c in expanded {
+            if !kept.iter().any(|k| k.covers(&c)) {
+                kept.push(c);
+            }
+        }
+
+        // Irredundant pass: remove cubes whose points are covered by the
+        // union of the others (largest cubes kept preferentially).
+        kept.sort_by_key(|c| std::cmp::Reverse(c.mask.count_ones()));
+        let mut result: Vec<Cube> = kept.clone();
+        let mut i = 0;
+        while i < result.len() {
+            let candidate = result[i];
+            let others: Vec<Cube> =
+                result.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, c)| *c).collect();
+            let redundant =
+                candidate.points(self.num_vars).all(|p| others.iter().any(|c| c.contains(p)));
+            if redundant {
+                result.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        Cover::new(self.num_vars, result)
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, ".i {}", self.num_vars)?;
+        for c in &self.cubes {
+            writeln!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Minimizes a 3-variable truth table (a LUT function) and returns its
+/// two-level literal cost — the metric the mapper reports for the
+/// on-chip tool model.
+#[must_use]
+pub fn lut3_sop_cost(truth: u8) -> u32 {
+    Cover::from_truth(3, u64::from(truth)).minimize().literal_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_variable_reduction() {
+        // f = a·b + a·b̄ = a.
+        let c = Cover::from_minterms(2, &[0b01, 0b11]);
+        let m = c.minimize();
+        assert_eq!(m.cube_count(), 1);
+        assert_eq!(m.cubes()[0], Cube { mask: 0b01, value: 0b01 });
+    }
+
+    #[test]
+    fn tautology_reduces_to_empty_cube() {
+        let c = Cover::from_minterms(2, &[0b00, 0b01, 0b10, 0b11]);
+        let m = c.minimize();
+        assert_eq!(m.cube_count(), 1);
+        assert_eq!(m.literal_count(), 0, "constant-1 needs no literals");
+    }
+
+    #[test]
+    fn xor_cannot_be_reduced() {
+        let c = Cover::from_minterms(2, &[0b01, 0b10]);
+        let m = c.minimize();
+        assert_eq!(m.cube_count(), 2);
+        assert_eq!(m.literal_count(), 4);
+    }
+
+    #[test]
+    fn redundant_consensus_cube_removed() {
+        // f = a·b + b̄·c + a·c : the a·c term is redundant (consensus).
+        // vars: a=bit0, b=bit1, c=bit2.
+        let cubes = vec![
+            Cube { mask: 0b011, value: 0b011 }, // a·b
+            Cube { mask: 0b110, value: 0b100 }, // b̄·c
+            Cube { mask: 0b101, value: 0b101 }, // a·c
+        ];
+        let c = Cover::new(3, cubes);
+        let m = c.minimize();
+        assert!(m.cube_count() <= 2, "consensus term must be dropped, got {m}");
+    }
+
+    #[test]
+    fn empty_cover_is_constant_zero() {
+        let c = Cover::from_minterms(3, &[]);
+        let m = c.minimize();
+        assert_eq!(m.cube_count(), 0);
+        assert!(m.truth().iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn display_positional_notation() {
+        let c = Cube { mask: 0b11, value: 0b01 };
+        let s = c.to_string();
+        assert!(s.ends_with("01"), "got {s}");
+    }
+
+    #[test]
+    fn lut3_costs() {
+        assert_eq!(lut3_sop_cost(0x00), 0); // constant 0
+        assert_eq!(lut3_sop_cost(0xFF), 0); // constant 1 (one empty cube)
+        // f = a (truth table bit i set when bit0 of i set): 0b10101010.
+        assert_eq!(lut3_sop_cost(0xAA), 1);
+    }
+
+    proptest! {
+        /// Minimization must preserve the function exactly.
+        #[test]
+        fn minimize_preserves_function(truth in any::<u16>()) {
+            let c = Cover::from_truth(4, u64::from(truth));
+            let m = c.minimize();
+            for p in 0..16u16 {
+                prop_assert_eq!(c.contains(p), m.contains(p), "point {}", p);
+            }
+        }
+
+        /// Minimization never increases the cube or literal counts.
+        #[test]
+        fn minimize_never_grows(truth in any::<u16>()) {
+            let c = Cover::from_truth(4, u64::from(truth));
+            let m = c.minimize();
+            prop_assert!(m.cube_count() <= c.cube_count());
+            prop_assert!(m.literal_count() <= c.literal_count());
+        }
+
+        /// Expansion on random 5-variable covers stays sound.
+        #[test]
+        fn five_var_covers_sound(truth in any::<u32>()) {
+            let c = Cover::from_truth(5, u64::from(truth));
+            let m = c.minimize();
+            for p in 0..32u16 {
+                prop_assert_eq!(c.contains(p), m.contains(p));
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Synthesis and mapping must preserve every workload kernel's function:
+//! DFG interpreter == gate netlist == LUT netlist, on random inputs.
+
+use mb_isa::MbFeatures;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use warp_cdfg::{decompile_loop, KernelEnv};
+use warp_synth::bits::InputWord;
+use warp_synth::map::map_netlist;
+use warp_synth::synthesize;
+
+#[test]
+fn all_workload_kernels_synthesize_and_map_equivalently() {
+    let mut rng = StdRng::seed_from_u64(0xDA7E_2005);
+    for workload in workloads::all() {
+        let built = workload.build(MbFeatures::paper_default());
+        let kernel = decompile_loop(&built.program, built.kernel.head, built.kernel.tail).unwrap();
+        let report = synthesize(&kernel);
+        let mapped = map_netlist(&report.netlist);
+
+        for trial in 0..20 {
+            // Random per-(stream, offset) load values, invariants, accs.
+            let mut loads = std::collections::HashMap::new();
+            for (si, s) in kernel.streams.iter().enumerate() {
+                for &off in &s.load_offsets {
+                    loads.insert((si, off), rng.gen::<u32>());
+                }
+            }
+            let inv: u32 = rng.gen();
+            let acc0: u32 = rng.gen();
+
+            // Reference: DFG interpreter for one iteration at base 0 per
+            // stream (addresses resolve back to (stream, offset)).
+            let mut env = KernelEnv { counter: 1, ..KernelEnv::default() };
+            for (si, s) in kernel.streams.iter().enumerate() {
+                env.pointers.insert(s.base, (si as u32) << 16);
+            }
+            for a in &kernel.accs {
+                env.accs.insert(a.reg, acc0);
+            }
+            for &r in &kernel.invariants {
+                env.invariants.insert(r, inv);
+            }
+            let mut ref_stores = Vec::new();
+            kernel.interpret(
+                &mut env,
+                |addr| loads[&((addr >> 16) as usize, (addr & 0xFFFF) as i32)],
+                |addr, v| ref_stores.push((addr, v)),
+            );
+
+            // Both netlists with identical inputs.
+            let mut ff_state = Vec::new();
+            for _ in &kernel.accs {
+                for bit in 0..32 {
+                    ff_state.push(acc0 >> bit & 1 == 1);
+                }
+            }
+            let input_fn = |w: InputWord| -> u32 {
+                match w {
+                    InputWord::Load { stream, offset } => loads[&(stream, offset)],
+                    InputWord::Invariant(_) => inv,
+                    InputWord::MacOut(_) => unreachable!(),
+                }
+            };
+            let gate_res = report.netlist.eval(input_fn, &ff_state);
+            let lut_res = mapped.eval(input_fn, &ff_state);
+
+            for (i, (gate_out, lut_out)) in
+                report.netlist.outputs().iter().zip(mapped.outputs()).enumerate()
+            {
+                let want = ref_stores[i].1;
+                assert_eq!(
+                    gate_res.word(&gate_out.bits),
+                    want,
+                    "{} store {i} trial {trial}: gate netlist diverges",
+                    workload.name
+                );
+                assert_eq!(
+                    lut_res.word(&lut_out.bits),
+                    want,
+                    "{} store {i} trial {trial}: LUT netlist diverges",
+                    workload.name
+                );
+            }
+            // Accumulator next states.
+            for (k, a) in kernel.accs.iter().enumerate() {
+                let want = env.accs[&a.reg];
+                let gate_next: u32 = (0..32)
+                    .map(|bit| u32::from(gate_res.bit(report.netlist.ffs()[k * 32 + bit].d)) << bit)
+                    .sum();
+                let lut_next: u32 = (0..32)
+                    .map(|bit| u32::from(lut_res.value(mapped.ffs()[k * 32 + bit].d)) << bit)
+                    .sum();
+                assert_eq!(gate_next, want, "{} acc gate mismatch", workload.name);
+                assert_eq!(lut_next, want, "{} acc LUT mismatch", workload.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn brev_kernel_is_nearly_all_wires() {
+    let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());
+    let kernel = decompile_loop(&built.program, built.kernel.head, built.kernel.tail).unwrap();
+    let report = synthesize(&kernel);
+    // The paper: "the resulting hardware circuit is much more efficient,
+    // requiring only wires to implement the bit reversal".
+    assert_eq!(report.stats.gates, 0, "brev must synthesize to pure wiring");
+    let mapped = map_netlist(&report.netlist);
+    assert_eq!(mapped.lut_count(), 0);
+}
+
+#[test]
+fn synthesis_cost_summary_is_sane() {
+    for workload in workloads::all() {
+        let built = workload.build(MbFeatures::paper_default());
+        let kernel = decompile_loop(&built.program, built.kernel.head, built.kernel.tail).unwrap();
+        let report = synthesize(&kernel);
+        let mapped = map_netlist(&report.netlist);
+        let st = mapped.stats();
+        assert!(st.luts <= 4096, "{}: {} LUTs exceed any sane fabric", workload.name, st.luts);
+        assert_eq!(st.macs as usize, kernel.mul_ops_per_iter(), "{}", workload.name);
+        println!(
+            "{:>8}: {:>5} gates {:>4} LUTs depth {:>2} ffs {:>3} macs {:>2}",
+            workload.name, report.stats.gates, st.luts, st.depth, st.ffs, st.macs
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! The WCLA hardware executor: cycle model and functional iteration.
+//!
+//! Per kernel iteration the DADG performs each load and store in one
+//! fabric cycle against the dual-ported data BRAM, overlapped with the
+//! fabric settle time of the previous values (the DADG prefetches the
+//! next iteration's operands while the routed logic settles — a
+//! multi-cycle combinational path held by the LCH); each MAC operation
+//! then serializes for [`MAC_LATENCY`](crate::MAC_LATENCY) cycles on
+//! the single hard multiplier.
+//!
+//! Functional behaviour uses the mapped LUT netlist, whose equivalence
+//! to the configuration bitstream is established by the fabric crate's
+//! tests (evaluating the decoded bitstream for every iteration would be
+//! needlessly slow; spot equivalence is checked per circuit at build
+//! time).
+
+use std::collections::BTreeMap;
+
+use mb_isa::Reg;
+use mb_sim::{Bram, MemError};
+use warp_cdfg::KernelEnv;
+use warp_fabric::CompiledCircuit;
+use warp_synth::bits::InputWord;
+use warp_synth::LutNetlist;
+
+use crate::{FABRIC_CLOCK_HZ, MAC_LATENCY};
+
+/// The derived cycle model for one compiled kernel.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ExecModel {
+    /// Fabric clock (Hz), capped by the WCLA ceiling.
+    pub fabric_clock_hz: u64,
+    /// DADG memory operations per iteration.
+    pub mem_ops: u64,
+    /// Fabric-settle cycles per iteration (multi-cycle path).
+    pub compute_cycles: u64,
+    /// MAC serialization cycles per iteration.
+    pub mac_cycles: u64,
+    /// Fixed per-invocation startup cycles (LCH arm + first addresses).
+    pub startup_cycles: u64,
+    /// Total cycles for one iteration.
+    pub cycles_per_iteration: u64,
+}
+
+impl ExecModel {
+    /// Derives the model from a compiled circuit.
+    #[must_use]
+    pub fn derive(
+        kernel: &warp_cdfg::LoopKernel,
+        netlist: &LutNetlist,
+        compiled: &CompiledCircuit,
+    ) -> Self {
+        let fabric_clock_hz = FABRIC_CLOCK_HZ;
+        let period_ns = 1e9 / fabric_clock_hz as f64;
+        let compute_cycles = (compiled.timing.critical_path_ns / period_ns).ceil().max(1.0) as u64;
+        let mem_ops = kernel.mem_ops_per_iter() as u64;
+        let mac_cycles = netlist.macs().len() as u64 * MAC_LATENCY;
+        ExecModel {
+            fabric_clock_hz,
+            mem_ops,
+            compute_cycles,
+            mac_cycles,
+            startup_cycles: 4,
+            // DADG memory traffic overlaps fabric settle; the MAC chain
+            // serializes after both.
+            cycles_per_iteration: mem_ops.max(compute_cycles) + mac_cycles,
+        }
+    }
+
+    /// Fabric cycles to run `iterations` iterations.
+    #[must_use]
+    pub fn total_cycles(&self, iterations: u64) -> u64 {
+        self.startup_cycles + iterations * self.cycles_per_iteration
+    }
+
+    /// Wall-clock seconds for `iterations`.
+    #[must_use]
+    pub fn seconds(&self, iterations: u64) -> f64 {
+        self.total_cycles(iterations) as f64 / self.fabric_clock_hz as f64
+    }
+}
+
+/// Result of one hardware invocation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HwOutcome {
+    /// Iterations executed (the seeded counter value).
+    pub iterations: u64,
+    /// Fabric cycles consumed.
+    pub fabric_cycles: u64,
+    /// Final accumulator values (register → value).
+    pub accs: BTreeMap<Reg, u32>,
+    /// Loads performed.
+    pub loads: u64,
+    /// Stores performed.
+    pub stores: u64,
+}
+
+/// Executes a compiled kernel against the data BRAM.
+///
+/// # Errors
+///
+/// Returns [`MemError`] if a generated address leaves the BRAM — the
+/// hardware equivalent of a wild pointer.
+pub fn execute(
+    kernel: &warp_cdfg::LoopKernel,
+    netlist: &LutNetlist,
+    model: &ExecModel,
+    env: &KernelEnv,
+    dmem: &mut Bram,
+) -> Result<HwOutcome, MemError> {
+    let iterations = u64::from(env.counter);
+    let mut pointers: BTreeMap<Reg, u32> = env.pointers.clone();
+    let invariants = env.invariants.clone();
+
+    // FF state in netlist FF order.
+    let mut ff_state: Vec<bool> = netlist
+        .ffs()
+        .iter()
+        .map(|f| env.accs.get(&f.reg).copied().unwrap_or(0) >> f.bit & 1 == 1)
+        .collect();
+
+    let mut loads = 0u64;
+    let mut stores = 0u64;
+
+    for _ in 0..iterations {
+        // DADG load phase: fetch every (stream, offset) word.
+        let mut load_vals: BTreeMap<(usize, i32), u32> = BTreeMap::new();
+        for (si, s) in kernel.streams.iter().enumerate() {
+            let base = pointers[&s.base];
+            for &off in &s.load_offsets {
+                let v = dmem.read_word(base.wrapping_add(off as u32))?;
+                load_vals.insert((si, off), v);
+                loads += 1;
+            }
+        }
+
+        // Fabric settle.
+        let eval = netlist.eval(
+            |w| match w {
+                InputWord::Load { stream, offset } => load_vals[&(stream, offset)],
+                InputWord::Invariant(r) => invariants.get(&r).copied().unwrap_or(0),
+                InputWord::MacOut(_) => unreachable!("resolved internally"),
+            },
+            &ff_state,
+        );
+
+        // DADG store phase.
+        for (out, s) in netlist.outputs().iter().zip(&kernel.stores) {
+            let base = pointers[&kernel.streams[s.stream].base];
+            dmem.write_word(base.wrapping_add(s.offset as u32), eval.word(&out.bits))?;
+            stores += 1;
+        }
+
+        // Clock the accumulator flip-flops and advance the streams.
+        let next: Vec<bool> = netlist.ffs().iter().map(|f| eval.value(f.d)).collect();
+        ff_state = next;
+        for s in &kernel.streams {
+            let p = pointers.get_mut(&s.base).expect("pointer seeded");
+            *p = p.wrapping_add(s.stride as u32);
+        }
+    }
+
+    // Reassemble accumulator words from FF state.
+    let mut accs: BTreeMap<Reg, u32> = BTreeMap::new();
+    for (k, f) in netlist.ffs().iter().enumerate() {
+        let e = accs.entry(f.reg).or_insert(0);
+        *e |= u32::from(ff_state[k]) << f.bit;
+    }
+
+    Ok(HwOutcome {
+        iterations,
+        fabric_cycles: model.total_cycles(iterations),
+        accs,
+        loads,
+        stores,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_isa::MbFeatures;
+    use warp_cdfg::decompile_loop;
+
+    /// Hardware execution must equal the kernel interpreter (and hence,
+    /// via the decompiler tests, software execution) on real workloads.
+    #[test]
+    fn hardware_matches_interpreter_on_workloads() {
+        for workload in workloads::all() {
+            let built = workload.build(MbFeatures::paper_default());
+            let kernel =
+                decompile_loop(&built.program, built.kernel.head, built.kernel.tail).unwrap();
+            let (circuit, _) = crate::WclaCircuit::build(kernel.clone()).unwrap();
+
+            // Seed memory from the workload's initial data.
+            let mut hw_mem = Bram::new(64 * 1024);
+            for (addr, words) in &built.data {
+                hw_mem.load_words(*addr, words).unwrap();
+            }
+            let mut ref_mem = hw_mem.clone();
+
+            // Environment: run a modest number of iterations.
+            let mut env = KernelEnv { counter: 40, ..KernelEnv::default() };
+            for (si, s) in kernel.streams.iter().enumerate() {
+                // Separate streams far enough that 40 iterations cannot
+                // overlap (the reference interpreter reads a frozen
+                // snapshot, the hardware reads live memory).
+                let base = 0x1000 + (si as u32) * 0x2000;
+                env.pointers.insert(s.base, base);
+            }
+            for a in &kernel.accs {
+                env.accs.insert(a.reg, 0x0BAD_F00D);
+            }
+            for &r in &kernel.invariants {
+                env.invariants.insert(r, 7);
+            }
+
+            let hw = execute(&circuit.kernel, &circuit.netlist, &circuit.model, &env, &mut hw_mem)
+                .unwrap();
+            let mut ref_env = env.clone();
+            let ref_mem_ro = ref_mem.clone();
+            let mut ref_stores = Vec::new();
+            kernel.interpret(
+                &mut ref_env,
+                |addr| ref_mem_ro.read_word(addr).unwrap(),
+                |addr, v| ref_stores.push((addr, v)),
+            );
+            for (addr, v) in ref_stores {
+                ref_mem.write_word(addr, v).unwrap();
+            }
+
+            assert_eq!(hw_mem.words(), ref_mem.words(), "{}: memory diverged", workload.name);
+            for a in &kernel.accs {
+                assert_eq!(hw.accs[&a.reg], ref_env.accs[&a.reg], "{}: acc", workload.name);
+            }
+            assert_eq!(hw.iterations, 40);
+            assert!(hw.fabric_cycles >= 40, "{}: cycles sane", workload.name);
+        }
+    }
+
+    #[test]
+    fn cycle_model_orders_kernels_sensibly() {
+        let get_model = |name: &str| {
+            let built = workloads::by_name(name).unwrap().build(MbFeatures::paper_default());
+            let kernel =
+                decompile_loop(&built.program, built.kernel.head, built.kernel.tail).unwrap();
+            let (circuit, _) = crate::WclaCircuit::build(kernel).unwrap();
+            circuit.model
+        };
+        let brev = get_model("brev");
+        let idct = get_model("idct");
+        // brev is wires; idct has 16 memory ops and 14 MACs.
+        assert!(brev.cycles_per_iteration < idct.cycles_per_iteration);
+        assert!(idct.mac_cycles >= 28);
+        assert_eq!(brev.mem_ops, 2);
+    }
+}

@@ -1,0 +1,243 @@
+//! Shared building blocks: program scaffolding, init/checksum loops, and
+//! their golden-model equivalents.
+//!
+//! Each benchmark is built as: constant/data setup, one or more
+//! initialization loops, the annotated critical kernel loop, verification
+//! loops (checksums), and the exit-port store. The non-kernel loops give
+//! each benchmark a realistic kernel-vs-total execution profile; they are
+//! deliberately split into several loops so that the kernel keeps the
+//! highest backward-branch count (which is what the frequency-based
+//! on-chip profiler ranks by).
+
+use mb_isa::codegen::CodeGen;
+use mb_isa::{Insn, Reg};
+use mb_sim::EXIT_PORT_BASE;
+
+/// Emits the exit sequence: a word store to the exit port.
+pub fn emit_exit(cg: &mut CodeGen) {
+    let a = cg.asm_mut();
+    a.li(Reg::R31, EXIT_PORT_BASE as i32);
+    a.push(Insn::swi(Reg::R0, Reg::R31, 0));
+}
+
+/// Emits a loop filling `n` words at `base` with the LCG sequence
+/// `x = x * mult + inc` (storing each new `x`). Uses the configuration's
+/// multiply (hardware `mul` or the `__mulsi3` software routine).
+///
+/// Clobbers r16–r19 plus the runtime-clobber set when no multiplier is
+/// configured.
+pub fn emit_lcg_fill(cg: &mut CodeGen, tag: &str, base: &str, n: i32, seed: i32, mult: i32, inc: i16) {
+    let top = format!("__fill_{tag}");
+    {
+        let a = cg.asm_mut();
+        a.la(Reg::R16, base);
+        a.li(Reg::R17, n);
+        a.li(Reg::R18, seed);
+        a.li(Reg::R19, mult);
+        a.label(top.clone());
+    }
+    cg.mul(Reg::R18, Reg::R18, Reg::R19);
+    let a = cg.asm_mut();
+    a.push(Insn::addik(Reg::R18, Reg::R18, inc));
+    a.push(Insn::swi(Reg::R18, Reg::R16, 0));
+    a.push(Insn::addik(Reg::R16, Reg::R16, 4));
+    a.push(Insn::addik(Reg::R17, Reg::R17, -1));
+    a.bnei(Reg::R17, top);
+}
+
+/// Golden model of [`emit_lcg_fill`].
+#[must_use]
+pub fn lcg_fill(n: usize, seed: u32, mult: u32, inc: u32) -> Vec<u32> {
+    let mut x = seed;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(mult).wrapping_add(inc);
+            x
+        })
+        .collect()
+}
+
+/// Emits a checksum loop over `n` words at `base`, storing the result at
+/// `out`: `acc = acc + (word ^ (acc >> 1))` (wrapping).
+///
+/// Uses only single-bit shifts, so its cost is identical across feature
+/// configurations. Clobbers r16–r20.
+pub fn emit_checksum(cg: &mut CodeGen, tag: &str, base: &str, n: i32, out: &str) {
+    let top = format!("__csum_{tag}");
+    let a = cg.asm_mut();
+    a.la(Reg::R16, base);
+    a.li(Reg::R17, n);
+    a.push(Insn::addk(Reg::R18, Reg::R0, Reg::R0));
+    a.label(top.clone());
+    a.push(Insn::lwi(Reg::R19, Reg::R16, 0));
+    a.push(Insn::Srl { rd: Reg::R20, ra: Reg::R18 });
+    a.push(Insn::Xor { rd: Reg::R19, ra: Reg::R19, rb: Reg::R20 });
+    a.push(Insn::addk(Reg::R18, Reg::R18, Reg::R19));
+    a.push(Insn::addik(Reg::R16, Reg::R16, 4));
+    a.push(Insn::addik(Reg::R17, Reg::R17, -1));
+    a.bnei(Reg::R17, top);
+    a.la(Reg::R16, out);
+    a.push(Insn::swi(Reg::R18, Reg::R16, 0));
+}
+
+/// Golden model of [`emit_checksum`].
+#[must_use]
+pub fn checksum(words: &[u32]) -> u32 {
+    let mut acc = 0u32;
+    for &w in words {
+        acc = acc.wrapping_add(w ^ (acc >> 1));
+    }
+    acc
+}
+
+/// Emits `andi rd, ra, mask` for a full 32-bit mask (with `imm` prefix
+/// when the mask does not fit in a sign-extended 16-bit immediate).
+pub fn emit_and_mask(cg: &mut CodeGen, rd: Reg, ra: Reg, mask: u32) {
+    let a = cg.asm_mut();
+    if fits_i16(mask) {
+        a.push(Insn::Andi { rd, ra, imm: mask as i16 });
+    } else {
+        a.push(Insn::Imm { imm: (mask >> 16) as i16 });
+        a.push(Insn::Andi { rd, ra, imm: mask as i16 });
+    }
+}
+
+/// Emits `xori rd, ra, value` for a full 32-bit value.
+pub fn emit_xor_imm(cg: &mut CodeGen, rd: Reg, ra: Reg, value: u32) {
+    let a = cg.asm_mut();
+    if fits_i16(value) {
+        a.push(Insn::Xori { rd, ra, imm: value as i16 });
+    } else {
+        a.push(Insn::Imm { imm: (value >> 16) as i16 });
+        a.push(Insn::Xori { rd, ra, imm: value as i16 });
+    }
+}
+
+/// Emits `ori rd, ra, value` for a full 32-bit value.
+pub fn emit_or_imm(cg: &mut CodeGen, rd: Reg, ra: Reg, value: u32) {
+    let a = cg.asm_mut();
+    if fits_i16(value) {
+        a.push(Insn::Ori { rd, ra, imm: value as i16 });
+    } else {
+        a.push(Insn::Imm { imm: (value >> 16) as i16 });
+        a.push(Insn::Ori { rd, ra, imm: value as i16 });
+    }
+}
+
+/// Whether a 32-bit value round-trips through a sign-extended 16-bit
+/// immediate.
+#[must_use]
+pub fn fits_i16(value: u32) -> bool {
+    value as i32 >= i32::from(i16::MIN) && value as i32 <= i32::from(i16::MAX)
+}
+
+/// Emits the branch-free "is non-zero" idiom: `rd = (ra != 0) ? all-ones
+/// : 0`, computed as `(ra | (0 - ra)) >> 31` arithmetic.
+///
+/// Clobbers `scratch`.
+pub fn emit_nonzero_mask(cg: &mut CodeGen, rd: Reg, ra: Reg, scratch: Reg) {
+    cg.asm_mut().push(Insn::rsubk(scratch, ra, Reg::R0)); // 0 - ra
+    cg.asm_mut().push(Insn::Or { rd: scratch, ra, rb: scratch });
+    cg.sar_const(rd, scratch, 31);
+}
+
+/// Golden model of [`emit_nonzero_mask`].
+#[must_use]
+pub fn nonzero_mask(v: u32) -> u32 {
+    if v != 0 {
+        u32::MAX
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_isa::MbFeatures;
+    use mb_sim::{MbConfig, System};
+
+    fn run(cg: CodeGen) -> System {
+        let p = cg.finish().unwrap();
+        let mut sys = System::new(MbConfig::paper_default());
+        sys.load_program(&p).unwrap();
+        let out = sys.run(10_000_000).unwrap();
+        assert!(out.exited());
+        sys
+    }
+
+    #[test]
+    fn lcg_fill_matches_golden() {
+        let mut cg = CodeGen::new(0, MbFeatures::paper_default());
+        cg.asm_mut().equ("buf", 0x400).unwrap();
+        emit_lcg_fill(&mut cg, "t", "buf", 16, 0x1234, 1664525, 1013);
+        emit_exit(&mut cg);
+        let sys = run(cg);
+        let expected = lcg_fill(16, 0x1234, 1664525, 1013);
+        let actual = sys.dmem().read_words(0x400, 16).unwrap();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn lcg_fill_same_values_without_multiplier() {
+        let mut cg = CodeGen::new(0, MbFeatures::minimal());
+        cg.asm_mut().equ("buf", 0x400).unwrap();
+        emit_lcg_fill(&mut cg, "t", "buf", 8, 99, 22695477, 1);
+        emit_exit(&mut cg);
+        let sys = run(cg);
+        assert_eq!(sys.dmem().read_words(0x400, 8).unwrap(), lcg_fill(8, 99, 22695477, 1));
+    }
+
+    #[test]
+    fn checksum_matches_golden() {
+        let data: Vec<u32> = (0..32).map(|i| 0x0101_0101u32.wrapping_mul(i)).collect();
+        let mut cg = CodeGen::new(0, MbFeatures::paper_default());
+        cg.asm_mut().equ("buf", 0x400).unwrap();
+        cg.asm_mut().equ("out", 0x300).unwrap();
+        emit_checksum(&mut cg, "t", "buf", 32, "out");
+        emit_exit(&mut cg);
+        let p = cg.finish().unwrap();
+        let mut sys = System::new(MbConfig::paper_default());
+        sys.load_program(&p).unwrap();
+        sys.load_data(0x400, &data).unwrap();
+        sys.run(1_000_000).unwrap();
+        assert_eq!(sys.dmem().read_word(0x300).unwrap(), checksum(&data));
+    }
+
+    #[test]
+    fn mask_helpers_handle_wide_and_narrow() {
+        let mut cg = CodeGen::new(0, MbFeatures::paper_default());
+        cg.asm_mut().li(Reg::R3, -1);
+        emit_and_mask(&mut cg, Reg::R4, Reg::R3, 0x0F0F_0F0F);
+        emit_and_mask(&mut cg, Reg::R5, Reg::R3, 0x0123);
+        emit_xor_imm(&mut cg, Reg::R6, Reg::R4, 0xFFFF_0000);
+        emit_or_imm(&mut cg, Reg::R7, Reg::R5, 0x00FF_0000);
+        emit_exit(&mut cg);
+        let sys = run(cg);
+        assert_eq!(sys.cpu().reg(Reg::R4), 0x0F0F_0F0F);
+        assert_eq!(sys.cpu().reg(Reg::R5), 0x0123);
+        assert_eq!(sys.cpu().reg(Reg::R6), 0x0F0F_0F0F ^ 0xFFFF_0000);
+        assert_eq!(sys.cpu().reg(Reg::R7), 0x0123 | 0x00FF_0000);
+    }
+
+    #[test]
+    fn nonzero_mask_idiom() {
+        for (input, want) in [(0u32, 0u32), (1, u32::MAX), (0x8000_0000, u32::MAX)] {
+            let mut cg = CodeGen::new(0, MbFeatures::paper_default());
+            cg.asm_mut().li(Reg::R3, input as i32);
+            emit_nonzero_mask(&mut cg, Reg::R4, Reg::R3, Reg::R5);
+            emit_exit(&mut cg);
+            let sys = run(cg);
+            assert_eq!(sys.cpu().reg(Reg::R4), want, "input {input:#x}");
+            assert_eq!(want, nonzero_mask(input));
+        }
+    }
+
+    #[test]
+    fn fits_i16_boundaries() {
+        assert!(fits_i16(0x7FFF));
+        assert!(!fits_i16(0x8000));
+        assert!(fits_i16(0xFFFF_8000)); // -32768
+        assert!(!fits_i16(0xFFFF_7FFF));
+    }
+}

@@ -1,0 +1,231 @@
+//! Extra workloads beyond the paper's six, used by the extension studies:
+//! an 8-tap FIR filter (MAC-dominated, like `idct` but with a sliding
+//! window) and a rotate-xor stream checksum (`crc32`-style) whose kernel
+//! carries *only* a scalar accumulator — no output stream — exercising
+//! the live-out register path of the WCLA.
+
+use mb_isa::codegen::CodeGen;
+use mb_isa::{Insn, MbFeatures, Reg};
+
+use crate::common;
+use crate::{BuiltWorkload, KernelBounds, MemCheck, Suite};
+
+/// FIR: number of output samples.
+pub const FIR_N: usize = 600;
+/// FIR: filter taps (8.8 fixed point).
+pub const FIR_TAPS: [i16; 8] = [26, -49, 77, 181, 181, 77, -49, 26];
+
+const FIR_IN: u32 = 0x1000;
+const FIR_OUT: u32 = 0x3000;
+const FIR_CSUM: u32 = 0x0100;
+
+/// Golden model of the FIR kernel (bit-exact wrapping arithmetic).
+#[must_use]
+pub fn fir_golden(x: &[u32]) -> Vec<u32> {
+    (0..FIR_N)
+        .map(|i| {
+            let mut acc = 0i32;
+            for (k, &h) in FIR_TAPS.iter().enumerate() {
+                acc = acc.wrapping_add((x[i + k] as i32).wrapping_mul(i32::from(h)));
+            }
+            (acc >> 8) as u32
+        })
+        .collect()
+}
+
+/// Builds the FIR workload.
+pub fn build_fir(features: MbFeatures) -> BuiltWorkload {
+    let mut cg = CodeGen::new(0, features);
+    cg.asm_mut().equ("x", FIR_IN).unwrap();
+    cg.asm_mut().equ("y", FIR_OUT).unwrap();
+    cg.asm_mut().equ("csum", FIR_CSUM).unwrap();
+
+    // Kernel: one output sample per iteration, 8 unrolled taps.
+    // Registers clear of the __mulsi3 clobber set (r3, r5-r9, r15).
+    {
+        let a = cg.asm_mut();
+        a.la(Reg::R28, "x");
+        a.la(Reg::R29, "y");
+        a.li(Reg::R4, FIR_N as i32);
+        a.label("k_head");
+    }
+    // acc (r22) = sum of tap products.
+    cg.asm_mut().push(Insn::addk(Reg::R22, Reg::R0, Reg::R0));
+    for (k, &h) in FIR_TAPS.iter().enumerate() {
+        cg.asm_mut().push(Insn::lwi(Reg::R10, Reg::R28, (k * 4) as i16));
+        cg.mul_const(Reg::R11, Reg::R10, h);
+        cg.asm_mut().push(Insn::addk(Reg::R22, Reg::R22, Reg::R11));
+    }
+    cg.sar_const(Reg::R22, Reg::R22, 8);
+    {
+        let a = cg.asm_mut();
+        a.push(Insn::swi(Reg::R22, Reg::R29, 0));
+        a.push(Insn::addik(Reg::R28, Reg::R28, 4));
+        a.push(Insn::addik(Reg::R29, Reg::R29, 4));
+        a.push(Insn::addik(Reg::R4, Reg::R4, -1));
+        a.label("k_tail");
+        a.bnei(Reg::R4, "k_head");
+    }
+
+    common::emit_checksum(&mut cg, "y", "y", (FIR_N - 20) as i32, "csum");
+    common::emit_exit(&mut cg);
+
+    let program = cg.finish().expect("fir assembles");
+    let kernel = KernelBounds {
+        head: program.symbol("k_head").unwrap(),
+        tail: program.symbol("k_tail").unwrap(),
+    };
+
+    let x: Vec<u32> = common::lcg_fill(FIR_N + 8, 0xF1_0001, 1_664_525, 7)
+        .iter()
+        .map(|v| ((v & 0xFFF) as i32 - 2048) as u32)
+        .collect();
+    let y = fir_golden(&x);
+    let csum = common::checksum(&y[..FIR_N - 20]);
+
+    BuiltWorkload {
+        name: "fir".into(),
+        suite: Suite::Extra,
+        program,
+        data: vec![(FIR_IN, x)],
+        kernel,
+        checks: vec![
+            MemCheck { label: "fir output".into(), addr: FIR_OUT, expected: y },
+            MemCheck { label: "fir checksum".into(), addr: FIR_CSUM, expected: vec![csum] },
+        ],
+        features,
+    }
+}
+
+/// CRC: number of words folded into the running state.
+pub const CRC_N: usize = 2000;
+
+const CRC_IN: u32 = 0x1000;
+const CRC_OUT: u32 = 0x0100;
+
+/// Golden model of the rotate-xor stream checksum.
+#[must_use]
+pub fn crc_golden(words: &[u32]) -> u32 {
+    let mut state = 0xFFFF_FFFFu32;
+    for &w in words {
+        state = state.rotate_left(1) ^ w;
+    }
+    state
+}
+
+/// Builds the CRC workload (accumulator-only kernel).
+pub fn build_crc32(features: MbFeatures) -> BuiltWorkload {
+    let mut cg = CodeGen::new(0, features);
+    cg.asm_mut().equ("msg", CRC_IN).unwrap();
+    cg.asm_mut().equ("out", CRC_OUT).unwrap();
+
+    {
+        let a = cg.asm_mut();
+        a.la(Reg::R21, "msg");
+        a.li(Reg::R4, CRC_N as i32);
+        a.li(Reg::R22, -1); // state = 0xFFFF_FFFF
+        a.label("k_head");
+        a.push(Insn::lwi(Reg::R9, Reg::R21, 0));
+    }
+    // state = rotl(state, 1) ^ w  —  rotl1 = (s << 1) | (s >> 31).
+    cg.shl_const(Reg::R10, Reg::R22, 1);
+    cg.shr_const(Reg::R11, Reg::R22, 31);
+    {
+        let a = cg.asm_mut();
+        a.push(Insn::Or { rd: Reg::R22, ra: Reg::R10, rb: Reg::R11 });
+        a.push(Insn::Xor { rd: Reg::R22, ra: Reg::R22, rb: Reg::R9 });
+        a.push(Insn::addik(Reg::R21, Reg::R21, 4));
+        a.push(Insn::addik(Reg::R4, Reg::R4, -1));
+        a.label("k_tail");
+        a.bnei(Reg::R4, "k_head");
+        a.la(Reg::R16, "out");
+        a.push(Insn::swi(Reg::R22, Reg::R16, 0));
+    }
+    common::emit_exit(&mut cg);
+
+    let program = cg.finish().expect("crc32 assembles");
+    let kernel = KernelBounds {
+        head: program.symbol("k_head").unwrap(),
+        tail: program.symbol("k_tail").unwrap(),
+    };
+
+    let msg = common::lcg_fill(CRC_N, 0xC4C_0001, 22_695_477, 3);
+    let crc = crc_golden(&msg);
+
+    BuiltWorkload {
+        name: "crc32".into(),
+        suite: Suite::Extra,
+        program,
+        data: vec![(CRC_IN, msg)],
+        kernel,
+        checks: vec![MemCheck { label: "crc state".into(), addr: CRC_OUT, expected: vec![crc] }],
+        features,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_sim::MbConfig;
+
+    #[test]
+    fn fir_matches_golden() {
+        let built = build_fir(MbFeatures::paper_default());
+        let mut sys = built.instantiate(&MbConfig::paper_default());
+        let out = sys.run(100_000_000).unwrap();
+        assert!(out.exited());
+        built.verify(sys.dmem()).unwrap();
+    }
+
+    #[test]
+    fn fir_impulse_response_reproduces_taps() {
+        // x = unit impulse at index 7 (so every tap sees it once as the
+        // window slides), scaled up to survive the >> 8.
+        let mut x = vec![0u32; FIR_N + 8];
+        x[7] = 256;
+        let y = fir_golden(&x);
+        // y[i] = taps[7-i] for the first 8 outputs.
+        for i in 0..8 {
+            assert_eq!(y[i] as i32, i32::from(FIR_TAPS[7 - i]), "slot {i}");
+        }
+        assert_eq!(y[8], 0);
+    }
+
+    #[test]
+    fn crc_matches_golden() {
+        let built = build_crc32(MbFeatures::paper_default());
+        let mut sys = built.instantiate(&MbConfig::paper_default());
+        let out = sys.run(100_000_000).unwrap();
+        assert!(out.exited());
+        built.verify(sys.dmem()).unwrap();
+    }
+
+    #[test]
+    fn crc_detects_single_bit_change() {
+        let msg = common::lcg_fill(64, 1, 1_664_525, 7);
+        let mut tampered = msg.clone();
+        tampered[30] ^= 1 << 9;
+        assert_ne!(crc_golden(&msg), crc_golden(&tampered));
+    }
+
+    #[test]
+    fn crc_kernel_has_no_store_stream() {
+        // The kernel body between head and tail must contain loads but no
+        // stores — the state lives in a register.
+        let built = build_crc32(MbFeatures::paper_default());
+        let (s, e) = built.kernel.range();
+        let mut loads = 0;
+        let mut stores = 0;
+        for (addr, insn) in built.program.iter_insns() {
+            if addr >= s && addr < e {
+                match insn.class() {
+                    mb_isa::OpClass::Load => loads += 1,
+                    mb_isa::OpClass::Store => stores += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(loads, 1);
+        assert_eq!(stores, 0);
+    }
+}

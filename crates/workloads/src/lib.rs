@@ -1,0 +1,333 @@
+//! Powerstone/EEMBC-style benchmark kernels for the warp-processing study.
+//!
+//! The paper evaluates six embedded applications: `brev`, `g3fax`, and
+//! `matmul` from Motorola's Powerstone suite, and `canrdr`, `bitmnp`, and
+//! `idct` from EEMBC. The original sources are proprietary, so this crate
+//! reconstructs each benchmark from its documented structure: the same
+//! critical-kernel shape (bit reversal by shifts, run-length expansion,
+//! CAN message filtering, bit manipulation, 8-point IDCT, matrix multiply)
+//! embedded in realistic surrounding code (initialization, checksum
+//! verification) that sets the kernel's share of execution time.
+//!
+//! Every benchmark provides:
+//!
+//! * a MicroBlaze assembly implementation built through the
+//!   configuration-aware [`mb_isa::codegen`] helpers (so the barrel
+//!   shifter / multiplier options change the generated code exactly as the
+//!   paper's Section 2 describes),
+//! * a pure-Rust golden model used to pre-compute expected results,
+//! * kernel annotations (loop head/tail addresses) checked against what
+//!   the on-chip profiler discovers,
+//! * post-run memory verification.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::by_name;
+//! use mb_isa::MbFeatures;
+//!
+//! let brev = by_name("brev").expect("brev is a paper benchmark");
+//! let built = brev.build(MbFeatures::paper_default());
+//! let mut sys = built.instantiate(&mb_sim::MbConfig::paper_default());
+//! let outcome = sys.run(10_000_000).unwrap();
+//! assert!(outcome.exited());
+//! built.verify(sys.dmem()).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitmnp;
+mod brev;
+mod canrdr;
+pub mod common;
+mod extra;
+mod g3fax;
+mod idct;
+mod matmul;
+
+use std::error::Error;
+use std::fmt;
+
+use mb_isa::{MbFeatures, Program};
+use mb_sim::{Bram, MbConfig, System};
+
+/// Which benchmark suite a workload reconstructs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Suite {
+    /// Motorola Powerstone.
+    Powerstone,
+    /// EEMBC (automotive/consumer).
+    Eembc,
+    /// Additional workloads beyond the paper's six.
+    Extra,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Suite::Powerstone => f.write_str("Powerstone"),
+            Suite::Eembc => f.write_str("EEMBC"),
+            Suite::Extra => f.write_str("extra"),
+        }
+    }
+}
+
+/// Byte-address bounds of a benchmark's critical kernel loop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct KernelBounds {
+    /// Address of the loop head (the backward branch's target).
+    pub head: u32,
+    /// Address of the loop's backward branch.
+    pub tail: u32,
+}
+
+impl KernelBounds {
+    /// The half-open byte range `[head, end)` covering the whole loop.
+    #[must_use]
+    pub fn range(&self) -> (u32, u32) {
+        (self.head, self.tail + 4)
+    }
+
+    /// Address of the first instruction after the loop.
+    #[must_use]
+    pub fn after(&self) -> u32 {
+        self.tail + 4
+    }
+
+    /// Number of instruction words in the loop.
+    #[must_use]
+    pub fn words(&self) -> u32 {
+        (self.tail + 4 - self.head) / 4
+    }
+}
+
+/// An expected final memory region.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MemCheck {
+    /// What this region holds (for diagnostics).
+    pub label: String,
+    /// Byte address of the first word.
+    pub addr: u32,
+    /// Expected word values.
+    pub expected: Vec<u32>,
+}
+
+/// Verification failure: simulated memory does not match the golden model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifyError {
+    /// Which check failed.
+    pub label: String,
+    /// First mismatching word's byte address.
+    pub addr: u32,
+    /// Expected word.
+    pub expected: u32,
+    /// Actual word.
+    pub actual: u32,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: mismatch at {:#010x}: expected {:#010x}, got {:#010x}",
+            self.label, self.addr, self.expected, self.actual
+        )
+    }
+}
+
+impl Error for VerifyError {}
+
+/// A benchmark built for a specific processor feature configuration.
+#[derive(Clone, Debug)]
+pub struct BuiltWorkload {
+    /// Benchmark name (`brev`, `g3fax`, …).
+    pub name: String,
+    /// Which suite the benchmark reconstructs.
+    pub suite: Suite,
+    /// The assembled binary.
+    pub program: Program,
+    /// Initial data memory regions.
+    pub data: Vec<(u32, Vec<u32>)>,
+    /// The critical kernel the profiler is expected to find.
+    pub kernel: KernelBounds,
+    /// Expected final memory contents.
+    pub checks: Vec<MemCheck>,
+    /// The feature configuration this binary was compiled for.
+    pub features: MbFeatures,
+}
+
+impl BuiltWorkload {
+    /// Creates a simulated system with the program and data loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program or data do not fit in the configured
+    /// memories (workload images are fixed-size and known to fit the
+    /// default 64 KiB configuration).
+    #[must_use]
+    pub fn instantiate(&self, config: &MbConfig) -> System {
+        let config = config.clone().with_features(self.features);
+        let mut sys = System::new(config);
+        sys.load_program(&self.program).expect("program fits instruction BRAM");
+        for (addr, words) in &self.data {
+            sys.load_data(*addr, words).expect("data fits data BRAM");
+        }
+        sys
+    }
+
+    /// Checks final data memory against the golden model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatch found.
+    pub fn verify(&self, dmem: &Bram) -> Result<(), VerifyError> {
+        for check in &self.checks {
+            for (i, &expected) in check.expected.iter().enumerate() {
+                let addr = check.addr + (i as u32) * 4;
+                let actual = dmem.read_word(addr).unwrap_or(0xDEAD_DEAD);
+                if actual != expected {
+                    return Err(VerifyError { label: check.label.clone(), addr, expected, actual });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A benchmark definition that can be built for any feature configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Source suite.
+    pub suite: Suite,
+    /// One-line description of the critical kernel.
+    pub description: &'static str,
+    build_fn: fn(MbFeatures) -> BuiltWorkload,
+}
+
+impl Workload {
+    /// Builds the benchmark binary for a feature configuration.
+    #[must_use]
+    pub fn build(&self, features: MbFeatures) -> BuiltWorkload {
+        (self.build_fn)(features)
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}): {}", self.name, self.suite, self.description)
+    }
+}
+
+/// The six benchmarks evaluated in the paper, in figure order.
+#[must_use]
+pub fn paper_suite() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "brev",
+            suite: Suite::Powerstone,
+            description: "bit reversal of a word array using shift/mask stages",
+            build_fn: brev::build,
+        },
+        Workload {
+            name: "g3fax",
+            suite: Suite::Powerstone,
+            description: "Group-3 fax run-length expansion into scanline words",
+            build_fn: g3fax::build,
+        },
+        Workload {
+            name: "canrdr",
+            suite: Suite::Eembc,
+            description: "CAN bus message filtering and payload extraction",
+            build_fn: canrdr::build,
+        },
+        Workload {
+            name: "bitmnp",
+            suite: Suite::Eembc,
+            description: "bit manipulation: interleave/parity/swap per word",
+            build_fn: bitmnp::build,
+        },
+        Workload {
+            name: "idct",
+            suite: Suite::Eembc,
+            description: "fixed-point 8-point inverse DCT over coefficient rows",
+            build_fn: idct::build,
+        },
+        Workload {
+            name: "matmul",
+            suite: Suite::Powerstone,
+            description: "integer matrix multiply with MAC inner loop",
+            build_fn: matmul::build,
+        },
+    ]
+}
+
+/// Additional workloads beyond the paper (FIR filter, CRC32) used by the
+/// extension studies.
+#[must_use]
+pub fn extra_suite() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "fir",
+            suite: Suite::Extra,
+            description: "8-tap FIR filter over a sample stream",
+            build_fn: extra::build_fir,
+        },
+        Workload {
+            name: "crc32",
+            suite: Suite::Extra,
+            description: "word-parallel checksum over a message buffer",
+            build_fn: extra::build_crc32,
+        },
+    ]
+}
+
+/// All workloads: the paper's six plus the extras.
+#[must_use]
+pub fn all() -> Vec<Workload> {
+    let mut v = paper_suite();
+    v.extend(extra_suite());
+    v
+}
+
+/// Finds a workload by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// The matrix dimension of the `matmul` benchmark (its inner loop is
+/// invoked once per output element).
+#[must_use]
+pub fn matmul_dim() -> usize {
+    matmul::DIM
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_matches_figure_order() {
+        let names: Vec<&str> = paper_suite().iter().map(|w| w.name).collect();
+        assert_eq!(names, ["brev", "g3fax", "canrdr", "bitmnp", "idct", "matmul"]);
+    }
+
+    #[test]
+    fn by_name_finds_every_workload() {
+        for w in all() {
+            assert!(by_name(w.name).is_some(), "{} must be findable", w.name);
+        }
+        assert!(by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn kernel_bounds_arithmetic() {
+        let k = KernelBounds { head: 0x100, tail: 0x140 };
+        assert_eq!(k.range(), (0x100, 0x144));
+        assert_eq!(k.after(), 0x144);
+        assert_eq!(k.words(), 17);
+    }
+}

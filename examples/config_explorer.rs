@@ -1,0 +1,49 @@
+//! Configuration explorer: the paper's Section 2 study, interactively.
+//!
+//! Builds every benchmark under all four barrel-shifter/multiplier
+//! configurations and reports the execution-time impact — the trade-off
+//! a designer makes when excluding optional units to save configurable
+//! logic.
+//!
+//! ```sh
+//! cargo run --release --example config_explorer
+//! ```
+
+use mb_isa::MbFeatures;
+use mb_sim::MbConfig;
+
+fn main() {
+    let configs = [
+        ("bs + mul", MbFeatures::paper_default()),
+        ("mul only", MbFeatures::paper_default().with_barrel_shifter(false)),
+        ("bs only", MbFeatures::paper_default().with_multiplier(false)),
+        ("neither", MbFeatures::minimal()),
+    ];
+
+    println!("execution cycles per configuration (slowdown vs. bs+mul)\n");
+    print!("{:>9}", "benchmark");
+    for (name, _) in &configs {
+        print!(" | {name:>18}");
+    }
+    println!();
+    println!("{}", "-".repeat(9 + configs.len() * 21));
+
+    for workload in workloads::all() {
+        print!("{:>9}", workload.name);
+        let mut base = 0u64;
+        for (_, features) in &configs {
+            let built = workload.build(*features);
+            let mut sys = built.instantiate(&MbConfig::paper_default());
+            let outcome = sys.run(2_000_000_000).expect("benchmark runs");
+            built.verify(sys.dmem()).expect("results stay correct in every configuration");
+            if base == 0 {
+                base = outcome.cycles;
+            }
+            print!(" | {:>10} ({:>4.2}x)", outcome.cycles, outcome.cycles as f64 / base as f64);
+        }
+        println!();
+    }
+
+    println!("\npaper reference points: brev 2.1x slower with neither unit;");
+    println!("matmul 1.3x slower without the multiplier.");
+}

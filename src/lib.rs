@@ -1,0 +1,34 @@
+//! Umbrella crate for the Warp-MB workspace: a reproduction of
+//! *"A Study of the Speedups and Competitiveness of FPGA Soft Processor
+//! Cores using Dynamic Hardware/Software Partitioning"*
+//! (Lysecky & Vahid, DATE 2005).
+//!
+//! This crate re-exports every member crate so examples and integration
+//! tests can use a single dependency. See the individual crates for the
+//! actual implementation:
+//!
+//! * [`mb_isa`] — MicroBlaze-style ISA, assembler, codegen
+//! * [`mb_sim`] — cycle-approximate system simulator
+//! * [`workloads`] — the six paper benchmarks plus extras
+//! * [`warp_profiler`] — on-chip frequent-loop profiler model
+//! * [`warp_cdfg`] — binary decompilation to CDFGs
+//! * [`warp_synth`] — RT/logic synthesis, ROCM minimizer, LUT mapping
+//! * [`warp_fabric`] — configurable logic fabric with place & route
+//! * [`warp_wcla`] — warp configurable logic architecture
+//! * [`arm_sim`] — ARM7/9/10/11 hard-core timing baselines
+//! * [`warp_power`] — power models and the paper's energy equations
+//! * [`warp_core`] — end-to-end warp processor orchestration
+
+#![forbid(unsafe_code)]
+
+pub use arm_sim;
+pub use mb_isa;
+pub use mb_sim;
+pub use warp_cdfg;
+pub use warp_core;
+pub use warp_fabric;
+pub use warp_power;
+pub use warp_profiler;
+pub use warp_synth;
+pub use warp_wcla;
+pub use workloads;

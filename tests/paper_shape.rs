@@ -1,0 +1,90 @@
+//! Paper-shape assertions: the reproduced Figures 6 and 7 must show the
+//! same qualitative story the paper tells — who wins, by roughly what
+//! factor, and in which order — without requiring absolute numbers to
+//! match a testbed we don't have.
+
+use warp_core::experiments::{figure6, figure7, run_paper_suite, summary};
+use warp_core::WarpOptions;
+
+#[test]
+fn figures_6_and_7_reproduce_the_papers_shape() {
+    let comparisons = run_paper_suite(&WarpOptions::default()).expect("suite runs");
+    let fig6 = figure6(&comparisons);
+    let fig7 = figure7(&comparisons);
+    let s = summary(&comparisons);
+
+    // --- Figure 6 shape -------------------------------------------------
+    let avg6 = &fig6[fig6.len() - 1].speedups;
+    // ARM ladder is monotone: ARM7 < ARM9 < ARM10 < ARM11.
+    assert!(avg6[1] < avg6[2] && avg6[2] < avg6[3] && avg6[3] < avg6[4], "ARM ladder {avg6:?}");
+    // Warp beats ARM7, ARM9, and ARM10 on average (paper's key claim).
+    assert!(avg6[5] > avg6[1] && avg6[5] > avg6[2] && avg6[5] > avg6[3], "warp avg {avg6:?}");
+    // ARM11 remains faster than warp on average, by roughly the paper's
+    // 2.6x (band 1.5..4).
+    assert!(
+        (1.5..4.0).contains(&s.arm11_speed_over_warp),
+        "ARM11/warp {:.2} (paper 2.6)",
+        s.arm11_speed_over_warp
+    );
+    // brev is the outlier: 16.9x in the paper; accept 10..25.
+    let brev = fig6.iter().find(|r| r.benchmark == "brev").unwrap();
+    assert!((10.0..25.0).contains(&brev.speedups[5]), "brev warp {:.1}", brev.speedups[5]);
+    // Average warp speedup in the paper band 5.8 (accept 4..8) and the
+    // excluding-brev average well below it (paper 3.6, accept 2..5).
+    assert!((4.0..8.0).contains(&s.avg_warp_speedup), "avg {:.2}", s.avg_warp_speedup);
+    assert!(
+        (2.0..5.0).contains(&s.avg_warp_speedup_excl_brev),
+        "avg excl brev {:.2}",
+        s.avg_warp_speedup_excl_brev
+    );
+    // Warp vs ARM10: paper 1.3x faster; accept 1.0..2.0.
+    assert!(
+        (1.0..2.0).contains(&s.warp_speed_over_arm10),
+        "warp/ARM10 {:.2}",
+        s.warp_speed_over_arm10
+    );
+
+    // --- Figure 7 shape -------------------------------------------------
+    let avg7 = &fig7[fig7.len() - 1].energy;
+    // The MicroBlaze alone is the energy hog of the whole lineup.
+    for (i, e) in avg7.iter().enumerate().skip(1) {
+        assert!(*e < 1.0, "system {i} must use less energy than the soft core, got {e:.2}");
+    }
+    // ARM energy ordering: the small cores are the most frugal.
+    assert!(avg7[1] < avg7[3] && avg7[2] < avg7[3] && avg7[3] < avg7[4], "ARM energy {avg7:?}");
+    // Warp uses less energy than ARM10 and ARM11 (the paper's claim).
+    assert!(avg7[5] < avg7[3] && avg7[5] < avg7[4], "warp energy {avg7:?}");
+    // MicroBlaze uses ~48% more than ARM11; accept 1.2..2.2.
+    assert!(
+        (1.2..2.2).contains(&s.mb_energy_over_arm11),
+        "MB/ARM11 energy {:.2}",
+        s.mb_energy_over_arm11
+    );
+    // Average warp energy reduction: paper 57%; accept 45..80%.
+    assert!(
+        (0.45..0.80).contains(&s.avg_energy_reduction),
+        "avg reduction {:.2}",
+        s.avg_energy_reduction
+    );
+    // brev's reduction is the maximum (paper 94%).
+    let brev7 = fig7.iter().find(|r| r.benchmark == "brev").unwrap();
+    assert!(brev7.energy[5] < 0.15, "brev warp energy {:.2}", brev7.energy[5]);
+}
+
+#[test]
+fn section2_study_reproduces_the_papers_shape() {
+    let rows = warp_core::experiments::config_study();
+    let slow = |bench: &str, cfg_prefix: &str| -> f64 {
+        rows.iter()
+            .find(|r| r.benchmark == bench && r.config.starts_with(cfg_prefix))
+            .map(|r| r.slowdown)
+            .expect("row present")
+    };
+    let brev = slow("brev", "no barrel");
+    let matmul = slow("matmul", "no multiplier");
+    // Paper: brev 2.1x, matmul 1.3x. Accept bands and, crucially, the
+    // ordering: brev is far more sensitive than matmul.
+    assert!((1.6..2.6).contains(&brev), "brev slowdown {brev:.2} (paper 2.1)");
+    assert!((1.1..1.9).contains(&matmul), "matmul slowdown {matmul:.2} (paper 1.3)");
+    assert!(brev > matmul, "shift-bound brev must suffer more than matmul");
+}

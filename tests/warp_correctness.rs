@@ -1,0 +1,73 @@
+//! Workspace integration: every workload must survive the complete warp
+//! flow with bit-exact results and a real speedup.
+
+use mb_isa::MbFeatures;
+use warp_core::{warp_run, WarpOptions};
+
+#[test]
+fn every_workload_warps_correctly() {
+    let options = WarpOptions::default();
+    for workload in workloads::all() {
+        let built = workload.build(MbFeatures::paper_default());
+        let report = warp_run(&built, &options)
+            .unwrap_or_else(|e| panic!("{}: warp failed: {e}", workload.name));
+
+        // Verification already happened inside warp_run (memory compared
+        // against the golden model); check the performance contract.
+        assert!(
+            report.profiler_agrees,
+            "{}: profiler picked a different loop",
+            workload.name
+        );
+        assert!(
+            report.speedup() > 1.2,
+            "{}: speedup {:.2} — hardware must beat software",
+            workload.name,
+            report.speedup()
+        );
+        assert!(
+            report.energy_reduction() > 0.0,
+            "{}: warping must not cost energy",
+            workload.name
+        );
+        assert!(report.hw.invocations >= 1, "{}: hardware never ran", workload.name);
+        assert!(
+            report.mb_stall_cycles < report.warped_cycles,
+            "{}: stall accounting is inconsistent",
+            workload.name
+        );
+    }
+}
+
+#[test]
+fn warp_overhead_amortizes() {
+    let built = workloads::by_name("canrdr").unwrap().build(MbFeatures::paper_default());
+    let report = warp_run(&built, &WarpOptions::default()).unwrap();
+    // A single run may not pay for the CAD work; a long-running
+    // application does (the warp-processing premise).
+    let one = report.speedup_amortized(1, 85_000_000);
+    let many = report.speedup_amortized(100_000, 85_000_000);
+    assert!(many > one, "amortized speedup must grow with runs");
+    assert!(
+        (report.speedup() - many).abs() < 0.1,
+        "amortized speedup {many:.2} approaches steady-state {:.2}",
+        report.speedup()
+    );
+}
+
+#[test]
+fn dead_code_in_binaries_never_executes_after_patch() {
+    // The patched region's interior instructions are unreachable; make
+    // sure the warped run never faults and exits with the same code.
+    let options = WarpOptions::default();
+    let built = workloads::by_name("g3fax").unwrap().build(MbFeatures::paper_default());
+    let report = warp_run(&built, &options).unwrap();
+    assert!(report.warped_cycles > 0);
+    // Kernel loop executed zero times in software: every iteration ran
+    // in hardware.
+    assert_eq!(
+        report.hw.iterations,
+        workloads::by_name("g3fax").map(|_| 1500).unwrap(),
+        "all 1500 g3fax codes must expand in hardware"
+    );
+}
