@@ -318,8 +318,7 @@ mod tests {
     #[test]
     fn faster_cores_finish_sooner() {
         let (trace, _) = loop_trace(500);
-        let times: Vec<f64> =
-            paper_cores().iter().map(|c| simulate(c, &trace).seconds).collect();
+        let times: Vec<f64> = paper_cores().iter().map(|c| simulate(c, &trace).seconds).collect();
         for pair in times.windows(2) {
             assert!(pair[1] < pair[0], "core ordering: {times:?}");
         }

@@ -368,7 +368,7 @@ mod tests {
     #[test]
     fn la_resolves_equ_and_forward_labels() {
         let mut a = Assembler::new(0);
-        a.equ("data", 0xBEEF_0000u32 as u32).unwrap();
+        a.equ("data", 0xBEEF_0000).unwrap();
         a.la(Reg::R5, "data");
         a.la(Reg::R6, "fwd");
         a.label("fwd");

@@ -85,9 +85,11 @@ impl Insn {
             Insn::Bs { .. } | Insn::Bsi { .. } => OpClass::BarrelShift,
             Insn::Load { .. } | Insn::Loadi { .. } => OpClass::Load,
             Insn::Store { .. } | Insn::Storei { .. } => OpClass::Store,
-            Insn::Br { .. } | Insn::Bri { .. } | Insn::Bc { .. } | Insn::Bci { .. } | Insn::Rtsd { .. } => {
-                OpClass::Branch
-            }
+            Insn::Br { .. }
+            | Insn::Bri { .. }
+            | Insn::Bc { .. }
+            | Insn::Bci { .. }
+            | Insn::Rtsd { .. } => OpClass::Branch,
             Insn::Imm { .. } => OpClass::ImmPrefix,
             _ => OpClass::Alu,
         }

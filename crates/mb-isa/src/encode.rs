@@ -137,7 +137,9 @@ fn shift_kind_from_bits(bits: u32) -> Option<ShiftKind> {
 }
 
 fn branch_flags(link: bool, absolute: bool, delay: bool) -> u32 {
-    (if delay { FLAG_D } else { 0 }) | (if absolute { FLAG_A } else { 0 }) | (if link { FLAG_L } else { 0 })
+    (if delay { FLAG_D } else { 0 })
+        | (if absolute { FLAG_A } else { 0 })
+        | (if link { FLAG_L } else { 0 })
 }
 
 /// Encodes an instruction into its 32-bit word.
@@ -395,23 +397,44 @@ mod tests {
     fn insn_strategy() -> impl Strategy<Value = Insn> {
         let r = reg_strategy;
         prop_oneof![
-            (r(), r(), r(), any::<bool>(), any::<bool>())
-                .prop_map(|(rd, ra, rb, k, c)| Insn::Add { rd, ra, rb, keep_carry: k, use_carry: c }),
-            (r(), r(), r(), any::<bool>(), any::<bool>())
-                .prop_map(|(rd, ra, rb, k, c)| Insn::Rsub { rd, ra, rb, keep_carry: k, use_carry: c }),
-            (r(), r(), any::<i16>(), any::<bool>(), any::<bool>())
-                .prop_map(|(rd, ra, imm, k, c)| Insn::Addi { rd, ra, imm, keep_carry: k, use_carry: c }),
-            (r(), r(), any::<i16>(), any::<bool>(), any::<bool>())
-                .prop_map(|(rd, ra, imm, k, c)| Insn::Rsubi { rd, ra, imm, keep_carry: k, use_carry: c }),
-            (r(), r(), r(), any::<bool>())
-                .prop_map(|(rd, ra, rb, u)| Insn::Cmp { rd, ra, rb, unsigned: u }),
+            (r(), r(), r(), any::<bool>(), any::<bool>()).prop_map(|(rd, ra, rb, k, c)| {
+                Insn::Add { rd, ra, rb, keep_carry: k, use_carry: c }
+            }),
+            (r(), r(), r(), any::<bool>(), any::<bool>()).prop_map(|(rd, ra, rb, k, c)| {
+                Insn::Rsub { rd, ra, rb, keep_carry: k, use_carry: c }
+            }),
+            (r(), r(), any::<i16>(), any::<bool>(), any::<bool>()).prop_map(
+                |(rd, ra, imm, k, c)| Insn::Addi { rd, ra, imm, keep_carry: k, use_carry: c }
+            ),
+            (r(), r(), any::<i16>(), any::<bool>(), any::<bool>()).prop_map(
+                |(rd, ra, imm, k, c)| Insn::Rsubi { rd, ra, imm, keep_carry: k, use_carry: c }
+            ),
+            (r(), r(), r(), any::<bool>()).prop_map(|(rd, ra, rb, u)| Insn::Cmp {
+                rd,
+                ra,
+                rb,
+                unsigned: u
+            }),
             (r(), r(), r()).prop_map(|(rd, ra, rb)| Insn::Mul { rd, ra, rb }),
             (r(), r(), any::<i16>()).prop_map(|(rd, ra, imm)| Insn::Muli { rd, ra, imm }),
-            (r(), r(), r(), any::<bool>())
-                .prop_map(|(rd, ra, rb, u)| Insn::Idiv { rd, ra, rb, unsigned: u }),
-            (r(), r(), r(), kind_strategy()).prop_map(|(rd, ra, rb, kind)| Insn::Bs { rd, ra, rb, kind }),
-            (r(), r(), 0u8..32, kind_strategy())
-                .prop_map(|(rd, ra, amount, kind)| Insn::Bsi { rd, ra, amount, kind }),
+            (r(), r(), r(), any::<bool>()).prop_map(|(rd, ra, rb, u)| Insn::Idiv {
+                rd,
+                ra,
+                rb,
+                unsigned: u
+            }),
+            (r(), r(), r(), kind_strategy()).prop_map(|(rd, ra, rb, kind)| Insn::Bs {
+                rd,
+                ra,
+                rb,
+                kind
+            }),
+            (r(), r(), 0u8..32, kind_strategy()).prop_map(|(rd, ra, amount, kind)| Insn::Bsi {
+                rd,
+                ra,
+                amount,
+                kind
+            }),
             (r(), r(), r()).prop_map(|(rd, ra, rb)| Insn::Or { rd, ra, rb }),
             (r(), r(), r()).prop_map(|(rd, ra, rb)| Insn::And { rd, ra, rb }),
             (r(), r(), r()).prop_map(|(rd, ra, rb)| Insn::Xor { rd, ra, rb }),
@@ -443,15 +466,33 @@ mod tests {
                     delay
                 }
             ),
-            (cond_strategy(), r(), r(), any::<bool>())
-                .prop_map(|(cond, ra, rb, delay)| Insn::Bc { cond, ra, rb, delay }),
+            (cond_strategy(), r(), r(), any::<bool>()).prop_map(|(cond, ra, rb, delay)| Insn::Bc {
+                cond,
+                ra,
+                rb,
+                delay
+            }),
             (cond_strategy(), r(), any::<i16>(), any::<bool>())
                 .prop_map(|(cond, ra, imm, delay)| Insn::Bci { cond, ra, imm, delay }),
             (r(), any::<i16>()).prop_map(|(ra, imm)| Insn::Rtsd { ra, imm }),
-            (size_strategy(), r(), r(), r()).prop_map(|(size, rd, ra, rb)| Insn::Load { size, rd, ra, rb }),
-            (size_strategy(), r(), r(), any::<i16>())
-                .prop_map(|(size, rd, ra, imm)| Insn::Loadi { size, rd, ra, imm }),
-            (size_strategy(), r(), r(), r()).prop_map(|(size, rd, ra, rb)| Insn::Store { size, rd, ra, rb }),
+            (size_strategy(), r(), r(), r()).prop_map(|(size, rd, ra, rb)| Insn::Load {
+                size,
+                rd,
+                ra,
+                rb
+            }),
+            (size_strategy(), r(), r(), any::<i16>()).prop_map(|(size, rd, ra, imm)| Insn::Loadi {
+                size,
+                rd,
+                ra,
+                imm
+            }),
+            (size_strategy(), r(), r(), r()).prop_map(|(size, rd, ra, rb)| Insn::Store {
+                size,
+                rd,
+                ra,
+                rb
+            }),
             (size_strategy(), r(), r(), any::<i16>())
                 .prop_map(|(size, rd, ra, imm)| Insn::Storei { size, rd, ra, imm }),
             any::<i16>().prop_map(|imm| Insn::Imm { imm }),

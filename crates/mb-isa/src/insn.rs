@@ -331,7 +331,11 @@ impl Insn {
     pub fn is_control_flow(&self) -> bool {
         matches!(
             self,
-            Insn::Br { .. } | Insn::Bri { .. } | Insn::Bc { .. } | Insn::Bci { .. } | Insn::Rtsd { .. }
+            Insn::Br { .. }
+                | Insn::Bri { .. }
+                | Insn::Bc { .. }
+                | Insn::Bci { .. }
+                | Insn::Rtsd { .. }
         )
     }
 

@@ -43,7 +43,7 @@ impl Program {
     /// The encoded word at a byte address, if it lies inside the program.
     #[must_use]
     pub fn word_at(&self, addr: u32) -> Option<u32> {
-        if addr < self.base || addr >= self.end() || addr % INSN_BYTES != 0 {
+        if addr < self.base || addr >= self.end() || !addr.is_multiple_of(INSN_BYTES) {
             return None;
         }
         Some(self.words[((addr - self.base) / INSN_BYTES) as usize])
@@ -91,7 +91,13 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "program: {} words at {:#x}, {} symbols", self.words.len(), self.base, self.symbols.len())
+        write!(
+            f,
+            "program: {} words at {:#x}, {} symbols",
+            self.words.len(),
+            self.base,
+            self.symbols.len()
+        )
     }
 }
 

@@ -1,0 +1,101 @@
+//! Assemble → encode → decode round-trips for representative
+//! instructions of every [`OpClass`].
+//!
+//! The property tests in `encode.rs` cover random canonical
+//! instructions; this suite pins down one curated representative set,
+//! checks it covers *every* class in `class.rs`, and exercises the full
+//! assembler path (labels, program layout) rather than bare `encode`.
+
+use mb_isa::{decode, encode, Assembler, Cond, Insn, MemSize, OpClass, Reg, ShiftKind};
+
+/// Representative instructions, at least one per [`OpClass`].
+fn representatives() -> Vec<Insn> {
+    vec![
+        // Alu: three-register, immediate, carry variants, single-bit shifts.
+        Insn::addk(Reg::R3, Reg::R4, Reg::R5),
+        Insn::add(Reg::R3, Reg::R4, Reg::R5),
+        Insn::addik(Reg::R6, Reg::R7, -42),
+        Insn::rsubk(Reg::R8, Reg::R9, Reg::R10),
+        Insn::cmp(Reg::R11, Reg::R12, Reg::R13),
+        Insn::cmpu(Reg::R11, Reg::R12, Reg::R13),
+        Insn::Or { rd: Reg::R14, ra: Reg::R15, rb: Reg::R16 },
+        Insn::And { rd: Reg::R14, ra: Reg::R15, rb: Reg::R16 },
+        Insn::Xor { rd: Reg::R14, ra: Reg::R15, rb: Reg::R16 },
+        Insn::Andi { rd: Reg::R17, ra: Reg::R18, imm: 0x00FF },
+        Insn::Sra { rd: Reg::R19, ra: Reg::R20 },
+        Insn::Sext8 { rd: Reg::R21, ra: Reg::R22 },
+        // BarrelShift.
+        Insn::bslli(Reg::R1, Reg::R2, 7),
+        Insn::bsrli(Reg::R1, Reg::R2, 1),
+        Insn::bsrai(Reg::R1, Reg::R2, 31),
+        Insn::Bs { rd: Reg::R1, ra: Reg::R2, rb: Reg::R3, kind: ShiftKind::LogicalLeft },
+        // Mul.
+        Insn::mul(Reg::R23, Reg::R24, Reg::R25),
+        Insn::Muli { rd: Reg::R23, ra: Reg::R24, imm: 1000 },
+        // Div.
+        Insn::Idiv { rd: Reg::R26, ra: Reg::R27, rb: Reg::R28, unsigned: true },
+        Insn::Idiv { rd: Reg::R26, ra: Reg::R27, rb: Reg::R28, unsigned: false },
+        // Load.
+        Insn::lwi(Reg::R29, Reg::R30, 64),
+        Insn::lbui(Reg::R29, Reg::R30, -4),
+        Insn::Load { size: MemSize::Half, rd: Reg::R1, ra: Reg::R2, rb: Reg::R3 },
+        // Store.
+        Insn::swi(Reg::R4, Reg::R5, 128),
+        Insn::sbi(Reg::R4, Reg::R5, 3),
+        Insn::Store { size: MemSize::Word, rd: Reg::R6, ra: Reg::R7, rb: Reg::R8 },
+        // Branch.
+        Insn::ret(),
+        Insn::Br { rd: Reg::R0, rb: Reg::R9, link: false, absolute: false, delay: false },
+        Insn::Bri { rd: Reg::R15, imm: -8, link: true, absolute: false, delay: true },
+        Insn::Bc { cond: Cond::Eq, ra: Reg::R10, rb: Reg::R11, delay: false },
+        Insn::Bci { cond: Cond::Ne, ra: Reg::R10, imm: 12, delay: true },
+        // ImmPrefix.
+        Insn::Imm { imm: 0x1234 },
+    ]
+}
+
+#[test]
+fn representatives_cover_every_class() {
+    let covered: Vec<OpClass> = representatives().iter().map(Insn::class).collect();
+    for class in OpClass::ALL {
+        assert!(covered.contains(&class), "no representative instruction for class {class}");
+    }
+}
+
+#[test]
+fn encode_decode_round_trips_every_representative() {
+    for insn in representatives() {
+        let word = encode(&insn);
+        let back = decode(word).unwrap_or_else(|e| panic!("{insn:?} decode failed: {e:?}"));
+        assert_eq!(insn, back, "word {word:#010x}");
+    }
+}
+
+#[test]
+fn assembled_program_decodes_back_to_the_source() {
+    let source = representatives();
+    let base = 0x100;
+    let mut asm = Assembler::new(base);
+    asm.extend(source.iter().cloned());
+    let program = asm.finish().expect("representative set assembles");
+
+    let decoded: Vec<(u32, Insn)> = program.iter_insns().collect();
+    assert_eq!(decoded.len(), source.len());
+    for (i, (insn, (addr, back))) in source.iter().zip(&decoded).enumerate() {
+        assert_eq!(*addr, base + 4 * i as u32, "addresses are sequential words");
+        assert_eq!(insn, back, "instruction {i} at {addr:#x}");
+    }
+}
+
+#[test]
+fn class_histogram_of_representatives_is_stable() {
+    // Exercises OpClass::index as the histogram key, the way the timing
+    // and power models use it.
+    let mut histogram = [0usize; OpClass::ALL.len()];
+    for insn in representatives() {
+        histogram[insn.class().index()] += 1;
+    }
+    assert!(histogram.iter().all(|&n| n > 0), "every class bin non-empty: {histogram:?}");
+    let total: usize = histogram.iter().sum();
+    assert_eq!(total, representatives().len());
+}

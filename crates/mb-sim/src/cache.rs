@@ -170,7 +170,8 @@ mod tests {
 
     #[test]
     fn associativity_absorbs_conflicts() {
-        let mut c = Cache::new(CacheConfig { size_bytes: 128, line_bytes: 16, ways: 2, miss_penalty: 7 });
+        let mut c =
+            Cache::new(CacheConfig { size_bytes: 128, line_bytes: 16, ways: 2, miss_penalty: 7 });
         // Two addresses mapping to the same set now coexist.
         assert_eq!(c.access(0x00), 7);
         assert_eq!(c.access(0x40), 7);
@@ -180,7 +181,8 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recent() {
-        let mut c = Cache::new(CacheConfig { size_bytes: 32, line_bytes: 16, ways: 2, miss_penalty: 1 });
+        let mut c =
+            Cache::new(CacheConfig { size_bytes: 32, line_bytes: 16, ways: 2, miss_penalty: 1 });
         // One set, two ways.
         c.access(0x00); // A
         c.access(0x10); // B

@@ -256,7 +256,13 @@ impl System {
         }
     }
 
-    fn data_store(&mut self, pc: u32, addr: u32, value: u32, size: MemSize) -> Result<u32, RunError> {
+    fn data_store(
+        &mut self,
+        pc: u32,
+        addr: u32,
+        value: u32,
+        size: MemSize,
+    ) -> Result<u32, RunError> {
         if addr >= OPB_BASE {
             let Some((m, off)) = self.opb.find(addr) else {
                 return Err(RunError::UnmappedAddress { pc, addr });
@@ -422,11 +428,7 @@ impl System {
                 self.cpu.clear_imm_prefix();
             }
             Insn::Br { rd, rb, link, absolute, delay } => {
-                let t = if absolute {
-                    self.cpu.reg(rb)
-                } else {
-                    pc.wrapping_add(self.cpu.reg(rb))
-                };
+                let t = if absolute { self.cpu.reg(rb) } else { pc.wrapping_add(self.cpu.reg(rb)) };
                 if link {
                     self.cpu.set_reg(rd, pc);
                 }
@@ -578,7 +580,11 @@ impl System {
         Ok(total)
     }
 
-    fn run_inner(&mut self, max_cycles: u64, mut trace: Option<&mut Trace>) -> Result<Outcome, RunError> {
+    fn run_inner(
+        &mut self,
+        max_cycles: u64,
+        mut trace: Option<&mut Trace>,
+    ) -> Result<Outcome, RunError> {
         let start_cycles = self.stats.cycles();
         let start_insns = self.stats.instructions();
         loop {
@@ -625,7 +631,7 @@ impl System {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mb_isa::{Assembler, Cond, Reg};
+    use mb_isa::{Assembler, Reg};
 
     fn exit_sequence(a: &mut Assembler) {
         a.li(Reg::R31, EXIT_PORT_BASE as i32);
@@ -667,7 +673,13 @@ mod tests {
             a.li(Reg::R3, -1);
             a.li(Reg::R4, 1);
             a.push(Insn::add(Reg::R5, Reg::R3, Reg::R4)); // 0, carry=1
-            a.push(Insn::Add { rd: Reg::R6, ra: Reg::R0, rb: Reg::R0, keep_carry: false, use_carry: true });
+            a.push(Insn::Add {
+                rd: Reg::R6,
+                ra: Reg::R0,
+                rb: Reg::R0,
+                keep_carry: false,
+                use_carry: true,
+            });
         });
         assert_eq!(sys.cpu().reg(Reg::R5), 0);
         assert_eq!(sys.cpu().reg(Reg::R6), 1, "carry must propagate via addc");

@@ -70,7 +70,7 @@ impl Bram {
     }
 
     fn word_index(&self, addr: u32, align: u32) -> Result<usize, MemError> {
-        if addr % align != 0 {
+        if !addr.is_multiple_of(align) {
             return Err(MemError::Misaligned { addr, align });
         }
         let idx = (addr / 4) as usize;

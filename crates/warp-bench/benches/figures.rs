@@ -17,9 +17,7 @@ fn bench_warp_run(c: &mut Criterion) {
 }
 
 fn bench_config_study(c: &mut Criterion) {
-    c.bench_function("section2/config_study", |b| {
-        b.iter(warp_core::experiments::config_study)
-    });
+    c.bench_function("section2/config_study", |b| b.iter(warp_core::experiments::config_study));
 }
 
 criterion_group! {

@@ -75,8 +75,7 @@ fn rocm_ablation() {
         let mut before = 0u64;
         let mut after = 0u64;
         for _ in 0..50 {
-            let minterms: Vec<u16> =
-                (0..64u16).filter(|_| next() % 100 < density).collect();
+            let minterms: Vec<u16> = (0..64u16).filter(|_| next() % 100 < density).collect();
             let cover = Cover::from_minterms(6, &minterms);
             before += u64::from(cover.literal_count());
             after += u64::from(cover.minimize().literal_count());

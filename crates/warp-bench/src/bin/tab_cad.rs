@@ -10,7 +10,16 @@ fn main() {
     println!("On-chip CAD (DPM) cost per benchmark — MicroBlaze DPM at 85 MHz\n");
     println!(
         "{:>9} | {:>5} {:>5} {:>4} {:>5} | {:>7} {:>6} | {:>9} {:>9} | {:>8}",
-        "benchmark", "gates", "LUTs", "FFs", "MACs", "crit ns", "tracks", "DPM cyc", "DPM sec", "mem KiB"
+        "benchmark",
+        "gates",
+        "LUTs",
+        "FFs",
+        "MACs",
+        "crit ns",
+        "tracks",
+        "DPM cyc",
+        "DPM sec",
+        "mem KiB"
     );
     println!("{}", "-".repeat(100));
     for w in workloads::all() {

@@ -15,5 +15,7 @@ fn main() {
             row.benchmark, row.config, row.cycles, row.slowdown
         );
     }
-    println!("\npaper: brev 2.1x without barrel shifter+multiplier; matmul 1.3x without multiplier");
+    println!(
+        "\npaper: brev 2.1x without barrel shifter+multiplier; matmul 1.3x without multiplier"
+    );
 }

@@ -55,7 +55,13 @@ pub fn render_fig7(rows: &[Fig7Row]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:>10} | {:>9.2} {:>9.2} {:>9.2} {:>10.2} {:>10.2} {:>12.2}\n",
-            r.benchmark, r.energy[0], r.energy[1], r.energy[2], r.energy[3], r.energy[4], r.energy[5]
+            r.benchmark,
+            r.energy[0],
+            r.energy[1],
+            r.energy[2],
+            r.energy[3],
+            r.energy[4],
+            r.energy[5]
         ));
     }
     out

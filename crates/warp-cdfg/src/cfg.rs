@@ -60,7 +60,7 @@ fn static_targets(pc: u32, insn: &Insn) -> (Vec<u32>, bool) {
         }
         Insn::Bci { imm, .. } => (vec![pc.wrapping_add(imm as i32 as u32)], true),
         Insn::Br { .. } | Insn::Rtsd { .. } => (vec![], false), // indirect
-        Insn::Bc { .. } => (vec![], true), // indirect target, may fall through
+        Insn::Bc { .. } => (vec![], true),                      // indirect target, may fall through
         _ => (vec![], true),
     }
 }

@@ -191,7 +191,7 @@ struct Body {
 }
 
 fn fetch_region(program: &Program, head: u32, tail: u32) -> Result<Body, DecompileError> {
-    if tail < head || (tail - head) % 4 != 0 {
+    if tail < head || !(tail - head).is_multiple_of(4) {
         return Err(DecompileError::NotALoop { head, tail });
     }
     // Decode raw instructions.
@@ -268,7 +268,9 @@ fn classify(body: &Body) -> Result<Roles, DecompileError> {
                 let a = get(&mut state, ra);
                 let imm32 = imm32_of(imm, prefix) as i32;
                 let v = match a.base {
-                    Some((r, off)) => AVal { base: Some((r, off.wrapping_add(imm32))), deps: a.deps },
+                    Some((r, off)) => {
+                        AVal { base: Some((r, off.wrapping_add(imm32))), deps: a.deps }
+                    }
                     None => AVal::expr(a.deps),
                 };
                 state.insert(rd, v);
@@ -324,7 +326,7 @@ fn classify(body: &Body) -> Result<Roles, DecompileError> {
     // Pointers: every memory base must end as initial + constant stride
     // and must not feed data operations.
     let mut pointers = BTreeMap::new();
-    for (&r, _) in &mem_bases {
+    for &r in mem_bases.keys() {
         if r == body.counter {
             return Err(DecompileError::UnsupportedLiveIn { reg: r });
         }
@@ -363,7 +365,7 @@ fn classify(body: &Body) -> Result<Roles, DecompileError> {
         if r == body.counter || pointers.contains_key(&r) || accs.contains(&r) {
             continue;
         }
-        let unchanged = state.get(&r).map_or(true, |v| v.base == Some((r, 0)));
+        let unchanged = state.get(&r).is_none_or(|v| v.base == Some((r, 0)));
         if unchanged {
             invariants.push(r);
         } else {
@@ -422,7 +424,11 @@ impl DfgBuilder {
 /// region in software").
 ///
 /// [`HotRegion`]: https://docs.rs/warp-profiler
-pub fn decompile_loop(program: &Program, head: u32, tail: u32) -> Result<LoopKernel, DecompileError> {
+pub fn decompile_loop(
+    program: &Program,
+    head: u32,
+    tail: u32,
+) -> Result<LoopKernel, DecompileError> {
     let body = fetch_region(program, head, tail)?;
     let roles = classify(&body)?;
 
@@ -447,7 +453,7 @@ pub fn decompile_loop(program: &Program, head: u32, tail: u32) -> Result<LoopKer
 
     // Seed roles.
     regs.insert(body.counter, RegVal::Addr(body.counter, 0));
-    for (&p, _) in &roles.pointers {
+    for &p in roles.pointers.keys() {
         regs.insert(p, RegVal::Addr(p, 0));
     }
     for &a in &roles.accs {
@@ -462,7 +468,11 @@ pub fn decompile_loop(program: &Program, head: u32, tail: u32) -> Result<LoopKer
     // Reading a pointer/counter as data (or an unseeded register) is a
     // classification failure; `pc` is accepted for symmetry with the
     // other error paths even though the error itself names the register.
-    let value_of = |regs: &mut HashMap<Reg, RegVal>, b: &mut DfgBuilder, r: Reg, _pc: u32| -> Result<NodeId, DecompileError> {
+    let value_of = |regs: &mut HashMap<Reg, RegVal>,
+                    b: &mut DfgBuilder,
+                    r: Reg,
+                    _pc: u32|
+     -> Result<NodeId, DecompileError> {
         if r.is_zero() {
             return Ok(b.push(Op::Const(0), vec![]));
         }
@@ -534,7 +544,10 @@ pub fn decompile_loop(program: &Program, head: u32, tail: u32) -> Result<LoopKer
                 let id = b.push(Op::Mul, vec![a, c]);
                 regs.insert(rd, RegVal::Node(id));
             }
-            Insn::And { rd, ra, rb } | Insn::Or { rd, ra, rb } | Insn::Xor { rd, ra, rb } | Insn::Andn { rd, ra, rb } => {
+            Insn::And { rd, ra, rb }
+            | Insn::Or { rd, ra, rb }
+            | Insn::Xor { rd, ra, rb }
+            | Insn::Andn { rd, ra, rb } => {
                 let a = value_of(&mut regs, &mut b, ra, pc)?;
                 let c = value_of(&mut regs, &mut b, rb, pc)?;
                 let op = match insn {
@@ -546,7 +559,10 @@ pub fn decompile_loop(program: &Program, head: u32, tail: u32) -> Result<LoopKer
                 let id = b.push(op, vec![a, c]);
                 regs.insert(rd, RegVal::Node(id));
             }
-            Insn::Andi { rd, ra, imm } | Insn::Ori { rd, ra, imm } | Insn::Xori { rd, ra, imm } | Insn::Andni { rd, ra, imm } => {
+            Insn::Andi { rd, ra, imm }
+            | Insn::Ori { rd, ra, imm }
+            | Insn::Xori { rd, ra, imm }
+            | Insn::Andni { rd, ra, imm } => {
                 let a = value_of(&mut regs, &mut b, ra, pc)?;
                 let c = b.push(Op::Const(imm32_of(imm, prefix)), vec![]);
                 let op = match insn {
@@ -628,7 +644,10 @@ pub fn decompile_loop(program: &Program, head: u32, tail: u32) -> Result<LoopKer
     }
 
     if streams.len() > DADG_STREAMS {
-        return Err(DecompileError::TooManyStreams { found: streams.len(), supported: DADG_STREAMS });
+        return Err(DecompileError::TooManyStreams {
+            found: streams.len(),
+            supported: DADG_STREAMS,
+        });
     }
 
     // Accumulator next-values.
@@ -795,10 +814,7 @@ mod tests {
         a.bnei(Reg::R4, "head");
         let p = a.finish().unwrap();
         let (h, t) = bounds(&p);
-        assert!(matches!(
-            decompile_loop(&p, h, t),
-            Err(DecompileError::ControlFlowInBody { .. })
-        ));
+        assert!(matches!(decompile_loop(&p, h, t), Err(DecompileError::ControlFlowInBody { .. })));
     }
 
     #[test]
@@ -887,11 +903,7 @@ mod tests {
         let p = a.finish().unwrap();
         let (h, t) = bounds(&p);
         let k = decompile_loop(&p, h, t).unwrap();
-        let has_const = k
-            .dfg
-            .nodes()
-            .iter()
-            .any(|n| matches!(n.op, Op::Const(0x0F0F_0F0F)));
+        let has_const = k.dfg.nodes().iter().any(|n| matches!(n.op, Op::Const(0x0F0F_0F0F)));
         assert!(has_const, "32-bit constant must be reassembled from imm prefix");
     }
 

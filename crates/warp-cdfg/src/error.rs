@@ -71,7 +71,9 @@ impl fmt::Display for DecompileError {
             DecompileError::ControlFlowInBody { pc } => {
                 write!(f, "control flow inside loop body at {pc:#x}")
             }
-            DecompileError::BadInstruction { pc } => write!(f, "undecodable instruction at {pc:#x}"),
+            DecompileError::BadInstruction { pc } => {
+                write!(f, "undecodable instruction at {pc:#x}")
+            }
             DecompileError::UnsupportedInsn { pc, mnemonic } => {
                 write!(f, "no hardware mapping for `{mnemonic}` at {pc:#x}")
             }

@@ -30,6 +30,8 @@ mod decompile;
 mod dfg;
 mod error;
 
-pub use decompile::{decompile_loop, AccUpdate, KernelEnv, LoopKernel, MemStream, StoreOp, DADG_STREAMS};
+pub use decompile::{
+    decompile_loop, AccUpdate, KernelEnv, LoopKernel, MemStream, StoreOp, DADG_STREAMS,
+};
 pub use dfg::{Dfg, Node, NodeId, Op};
 pub use error::DecompileError;

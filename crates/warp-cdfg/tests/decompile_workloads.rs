@@ -25,10 +25,7 @@ fn kernel_interpreter_matches_software_execution() {
         }
 
         // Snapshot the pre-loop state for the interpreter.
-        let mut env = KernelEnv {
-            counter: sys.cpu().reg(kernel.counter),
-            ..KernelEnv::default()
-        };
+        let mut env = KernelEnv { counter: sys.cpu().reg(kernel.counter), ..KernelEnv::default() };
         for s in &kernel.streams {
             env.pointers.insert(s.base, sys.cpu().reg(s.base));
         }

@@ -81,9 +81,9 @@ pub fn estimate(
 ) -> DpmReport {
     let gates = synth.gates_before_sweep.max(1);
     let luts = netlist.lut_count() as u64;
-    let place_attempts = (luts * 24).min(120_000).max(1);
-    let wirelength = compiled.route_stats.wirelength.max(1)
-        * compiled.route_stats.iterations.max(1) as u64;
+    let place_attempts = (luts * 24).clamp(1, 120_000);
+    let wirelength =
+        compiled.route_stats.wirelength.max(1) * compiled.route_stats.iterations.max(1) as u64;
 
     // Peak memory: gate netlist (≈16 B/gate), LUT netlist (≈24 B/LUT),
     // routing occupancy/history (≈8 B/wire), bitstream.

@@ -203,10 +203,9 @@ pub struct Summary {
 pub fn summary(comparisons: &[BenchmarkComparison]) -> Summary {
     let n = comparisons.len().max(1) as f64;
     let mean = |f: &dyn Fn(&BenchmarkComparison) -> f64| -> f64 {
-        comparisons.iter().map(|c| f(c)).sum::<f64>() / n
+        comparisons.iter().map(f).sum::<f64>() / n
     };
-    let excl: Vec<&BenchmarkComparison> =
-        comparisons.iter().filter(|c| c.name != "brev").collect();
+    let excl: Vec<&BenchmarkComparison> = comparisons.iter().filter(|c| c.name != "brev").collect();
     let n_excl = excl.len().max(1) as f64;
 
     fn arm<'a>(c: &'a BenchmarkComparison, name: &str) -> &'a ArmMeasurement {
@@ -216,28 +215,18 @@ pub fn summary(comparisons: &[BenchmarkComparison]) -> Summary {
     Summary {
         avg_warp_speedup: mean(&|c| c.warp.speedup()),
         avg_warp_speedup_excl_brev: excl.iter().map(|c| c.warp.speedup()).sum::<f64>() / n_excl,
-        max_warp_speedup: comparisons
-            .iter()
-            .map(|c| c.warp.speedup())
-            .fold(0.0, f64::max),
+        max_warp_speedup: comparisons.iter().map(|c| c.warp.speedup()).fold(0.0, f64::max),
         avg_energy_reduction: mean(&|c| c.warp.energy_reduction()),
-        avg_energy_reduction_excl_brev: excl
-            .iter()
-            .map(|c| c.warp.energy_reduction())
-            .sum::<f64>()
+        avg_energy_reduction_excl_brev: excl.iter().map(|c| c.warp.energy_reduction()).sum::<f64>()
             / n_excl,
         max_energy_reduction: comparisons
             .iter()
             .map(|c| c.warp.energy_reduction())
             .fold(0.0, f64::max),
         arm11_speed_over_warp: mean(&|c| c.warp.warped_seconds / arm(c, "ARM11").seconds),
-        arm11_energy_over_warp: mean(&|c| {
-            arm(c, "ARM11").energy_j / c.warp.energy_warp.total()
-        }),
+        arm11_energy_over_warp: mean(&|c| arm(c, "ARM11").energy_j / c.warp.energy_warp.total()),
         warp_speed_over_arm10: mean(&|c| arm(c, "ARM10").seconds / c.warp.warped_seconds),
-        warp_energy_over_arm10: mean(&|c| {
-            c.warp.energy_warp.total() / arm(c, "ARM10").energy_j
-        }),
+        warp_energy_over_arm10: mean(&|c| c.warp.energy_warp.total() / arm(c, "ARM10").energy_j),
         mb_energy_over_arm11: mean(&|c| c.mb_energy_j / arm(c, "ARM11").energy_j),
     }
 }

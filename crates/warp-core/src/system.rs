@@ -155,8 +155,7 @@ pub fn warp_run(built: &BuiltWorkload, options: &WarpOptions) -> Result<WarpRepo
     let timing = circuit.compiled.timing;
     let route_stats = circuit.compiled.route_stats;
     let bitstream_bytes = circuit.compiled.bitstream.len_bytes();
-    let hw_power_w =
-        options.wcla_power.circuit_power_w(&map_stats, circuit.model.fabric_clock_hz);
+    let hw_power_w = options.wcla_power.circuit_power_w(&map_stats, circuit.model.fabric_clock_hz);
 
     // Phase 4: patch the binary and re-run with the WCLA device mapped.
     let head_word = built

@@ -55,10 +55,7 @@ fn full_paper_suite_shapes() {
     // Paper-shape assertions (bands, not absolutes).
     assert!((3.0..9.0).contains(&s.avg_warp_speedup), "avg speedup {:.2}", s.avg_warp_speedup);
     assert!(s.max_warp_speedup > 8.0, "brev-style peak {:.2}", s.max_warp_speedup);
-    assert!(
-        s.avg_warp_speedup > s.avg_warp_speedup_excl_brev,
-        "brev must pull the average up"
-    );
+    assert!(s.avg_warp_speedup > s.avg_warp_speedup_excl_brev, "brev must pull the average up");
     assert!(
         (0.3..0.8).contains(&s.avg_energy_reduction),
         "avg energy reduction {:.2}",

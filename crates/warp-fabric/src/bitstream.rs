@@ -185,7 +185,10 @@ impl Bitstream {
             let w = cur.take();
             wire_driver.push(match w & 0x3 {
                 0 => WireDriver::None,
-                1 => WireDriver::Slot(SlotId(w >> 3), if w & 0x4 != 0 { SlotOut::Ff } else { SlotOut::Lut }),
+                1 => WireDriver::Slot(
+                    SlotId(w >> 3),
+                    if w & 0x4 != 0 { SlotOut::Ff } else { SlotOut::Lut },
+                ),
                 2 => WireDriver::Wire(WireId(w >> 3)),
                 _ => unreachable!("invalid wire driver tag"),
             });
@@ -360,7 +363,9 @@ pub fn generate(
                 // Dedicated tap (output bus, MAC operand, or internal
                 // LUT→FF feed).
                 match &netlist.nodes()[node as usize] {
-                    LutNode::Lut { .. } => PinSource::Slot(placement.slot_of_lut(node), SlotOut::Lut),
+                    LutNode::Lut { .. } => {
+                        PinSource::Slot(placement.slot_of_lut(node), SlotOut::Lut)
+                    }
                     LutNode::FfQ(k) => PinSource::Slot(placement.ff_slot[k], SlotOut::Ff),
                     _ => unreachable!(),
                 }
@@ -504,7 +509,10 @@ mod tests {
             let tag = cur.take();
             let bit = (tag >> 24) as u8;
             let word = match tag & 0x3 {
-                0 => InputWord::Load { stream: ((tag >> 2) & 0x3) as usize, offset: cur.take() as i32 },
+                0 => InputWord::Load {
+                    stream: ((tag >> 2) & 0x3) as usize,
+                    offset: cur.take() as i32,
+                },
                 1 => InputWord::Invariant(Reg::new(((tag >> 2) & 31) as u8)),
                 _ => InputWord::MacOut(((tag >> 2) & 0xFFFF) as usize),
             };

@@ -43,7 +43,11 @@ impl Placement {
 
 /// Half-perimeter wirelength of all LUT-to-LUT nets under a placement
 /// (the placer's cost function).
-fn wirelength(netlist: &LutNetlist, config: &FabricConfig, pos: &HashMap<u32, (usize, usize)>) -> u64 {
+fn wirelength(
+    netlist: &LutNetlist,
+    config: &FabricConfig,
+    pos: &HashMap<u32, (usize, usize)>,
+) -> u64 {
     let mut total = 0u64;
     for (i, node) in netlist.nodes().iter().enumerate() {
         if let LutNode::Lut { inputs, .. } = node {
@@ -125,7 +129,10 @@ pub fn place(netlist: &LutNetlist, config: &FabricConfig) -> Result<Placement, C
                         (pref_row.saturating_sub(dr), pref_col.saturating_sub(dc)),
                         (pref_row.saturating_sub(dr), (pref_col + dc).min(config.cols - 1)),
                         ((pref_row + dr).min(config.rows - 1), pref_col.saturating_sub(dc)),
-                        ((pref_row + dr).min(config.rows - 1), (pref_col + dc).min(config.cols - 1)),
+                        (
+                            (pref_row + dr).min(config.rows - 1),
+                            (pref_col + dc).min(config.cols - 1),
+                        ),
                     ] {
                         let e = occupancy.entry((row, col)).or_insert(0);
                         if *e < 2 {
@@ -140,7 +147,11 @@ pub fn place(netlist: &LutNetlist, config: &FabricConfig) -> Result<Placement, C
             if !placed {
                 // Fallback linear scan (should not happen given the
                 // capacity check above).
-                while occupancy.get(&(cursor / config.cols, cursor % config.cols)).copied().unwrap_or(0) >= 2
+                while occupancy
+                    .get(&(cursor / config.cols, cursor % config.cols))
+                    .copied()
+                    .unwrap_or(0)
+                    >= 2
                 {
                     cursor = (cursor + 1) % clbs;
                 }
@@ -263,7 +274,7 @@ mod tests {
         let cfg = FabricConfig::sized_for(nl.lut_count(), 0);
         let p = place(&nl, &cfg).unwrap();
         let mut seen = std::collections::HashSet::new();
-        for (_, &s) in &p.lut_slot {
+        for &s in p.lut_slot.values() {
             assert!(seen.insert(s), "slot {s:?} double-booked");
         }
         assert_eq!(p.lut_slot.len(), nl.lut_count());
@@ -300,8 +311,6 @@ mod tests {
         let cfg = FabricConfig { rows: 12, cols: 24, tracks: 8, delays: Default::default() };
         let p = place(&nl, &cfg).unwrap();
         // The adder's deepest LUT should not sit left of the shallowest.
-        let mut min_col_deep = usize::MAX;
-        let mut max_col_shallow = 0usize;
         let mut level = vec![0usize; nl.nodes().len()];
         let mut max_l = 0;
         for (i, node) in nl.nodes().iter().enumerate() {
@@ -310,7 +319,6 @@ mod tests {
                 max_l = max_l.max(level[i]);
             }
         }
-        let _ = (min_col_deep, max_col_shallow);
         // On average the deepest logic should sit no further left than
         // the shallowest (data flows left to right).
         let avg_col = |want: usize| -> f64 {

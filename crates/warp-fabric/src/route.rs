@@ -173,9 +173,7 @@ pub fn route(
             (0..pending.len())
                 .filter(|&i| {
                     routes[i].as_ref().is_none_or(|r| {
-                        r.sinks
-                            .iter()
-                            .any(|s| s.path.iter().any(|w| occupancy[w.0 as usize] > 1))
+                        r.sinks.iter().any(|s| s.path.iter().any(|w| occupancy[w.0 as usize] > 1))
                     })
                 })
                 .collect()
@@ -425,12 +423,7 @@ mod tests {
     fn tight_fabric_reports_congestion() {
         // Many nets, one track: must congest.
         let nl = adder_netlist();
-        let cfg = FabricConfig {
-            rows: 12,
-            cols: 12,
-            tracks: 1,
-            delays: Default::default(),
-        };
+        let cfg = FabricConfig { rows: 12, cols: 12, tracks: 1, delays: Default::default() };
         let p = place(&nl, &cfg).unwrap();
         match route(&nl, &p, &cfg) {
             Err(RouteError::Congested { .. }) => {}

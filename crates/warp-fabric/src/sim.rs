@@ -89,7 +89,9 @@ impl FabricSim {
             match n {
                 Node::Wire(w) => match config.wire_driver[w] {
                     WireDriver::None => {}
-                    WireDriver::Slot(s, SlotOut::Lut) => out.push(index_of(Node::SlotLut(s.0 as usize))),
+                    WireDriver::Slot(s, SlotOut::Lut) => {
+                        out.push(index_of(Node::SlotLut(s.0 as usize)))
+                    }
                     WireDriver::Slot(_, SlotOut::Ff) => {}
                     WireDriver::Wire(src) => out.push(index_of(Node::Wire(src.0 as usize))),
                 },
@@ -166,7 +168,7 @@ impl FabricSim {
             ff_by_slot[f.slot.0 as usize] = Some(k);
         }
         let ff_q = |slot: usize| -> bool {
-            ff_by_slot[slot].map_or(false, |k| ff_state.get(k).copied().unwrap_or(false))
+            ff_by_slot[slot].is_some_and(|k| ff_state.get(k).copied().unwrap_or(false))
         };
 
         let mut bus_cache: Vec<Option<u32>> = vec![None; self.config.bus.len()];

@@ -1,0 +1,92 @@
+//! The paper's Figure 5 energy equations, checked as *shapes*: energy
+//! is monotone in cycle counts, and warping a kernel reduces energy for
+//! a synthetic report whose speedup outruns the WCLA's power draw.
+
+use warp_power::{figure5_energy, mb_only_energy, MbPower, WclaPowerModel};
+use warp_synth::MapStats;
+
+const MB_CLOCK_HZ: f64 = 85e6;
+
+fn seconds(cycles: u64) -> f64 {
+    cycles as f64 / MB_CLOCK_HZ
+}
+
+#[test]
+fn software_energy_is_monotone_in_cycles() {
+    let mb = MbPower::spartan3_85mhz();
+    let mut last = -1.0;
+    for cycles in [0u64, 1_000, 50_000, 1_000_000, 100_000_000] {
+        let e = mb_only_energy(&mb, seconds(cycles)).total();
+        assert!(e > last, "energy must grow with cycles: {cycles} -> {e}");
+        last = e;
+    }
+}
+
+#[test]
+fn every_figure5_term_is_monotone_in_its_time() {
+    let mb = MbPower::spartan3_85mhz();
+    let p_hw = 0.045;
+    let base = figure5_energy(&mb, p_hw, 0.010, 0.002, 0.002);
+
+    let more_active = figure5_energy(&mb, p_hw, 0.020, 0.002, 0.002);
+    assert!(more_active.e_mb > base.e_mb);
+    assert!(more_active.e_static > base.e_static, "static burns over total time");
+    assert!((more_active.e_hw - base.e_hw).abs() < 1e-15, "hw term unaffected");
+
+    let more_idle = figure5_energy(&mb, p_hw, 0.010, 0.004, 0.002);
+    assert!(more_idle.e_mb > base.e_mb, "idle time still draws idle power");
+    assert!(more_idle.e_static > base.e_static);
+
+    let more_hw = figure5_energy(&mb, p_hw, 0.010, 0.002, 0.004);
+    assert!(more_hw.e_hw > base.e_hw);
+    assert!((more_hw.e_mb - base.e_mb).abs() < 1e-15);
+}
+
+#[test]
+fn warped_energy_reduction_is_positive_for_a_synthetic_report() {
+    // Synthetic per-workload report in the shape warp-core produces:
+    // total software cycles, the kernel's share, and its hardware speedup.
+    struct SyntheticReport {
+        sw_cycles: u64,
+        kernel_cycles: u64,
+        hw_speedup: f64,
+        circuit: MapStats,
+    }
+
+    let report = SyntheticReport {
+        sw_cycles: 10_000_000,
+        kernel_cycles: 8_000_000, // 80% of time in the kernel (paper's 90-10 rule)
+        hw_speedup: 10.0,
+        circuit: MapStats { luts: 1200, ffs: 96, macs: 2, ..Default::default() },
+    };
+
+    let mb = MbPower::spartan3_85mhz();
+    let wcla = WclaPowerModel::umc180();
+    let p_hw = wcla.circuit_power_w(&report.circuit, 250_000_000);
+
+    let e_sw = mb_only_energy(&mb, seconds(report.sw_cycles)).total();
+
+    let t_active = seconds(report.sw_cycles - report.kernel_cycles);
+    let t_hw = seconds(report.kernel_cycles) / report.hw_speedup;
+    let e_warped = figure5_energy(&mb, p_hw, t_active, t_hw, t_hw).total();
+
+    let reduction = 1.0 - e_warped / e_sw;
+    assert!(reduction > 0.0, "warping must save energy: sw {e_sw:.6} J vs warped {e_warped:.6} J");
+    // With an 80% kernel at 10x the time saving is 72%, and the energy
+    // saving exceeds it (the stalled processor draws only idle power
+    // while the WCLA runs) but can never reach 100%.
+    assert!(reduction > 0.3, "reduction {reduction:.2} suspiciously small");
+    assert!(reduction < 1.0, "reduction {reduction:.2} implies negative warped energy");
+}
+
+#[test]
+fn wcla_power_is_monotone_in_circuit_size() {
+    let wcla = WclaPowerModel::umc180();
+    let mut last = -1.0;
+    for luts in [0u64, 10, 100, 1000, 5000] {
+        let stats = MapStats { luts, ffs: luts / 8, ..Default::default() };
+        let p = wcla.circuit_power_w(&stats, 250_000_000);
+        assert!(p > last, "power must grow with circuit size: {luts} LUTs -> {p}");
+        last = p;
+    }
+}

@@ -114,7 +114,11 @@ impl Profiler {
     /// Creates an empty profiler.
     #[must_use]
     pub fn new(config: ProfilerConfig) -> Self {
-        Profiler { config, entries: Vec::with_capacity(config.entries), stats: ProfilerStats::default() }
+        Profiler {
+            config,
+            entries: Vec::with_capacity(config.entries),
+            stats: ProfilerStats::default(),
+        }
     }
 
     /// The cache geometry.

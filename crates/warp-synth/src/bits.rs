@@ -81,7 +81,14 @@ impl BitDef {
     /// Whether this is a combinational gate (not an input/constant/FF).
     #[must_use]
     pub fn is_gate(&self) -> bool {
-        matches!(self, BitDef::Not(_) | BitDef::And(..) | BitDef::Or(..) | BitDef::Xor(..) | BitDef::Mux { .. })
+        matches!(
+            self,
+            BitDef::Not(_)
+                | BitDef::And(..)
+                | BitDef::Or(..)
+                | BitDef::Xor(..)
+                | BitDef::Mux { .. }
+        )
     }
 }
 
@@ -673,7 +680,9 @@ impl EvalResult {
     /// Reassembles a word from its bit signals.
     #[must_use]
     pub fn word(&self, w: &Word) -> u32 {
-        w.iter().enumerate().fold(0u32, |acc, (i, &b)| acc | (u32::from(self.bits[b as usize]) << i))
+        w.iter()
+            .enumerate()
+            .fold(0u32, |acc, (i, &b)| acc | (u32::from(self.bits[b as usize]) << i))
     }
 }
 
@@ -801,7 +810,10 @@ mod tests {
         let removed = n.sweep();
         assert!(removed > 0, "dead adder must be swept");
         assert!(n.defs().len() < before);
-        let v = n.eval(|w| if matches!(w, InputWord::Load { stream: 0, .. }) { 0xF0F0 } else { 0x1234 }, &[]);
+        let v = n.eval(
+            |w| if matches!(w, InputWord::Load { stream: 0, .. }) { 0xF0F0 } else { 0x1234 },
+            &[],
+        );
         assert_eq!(v.word(&n.outputs()[0].bits), 0xF0F0 ^ 0x1234);
     }
 
@@ -878,7 +890,8 @@ mod tests {
         );
         // Both must agree functionally.
         for (x, y) in [(3u32, 9u32), (u32::MAX, 1), (0x8765_4321, 0x1234_5678)] {
-            let inputs = |w: InputWord| if matches!(w, InputWord::Load { stream: 0, .. }) { x } else { y };
+            let inputs =
+                |w: InputWord| if matches!(w, InputWord::Load { stream: 0, .. }) { x } else { y };
             let vf = fast.eval(inputs, &[]).word(&fast.outputs()[0].bits);
             let vs = slow.eval(inputs, &[]).word(&slow.outputs()[0].bits);
             assert_eq!(vf, x.wrapping_add(y));

@@ -17,11 +17,17 @@ pub struct SynthReport {
     pub gates_before_sweep: u64,
 }
 
+/// Per fused `Mul` node, the consuming node that absorbs it.
+type FusedMuls = HashMap<NodeId, NodeId>;
+/// Per consumer, the fusion recipe: the `Mul` node, which argument slot
+/// it occupies, and the MAC mode.
+type FusionRecipes = HashMap<NodeId, (NodeId, usize, MacMode)>;
+
 /// Plans multiply-accumulate fusion: an `Add`/`Sub` whose single-use
 /// argument is a `Mul` executes entirely on the MAC (its accumulate
 /// port), leaving no adder in the fabric. Returns, per fused `Mul` node,
 /// the consuming node; and per consumer, the fusion recipe.
-fn plan_mac_fusion(kernel: &LoopKernel) -> (HashMap<NodeId, NodeId>, HashMap<NodeId, (NodeId, usize, MacMode)>) {
+fn plan_mac_fusion(kernel: &LoopKernel) -> (FusedMuls, FusionRecipes) {
     // Use counts over DFG args, stores, and accumulator updates.
     let mut uses: HashMap<NodeId, usize> = HashMap::new();
     for (_, node) in kernel.dfg.iter() {
@@ -106,13 +112,11 @@ pub fn synthesize(kernel: &LoopKernel) -> SynthReport {
         let w: Word = match node.op {
             Op::LoadValue { stream, offset } => n.input_word(InputWord::Load { stream, offset }),
             Op::Invariant { reg } => n.input_word(InputWord::Invariant(reg)),
-            Op::Acc { reg } => {
-                acc_ffs
-                    .iter()
-                    .find(|(r, _, _)| *r == reg)
-                    .map(|(_, _, q)| *q)
-                    .expect("accumulator declared")
-            }
+            Op::Acc { reg } => acc_ffs
+                .iter()
+                .find(|(r, _, _)| *r == reg)
+                .map(|(_, _, q)| *q)
+                .expect("accumulator declared"),
             Op::Const(c) => n.const_word(c),
             Op::Add | Op::Sub if fusion_recipe.contains_key(&id) => {
                 // Fused multiply-accumulate: the MAC performs both the
@@ -227,9 +231,8 @@ mod tests {
             }
             // Accumulator next state.
             for (k, a) in kernel.accs.iter().enumerate() {
-                let next: u32 = (0..32)
-                    .map(|bit| u32::from(res.bit(n.ffs()[k * 32 + bit].d)) << bit)
-                    .sum();
+                let next: u32 =
+                    (0..32).map(|bit| u32::from(res.bit(n.ffs()[k * 32 + bit].d)) << bit).sum();
                 assert_eq!(next, env.accs[&a.reg], "acc {} mismatch for input {x:#010x}", a.reg);
             }
         }
@@ -279,7 +282,11 @@ mod tests {
             a.push(Insn::swi(Reg::R11, Reg::R6, 4));
         });
         let report = synthesize(&k);
-        assert!(report.stats.gates > 100, "32-bit ripple adder expected, got {}", report.stats.gates);
+        assert!(
+            report.stats.gates > 100,
+            "32-bit ripple adder expected, got {}",
+            report.stats.gates
+        );
         check_equivalence(&k, &SAMPLES);
     }
 

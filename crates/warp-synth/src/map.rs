@@ -226,10 +226,13 @@ const MAX_CUTS: usize = 8;
 /// Returns, per bit, the cut list usable by *parents* (including the
 /// trivial cut `{bit}` for non-constant bits) and, for gates, the
 /// non-trivial cuts usable to map the bit itself.
-fn enumerate_cuts(n: &GateNetlist) -> (Vec<Vec<Vec<BitId>>>, Vec<Vec<Vec<BitId>>>) {
+/// All cuts of one bit; each cut is the list of leaf bits feeding it.
+type CutList = Vec<Vec<BitId>>;
+
+fn enumerate_cuts(n: &GateNetlist) -> (Vec<CutList>, Vec<CutList>) {
     let len = n.defs().len();
-    let mut parent_cuts: Vec<Vec<Vec<BitId>>> = vec![Vec::new(); len];
-    let mut own_cuts: Vec<Vec<Vec<BitId>>> = vec![Vec::new(); len];
+    let mut parent_cuts: Vec<CutList> = vec![Vec::new(); len];
+    let mut own_cuts: Vec<CutList> = vec![Vec::new(); len];
     for id in 0..len as BitId {
         let def = n.def(id);
         match def {
@@ -289,7 +292,13 @@ fn choose_cut(own: &[Vec<BitId>]) -> Vec<BitId> {
 
 /// Evaluates the cone of `bit` under an assignment to its cut.
 fn cone_value(n: &GateNetlist, bit: BitId, cut: &[BitId], assignment: u8) -> bool {
-    fn eval(n: &GateNetlist, b: BitId, cut: &[BitId], assignment: u8, memo: &mut HashMap<BitId, bool>) -> bool {
+    fn eval(
+        n: &GateNetlist,
+        b: BitId,
+        cut: &[BitId],
+        assignment: u8,
+        memo: &mut HashMap<BitId, bool>,
+    ) -> bool {
         if let Some(pos) = cut.iter().position(|&c| c == b) {
             return assignment >> pos & 1 == 1;
         }
@@ -302,9 +311,15 @@ fn cone_value(n: &GateNetlist, bit: BitId, cut: &[BitId], assignment: u8) -> boo
                 unreachable!("cut must cover all non-constant leaves")
             }
             BitDef::Not(a) => !eval(n, a, cut, assignment, memo),
-            BitDef::And(a, c) => eval(n, a, cut, assignment, memo) && eval(n, c, cut, assignment, memo),
-            BitDef::Or(a, c) => eval(n, a, cut, assignment, memo) || eval(n, c, cut, assignment, memo),
-            BitDef::Xor(a, c) => eval(n, a, cut, assignment, memo) ^ eval(n, c, cut, assignment, memo),
+            BitDef::And(a, c) => {
+                eval(n, a, cut, assignment, memo) && eval(n, c, cut, assignment, memo)
+            }
+            BitDef::Or(a, c) => {
+                eval(n, a, cut, assignment, memo) || eval(n, c, cut, assignment, memo)
+            }
+            BitDef::Xor(a, c) => {
+                eval(n, a, cut, assignment, memo) ^ eval(n, c, cut, assignment, memo)
+            }
             BitDef::Mux { sel, t, f } => {
                 if eval(n, sel, cut, assignment, memo) {
                     eval(n, t, cut, assignment, memo)
@@ -379,8 +394,10 @@ pub fn map_netlist(n: &GateNetlist) -> LutNetlist {
                     // The cone folds to a constant.
                     LutNode::Const(cone_value(n, id, cut, 0))
                 } else {
-                    let inputs: Vec<LutRef> =
-                        cut.iter().map(|&c| map[c as usize].expect("cut member materialized")).collect();
+                    let inputs: Vec<LutRef> = cut
+                        .iter()
+                        .map(|&c| map[c as usize].expect("cut member materialized"))
+                        .collect();
                     let mut truth = 0u8;
                     for a in 0..(1u8 << cut.len()) {
                         if cone_value(n, id, cut, a) {
@@ -468,10 +485,8 @@ mod tests {
         assert!(luts <= 240, "adder should need ≤240 LUTs, got {luts}");
         // Functional check.
         for (x, y) in [(1u32, 2u32), (u32::MAX, 1), (0xABCD, 0x1234)] {
-            let res = mapped.eval(
-                |w| if matches!(w, InputWord::Load { stream: 0, .. }) { x } else { y },
-                &[],
-            );
+            let res = mapped
+                .eval(|w| if matches!(w, InputWord::Load { stream: 0, .. }) { x } else { y }, &[]);
             assert_eq!(res.word(&mapped.outputs()[0].bits), x.wrapping_add(y));
         }
     }

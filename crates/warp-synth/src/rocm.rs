@@ -125,8 +125,7 @@ impl Cover {
     #[must_use]
     pub fn from_truth(num_vars: u8, truth: u64) -> Self {
         assert!(num_vars <= 6, "truth-table constructor supports up to 6 variables");
-        let minterms: Vec<u16> =
-            (0..(1u16 << num_vars)).filter(|&m| truth >> m & 1 == 1).collect();
+        let minterms: Vec<u16> = (0..(1u16 << num_vars)).filter(|&m| truth >> m & 1 == 1).collect();
         Cover::from_minterms(num_vars, &minterms)
     }
 
@@ -306,8 +305,7 @@ mod tests {
     fn lut3_costs() {
         assert_eq!(lut3_sop_cost(0x00), 0); // constant 0
         assert_eq!(lut3_sop_cost(0xFF), 0); // constant 1 (one empty cube)
-        // f = a (truth table bit i set when bit0 of i set): 0b10101010.
-        assert_eq!(lut3_sop_cost(0xAA), 1);
+        assert_eq!(lut3_sop_cost(0xAA), 1); // f = a (bit i set when bit0 of i set)
     }
 
     proptest! {

@@ -167,13 +167,7 @@ pub fn execute(
         *e |= u32::from(ff_state[k]) << f.bit;
     }
 
-    Ok(HwOutcome {
-        iterations,
-        fabric_cycles: model.total_cycles(iterations),
-        accs,
-        loads,
-        stores,
-    })
+    Ok(HwOutcome { iterations, fabric_cycles: model.total_cycles(iterations), accs, loads, stores })
 }
 
 #[cfg(test)]

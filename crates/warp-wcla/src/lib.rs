@@ -92,8 +92,11 @@ mod tests {
             let (circuit, report) = WclaCircuit::build(kernel).unwrap();
             assert!(circuit.model.cycles_per_iteration >= 1);
             assert!(circuit.model.fabric_clock_hz <= FABRIC_CLOCK_HZ);
-            assert!(report.stats.gates >= circuit.netlist.lut_count() as u64 / 4,
-                "{}: gate/LUT ratio sanity", workload.name);
+            assert!(
+                report.stats.gates >= circuit.netlist.lut_count() as u64 / 4,
+                "{}: gate/LUT ratio sanity",
+                workload.name
+            );
         }
     }
 }

@@ -113,8 +113,13 @@ impl PatchPlan {
         });
 
         let head_jump = stub_base.wrapping_sub(kernel.head) as i32;
-        let head_insn =
-            Insn::Bri { rd: Reg::R0, imm: head_jump as i16, link: false, absolute: false, delay: false };
+        let head_insn = Insn::Bri {
+            rd: Reg::R0,
+            imm: head_jump as i16,
+            link: false,
+            absolute: false,
+            delay: false,
+        };
 
         Ok(PatchPlan {
             stub_base,
@@ -173,12 +178,8 @@ mod tests {
 
             // Expected: 2 (base) + 1 (count) + streams + accs + invs + 1
             // (start) + 1 (status) + accs (readback) + 1 (jump).
-            let expected = 2
-                + 1
-                + kernel.streams.len()
-                + 2 * kernel.accs.len()
-                + kernel.invariants.len()
-                + 3;
+            let expected =
+                2 + 1 + kernel.streams.len() + 2 * kernel.accs.len() + kernel.invariants.len() + 3;
             assert_eq!(plan.stub_words(), expected, "{}", workload.name);
 
             // The head replacement must decode to a forward branch to

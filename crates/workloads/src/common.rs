@@ -26,7 +26,15 @@ pub fn emit_exit(cg: &mut CodeGen) {
 ///
 /// Clobbers r16–r19 plus the runtime-clobber set when no multiplier is
 /// configured.
-pub fn emit_lcg_fill(cg: &mut CodeGen, tag: &str, base: &str, n: i32, seed: i32, mult: i32, inc: i16) {
+pub fn emit_lcg_fill(
+    cg: &mut CodeGen,
+    tag: &str,
+    base: &str,
+    n: i32,
+    seed: i32,
+    mult: i32,
+    inc: i16,
+) {
     let top = format!("__fill_{tag}");
     {
         let a = cg.asm_mut();

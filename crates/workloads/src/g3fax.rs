@@ -93,7 +93,13 @@ pub fn build(features: MbFeatures) -> BuiltWorkload {
     cg.asm_mut().push(Insn::Andi { rd: Reg::R11, ra: Reg::R9, imm: 1 });
     cg.asm_mut().push(Insn::rsubk(Reg::R11, Reg::R11, Reg::R0));
     // sh = 32 - len  (taken mod 32 by the shifter)
-    cg.asm_mut().push(Insn::Rsubi { rd: Reg::R12, ra: Reg::R10, imm: 32, keep_carry: true, use_carry: false });
+    cg.asm_mut().push(Insn::Rsubi {
+        rd: Reg::R12,
+        ra: Reg::R10,
+        imm: 32,
+        keep_carry: true,
+        use_carry: false,
+    });
     // out = color << sh (dynamic shift — barrel shifter or runtime call)
     cg.shl_dyn(Reg::R13, Reg::R11, Reg::R12);
     {
@@ -151,6 +157,9 @@ mod tests {
     }
 
     #[test]
+    // Literals are grouped as the run-length code fields `len_color`,
+    // not in even digit groups.
+    #[allow(clippy::unusual_byte_groupings)]
     fn golden_run_shapes() {
         // len=4, color=1 -> top 4 pixels set.
         assert_eq!(golden(&[0b0100_1])[0], 0xF000_0000);

@@ -1,0 +1,67 @@
+//! Smoke test: every registered workload builds under the paper's
+//! default feature set and exposes a sane, non-empty kernel range.
+
+use mb_isa::MbFeatures;
+
+#[test]
+fn every_workload_builds_with_a_nonempty_kernel() {
+    let all = workloads::all();
+    assert!(!all.is_empty(), "workload registry must not be empty");
+
+    for workload in all {
+        let built = workload.build(MbFeatures::paper_default());
+        assert_eq!(built.name, workload.name, "{}: built name matches registry", workload.name);
+        assert!(built.program.iter_insns().next().is_some(), "{}: program non-empty", built.name);
+
+        // The kernel range is half-open and non-empty: head < tail.
+        assert!(
+            built.kernel.head < built.kernel.tail,
+            "{}: kernel head {:#x} must precede tail {:#x}",
+            built.name,
+            built.kernel.head,
+            built.kernel.tail
+        );
+        assert!(built.kernel.words() >= 2, "{}: kernel has at least two insns", built.name);
+
+        // The kernel must lie inside the assembled program.
+        let (head, end) = built.kernel.range();
+        assert!(
+            built.program.insn_at(head).is_some(),
+            "{}: kernel head {head:#x} decodes",
+            built.name
+        );
+        assert!(
+            built.program.insn_at(end - 4).is_some(),
+            "{}: kernel tail {:#x} decodes",
+            built.name,
+            end - 4
+        );
+        assert!(end <= built.program.end(), "{}: kernel inside program", built.name);
+
+        // Every check region is non-empty: a workload with nothing to
+        // verify cannot participate in correctness tests.
+        assert!(!built.checks.is_empty(), "{}: has memory checks", built.name);
+    }
+}
+
+#[test]
+fn paper_suite_is_the_figure_order_and_by_name_round_trips() {
+    let names: Vec<&str> = workloads::paper_suite().iter().map(|w| w.name).collect();
+    assert_eq!(names, ["brev", "g3fax", "canrdr", "bitmnp", "idct", "matmul"]);
+
+    for workload in workloads::all() {
+        let found = workloads::by_name(workload.name)
+            .unwrap_or_else(|| panic!("{} resolvable by name", workload.name));
+        assert_eq!(found.name, workload.name);
+    }
+    assert!(workloads::by_name("no-such-workload").is_none());
+}
+
+#[test]
+fn workload_names_are_unique() {
+    let mut names: Vec<&str> = workloads::all().iter().map(|w| w.name).collect();
+    let total = names.len();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), total, "duplicate workload names");
+}

@@ -16,19 +16,36 @@ fn main() {
     let report = warp_run(&built, &WarpOptions::default()).expect("warp flow succeeds");
 
     println!();
-    println!("software-only:   {:>10} cycles  ({:.3} ms at 85 MHz)", report.sw_cycles, report.sw_seconds * 1e3);
-    println!("warped:          {:>10} cycles  ({:.3} ms)", report.warped_cycles, report.warped_seconds * 1e3);
+    println!(
+        "software-only:   {:>10} cycles  ({:.3} ms at 85 MHz)",
+        report.sw_cycles,
+        report.sw_seconds * 1e3
+    );
+    println!(
+        "warped:          {:>10} cycles  ({:.3} ms)",
+        report.warped_cycles,
+        report.warped_seconds * 1e3
+    );
     println!("  MB active:     {:>10} cycles", report.mb_active_cycles);
     println!("  MB stalled:    {:>10} cycles (hardware running)", report.mb_stall_cycles);
     println!();
-    println!("hardware:        {} invocations, {} iterations, {} fabric cycles",
-        report.hw.invocations, report.hw.iterations, report.hw.fabric_cycles);
-    println!("circuit:         {} LUTs, {} FFs, {} MACs, {:.1} ns critical path",
-        report.map_stats.luts, report.map_stats.ffs, report.map_stats.macs,
-        report.timing.critical_path_ns);
+    println!(
+        "hardware:        {} invocations, {} iterations, {} fabric cycles",
+        report.hw.invocations, report.hw.iterations, report.hw.fabric_cycles
+    );
+    println!(
+        "circuit:         {} LUTs, {} FFs, {} MACs, {:.1} ns critical path",
+        report.map_stats.luts,
+        report.map_stats.ffs,
+        report.map_stats.macs,
+        report.timing.critical_path_ns
+    );
     println!("bitstream:       {} bytes", report.bitstream_bytes);
-    println!("on-chip CAD:     {:.3} s on the 85 MHz DPM, {:.0} KiB peak",
-        report.dpm.seconds(85_000_000), report.dpm.peak_memory_bytes as f64 / 1024.0);
+    println!(
+        "on-chip CAD:     {:.3} s on the 85 MHz DPM, {:.0} KiB peak",
+        report.dpm.seconds(85_000_000),
+        report.dpm.peak_memory_bytes as f64 / 1024.0
+    );
     println!();
     println!("speedup:          {:.1}x   (paper: 16.9x for brev)", report.speedup());
     println!("energy reduction: {:.0}%   (paper: 94% for brev)", report.energy_reduction() * 100.0);

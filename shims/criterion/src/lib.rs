@@ -1,0 +1,151 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal benchmark harness with the API the `warp-bench` benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], `sample_size`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (both the plain and the
+//! `name = ...; config = ...; targets = ...` forms).
+//!
+//! It measures wall-clock time per iteration and prints a one-line summary
+//! (min / median / max over samples) per benchmark. There is no statistical
+//! analysis, warm-up modelling, or HTML report — the goal is that `cargo
+//! bench` builds, runs, and produces comparable numbers offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver, configured per group via [`criterion_group!`].
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples collected per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run `f` under the timing harness and print a summary line.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX));
+            }
+        }
+        samples.sort_unstable();
+        if let (Some(min), Some(max)) = (samples.first(), samples.last()) {
+            let median = samples[samples.len() / 2];
+            println!(
+                "bench {id:<40} min {min:>12?}  median {median:>12?}  max {max:>12?}  ({} samples)",
+                samples.len()
+            );
+        } else {
+            println!("bench {id:<40} produced no samples");
+        }
+        self
+    }
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One untimed call to warm caches and reach steady state.
+        black_box(routine());
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Define a benchmark group: either `criterion_group!(name, target, ...)` or
+/// the configured form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        // 3 samples x (1 warm-up + 1 timed) calls.
+        assert_eq!(calls, 6);
+    }
+
+    criterion_group!(plain_group, noop_bench);
+    criterion_group! {
+        name = configured_group;
+        config = Criterion::default().sample_size(2);
+        targets = noop_bench
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("shim/noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn both_group_forms_run() {
+        plain_group();
+        configured_group();
+    }
+}

@@ -12,7 +12,8 @@ fn patch_revert_restores_software_behavior() {
     let kernel =
         warp_cdfg::decompile_loop(&built.program, built.kernel.head, built.kernel.tail).unwrap();
     let head_word = built.program.word_at(kernel.head).unwrap();
-    let plan = PatchPlan::new(&kernel, head_word, built.program.end() + 32, kernel.tail + 4).unwrap();
+    let plan =
+        PatchPlan::new(&kernel, head_word, built.program.end() + 32, kernel.tail + 4).unwrap();
 
     let mut sys = built.instantiate(&MbConfig::paper_default());
     apply_patch(sys.imem_mut(), &plan).unwrap();
@@ -40,16 +41,14 @@ fn hardware_iteration_beats_software_iteration() {
         let (_, trace) = sys.run_traced(500_000_000).unwrap();
         let (start, end) = built.kernel.range();
         let kernel_cycles = trace.cycles_in_range(start, end);
-        let backward = trace
-            .iter()
-            .filter(|e| e.pc == built.kernel.tail && e.taken == Some(true))
-            .count() as u64;
+        let backward =
+            trace.iter().filter(|e| e.pc == built.kernel.tail && e.taken == Some(true)).count()
+                as u64;
         let iterations = backward + circuit_invocations(&built);
         let sw_ns_per_iter = kernel_cycles as f64 / iterations.max(1) as f64 / 85e6 * 1e9;
 
-        let hw_ns_per_iter = circuit.model.cycles_per_iteration as f64
-            / circuit.model.fabric_clock_hz as f64
-            * 1e9;
+        let hw_ns_per_iter =
+            circuit.model.cycles_per_iteration as f64 / circuit.model.fabric_clock_hz as f64 * 1e9;
         assert!(
             hw_ns_per_iter < sw_ns_per_iter,
             "{}: HW {hw_ns_per_iter:.1} ns/iter vs SW {sw_ns_per_iter:.1} ns/iter",

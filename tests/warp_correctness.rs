@@ -14,22 +14,14 @@ fn every_workload_warps_correctly() {
 
         // Verification already happened inside warp_run (memory compared
         // against the golden model); check the performance contract.
-        assert!(
-            report.profiler_agrees,
-            "{}: profiler picked a different loop",
-            workload.name
-        );
+        assert!(report.profiler_agrees, "{}: profiler picked a different loop", workload.name);
         assert!(
             report.speedup() > 1.2,
             "{}: speedup {:.2} — hardware must beat software",
             workload.name,
             report.speedup()
         );
-        assert!(
-            report.energy_reduction() > 0.0,
-            "{}: warping must not cost energy",
-            workload.name
-        );
+        assert!(report.energy_reduction() > 0.0, "{}: warping must not cost energy", workload.name);
         assert!(report.hw.invocations >= 1, "{}: hardware never ran", workload.name);
         assert!(
             report.mb_stall_cycles < report.warped_cycles,
