@@ -1,10 +1,13 @@
 //! Criterion benches for the end-to-end experiment flow: one complete
-//! warp (Figure 6/7 data point) and the Section 2 configuration study.
+//! warp (Figure 6/7 data point), the staged pipeline with a warm
+//! circuit cache, the batch-runner suite, and the Section 2
+//! configuration study.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mb_isa::MbFeatures;
 use std::hint::black_box;
-use warp_core::{warp_run, WarpOptions};
+use warp_core::pipeline::run_staged;
+use warp_core::{warp_run, BatchRunner, CircuitCache, WarpOptions};
 
 fn bench_warp_run(c: &mut Criterion) {
     let options = WarpOptions::default();
@@ -16,6 +19,35 @@ fn bench_warp_run(c: &mut Criterion) {
     }
 }
 
+fn bench_warm_pipeline(c: &mut Criterion) {
+    // The staged pipeline with a warm circuit cache: every iteration
+    // hits, so this measures everything *except* the CAD chain.
+    let options = WarpOptions::default();
+    let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());
+    let cache = CircuitCache::new();
+    run_staged(&built, &options, Some(&cache)).unwrap();
+    c.bench_function("pipeline/cached_warp/brev", |b| {
+        b.iter(|| {
+            let m = run_staged(black_box(&built), &options, Some(&cache)).unwrap();
+            assert!(m.stats.cache_hit);
+            m
+        })
+    });
+}
+
+fn bench_batch_suite(c: &mut Criterion) {
+    // The full Figure 6/7 suite through the batch runner — the
+    // figure-binary hot path.
+    let runner = BatchRunner::new(WarpOptions::default());
+    let suite = workloads::paper_suite();
+    c.bench_function("figure6/batch_suite", |b| {
+        b.iter(|| {
+            let cache = CircuitCache::new();
+            runner.run_suite(black_box(&suite), &cache).unwrap()
+        })
+    });
+}
+
 fn bench_config_study(c: &mut Criterion) {
     c.bench_function("section2/config_study", |b| b.iter(warp_core::experiments::config_study));
 }
@@ -23,6 +55,6 @@ fn bench_config_study(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_warp_run, bench_config_study
+    targets = bench_warp_run, bench_warm_pipeline, bench_batch_suite, bench_config_study
 }
 criterion_main!(benches);

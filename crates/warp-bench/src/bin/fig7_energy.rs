@@ -1,14 +1,24 @@
 //! Regenerates Figure 7: normalized energy consumption of the warp
 //! processor and the ARM hard cores compared to the MicroBlaze alone.
+//!
+//! The suite fans out across the batch runner (`WARP_BENCH_THREADS`
+//! overrides the worker count) with a shared circuit cache; the numbers
+//! are identical to a sequential run.
 
-use warp_bench::{render_fig7, render_summary};
-use warp_core::experiments::{figure7, run_paper_suite};
-use warp_core::WarpOptions;
+use warp_bench::{batch_runner, render_fig7, render_stage_timing, render_summary};
+use warp_core::experiments::figure7;
+use warp_core::{CircuitCache, WarpOptions};
 
 fn main() {
-    let comparisons = run_paper_suite(&WarpOptions::default()).expect("paper suite runs");
+    let runner = batch_runner(WarpOptions::default());
+    let cache = CircuitCache::new();
+    let (comparisons, stats) =
+        runner.run_suite_measured(&workloads::paper_suite(), &cache).expect("paper suite runs");
     println!("Figure 7: normalized energy vs. MicroBlaze alone (clock MHz in parentheses)\n");
     print!("{}", render_fig7(&figure7(&comparisons)));
     println!();
     print!("{}", render_summary(&comparisons));
+    println!();
+    let names: Vec<&str> = comparisons.iter().map(|c| c.name.as_str()).collect();
+    print!("{}", render_stage_timing(&names, &stats));
 }

@@ -1,13 +1,16 @@
 //! Figure 4 extension study: a multi-processor warp system with a
 //! single shared DPM serving the processors round-robin.
+//!
+//! The per-processor simulations run on the batch runner inside
+//! [`multi_warp`]; the schedule is accumulated in processor order at
+//! the DPM clock from `WarpOptions`.
 
 use warp_core::multi::multi_warp;
 use warp_core::WarpOptions;
 
 fn main() {
     let apps: Vec<workloads::Workload> = workloads::paper_suite();
-    let report =
-        multi_warp(&apps, &WarpOptions::default(), 85_000_000).expect("multi-processor warp");
+    let report = multi_warp(&apps, &WarpOptions::default()).expect("multi-processor warp");
     println!("Multi-processor warp system: {} MicroBlazes, one shared DPM\n", report.apps.len());
     println!(
         "{:>9} | {:>9} | {:>10} | {:>13}",

@@ -8,6 +8,9 @@
 //!    functions before and after the on-chip minimizer.
 
 use mb_isa::MbFeatures;
+use warp_bench::batch_runner;
+use warp_core::pipeline::{self, HotRegion};
+use warp_core::{WarpError, WarpOptions};
 use warp_synth::bits::{GateNetlist, InputWord};
 use warp_synth::map::map_netlist;
 use warp_synth::rocm::Cover;
@@ -41,20 +44,19 @@ fn mac_fusion_ablation() {
     println!("2) MAC fusion (fabric logic left after fusing mul+add onto the MAC)\n");
     println!("{:>9} | {:>6} | {:>5} | {:>5}", "kernel", "gates", "LUTs", "MACs");
     println!("{}", "-".repeat(36));
-    for name in ["matmul", "fir", "idct"] {
-        let built = workloads::by_name(name).unwrap().build(MbFeatures::paper_default());
-        let kernel =
-            warp_cdfg::decompile_loop(&built.program, built.kernel.head, built.kernel.tail)
-                .unwrap();
-        let report = warp_synth::synthesize(&kernel);
-        let mapped = map_netlist(&report.netlist);
-        println!(
-            "{:>9} | {:>6} | {:>5} | {:>5}",
-            name,
-            report.stats.gates,
-            mapped.lut_count(),
-            mapped.macs().len()
-        );
+    let names = ["matmul", "fir", "idct"];
+    let rows = batch_runner(WarpOptions::default())
+        .run_map(&names, |_, name| -> Result<_, WarpError> {
+            let built = workloads::by_name(name).unwrap().build(MbFeatures::paper_default());
+            let hot = HotRegion { head: built.kernel.head, tail: built.kernel.tail, count: 0 };
+            let decompiled = pipeline::decompile(&built, &hot)?;
+            let report = warp_synth::synthesize(&decompiled.kernel);
+            let mapped = map_netlist(&report.netlist);
+            Ok((report.stats.gates, mapped.lut_count(), mapped.macs().len()))
+        })
+        .expect("every kernel synthesizes");
+    for (name, (gates, luts, macs)) in names.iter().zip(rows) {
+        println!("{name:>9} | {gates:>6} | {luts:>5} | {macs:>5}");
     }
     println!("\nmatmul and fir collapse to zero fabric logic: the whole body");
     println!("runs on the multiplier-accumulator, as the WCLA intends.\n");

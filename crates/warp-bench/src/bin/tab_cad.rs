@@ -1,12 +1,33 @@
 //! On-chip CAD cost table: per-benchmark circuit sizes, tool work, DPM
 //! execution-time model, and memory footprint — the leanness claims of
-//! the ROCPART tool papers (refs [15][16][17]).
+//! the ROCPART tool papers (refs \[15]\[16]\[17]).
+//!
+//! Each benchmark's CAD chain runs as the typed pipeline stages
+//! (decompile → compile), fanned across the batch runner with the rows
+//! printed in deterministic benchmark order.
 
 use mb_isa::MbFeatures;
-use warp_core::dpm;
-use warp_wcla::WclaCircuit;
+use warp_bench::batch_runner;
+use warp_core::pipeline::{self, CompiledWcla, HotRegion};
+use warp_core::{WarpError, WarpOptions};
 
 fn main() {
+    let options = WarpOptions::default();
+    let dpm_clock_hz = options.dpm_clock_hz;
+    let runner = batch_runner(options);
+    let workloads = workloads::all();
+    let compiled: Vec<(String, CompiledWcla)> = runner
+        .run_map(&workloads, |_, w| -> Result<_, WarpError> {
+            let built = w.build(MbFeatures::paper_default());
+            // The annotated kernel bounds stand in for a profiler pass:
+            // this table measures the CAD chain, not loop detection.
+            let hot = HotRegion { head: built.kernel.head, tail: built.kernel.tail, count: 0 };
+            let decompiled = pipeline::decompile(&built, &hot)?;
+            let compiled = pipeline::compile_circuit(&decompiled)?;
+            Ok((built.name, compiled))
+        })
+        .expect("every kernel compiles");
+
     println!("On-chip CAD (DPM) cost per benchmark — MicroBlaze DPM at 85 MHz\n");
     println!(
         "{:>9} | {:>5} {:>5} {:>4} {:>5} | {:>7} {:>6} | {:>9} {:>9} | {:>8}",
@@ -22,26 +43,20 @@ fn main() {
         "mem KiB"
     );
     println!("{}", "-".repeat(100));
-    for w in workloads::all() {
-        let built = w.build(MbFeatures::paper_default());
-        let kernel =
-            warp_cdfg::decompile_loop(&built.program, built.kernel.head, built.kernel.tail)
-                .expect("kernel decompiles");
-        let (circuit, synth) = WclaCircuit::build(kernel).expect("kernel compiles");
-        let report = dpm::estimate(&circuit.kernel, &synth, &circuit.netlist, &circuit.compiled);
-        let st = circuit.netlist.stats();
+    for (name, c) in &compiled {
+        let st = c.circuit.netlist.stats();
         println!(
             "{:>9} | {:>5} {:>5} {:>4} {:>5} | {:>7.1} {:>6} | {:>9} {:>9.3} | {:>8.1}",
-            built.name,
-            synth.stats.gates,
+            name,
+            c.synth.stats.gates,
             st.luts,
             st.ffs,
             st.macs,
-            circuit.compiled.timing.critical_path_ns,
-            circuit.compiled.route_stats.tracks,
-            report.total_cycles(),
-            report.seconds(85_000_000),
-            report.peak_memory_bytes as f64 / 1024.0,
+            c.circuit.compiled.timing.critical_path_ns,
+            c.circuit.compiled.route_stats.tracks,
+            c.dpm.total_cycles(),
+            c.dpm.seconds(dpm_clock_hz),
+            c.dpm.peak_memory_bytes as f64 / 1024.0,
         );
     }
 }

@@ -2,14 +2,21 @@
 //! impact of excluding the barrel shifter and multiplier.
 //! Paper: brev 2.1x slower without barrel shifter + multiplier; matmul
 //! 1.3x slower without the multiplier.
+//!
+//! The per-configuration simulations fan across the batch runner
+//! (`WARP_BENCH_THREADS` overrides the worker count) with rows in the
+//! study's fixed order.
 
-use warp_core::experiments::config_study;
+use warp_bench::batch_runner;
+use warp_core::experiments::config_study_on;
+use warp_core::WarpOptions;
 
 fn main() {
+    let runner = batch_runner(WarpOptions::default());
     println!("Section 2 study: configurable-option impact on execution time\n");
     println!("{:>9} | {:<34} | {:>12} | {:>8}", "benchmark", "configuration", "cycles", "slowdown");
     println!("{}", "-".repeat(74));
-    for row in config_study() {
+    for row in config_study_on(&runner) {
         println!(
             "{:>9} | {:<34} | {:>12} | {:>7.2}x",
             row.benchmark, row.config, row.cycles, row.slowdown

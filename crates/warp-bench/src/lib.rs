@@ -7,7 +7,7 @@
 //! | `fig6_speedup` | Figure 6: speedups vs. the MicroBlaze alone |
 //! | `fig7_energy` | Figure 7: normalized energy consumption |
 //! | `tab_config_options` | Section 2: configurable-options study |
-//! | `tab_cad` | On-chip CAD cost (refs [15][16][17] leanness claims) |
+//! | `tab_cad` | On-chip CAD cost (refs \[15]\[16]\[17] leanness claims) |
 //! | `fig_multiproc` | Figure 4 extension: multi-processor warp system |
 //!
 //! Criterion benches (`cargo bench -p warp-bench`) measure the CAD
@@ -16,6 +16,33 @@
 #![forbid(unsafe_code)]
 
 use warp_core::experiments::{BenchmarkComparison, Fig6Row, Fig7Row};
+use warp_core::{BatchRunner, PipelineStats, WarpOptions};
+
+/// Builds the batch runner every figure/table binary uses: all
+/// available hardware threads, overridable with the
+/// `WARP_BENCH_THREADS` environment variable (CI pins it to 4 for the
+/// batch smoke job).
+#[must_use]
+pub fn batch_runner(options: WarpOptions) -> BatchRunner {
+    let runner = BatchRunner::new(options);
+    match std::env::var("WARP_BENCH_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(threads) => runner.with_threads(threads),
+        None => runner,
+    }
+}
+
+/// Formats the per-benchmark pipeline stage timing block the binaries
+/// print after their tables — where the harness wall-clock went.
+#[must_use]
+pub fn render_stage_timing(names: &[&str], stats: &[PipelineStats]) -> String {
+    let mut out = String::from("pipeline wall-clock per benchmark:\n");
+    for (name, s) in names.iter().zip(stats) {
+        out.push_str(&format!("{name:>10} | {s}\n"));
+    }
+    let total = PipelineStats::accumulate(stats);
+    out.push_str(&format!("{:>10} | {total}\n", "total"));
+    out
+}
 
 /// Formats a Figure 6 table in the paper's layout.
 #[must_use]

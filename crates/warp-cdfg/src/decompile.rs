@@ -14,7 +14,7 @@ pub const DADG_STREAMS: usize = 3;
 /// One per-iteration memory stream: a pointer register advanced by a
 /// constant stride each iteration, with a set of constant byte offsets
 /// accessed relative to it.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct MemStream {
     /// The pointer register seeding the stream's base address.
     pub base: Reg,
@@ -27,7 +27,7 @@ pub struct MemStream {
 }
 
 /// One store performed each iteration.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct StoreOp {
     /// Index into [`LoopKernel::streams`].
     pub stream: usize,
@@ -39,7 +39,7 @@ pub struct StoreOp {
 
 /// A loop-carried accumulator: reads its previous value (via
 /// [`Op::Acc`]) and is updated to `next` each iteration.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct AccUpdate {
     /// The accumulator register.
     pub reg: Reg,
@@ -48,7 +48,7 @@ pub struct AccUpdate {
 }
 
 /// A decompiled critical loop, ready for synthesis onto the WCLA.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct LoopKernel {
     /// Loop head address (branch target).
     pub head: u32,
@@ -154,6 +154,23 @@ impl LoopKernel {
     #[must_use]
     pub fn mul_ops_per_iter(&self) -> usize {
         self.dfg.count_where(|o| matches!(o, Op::Mul))
+    }
+
+    /// A stable 64-bit content hash of the kernel.
+    ///
+    /// Covers everything that determines the compiled circuit — the
+    /// loop bounds, register roles, stream table, data-flow graph,
+    /// stores, and accumulators — hashed with a fixed-parameter FNV-1a
+    /// ([`Fnv1a`](crate::fingerprint::Fnv1a)), so the value is
+    /// reproducible across runs and platforms. Two kernels with equal
+    /// fingerprints compile to identical WCLA circuits, which is what
+    /// lets downstream circuit caches skip the CAD chain entirely.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = crate::fingerprint::Fnv1a::new();
+        self.hash(&mut h);
+        h.finish()
     }
 }
 
@@ -905,6 +922,22 @@ mod tests {
         let k = decompile_loop(&p, h, t).unwrap();
         let has_const = k.dfg.nodes().iter().any(|n| matches!(n.op, Op::Const(0x0F0F_0F0F)));
         assert!(has_const, "32-bit constant must be reassembled from imm prefix");
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_content_sensitive() {
+        let p = copy_loop();
+        let (h, t) = bounds(&p);
+        let a = decompile_loop(&p, h, t).unwrap();
+        let b = decompile_loop(&p, h, t).unwrap();
+        // Two independent decompilations of the same region agree.
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.streams[0].stride = 8;
+        assert_ne!(a.fingerprint(), c.fingerprint(), "stride must be part of the content hash");
+        let mut d = a.clone();
+        d.head ^= 4;
+        assert_ne!(a.fingerprint(), d.fingerprint(), "loop bounds must be part of the hash");
     }
 
     #[test]

@@ -92,7 +92,7 @@ impl Op {
 }
 
 /// One node: an operation and its arguments.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Node {
     /// The operation.
     pub op: Op,
@@ -102,7 +102,7 @@ pub struct Node {
 
 /// A word-level data-flow graph in topological order (arguments always
 /// precede their users).
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct Dfg {
     nodes: Vec<Node>,
 }

@@ -1,0 +1,126 @@
+//! Stable content hashing for decompiled kernels.
+//!
+//! The warp flow caches compiled circuits keyed by the *content* of the
+//! decompiled kernel (see `warp-core`'s `CircuitCache`), so the key must
+//! be reproducible: the same kernel must hash to the same value in every
+//! process, on every run, on every platform. `std::hash::DefaultHasher`
+//! guarantees none of that, so this module provides [`Fnv1a`], a
+//! fixed-parameter 64-bit FNV-1a [`Hasher`] with all integer writes
+//! canonicalized to little-endian (and `usize`/`isize` widened to 64
+//! bits so 32- and 64-bit hosts agree).
+
+use std::hash::Hasher;
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a hasher with platform-independent integer encoding.
+///
+/// Deliberately *not* DoS-resistant — it is a content-address, not a
+/// `HashMap` seed.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Creates a hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET_BASIS)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+
+    fn write_i8(&mut self, i: i8) {
+        self.write_u8(i as u8);
+    }
+
+    fn write_i16(&mut self, i: i16) {
+        self.write_u16(i as u16);
+    }
+
+    fn write_i32(&mut self, i: i32) {
+        self.write_u32(i as u32);
+    }
+
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+
+    fn write_i128(&mut self, i: i128) {
+        self.write_u128(i as u128);
+    }
+
+    fn write_isize(&mut self, i: isize) {
+        self.write_i64(i as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    #[test]
+    fn known_vectors() {
+        // FNV-1a reference values.
+        let mut h = Fnv1a::new();
+        h.write(b"");
+        assert_eq!(h.finish(), FNV_OFFSET_BASIS);
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn usize_hashes_like_u64() {
+        let mut a = Fnv1a::new();
+        42usize.hash(&mut a);
+        let mut b = Fnv1a::new();
+        42u64.hash(&mut b);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -4,7 +4,7 @@
 //! control-dataflow graph" (paper Section 3, citing Stitt/Lysecky/Vahid
 //! DAC'03). This crate is that stage of the ROCPART tool chain:
 //!
-//! * [`cfg`] — generic binary-level control-flow analysis: basic blocks,
+//! * [`cfg`](mod@cfg) — generic binary-level control-flow analysis: basic blocks,
 //!   dominators, and natural-loop detection (the decompilation techniques
 //!   of binary-level partitioning recover loop structure directly from
 //!   the instruction stream);
@@ -29,6 +29,7 @@ pub mod cfg;
 mod decompile;
 mod dfg;
 mod error;
+pub mod fingerprint;
 
 pub use decompile::{
     decompile_loop, AccUpdate, KernelEnv, LoopKernel, MemStream, StoreOp, DADG_STREAMS,

@@ -1,0 +1,180 @@
+//! Parallel batch execution of warp runs with deterministic results.
+//!
+//! The paper's Figure 4 system runs many processors against one DPM;
+//! our evaluation harness has the mirror-image problem — many warp
+//! *simulations* against one host machine. [`BatchRunner`] fans a batch
+//! of independent pipeline runs across `std::thread::scope` workers
+//! (no extra dependencies, no detached threads) while keeping the
+//! output indistinguishable from a sequential loop:
+//!
+//! * results come back ordered by input position, never by completion
+//!   order;
+//! * on failure, the error reported is the one the *sequential* loop
+//!   would have hit first (lowest input index), regardless of which
+//!   worker failed first on the wall clock;
+//! * every run is deterministic, so a parallel suite reproduces the
+//!   sequential Figure 6/7 numbers exactly.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use mb_isa::MbFeatures;
+use workloads::Workload;
+
+use crate::cache::CircuitCache;
+use crate::experiments::{compare_benchmark_staged, BenchmarkComparison};
+use crate::pipeline::{run_staged, PipelineStats, WarpMeasurement};
+use crate::system::WarpError;
+use crate::WarpOptions;
+
+/// A scoped-thread pool for warp pipelines and experiment suites.
+#[derive(Clone, Debug)]
+pub struct BatchRunner {
+    options: WarpOptions,
+    threads: usize,
+}
+
+impl BatchRunner {
+    /// Creates a runner using every available hardware thread.
+    #[must_use]
+    pub fn new(options: WarpOptions) -> Self {
+        let threads = thread::available_parallelism().map_or(1, NonZeroUsize::get);
+        BatchRunner { options, threads }
+    }
+
+    /// Overrides the worker-thread count (clamped to at least one).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The options every run in this batch uses.
+    #[must_use]
+    pub fn options(&self) -> &WarpOptions {
+        &self.options
+    }
+
+    /// Deterministic parallel map: applies `f` to every item on the
+    /// worker pool and returns the outputs in input order. If any item
+    /// fails, the error returned is the lowest-index one — exactly what
+    /// a sequential `for` loop would have reported.
+    ///
+    /// # Errors
+    ///
+    /// The first (by input index) error produced by `f`.
+    pub fn run_map<I, T, E, F>(&self, items: &[I], f: F) -> Result<Vec<T>, E>
+    where
+        I: Sync,
+        T: Send,
+        E: Send,
+        F: Fn(usize, &I) -> Result<T, E> + Sync,
+    {
+        let slots: Vec<Mutex<Option<Result<T, E>>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(items.len().max(1));
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let result = f(i, item);
+                    *slots[i].lock().expect("result slot") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("result slot").expect("every slot filled"))
+            .collect()
+    }
+
+    /// Warps every workload through the staged pipeline, sharing one
+    /// circuit cache, and returns the measurements in input order.
+    ///
+    /// # Errors
+    ///
+    /// The first failing workload's [`WarpError`] (by input order).
+    pub fn warp_all(
+        &self,
+        apps: &[Workload],
+        cache: &CircuitCache,
+    ) -> Result<Vec<WarpMeasurement>, WarpError> {
+        self.run_map(apps, |_, w| {
+            let built = w.build(MbFeatures::paper_default());
+            run_staged(&built, &self.options, Some(cache))
+        })
+    }
+
+    /// Runs the full benchmark comparison (MicroBlaze, four ARM cores,
+    /// warp) for every workload, in input order — the parallel
+    /// equivalent of
+    /// [`run_paper_suite`](crate::experiments::run_paper_suite).
+    ///
+    /// # Errors
+    ///
+    /// The first failing benchmark's [`WarpError`] (by input order).
+    pub fn run_suite(
+        &self,
+        apps: &[Workload],
+        cache: &CircuitCache,
+    ) -> Result<Vec<BenchmarkComparison>, WarpError> {
+        Ok(self.run_suite_measured(apps, cache)?.0)
+    }
+
+    /// [`run_suite`](Self::run_suite), also returning each benchmark's
+    /// per-stage pipeline timing so harnesses can report where the
+    /// wall-clock went.
+    ///
+    /// # Errors
+    ///
+    /// The first failing benchmark's [`WarpError`] (by input order).
+    pub fn run_suite_measured(
+        &self,
+        apps: &[Workload],
+        cache: &CircuitCache,
+    ) -> Result<(Vec<BenchmarkComparison>, Vec<PipelineStats>), WarpError> {
+        let results =
+            self.run_map(apps, |_, w| compare_benchmark_staged(w, &self.options, Some(cache)))?;
+        Ok(results.into_iter().unzip())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_map_preserves_input_order() {
+        let runner = BatchRunner::new(WarpOptions::default()).with_threads(3);
+        let items: Vec<usize> = (0..17).collect();
+        let out: Vec<usize> = runner.run_map(&items, |i, &x| Ok::<_, ()>(i * 100 + x)).unwrap();
+        assert_eq!(out, (0..17).map(|i| i * 101).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_map_reports_the_sequentially_first_error() {
+        let runner = BatchRunner::new(WarpOptions::default()).with_threads(4);
+        let items: Vec<usize> = (0..16).collect();
+        // Items 3 and 9 fail; a sequential loop would report 3.
+        let err = runner
+            .run_map(&items, |_, &x| if x == 3 || x == 9 { Err(x) } else { Ok(x) })
+            .unwrap_err();
+        assert_eq!(err, 3);
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        let runner = BatchRunner::new(WarpOptions::default()).with_threads(0);
+        assert_eq!(runner.threads(), 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Content-addressed circuit cache.
+//!
+//! The multi-processor round-robin of [`multi`](crate::multi), the
+//! configurability sweeps of [`experiments`](crate::experiments), and
+//! the figure/table binaries all warp the *same* kernels repeatedly.
+//! The CAD chain — synthesis, mapping, place & route, bitstream — is a
+//! pure function of the decompiled kernel, so its output can be shared:
+//! [`CircuitCache`] stores [`CompiledWcla`] artifacts keyed by
+//! [`LoopKernel::fingerprint`](warp_cdfg::LoopKernel::fingerprint), a
+//! stable content hash. A hit returns the compiled circuit without
+//! performing any CAD work, and (because the whole flow is
+//! deterministic) yields a [`WarpReport`](crate::WarpReport)
+//! bit-identical to a cold run's.
+//!
+//! The cache is safe to share across the
+//! [`BatchRunner`](crate::batch::BatchRunner)'s worker threads: lookups
+//! take a short mutex, but compilation itself runs outside the lock so
+//! concurrent misses on *different* kernels still compile in parallel.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::pipeline::{compile_circuit, CompiledWcla, DecompiledKernel};
+use crate::system::WarpError;
+
+/// Hit/miss counters for a [`CircuitCache`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups that found a compiled circuit.
+    pub hits: u64,
+    /// Lookups that had to run the CAD chain.
+    pub misses: u64,
+    /// Distinct kernels currently cached.
+    pub entries: usize,
+}
+
+/// A thread-safe, content-addressed store of compiled WCLA circuits.
+#[derive(Debug, Default)]
+pub struct CircuitCache {
+    slots: Mutex<HashMap<u64, Arc<CompiledWcla>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CircuitCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        CircuitCache::default()
+    }
+
+    /// Returns the cached circuit for a kernel fingerprint, if present.
+    /// Does not touch the hit/miss counters.
+    #[must_use]
+    pub fn get(&self, fingerprint: u64) -> Option<Arc<CompiledWcla>> {
+        self.slots.lock().expect("cache lock").get(&fingerprint).cloned()
+    }
+
+    /// Returns the compiled circuit for a decompiled kernel, running
+    /// the CAD chain only on a miss.
+    ///
+    /// The boolean is `true` on a hit. Compilation happens outside the
+    /// cache lock, so concurrent misses on different kernels proceed in
+    /// parallel; if two threads race on the *same* kernel, both compile
+    /// (deterministically, to identical artifacts) and the first
+    /// insertion wins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WarpError::Fabric`] from compilation on a miss.
+    pub fn lookup_or_compile(
+        &self,
+        decompiled: &DecompiledKernel,
+    ) -> Result<(Arc<CompiledWcla>, bool), WarpError> {
+        if let Some(hit) = self.get(decompiled.fingerprint) {
+            // The 64-bit FNV-1a fingerprint is not collision-proof, so a
+            // hit must still match the kernel itself before the CAD chain
+            // is skipped. A colliding kernel compiles fresh and is *not*
+            // inserted (the slot stays with its first owner).
+            if hit.circuit.kernel == decompiled.kernel {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((hit, true));
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::new(compile_circuit(decompiled)?), false));
+        }
+        let compiled = Arc::new(compile_circuit(decompiled)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let stored = self
+            .slots
+            .lock()
+            .expect("cache lock")
+            .entry(decompiled.fingerprint)
+            .or_insert(compiled)
+            .clone();
+        Ok((stored, false))
+    }
+
+    /// Current hit/miss/occupancy counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.slots.lock().expect("cache lock").len(),
+        }
+    }
+
+    /// Number of distinct kernels cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no circuits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached circuit (counters are kept).
+    pub fn clear(&self) {
+        self.slots.lock().expect("cache lock").clear();
+    }
+}
+
+// The cache is shared by reference across scoped worker threads; fail
+// the build loudly if a field ever loses thread safety.
+const _: fn() = || {
+    fn assert_sync<T: Send + Sync>() {}
+    assert_sync::<CircuitCache>();
+    assert_sync::<CompiledWcla>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline;
+    use crate::WarpOptions;
+    use mb_isa::MbFeatures;
+
+    fn decompiled(name: &str) -> DecompiledKernel {
+        let built = workloads::by_name(name).unwrap().build(MbFeatures::paper_default());
+        let options = WarpOptions::default();
+        let traced = pipeline::trace_software(&built, &options).unwrap();
+        let hot = pipeline::profile_trace(&traced, &options).unwrap();
+        pipeline::decompile(&built, &hot).unwrap()
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_artifact() {
+        let cache = CircuitCache::new();
+        let d = decompiled("brev");
+        let (cold, hit0) = cache.lookup_or_compile(&d).unwrap();
+        let (warm, hit1) = cache.lookup_or_compile(&d).unwrap();
+        assert!(!hit0);
+        assert!(hit1);
+        assert!(Arc::ptr_eq(&cold, &warm), "hit must share the cached artifact");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, entries: 1 });
+    }
+
+    #[test]
+    fn distinct_kernels_occupy_distinct_slots() {
+        let cache = CircuitCache::new();
+        let a = decompiled("brev");
+        let b = decompiled("canrdr");
+        assert_ne!(a.fingerprint, b.fingerprint);
+        cache.lookup_or_compile(&a).unwrap();
+        cache.lookup_or_compile(&b).unwrap();
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -8,10 +8,12 @@ use mb_sim::MbConfig;
 use warp_power::arm_energy;
 use workloads::Workload;
 
-use crate::{warp_run, WarpError, WarpOptions, WarpReport};
+use crate::cache::CircuitCache;
+use crate::pipeline::{self, PipelineStats};
+use crate::{WarpError, WarpOptions, WarpReport};
 
 /// One ARM baseline measurement.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ArmMeasurement {
     /// Core name (`ARM7` … `ARM11`).
     pub name: &'static str,
@@ -25,7 +27,7 @@ pub struct ArmMeasurement {
 
 /// Full comparison for one benchmark: MicroBlaze alone, the four ARM
 /// hard cores, and the warp processor.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct BenchmarkComparison {
     /// Benchmark name.
     pub name: String,
@@ -62,20 +64,36 @@ pub fn compare_benchmark(
     workload: &Workload,
     options: &WarpOptions,
 ) -> Result<BenchmarkComparison, WarpError> {
+    compare_benchmark_staged(workload, options, None).map(|(comparison, _)| comparison)
+}
+
+/// Runs the complete comparison for one workload through the staged
+/// pipeline, optionally consulting a circuit cache, and reports where
+/// the wall-clock went.
+///
+/// The single software-only traced run feeds both the ARM baseline
+/// simulators and the warp pipeline (the monolithic flow simulated the
+/// software twice).
+///
+/// # Errors
+///
+/// Propagates [`WarpError`] from any phase.
+pub fn compare_benchmark_staged(
+    workload: &Workload,
+    options: &WarpOptions,
+    cache: Option<&CircuitCache>,
+) -> Result<(BenchmarkComparison, PipelineStats), WarpError> {
     let built = workload.build(MbFeatures::paper_default());
 
-    // The warp run performs the software-only execution internally; we
-    // need the trace for the ARM models, so run it once more here.
-    let mut sys = built.instantiate(&MbConfig::paper_default());
-    let (outcome, trace) = sys
-        .run_traced(options.cycle_budget.max_cycles)
-        .map_err(|e| WarpError::Software(e.to_string()))?;
-    let mb_seconds = outcome.cycles as f64 / MbConfig::paper_default().clock_hz as f64;
+    let trace_start = std::time::Instant::now();
+    let traced = pipeline::trace_software(&built, options)?;
+    let trace_ns = trace_start.elapsed().as_nanos();
+    let mb_seconds = traced.outcome.cycles as f64 / MbConfig::paper_default().clock_hz as f64;
 
     let arms = paper_cores()
         .iter()
         .map(|core| {
-            let r = simulate(core, &trace);
+            let r = simulate(core, &traced.trace);
             ArmMeasurement {
                 name: r.name,
                 clock_hz: core.clock_hz,
@@ -85,13 +103,22 @@ pub fn compare_benchmark(
         })
         .collect();
 
-    let warp = warp_run(&built, options)?;
+    let mut measurement = pipeline::resume_after_trace(&built, &traced, options, cache)?;
+    measurement.stats.trace_ns = trace_ns;
+    let warp = measurement.report;
     let mb_energy_j = warp.energy_sw.total();
 
-    Ok(BenchmarkComparison { name: built.name.clone(), mb_seconds, mb_energy_j, arms, warp })
+    Ok((
+        BenchmarkComparison { name: built.name.clone(), mb_seconds, mb_energy_j, arms, warp },
+        measurement.stats,
+    ))
 }
 
-/// Runs the paper's six-benchmark suite.
+/// Runs the paper's six-benchmark suite sequentially.
+///
+/// The parallel equivalent is
+/// [`BatchRunner::run_suite`](crate::batch::BatchRunner::run_suite),
+/// which produces identical comparisons in identical order.
 ///
 /// # Errors
 ///
@@ -248,9 +275,26 @@ pub struct ConfigRow {
 /// multiplier (paper: 2.1× slower) and `matmul` without multiplier
 /// (paper: 1.3× slower). `idct` without multiplier is included as an
 /// extension data point.
+///
+/// # Panics
+///
+/// Panics if a benchmark fails to run or verify under any
+/// configuration.
 #[must_use]
 pub fn config_study() -> Vec<ConfigRow> {
-    let mut rows = Vec::new();
+    config_study_on(&crate::batch::BatchRunner::new(WarpOptions::default()))
+}
+
+/// [`config_study`] with the per-configuration simulations fanned
+/// across a [`BatchRunner`](crate::batch::BatchRunner). Row order and
+/// numbers are identical to the sequential study.
+///
+/// # Panics
+///
+/// Panics if a benchmark fails to run or verify under any
+/// configuration.
+#[must_use]
+pub fn config_study_on(runner: &crate::batch::BatchRunner) -> Vec<ConfigRow> {
     let cases: [(&str, MbFeatures, &str); 6] = [
         ("brev", MbFeatures::paper_default(), "barrel shifter + multiplier"),
         ("brev", MbFeatures::minimal(), "no barrel shifter, no multiplier"),
@@ -259,20 +303,29 @@ pub fn config_study() -> Vec<ConfigRow> {
         ("idct", MbFeatures::paper_default(), "barrel shifter + multiplier"),
         ("idct", MbFeatures::paper_default().with_multiplier(false), "no multiplier"),
     ];
+    let cycles = runner
+        .run_map(&cases, |_, (name, features, _)| -> Result<u64, std::convert::Infallible> {
+            let built = workloads::by_name(name).expect("known benchmark").build(*features);
+            let mut sys = built.instantiate(&MbConfig::paper_default());
+            let outcome = sys.run(1_000_000_000).expect("benchmark runs");
+            built.verify(sys.dmem()).expect("results correct");
+            Ok(outcome.cycles)
+        })
+        .expect("simulation is infallible");
+
+    // Slowdowns are relative to each benchmark's full configuration,
+    // which precedes its reduced configurations in case order.
+    let mut rows = Vec::new();
     let mut base_cycles = 0u64;
-    for (name, features, desc) in cases {
-        let built = workloads::by_name(name).expect("known benchmark").build(features);
-        let mut sys = built.instantiate(&MbConfig::paper_default());
-        let outcome = sys.run(1_000_000_000).expect("benchmark runs");
-        built.verify(sys.dmem()).expect("results correct");
+    for ((name, _, desc), cycles) in cases.iter().zip(cycles) {
         if desc.starts_with("barrel") {
-            base_cycles = outcome.cycles;
+            base_cycles = cycles;
         }
         rows.push(ConfigRow {
-            benchmark: name.into(),
-            config: desc.into(),
-            cycles: outcome.cycles,
-            slowdown: outcome.cycles as f64 / base_cycles as f64,
+            benchmark: (*name).into(),
+            config: (*desc).into(),
+            cycles,
+            slowdown: cycles as f64 / base_cycles as f64,
         });
     }
     rows

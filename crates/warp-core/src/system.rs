@@ -1,19 +1,22 @@
 //! End-to-end single-processor warp execution.
+//!
+//! The heavy lifting lives in [`pipeline`](crate::pipeline), where each
+//! CAD phase is a typed stage; this module holds the flow's error and
+//! report types and [`warp_run`], the trivial composition of those
+//! stages.
 
 use std::error::Error;
 use std::fmt;
 
-use mb_sim::{MbConfig, StopReason};
 use warp_cdfg::DecompileError;
 use warp_fabric::CompileError;
-use warp_power::{figure5_energy, mb_only_energy, EnergyBreakdown};
-use warp_profiler::Profiler;
-use warp_wcla::device::WCLA_WINDOW;
-use warp_wcla::patch::{apply_patch, PatchError, PatchPlan};
-use warp_wcla::{WclaCircuit, WclaDevice, WclaStats, WCLA_BASE};
+use warp_power::EnergyBreakdown;
+use warp_wcla::patch::PatchError;
+use warp_wcla::WclaStats;
 use workloads::BuiltWorkload;
 
-use crate::dpm::{self, DpmReport};
+use crate::dpm::DpmReport;
+use crate::pipeline;
 use crate::WarpOptions;
 
 /// Why a warp run failed.
@@ -52,10 +55,27 @@ impl fmt::Display for WarpError {
     }
 }
 
-impl Error for WarpError {}
+impl Error for WarpError {
+    /// The wrapping variants expose the phase-specific error beneath
+    /// them, so callers can walk the cause chain with
+    /// [`Error::source`] instead of string-matching [`fmt::Display`]
+    /// output.
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WarpError::Decompile(e) => Some(e),
+            WarpError::Fabric(e) => Some(e),
+            WarpError::Patch(e) => Some(e),
+            WarpError::Software(_)
+            | WarpError::NoHotRegion
+            | WarpError::PatchApply(_)
+            | WarpError::Warped(_)
+            | WarpError::Verification(_) => None,
+        }
+    }
+}
 
 /// Everything measured from one end-to-end warp.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct WarpReport {
     /// Benchmark name.
     pub name: String,
@@ -91,6 +111,9 @@ pub struct WarpReport {
     pub route_stats: warp_fabric::RouteStats,
     /// DPM cost model.
     pub dpm: DpmReport,
+    /// The DPM clock (from [`WarpOptions::dpm_clock_hz`]) used whenever
+    /// this report converts DPM cycles to seconds.
+    pub dpm_clock_hz: u64,
     /// Bitstream size in bytes.
     pub bitstream_bytes: usize,
 }
@@ -108,11 +131,18 @@ impl WarpReport {
         1.0 - self.energy_warp.total() / self.energy_sw.total()
     }
 
+    /// One-time DPM (on-chip CAD) seconds for this warp, at the clock
+    /// the run was configured with.
+    #[must_use]
+    pub fn dpm_seconds(&self) -> f64 {
+        self.dpm.seconds(self.dpm_clock_hz)
+    }
+
     /// Speedup including one-time DPM work amortized over `n` runs of
     /// the application (the transparent-optimization cost view).
     #[must_use]
-    pub fn speedup_amortized(&self, n: u64, dpm_clock_hz: u64) -> f64 {
-        let dpm_s = self.dpm.seconds(dpm_clock_hz);
+    pub fn speedup_amortized(&self, n: u64) -> f64 {
+        let dpm_s = self.dpm_seconds();
         (self.sw_seconds * n as f64) / (self.warped_seconds * n as f64 + dpm_s)
     }
 }
@@ -124,96 +154,15 @@ impl WarpReport {
 /// execution with the WCLA device → verification against the golden
 /// model → time/energy accounting.
 ///
+/// This is the composition of the typed stages in
+/// [`pipeline`](crate::pipeline), run uncached; callers that warp the
+/// same kernels repeatedly should use
+/// [`pipeline::run_staged`](crate::pipeline::run_staged) with a
+/// [`CircuitCache`](crate::cache::CircuitCache).
+///
 /// # Errors
 ///
 /// Returns [`WarpError`] describing the failing phase.
 pub fn warp_run(built: &BuiltWorkload, options: &WarpOptions) -> Result<WarpReport, WarpError> {
-    let mb_config = MbConfig::paper_default();
-
-    // Phase 1: software-only run with trace.
-    let mut sys = built.instantiate(&mb_config);
-    let (sw_outcome, trace) = sys
-        .run_traced(options.cycle_budget.max_cycles)
-        .map_err(|e| WarpError::Software(e.to_string()))?;
-    if sw_outcome.stop == StopReason::CycleLimit {
-        return Err(WarpError::Software("cycle budget exhausted".into()));
-    }
-    built.verify(sys.dmem()).map_err(|e| WarpError::Software(e.to_string()))?;
-
-    // Phase 2: on-chip profiling.
-    let mut profiler = Profiler::new(options.profiler);
-    profiler.observe_trace(&trace);
-    let hot = profiler.best().ok_or(WarpError::NoHotRegion)?;
-    let profiler_agrees = hot.head == built.kernel.head && hot.tail == built.kernel.tail;
-
-    // Phase 3: ROCPART — decompile and compile to the WCLA.
-    let kernel = warp_cdfg::decompile_loop(&built.program, hot.head, hot.tail)
-        .map_err(WarpError::Decompile)?;
-    let (circuit, synth) = WclaCircuit::build(kernel).map_err(WarpError::Fabric)?;
-    let dpm_report = dpm::estimate(&circuit.kernel, &synth, &circuit.netlist, &circuit.compiled);
-    let map_stats = circuit.netlist.stats();
-    let timing = circuit.compiled.timing;
-    let route_stats = circuit.compiled.route_stats;
-    let bitstream_bytes = circuit.compiled.bitstream.len_bytes();
-    let hw_power_w = options.wcla_power.circuit_power_w(&map_stats, circuit.model.fabric_clock_hz);
-
-    // Phase 4: patch the binary and re-run with the WCLA device mapped.
-    let head_word = built
-        .program
-        .word_at(circuit.kernel.head)
-        .ok_or(WarpError::Patch(PatchError::NoScratchRegister))?;
-    let stub_base = built.program.end() + 32;
-    let plan = PatchPlan::new(&circuit.kernel, head_word, stub_base, circuit.kernel.tail + 4)
-        .map_err(WarpError::Patch)?;
-
-    let mut warped = built.instantiate(&mb_config);
-    let (device, hw_stats) = WclaDevice::new(circuit, mb_config.clock_hz);
-    warped.map_peripheral(WCLA_BASE, WCLA_WINDOW, Box::new(device));
-    apply_patch(warped.imem_mut(), &plan).map_err(|e| WarpError::PatchApply(e.to_string()))?;
-
-    let warped_outcome = warped
-        .run(options.cycle_budget.max_cycles)
-        .map_err(|e| WarpError::Warped(e.to_string()))?;
-    if warped_outcome.stop == StopReason::CycleLimit {
-        return Err(WarpError::Warped("cycle budget exhausted".into()));
-    }
-
-    // Phase 5: verification — the warped run must produce the golden
-    // model's memory exactly.
-    built.verify(warped.dmem()).map_err(|e| WarpError::Verification(e.to_string()))?;
-
-    // Phase 6: time and energy accounting.
-    let hw = *hw_stats.borrow();
-    let sw_seconds = mb_config.seconds(sw_outcome.cycles);
-    let warped_cycles = warped_outcome.cycles;
-    let warped_seconds = mb_config.seconds(warped_cycles);
-    let mb_stall_cycles = hw.mb_stall_cycles;
-    let mb_active_cycles = warped_cycles.saturating_sub(mb_stall_cycles);
-    let t_active = mb_config.seconds(mb_active_cycles);
-    let t_idle = mb_config.seconds(mb_stall_cycles);
-    let hw_seconds = hw.fabric_cycles as f64 / warp_wcla::FABRIC_CLOCK_HZ as f64;
-
-    let energy_sw = mb_only_energy(&options.mb_power, sw_seconds);
-    let energy_warp = figure5_energy(&options.mb_power, hw_power_w, t_active, t_idle, hw_seconds);
-
-    Ok(WarpReport {
-        name: built.name.clone(),
-        sw_cycles: sw_outcome.cycles,
-        sw_seconds,
-        warped_cycles,
-        warped_seconds,
-        mb_active_cycles,
-        mb_stall_cycles,
-        hw,
-        hw_seconds,
-        profiler_agrees,
-        energy_sw,
-        energy_warp,
-        hw_power_w,
-        map_stats,
-        timing,
-        route_stats,
-        dpm: dpm_report,
-        bitstream_bytes,
-    })
+    pipeline::run_staged(built, options, None).map(|m| m.report)
 }

@@ -29,7 +29,7 @@ pub enum SlotOut {
 }
 
 /// Source selection for a pin, bus tap, or output tap.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum PinSource {
     /// Unconnected (reads 0).
     None,
@@ -45,7 +45,7 @@ pub enum PinSource {
 }
 
 /// Who drives a routing wire.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum WireDriver {
     /// Undriven.
     None,
@@ -56,7 +56,7 @@ pub enum WireDriver {
 }
 
 /// One input-bus signal: a bit of a word-level input.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct BusSignal {
     /// The word this bit belongs to.
     pub word: InputWord,
@@ -96,7 +96,7 @@ pub struct OutputConfig {
 }
 
 /// A flip-flop's bookkeeping entry.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct FfEntry {
     /// The slot hosting the flip-flop.
     pub slot: SlotId,
@@ -131,7 +131,7 @@ pub struct DecodedConfig {
 }
 
 /// A packed configuration bitstream.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
 pub struct Bitstream {
     words: Vec<u32>,
 }

@@ -6,7 +6,7 @@
 //! executing on-chip using very limited memory resources is a difficult
 //! task". Instead it uses a *simple configurable logic fabric* designed
 //! together with "a set of lean synthesis, technology mapping, placement,
-//! and routing algorithms" (DATE'04 / DAC'04, refs [15][16]). This crate
+//! and routing algorithms" (DATE'04 / DAC'04, refs \[15]\[16]). This crate
 //! implements that fabric and those back-end tools:
 //!
 //! * [`FabricConfig`] — an island-style array of CLBs (two 3-input LUTs

@@ -48,7 +48,7 @@ pub struct RoutedNet {
 }
 
 /// Router result statistics.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
 pub struct RouteStats {
     /// Rip-up/re-route iterations used.
     pub iterations: usize,
@@ -136,7 +136,7 @@ fn collect_nets(netlist: &LutNetlist, placement: &Placement) -> Vec<PendingNet> 
 /// # Errors
 ///
 /// Returns [`RouteError::Congested`] if wires are still shared after
-/// [`MAX_ITERS`] iterations (the caller widens the channels and retries).
+/// `MAX_ITERS` (24) iterations (the caller widens the channels and retries).
 pub fn route(
     netlist: &LutNetlist,
     placement: &Placement,

@@ -1,7 +1,7 @@
 //! Non-intrusive on-chip profiler model: frequent loop detection.
 //!
 //! The warp processor's profiler (based on Gordon-Ross & Vahid, CASES
-//! 2003, cited as [10] by the paper) watches the instruction addresses on
+//! 2003, cited as \[10] by the paper) watches the instruction addresses on
 //! the local instruction memory bus. "Whenever a backward branch occurs,
 //! the profiler updates a small cache that stores the branch
 //! frequencies." The most frequent backward branch closes the
@@ -11,7 +11,7 @@
 //! This crate models that hardware: a small fully-associative cache of
 //! branch entries with saturating counters, coldest-entry replacement,
 //! and counter aging by halving on saturation. It consumes the
-//! instruction [`Trace`](mb_sim::Trace) the simulator produces, exactly
+//! instruction [`Trace`] the simulator produces, exactly
 //! as the paper's experimental setup replayed traces captured with the
 //! Xilinx debug engine.
 //!

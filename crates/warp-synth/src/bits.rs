@@ -93,7 +93,7 @@ impl BitDef {
 }
 
 /// A loop-carried flip-flop (one bit of an accumulator register).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct Ff {
     /// The accumulator register this bit belongs to.
     pub reg: Reg,
@@ -131,7 +131,7 @@ impl MacMode {
 /// One MAC operation: `out = f(a * b, addend)` (low 32 bits), serialized
 /// on the WCLA's single 32-bit multiplier-accumulator. Plain multiplies
 /// use a zero addend.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
 pub struct MacOp {
     /// Multiplicand bits.
     pub a: Word,
@@ -144,7 +144,7 @@ pub struct MacOp {
 }
 
 /// An output word (one store value per iteration).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
 pub struct OutputWord {
     /// Index into the kernel's store list.
     pub store: usize,
@@ -153,7 +153,7 @@ pub struct OutputWord {
 }
 
 /// Size statistics for a gate netlist.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
 pub struct NetlistStats {
     /// Combinational gates (after folding and sweeping).
     pub gates: u64,

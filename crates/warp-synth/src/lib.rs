@@ -5,7 +5,7 @@
 //! bit-level gate netlist and technology-maps it onto the WCLA's 3-input
 //! LUT fabric.
 //!
-//! * [`lower`] / [`synthesize`] — word-level DFG → [`GateNetlist`]:
+//! * `lower` / [`synthesize`] — word-level DFG → [`GateNetlist`]:
 //!   ripple-carry adders for add/subtract, mux networks for dynamic
 //!   shifts, **pure rewiring for constant shifts and masks** (which is
 //!   why the paper's `brev` kernel reduces to wires), and extraction of
@@ -16,7 +16,7 @@
 //!   two-level cube minimizer (single expand pass + irredundant cover)
 //!   designed to run in the tiny memory budget of an on-chip CAD tool.
 //! * [`map`] — technology mapping into 3-input LUTs by greedy cut
-//!   enlargement, producing the [`LutNetlist`](map::LutNetlist) that
+//!   enlargement, producing the [`LutNetlist`] that
 //!   placement and routing consume.
 //!
 //! Every stage is checked for functional equivalence against the DFG's

@@ -20,7 +20,7 @@ pub type LutRef = u32;
 pub const LUT_INPUTS: usize = 3;
 
 /// One node of the mapped netlist.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
 pub enum LutNode {
     /// Constant 0/1 (tied off in the fabric).
     Const(bool),
@@ -44,7 +44,7 @@ pub enum LutNode {
 }
 
 /// A flip-flop in the mapped netlist.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct LutFf {
     /// Accumulator register.
     pub reg: Reg,
@@ -55,7 +55,7 @@ pub struct LutFf {
 }
 
 /// A MAC operation with mapped operand bits.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
 pub struct LutMac {
     /// Multiplicand bits.
     pub a: [LutRef; 32],
@@ -68,7 +68,7 @@ pub struct LutMac {
 }
 
 /// An output word with mapped bits.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
 pub struct LutOutput {
     /// Index into the kernel's store list.
     pub store: usize,
@@ -77,7 +77,7 @@ pub struct LutOutput {
 }
 
 /// Mapping statistics.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
 pub struct MapStats {
     /// Number of LUTs.
     pub luts: u64,
@@ -94,7 +94,7 @@ pub struct MapStats {
 }
 
 /// A 3-LUT netlist ready for placement and routing.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default, Hash)]
 pub struct LutNetlist {
     nodes: Vec<LutNode>,
     ffs: Vec<LutFf>,

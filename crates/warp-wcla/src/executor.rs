@@ -5,7 +5,7 @@
 //! fabric settle time of the previous values (the DADG prefetches the
 //! next iteration's operands while the routed logic settles — a
 //! multi-cycle combinational path held by the LCH); each MAC operation
-//! then serializes for [`MAC_LATENCY`](crate::MAC_LATENCY) cycles on
+//! then serializes for [`MAC_LATENCY`] cycles on
 //! the single hard multiplier.
 //!
 //! Functional behaviour uses the mapped LUT netlist, whose equivalence

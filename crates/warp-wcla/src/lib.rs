@@ -38,7 +38,7 @@ use warp_synth::{LutNetlist, SynthReport};
 
 pub use device::{WclaDevice, WclaStats, WCLA_BASE, WCLA_WINDOW};
 pub use executor::{ExecModel, HwOutcome};
-pub use patch::{apply_patch, PatchPlan};
+pub use patch::{apply_patch, stub_base_for, PatchPlan, STUB_GAP_WORDS};
 
 /// Fabric clock ceiling: "the remaining FPGA circuits can operate at up
 /// to 250 MHz" (paper Section 4).

@@ -19,6 +19,28 @@ use warp_cdfg::LoopKernel;
 
 use crate::device::{regs, WCLA_BASE};
 
+/// Guard gap, in instruction words, between the end of the program
+/// image and the invocation stub.
+///
+/// The stub lives in free instruction memory just past the program. It
+/// is not placed flush against the image: the gap keeps the stub clear
+/// of the image's last words even if the program length is later
+/// rounded up (e.g. by alignment padding during load), and makes the
+/// stub easy to spot in instruction-memory dumps. Every layer that
+/// needs "where does the stub go?" — the warp orchestration in
+/// `warp-core`, examples, and the cross-crate invariants tests — must
+/// compute it with [`stub_base_for`] so the answer is the same
+/// everywhere.
+pub const STUB_GAP_WORDS: u32 = 8;
+
+/// The address the warp flow places the invocation stub at, for a
+/// program image ending at `program_end` (as reported by
+/// `mb_isa::Program::end`): the image end plus [`STUB_GAP_WORDS`] words.
+#[must_use]
+pub fn stub_base_for(program_end: u32) -> u32 {
+    program_end + 4 * STUB_GAP_WORDS
+}
+
 /// Why a kernel could not be patched.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum PatchError {
@@ -172,7 +194,7 @@ mod tests {
             let kernel =
                 decompile_loop(&built.program, built.kernel.head, built.kernel.tail).unwrap();
             let head_word = built.program.word_at(built.kernel.head).unwrap();
-            let stub_base = built.program.end() + 16;
+            let stub_base = stub_base_for(built.program.end());
             let plan = PatchPlan::new(&kernel, head_word, stub_base, built.kernel.after())
                 .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
 
@@ -198,9 +220,13 @@ mod tests {
         let built = workloads::by_name("bitmnp").unwrap().build(MbFeatures::paper_default());
         let kernel = decompile_loop(&built.program, built.kernel.head, built.kernel.tail).unwrap();
         let head_word = built.program.word_at(built.kernel.head).unwrap();
-        let plan =
-            PatchPlan::new(&kernel, head_word, built.program.end() + 16, built.kernel.after())
-                .unwrap();
+        let plan = PatchPlan::new(
+            &kernel,
+            head_word,
+            stub_base_for(built.program.end()),
+            built.kernel.after(),
+        )
+        .unwrap();
 
         let mut imem = Bram::new(64 * 1024);
         imem.load_words(built.program.base, &built.program.words).unwrap();

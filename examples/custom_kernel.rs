@@ -17,7 +17,7 @@ use mb_isa::{Assembler, Insn, Reg};
 use mb_sim::{MbConfig, System, EXIT_PORT_BASE};
 use warp_profiler::{Profiler, ProfilerConfig};
 use warp_wcla::device::WCLA_WINDOW;
-use warp_wcla::patch::{apply_patch, PatchPlan};
+use warp_wcla::patch::{apply_patch, stub_base_for, PatchPlan};
 use warp_wcla::{WclaCircuit, WclaDevice, WCLA_BASE};
 
 const N: i32 = 1024;
@@ -97,9 +97,13 @@ fn main() {
 
     // 4. Patch the binary and re-run with the WCLA device.
     let head_word = program.word_at(circuit.kernel.head).unwrap();
-    let plan =
-        PatchPlan::new(&circuit.kernel, head_word, program.end() + 32, circuit.kernel.tail + 4)
-            .expect("stub builds");
+    let plan = PatchPlan::new(
+        &circuit.kernel,
+        head_word,
+        stub_base_for(program.end()),
+        circuit.kernel.tail + 4,
+    )
+    .expect("stub builds");
     let mut warped = System::new(MbConfig::paper_default());
     warped.load_program(&program).unwrap();
     warped.load_data(A_ADDR, &a).unwrap();

@@ -17,7 +17,7 @@ fn main() {
         names.iter().map(|n| workloads::by_name(n).expect("known workload")).collect();
 
     println!("four-processor warp system, one shared DPM (round-robin)\n");
-    let report = multi_warp(&apps, &WarpOptions::default(), 85_000_000).expect("system warps");
+    let report = multi_warp(&apps, &WarpOptions::default()).expect("system warps");
 
     println!(
         "{:>10} | {:>9} | {:>11} | {:>12} | {:>10}",

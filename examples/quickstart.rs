@@ -5,7 +5,8 @@
 //! ```
 
 use mb_isa::MbFeatures;
-use warp_core::{warp_run, WarpOptions};
+use warp_core::pipeline::run_staged;
+use warp_core::WarpOptions;
 
 fn main() {
     // Pick the paper's headline benchmark: bit reversal.
@@ -13,7 +14,9 @@ fn main() {
     let built = workload.build(MbFeatures::paper_default());
 
     println!("warping `{}` — {}", built.name, workload.description);
-    let report = warp_run(&built, &WarpOptions::default()).expect("warp flow succeeds");
+    let measurement =
+        run_staged(&built, &WarpOptions::default(), None).expect("warp flow succeeds");
+    let report = measurement.report;
 
     println!();
     println!(
@@ -43,9 +46,10 @@ fn main() {
     println!("bitstream:       {} bytes", report.bitstream_bytes);
     println!(
         "on-chip CAD:     {:.3} s on the 85 MHz DPM, {:.0} KiB peak",
-        report.dpm.seconds(85_000_000),
+        report.dpm_seconds(),
         report.dpm.peak_memory_bytes as f64 / 1024.0
     );
+    println!("pipeline:        {}", measurement.stats);
     println!();
     println!("speedup:          {:.1}x   (paper: 16.9x for brev)", report.speedup());
     println!("energy reduction: {:.0}%   (paper: 94% for brev)", report.energy_reduction() * 100.0);

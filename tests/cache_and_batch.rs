@@ -1,0 +1,104 @@
+//! The staged pipeline's two scaling layers must be invisible in the
+//! numbers: a circuit-cache hit yields a report bit-identical to a cold
+//! run, and the parallel batch runner reproduces the sequential
+//! Figure 6/7 results exactly.
+
+use mb_isa::MbFeatures;
+use warp_core::experiments::{figure6, figure7, run_paper_suite};
+use warp_core::pipeline::run_staged;
+use warp_core::{warp_run, BatchRunner, CircuitCache, WarpOptions};
+
+/// A second warp of an identical kernel must hit the cache, perform
+/// zero synthesis/place/route work, and still return an identical
+/// report.
+#[test]
+fn cache_hit_reproduces_the_cold_run_bit_identically() {
+    let options = WarpOptions::default();
+    let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());
+    let cache = CircuitCache::new();
+
+    let cold = run_staged(&built, &options, Some(&cache)).unwrap();
+    assert!(!cold.stats.cache_hit, "first warp must compile");
+    assert!(cold.stats.cad_ns > 0, "the cold run pays for the CAD chain");
+
+    let warm = run_staged(&built, &options, Some(&cache)).unwrap();
+    assert!(warm.stats.cache_hit, "second warp of the same kernel must hit");
+    assert_eq!(warm.stats.cad_ns, 0, "a hit performs zero synthesis/place/route work");
+
+    assert_eq!(cold.report, warm.report, "a cache hit must not change a single bit");
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+
+    // The cached path is also indistinguishable from the uncached one.
+    let uncached = warp_run(&built, &options).unwrap();
+    assert_eq!(uncached, warm.report);
+}
+
+/// The parallel batch runner must reproduce the exact sequential
+/// Figure 6/7 numbers, in the same order, regardless of thread count.
+#[test]
+fn batch_runner_matches_sequential_figures_exactly() {
+    let options = WarpOptions::default();
+    let sequential = run_paper_suite(&options).unwrap();
+
+    let runner = BatchRunner::new(options).with_threads(4);
+    let cache = CircuitCache::new();
+    let parallel = runner.run_suite(&workloads::paper_suite(), &cache).unwrap();
+
+    assert_eq!(sequential, parallel, "parallel suite must equal the sequential suite");
+
+    // And therefore the rendered figures agree to the last bit.
+    for (s, p) in figure6(&sequential).iter().zip(figure6(&parallel)) {
+        assert_eq!(s.benchmark, p.benchmark);
+        assert_eq!(s.speedups, p.speedups);
+    }
+    for (s, p) in figure7(&sequential).iter().zip(figure7(&parallel)) {
+        assert_eq!(s.benchmark, p.benchmark);
+        assert_eq!(s.energy, p.energy);
+    }
+}
+
+/// Kernel fingerprints are stable across independent decompilations and
+/// distinct across all eight workloads.
+#[test]
+fn fingerprints_are_stable_and_distinct_across_workloads() {
+    let mut seen: Vec<(&str, u64)> = Vec::new();
+    for workload in workloads::all() {
+        let built = workload.build(MbFeatures::paper_default());
+        let a = warp_cdfg::decompile_loop(&built.program, built.kernel.head, built.kernel.tail)
+            .unwrap();
+        let b = warp_cdfg::decompile_loop(&built.program, built.kernel.head, built.kernel.tail)
+            .unwrap();
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "{}: fingerprint must be stable across decompilations",
+            workload.name
+        );
+        for (other, fp) in &seen {
+            assert_ne!(a.fingerprint(), *fp, "{} and {other} must not collide", workload.name);
+        }
+        seen.push((workload.name, a.fingerprint()));
+    }
+    assert_eq!(seen.len(), 8, "the paper's six workloads plus the two extras");
+}
+
+/// One shared cache across the whole suite: eight distinct kernels miss
+/// once each, and a rerun of the suite is all hits.
+#[test]
+fn suite_reruns_are_pure_cache_hits() {
+    let runner = BatchRunner::new(WarpOptions::default()).with_threads(2);
+    let cache = CircuitCache::new();
+    let apps = workloads::all();
+
+    let first = runner.warp_all(&apps, &cache).unwrap();
+    assert_eq!(cache.len(), apps.len());
+    assert!(first.iter().all(|m| !m.stats.cache_hit));
+
+    let second = runner.warp_all(&apps, &cache).unwrap();
+    assert!(second.iter().all(|m| m.stats.cache_hit && m.stats.cad_ns == 0));
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.report, b.report);
+    }
+    assert_eq!(cache.stats().hits, apps.len() as u64);
+}

@@ -2,7 +2,7 @@
 
 use mb_isa::MbFeatures;
 use mb_sim::MbConfig;
-use warp_wcla::patch::{apply_patch, revert_patch, PatchPlan};
+use warp_wcla::patch::{apply_patch, revert_patch, stub_base_for, PatchPlan};
 use warp_wcla::WclaCircuit;
 
 /// A patched-then-reverted binary must behave exactly like the original.
@@ -13,7 +13,8 @@ fn patch_revert_restores_software_behavior() {
         warp_cdfg::decompile_loop(&built.program, built.kernel.head, built.kernel.tail).unwrap();
     let head_word = built.program.word_at(kernel.head).unwrap();
     let plan =
-        PatchPlan::new(&kernel, head_word, built.program.end() + 32, kernel.tail + 4).unwrap();
+        PatchPlan::new(&kernel, head_word, stub_base_for(built.program.end()), kernel.tail + 4)
+            .unwrap();
 
     let mut sys = built.instantiate(&MbConfig::paper_default());
     apply_patch(sys.imem_mut(), &plan).unwrap();
