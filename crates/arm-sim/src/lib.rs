@@ -207,6 +207,18 @@ impl Bimodal {
     }
 }
 
+/// Per-class execute cycles for one core.
+fn exec_cycles(core: &ArmCore, class: OpClass) -> u32 {
+    match class {
+        OpClass::Alu | OpClass::BarrelShift | OpClass::ImmPrefix => 1,
+        OpClass::Mul => core.mul_cycles,
+        OpClass::Div => core.div_cycles,
+        OpClass::Load => core.load_cycles,
+        OpClass::Store => core.store_cycles,
+        OpClass::Branch => 1,
+    }
+}
+
 /// Replays an instruction trace through a core's timing model.
 #[must_use]
 pub fn simulate(core: &ArmCore, trace: &Trace) -> ArmResult {
@@ -216,6 +228,16 @@ pub fn simulate(core: &ArmCore, trace: &Trace) -> ArmResult {
         BranchModel::Bimodal { entries, .. } => Some(Bimodal::new(entries)),
         _ => None,
     };
+    // Pre-decoded execute-cost table, the same treatment the MicroBlaze
+    // fetch path got: the core's per-class costs are fixed for the whole
+    // replay, so derive them once and charge each event with an array
+    // load. Indexing by class (not PC) stays correct even for traces
+    // recorded across a binary patch, where one PC can carry two
+    // different instructions.
+    let mut cost_by_class = [0u32; OpClass::ALL.len()];
+    for class in OpClass::ALL {
+        cost_by_class[class.index()] = exec_cycles(core, class);
+    }
 
     let mut cycles = 0u64;
     let mut mispredicts = 0u64;
@@ -223,14 +245,7 @@ pub fn simulate(core: &ArmCore, trace: &Trace) -> ArmResult {
         // Fetch.
         cycles += u64::from(icache.access(e.pc));
         // Execute.
-        cycles += u64::from(match e.insn.class() {
-            OpClass::Alu | OpClass::BarrelShift | OpClass::ImmPrefix => 1,
-            OpClass::Mul => core.mul_cycles,
-            OpClass::Div => core.div_cycles,
-            OpClass::Load => core.load_cycles,
-            OpClass::Store => core.store_cycles,
-            OpClass::Branch => 1,
-        });
+        cycles += u64::from(cost_by_class[e.insn.class().index()]);
         // Memory.
         if let Some(ea) = e.ea {
             cycles += u64::from(dcache.access(ea));

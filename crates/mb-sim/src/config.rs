@@ -23,6 +23,13 @@ pub struct MbConfig {
     pub icache: Option<CacheConfig>,
     /// Optional data cache.
     pub dcache: Option<CacheConfig>,
+    /// Whether fetch uses the pre-decoded instruction store (decode each
+    /// imem word once into a side table, invalidated on imem writes).
+    /// On by default; disabling it restores the decode-per-fetch
+    /// reference loop, which the fast-path equivalence tests and the
+    /// `simperf` harness use as their baseline. Simulated timing is
+    /// identical either way — this only changes host-side speed.
+    pub predecode: bool,
 }
 
 impl MbConfig {
@@ -38,7 +45,16 @@ impl MbConfig {
             dmem_bytes: 64 * 1024,
             icache: None,
             dcache: None,
+            predecode: true,
         }
+    }
+
+    /// Returns a copy with the pre-decoded fetch path enabled or
+    /// disabled.
+    #[must_use]
+    pub fn with_predecode(mut self, predecode: bool) -> Self {
+        self.predecode = predecode;
+        self
     }
 
     /// Returns a copy with different functional units.

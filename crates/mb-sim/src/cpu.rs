@@ -20,29 +20,32 @@ impl Cpu {
     }
 
     /// Reads a register; `r0` always reads zero.
+    ///
+    /// Invariant: `regs[0]` is kept at zero by [`set_reg`](Cpu::set_reg),
+    /// so reads need no special case on the simulator's hottest path.
+    #[inline]
     #[must_use]
     pub fn reg(&self, r: Reg) -> u32 {
-        if r.is_zero() {
-            0
-        } else {
-            self.regs[r.index()]
-        }
+        self.regs[r.index()]
     }
 
-    /// Writes a register; writes to `r0` are ignored.
+    /// Writes a register; writes to `r0` are ignored (the slot is
+    /// re-zeroed unconditionally, which is branchless).
+    #[inline]
     pub fn set_reg(&mut self, r: Reg, value: u32) {
-        if !r.is_zero() {
-            self.regs[r.index()] = value;
-        }
+        self.regs[r.index()] = value;
+        self.regs[0] = 0;
     }
 
     /// The program counter.
     #[must_use]
+    #[inline]
     pub fn pc(&self) -> u32 {
         self.pc
     }
 
     /// Sets the program counter.
+    #[inline]
     pub fn set_pc(&mut self, pc: u32) {
         self.pc = pc;
     }
@@ -67,6 +70,7 @@ impl Cpu {
     /// Combines a 16-bit instruction immediate with any pending `imm`
     /// prefix (consuming it); without a prefix the immediate is
     /// sign-extended.
+    #[inline]
     pub fn take_imm(&mut self, imm16: i16) -> u32 {
         match self.imm_prefix.take() {
             Some(hi) => (u32::from(hi) << 16) | u32::from(imm16 as u16),
@@ -76,6 +80,7 @@ impl Cpu {
 
     /// Clears any pending `imm` prefix (instructions other than Type B
     /// consume the prefix without using it).
+    #[inline]
     pub fn clear_imm_prefix(&mut self) {
         self.imm_prefix = None;
     }

@@ -45,6 +45,8 @@ mod cpu;
 mod machine;
 mod mem;
 mod periph;
+mod predecode;
+mod sink;
 mod stats;
 mod timing;
 mod trace;
@@ -54,6 +56,7 @@ pub use cpu::Cpu;
 pub use machine::{Outcome, RunError, StopReason, System};
 pub use mem::{Bram, MemError};
 pub use periph::{BusResponse, ExitPort, Peripheral, EXIT_PORT_BASE, OPB_BASE};
+pub use sink::{NullSink, TraceSink, TraceSummary};
 pub use stats::ExecStats;
 pub use timing::{branch_latency, insn_latency};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{PcAggregates, Trace, TraceEvent};

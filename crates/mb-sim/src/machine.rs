@@ -7,7 +7,8 @@ use mb_isa::{decode, DecodeError, Insn, MemSize, Program};
 
 use crate::cache::Cache;
 use crate::periph::{OpbBus, Peripheral, EXIT_PORT_BASE, OPB_BASE};
-use crate::timing::{branch_latency, insn_latency};
+use crate::predecode::{DecodeCache, Predecoded};
+use crate::sink::{NullSink, TraceSink, TraceSummary};
 use crate::trace::{Trace, TraceEvent};
 use crate::{Bram, Cpu, ExecStats, ExitPort, MbConfig, MemError};
 
@@ -132,6 +133,8 @@ pub struct System {
     dcache: Option<Cache>,
     stats: ExecStats,
     halted: Option<u32>,
+    /// Pre-decoded instruction store (see [`MbConfig::predecode`]).
+    decode: DecodeCache,
 }
 
 impl System {
@@ -150,6 +153,7 @@ impl System {
             dcache: config.dcache.map(Cache::new),
             stats: ExecStats::new(),
             halted: None,
+            decode: DecodeCache::new(),
             config,
         }
     }
@@ -235,11 +239,21 @@ impl System {
         self.halted
     }
 
-    fn fetch(&mut self, pc: u32) -> Result<(Insn, u32), RunError> {
-        let word = self.imem.read_word(pc).map_err(|err| RunError::Mem { pc, err })?;
-        let insn = decode(word).map_err(|err| RunError::Decode { pc, err })?;
+    #[inline]
+    fn fetch(&mut self, pc: u32) -> Result<(Predecoded, u32), RunError> {
+        let prepared = if self.config.predecode {
+            self.decode.fetch(&self.imem, &self.config.features, pc)?
+        } else {
+            // Decode-per-fetch reference path (the seed behavior), kept
+            // for the fast-path equivalence tests and `simperf` baseline:
+            // every fetch re-reads the word, re-decodes it, and
+            // re-derives the per-instruction properties.
+            let word = self.imem.read_word(pc).map_err(|err| RunError::Mem { pc, err })?;
+            let insn = decode(word).map_err(|err| RunError::Decode { pc, err })?;
+            Predecoded::prepare(insn, &self.config.features)
+        };
         let wait = self.icache.as_mut().map_or(0, |c| c.access(pc));
-        Ok((insn, wait))
+        Ok((prepared, wait))
     }
 
     fn data_load(&mut self, pc: u32, addr: u32, size: MemSize) -> Result<(u32, u32), RunError> {
@@ -282,19 +296,20 @@ impl System {
         wide as u32
     }
 
-    /// Executes one instruction (no delay-slot handling).
-    fn execute(&mut self, pc: u32, insn: Insn) -> Result<Exec, RunError> {
-        if !self.config.features.supports(&insn) {
+    /// Executes one prepared instruction (no delay-slot handling).
+    #[inline]
+    fn execute(&mut self, pc: u32, d: &Predecoded) -> Result<Exec, RunError> {
+        if !d.supported {
             return Err(RunError::UnsupportedInsn { pc });
         }
         let cpu_carry = u32::from(self.cpu.carry());
-        let mut cycles = insn_latency(&insn);
+        let mut cycles = d.lat_not_taken;
         let mut next = Next::Seq;
         let mut taken = None;
         let mut target = None;
         let mut ea = None;
 
-        match insn {
+        match d.insn {
             Insn::Add { rd, ra, rb, keep_carry, use_carry } => {
                 let cin = if use_carry { cpu_carry } else { 0 };
                 let v = self.add_with_carry(self.cpu.reg(ra), self.cpu.reg(rb), cin, keep_carry);
@@ -433,7 +448,7 @@ impl System {
                     self.cpu.set_reg(rd, pc);
                 }
                 self.cpu.clear_imm_prefix();
-                cycles = branch_latency(&insn, true);
+                cycles = d.lat_taken;
                 taken = Some(true);
                 target = Some(t);
                 next = if delay { Next::JumpAfterDelay(t) } else { Next::Jump(t) };
@@ -444,7 +459,7 @@ impl System {
                 if link {
                     self.cpu.set_reg(rd, pc);
                 }
-                cycles = branch_latency(&insn, true);
+                cycles = d.lat_taken;
                 taken = Some(true);
                 target = Some(t);
                 next = if delay { Next::JumpAfterDelay(t) } else { Next::Jump(t) };
@@ -453,7 +468,7 @@ impl System {
                 let t = pc.wrapping_add(self.cpu.reg(rb));
                 let is_taken = cond.eval(self.cpu.reg(ra));
                 self.cpu.clear_imm_prefix();
-                cycles = branch_latency(&insn, is_taken);
+                cycles = if is_taken { d.lat_taken } else { d.lat_not_taken };
                 taken = Some(is_taken);
                 if is_taken {
                     target = Some(t);
@@ -464,7 +479,7 @@ impl System {
                 let imm32 = self.cpu.take_imm(imm);
                 let t = pc.wrapping_add(imm32);
                 let is_taken = cond.eval(self.cpu.reg(ra));
-                cycles = branch_latency(&insn, is_taken);
+                cycles = if is_taken { d.lat_taken } else { d.lat_not_taken };
                 taken = Some(is_taken);
                 if is_taken {
                     target = Some(t);
@@ -474,7 +489,7 @@ impl System {
             Insn::Rtsd { ra, imm } => {
                 let imm32 = self.cpu.take_imm(imm);
                 let t = self.cpu.reg(ra).wrapping_add(imm32);
-                cycles = branch_latency(&insn, true);
+                cycles = d.lat_taken;
                 taken = Some(true);
                 target = Some(t);
                 next = Next::JumpAfterDelay(t);
@@ -517,8 +532,9 @@ impl System {
         Ok(Exec { next, cycles, taken, target, ea })
     }
 
-    fn record(&mut self, pc: u32, insn: Insn, exec: &Exec, trace: &mut Option<&mut Trace>) {
-        self.stats.record(insn.class(), exec.cycles);
+    #[inline]
+    fn record<S: TraceSink>(&mut self, pc: u32, d: &Predecoded, exec: &Exec, sink: &mut S) {
+        self.stats.record(d.class, exec.cycles);
         if let Some(t) = exec.taken {
             if t {
                 self.stats.branches_taken += 1;
@@ -529,80 +545,100 @@ impl System {
                 self.stats.branches_not_taken += 1;
             }
         }
-        if let Some(tr) = trace.as_deref_mut() {
-            tr.push(TraceEvent {
-                pc,
-                insn,
-                cycles: exec.cycles,
-                taken: exec.taken,
-                target: if exec.taken == Some(true) { exec.target } else { None },
-                ea: exec.ea,
-            });
-        }
+        sink.record(&TraceEvent {
+            pc,
+            insn: d.insn,
+            cycles: exec.cycles,
+            taken: exec.taken,
+            target: if exec.taken == Some(true) { exec.target } else { None },
+            ea: exec.ea,
+        });
     }
 
     /// Executes one instruction (plus its delay slot if the branch is
-    /// taken), returning the cycles consumed.
+    /// taken), feeding each retirement to `sink` and returning the
+    /// cycles consumed.
+    ///
+    /// The sink is a compile-time policy: [`NullSink`] makes this an
+    /// untraced step with zero tracing cost, [`Trace`] records the full
+    /// event stream, [`TraceSummary`] streams aggregates.
     ///
     /// # Errors
     ///
     /// Returns [`RunError`] on illegal execution (bad memory access,
     /// undecodable instruction, missing functional unit, or a branch in a
     /// delay slot).
-    pub fn step(&mut self, mut trace: Option<&mut Trace>) -> Result<u32, RunError> {
+    pub fn step<S: TraceSink>(&mut self, sink: &mut S) -> Result<u32, RunError> {
         let pc = self.cpu.pc();
-        let (insn, fetch_wait) = self.fetch(pc)?;
-        let mut exec = self.execute(pc, insn)?;
+        let (d, fetch_wait) = self.fetch(pc)?;
+        let mut exec = self.execute(pc, &d)?;
         exec.cycles += fetch_wait;
-        self.record(pc, insn, &exec, &mut trace);
+        self.record(pc, &d, &exec, sink);
         let mut total = exec.cycles;
+        // Peripherals only change state when accessed, so the exit port
+        // needs polling only after a step that touched the OPB window.
+        let mut touched_opb = exec.ea.is_some_and(|a| a >= OPB_BASE);
 
         match exec.next {
             Next::Seq => self.cpu.set_pc(pc.wrapping_add(4)),
             Next::Jump(t) => self.cpu.set_pc(t),
             Next::JumpAfterDelay(t) => {
                 let dpc = pc.wrapping_add(4);
-                let (dinsn, dwait) = self.fetch(dpc)?;
-                if dinsn.is_control_flow() {
+                let (dd, dwait) = self.fetch(dpc)?;
+                if dd.control_flow {
                     return Err(RunError::BranchInDelaySlot { pc: dpc });
                 }
-                let mut dexec = self.execute(dpc, dinsn)?;
+                let mut dexec = self.execute(dpc, &dd)?;
                 dexec.cycles += dwait;
-                self.record(dpc, dinsn, &dexec, &mut trace);
+                self.record(dpc, &dd, &dexec, sink);
                 total += dexec.cycles;
+                touched_opb |= dexec.ea.is_some_and(|a| a >= OPB_BASE);
                 self.cpu.set_pc(t);
             }
         }
 
-        if self.halted.is_none() {
+        // The reference loop keeps the seed's per-instruction poll.
+        if (touched_opb || !self.config.predecode) && self.halted.is_none() {
             self.halted = self.opb.exit_request();
         }
         Ok(total)
     }
 
-    fn run_inner(
+    /// Runs until the program exits or `max_cycles` elapse, feeding
+    /// every retired instruction to `sink`.
+    ///
+    /// This is the monomorphized run loop every other `run_*` entry
+    /// point is a thin wrapper over.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] from [`System::step`].
+    pub fn run_with_sink<S: TraceSink>(
         &mut self,
         max_cycles: u64,
-        mut trace: Option<&mut Trace>,
+        sink: &mut S,
     ) -> Result<Outcome, RunError> {
-        let start_cycles = self.stats.cycles();
         let start_insns = self.stats.instructions();
+        // The budget is tracked from step's return value — every step
+        // returns exactly the cycles it recorded — so the loop touches
+        // no statistics until it stops.
+        let mut cycles = 0u64;
         loop {
             if let Some(code) = self.halted {
                 return Ok(Outcome {
                     stop: StopReason::Exited(code),
-                    cycles: self.stats.cycles() - start_cycles,
+                    cycles,
                     instructions: self.stats.instructions() - start_insns,
                 });
             }
-            if self.stats.cycles() - start_cycles >= max_cycles {
+            if cycles >= max_cycles {
                 return Ok(Outcome {
                     stop: StopReason::CycleLimit,
-                    cycles: self.stats.cycles() - start_cycles,
+                    cycles,
                     instructions: self.stats.instructions() - start_insns,
                 });
             }
-            self.step(trace.as_deref_mut())?;
+            cycles += u64::from(self.step(sink)?);
         }
     }
 
@@ -612,7 +648,7 @@ impl System {
     ///
     /// Propagates [`RunError`] from [`System::step`].
     pub fn run(&mut self, max_cycles: u64) -> Result<Outcome, RunError> {
-        self.run_inner(max_cycles, None)
+        self.run_with_sink(max_cycles, &mut NullSink)
     }
 
     /// Runs like [`System::run`] while recording a full instruction
@@ -623,8 +659,20 @@ impl System {
     /// Propagates [`RunError`] from [`System::step`].
     pub fn run_traced(&mut self, max_cycles: u64) -> Result<(Outcome, Trace), RunError> {
         let mut trace = Trace::new();
-        let outcome = self.run_inner(max_cycles, Some(&mut trace))?;
+        let outcome = self.run_with_sink(max_cycles, &mut trace)?;
         Ok((outcome, trace))
+    }
+
+    /// Runs like [`System::run`] while streaming per-PC/class aggregates
+    /// into a [`TraceSummary`], never materializing the event vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] from [`System::step`].
+    pub fn run_summarized(&mut self, max_cycles: u64) -> Result<(Outcome, TraceSummary), RunError> {
+        let mut summary = TraceSummary::new();
+        let outcome = self.run_with_sink(max_cycles, &mut summary)?;
+        Ok((outcome, summary))
     }
 }
 

@@ -45,16 +45,43 @@ impl Error for MemError {}
 /// Both the CPU's local memory bus and — for the data BRAM — the WCLA's
 /// data address generator access the same array; the dual-ported BRAM of
 /// the paper means these accesses do not contend.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Every mutation bumps a [`generation`](Bram::generation) counter, which
+/// is how the simulator's pre-decoded instruction store notices that the
+/// DPM patched the running binary through [`imem_mut`] and must discard
+/// its side table.
+///
+/// [`imem_mut`]: crate::System::imem_mut
+#[derive(Clone, Debug)]
 pub struct Bram {
     words: Vec<u32>,
+    generation: u64,
 }
+
+/// Equality compares the stored words only; the mutation generation is
+/// bookkeeping, so a patched-then-reverted BRAM equals the original.
+impl PartialEq for Bram {
+    fn eq(&self, other: &Self) -> bool {
+        self.words == other.words
+    }
+}
+
+impl Eq for Bram {}
 
 impl Bram {
     /// Creates a zero-filled BRAM of `size_bytes` (rounded up to a word).
     #[must_use]
     pub fn new(size_bytes: u32) -> Self {
-        Bram { words: vec![0; (size_bytes as usize).div_ceil(4)] }
+        Bram { words: vec![0; (size_bytes as usize).div_ceil(4)], generation: 0 }
+    }
+
+    /// Mutation counter: incremented by every write (including sub-word
+    /// writes, bulk loads, and [`clear`](Bram::clear)). Derived caches
+    /// compare it against the value they were built at and rebuild on
+    /// mismatch.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Size in bytes.
@@ -97,6 +124,7 @@ impl Bram {
     pub fn write_word(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
         let idx = self.word_index(addr, 4)?;
         self.words[idx] = value;
+        self.generation += 1;
         Ok(())
     }
 
@@ -138,6 +166,7 @@ impl Bram {
                 let shift = (2 - (addr & 2)) * 8;
                 let mask = 0xFFFFu32 << shift;
                 self.words[idx] = (self.words[idx] & !mask) | ((value & 0xFFFF) << shift);
+                self.generation += 1;
                 Ok(())
             }
             MemSize::Byte => {
@@ -145,6 +174,7 @@ impl Bram {
                 let shift = (3 - (addr & 3)) * 8;
                 let mask = 0xFFu32 << shift;
                 self.words[idx] = (self.words[idx] & !mask) | ((value & 0xFF) << shift);
+                self.generation += 1;
                 Ok(())
             }
         }
@@ -164,16 +194,44 @@ impl Bram {
 
     /// Reads `count` consecutive words starting at a byte address.
     ///
+    /// Allocates a fresh `Vec` per call; hot callers (the patch/verify
+    /// path) should reuse a buffer through
+    /// [`read_words_into`](Bram::read_words_into).
+    ///
     /// # Errors
     ///
     /// Returns [`MemError`] if the region does not fit.
     pub fn read_words(&self, addr: u32, count: usize) -> Result<Vec<u32>, MemError> {
-        (0..count).map(|i| self.read_word(addr + (i as u32) * 4)).collect()
+        let mut out = vec![0u32; count];
+        self.read_words_into(addr, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fills `out` with consecutive words starting at a byte address,
+    /// without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the region does not fit or `addr` is
+    /// misaligned; `out` is untouched on error.
+    pub fn read_words_into(&self, addr: u32, out: &mut [u32]) -> Result<(), MemError> {
+        if !addr.is_multiple_of(4) {
+            return Err(MemError::Misaligned { addr, align: 4 });
+        }
+        let start = (addr / 4) as usize;
+        let Some(end) = start.checked_add(out.len()).filter(|&e| e <= self.words.len()) else {
+            // Report the first word that falls outside the BRAM.
+            let first_bad = addr + (self.words.len().saturating_sub(start) as u32) * 4;
+            return Err(MemError::OutOfRange { addr: first_bad, size: self.size() });
+        };
+        out.copy_from_slice(&self.words[start..end]);
+        Ok(())
     }
 
     /// Fills the entire BRAM with zeros.
     pub fn clear(&mut self) {
         self.words.fill(0);
+        self.generation += 1;
     }
 }
 
@@ -237,5 +295,53 @@ mod tests {
     #[test]
     fn size_rounds_up() {
         assert_eq!(Bram::new(10).size(), 12);
+    }
+
+    #[test]
+    fn read_words_into_fills_without_alloc() {
+        let mut m = Bram::new(64);
+        m.load_words(8, &[1, 2, 3]).unwrap();
+        let mut buf = [0u32; 3];
+        m.read_words_into(8, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3]);
+        // Errors leave the buffer untouched and match read_word's bounds.
+        assert_eq!(
+            m.read_words_into(60, &mut buf),
+            Err(MemError::OutOfRange { addr: 64, size: 64 })
+        );
+        assert_eq!(buf, [1, 2, 3]);
+        assert_eq!(m.read_words_into(2, &mut buf), Err(MemError::Misaligned { addr: 2, align: 4 }));
+        m.read_words_into(8, &mut []).unwrap();
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let mut m = Bram::new(64);
+        let g0 = m.generation();
+        m.write_word(0, 5).unwrap();
+        let g1 = m.generation();
+        assert!(g1 > g0);
+        m.write(1, 0xAB, MemSize::Byte).unwrap();
+        assert!(m.generation() > g1);
+        let g2 = m.generation();
+        m.load_words(8, &[1, 2]).unwrap();
+        assert!(m.generation() > g2);
+        let g3 = m.generation();
+        m.clear();
+        assert!(m.generation() > g3);
+        // Reads and failed writes leave the generation alone.
+        let g4 = m.generation();
+        let _ = m.read_word(0);
+        assert!(m.write_word(1, 0).is_err());
+        assert_eq!(m.generation(), g4);
+    }
+
+    #[test]
+    fn equality_ignores_generation() {
+        let mut a = Bram::new(16);
+        let b = Bram::new(16);
+        a.write_word(0, 7).unwrap();
+        a.write_word(0, 0).unwrap();
+        assert_eq!(a, b, "same contents must compare equal despite mutations");
     }
 }

@@ -1,0 +1,172 @@
+//! Pre-decoded instruction store.
+//!
+//! The simulator's original fetch re-decoded the instruction word at
+//! every retirement, even though a program's imem words change only when
+//! the dynamic partitioning module patches the binary. This side table
+//! prepares each word once into a [`Predecoded`] slot indexed by
+//! `pc >> 2`; after the first execution of a PC, fetch is an array load.
+//!
+//! A slot holds not just the decoded [`Insn`] but everything `step`
+//! needs that is a pure function of the instruction word and the
+//! system's fixed feature set: the timing-model latencies for both
+//! branch outcomes, the instruction class, functional-unit support, and
+//! the control-flow flag — so the hot loop re-derives none of them.
+//!
+//! Invalidation rides on [`Bram::generation`]: every imem write (the
+//! WCLA patch path goes through [`System::imem_mut`]) bumps the
+//! generation, and the next fetch notices the mismatch and discards the
+//! whole table. Patches are rare (once per warp) and the table refills
+//! lazily, so a full flush is both correct and cheap.
+//!
+//! [`System::imem_mut`]: crate::System::imem_mut
+
+use mb_isa::{decode, Insn, MbFeatures, OpClass};
+
+use crate::machine::RunError;
+use crate::timing::{branch_latency, insn_latency};
+use crate::Bram;
+
+/// One instruction, fully prepared for execution.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Predecoded {
+    /// The decoded instruction.
+    pub insn: Insn,
+    /// Coarse class (for statistics and histograms).
+    pub class: OpClass,
+    /// Execute cycles when a branch is taken; [`insn_latency`] for
+    /// non-branches.
+    pub lat_taken: u32,
+    /// Execute cycles when a branch is not taken; [`insn_latency`] for
+    /// non-branches.
+    pub lat_not_taken: u32,
+    /// Whether the configured functional units can execute it.
+    pub supported: bool,
+    /// Whether it is a control-flow instruction (illegal in delay slots).
+    pub control_flow: bool,
+}
+
+impl Predecoded {
+    /// Prepares an instruction against a fixed feature configuration.
+    pub fn prepare(insn: Insn, features: &MbFeatures) -> Self {
+        Predecoded {
+            insn,
+            class: insn.class(),
+            lat_taken: branch_latency(&insn, true).max(insn_latency(&insn)),
+            lat_not_taken: insn_latency(&insn),
+            supported: features.supports(&insn),
+            control_flow: insn.is_control_flow(),
+        }
+    }
+}
+
+/// Lazily-filled decode side table for one instruction BRAM.
+#[derive(Clone, Debug)]
+pub(crate) struct DecodeCache {
+    /// One slot per imem word; `None` = not prepared yet.
+    slots: Vec<Option<Predecoded>>,
+    /// The [`Bram::generation`] the slots were decoded against.
+    generation: u64,
+}
+
+impl DecodeCache {
+    /// Creates an empty cache that syncs to the BRAM on first fetch.
+    pub fn new() -> Self {
+        // u64::MAX can never equal a real generation (they start at 0 and
+        // increment), so the first fetch always syncs.
+        DecodeCache { slots: Vec::new(), generation: u64::MAX }
+    }
+
+    /// Fetches the prepared instruction at `pc`, decoding and caching on
+    /// the first visit and re-syncing whenever the BRAM has been written.
+    #[inline]
+    pub fn fetch(
+        &mut self,
+        imem: &Bram,
+        features: &MbFeatures,
+        pc: u32,
+    ) -> Result<Predecoded, RunError> {
+        if self.generation == imem.generation() && pc & 3 == 0 {
+            if let Some(Some(d)) = self.slots.get((pc >> 2) as usize) {
+                return Ok(*d);
+            }
+        }
+        self.fetch_slow(imem, features, pc)
+    }
+
+    #[cold]
+    fn fetch_slow(
+        &mut self,
+        imem: &Bram,
+        features: &MbFeatures,
+        pc: u32,
+    ) -> Result<Predecoded, RunError> {
+        if self.generation != imem.generation() {
+            self.slots.clear();
+            self.slots.resize(imem.words().len(), None);
+            self.generation = imem.generation();
+        }
+        let word = imem.read_word(pc).map_err(|err| RunError::Mem { pc, err })?;
+        let insn = decode(word).map_err(|err| RunError::Decode { pc, err })?;
+        let d = Predecoded::prepare(insn, features);
+        self.slots[(pc >> 2) as usize] = Some(d);
+        Ok(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_isa::{encode, Cond, Reg};
+
+    fn features() -> MbFeatures {
+        MbFeatures::paper_default()
+    }
+
+    #[test]
+    fn caches_and_invalidates_on_write() {
+        let mut imem = Bram::new(64);
+        let add = Insn::addk(Reg::R1, Reg::R2, Reg::R3);
+        imem.write_word(0, encode(&add)).unwrap();
+        let mut cache = DecodeCache::new();
+        assert_eq!(cache.fetch(&imem, &features(), 0).unwrap().insn, add);
+        // Cached: same answer without consulting the word again.
+        assert_eq!(cache.fetch(&imem, &features(), 0).unwrap().insn, add);
+
+        // A write anywhere in imem invalidates; the new word decodes.
+        let xor = Insn::Xor { rd: Reg::R4, ra: Reg::R5, rb: Reg::R6 };
+        imem.write_word(0, encode(&xor)).unwrap();
+        assert_eq!(cache.fetch(&imem, &features(), 0).unwrap().insn, xor);
+    }
+
+    #[test]
+    fn prepared_fields_match_the_lazy_derivations() {
+        for insn in [
+            Insn::addk(Reg::R1, Reg::R2, Reg::R3),
+            Insn::mul(Reg::R1, Reg::R2, Reg::R3),
+            Insn::lwi(Reg::R1, Reg::R2, 4),
+            Insn::Bci { cond: Cond::Ne, ra: Reg::R3, imm: -8, delay: false },
+            Insn::Bri { rd: Reg::R0, imm: 8, link: false, absolute: false, delay: true },
+            Insn::ret(),
+            Insn::Imm { imm: 7 },
+        ] {
+            let d = Predecoded::prepare(insn, &MbFeatures::minimal());
+            assert_eq!(d.class, insn.class(), "{insn}");
+            assert_eq!(d.lat_not_taken, insn_latency(&insn), "{insn}");
+            if d.class == OpClass::Branch {
+                assert_eq!(d.lat_taken, branch_latency(&insn, true), "{insn}");
+            } else {
+                assert_eq!(d.lat_taken, insn_latency(&insn), "{insn}");
+            }
+            assert_eq!(d.supported, MbFeatures::minimal().supports(&insn), "{insn}");
+            assert_eq!(d.control_flow, insn.is_control_flow(), "{insn}");
+        }
+    }
+
+    #[test]
+    fn faults_match_direct_decode() {
+        let imem = Bram::new(16);
+        let mut cache = DecodeCache::new();
+        assert!(matches!(cache.fetch(&imem, &features(), 2), Err(RunError::Mem { pc: 2, .. })));
+        assert!(matches!(cache.fetch(&imem, &features(), 64), Err(RunError::Mem { pc: 64, .. })));
+    }
+}

@@ -5,6 +5,13 @@ use std::fmt;
 use mb_isa::OpClass;
 
 /// Per-class instruction and cycle counters for one execution.
+///
+/// [`record`](ExecStats::record) sits on the simulator's hottest path,
+/// so it touches exactly one slot of each array; the run loop tracks its
+/// cycle budget from [`System::step`]'s return value rather than polling
+/// these counters, and the grand totals are summed on demand.
+///
+/// [`System::step`]: crate::System::step
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct ExecStats {
     instret: [u64; OpClass::ALL.len()],
@@ -26,18 +33,21 @@ impl ExecStats {
     }
 
     /// Records one retired instruction of `class` costing `cycles`.
+    #[inline(always)]
     pub fn record(&mut self, class: OpClass, cycles: u32) {
-        self.instret[class.index()] += 1;
-        self.cycles[class.index()] += u64::from(cycles);
+        let i = class.index();
+        self.instret[i] += 1;
+        self.cycles[i] += u64::from(cycles);
     }
 
-    /// Total retired instructions.
+    /// Total retired instructions (summed on demand; `record` stays
+    /// minimal because it runs once per simulated instruction).
     #[must_use]
     pub fn instructions(&self) -> u64 {
         self.instret.iter().sum()
     }
 
-    /// Total cycles.
+    /// Total cycles (summed on demand).
     #[must_use]
     pub fn cycles(&self) -> u64 {
         self.cycles.iter().sum()

@@ -14,6 +14,21 @@ fn bench_mb_sim(c: &mut Criterion) {
             black_box(sys.run(100_000_000).unwrap())
         })
     });
+    // The seed decode-per-fetch loop, for the fast-path delta.
+    c.bench_function("sim/microblaze/canrdr/decode-per-fetch", |b| {
+        b.iter(|| {
+            let mut sys = built.instantiate(&MbConfig::paper_default().with_predecode(false));
+            black_box(sys.run(100_000_000).unwrap())
+        })
+    });
+    // Streaming aggregates: what the trace costs when only region/class
+    // totals are needed.
+    c.bench_function("sim/microblaze/canrdr/summary", |b| {
+        b.iter(|| {
+            let mut sys = built.instantiate(&MbConfig::paper_default());
+            black_box(sys.run_summarized(100_000_000).unwrap())
+        })
+    });
 }
 
 fn bench_arm_models(c: &mut Criterion) {

@@ -1,0 +1,41 @@
+//! Measures simulation throughput (Minsn/s) across the paper suite in
+//! four run modes — decode-per-fetch reference, untraced fast path,
+//! streaming summary, full trace — and writes `BENCH_sim.json`.
+//!
+//! Usage: `simperf [--smoke] [--out <path>]`
+//!
+//! `--smoke` (or `SIMPERF_SMOKE=1`) runs three repetitions per mode for
+//! CI; the default is best-of-10 (single runs are ~1 ms, so repetitions
+//! are cheap and the minimum filters scheduler noise). The JSON schema is described in the README's
+//! "Performance" section.
+
+use warp_bench::simperf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke")
+        || std::env::var("SIMPERF_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_sim.json".into());
+    let reps = if smoke { 3 } else { 10 };
+
+    let perf = simperf::measure_suite(reps, smoke);
+    println!(
+        "simulation throughput, {} mode (best of {} rep{}):\n",
+        if smoke { "smoke" } else { "full" },
+        reps,
+        if reps == 1 { "" } else { "s" },
+    );
+    print!("{}", perf.render_table());
+    println!(
+        "\nuntraced fast path vs. seed decode-per-fetch loop: {:.2}x",
+        perf.aggregate_untraced_speedup()
+    );
+
+    let json = perf.to_json();
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path} ({} bytes)", json.len());
+}

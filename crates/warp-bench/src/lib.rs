@@ -9,11 +9,14 @@
 //! | `tab_config_options` | Section 2: configurable-options study |
 //! | `tab_cad` | On-chip CAD cost (refs \[15]\[16]\[17] leanness claims) |
 //! | `fig_multiproc` | Figure 4 extension: multi-processor warp system |
+//! | `simperf` | Simulation throughput (Minsn/s) → `BENCH_sim.json` |
 //!
 //! Criterion benches (`cargo bench -p warp-bench`) measure the CAD
 //! pipeline stages, the simulators, and the end-to-end warp flow.
 
 #![forbid(unsafe_code)]
+
+pub mod simperf;
 
 use warp_core::experiments::{BenchmarkComparison, Fig6Row, Fig7Row};
 use warp_core::{BatchRunner, PipelineStats, WarpOptions};

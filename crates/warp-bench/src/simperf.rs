@@ -1,0 +1,335 @@
+//! Simulation-throughput harness.
+//!
+//! Simulated instructions per second is the metric that gates how many
+//! scenarios the batch runner can cover, so this harness records it per
+//! PR. For every workload in the paper suite it measures host wall-clock
+//! for four run modes of the same simulation:
+//!
+//! * `reference_decode_per_fetch` — the seed loop: decode on every
+//!   fetch ([`MbConfig::predecode`] off), no tracing;
+//! * `untraced` — the fast path: pre-decoded fetch, [`NullSink`];
+//! * `summary` — pre-decoded fetch streaming a [`TraceSummary`];
+//! * `full_trace` — pre-decoded fetch recording the complete event
+//!   vector.
+//!
+//! Simulated cycle/instruction counts are identical across all four
+//! modes (asserted here, locked in by `tests/sim_fast_path.rs`); only
+//! host speed differs. [`SimPerf::to_json`] emits the `BENCH_sim.json`
+//! document CI archives per PR; the schema is documented in the README's
+//! "Performance" section.
+
+use std::time::Instant;
+
+use mb_isa::{MbFeatures, OpClass};
+use mb_sim::{MbConfig, NullSink, Outcome, StopReason, Trace, TraceSummary};
+use workloads::BuiltWorkload;
+
+/// Cycle budget per measured run (matches the warp flow's default).
+const MAX_CYCLES: u64 = 500_000_000;
+
+/// One run mode's measurement for one workload.
+#[derive(Clone, Copy, Debug)]
+pub struct ModePerf {
+    /// Best-of-reps host seconds for the run.
+    pub seconds: f64,
+    /// Millions of simulated instructions retired per host second.
+    pub minsn_per_s: f64,
+}
+
+impl ModePerf {
+    fn from_best(best_seconds: f64, instructions: u64) -> Self {
+        let seconds = best_seconds.max(1e-9);
+        ModePerf { seconds, minsn_per_s: instructions as f64 / seconds / 1e6 }
+    }
+}
+
+/// All mode measurements for one workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadPerf {
+    /// Benchmark name.
+    pub name: String,
+    /// Instructions retired by one run (identical in every mode).
+    pub instructions: u64,
+    /// Simulated MicroBlaze cycles of one run.
+    pub mb_cycles: u64,
+    /// The seed decode-per-fetch loop, untraced.
+    pub reference: ModePerf,
+    /// Pre-decoded fetch, no sink.
+    pub untraced: ModePerf,
+    /// Pre-decoded fetch, streaming summary sink.
+    pub summary: ModePerf,
+    /// Pre-decoded fetch, full event vector.
+    pub full_trace: ModePerf,
+}
+
+impl WorkloadPerf {
+    /// Host speedup of the untraced fast path over the seed loop.
+    #[must_use]
+    pub fn untraced_speedup(&self) -> f64 {
+        self.reference.seconds / self.untraced.seconds
+    }
+}
+
+/// The whole suite's measurements.
+#[derive(Clone, Debug)]
+pub struct SimPerf {
+    /// `true` when run with smoke-mode iteration counts (CI).
+    pub smoke: bool,
+    /// Repetitions per mode (best-of).
+    pub reps: usize,
+    /// Per-workload results in suite order.
+    pub workloads: Vec<WorkloadPerf>,
+}
+
+impl SimPerf {
+    fn totals(&self, f: impl Fn(&WorkloadPerf) -> f64) -> f64 {
+        self.workloads.iter().map(f).sum()
+    }
+
+    /// Suite-level Minsn/s for a mode: total instructions over total
+    /// seconds.
+    #[must_use]
+    pub fn aggregate_minsn(&self, mode: impl Fn(&WorkloadPerf) -> ModePerf) -> f64 {
+        let insns = self.totals(|w| w.instructions as f64);
+        let secs = self.totals(|w| mode(w).seconds);
+        insns / secs.max(1e-9) / 1e6
+    }
+
+    /// Suite-level untraced speedup over the decode-per-fetch reference
+    /// (total reference seconds over total untraced seconds).
+    #[must_use]
+    pub fn aggregate_untraced_speedup(&self) -> f64 {
+        self.totals(|w| w.reference.seconds) / self.totals(|w| w.untraced.seconds).max(1e-9)
+    }
+
+    /// Renders the `BENCH_sim.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mode_json = |m: &ModePerf| {
+            format!(r#"{{"seconds": {:.6}, "minsn_per_s": {:.3}}}"#, m.seconds, m.minsn_per_s)
+        };
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"warp-mb/bench-sim/v1\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", if self.smoke { "smoke" } else { "full" }));
+        out.push_str(&format!("  \"reps\": {},\n", self.reps));
+        out.push_str(&format!("  \"mb_clock_hz\": {},\n", mb_sim::MB_CLOCK_HZ));
+        out.push_str("  \"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"instructions\": {}, \"mb_cycles\": {}, \
+                 \"modes\": {{\"reference_decode_per_fetch\": {}, \"untraced\": {}, \
+                 \"summary\": {}, \"full_trace\": {}}}, \
+                 \"untraced_speedup_vs_reference\": {:.3}}}{}\n",
+                w.name,
+                w.instructions,
+                w.mb_cycles,
+                mode_json(&w.reference),
+                mode_json(&w.untraced),
+                mode_json(&w.summary),
+                mode_json(&w.full_trace),
+                w.untraced_speedup(),
+                if i + 1 == self.workloads.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"aggregate\": {{\"untraced_minsn_per_s\": {:.3}, \"summary_minsn_per_s\": {:.3}, \
+             \"full_trace_minsn_per_s\": {:.3}, \"reference_minsn_per_s\": {:.3}, \
+             \"untraced_speedup_vs_reference\": {:.3}}}\n",
+            self.aggregate_minsn(|w| w.untraced),
+            self.aggregate_minsn(|w| w.summary),
+            self.aggregate_minsn(|w| w.full_trace),
+            self.aggregate_minsn(|w| w.reference),
+            self.aggregate_untraced_speedup(),
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the human-readable table the binary prints.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "{:>10} | {:>12} {:>11} {:>11} {:>11} {:>11} {:>8}\n",
+            "benchmark", "insns", "ref Mi/s", "untraced", "summary", "full", "speedup"
+        );
+        out.push_str(&"-".repeat(84));
+        out.push('\n');
+        for w in &self.workloads {
+            out.push_str(&format!(
+                "{:>10} | {:>12} {:>11.1} {:>11.1} {:>11.1} {:>11.1} {:>7.2}x\n",
+                w.name,
+                w.instructions,
+                w.reference.minsn_per_s,
+                w.untraced.minsn_per_s,
+                w.summary.minsn_per_s,
+                w.full_trace.minsn_per_s,
+                w.untraced_speedup(),
+            ));
+        }
+        out.push_str(&format!(
+            "{:>10} | {:>12} {:>11.1} {:>11.1} {:>11.1} {:>11.1} {:>7.2}x\n",
+            "suite",
+            self.workloads.iter().map(|w| w.instructions).sum::<u64>(),
+            self.aggregate_minsn(|w| w.reference),
+            self.aggregate_minsn(|w| w.untraced),
+            self.aggregate_minsn(|w| w.summary),
+            self.aggregate_minsn(|w| w.full_trace),
+            self.aggregate_untraced_speedup(),
+        ));
+        out
+    }
+}
+
+/// Best-of-`reps` wall-clock for one run mode, checking that the
+/// simulated outcome matches the expected cycle/instruction counts.
+fn time_mode(
+    built: &BuiltWorkload,
+    config: &MbConfig,
+    reps: usize,
+    expected: (u64, u64),
+    run: impl Fn(&mut mb_sim::System) -> mb_sim::Outcome,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let mut sys = built.instantiate(config);
+        let start = Instant::now();
+        let outcome = run(&mut sys);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(outcome.exited(), "{}: run must exit", built.name);
+        assert_eq!(
+            (outcome.cycles, outcome.instructions),
+            expected,
+            "{}: simulated timing must be mode-independent",
+            built.name
+        );
+        best = best.min(elapsed);
+    }
+    best
+}
+
+/// The seed run loop, reproduced: step by step with the budget checked
+/// by summing the per-class cycle counters every iteration — exactly
+/// what the original `run_inner` did before the grand totals existed.
+/// Combined with `predecode: false` (decode per fetch, per-instruction
+/// exit-port poll) this is the baseline the fast path is measured
+/// against.
+fn run_seed_style(sys: &mut mb_sim::System) -> Outcome {
+    let linear_cycles =
+        |s: &mb_sim::ExecStats| OpClass::ALL.iter().map(|&c| s.cycles_of(c)).sum::<u64>();
+    let linear_insns =
+        |s: &mb_sim::ExecStats| OpClass::ALL.iter().map(|&c| s.instructions_of(c)).sum::<u64>();
+    let start_cycles = linear_cycles(sys.stats());
+    let start_insns = linear_insns(sys.stats());
+    loop {
+        if let Some(code) = sys.halted() {
+            return Outcome {
+                stop: StopReason::Exited(code),
+                cycles: linear_cycles(sys.stats()) - start_cycles,
+                instructions: linear_insns(sys.stats()) - start_insns,
+            };
+        }
+        if linear_cycles(sys.stats()) - start_cycles >= MAX_CYCLES {
+            return Outcome {
+                stop: StopReason::CycleLimit,
+                cycles: linear_cycles(sys.stats()) - start_cycles,
+                instructions: linear_insns(sys.stats()) - start_insns,
+            };
+        }
+        sys.step(&mut NullSink).unwrap();
+    }
+}
+
+/// Measures one workload across all four modes.
+#[must_use]
+pub fn measure_workload(workload: &workloads::Workload, reps: usize) -> WorkloadPerf {
+    let built = workload.build(MbFeatures::paper_default());
+    let fast = MbConfig::paper_default();
+    let reference = fast.clone().with_predecode(false);
+
+    // Establish the expected simulated counts once.
+    let mut sys = built.instantiate(&fast);
+    let outcome = sys.run(MAX_CYCLES).expect("workload runs");
+    assert!(outcome.exited());
+    let expected = (outcome.cycles, outcome.instructions);
+
+    let run_untraced =
+        |sys: &mut mb_sim::System| sys.run_with_sink(MAX_CYCLES, &mut NullSink).unwrap();
+    let t_untraced = time_mode(&built, &fast, reps, expected, run_untraced);
+    let t_summary = time_mode(&built, &fast, reps, expected, |sys| {
+        let mut summary = TraceSummary::new();
+        sys.run_with_sink(MAX_CYCLES, &mut summary).unwrap()
+    });
+    let t_full = time_mode(&built, &fast, reps, expected, |sys| {
+        let mut trace = Trace::new();
+        sys.run_with_sink(MAX_CYCLES, &mut trace).unwrap()
+    });
+    let t_ref = time_mode(&built, &reference, reps, expected, run_seed_style);
+
+    WorkloadPerf {
+        name: built.name.clone(),
+        instructions: expected.1,
+        mb_cycles: expected.0,
+        reference: ModePerf::from_best(t_ref, expected.1),
+        untraced: ModePerf::from_best(t_untraced, expected.1),
+        summary: ModePerf::from_best(t_summary, expected.1),
+        full_trace: ModePerf::from_best(t_full, expected.1),
+    }
+}
+
+/// Measures the whole paper suite.
+#[must_use]
+pub fn measure_suite(reps: usize, smoke: bool) -> SimPerf {
+    let workloads = workloads::paper_suite().iter().map(|w| measure_workload(w, reps)).collect();
+    SimPerf { smoke, reps, workloads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic() -> SimPerf {
+        let mode = |s: f64| ModePerf::from_best(s, 1_000_000);
+        SimPerf {
+            smoke: true,
+            reps: 1,
+            workloads: vec![WorkloadPerf {
+                name: "brev".into(),
+                instructions: 1_000_000,
+                mb_cycles: 1_500_000,
+                reference: mode(0.4),
+                untraced: mode(0.1),
+                summary: mode(0.12),
+                full_trace: mode(0.2),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_has_schema_and_balanced_structure() {
+        let json = synthetic().to_json();
+        assert!(json.contains("\"schema\": \"warp-mb/bench-sim/v1\""));
+        assert!(json.contains("\"untraced_speedup_vs_reference\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches('"').count() % 2, 0, "quotes must pair");
+        // No NaN/inf can ever leak into the document.
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn speedups_and_aggregates_follow_the_seconds() {
+        let p = synthetic();
+        let w = &p.workloads[0];
+        assert!((w.untraced_speedup() - 4.0).abs() < 1e-9);
+        assert!((p.aggregate_untraced_speedup() - 4.0).abs() < 1e-9);
+        assert!((p.aggregate_minsn(|w| w.untraced) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn table_lists_every_workload_and_the_suite_row() {
+        let table = synthetic().render_table();
+        assert!(table.contains("brev"));
+        assert!(table.contains("suite"));
+    }
+}

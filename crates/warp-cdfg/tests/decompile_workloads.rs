@@ -19,7 +19,7 @@ fn kernel_interpreter_matches_software_execution() {
         let mut sys = built.instantiate(&MbConfig::paper_default());
         let mut guard = 0u64;
         while sys.cpu().pc() != built.kernel.head {
-            sys.step(None).unwrap();
+            sys.step(&mut mb_sim::NullSink).unwrap();
             guard += 1;
             assert!(guard < 10_000_000, "{}: never reached kernel head", workload.name);
         }
@@ -41,7 +41,7 @@ fn kernel_interpreter_matches_software_execution() {
         let after = built.kernel.after();
         let mut guard = 0u64;
         while sys.cpu().pc() != after {
-            sys.step(None).unwrap();
+            sys.step(&mut mb_sim::NullSink).unwrap();
             guard += 1;
             assert!(guard < 50_000_000, "{}: loop never exited", workload.name);
         }

@@ -33,9 +33,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::OnceCell;
 use std::fmt;
 
-use mb_sim::{Trace, TraceEvent};
+use mb_sim::{Trace, TraceEvent, TraceSink};
 
 /// Geometry of the profiler's branch-frequency cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -108,6 +109,9 @@ pub struct Profiler {
     config: ProfilerConfig,
     entries: Vec<Entry>,
     stats: ProfilerStats,
+    /// [`hot_regions`](Profiler::hot_regions) result, computed on first
+    /// query and discarded whenever an observation mutates the cache.
+    ranked: OnceCell<Vec<HotRegion>>,
 }
 
 impl Profiler {
@@ -118,6 +122,7 @@ impl Profiler {
             config,
             entries: Vec::with_capacity(config.entries),
             stats: ProfilerStats::default(),
+            ranked: OnceCell::new(),
         }
     }
 
@@ -141,6 +146,7 @@ impl Profiler {
         if target > branch_pc {
             return;
         }
+        self.ranked.take();
         self.stats.events += 1;
         if let Some(e) = self.entries.iter_mut().find(|e| e.tail == branch_pc) {
             self.stats.hits += 1;
@@ -192,27 +198,43 @@ impl Profiler {
     }
 
     /// All candidate regions, hottest first.
+    ///
+    /// The ranking is computed on the first call after an observation
+    /// and cached; repeated queries return the same slice without
+    /// re-sorting or cloning.
     #[must_use]
-    pub fn hot_regions(&self) -> Vec<HotRegion> {
-        let mut v: Vec<HotRegion> = self
-            .entries
-            .iter()
-            .map(|e| HotRegion { head: e.head, tail: e.tail, count: e.count })
-            .collect();
-        v.sort_by(|a, b| b.count.cmp(&a.count).then(a.tail.cmp(&b.tail)));
-        v
+    pub fn hot_regions(&self) -> &[HotRegion] {
+        self.ranked.get_or_init(|| {
+            let mut v: Vec<HotRegion> = self
+                .entries
+                .iter()
+                .map(|e| HotRegion { head: e.head, tail: e.tail, count: e.count })
+                .collect();
+            v.sort_by(|a, b| b.count.cmp(&a.count).then(a.tail.cmp(&b.tail)));
+            v
+        })
     }
 
     /// The single most frequent loop, if any branch was observed.
     #[must_use]
     pub fn best(&self) -> Option<HotRegion> {
-        self.hot_regions().into_iter().next()
+        self.hot_regions().first().copied()
     }
 
     /// Clears all entries and statistics.
     pub fn reset(&mut self) {
         self.entries.clear();
         self.stats = ProfilerStats::default();
+        self.ranked.take();
+    }
+}
+
+/// A profiler can sit directly on the simulator's retirement stream,
+/// exactly as the paper's hardware profiler watches the instruction bus
+/// — no recorded trace needed in between.
+impl TraceSink for Profiler {
+    fn record(&mut self, event: &TraceEvent) {
+        self.observe(event);
     }
 }
 
@@ -294,6 +316,31 @@ mod tests {
         p.reset();
         assert!(p.best().is_none());
         assert_eq!(p.stats(), ProfilerStats::default());
+    }
+
+    #[test]
+    fn ranking_cache_refreshes_after_observations() {
+        let mut p = Profiler::new(ProfilerConfig::default());
+        p.observe_branch(0x100, 0x80);
+        assert_eq!(p.hot_regions()[0].count, 1);
+        // A new observation after a query must invalidate the cached
+        // ranking.
+        p.observe_branch(0x100, 0x80);
+        p.observe_branch(0x200, 0x180);
+        let hot = p.hot_regions();
+        assert_eq!(hot[0].count, 2);
+        assert_eq!(hot.len(), 2);
+        // Between mutations, repeated queries hit the cached slice.
+        assert_eq!(p.hot_regions().as_ptr(), p.hot_regions().as_ptr());
+    }
+
+    #[test]
+    fn forward_branch_does_not_invalidate_ranking() {
+        let mut p = Profiler::new(ProfilerConfig::default());
+        p.observe_branch(0x100, 0x80);
+        let before = p.hot_regions().as_ptr();
+        p.observe_branch(0x100, 0x200); // forward: ignored
+        assert_eq!(p.hot_regions().as_ptr(), before);
     }
 
     #[test]

@@ -27,6 +27,27 @@ fn profiler_finds_annotated_kernel_in_every_workload() {
 }
 
 #[test]
+fn live_sink_profiling_matches_trace_replay() {
+    // A profiler sitting on the retirement stream as a TraceSink must
+    // end up in exactly the state of one that replayed the recorded
+    // trace afterwards — events arrive in the same order.
+    let built = workloads::by_name("g3fax").unwrap().build(MbFeatures::paper_default());
+
+    let mut live = Profiler::new(ProfilerConfig::paper_default());
+    let mut sys = built.instantiate(&MbConfig::paper_default());
+    let outcome = sys.run_with_sink(200_000_000, &mut live).unwrap();
+    assert!(outcome.exited());
+
+    let mut sys = built.instantiate(&MbConfig::paper_default());
+    let (_, trace) = sys.run_traced(200_000_000).unwrap();
+    let mut replayed = Profiler::new(ProfilerConfig::paper_default());
+    replayed.observe_trace(&trace);
+
+    assert_eq!(live.hot_regions(), replayed.hot_regions());
+    assert_eq!(live.stats(), replayed.stats());
+}
+
+#[test]
 fn tiny_cache_still_finds_dominant_kernel() {
     // Even a 4-entry cache keeps the hottest loop resident.
     let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());

@@ -178,15 +178,33 @@ impl BuiltWorkload {
 
     /// Checks final data memory against the golden model.
     ///
+    /// Regions are read with one bulk [`Bram::read_words_into`] each
+    /// into a buffer reused across checks — this runs after every
+    /// simulated execution (including each warped run), so it must not
+    /// allocate per word.
+    ///
     /// # Errors
     ///
     /// Returns the first mismatch found.
     pub fn verify(&self, dmem: &Bram) -> Result<(), VerifyError> {
+        let mut buf: Vec<u32> = Vec::new();
         for check in &self.checks {
-            for (i, &expected) in check.expected.iter().enumerate() {
-                let addr = check.addr + (i as u32) * 4;
-                let actual = dmem.read_word(addr).unwrap_or(0xDEAD_DEAD);
+            buf.clear();
+            buf.resize(check.expected.len(), 0);
+            if dmem.read_words_into(check.addr, &mut buf).is_err() {
+                // Region (partially) outside memory: fall back to the
+                // word-by-word path so the first unreadable or wrong
+                // word is reported, exactly as before.
+                buf.clear();
+                buf.extend(
+                    (0..check.expected.len()).map(|i| {
+                        dmem.read_word(check.addr + (i as u32) * 4).unwrap_or(0xDEAD_DEAD)
+                    }),
+                );
+            }
+            for (i, (&expected, &actual)) in check.expected.iter().zip(&buf).enumerate() {
                 if actual != expected {
+                    let addr = check.addr + (i as u32) * 4;
                     return Err(VerifyError { label: check.label.clone(), addr, expected, actual });
                 }
             }

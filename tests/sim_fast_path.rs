@@ -1,0 +1,174 @@
+//! Fast-path equivalence: the pre-decoded fetch store, the trace sinks,
+//! and the streaming aggregates must be invisible to simulated results.
+//!
+//! Three contracts are locked in here:
+//!
+//! 1. the pre-decoded fetch path produces an instruction-for-instruction
+//!    identical [`Trace`], identical [`ExecStats`], and identical
+//!    [`Outcome`] to the decode-per-fetch reference loop
+//!    (`MbConfig::with_predecode(false)`);
+//! 2. decode-cache invalidation: after an imem patch through
+//!    [`System::imem_mut`] — the WCLA binary-patching interface — the
+//!    patched words execute, never stale pre-decoded ones;
+//! 3. a [`TraceSummary`] streamed during the run equals every aggregate
+//!    computed from the full trace.
+
+use mb_isa::{encode, Assembler, Insn, MbFeatures, Reg};
+use mb_sim::{MbConfig, NullSink, System, TraceSummary, EXIT_PORT_BASE};
+
+fn fast_config() -> MbConfig {
+    MbConfig::paper_default()
+}
+
+fn reference_config() -> MbConfig {
+    MbConfig::paper_default().with_predecode(false)
+}
+
+#[test]
+fn predecoded_fetch_matches_decode_per_fetch_reference() {
+    for workload in workloads::all() {
+        let built = workload.build(MbFeatures::paper_default());
+
+        let mut fast = built.instantiate(&fast_config());
+        let (fast_out, fast_trace) = fast.run_traced(500_000_000).unwrap();
+
+        let mut reference = built.instantiate(&reference_config());
+        let (ref_out, ref_trace) = reference.run_traced(500_000_000).unwrap();
+
+        assert_eq!(fast_out, ref_out, "{}: outcome must be identical", workload.name);
+        assert_eq!(
+            fast_trace, ref_trace,
+            "{}: traces must match instruction-for-instruction",
+            workload.name
+        );
+        assert_eq!(fast.stats(), reference.stats(), "{}: ExecStats must match", workload.name);
+        assert_eq!(fast.cpu(), reference.cpu(), "{}: final CPU state must match", workload.name);
+    }
+}
+
+#[test]
+fn untraced_run_has_identical_stats_to_traced_run() {
+    // NullSink vs full-trace sink is a compile-time policy; the
+    // simulated outcome and statistics must not notice.
+    let built = workloads::by_name("canrdr").unwrap().build(MbFeatures::paper_default());
+
+    let mut untraced = built.instantiate(&fast_config());
+    let out_untraced = untraced.run(500_000_000).unwrap();
+
+    let mut traced = built.instantiate(&fast_config());
+    let (out_traced, _) = traced.run_traced(500_000_000).unwrap();
+
+    assert_eq!(out_untraced, out_traced);
+    assert_eq!(untraced.stats(), traced.stats());
+    assert_eq!(untraced.cpu(), traced.cpu());
+    built.verify(untraced.dmem()).unwrap();
+}
+
+/// Builds a two-iteration loop whose body instruction at a known PC can
+/// be patched between iterations.
+fn patchable_loop() -> (mb_isa::Program, u32, u32) {
+    let mut a = Assembler::new(0);
+    a.li(Reg::R3, 2); // one word: addik r3, r0, 2
+    a.label("top");
+    a.push(Insn::addik(Reg::R4, Reg::R4, 5)); // the patch target
+    a.push(Insn::addik(Reg::R3, Reg::R3, -1));
+    a.bnei(Reg::R3, "top");
+    a.li(Reg::R31, EXIT_PORT_BASE as i32);
+    a.push(Insn::swi(Reg::R0, Reg::R31, 0));
+    let program = a.finish().unwrap();
+    let body_pc = 4; // first instruction after the one-word li
+    let branch_pc = 12;
+    (program, body_pc, branch_pc)
+}
+
+/// Steps until the PC equals `target`, with a safety bound.
+fn step_until(sys: &mut System, target: u32) {
+    let mut guard = 0;
+    while sys.cpu().pc() != target {
+        sys.step(&mut NullSink).unwrap();
+        guard += 1;
+        assert!(guard < 10_000, "never reached pc {target:#x}");
+    }
+}
+
+/// Runs the patch-mid-execution scenario on one configuration: execute
+/// the loop body once (hot in any decode cache), rewrite the body
+/// instruction through `imem_mut`, finish the program.
+fn run_patch_scenario(config: &MbConfig) -> System {
+    let (program, body_pc, branch_pc) = patchable_loop();
+    let mut sys = System::new(config.clone());
+    sys.load_program(&program).unwrap();
+    // First iteration has executed the body once when the branch is
+    // reached — exactly when a stale decode-cache entry would exist.
+    step_until(&mut sys, branch_pc);
+    sys.imem_mut().write_word(body_pc, encode(&Insn::addik(Reg::R4, Reg::R4, 7))).unwrap();
+    let out = sys.run(10_000).unwrap();
+    assert!(out.exited());
+    sys
+}
+
+#[test]
+fn imem_patch_invalidates_predecoded_store() {
+    let fast = run_patch_scenario(&fast_config());
+    // Iteration 1 added 5, iteration 2 must execute the patched word.
+    assert_eq!(fast.cpu().reg(Reg::R4), 12, "stale pre-decoded instruction executed");
+
+    // And the whole machine state matches the decode-per-fetch loop
+    // subjected to the identical patch sequence.
+    let reference = run_patch_scenario(&reference_config());
+    assert_eq!(reference.cpu().reg(Reg::R4), 12);
+    assert_eq!(fast.cpu(), reference.cpu());
+    assert_eq!(fast.stats(), reference.stats());
+}
+
+#[test]
+fn summary_sink_equals_full_trace_aggregates() {
+    for workload in workloads::paper_suite() {
+        let built = workload.build(MbFeatures::paper_default());
+
+        let mut traced = built.instantiate(&fast_config());
+        let (out_t, trace) = traced.run_traced(500_000_000).unwrap();
+
+        let mut summarized = built.instantiate(&fast_config());
+        let (out_s, summary) = summarized.run_summarized(500_000_000).unwrap();
+
+        assert_eq!(out_t, out_s, "{}", workload.name);
+        // The summary streamed during execution is exactly the summary
+        // of the recorded trace...
+        assert_eq!(summary, TraceSummary::of_trace(&trace), "{}", workload.name);
+        // ...and every aggregate matches the trace's own answers.
+        assert_eq!(summary.len(), trace.len() as u64, "{}", workload.name);
+        assert_eq!(summary.cycles(), trace.cycles(), "{}", workload.name);
+        assert_eq!(summary.class_histogram(), trace.class_histogram(), "{}", workload.name);
+        assert_eq!(
+            summary.backward_taken(),
+            trace.iter().filter(|e| e.is_backward_taken_branch()).count() as u64,
+            "{}",
+            workload.name
+        );
+        let (start, end) = built.kernel.range();
+        for (lo, hi) in [(start, end), (0, u32::MAX), (start, start), (end, end + 64)] {
+            assert_eq!(
+                summary.cycles_in_range(lo, hi),
+                trace.cycles_in_range(lo, hi),
+                "{}: cycles [{lo:#x},{hi:#x})",
+                workload.name
+            );
+            assert_eq!(
+                summary.instructions_in_range(lo, hi),
+                trace.instructions_in_range(lo, hi),
+                "{}: insns [{lo:#x},{hi:#x})",
+                workload.name
+            );
+        }
+        assert_eq!(
+            summary.backward_taken_at(built.kernel.tail),
+            trace
+                .iter()
+                .filter(|e| e.pc == built.kernel.tail && e.is_backward_taken_branch())
+                .count() as u64,
+            "{}",
+            workload.name
+        );
+    }
+}
