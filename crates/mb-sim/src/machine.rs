@@ -604,24 +604,26 @@ impl System {
         Ok(total)
     }
 
-    /// Runs until the program exits or `max_cycles` elapse, feeding
-    /// every retired instruction to `sink`.
+    /// The one budget-tracking loop behind [`System::run_with_sink`] and
+    /// [`System::run_slice`].
     ///
-    /// This is the monomorphized run loop every other `run_*` entry
-    /// point is a thin wrapper over.
+    /// The budget is tracked from step's return value — every step
+    /// returns exactly the cycles it recorded — so the loop touches no
+    /// statistics until it stops.
     ///
-    /// # Errors
-    ///
-    /// Propagates [`RunError`] from [`System::step`].
-    pub fn run_with_sink<S: TraceSink>(
+    /// Ordering contract: the exit check runs **before** the budget
+    /// check. The exit port is polled inside [`System::step`] (after
+    /// OPB-touching steps), so a step that writes the port can also be
+    /// the step that exhausts the budget; reporting that boundary as
+    /// [`StopReason::CycleLimit`] would make a sliced execution lose the
+    /// exit code for exactly one slice — the off-by-one this ordering
+    /// rules out. `boundary_on_exit_step_reports_exited` pins it.
+    fn run_budgeted<S: TraceSink>(
         &mut self,
         max_cycles: u64,
         sink: &mut S,
     ) -> Result<Outcome, RunError> {
         let start_insns = self.stats.instructions();
-        // The budget is tracked from step's return value — every step
-        // returns exactly the cycles it recorded — so the loop touches
-        // no statistics until it stops.
         let mut cycles = 0u64;
         loop {
             if let Some(code) = self.halted {
@@ -640,6 +642,56 @@ impl System {
             }
             cycles += u64::from(self.step(sink)?);
         }
+    }
+
+    /// Runs until the program exits or `max_cycles` elapse, feeding
+    /// every retired instruction to `sink`.
+    ///
+    /// This is the monomorphized run loop every other `run_*` entry
+    /// point is a thin wrapper over.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] from [`System::step`].
+    pub fn run_with_sink<S: TraceSink>(
+        &mut self,
+        max_cycles: u64,
+        sink: &mut S,
+    ) -> Result<Outcome, RunError> {
+        self.run_budgeted(max_cycles, sink)
+    }
+
+    /// Runs one bounded slice of execution: at most `slice_cycles`
+    /// cycles from the current machine state, feeding every retired
+    /// instruction to `sink`.
+    ///
+    /// This is the co-simulation interface for an online partitioning
+    /// runtime: the caller interleaves slices with profiler queries and
+    /// mid-run instruction-memory patches through
+    /// [`System::imem_mut`] (the pre-decoded fetch store notices the
+    /// patch via [`Bram::generation`]). All state lives in the system,
+    /// so slices resume exactly where the previous slice stopped and a
+    /// sliced execution retires the identical instruction stream as one
+    /// [`System::run_with_sink`] call — `Outcome` fields are per-slice.
+    ///
+    /// Steps are atomic: a slice never splits a delayed branch from its
+    /// delay slot, so the returned `cycles` may overshoot
+    /// `slice_cycles` by at most one step. Callers accounting simulated
+    /// time must sum the returned `cycles`, not the requested budgets.
+    /// A slice whose final step writes the exit port reports
+    /// [`StopReason::Exited`] in that same slice (never
+    /// [`StopReason::CycleLimit`]); once exited, further slices return
+    /// `Exited` with zero cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunError`] from [`System::step`].
+    pub fn run_slice<S: TraceSink>(
+        &mut self,
+        slice_cycles: u64,
+        sink: &mut S,
+    ) -> Result<Outcome, RunError> {
+        self.run_budgeted(slice_cycles, sink)
     }
 
     /// Runs until the program exits or `max_cycles` elapse.
@@ -851,6 +903,108 @@ mod tests {
         let out = sys.run(1000).unwrap();
         assert_eq!(out.stop, StopReason::CycleLimit);
         assert!(out.cycles >= 1000);
+    }
+
+    /// A counting loop ending in the exit-port store, for slice tests.
+    fn sliceable_program(iters: i32) -> mb_isa::Program {
+        let mut a = Assembler::new(0);
+        a.li(Reg::R3, iters);
+        a.label("loop");
+        a.push(Insn::addik(Reg::R4, Reg::R4, 3));
+        a.push(Insn::addik(Reg::R3, Reg::R3, -1));
+        a.bnei(Reg::R3, "loop");
+        exit_sequence(&mut a);
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn sliced_run_equals_monolithic_run_for_any_slice_size() {
+        let program = sliceable_program(100);
+        let mut mono = System::new(MbConfig::paper_default());
+        mono.load_program(&program).unwrap();
+        let expected = mono.run(1_000_000).unwrap();
+        assert!(expected.exited());
+
+        // Slice sizes chosen to land boundaries everywhere: mid-loop,
+        // on branches, and (size 1) after literally every step.
+        for slice in [1u64, 2, 3, 5, 7, 64, 1_000_000] {
+            let mut sys = System::new(MbConfig::paper_default());
+            sys.load_program(&program).unwrap();
+            let mut cycles = 0u64;
+            let mut instructions = 0u64;
+            let last = loop {
+                let out = sys.run_slice(slice, &mut NullSink).unwrap();
+                cycles += out.cycles;
+                instructions += out.instructions;
+                if out.exited() {
+                    break out;
+                }
+                assert_eq!(out.stop, StopReason::CycleLimit);
+            };
+            assert_eq!(last.stop, expected.stop, "slice {slice}");
+            assert_eq!(cycles, expected.cycles, "slice {slice}: total cycles must match");
+            assert_eq!(instructions, expected.instructions, "slice {slice}");
+            assert_eq!(sys.cpu().reg(Reg::R4), mono.cpu().reg(Reg::R4), "slice {slice}");
+            assert_eq!(sys.stats(), mono.stats(), "slice {slice}");
+        }
+    }
+
+    #[test]
+    fn boundary_on_exit_step_reports_exited() {
+        // Find the exact cycle count of the run, then slice so the
+        // budget is exhausted by the very step that writes the exit
+        // port (an OPB-touching step): the slice must say Exited, not
+        // CycleLimit — the off-by-one `run_budgeted`'s check order
+        // prevents.
+        let program = sliceable_program(3);
+        let mut probe = System::new(MbConfig::paper_default());
+        probe.load_program(&program).unwrap();
+        let total = probe.run(1_000_000).unwrap();
+        assert!(total.exited());
+
+        // The exit store costs 2 cycles, so budgets `total` and
+        // `total - 1` are both exhausted by the very step that writes
+        // the port.
+        for budget in [total.cycles, total.cycles - 1] {
+            let mut sys = System::new(MbConfig::paper_default());
+            sys.load_program(&program).unwrap();
+            let first = sys.run_slice(budget, &mut NullSink).unwrap();
+            assert_eq!(
+                first.stop,
+                StopReason::Exited(0),
+                "budget {budget} of {} landed on/after the exit store",
+                total.cycles
+            );
+            assert_eq!(first.cycles, total.cycles);
+            // The exit is sticky: further slices are zero-cost no-ops.
+            let after = sys.run_slice(1000, &mut NullSink).unwrap();
+            assert_eq!(after.stop, StopReason::Exited(0));
+            assert_eq!(after.cycles, 0);
+            assert_eq!(after.instructions, 0);
+        }
+
+        // One cycle earlier the slice ends just *before* the exit store:
+        // CycleLimit, with the exit delivered by the next slice.
+        let mut sys = System::new(MbConfig::paper_default());
+        sys.load_program(&program).unwrap();
+        let first = sys.run_slice(total.cycles - 2, &mut NullSink).unwrap();
+        assert_eq!(first.stop, StopReason::CycleLimit);
+        let second = sys.run_slice(1000, &mut NullSink).unwrap();
+        assert_eq!(second.stop, StopReason::Exited(0));
+        assert_eq!(first.cycles + second.cycles, total.cycles);
+    }
+
+    #[test]
+    fn zero_budget_slice_runs_nothing_but_reports_exit() {
+        let program = sliceable_program(2);
+        let mut sys = System::new(MbConfig::paper_default());
+        sys.load_program(&program).unwrap();
+        let out = sys.run_slice(0, &mut NullSink).unwrap();
+        assert_eq!(out.stop, StopReason::CycleLimit);
+        assert_eq!(out.cycles, 0);
+        sys.run(1_000_000).unwrap();
+        let out = sys.run_slice(0, &mut NullSink).unwrap();
+        assert_eq!(out.stop, StopReason::Exited(0), "exit visible even to a zero-budget slice");
     }
 
     #[test]

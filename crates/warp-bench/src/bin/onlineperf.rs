@@ -1,0 +1,39 @@
+//! Measures the online warp runtime's simulated timeline per workload —
+//! time-to-warp, warp/evict/re-warp events, online speedup over a
+//! software-only timeline, offline amortization columns — and writes
+//! `BENCH_online.json`.
+//!
+//! Usage: `onlineperf [--smoke] [--out <path>]`
+//!
+//! `--smoke` (or `ONLINEPERF_SMOKE=1`) uses smaller repeat counts and a
+//! shorter phased workload for CI. All numbers are simulated cycles, so
+//! the document is bit-deterministic across hosts; the schema
+//! (`warp-mb/bench-online/v1`) is described in the README's "Online
+//! warp runtime" section.
+
+use warp_bench::online;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke")
+        || std::env::var("ONLINEPERF_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_online.json".into());
+
+    let perf = online::measure_suite(smoke);
+    println!("online warp runtime timeline, {} mode:\n", if smoke { "smoke" } else { "full" });
+    print!("{}", perf.render_table());
+    println!(
+        "\n{} warp events across {} workloads; mean online speedup {:.2}x",
+        perf.total_events(),
+        perf.workloads.len(),
+        perf.mean_online_speedup()
+    );
+
+    let json = perf.to_json();
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path} ({} bytes)", json.len());
+}

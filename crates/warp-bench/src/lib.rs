@@ -10,12 +10,14 @@
 //! | `tab_cad` | On-chip CAD cost (refs \[15]\[16]\[17] leanness claims) |
 //! | `fig_multiproc` | Figure 4 extension: multi-processor warp system |
 //! | `simperf` | Simulation throughput (Minsn/s) → `BENCH_sim.json` |
+//! | `onlineperf` | Online-runtime timeline (time-to-warp, re-warps) → `BENCH_online.json` |
 //!
 //! Criterion benches (`cargo bench -p warp-bench`) measure the CAD
 //! pipeline stages, the simulators, and the end-to-end warp flow.
 
 #![forbid(unsafe_code)]
 
+pub mod online;
 pub mod simperf;
 
 use warp_core::experiments::{BenchmarkComparison, Fig6Row, Fig7Row};

@@ -33,7 +33,7 @@ pub enum WarpError {
     /// The binary could not be patched.
     Patch(PatchError),
     /// The patch did not fit in instruction memory.
-    PatchApply(String),
+    PatchApply(mb_sim::MemError),
     /// The warped run did not exit or faulted.
     Warped(String),
     /// The warped run produced different results than the golden model.
@@ -65,9 +65,9 @@ impl Error for WarpError {
             WarpError::Decompile(e) => Some(e),
             WarpError::Fabric(e) => Some(e),
             WarpError::Patch(e) => Some(e),
+            WarpError::PatchApply(e) => Some(e),
             WarpError::Software(_)
             | WarpError::NoHotRegion
-            | WarpError::PatchApply(_)
             | WarpError::Warped(_)
             | WarpError::Verification(_) => None,
         }

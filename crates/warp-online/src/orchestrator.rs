@@ -1,0 +1,486 @@
+//! The event-driven co-simulation runtime.
+//!
+//! One [`Orchestrator::run`] interleaves three actors on a single
+//! simulated timeline:
+//!
+//! * the **MicroBlaze**, executing the workload in bounded cycle slices;
+//! * the **profiler**, fed every retired instruction during the slice
+//!   (it is the slice's [`TraceSink`](mb_sim::TraceSink)) and decayed
+//!   on a fixed cadence so it tracks the current program phase;
+//! * the **OCPM**, which — once the policy commits to a region — runs
+//!   the real CAD chain host-side through the typed
+//!   [`warp_core::pipeline`] stages, while the *modeled* lean-processor
+//!   cycle cost is charged to the timeline; the patch lands only when
+//!   that budget has elapsed in simulated time.
+//!
+//! Hot-patching happens between slices through
+//! [`System::imem_mut`](mb_sim::System::imem_mut); the pre-decoded
+//! fetch store invalidates itself via `Bram::generation`, so the next
+//! fetch of the loop head sees the jump to the invocation stub. Because
+//! the stub marshals the *current* counter, stream pointers, and
+//! accumulators, a patch that lands mid-loop is safe: the next pass
+//! over the loop head hands the remaining iterations to hardware.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use mb_sim::{MbConfig, StopReason};
+use warp_core::dpm::DpmReport;
+use warp_core::pipeline::{self, CompiledWcla};
+use warp_core::{CircuitCache, WarpError, WarpOptions};
+use warp_profiler::{HotRegion, Profiler};
+use warp_wcla::patch::{apply_patch, revert_patch, PatchPlan};
+use warp_wcla::{WclaDevice, WclaStats, WCLA_BASE, WCLA_WINDOW};
+use workloads::BuiltWorkload;
+
+use crate::error::OnlineError;
+use crate::policy::{PolicyCtx, ThresholdPolicy, WarpPolicy};
+use crate::report::{OnlineReport, WarpEvent};
+use crate::slot::SharedSlot;
+
+/// Knobs of the online runtime.
+#[derive(Clone, Debug)]
+pub struct OnlineConfig {
+    /// Simulated system configuration (features are overridden per
+    /// workload by [`BuiltWorkload::instantiate`]).
+    pub mb: MbConfig,
+    /// The warp flow's options: profiler geometry, power models, and —
+    /// crucially here — `dpm_clock_hz`, the clock of the lean OCPM
+    /// processor that the CAD cycle budget is converted with.
+    pub options: WarpOptions,
+    /// Cycle budget per scheduler slice. Smaller slices react faster
+    /// (detection and patching happen at slice boundaries) but cost
+    /// more host-side scheduling; one slice should cover at least a
+    /// few hundred kernel iterations.
+    pub slice_cycles: u64,
+    /// Profiler decay cadence, in slices (0 disables decay). Decay is
+    /// what lets the ranking *forget* a phase that ended or a kernel
+    /// that moved to hardware.
+    pub decay_interval: u32,
+    /// Number of times to run the application end-to-end on one
+    /// timeline. Patches persist across repeats — a re-entered program
+    /// starts warped, the paper's "transparent optimization amortized
+    /// over reuse".
+    pub repeats: u32,
+    /// Hard timeline budget across all repeats.
+    pub max_cycles: u64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            mb: MbConfig::paper_default(),
+            options: WarpOptions::default(),
+            slice_cycles: 20_000,
+            decay_interval: 16,
+            repeats: 1,
+            max_cycles: 2_000_000_000,
+        }
+    }
+}
+
+/// A committed warp whose CAD budget is still elapsing on the timeline.
+struct PendingWarp {
+    region: HotRegion,
+    compiled: Arc<CompiledWcla>,
+    plan: PatchPlan,
+    detected_cycle: u64,
+    cad_cycles: u64,
+    ready_at: u64,
+    cache_hit: bool,
+}
+
+/// The warp currently holding the fabric.
+struct ActiveWarp {
+    region: (u32, u32),
+    plan: PatchPlan,
+    stats: std::rc::Rc<std::cell::RefCell<WclaStats>>,
+    event_index: usize,
+}
+
+/// The online warp runtime for one workload.
+pub struct Orchestrator<'w> {
+    built: &'w BuiltWorkload,
+    config: OnlineConfig,
+    policy: Box<dyn WarpPolicy + 'w>,
+    cache: Option<&'w CircuitCache>,
+}
+
+impl<'w> Orchestrator<'w> {
+    /// Creates a runtime with the default [`ThresholdPolicy`].
+    #[must_use]
+    pub fn new(built: &'w BuiltWorkload, config: OnlineConfig) -> Self {
+        Orchestrator {
+            built,
+            config,
+            policy: Box::new(ThresholdPolicy { min_count: 2048 }),
+            cache: None,
+        }
+    }
+
+    /// Replaces the warp policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: impl WarpPolicy + 'w) -> Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Shares a circuit cache: kernels compiled in previous runs (or by
+    /// other orchestrators) warm-start, paying only the reconfiguration
+    /// cycles on the timeline.
+    #[must_use]
+    pub fn with_cache(mut self, cache: &'w CircuitCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Runs the workload to completion under the online runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OnlineError`] if the simulated program faults, the
+    /// final memory diverges from the golden model, a patch cannot be
+    /// applied, a CAD phase fails for a reason other than "region not
+    /// implementable" (those are skipped and blacklisted), or the
+    /// timeline budget runs out.
+    pub fn run(self) -> Result<OnlineReport, OnlineError> {
+        let Orchestrator { built, config, mut policy, cache } = self;
+        let mut profiler = Profiler::new(config.options.profiler);
+        let slot = SharedSlot::new();
+
+        let mut cycles = 0u64;
+        let mut instructions = 0u64;
+        let mut slices = 0u64;
+        let mut slices_since_decay = 0u32;
+        let mut exit_code = 0u32;
+        let mut events: Vec<WarpEvent> = Vec::new();
+        let mut active: Option<ActiveWarp> = None;
+        let mut pending: Option<PendingWarp> = None;
+        let mut blacklist: BTreeSet<(u32, u32)> = BTreeSet::new();
+
+        for _rep in 0..config.repeats.max(1) {
+            let mut sys = built.instantiate(&config.mb);
+            sys.map_peripheral(WCLA_BASE, WCLA_WINDOW, Box::new(slot.port()));
+            // A re-entered application starts already warped: the OCPM
+            // re-applies the standing patch at load time, no CAD.
+            if let Some(a) = &active {
+                apply_patch(sys.imem_mut(), &a.plan).map_err(OnlineError::Patch)?;
+            }
+
+            loop {
+                let out =
+                    sys.run_slice(config.slice_cycles, &mut profiler).map_err(OnlineError::Run)?;
+                cycles += out.cycles;
+                instructions += out.instructions;
+                slices += 1;
+
+                if config.decay_interval > 0 {
+                    slices_since_decay += 1;
+                    if slices_since_decay >= config.decay_interval {
+                        profiler.decay();
+                        slices_since_decay = 0;
+                    }
+                }
+
+                // CAD completion: the pending warp's lean-processor
+                // budget has elapsed — hot-patch, unless the PC sits in
+                // the stub words about to be rewritten (retry next
+                // slice; the stub is straight-line and exits quickly).
+                let ready = pending.as_ref().is_some_and(|p| cycles >= p.ready_at);
+                if ready && stub_is_clear(sys.cpu().pc(), active.as_ref()) {
+                    let p = pending.take().expect("checked above");
+                    let mut evicted = None;
+                    if let Some(old) = active.take() {
+                        revert_patch(sys.imem_mut(), &old.plan).map_err(OnlineError::Patch)?;
+                        events[old.event_index].hw = *old.stats.borrow();
+                        evicted = Some(old.region);
+                    }
+                    apply_patch(sys.imem_mut(), &p.plan).map_err(OnlineError::Patch)?;
+                    let (device, stats) =
+                        WclaDevice::new(p.compiled.circuit.clone(), config.mb.clock_hz);
+                    slot.install(device);
+                    let event_index = events.len();
+                    events.push(WarpEvent {
+                        head: p.region.head,
+                        tail: p.region.tail,
+                        count_at_detection: p.region.count,
+                        fingerprint: p.compiled.fingerprint,
+                        detected_cycle: p.detected_cycle,
+                        cad_cycles: p.cad_cycles,
+                        patched_cycle: cycles,
+                        patched_insns: instructions,
+                        cache_hit: p.cache_hit,
+                        evicted,
+                        dpm: p.compiled.dpm,
+                        model: p.compiled.circuit.model,
+                        hw: WclaStats::default(),
+                    });
+                    active = Some(ActiveWarp {
+                        region: (p.region.head, p.region.tail),
+                        plan: p.plan,
+                        stats,
+                        event_index,
+                    });
+                } else if pending.is_none() {
+                    // Detection: offer ranked candidates to the policy.
+                    let active_key = active.as_ref().map(|a| a.region);
+                    let ranked = profiler.hot_regions();
+                    let ctx = PolicyCtx {
+                        active: active_key,
+                        active_count: active_key
+                            .and_then(|(h, t)| ranked.iter().find(|r| (r.head, r.tail) == (h, t)))
+                            .map_or(0, |r| r.count),
+                        warps_committed: events.len(),
+                        timeline_cycles: cycles,
+                        profiler: profiler.stats(),
+                    };
+                    let candidate = ranked
+                        .iter()
+                        .filter(|r| Some((r.head, r.tail)) != active_key)
+                        .filter(|r| !blacklist.contains(&(r.head, r.tail)))
+                        .find(|r| policy.should_warp(r, &ctx))
+                        .copied();
+                    if let Some(region) = candidate {
+                        match prepare_warp(built, cache, &config, &region, cycles) {
+                            Ok(Some(p)) => pending = Some(p),
+                            // Not WCLA-implementable: leave the region
+                            // in software, permanently.
+                            Ok(None) => {
+                                blacklist.insert((region.head, region.tail));
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+
+                // Detection and patching run on *every* slice boundary,
+                // including the one where the program exits: the
+                // profiler's view persists across re-entries, so heat
+                // retired in a run's final slice (a kernel that finishes
+                // right before the exit) must still be able to commit a
+                // warp — it lands in the next repeat, already patched at
+                // load time.
+                if let StopReason::Exited(code) = out.stop {
+                    exit_code = code;
+                    break;
+                }
+                if cycles >= config.max_cycles {
+                    return Err(OnlineError::BudgetExhausted { cycles, limit: config.max_cycles });
+                }
+            }
+
+            built.verify(sys.dmem()).map_err(OnlineError::Verify)?;
+        }
+
+        if let Some(a) = &active {
+            events[a.event_index].hw = *a.stats.borrow();
+        }
+        Ok(OnlineReport {
+            name: built.name.clone(),
+            repeats: config.repeats.max(1),
+            slices,
+            cycles,
+            instructions,
+            exit_code,
+            events,
+            profiler: profiler.stats(),
+        })
+    }
+}
+
+/// Whether the PC is outside the stub words an eviction would rewrite.
+/// (Patching the loop head itself is always safe — the current
+/// iteration completes on the original body and the *next* head fetch
+/// sees the jump; only overwriting straight-line stub code under the PC
+/// would corrupt execution.)
+fn stub_is_clear(pc: u32, active: Option<&ActiveWarp>) -> bool {
+    match active {
+        None => true,
+        Some(a) => {
+            let start = a.plan.stub_base;
+            let end = start + 4 * a.plan.stub.len() as u32;
+            !(start..end).contains(&pc)
+        }
+    }
+}
+
+/// Runs the OCPM's CAD chain host-side (decompile → compile → patch
+/// plan) and converts its modeled cost into a timeline budget.
+///
+/// `Ok(None)` means the region is not WCLA-implementable (decompilation,
+/// fabric capacity, or patching rejected it) — the caller blacklists it
+/// and execution simply continues in software, exactly the partitioner's
+/// fallback in the paper.
+fn prepare_warp(
+    built: &BuiltWorkload,
+    cache: Option<&CircuitCache>,
+    config: &OnlineConfig,
+    region: &HotRegion,
+    now: u64,
+) -> Result<Option<PendingWarp>, OnlineError> {
+    let reject = |e: &WarpError| {
+        matches!(e, WarpError::Decompile(_) | WarpError::Fabric(_) | WarpError::Patch(_))
+    };
+    let lift = |e: WarpError| -> Result<Option<PendingWarp>, OnlineError> {
+        if reject(&e) {
+            Ok(None)
+        } else {
+            Err(OnlineError::Warp(e))
+        }
+    };
+
+    let decompiled = match pipeline::decompile(built, region) {
+        Ok(d) => d,
+        Err(e) => return lift(e),
+    };
+    let (compiled, cache_hit) = match cache {
+        Some(cache) => match cache.lookup_or_compile(&decompiled) {
+            Ok(pair) => pair,
+            Err(e) => return lift(e),
+        },
+        None => match pipeline::compile_circuit(&decompiled) {
+            Ok(c) => (Arc::new(c), false),
+            Err(e) => return lift(e),
+        },
+    };
+    let plan = match pipeline::plan_patch(built, &compiled) {
+        Ok(p) => p.plan,
+        Err(e) => return lift(e),
+    };
+
+    let cad_cycles = cad_timeline_cycles(
+        &compiled.dpm,
+        cache_hit,
+        config.mb.clock_hz,
+        config.options.dpm_clock_hz,
+    );
+    Ok(Some(PendingWarp {
+        region: *region,
+        compiled,
+        plan,
+        detected_cycle: now,
+        cad_cycles,
+        ready_at: now + cad_cycles,
+        cache_hit,
+    }))
+}
+
+/// Converts the OCPM's modeled CAD cycles (at its own clock) into
+/// MicroBlaze timeline cycles. A circuit-cache hit skips the whole CAD
+/// chain and pays only the reconfiguration — the bitstream write.
+fn cad_timeline_cycles(dpm: &DpmReport, cache_hit: bool, mb_hz: u64, dpm_hz: u64) -> u64 {
+    let dpm_cycles = if cache_hit { dpm.bitstream_cycles } else { dpm.total_cycles() };
+    u64::try_from((u128::from(dpm_cycles) * u128::from(mb_hz)).div_ceil(u128::from(dpm_hz.max(1))))
+        .unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{NeverPolicy, TopKPolicy};
+    use mb_isa::MbFeatures;
+
+    #[test]
+    fn cad_budget_scales_with_the_ocpm_clock() {
+        let dpm = DpmReport {
+            decompile_cycles: 500,
+            synth_cycles: 500,
+            bitstream_cycles: 100,
+            ..DpmReport::default()
+        };
+        // Same clock: 1:1.
+        assert_eq!(cad_timeline_cycles(&dpm, false, 85_000_000, 85_000_000), 1100);
+        // A 10x faster OCPM charges a tenth of the timeline.
+        assert_eq!(cad_timeline_cycles(&dpm, false, 85_000_000, 850_000_000), 110);
+        // Warm start pays only the reconfiguration.
+        assert_eq!(cad_timeline_cycles(&dpm, true, 85_000_000, 85_000_000), 100);
+    }
+
+    #[test]
+    fn never_policy_is_a_pure_software_timeline() {
+        let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());
+        let report = Orchestrator::new(&built, OnlineConfig::default())
+            .with_policy(NeverPolicy)
+            .run()
+            .unwrap();
+        assert!(report.events.is_empty());
+        assert_eq!(report.exit_code, 0);
+
+        // The sliced never-warp timeline is cycle-identical to one
+        // monolithic software run.
+        let mut sys = built.instantiate(&MbConfig::paper_default());
+        let out = sys.run(500_000_000).unwrap();
+        assert_eq!(report.cycles, out.cycles);
+        assert_eq!(report.instructions, out.instructions);
+    }
+
+    #[test]
+    fn brev_warps_mid_run_and_finishes_in_hardware() {
+        let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());
+        let report = Orchestrator::new(&built, OnlineConfig::default())
+            .with_policy(TopKPolicy { k: 1, min_count: 256 })
+            .run()
+            .unwrap();
+        assert_eq!(report.events.len(), 1, "brev's cheap CAD must land within one run");
+        let e = &report.events[0];
+        assert_eq!((e.head, e.tail), (built.kernel.head, built.kernel.tail));
+        assert!(e.patched_cycle >= e.detected_cycle + e.cad_cycles);
+        assert!(e.patched_cycle < report.cycles, "patch must land before the program ends");
+        assert!(e.hw.invocations >= 1, "the remaining iterations must run in hardware");
+        assert!(e.hw.iterations > 0);
+        assert!(!e.cache_hit);
+        assert_eq!(e.evicted, None);
+    }
+
+    #[test]
+    fn warm_cache_charges_only_reconfiguration() {
+        let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());
+        let cache = CircuitCache::new();
+        // Slices finer than the CAD budget, so the patch cycle resolves
+        // the cold/warm difference instead of quantizing it away.
+        let config = OnlineConfig { slice_cycles: 2_000, ..OnlineConfig::default() };
+        let cold = Orchestrator::new(&built, config.clone())
+            .with_policy(TopKPolicy { k: 1, min_count: 256 })
+            .with_cache(&cache)
+            .run()
+            .unwrap();
+        let warm = Orchestrator::new(&built, config)
+            .with_policy(TopKPolicy { k: 1, min_count: 256 })
+            .with_cache(&cache)
+            .run()
+            .unwrap();
+        assert!(!cold.events[0].cache_hit);
+        assert!(warm.events[0].cache_hit, "second orchestrator must warm-start");
+        assert_eq!(warm.events[0].cad_cycles, {
+            let dpm = warm.events[0].dpm;
+            cad_timeline_cycles(&dpm, true, 85_000_000, warp_core::DEFAULT_DPM_CLOCK_HZ)
+        });
+        assert!(
+            warm.events[0].cad_cycles < cold.events[0].cad_cycles,
+            "warm start must shorten time-to-warp"
+        );
+        assert!(warm.time_to_first_warp().unwrap() < cold.time_to_first_warp().unwrap());
+    }
+
+    #[test]
+    fn repeats_accumulate_one_timeline_and_stay_patched() {
+        let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());
+        let config = OnlineConfig { repeats: 3, ..OnlineConfig::default() };
+        let report = Orchestrator::new(&built, config)
+            .with_policy(TopKPolicy { k: 1, min_count: 256 })
+            .run()
+            .unwrap();
+        assert_eq!(report.repeats, 3);
+        assert_eq!(report.events.len(), 1, "the standing patch needs no second warp");
+        // Repeats 2 and 3 enter the kernel already warped: one
+        // invocation from the mid-run patch plus one per warm repeat.
+        assert!(report.events[0].hw.invocations >= 3);
+
+        // And the warped repeats are cheaper than software-only ones.
+        let sw = Orchestrator::new(&built, OnlineConfig { repeats: 3, ..OnlineConfig::default() })
+            .with_policy(NeverPolicy)
+            .run()
+            .unwrap();
+        assert!(report.cycles < sw.cycles, "online {} vs software {}", report.cycles, sw.cycles);
+    }
+}

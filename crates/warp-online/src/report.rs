@@ -1,0 +1,292 @@
+//! What an online run measured: the warp-event timeline and the
+//! throughput/amortization views over it.
+
+use std::fmt;
+
+use warp_core::dpm::DpmReport;
+use warp_profiler::ProfilerStats;
+use warp_wcla::{ExecModel, WclaStats};
+
+/// One landed warp on the timeline: detection, CAD budget, patch,
+/// eviction, and the hardware activity of the installed circuit.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct WarpEvent {
+    /// Warped loop head (backward-branch target).
+    pub head: u32,
+    /// Warped loop tail (the backward branch).
+    pub tail: u32,
+    /// The region's profiler heat when the policy committed.
+    pub count_at_detection: u64,
+    /// Stable fingerprint of the decompiled kernel (the circuit-cache
+    /// key).
+    pub fingerprint: u64,
+    /// Timeline cycle at which the OCPM started the CAD chain.
+    pub detected_cycle: u64,
+    /// Lean-processor CAD work charged to the timeline, in MicroBlaze
+    /// cycles (on a circuit-cache hit only the reconfiguration —
+    /// bitstream write — is charged).
+    pub cad_cycles: u64,
+    /// Timeline cycle at which the patch landed and execution switched
+    /// to hardware. At least `detected_cycle + cad_cycles`; patching is
+    /// additionally deferred past slice boundaries where the PC sits
+    /// inside the region being rewritten.
+    pub patched_cycle: u64,
+    /// Instructions retired when the patch landed.
+    pub patched_insns: u64,
+    /// Whether the circuit came from the shared cache (warm start).
+    pub cache_hit: bool,
+    /// The region whose circuit this warp evicted, if any.
+    pub evicted: Option<(u32, u32)>,
+    /// The OCPM's modeled cost breakdown for this kernel.
+    pub dpm: DpmReport,
+    /// The installed circuit's cycle model — identical to what the
+    /// offline pipeline derives for the same kernel.
+    pub model: ExecModel,
+    /// Hardware activity of this circuit while it held the fabric
+    /// (finalized at eviction or end of run).
+    pub hw: WclaStats,
+}
+
+impl WarpEvent {
+    /// Cycles between the OCPM committing and the patch landing.
+    #[must_use]
+    pub fn warp_latency(&self) -> u64 {
+        self.patched_cycle - self.detected_cycle
+    }
+}
+
+impl fmt::Display for WarpEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "loop {:#06x}..{:#06x}: detected @{}, CAD {} cyc{}, patched @{}",
+            self.head,
+            self.tail,
+            self.detected_cycle,
+            self.cad_cycles,
+            if self.cache_hit { " (cache hit)" } else { "" },
+            self.patched_cycle,
+        )?;
+        if let Some((h, t)) = self.evicted {
+            write!(f, ", evicted {h:#06x}..{t:#06x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything measured from one online run.
+#[derive(Clone, Debug)]
+pub struct OnlineReport {
+    /// Workload name.
+    pub name: String,
+    /// Application executions folded into the timeline (re-entries of
+    /// the same binary; patches persist across them).
+    pub repeats: u32,
+    /// Scheduler slices executed.
+    pub slices: u64,
+    /// Total simulated MicroBlaze cycles across all repeats.
+    pub cycles: u64,
+    /// Total instructions retired in software.
+    pub instructions: u64,
+    /// The program's exit code (last repeat).
+    pub exit_code: u32,
+    /// Landed warps, in timeline order.
+    pub events: Vec<WarpEvent>,
+    /// Profiler hardware counters at end of run (including decays).
+    pub profiler: ProfilerStats,
+}
+
+impl OnlineReport {
+    /// Cycles from power-on to the first landed patch (`None` when the
+    /// run never warped).
+    #[must_use]
+    pub fn time_to_first_warp(&self) -> Option<u64> {
+        self.events.first().map(|e| e.patched_cycle)
+    }
+
+    /// Cumulative hardware activity across every circuit that held the
+    /// fabric.
+    #[must_use]
+    pub fn hw_total(&self) -> WclaStats {
+        let mut total = WclaStats::default();
+        for e in &self.events {
+            total.invocations += e.hw.invocations;
+            total.iterations += e.hw.iterations;
+            total.fabric_cycles += e.hw.fabric_cycles;
+            total.mb_stall_cycles += e.hw.mb_stall_cycles;
+            total.loads += e.hw.loads;
+            total.stores += e.hw.stores;
+        }
+        total
+    }
+
+    /// Software instructions per cycle before the first warp landed
+    /// (the pure-software phase of the timeline).
+    #[must_use]
+    pub fn pre_warp_ipc(&self) -> f64 {
+        match self.events.first() {
+            Some(e) if e.patched_cycle > 0 => e.patched_insns as f64 / e.patched_cycle as f64,
+            _ => self.instructions as f64 / self.cycles.max(1) as f64,
+        }
+    }
+
+    /// Application progress per cycle after the last warp landed,
+    /// counting hardware iterations as the instructions they replace.
+    ///
+    /// Post-warp, kernel iterations retire in the WCLA instead of as
+    /// MicroBlaze instructions, so raw software IPC *understates*
+    /// progress; this folds each hardware iteration back in at the
+    /// software kernel's instruction weight so pre/post throughput
+    /// compares like for like.
+    #[must_use]
+    pub fn post_warp_progress(&self, kernel_insns_per_iter: f64) -> f64 {
+        let Some(last) = self.events.last() else {
+            return self.pre_warp_ipc();
+        };
+        let cycles = self.cycles.saturating_sub(last.patched_cycle);
+        if cycles == 0 {
+            return 0.0;
+        }
+        let sw_insns = self.instructions.saturating_sub(last.patched_insns) as f64;
+        // Only the last event's circuit is active in this window — an
+        // earlier circuit's iterations all retired before its eviction,
+        // i.e. before the last patch.
+        let hw_iters = last.hw.iterations;
+        (sw_insns + hw_iters as f64 * kernel_insns_per_iter) / cycles as f64
+    }
+
+    /// End-to-end speedup against a software-only execution of the same
+    /// repeat sequence (`sw_cycles` = software-only cycles for all
+    /// repeats).
+    #[must_use]
+    pub fn speedup_vs(&self, sw_cycles: u64) -> f64 {
+        sw_cycles as f64 / self.cycles.max(1) as f64
+    }
+
+    /// The offline stop-the-world amortization view of the same warps:
+    /// how many whole-application runs the offline flow would need
+    /// before its one-time CAD cost is paid back, given software and
+    /// warped per-run seconds. The online runtime pays CAD on a
+    /// concurrent lean processor instead, so its break-even is measured
+    /// on the timeline ([`time_to_first_warp`](Self::time_to_first_warp))
+    /// rather than in runs — this is the A-B number next to it.
+    #[must_use]
+    pub fn offline_break_even_runs(sw_seconds: f64, warped_seconds: f64, dpm_seconds: f64) -> u64 {
+        let gain = sw_seconds - warped_seconds;
+        if gain <= 0.0 {
+            return u64::MAX;
+        }
+        (dpm_seconds / gain).ceil().max(1.0) as u64
+    }
+}
+
+impl fmt::Display for OnlineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} cycles, {} slices, {} repeats, {} warp event(s)",
+            self.name,
+            self.cycles,
+            self.slices,
+            self.repeats,
+            self.events.len()
+        )?;
+        for e in &self.events {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(patched_cycle: u64, patched_insns: u64, iterations: u64) -> WarpEvent {
+        WarpEvent {
+            head: 0x100,
+            tail: 0x140,
+            count_at_detection: 500,
+            fingerprint: 0xABCD,
+            detected_cycle: patched_cycle / 2,
+            cad_cycles: patched_cycle / 2,
+            patched_cycle,
+            patched_insns,
+            cache_hit: false,
+            evicted: None,
+            dpm: DpmReport::default(),
+            model: ExecModel {
+                fabric_clock_hz: 250_000_000,
+                mem_ops: 2,
+                compute_cycles: 1,
+                mac_cycles: 0,
+                startup_cycles: 4,
+                cycles_per_iteration: 2,
+            },
+            hw: WclaStats { iterations, ..WclaStats::default() },
+        }
+    }
+
+    fn report(events: Vec<WarpEvent>) -> OnlineReport {
+        OnlineReport {
+            name: "test".into(),
+            repeats: 1,
+            slices: 10,
+            cycles: 1000,
+            instructions: 800,
+            exit_code: 0,
+            events,
+            profiler: ProfilerStats::default(),
+        }
+    }
+
+    #[test]
+    fn throughput_views_split_at_the_patch() {
+        let r = report(vec![event(400, 390, 100)]);
+        assert_eq!(r.time_to_first_warp(), Some(400));
+        assert!((r.pre_warp_ipc() - 390.0 / 400.0).abs() < 1e-12);
+        // Post: (800-390) sw insns + 100 iters * 10 insns over 600 cyc.
+        let p = r.post_warp_progress(10.0);
+        assert!((p - (410.0 + 1000.0) / 600.0).abs() < 1e-12);
+        assert!(p > r.pre_warp_ipc(), "hardware must raise progress per cycle");
+    }
+
+    #[test]
+    fn post_warp_progress_counts_only_the_active_circuit() {
+        // Two warps: the evicted circuit's 1000 iterations all retired
+        // before the re-warp and must not inflate the post-warp window.
+        let mut evicted = event(200, 180, 1000);
+        let second = event(600, 500, 50);
+        evicted.evicted = None;
+        let r = report(vec![evicted, second]);
+        // Post window: (800-500) sw insns + 50 iters * 10 over 400 cyc.
+        let p = r.post_warp_progress(10.0);
+        assert!((p - (300.0 + 500.0) / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unwarped_report_degrades_gracefully() {
+        let r = report(vec![]);
+        assert_eq!(r.time_to_first_warp(), None);
+        assert!((r.pre_warp_ipc() - 0.8).abs() < 1e-12);
+        assert!((r.post_warp_progress(10.0) - 0.8).abs() < 1e-12);
+        assert_eq!(r.hw_total(), WclaStats::default());
+    }
+
+    #[test]
+    fn break_even_runs_matches_closed_form() {
+        // gain 0.1 s/run, CAD 0.35 s -> 4 runs.
+        assert_eq!(OnlineReport::offline_break_even_runs(1.0, 0.9, 0.35), 4);
+        assert_eq!(OnlineReport::offline_break_even_runs(1.0, 0.9, 0.05), 1);
+        assert_eq!(OnlineReport::offline_break_even_runs(1.0, 1.1, 0.1), u64::MAX);
+    }
+
+    #[test]
+    fn display_mentions_events_and_evictions() {
+        let mut e = event(400, 390, 10);
+        e.evicted = Some((0x80, 0xC0));
+        let text = report(vec![e]).to_string();
+        assert!(text.contains("warp event"));
+        assert!(text.contains("evicted"));
+    }
+}

@@ -101,6 +101,10 @@ pub struct ProfilerStats {
     pub evictions: u64,
     /// Counter-aging passes (halving on saturation).
     pub agings: u64,
+    /// Explicit decay passes requested by the runtime.
+    pub decays: u64,
+    /// Entries whose counter decayed/aged to zero and were dropped.
+    pub decay_evictions: u64,
 }
 
 /// The frequent-loop-detection cache.
@@ -172,13 +176,41 @@ impl Profiler {
         self.entries.push(Entry { tail: branch_pc, head: target, count: 1 });
     }
 
+    /// Halves every counter and drops entries whose counter reaches
+    /// zero. An entry dropped here is *evicted*: it can reappear only
+    /// through a fresh [`observe_branch`](Profiler::observe_branch),
+    /// never by further halving — stale heat cannot resurrect a region.
+    fn halve_all(&mut self) {
+        let before = self.entries.len();
+        self.entries.retain_mut(|e| {
+            e.count /= 2;
+            e.count > 0
+        });
+        self.stats.decay_evictions += (before - self.entries.len()) as u64;
+    }
+
     /// Halves every counter (aging on saturation keeps relative order
     /// while preventing overflow).
     fn age(&mut self) {
         self.stats.agings += 1;
-        for e in &mut self.entries {
-            e.count /= 2;
-        }
+        self.halve_all();
+    }
+
+    /// Ages every counter by one halving step, on the runtime's clock
+    /// rather than on saturation.
+    ///
+    /// An online partitioning runtime calls this periodically so the
+    /// cache tracks the *current* phase of the program: heat from a
+    /// loop that stopped executing (it finished, or it was moved to
+    /// hardware and its branches no longer retire) halves away until
+    /// the entry is evicted, letting the next phase's loops rise to the
+    /// top of [`hot_regions`](Profiler::hot_regions). Entries that
+    /// decay to zero are dropped and never resurface without fresh
+    /// observations.
+    pub fn decay(&mut self) {
+        self.ranked.take();
+        self.stats.decays += 1;
+        self.halve_all();
     }
 
     /// Feeds one trace event to the profiler.
@@ -341,6 +373,42 @@ mod tests {
         let before = p.hot_regions().as_ptr();
         p.observe_branch(0x100, 0x200); // forward: ignored
         assert_eq!(p.hot_regions().as_ptr(), before);
+    }
+
+    #[test]
+    fn decay_halves_heat_and_evicts_cold_entries() {
+        let mut p = Profiler::new(ProfilerConfig::default());
+        for _ in 0..8 {
+            p.observe_branch(0x100, 0x80);
+        }
+        p.observe_branch(0x200, 0x180); // count 1
+        p.decay(); // 4 / evicted
+        let hot = p.hot_regions();
+        assert_eq!(hot.len(), 1, "count-1 entry decays to zero and is dropped");
+        assert_eq!(hot[0].tail, 0x100);
+        assert_eq!(hot[0].count, 4);
+        assert_eq!(p.stats().decays, 1);
+        assert_eq!(p.stats().decay_evictions, 1);
+
+        // Three more decays clear the cache entirely...
+        p.decay();
+        p.decay();
+        p.decay();
+        assert!(p.best().is_none(), "heat must not survive repeated decay");
+        // ...and further decay does not resurrect anything.
+        p.decay();
+        assert!(p.hot_regions().is_empty());
+    }
+
+    #[test]
+    fn decay_invalidates_cached_ranking() {
+        let mut p = Profiler::new(ProfilerConfig::default());
+        for _ in 0..4 {
+            p.observe_branch(0x100, 0x80);
+        }
+        assert_eq!(p.hot_regions()[0].count, 4);
+        p.decay();
+        assert_eq!(p.hot_regions()[0].count, 2, "ranking must refresh after decay");
     }
 
     #[test]

@@ -45,6 +45,7 @@ mod extra;
 mod g3fax;
 mod idct;
 mod matmul;
+pub mod phased;
 
 use std::error::Error;
 use std::fmt;
@@ -298,6 +299,12 @@ pub fn extra_suite() -> Vec<Workload> {
             suite: Suite::Extra,
             description: "word-parallel checksum over a message buffer",
             build_fn: extra::build_crc32,
+        },
+        Workload {
+            name: "phased",
+            suite: Suite::Extra,
+            description: "two-phase run whose hot kernel shifts mid-execution",
+            build_fn: phased::build,
         },
     ]
 }

@@ -1,0 +1,70 @@
+//! Online warping: watch the runtime profile, warp, and hot-patch a
+//! program *while it runs* — then re-warp when the hot loop moves.
+//!
+//! ```sh
+//! cargo run --release --example online_warp
+//! ```
+
+use mb_isa::MbFeatures;
+use warp_online::{NeverPolicy, OnlineConfig, Orchestrator, ThresholdPolicy, TopKPolicy};
+
+fn main() {
+    // Part 1: a single-kernel workload, executed three times on one
+    // timeline. The profiler detects the kernel mid-first-run, the
+    // OCPM's CAD budget elapses in simulated time, the binary is
+    // patched mid-run, and later runs start warped.
+    let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());
+    let config = OnlineConfig { repeats: 3, ..OnlineConfig::default() };
+
+    println!("online-warping `brev` (3 repeats on one timeline)");
+    let report = Orchestrator::new(&built, config.clone())
+        .with_policy(TopKPolicy { k: 1, min_count: 512 })
+        .run()
+        .expect("online run succeeds");
+    let software = Orchestrator::new(&built, config)
+        .with_policy(NeverPolicy)
+        .run()
+        .expect("software-only arm succeeds");
+
+    print!("{report}");
+    let event = &report.events[0];
+    println!("  CAD ran concurrently: {} lean-processor cycles on the timeline", event.cad_cycles);
+    println!(
+        "  hardware: {} invocations, {} iterations ({} cycles/iteration on the fabric)",
+        event.hw.invocations, event.hw.iterations, event.model.cycles_per_iteration
+    );
+    println!(
+        "  online {} cycles vs software-only {} cycles -> {:.2}x end-to-end\n",
+        report.cycles,
+        software.cycles,
+        report.speedup_vs(software.cycles)
+    );
+
+    // Part 2: the phased workload — its hot loop *moves* mid-run. The
+    // decaying profiler notices, the first circuit is evicted, and the
+    // runtime re-warps to the new kernel.
+    let phased = workloads::phased::build_scaled(MbFeatures::paper_default(), 300, 700);
+    let config = OnlineConfig { decay_interval: 8, ..OnlineConfig::default() };
+
+    println!("online-warping `phased` (hot loop shifts mid-run)");
+    let report = Orchestrator::new(&phased, config.clone())
+        .with_policy(ThresholdPolicy { min_count: 3000 })
+        .run()
+        .expect("phased online run succeeds");
+    let software = Orchestrator::new(&phased, config)
+        .with_policy(NeverPolicy)
+        .run()
+        .expect("phased software arm succeeds");
+
+    print!("{report}");
+    println!(
+        "  profiler: {} decay passes, {} entries decayed away",
+        report.profiler.decays, report.profiler.decay_evictions
+    );
+    println!(
+        "  online {} cycles vs software-only {} cycles -> {:.2}x end-to-end",
+        report.cycles,
+        software.cycles,
+        report.speedup_vs(software.cycles)
+    );
+}

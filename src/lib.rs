@@ -18,6 +18,8 @@
 //! * [`arm_sim`] — ARM7/9/10/11 hard-core timing baselines
 //! * [`warp_power`] — power models and the paper's energy equations
 //! * [`warp_core`] — end-to-end warp processor orchestration
+//! * [`warp_online`] — the online runtime: profile, warp, and hot-patch
+//!   while the program runs
 
 #![forbid(unsafe_code)]
 
@@ -27,6 +29,7 @@ pub use mb_sim;
 pub use warp_cdfg;
 pub use warp_core;
 pub use warp_fabric;
+pub use warp_online;
 pub use warp_power;
 pub use warp_profiler;
 pub use warp_synth;

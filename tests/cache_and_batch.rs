@@ -59,7 +59,7 @@ fn batch_runner_matches_sequential_figures_exactly() {
 }
 
 /// Kernel fingerprints are stable across independent decompilations and
-/// distinct across all eight workloads.
+/// distinct across all nine workloads.
 #[test]
 fn fingerprints_are_stable_and_distinct_across_workloads() {
     let mut seen: Vec<(&str, u64)> = Vec::new();
@@ -80,10 +80,10 @@ fn fingerprints_are_stable_and_distinct_across_workloads() {
         }
         seen.push((workload.name, a.fingerprint()));
     }
-    assert_eq!(seen.len(), 8, "the paper's six workloads plus the two extras");
+    assert_eq!(seen.len(), 9, "the paper's six workloads plus the three extras");
 }
 
-/// One shared cache across the whole suite: eight distinct kernels miss
+/// One shared cache across the whole suite: nine distinct kernels miss
 /// once each, and a rerun of the suite is all hits.
 #[test]
 fn suite_reruns_are_pure_cache_hits() {

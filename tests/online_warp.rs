@@ -1,0 +1,220 @@
+//! The online runtime against the offline pipeline: convergence,
+//! mid-run invalidation, and phased re-warping.
+//!
+//! Three contracts:
+//!
+//! 1. **online == offline convergence** — warping a single-kernel
+//!    workload online must install the *exact* circuit the offline
+//!    staged pipeline compiles (same kernel fingerprint, same
+//!    [`ExecModel`](warp_mb::warp_wcla::ExecModel) cycles/iteration),
+//!    and the end-to-end online speedup must sit in the band the
+//!    offline amortization model predicts;
+//! 2. **mid-run patch invalidation** — the orchestrator's hot patch
+//!    must behave identically with the pre-decoded fetch store on and
+//!    off (the `tests/sim_fast_path.rs` contract, replayed from inside
+//!    the online runtime);
+//! 3. **phased re-warp** — on a workload whose hot loop shifts mid-run,
+//!    the timeline must show two warp events, the second evicting the
+//!    first, with results bit-identical to software-only execution
+//!    (verified against the golden model inside the run).
+
+use mb_isa::MbFeatures;
+use warp_bench::online::offline_reference;
+use warp_mb::warp_online::{NeverPolicy, OnlineConfig, Orchestrator, ThresholdPolicy, TopKPolicy};
+use warp_mb::{mb_sim, workloads};
+
+#[test]
+fn online_converges_to_the_offline_pipeline_on_every_single_kernel_workload() {
+    for workload in workloads::all().into_iter().filter(|w| w.name != "phased") {
+        let built = workload.build(MbFeatures::paper_default());
+
+        // Offline staged reference with the OCPM clock pre-scaled so
+        // the warp lands within a few repeats — the same helper the
+        // `onlineperf` harness uses, so the scaling rule, the detection
+        // threshold, and the amortization columns cannot drift apart.
+        let offline = offline_reference(&built);
+        let sw_cycles = offline.report.sw_cycles;
+
+        let repeats = 3;
+        let config = OnlineConfig {
+            options: offline.options.clone(),
+            slice_cycles: 10_000,
+            decay_interval: 0, // convergence, not phase tracking
+            repeats,
+            ..OnlineConfig::default()
+        };
+        let report = Orchestrator::new(&built, config)
+            .with_policy(TopKPolicy { k: 1, min_count: offline.kernel_heat })
+            .run()
+            .unwrap();
+
+        // Exactly one warp, of exactly the offline kernel...
+        assert_eq!(report.events.len(), 1, "{}", built.name);
+        let event = &report.events[0];
+        assert_eq!((event.head, event.tail), (built.kernel.head, built.kernel.tail));
+        assert_eq!(event.fingerprint, offline.fingerprint, "{}", built.name);
+        // ...installing the identical circuit: the online WCLA obeys
+        // the exact cycle model the offline pipeline derived.
+        assert_eq!(event.model, offline.model, "{}: ExecModel must match", built.name);
+        assert_eq!(event.dpm, offline.dpm, "{}", built.name);
+        assert!(event.hw.invocations >= 1, "{}: hardware never ran", built.name);
+        assert!(event.patched_cycle >= event.detected_cycle + event.cad_cycles);
+
+        // Hardware raises application progress per cycle.
+        let insns_per_iter = f64::from(built.kernel.words());
+        assert!(
+            report.post_warp_progress(insns_per_iter) > report.pre_warp_ipc(),
+            "{}: post-warp progress must beat pre-warp",
+            built.name
+        );
+
+        // Convergence of the timeline itself: before the patch the
+        // online runtime *is* software, and after it the workload must
+        // run at the offline steady-state ratio — so the whole online
+        // timeline is predictable from the patch cycle and the offline
+        // speedup alone. A mis-modeled stub, a circuit that is not the
+        // offline one, or broken invalidation would all bend this.
+        let steady = offline.report.speedup();
+        let total_sw = sw_cycles * u64::from(repeats);
+        let predicted =
+            event.patched_cycle as f64 + (total_sw - event.patched_cycle) as f64 / steady;
+        let ratio = report.cycles as f64 / predicted;
+        assert!(
+            (0.8..=1.2).contains(&ratio),
+            "{}: online {} cycles vs predicted {:.0} (ratio {ratio:.3})",
+            built.name,
+            report.cycles,
+            predicted
+        );
+
+        // And the speedup sits where the amortization model says it
+        // must: the scaled CAD pays back within these repeats
+        // (break-even <= repeats), so online ends up strictly faster
+        // than software but never faster than the offline steady state.
+        let online_speedup = report.speedup_vs(total_sw);
+        assert!(
+            offline.break_even_runs <= u64::from(repeats),
+            "{}: CAD must amortize here",
+            built.name
+        );
+        assert!(
+            online_speedup > 1.0,
+            "{}: online must beat software ({online_speedup:.3})",
+            built.name
+        );
+        assert!(
+            online_speedup <= steady + 1e-9,
+            "{}: online {online_speedup:.3} cannot beat the steady state {steady:.3}",
+            built.name
+        );
+    }
+}
+
+#[test]
+fn orchestrator_patch_replays_the_fast_path_invalidation_contract() {
+    // The same online run with the pre-decoded fetch store on and off:
+    // the mid-run hot patch must be invisible to simulated results —
+    // identical timeline, identical warp events, identical totals.
+    let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());
+    let run = |predecode: bool| {
+        let config = OnlineConfig {
+            mb: mb_sim::MbConfig::paper_default().with_predecode(predecode),
+            repeats: 2,
+            ..OnlineConfig::default()
+        };
+        Orchestrator::new(&built, config)
+            .with_policy(TopKPolicy { k: 1, min_count: 512 })
+            .run()
+            .unwrap()
+    };
+    let fast = run(true);
+    let reference = run(false);
+
+    assert_eq!(fast.cycles, reference.cycles);
+    assert_eq!(fast.instructions, reference.instructions);
+    assert_eq!(fast.slices, reference.slices);
+    assert_eq!(fast.exit_code, reference.exit_code);
+    assert_eq!(fast.events, reference.events, "patch timeline must be fetch-path independent");
+    assert_eq!(fast.events.len(), 1);
+    assert!(fast.events[0].patched_cycle < fast.cycles, "the patch landed mid-run");
+}
+
+#[test]
+fn phased_workload_rewarps_with_eviction() {
+    let features = MbFeatures::paper_default();
+    let built = workloads::phased::build_scaled(features, 300, 700);
+    let [kernel_a, kernel_b] = workloads::phased::phase_kernels(&built);
+
+    // The two phase kernels are genuinely different circuits.
+    let fp_a = warp_mb::warp_cdfg::decompile_loop(&built.program, kernel_a.head, kernel_a.tail)
+        .unwrap()
+        .fingerprint();
+    let fp_b = warp_mb::warp_cdfg::decompile_loop(&built.program, kernel_b.head, kernel_b.tail)
+        .unwrap()
+        .fingerprint();
+    assert_ne!(fp_a, fp_b);
+
+    let config = OnlineConfig {
+        slice_cycles: 20_000,
+        decay_interval: 8,
+        repeats: 1,
+        ..OnlineConfig::default()
+    };
+    let report = Orchestrator::new(&built, config.clone())
+        .with_policy(ThresholdPolicy { min_count: 3000 })
+        .run()
+        .unwrap();
+
+    assert_eq!(
+        report.events.len(),
+        2,
+        "the shifting hot loop must force exactly one re-warp: {report}"
+    );
+    let [first, second] = [&report.events[0], &report.events[1]];
+    assert_eq!((first.head, first.tail), (kernel_a.head, kernel_a.tail));
+    assert_eq!(first.fingerprint, fp_a);
+    assert_eq!(first.evicted, None);
+    assert_eq!((second.head, second.tail), (kernel_b.head, kernel_b.tail));
+    assert_eq!(second.fingerprint, fp_b);
+    assert_eq!(
+        second.evicted,
+        Some((kernel_a.head, kernel_a.tail)),
+        "the re-warp must evict phase A's circuit"
+    );
+    assert!(first.patched_cycle < second.detected_cycle, "events in timeline order");
+    assert!(first.hw.invocations > 0 && second.hw.invocations > 0, "both circuits must run");
+    assert!(report.profiler.decays > 0, "decay is what lets phase B rise");
+
+    // Results were verified bit-identical to the golden model inside
+    // the run; the warped timeline must also beat the software-only
+    // arm of the A-B (same slice scheduler, NeverPolicy).
+    let software = Orchestrator::new(&built, config).with_policy(NeverPolicy).run().unwrap();
+    assert!(software.events.is_empty());
+    assert!(
+        report.cycles < software.cycles,
+        "online {} cycles vs software {} cycles",
+        report.cycles,
+        software.cycles
+    );
+}
+
+#[test]
+fn online_error_chain_reaches_the_leaf_cause() {
+    use std::error::Error;
+    // A workload that cannot exit within the timeline budget surfaces
+    // BudgetExhausted; a golden-model mismatch would surface Verify.
+    // Here: drive the budget to (effectively) zero and check the
+    // chain-free variant, then check a wrapped chain end-to-end.
+    let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());
+    let config = OnlineConfig { max_cycles: 1, ..OnlineConfig::default() };
+    let err = Orchestrator::new(&built, config).with_policy(NeverPolicy).run().unwrap_err();
+    assert!(err.to_string().contains("budget"));
+    assert!(err.source().is_none());
+
+    // WarpError::PatchApply now carries the memory fault as a typed
+    // source: the chain is walkable to the leaf.
+    let mem = mb_sim::Bram::new(16).write_word(0x100, 0).unwrap_err();
+    let wrapped = warp_mb::warp_core::WarpError::PatchApply(mem);
+    let leaf = wrapped.source().expect("PatchApply exposes the MemError");
+    assert!(leaf.to_string().contains("0x"));
+}
