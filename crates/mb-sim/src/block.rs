@@ -1,0 +1,516 @@
+//! Superblock store: straight-line runs of predecoded instructions
+//! fused into blocks that retire in one dispatch.
+//!
+//! PR 3 removed per-fetch decoding; the remaining per-instruction cost
+//! was the interpreter's dispatch — fetch-slot lookup, per-instruction
+//! statistics, sink calls, and the run loop's halt/budget/exit checks.
+//! This module hoists all of that to block granularity, the same move
+//! block-level emulation engines make (and the paper's own on-chip
+//! profiler justifies: it watches *branches*, i.e. block boundaries,
+//! not instructions).
+//!
+//! A [`Block`] is the longest straight-line run starting at a PC that
+//! ends at control flow, an unsupported instruction, a PC learned to
+//! touch the OPB window, an undecodable word, or a length cap. Each
+//! instruction is lowered to an [`Effect`] micro-op with its `imm`
+//! prefix statically fused: a block entered with no pending prefix
+//! (the dispatcher guarantees it) never materializes prefix state at
+//! all — an interior `imm` becomes [`Effect::ImmFused`] and its Type-B
+//! consumer carries the resolved 32-bit immediate. The block also
+//! carries its precomputed total cycles and per-class histogram deltas,
+//! so full-block retirement applies statistics in O(classes), not
+//! O(instructions). Block mode requires the no-cache configuration
+//! (the paper's system): with i/d-caches every instruction's cost is
+//! state-dependent and [`System`] falls back to stepping.
+//!
+//! Invalidation mirrors the predecode store: the store compares
+//! [`Bram::generation`] and uses [`Bram::dirty_words_since`] to drop
+//! only blocks overlapping the patched words (a block is dropped if
+//! *any* of its words changed, so the scan walks back one maximum block
+//! length). PCs observed to touch the OPB mid-block are remembered so
+//! rebuilt blocks end before them and peripheral accesses always go
+//! through [`System::step`], which polls the exit port.
+//!
+//! [`System`]: crate::System
+//! [`System::step`]: crate::System::step
+
+use std::sync::Arc;
+
+use mb_isa::{Insn, MbFeatures, MemSize, OpClass, Reg, ShiftKind};
+
+use crate::predecode::{DecodeCache, Predecoded};
+use crate::Bram;
+
+/// Maximum instructions fused into one block. Bounds both the
+/// invalidation back-scan and how much budget a slice must have left
+/// before whole-block retirement is used.
+pub(crate) const MAX_BLOCK_OPS: usize = 64;
+
+/// One lowered register/memory effect, with immediates resolved
+/// (including any `imm` prefix contributed by the preceding in-block
+/// instruction) and operands pre-extracted.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Effect {
+    /// `add`-family: rd = ra + rb (+ carry in), optionally keeping carry.
+    Add { rd: Reg, ra: Reg, rb: Reg, keep: bool, use_c: bool },
+    /// `addi`-family with the resolved 32-bit immediate.
+    AddImm { rd: Reg, ra: Reg, imm: u32, keep: bool, use_c: bool },
+    /// `rsub`-family: rd = rb - ra.
+    Rsub { rd: Reg, ra: Reg, rb: Reg, keep: bool, use_c: bool },
+    /// `rsubi`-family: rd = imm - ra.
+    RsubImm { rd: Reg, ra: Reg, imm: u32, keep: bool, use_c: bool },
+    /// `cmp`/`cmpu`.
+    Cmp { rd: Reg, ra: Reg, rb: Reg, unsigned: bool },
+    /// `mul`.
+    Mul { rd: Reg, ra: Reg, rb: Reg },
+    /// `muli` with the resolved immediate.
+    MulImm { rd: Reg, ra: Reg, imm: u32 },
+    /// `idiv`/`idivu`.
+    Idiv { rd: Reg, ra: Reg, rb: Reg, unsigned: bool },
+    /// Dynamic barrel shift.
+    Bs { rd: Reg, ra: Reg, rb: Reg, kind: ShiftKind },
+    /// Constant barrel shift.
+    BsImm { rd: Reg, ra: Reg, amount: u32, kind: ShiftKind },
+    /// `or`.
+    Or { rd: Reg, ra: Reg, rb: Reg },
+    /// `and`.
+    And { rd: Reg, ra: Reg, rb: Reg },
+    /// `xor`.
+    Xor { rd: Reg, ra: Reg, rb: Reg },
+    /// `andn`.
+    Andn { rd: Reg, ra: Reg, rb: Reg },
+    /// `ori` with the resolved immediate.
+    OrImm { rd: Reg, ra: Reg, imm: u32 },
+    /// `andi` with the resolved immediate.
+    AndImm { rd: Reg, ra: Reg, imm: u32 },
+    /// `xori` with the resolved immediate.
+    XorImm { rd: Reg, ra: Reg, imm: u32 },
+    /// `andni` with the resolved immediate.
+    AndnImm { rd: Reg, ra: Reg, imm: u32 },
+    /// `sra`.
+    Sra { rd: Reg, ra: Reg },
+    /// `src`.
+    Src { rd: Reg, ra: Reg },
+    /// `srl`.
+    Srl { rd: Reg, ra: Reg },
+    /// `sext8`.
+    Sext8 { rd: Reg, ra: Reg },
+    /// `sext16`.
+    Sext16 { rd: Reg, ra: Reg },
+    /// Register-indexed load.
+    Load { size: MemSize, rd: Reg, ra: Reg, rb: Reg },
+    /// Immediate-indexed load with the resolved offset.
+    LoadImm { size: MemSize, rd: Reg, ra: Reg, imm: u32 },
+    /// Register-indexed store.
+    Store { size: MemSize, rd: Reg, ra: Reg, rb: Reg },
+    /// Immediate-indexed store with the resolved offset.
+    StoreImm { size: MemSize, rd: Reg, ra: Reg, imm: u32 },
+    /// An `imm` prefix whose upper half was fused into the next op:
+    /// retires (1 cycle, `ImmPrefix` class) with no architectural
+    /// effect on the success path. The upper half is kept so a fault on
+    /// a register-indexed (Type-A) successor can restore the prefix the
+    /// step engine would still be holding at the fault point.
+    ImmFused {
+        /// Upper 16 bits the fused consumer absorbed.
+        hi: i16,
+    },
+    /// An `imm` prefix ending the block: its consumer lies outside, so
+    /// the real prefix register must be set (and the dispatcher will
+    /// route the consumer through [`crate::System::step`]).
+    ImmTrailing {
+        /// Upper 16 bits for the next Type-B immediate.
+        hi: i16,
+    },
+}
+
+/// One fused instruction: the lowered effect plus everything the
+/// engine needs to retire it (original instruction for trace events and
+/// partial flushes, class and static cycle cost for statistics).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BlockOp {
+    pub effect: Effect,
+    pub insn: Insn,
+    pub class: OpClass,
+    pub cycles: u32,
+}
+
+/// A fused straight-line block with precomputed retirement aggregates.
+#[derive(Debug)]
+pub(crate) struct Block {
+    /// PC of the first instruction.
+    pub head: u32,
+    /// The fused op sequence (one op per instruction).
+    pub ops: Vec<BlockOp>,
+    /// Total static cycles of a full retirement.
+    pub cycles: u64,
+    /// Per-class retired-instruction deltas, indexed by `OpClass::index()`.
+    pub class_insns: [u32; OpClass::ALL.len()],
+    /// Per-class cycle deltas.
+    pub class_cycles: [u32; OpClass::ALL.len()],
+    /// Per-instruction static cycle costs in order (feeds the batched
+    /// per-PC tables in [`crate::TraceSummary`]).
+    pub insn_cycles: Vec<u32>,
+}
+
+/// Lazily-built block table for one instruction BRAM, keyed by entry PC.
+#[derive(Debug)]
+pub(crate) struct BlockStore {
+    /// Block starting at word index `w` (`pc >> 2`); `None` = not built.
+    /// Unbuildable entries cache an empty block so hot dispatch does not
+    /// retry them.
+    blocks: Vec<Option<Arc<Block>>>,
+    /// Words whose instruction was observed touching the OPB window:
+    /// blocks end before them, so peripheral accesses (and the exit-port
+    /// poll they require) always run through `step`.
+    opb: Vec<bool>,
+    /// The [`Bram::generation`] the table was built against.
+    generation: u64,
+    /// Blocks constructed (observability for invalidation tests).
+    pub(crate) built: u64,
+}
+
+impl BlockStore {
+    /// Creates an empty store that syncs to the BRAM on first use.
+    pub fn new() -> Self {
+        BlockStore { blocks: Vec::new(), opb: Vec::new(), generation: u64::MAX, built: 0 }
+    }
+
+    /// Returns the (possibly freshly built) non-empty block entered at
+    /// `pc`, or `None` when no fusable straight-line run starts there.
+    pub fn block_at(
+        &mut self,
+        decode: &mut DecodeCache,
+        imem: &Bram,
+        features: &MbFeatures,
+        pc: u32,
+    ) -> Option<Arc<Block>> {
+        if pc & 3 != 0 {
+            return None; // misaligned fetch: let `step` fault
+        }
+        if self.generation != imem.generation() {
+            self.resync(imem);
+        }
+        let w = (pc >> 2) as usize;
+        match self.blocks.get(w)? {
+            Some(b) => {
+                if b.ops.is_empty() {
+                    None
+                } else {
+                    Some(Arc::clone(b))
+                }
+            }
+            None => {
+                let b = Arc::new(self.build(decode, imem, features, pc));
+                self.built += 1;
+                let non_empty = (!b.ops.is_empty()).then(|| Arc::clone(&b));
+                self.blocks[w] = Some(b);
+                non_empty
+            }
+        }
+    }
+
+    /// Records that the instruction at `pc` touched the OPB window and
+    /// drops every block containing it, so rebuilt blocks end before it.
+    pub fn learn_opb(&mut self, pc: u32) {
+        let w = (pc >> 2) as usize;
+        if w < self.opb.len() {
+            self.invalidate_words(w as u32, w as u32);
+            self.opb[w] = true;
+        }
+    }
+
+    /// Re-syncs to the BRAM: incrementally when the write log bounds the
+    /// dirtied words, wholesale otherwise.
+    fn resync(&mut self, imem: &Bram) {
+        let words = imem.words().len();
+        let dirty =
+            if self.blocks.len() == words { imem.dirty_words_since(self.generation) } else { None };
+        match dirty {
+            Some((lo, hi)) => self.invalidate_words(lo, hi),
+            None => {
+                self.blocks.clear();
+                self.blocks.resize(words, None);
+                self.opb.clear();
+                self.opb.resize(words, false);
+            }
+        }
+        self.generation = imem.generation();
+    }
+
+    /// Drops every block overlapping the inclusive word range and
+    /// forgets OPB knowledge for the range itself (the patched words may
+    /// no longer touch the bus). Blocks are at most [`MAX_BLOCK_OPS`]
+    /// words long, so the back-scan is bounded.
+    fn invalidate_words(&mut self, lo: u32, hi: u32) {
+        if self.blocks.is_empty() {
+            return;
+        }
+        let lo = lo as usize;
+        let hi = (hi as usize).min(self.blocks.len() - 1);
+        let start = lo.saturating_sub(MAX_BLOCK_OPS - 1);
+        for w in start..lo {
+            if self.blocks[w].as_ref().is_some_and(|b| w + b.ops.len() > lo) {
+                self.blocks[w] = None;
+            }
+        }
+        for w in lo..=hi {
+            self.blocks[w] = None;
+            self.opb[w] = false;
+        }
+    }
+
+    /// Builds the block entered at `pc` (possibly empty): collect the
+    /// straight-line run of predecoded slots, then lower it with static
+    /// `imm`-prefix fusion.
+    fn build(
+        &self,
+        decode: &mut DecodeCache,
+        imem: &Bram,
+        features: &MbFeatures,
+        head: u32,
+    ) -> Block {
+        let mut raw: Vec<Predecoded> = Vec::new();
+        let mut pc = head;
+        while raw.len() < MAX_BLOCK_OPS {
+            let w = (pc >> 2) as usize;
+            if w >= self.blocks.len() || self.opb[w] {
+                break;
+            }
+            let Ok(d) = decode.fetch(imem, features, pc) else { break };
+            if d.control_flow || !d.supported {
+                break;
+            }
+            raw.push(d);
+            pc = pc.wrapping_add(4);
+        }
+        lower(head, &raw)
+    }
+}
+
+/// Resolves a Type-B immediate against a statically known prefix,
+/// exactly as [`crate::Cpu::take_imm`] would at run time.
+fn resolve_imm(imm: i16, prefix: Option<i16>) -> u32 {
+    match prefix {
+        Some(hi) => (u32::from(hi as u16) << 16) | u32::from(imm as u16),
+        None => imm as i32 as u32,
+    }
+}
+
+/// Lowers a straight-line run into fused ops. The caller guarantees the
+/// block is entered with no pending `imm` prefix, so prefix flow is
+/// fully static: an interior `imm` fuses into its successor (every
+/// non-`imm` instruction either consumes or clears the prefix), and
+/// only a trailing `imm` escapes to the architectural prefix register.
+fn lower(head: u32, raw: &[Predecoded]) -> Block {
+    let mut ops = Vec::with_capacity(raw.len());
+    let mut insn_cycles = Vec::with_capacity(raw.len());
+    let mut cycles = 0u64;
+    let mut class_insns = [0u32; OpClass::ALL.len()];
+    let mut class_cycles = [0u32; OpClass::ALL.len()];
+    let mut pending: Option<i16> = None;
+
+    for (i, d) in raw.iter().enumerate() {
+        let prefix = pending.take();
+        let effect = match d.insn {
+            Insn::Imm { imm } => {
+                if i + 1 == raw.len() {
+                    Effect::ImmTrailing { hi: imm }
+                } else {
+                    pending = Some(imm);
+                    Effect::ImmFused { hi: imm }
+                }
+            }
+            Insn::Add { rd, ra, rb, keep_carry, use_carry } => {
+                Effect::Add { rd, ra, rb, keep: keep_carry, use_c: use_carry }
+            }
+            Insn::Rsub { rd, ra, rb, keep_carry, use_carry } => {
+                Effect::Rsub { rd, ra, rb, keep: keep_carry, use_c: use_carry }
+            }
+            Insn::Addi { rd, ra, imm, keep_carry, use_carry } => Effect::AddImm {
+                rd,
+                ra,
+                imm: resolve_imm(imm, prefix),
+                keep: keep_carry,
+                use_c: use_carry,
+            },
+            Insn::Rsubi { rd, ra, imm, keep_carry, use_carry } => Effect::RsubImm {
+                rd,
+                ra,
+                imm: resolve_imm(imm, prefix),
+                keep: keep_carry,
+                use_c: use_carry,
+            },
+            Insn::Cmp { rd, ra, rb, unsigned } => Effect::Cmp { rd, ra, rb, unsigned },
+            Insn::Mul { rd, ra, rb } => Effect::Mul { rd, ra, rb },
+            Insn::Muli { rd, ra, imm } => Effect::MulImm { rd, ra, imm: resolve_imm(imm, prefix) },
+            Insn::Idiv { rd, ra, rb, unsigned } => Effect::Idiv { rd, ra, rb, unsigned },
+            Insn::Bs { rd, ra, rb, kind } => Effect::Bs { rd, ra, rb, kind },
+            Insn::Bsi { rd, ra, amount, kind } => {
+                Effect::BsImm { rd, ra, amount: u32::from(amount), kind }
+            }
+            Insn::Or { rd, ra, rb } => Effect::Or { rd, ra, rb },
+            Insn::And { rd, ra, rb } => Effect::And { rd, ra, rb },
+            Insn::Xor { rd, ra, rb } => Effect::Xor { rd, ra, rb },
+            Insn::Andn { rd, ra, rb } => Effect::Andn { rd, ra, rb },
+            Insn::Ori { rd, ra, imm } => Effect::OrImm { rd, ra, imm: resolve_imm(imm, prefix) },
+            Insn::Andi { rd, ra, imm } => Effect::AndImm { rd, ra, imm: resolve_imm(imm, prefix) },
+            Insn::Xori { rd, ra, imm } => Effect::XorImm { rd, ra, imm: resolve_imm(imm, prefix) },
+            Insn::Andni { rd, ra, imm } => {
+                Effect::AndnImm { rd, ra, imm: resolve_imm(imm, prefix) }
+            }
+            Insn::Sra { rd, ra } => Effect::Sra { rd, ra },
+            Insn::Src { rd, ra } => Effect::Src { rd, ra },
+            Insn::Srl { rd, ra } => Effect::Srl { rd, ra },
+            Insn::Sext8 { rd, ra } => Effect::Sext8 { rd, ra },
+            Insn::Sext16 { rd, ra } => Effect::Sext16 { rd, ra },
+            Insn::Load { size, rd, ra, rb } => Effect::Load { size, rd, ra, rb },
+            Insn::Loadi { size, rd, ra, imm } => {
+                Effect::LoadImm { size, rd, ra, imm: resolve_imm(imm, prefix) }
+            }
+            Insn::Store { size, rd, ra, rb } => Effect::Store { size, rd, ra, rb },
+            Insn::Storei { size, rd, ra, imm } => {
+                Effect::StoreImm { size, rd, ra, imm: resolve_imm(imm, prefix) }
+            }
+            // Control flow never enters a block (the builder stops at
+            // it); reaching here would be a builder bug.
+            Insn::Br { .. }
+            | Insn::Bri { .. }
+            | Insn::Bc { .. }
+            | Insn::Bci { .. }
+            | Insn::Rtsd { .. } => unreachable!("control flow inside a block"),
+        };
+        cycles += u64::from(d.lat_not_taken);
+        class_insns[d.class.index()] += 1;
+        class_cycles[d.class.index()] += d.lat_not_taken;
+        insn_cycles.push(d.lat_not_taken);
+        ops.push(BlockOp { effect, insn: d.insn, class: d.class, cycles: d.lat_not_taken });
+    }
+
+    Block { head, ops, cycles, class_insns, class_cycles, insn_cycles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_isa::encode;
+
+    fn features() -> MbFeatures {
+        MbFeatures::paper_default()
+    }
+
+    fn store_with(words: &[Insn]) -> (BlockStore, DecodeCache, Bram) {
+        let mut imem = Bram::new(4 * 64).with_write_log();
+        for (i, insn) in words.iter().enumerate() {
+            imem.write_word((i as u32) * 4, encode(insn)).unwrap();
+        }
+        (BlockStore::new(), DecodeCache::new(), imem)
+    }
+
+    #[test]
+    fn block_ends_before_control_flow() {
+        let (mut store, mut decode, imem) = store_with(&[
+            Insn::addk(Reg::R1, Reg::R2, Reg::R3),
+            Insn::Xor { rd: Reg::R4, ra: Reg::R5, rb: Reg::R6 },
+            Insn::Bci { cond: mb_isa::Cond::Ne, ra: Reg::R3, imm: -8, delay: false },
+        ]);
+        let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        assert_eq!(b.ops.len(), 2);
+        assert_eq!(b.cycles, 2);
+        assert_eq!(b.class_insns[OpClass::Alu.index()], 2);
+        // A block entered *at* the branch is unbuildable (cached empty).
+        assert!(store.block_at(&mut decode, &imem, &features(), 8).is_none());
+        let built = store.built;
+        assert!(store.block_at(&mut decode, &imem, &features(), 8).is_none());
+        assert_eq!(store.built, built, "empty blocks must be cached, not rebuilt");
+    }
+
+    #[test]
+    fn interior_imm_fuses_into_its_consumer() {
+        let (mut store, mut decode, imem) = store_with(&[
+            Insn::Imm { imm: 0x1234u16 as i16 },
+            Insn::Addi {
+                rd: Reg::R1,
+                ra: Reg::R0,
+                imm: 0x5678,
+                keep_carry: true,
+                use_carry: false,
+            },
+            Insn::ret(),
+        ]);
+        let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        assert!(matches!(b.ops[0].effect, Effect::ImmFused { hi } if hi == 0x1234u16 as i16));
+        match b.ops[1].effect {
+            Effect::AddImm { imm, .. } => assert_eq!(imm, 0x1234_5678),
+            ref e => panic!("expected fused AddImm, got {e:?}"),
+        }
+        // Both instructions still retire individually.
+        assert_eq!(b.ops.len(), 2);
+        assert_eq!(b.class_insns[OpClass::ImmPrefix.index()], 1);
+    }
+
+    #[test]
+    fn trailing_imm_escapes_to_the_prefix_register() {
+        let (mut store, mut decode, imem) = store_with(&[
+            Insn::addk(Reg::R1, Reg::R2, Reg::R3),
+            Insn::Imm { imm: 7 },
+            Insn::Bci { cond: mb_isa::Cond::Ne, ra: Reg::R3, imm: -8, delay: false },
+        ]);
+        let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        assert_eq!(b.ops.len(), 2);
+        assert!(matches!(b.ops[1].effect, Effect::ImmTrailing { hi: 7 }));
+    }
+
+    #[test]
+    fn unsupported_slots_end_the_block() {
+        let (mut store, mut decode, imem) = store_with(&[
+            Insn::addk(Reg::R1, Reg::R2, Reg::R3),
+            Insn::Idiv { rd: Reg::R1, ra: Reg::R2, rb: Reg::R3, unsigned: false },
+        ]);
+        // paper_default has no divider: the block must stop before idiv.
+        let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        assert_eq!(b.ops.len(), 1);
+    }
+
+    #[test]
+    fn learned_opb_pcs_split_blocks() {
+        let (mut store, mut decode, imem) = store_with(&[
+            Insn::addk(Reg::R1, Reg::R2, Reg::R3),
+            Insn::swi(Reg::R0, Reg::R31, 0),
+            Insn::addk(Reg::R4, Reg::R5, Reg::R6),
+            Insn::ret(),
+        ]);
+        let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        assert_eq!(b.ops.len(), 3, "an unlearned store is fused optimistically");
+        store.learn_opb(4);
+        let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        assert_eq!(b.ops.len(), 1, "rebuilt block must end before the OPB store");
+        assert!(store.block_at(&mut decode, &imem, &features(), 4).is_none());
+    }
+
+    #[test]
+    fn patch_invalidates_only_overlapping_blocks() {
+        let mut insns = vec![Insn::addk(Reg::R1, Reg::R2, Reg::R3); 8];
+        insns.push(Insn::ret()); // terminator so the first block is bounded
+        insns.extend(vec![Insn::addk(Reg::R4, Reg::R5, Reg::R6); 4]);
+        insns.push(Insn::ret());
+        let (mut store, mut decode, mut imem) = store_with(&insns);
+        assert_eq!(store.block_at(&mut decode, &imem, &features(), 0).unwrap().ops.len(), 8);
+        assert_eq!(store.block_at(&mut decode, &imem, &features(), 36).unwrap().ops.len(), 4);
+        let built = store.built;
+
+        // Patch word 2: the block at 0 dies (it contains word 2), the
+        // one at word 9 survives.
+        imem.write_word(8, encode(&Insn::Xor { rd: Reg::R7, ra: Reg::R1, rb: Reg::R2 })).unwrap();
+        assert!(store.block_at(&mut decode, &imem, &features(), 36).is_some());
+        assert_eq!(store.built, built, "non-overlapping block must survive the patch");
+        let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        assert_eq!(store.built, built + 1, "overlapping block must rebuild");
+        assert!(matches!(b.ops[2].effect, Effect::Xor { .. }));
+    }
+
+    #[test]
+    fn misaligned_pc_yields_no_block() {
+        let (mut store, mut decode, imem) = store_with(&[Insn::addk(Reg::R1, Reg::R2, Reg::R3)]);
+        assert!(store.block_at(&mut decode, &imem, &features(), 2).is_none());
+    }
+}

@@ -30,6 +30,15 @@ pub struct MbConfig {
     /// `simperf` harness use as their baseline. Simulated timing is
     /// identical either way — this only changes host-side speed.
     pub predecode: bool,
+    /// Whether the run loop may retire fused straight-line superblocks
+    /// in one dispatch instead of stepping instruction by instruction.
+    /// On by default; it takes effect only with `predecode` on and no
+    /// i/d-caches configured (with caches every instruction's cost is
+    /// state-dependent, so the engine steps). Simulated timing, traces,
+    /// and statistics are identical either way — this only changes
+    /// host-side speed. `MbConfig::with_blocks(false)` restores the PR 3
+    /// per-instruction predecoded loop.
+    pub blocks: bool,
 }
 
 impl MbConfig {
@@ -46,6 +55,7 @@ impl MbConfig {
             icache: None,
             dcache: None,
             predecode: true,
+            blocks: true,
         }
     }
 
@@ -54,6 +64,14 @@ impl MbConfig {
     #[must_use]
     pub fn with_predecode(mut self, predecode: bool) -> Self {
         self.predecode = predecode;
+        self
+    }
+
+    /// Returns a copy with the superblock execution engine enabled or
+    /// disabled.
+    #[must_use]
+    pub fn with_blocks(mut self, blocks: bool) -> Self {
+        self.blocks = blocks;
         self
     }
 

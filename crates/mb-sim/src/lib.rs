@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod block;
 pub mod cache;
 mod config;
 mod cpu;
@@ -56,7 +57,7 @@ pub use cpu::Cpu;
 pub use machine::{Outcome, RunError, StopReason, System};
 pub use mem::{Bram, MemError};
 pub use periph::{BusResponse, ExitPort, Peripheral, EXIT_PORT_BASE, OPB_BASE};
-pub use sink::{NullSink, TraceSink, TraceSummary};
+pub use sink::{BlockRetire, NullSink, TraceSink, TraceSummary};
 pub use stats::ExecStats;
 pub use timing::{branch_latency, insn_latency};
 pub use trace::{PcAggregates, Trace, TraceEvent};

@@ -5,10 +5,11 @@ use std::fmt;
 
 use mb_isa::{decode, DecodeError, Insn, MemSize, Program};
 
+use crate::block::{Block, BlockOp, BlockStore, Effect};
 use crate::cache::Cache;
 use crate::periph::{OpbBus, Peripheral, EXIT_PORT_BASE, OPB_BASE};
 use crate::predecode::{DecodeCache, Predecoded};
-use crate::sink::{NullSink, TraceSink, TraceSummary};
+use crate::sink::{BlockRetire, NullSink, TraceSink, TraceSummary};
 use crate::trace::{Trace, TraceEvent};
 use crate::{Bram, Cpu, ExecStats, ExitPort, MbConfig, MemError};
 
@@ -135,6 +136,14 @@ pub struct System {
     halted: Option<u32>,
     /// Pre-decoded instruction store (see [`MbConfig::predecode`]).
     decode: DecodeCache,
+    /// Fused superblock store (see [`MbConfig::blocks`]).
+    blocks: BlockStore,
+    /// Reusable per-block event buffer (filled only for sinks whose
+    /// [`TraceSink::WANTS_EVENTS`] is true).
+    block_events: Vec<TraceEvent>,
+    /// Reusable `(op index, effective address)` scratch so a partially
+    /// retired block can reconstruct exact events for batched sinks.
+    block_eas: Vec<(u32, u32)>,
 }
 
 impl System {
@@ -146,7 +155,9 @@ impl System {
         opb.map(EXIT_PORT_BASE, 16, Box::new(ExitPort::new()));
         System {
             cpu: Cpu::new(),
-            imem: Bram::new(config.imem_bytes),
+            // The instruction BRAM tracks written ranges so predecode
+            // and block invalidation after a patch stay incremental.
+            imem: Bram::new(config.imem_bytes).with_write_log(),
             dmem: Bram::new(config.dmem_bytes),
             opb,
             icache: config.icache.map(Cache::new),
@@ -154,6 +165,9 @@ impl System {
             stats: ExecStats::new(),
             halted: None,
             decode: DecodeCache::new(),
+            blocks: BlockStore::new(),
+            block_events: Vec::new(),
+            block_eas: Vec::new(),
             config,
         }
     }
@@ -604,17 +618,310 @@ impl System {
         Ok(total)
     }
 
+    /// Whether this configuration can retire fused superblocks: the
+    /// block engine rides on the predecoded store and precomputed
+    /// static cycle costs, so caches (whose waits are state-dependent)
+    /// force per-instruction stepping.
+    fn blocks_enabled(&self) -> bool {
+        self.config.blocks
+            && self.config.predecode
+            && self.icache.is_none()
+            && self.dcache.is_none()
+    }
+
+    /// Looks up (building lazily) the fused block entered at `pc`.
+    fn block_at(&mut self, pc: u32) -> Option<std::sync::Arc<Block>> {
+        let System { blocks, decode, imem, config, .. } = self;
+        blocks.block_at(decode, imem, &config.features, pc)
+    }
+
+    /// Executes one lowered block op at `pc`, returning its actual
+    /// cycles and effective address. Mirrors [`System::execute`] exactly
+    /// — with `imm`-prefix traffic already resolved statically by the
+    /// block lowerer, so no prefix state is touched mid-block.
+    #[inline]
+    fn exec_effect(&mut self, pc: u32, op: &BlockOp) -> Result<(u32, Option<u32>), RunError> {
+        let cpu_carry = u32::from(self.cpu.carry());
+        let mut cycles = op.cycles;
+        let mut ea = None;
+        match op.effect {
+            Effect::Add { rd, ra, rb, keep, use_c } => {
+                let cin = if use_c { cpu_carry } else { 0 };
+                let v = self.add_with_carry(self.cpu.reg(ra), self.cpu.reg(rb), cin, keep);
+                self.cpu.set_reg(rd, v);
+            }
+            Effect::AddImm { rd, ra, imm, keep, use_c } => {
+                let cin = if use_c { cpu_carry } else { 0 };
+                let v = self.add_with_carry(self.cpu.reg(ra), imm, cin, keep);
+                self.cpu.set_reg(rd, v);
+            }
+            Effect::Rsub { rd, ra, rb, keep, use_c } => {
+                let cin = if use_c { cpu_carry } else { 1 };
+                let v = self.add_with_carry(!self.cpu.reg(ra), self.cpu.reg(rb), cin, keep);
+                self.cpu.set_reg(rd, v);
+            }
+            Effect::RsubImm { rd, ra, imm, keep, use_c } => {
+                let cin = if use_c { cpu_carry } else { 1 };
+                let v = self.add_with_carry(!self.cpu.reg(ra), imm, cin, keep);
+                self.cpu.set_reg(rd, v);
+            }
+            Effect::Cmp { rd, ra, rb, unsigned } => {
+                let a = self.cpu.reg(ra);
+                let b = self.cpu.reg(rb);
+                let diff = b.wrapping_sub(a);
+                let lt = if unsigned { b < a } else { (b as i32) < (a as i32) };
+                self.cpu.set_reg(rd, (diff & 0x7FFF_FFFF) | (u32::from(lt) << 31));
+            }
+            Effect::Mul { rd, ra, rb } => {
+                let v = self.cpu.reg(ra).wrapping_mul(self.cpu.reg(rb));
+                self.cpu.set_reg(rd, v);
+            }
+            Effect::MulImm { rd, ra, imm } => {
+                self.cpu.set_reg(rd, self.cpu.reg(ra).wrapping_mul(imm));
+            }
+            Effect::Idiv { rd, ra, rb, unsigned } => {
+                let a = self.cpu.reg(ra);
+                let b = self.cpu.reg(rb);
+                let v = if a == 0 {
+                    0
+                } else if unsigned {
+                    b / a
+                } else {
+                    ((b as i32).wrapping_div(a as i32)) as u32
+                };
+                self.cpu.set_reg(rd, v);
+            }
+            Effect::Bs { rd, ra, rb, kind } => {
+                let v = kind.apply(self.cpu.reg(ra), self.cpu.reg(rb));
+                self.cpu.set_reg(rd, v);
+            }
+            Effect::BsImm { rd, ra, amount, kind } => {
+                self.cpu.set_reg(rd, kind.apply(self.cpu.reg(ra), amount));
+            }
+            Effect::Or { rd, ra, rb } => {
+                self.cpu.set_reg(rd, self.cpu.reg(ra) | self.cpu.reg(rb));
+            }
+            Effect::And { rd, ra, rb } => {
+                self.cpu.set_reg(rd, self.cpu.reg(ra) & self.cpu.reg(rb));
+            }
+            Effect::Xor { rd, ra, rb } => {
+                self.cpu.set_reg(rd, self.cpu.reg(ra) ^ self.cpu.reg(rb));
+            }
+            Effect::Andn { rd, ra, rb } => {
+                self.cpu.set_reg(rd, self.cpu.reg(ra) & !self.cpu.reg(rb));
+            }
+            Effect::OrImm { rd, ra, imm } => self.cpu.set_reg(rd, self.cpu.reg(ra) | imm),
+            Effect::AndImm { rd, ra, imm } => self.cpu.set_reg(rd, self.cpu.reg(ra) & imm),
+            Effect::XorImm { rd, ra, imm } => self.cpu.set_reg(rd, self.cpu.reg(ra) ^ imm),
+            Effect::AndnImm { rd, ra, imm } => self.cpu.set_reg(rd, self.cpu.reg(ra) & !imm),
+            Effect::Sra { rd, ra } => {
+                let a = self.cpu.reg(ra);
+                self.cpu.set_carry(a & 1 != 0);
+                self.cpu.set_reg(rd, ((a as i32) >> 1) as u32);
+            }
+            Effect::Src { rd, ra } => {
+                let a = self.cpu.reg(ra);
+                let v = (cpu_carry << 31) | (a >> 1);
+                self.cpu.set_carry(a & 1 != 0);
+                self.cpu.set_reg(rd, v);
+            }
+            Effect::Srl { rd, ra } => {
+                let a = self.cpu.reg(ra);
+                self.cpu.set_carry(a & 1 != 0);
+                self.cpu.set_reg(rd, a >> 1);
+            }
+            Effect::Sext8 { rd, ra } => {
+                self.cpu.set_reg(rd, self.cpu.reg(ra) as u8 as i8 as i32 as u32);
+            }
+            Effect::Sext16 { rd, ra } => {
+                self.cpu.set_reg(rd, self.cpu.reg(ra) as u16 as i16 as i32 as u32);
+            }
+            Effect::Load { size, rd, ra, rb } => {
+                let addr = self.cpu.reg(ra).wrapping_add(self.cpu.reg(rb));
+                let (v, wait) = self.data_load(pc, addr, size)?;
+                self.cpu.set_reg(rd, v);
+                cycles += wait;
+                ea = Some(addr);
+            }
+            Effect::LoadImm { size, rd, ra, imm } => {
+                let addr = self.cpu.reg(ra).wrapping_add(imm);
+                let (v, wait) = self.data_load(pc, addr, size)?;
+                self.cpu.set_reg(rd, v);
+                cycles += wait;
+                ea = Some(addr);
+            }
+            Effect::Store { size, rd, ra, rb } => {
+                let addr = self.cpu.reg(ra).wrapping_add(self.cpu.reg(rb));
+                cycles += self.data_store(pc, addr, self.cpu.reg(rd), size)?;
+                ea = Some(addr);
+            }
+            Effect::StoreImm { size, rd, ra, imm } => {
+                let addr = self.cpu.reg(ra).wrapping_add(imm);
+                cycles += self.data_store(pc, addr, self.cpu.reg(rd), size)?;
+                ea = Some(addr);
+            }
+            Effect::ImmFused { .. } => {}
+            Effect::ImmTrailing { hi } => self.cpu.set_imm_prefix(hi),
+        }
+        Ok((cycles, ea))
+    }
+
+    /// Retires the first `retired` instructions of a block individually
+    /// — statistics via [`ExecStats::record`] and events via
+    /// [`TraceSink::record`] — exactly as the step engine would have.
+    /// Used when a block stops early (a fault, or an instruction that
+    /// turned out to touch the OPB). `last_cycles` overrides the final
+    /// retired op's static cost when it paid bus waits.
+    fn flush_partial_block<S: TraceSink>(
+        &mut self,
+        block: &Block,
+        retired: usize,
+        last_cycles: Option<u32>,
+        events: &[TraceEvent],
+        eas: &[(u32, u32)],
+        sink: &mut S,
+    ) {
+        let mut ea_iter = eas.iter().peekable();
+        for (i, op) in block.ops[..retired].iter().enumerate() {
+            let cycles =
+                if i + 1 == retired { last_cycles.unwrap_or(op.cycles) } else { op.cycles };
+            self.stats.record(op.class, cycles);
+            if S::WANTS_EVENTS {
+                sink.record(&events[i]);
+            } else {
+                let ea = ea_iter.next_if(|(j, _)| *j as usize == i).map(|&(_, a)| a);
+                sink.record(&TraceEvent {
+                    pc: block.head + 4 * i as u32,
+                    insn: op.insn,
+                    cycles,
+                    taken: None,
+                    target: None,
+                    ea,
+                });
+            }
+        }
+    }
+
+    /// Retires one fused block, returning the cycles consumed.
+    ///
+    /// The fast path retires the whole block: one statistics update from
+    /// the precomputed class deltas and one [`TraceSink::retire_block`]
+    /// call. Two events stop a block early at an exact instruction
+    /// boundary:
+    ///
+    /// * an op whose effective address lands in the OPB window — it
+    ///   retires (peripherals execute correctly either way), the exit
+    ///   port is polled exactly as after an OPB-touching step, the PC is
+    ///   learned so rebuilt blocks end before it, and control returns to
+    ///   the dispatch loop;
+    /// * a fault — the instructions before it are flushed per-insn (the
+    ///   step engine would have recorded them) and the error propagates
+    ///   with the PC on the faulting instruction. If the faulting op is
+    ///   a register-indexed (Type-A) load/store directly preceded by a
+    ///   fused `imm`, the architectural prefix is restored first: the
+    ///   step engine clears a pending prefix only *after* a successful
+    ///   Type-A access, so at the fault point it would still hold it
+    ///   (Type-B consumers take the prefix before the access, so those
+    ///   need no restore).
+    fn exec_block<S: TraceSink>(&mut self, b: &Block, sink: &mut S) -> Result<u64, RunError> {
+        debug_assert!(!self.cpu.has_imm_prefix(), "blocks are lowered for prefix-free entry");
+        let mut events = std::mem::take(&mut self.block_events);
+        let mut eas = std::mem::take(&mut self.block_eas);
+        events.clear();
+        eas.clear();
+        let mut total = 0u64;
+        let mut pc = b.head;
+
+        for (i, op) in b.ops.iter().enumerate() {
+            match self.exec_effect(pc, op) {
+                Err(err) => {
+                    if matches!(op.effect, Effect::Load { .. } | Effect::Store { .. }) {
+                        if let Some(prev) = i.checked_sub(1).map(|p| &b.ops[p]) {
+                            if let Effect::ImmFused { hi } = prev.effect {
+                                self.cpu.set_imm_prefix(hi);
+                            }
+                        }
+                    }
+                    self.flush_partial_block(b, i, None, &events, &eas, sink);
+                    self.cpu.set_pc(pc);
+                    self.block_events = events;
+                    self.block_eas = eas;
+                    return Err(err);
+                }
+                Ok((cycles, ea)) => {
+                    total += u64::from(cycles);
+                    if S::WANTS_EVENTS {
+                        events.push(TraceEvent {
+                            pc,
+                            insn: op.insn,
+                            cycles,
+                            taken: None,
+                            target: None,
+                            ea,
+                        });
+                    } else if let Some(a) = ea {
+                        eas.push((i as u32, a));
+                    }
+                    pc = pc.wrapping_add(4);
+                    if ea.is_some_and(|a| a >= OPB_BASE) {
+                        // Peripheral touched mid-block: retire the
+                        // prefix, poll the exit port (the step-path
+                        // contract), and split future blocks here.
+                        self.flush_partial_block(b, i + 1, Some(cycles), &events, &eas, sink);
+                        self.cpu.set_pc(pc);
+                        self.blocks.learn_opb(pc.wrapping_sub(4));
+                        if self.halted.is_none() {
+                            self.halted = self.opb.exit_request();
+                        }
+                        self.block_events = events;
+                        self.block_eas = eas;
+                        return Ok(total);
+                    }
+                }
+            }
+        }
+
+        debug_assert_eq!(total, b.cycles, "static block cost must match actual retirement");
+        self.cpu.set_pc(pc);
+        self.stats.record_block(&b.class_insns, &b.class_cycles);
+        sink.retire_block(&BlockRetire {
+            head: b.head,
+            instructions: b.ops.len() as u32,
+            cycles: b.cycles,
+            class_insns: &b.class_insns,
+            insn_cycles: &b.insn_cycles,
+            events: &events,
+        });
+        self.block_events = events;
+        self.block_eas = eas;
+        Ok(total)
+    }
+
     /// The one budget-tracking loop behind [`System::run_with_sink`] and
     /// [`System::run_slice`].
     ///
-    /// The budget is tracked from step's return value — every step
-    /// returns exactly the cycles it recorded — so the loop touches no
-    /// statistics until it stops.
+    /// The budget is tracked from each dispatch's return value — every
+    /// step or block retirement returns exactly the cycles it recorded —
+    /// so the loop touches no statistics until it stops.
+    ///
+    /// With the superblock engine on (see [`MbConfig::blocks`]) the loop
+    /// retires a whole fused block per iteration whenever one exists at
+    /// the PC, the CPU holds no pending `imm` prefix, and the block's
+    /// precomputed cost fits the remaining budget; otherwise it falls
+    /// back to [`System::step`]. Because every interior boundary of a
+    /// fitting block satisfies `cycles < max_cycles`, the step engine
+    /// would never have stopped inside it — so sliced executions stop at
+    /// bit-identical instruction boundaries with blocks on or off. Once
+    /// a block no longer fits, the tail of the budget is stepped
+    /// instruction by instruction (`stepping_tail`), which both honors
+    /// the exact boundary and avoids building suffix blocks at every
+    /// slice-dependent split point.
     ///
     /// Ordering contract: the exit check runs **before** the budget
-    /// check. The exit port is polled inside [`System::step`] (after
-    /// OPB-touching steps), so a step that writes the port can also be
-    /// the step that exhausts the budget; reporting that boundary as
+    /// check. The exit port is polled after OPB-touching retirements
+    /// (inside [`System::step`], and at the OPB early-out of the block
+    /// engine), so a retirement that writes the port can also be the one
+    /// that exhausts the budget; reporting that boundary as
     /// [`StopReason::CycleLimit`] would make a sliced execution lose the
     /// exit code for exactly one slice — the off-by-one this ordering
     /// rules out. `boundary_on_exit_step_reports_exited` pins it.
@@ -625,6 +932,8 @@ impl System {
     ) -> Result<Outcome, RunError> {
         let start_insns = self.stats.instructions();
         let mut cycles = 0u64;
+        let use_blocks = self.blocks_enabled();
+        let mut stepping_tail = false;
         loop {
             if let Some(code) = self.halted {
                 return Ok(Outcome {
@@ -639,6 +948,15 @@ impl System {
                     cycles,
                     instructions: self.stats.instructions() - start_insns,
                 });
+            }
+            if use_blocks && !stepping_tail && !self.cpu.has_imm_prefix() {
+                if let Some(block) = self.block_at(self.cpu.pc()) {
+                    if block.cycles <= max_cycles - cycles {
+                        cycles += self.exec_block(&block, sink)?;
+                        continue;
+                    }
+                    stepping_tail = true;
+                }
             }
             cycles += u64::from(self.step(sink)?);
         }

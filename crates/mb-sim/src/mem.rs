@@ -39,6 +39,82 @@ impl fmt::Display for MemError {
 
 impl Error for MemError {}
 
+/// How many disjoint write spans the [`Bram`] write log keeps before it
+/// starts forgetting the oldest (forcing consumers behind that point to
+/// resync fully). Patches are a handful of contiguous ranges, so a small
+/// cap captures every realistic invalidation exactly.
+const WRITE_LOG_CAP: usize = 8;
+
+/// One logged span of written words: the union of all writes with
+/// generations in `(previous span's gen, gen]`, inclusive word bounds.
+#[derive(Clone, Copy, Debug)]
+struct WriteSpan {
+    gen: u64,
+    lo: u32,
+    hi: u32,
+}
+
+/// A bounded log of recent write ranges, complete for every generation
+/// strictly greater than `base`. Contiguous/overlapping writes merge
+/// into the newest span, so a bulk [`Bram::load_words`] or a WCLA patch
+/// costs one entry, not one per word.
+#[derive(Clone, Debug, Default)]
+struct WriteLog {
+    base: u64,
+    spans: Vec<WriteSpan>,
+}
+
+impl WriteLog {
+    fn note(&mut self, generation: u64, lo: u32, hi: u32) {
+        if let Some(last) = self.spans.last_mut() {
+            // Merge only strict adjacent extensions (an upward or
+            // downward burst, e.g. `load_words` or a patch loop). A
+            // write *inside* an older span must open a fresh span —
+            // folding it in would re-stamp the old span's generation
+            // and make a one-word patch look like the whole original
+            // load to any consumer that synced in between.
+            if lo == last.hi + 1 {
+                last.hi = hi;
+                last.gen = generation;
+                return;
+            }
+            if hi + 1 == last.lo {
+                last.lo = lo;
+                last.gen = generation;
+                return;
+            }
+        }
+        if self.spans.len() == WRITE_LOG_CAP {
+            let dropped = self.spans.remove(0);
+            self.base = dropped.gen;
+        }
+        self.spans.push(WriteSpan { gen: generation, lo, hi });
+    }
+
+    /// Union of words written since `generation`, or `None` when the log
+    /// no longer reaches back that far (spans have gens in ascending
+    /// order, so the reverse scan stops at the first span entirely at or
+    /// before the query point). Spans over-approximate safely: a span
+    /// merged across generations is included whole if any part of it is
+    /// newer than the query.
+    fn dirty_since(&self, generation: u64) -> Option<(u32, u32)> {
+        if generation < self.base {
+            return None;
+        }
+        let mut range: Option<(u32, u32)> = None;
+        for s in self.spans.iter().rev() {
+            if s.gen <= generation {
+                break;
+            }
+            range = Some(match range {
+                Some((lo, hi)) => (lo.min(s.lo), hi.max(s.hi)),
+                None => (s.lo, s.hi),
+            });
+        }
+        range
+    }
+}
+
 /// A dual-ported block RAM, word-organized with big-endian byte order
 /// (matching the MicroBlaze).
 ///
@@ -48,14 +124,21 @@ impl Error for MemError {}
 ///
 /// Every mutation bumps a [`generation`](Bram::generation) counter, which
 /// is how the simulator's pre-decoded instruction store notices that the
-/// DPM patched the running binary through [`imem_mut`] and must discard
-/// its side table.
-///
-/// [`imem_mut`]: crate::System::imem_mut
+/// DPM patched the running binary through
+/// [`imem_mut`](crate::System::imem_mut) and must discard
+/// its side table. A BRAM built with [`with_write_log`](Bram::with_write_log)
+/// additionally remembers *which* words recent mutations touched, so
+/// derived caches can answer "what changed since generation g" through
+/// [`dirty_words_since`](Bram::dirty_words_since) and rebuild only the
+/// overlapping slots instead of flushing wholesale.
 #[derive(Clone, Debug)]
 pub struct Bram {
     words: Vec<u32>,
     generation: u64,
+    /// Present only on BRAMs that opted into write tracking (the
+    /// instruction BRAM); the data BRAM skips the bookkeeping so
+    /// simulated stores stay lean.
+    log: Option<WriteLog>,
 }
 
 /// Equality compares the stored words only; the mutation generation is
@@ -72,7 +155,18 @@ impl Bram {
     /// Creates a zero-filled BRAM of `size_bytes` (rounded up to a word).
     #[must_use]
     pub fn new(size_bytes: u32) -> Self {
-        Bram { words: vec![0; (size_bytes as usize).div_ceil(4)], generation: 0 }
+        Bram { words: vec![0; (size_bytes as usize).div_ceil(4)], generation: 0, log: None }
+    }
+
+    /// Enables write-range tracking: every mutation is recorded in a
+    /// small bounded log so [`dirty_words_since`](Bram::dirty_words_since)
+    /// can answer which words changed. The simulator enables this on the
+    /// instruction BRAM only — it is what makes predecode/block
+    /// invalidation after a WCLA patch incremental.
+    #[must_use]
+    pub fn with_write_log(mut self) -> Self {
+        self.log = Some(WriteLog::default());
+        self
     }
 
     /// Mutation counter: incremented by every write (including sub-word
@@ -82,6 +176,25 @@ impl Bram {
     #[must_use]
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Inclusive word-index bounds covering (a superset of) every word
+    /// written since `generation`, or `None` when the answer is unknown
+    /// — no write log, or the log has already forgotten writes that far
+    /// back — in which case callers must resync everything.
+    #[must_use]
+    pub fn dirty_words_since(&self, generation: u64) -> Option<(u32, u32)> {
+        self.log.as_ref().and_then(|log| log.dirty_since(generation))
+    }
+
+    /// Bumps the generation for a mutation of the word range
+    /// `[lo, hi]`, logging it when tracking is on.
+    #[inline]
+    fn touch(&mut self, lo: u32, hi: u32) {
+        self.generation += 1;
+        if let Some(log) = &mut self.log {
+            log.note(self.generation, lo, hi);
+        }
     }
 
     /// Size in bytes.
@@ -124,7 +237,7 @@ impl Bram {
     pub fn write_word(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
         let idx = self.word_index(addr, 4)?;
         self.words[idx] = value;
-        self.generation += 1;
+        self.touch(idx as u32, idx as u32);
         Ok(())
     }
 
@@ -166,7 +279,7 @@ impl Bram {
                 let shift = (2 - (addr & 2)) * 8;
                 let mask = 0xFFFFu32 << shift;
                 self.words[idx] = (self.words[idx] & !mask) | ((value & 0xFFFF) << shift);
-                self.generation += 1;
+                self.touch(idx as u32, idx as u32);
                 Ok(())
             }
             MemSize::Byte => {
@@ -174,7 +287,7 @@ impl Bram {
                 let shift = (3 - (addr & 3)) * 8;
                 let mask = 0xFFu32 << shift;
                 self.words[idx] = (self.words[idx] & !mask) | ((value & 0xFF) << shift);
-                self.generation += 1;
+                self.touch(idx as u32, idx as u32);
                 Ok(())
             }
         }
@@ -231,7 +344,8 @@ impl Bram {
     /// Fills the entire BRAM with zeros.
     pub fn clear(&mut self) {
         self.words.fill(0);
-        self.generation += 1;
+        let hi = (self.words.len() as u32).saturating_sub(1);
+        self.touch(0, hi);
     }
 }
 
@@ -334,6 +448,58 @@ mod tests {
         let _ = m.read_word(0);
         assert!(m.write_word(1, 0).is_err());
         assert_eq!(m.generation(), g4);
+    }
+
+    #[test]
+    fn untracked_bram_reports_unknown_dirty_range() {
+        let mut m = Bram::new(64);
+        let g0 = m.generation();
+        m.write_word(8, 1).unwrap();
+        assert_eq!(m.dirty_words_since(g0), None, "no log, no answer");
+    }
+
+    #[test]
+    fn write_log_bounds_the_dirtied_words() {
+        let mut m = Bram::new(256).with_write_log();
+        let g0 = m.generation();
+        m.write_word(16, 1).unwrap(); // word 4
+        m.write_word(20, 2).unwrap(); // word 5: merges with word 4
+        assert_eq!(m.dirty_words_since(g0), Some((4, 5)));
+        // A consumer synced mid-burst gets the whole merged span — a
+        // safe over-approximation (the span carries one generation).
+        let g1 = g0 + 1;
+        assert_eq!(m.dirty_words_since(g1), Some((4, 5)));
+        // Sub-word writes and bulk loads are tracked too.
+        m.write(41, 0xAB, MemSize::Byte).unwrap(); // word 10
+        m.load_words(48, &[7, 8]).unwrap(); // words 12..13
+        assert_eq!(m.dirty_words_since(g0), Some((4, 13)));
+        // A fully-synced consumer sees nothing dirty.
+        assert_eq!(m.dirty_words_since(m.generation()), None);
+    }
+
+    #[test]
+    fn write_log_forgets_when_overflowed() {
+        let mut m = Bram::new(4096).with_write_log();
+        let g0 = m.generation();
+        // Disjoint, non-mergeable writes past the log capacity.
+        for i in 0..(WRITE_LOG_CAP as u32 + 2) {
+            m.write_word(i * 64, i).unwrap();
+        }
+        assert_eq!(m.dirty_words_since(g0), None, "too far back: must demand a full resync");
+        // But recent history is still exact.
+        let g_late = m.generation() - 1;
+        assert_eq!(
+            m.dirty_words_since(g_late),
+            Some(((WRITE_LOG_CAP as u32 + 1) * 16, (WRITE_LOG_CAP as u32 + 1) * 16))
+        );
+    }
+
+    #[test]
+    fn clear_dirties_everything() {
+        let mut m = Bram::new(64).with_write_log();
+        let g0 = m.generation();
+        m.clear();
+        assert_eq!(m.dirty_words_since(g0), Some((0, 15)));
     }
 
     #[test]

@@ -14,9 +14,12 @@
 //!
 //! Invalidation rides on [`Bram::generation`]: every imem write (the
 //! WCLA patch path goes through [`System::imem_mut`]) bumps the
-//! generation, and the next fetch notices the mismatch and discards the
-//! whole table. Patches are rare (once per warp) and the table refills
-//! lazily, so a full flush is both correct and cheap.
+//! generation, and the next fetch notices the mismatch. When the BRAM
+//! carries a write log ([`Bram::dirty_words_since`] — the simulator's
+//! instruction BRAM does), only the slots overlapping the dirtied word
+//! range are discarded and the rest of the table stays hot; without a
+//! log (or when the log has forgotten that far back) the whole table is
+//! flushed and refills lazily.
 //!
 //! [`System::imem_mut`]: crate::System::imem_mut
 
@@ -66,6 +69,10 @@ pub(crate) struct DecodeCache {
     slots: Vec<Option<Predecoded>>,
     /// The [`Bram::generation`] the slots were decoded against.
     generation: u64,
+    /// Slow-path decodes performed (observability for the incremental
+    /// invalidation tests: a patch must not force re-decoding the whole
+    /// program).
+    pub(crate) prepared: u64,
 }
 
 impl DecodeCache {
@@ -73,7 +80,7 @@ impl DecodeCache {
     pub fn new() -> Self {
         // u64::MAX can never equal a real generation (they start at 0 and
         // increment), so the first fetch always syncs.
-        DecodeCache { slots: Vec::new(), generation: u64::MAX }
+        DecodeCache { slots: Vec::new(), generation: u64::MAX, prepared: 0 }
     }
 
     /// Fetches the prepared instruction at `pc`, decoding and caching on
@@ -93,6 +100,28 @@ impl DecodeCache {
         self.fetch_slow(imem, features, pc)
     }
 
+    /// Re-syncs to the BRAM after a mutation: incrementally when the
+    /// write log can bound the dirtied words, wholesale otherwise.
+    fn resync(&mut self, imem: &Bram) {
+        let words = imem.words().len();
+        let dirty = if self.slots.len() == words {
+            imem.dirty_words_since(self.generation)
+        } else {
+            None // first sync or a resized BRAM: nothing reusable
+        };
+        match dirty {
+            Some((lo, hi)) => {
+                let hi = (hi as usize).min(words - 1);
+                self.slots[lo as usize..=hi].fill(None);
+            }
+            None => {
+                self.slots.clear();
+                self.slots.resize(words, None);
+            }
+        }
+        self.generation = imem.generation();
+    }
+
     #[cold]
     fn fetch_slow(
         &mut self,
@@ -101,14 +130,13 @@ impl DecodeCache {
         pc: u32,
     ) -> Result<Predecoded, RunError> {
         if self.generation != imem.generation() {
-            self.slots.clear();
-            self.slots.resize(imem.words().len(), None);
-            self.generation = imem.generation();
+            self.resync(imem);
         }
         let word = imem.read_word(pc).map_err(|err| RunError::Mem { pc, err })?;
         let insn = decode(word).map_err(|err| RunError::Decode { pc, err })?;
         let d = Predecoded::prepare(insn, features);
         self.slots[(pc >> 2) as usize] = Some(d);
+        self.prepared += 1;
         Ok(d)
     }
 }
@@ -160,6 +188,47 @@ mod tests {
             assert_eq!(d.supported, MbFeatures::minimal().supports(&insn), "{insn}");
             assert_eq!(d.control_flow, insn.is_control_flow(), "{insn}");
         }
+    }
+
+    #[test]
+    fn logged_bram_invalidates_only_the_patched_slots() {
+        let mut imem = Bram::new(64).with_write_log();
+        for w in 0..4u32 {
+            imem.write_word(w * 4, encode(&Insn::addk(Reg::R1, Reg::R2, Reg::R3))).unwrap();
+        }
+        let mut cache = DecodeCache::new();
+        for w in 0..4u32 {
+            cache.fetch(&imem, &features(), w * 4).unwrap();
+        }
+        let prepared = cache.prepared;
+
+        // Patch one word: only that slot re-decodes.
+        let xor = Insn::Xor { rd: Reg::R4, ra: Reg::R5, rb: Reg::R6 };
+        imem.write_word(0, encode(&xor)).unwrap();
+        for w in 0..4u32 {
+            cache.fetch(&imem, &features(), w * 4).unwrap();
+        }
+        assert_eq!(cache.fetch(&imem, &features(), 0).unwrap().insn, xor);
+        assert_eq!(cache.prepared, prepared + 1, "incremental invalidation must spare the rest");
+    }
+
+    #[test]
+    fn unlogged_bram_falls_back_to_a_full_flush() {
+        let mut imem = Bram::new(64);
+        let add = Insn::addk(Reg::R1, Reg::R2, Reg::R3);
+        for w in 0..4u32 {
+            imem.write_word(w * 4, encode(&add)).unwrap();
+        }
+        let mut cache = DecodeCache::new();
+        for w in 0..4u32 {
+            cache.fetch(&imem, &features(), w * 4).unwrap();
+        }
+        let prepared = cache.prepared;
+        imem.write_word(0, encode(&add)).unwrap();
+        for w in 0..4u32 {
+            cache.fetch(&imem, &features(), w * 4).unwrap();
+        }
+        assert_eq!(cache.prepared, prepared + 4, "no write log: the whole table refills");
     }
 
     #[test]

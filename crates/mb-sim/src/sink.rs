@@ -20,13 +20,66 @@ use mb_isa::OpClass;
 
 use crate::trace::{PcAggregates, Trace, TraceEvent};
 
+/// One fully-retired straight-line block, as delivered to
+/// [`TraceSink::retire_block`].
+///
+/// A block contains no control flow (branches and their delay slots
+/// always retire through [`System::step`](crate::System::step) and
+/// arrive via [`TraceSink::record`]), so every instruction here is
+/// sequential from [`head`](BlockRetire::head) and none is a taken
+/// branch. The aggregate fields let batched sinks update their tables
+/// without walking events; [`events`](BlockRetire::events) carries the
+/// per-instruction stream only for sinks whose
+/// [`WANTS_EVENTS`](TraceSink::WANTS_EVENTS) is `true` (it is empty
+/// otherwise — the engine skips synthesizing events the sink declared
+/// it will not read).
+#[derive(Debug)]
+pub struct BlockRetire<'a> {
+    /// PC of the block's first instruction; instruction `i` retired at
+    /// `head + 4 * i`.
+    pub head: u32,
+    /// Retired instruction count.
+    pub instructions: u32,
+    /// Total cycles consumed by the block.
+    pub cycles: u64,
+    /// Per-class retired-instruction deltas, indexed by
+    /// [`OpClass::index`].
+    pub class_insns: &'a [u32; OpClass::ALL.len()],
+    /// Per-instruction cycle costs, in retirement order.
+    pub insn_cycles: &'a [u32],
+    /// The per-instruction events — populated only when the sink's
+    /// [`WANTS_EVENTS`](TraceSink::WANTS_EVENTS) is `true`.
+    pub events: &'a [TraceEvent],
+}
+
 /// Consumer of retired-instruction events.
 ///
 /// Implementations must be cheap: `record` is called once per retired
-/// instruction on the simulator's hottest path.
+/// instruction on the simulator's hottest path (the step engine, block
+/// tails, and partially-retired blocks); `retire_block` is called once
+/// per fully-retired superblock.
 pub trait TraceSink {
+    /// Whether this sink reads per-instruction [`TraceEvent`]s for
+    /// block retirements. Sinks that only need aggregates override this
+    /// to `false` and get a [`BlockRetire`] with an empty event slice —
+    /// the block engine then skips synthesizing events entirely, which
+    /// is where the batched dispatch wins its throughput.
+    const WANTS_EVENTS: bool = true;
+
     /// Observes one retired instruction.
     fn record(&mut self, event: &TraceEvent);
+
+    /// Observes one fully-retired straight-line block.
+    ///
+    /// The default implementation loops [`record`](TraceSink::record)
+    /// over the block's events, so event-consuming sinks ([`Trace`])
+    /// see a stream bit-identical to per-instruction execution.
+    #[inline]
+    fn retire_block(&mut self, block: &BlockRetire<'_>) {
+        for event in block.events {
+            self.record(event);
+        }
+    }
 }
 
 /// The no-op sink: an untraced run.
@@ -34,8 +87,13 @@ pub trait TraceSink {
 pub struct NullSink;
 
 impl TraceSink for NullSink {
+    const WANTS_EVENTS: bool = false;
+
     #[inline(always)]
     fn record(&mut self, _event: &TraceEvent) {}
+
+    #[inline(always)]
+    fn retire_block(&mut self, _block: &BlockRetire<'_>) {}
 }
 
 impl TraceSink for Trace {
@@ -46,9 +104,16 @@ impl TraceSink for Trace {
 }
 
 impl<S: TraceSink> TraceSink for &mut S {
+    const WANTS_EVENTS: bool = S::WANTS_EVENTS;
+
     #[inline]
     fn record(&mut self, event: &TraceEvent) {
         (**self).record(event);
+    }
+
+    #[inline]
+    fn retire_block(&mut self, block: &BlockRetire<'_>) {
+        (**self).retire_block(block);
     }
 }
 
@@ -178,6 +243,29 @@ impl TraceSummary {
 }
 
 impl TraceSink for TraceSummary {
+    const WANTS_EVENTS: bool = false;
+
+    /// Batched block retirement: straight-line blocks carry no branch
+    /// events, so the whole update is per-PC adds from the precomputed
+    /// cycle vector plus O(classes) histogram arithmetic — no events
+    /// are synthesized or walked.
+    fn retire_block(&mut self, block: &BlockRetire<'_>) {
+        let n = block.instructions as usize;
+        if n == 0 {
+            return;
+        }
+        let base = self.slot(block.head + 4 * (n as u32 - 1)) + 1 - n;
+        for (i, &c) in block.insn_cycles.iter().enumerate() {
+            self.cycles_by_pc[base + i] += u64::from(c);
+            self.insns_by_pc[base + i] += 1;
+        }
+        for (h, &d) in self.class_hist.iter_mut().zip(block.class_insns) {
+            *h += u64::from(d);
+        }
+        self.instructions += u64::from(block.instructions);
+        self.cycles += block.cycles;
+    }
+
     #[inline]
     fn record(&mut self, event: &TraceEvent) {
         let idx = self.slot(event.pc);
@@ -269,6 +357,36 @@ mod tests {
     fn null_sink_records_nothing() {
         let mut sink = NullSink;
         sink.record(&ev(0, 1));
+    }
+
+    #[test]
+    fn batched_block_retirement_equals_per_event_recording() {
+        // Two ALU ops at 0x40/0x44 costing 1 and 3 cycles.
+        let events = [ev(0x40, 1), ev(0x44, 3)];
+        let mut class_insns = [0u32; OpClass::ALL.len()];
+        class_insns[OpClass::Alu.index()] = 2;
+        let block = BlockRetire {
+            head: 0x40,
+            instructions: 2,
+            cycles: 4,
+            class_insns: &class_insns,
+            insn_cycles: &[1, 3],
+            events: &[],
+        };
+
+        let mut batched = TraceSummary::new();
+        batched.retire_block(&block);
+        let mut per_event = TraceSummary::new();
+        for e in &events {
+            per_event.record(e);
+        }
+        assert_eq!(batched, per_event, "batched and per-event summaries must be identical");
+
+        // The default impl (an events-wanting sink) replays the events.
+        let mut trace = Trace::new();
+        trace.retire_block(&BlockRetire { events: &events, ..block });
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.cycles(), 4);
     }
 
     #[test]

@@ -40,6 +40,24 @@ impl ExecStats {
         self.cycles[i] += u64::from(cycles);
     }
 
+    /// Records a fully-retired straight-line block from its precomputed
+    /// per-class deltas: O(classes) instead of one [`record`] call per
+    /// instruction. Blocks contain no branches, so the branch counters
+    /// are untouched.
+    ///
+    /// [`record`]: ExecStats::record
+    #[inline]
+    pub(crate) fn record_block(
+        &mut self,
+        class_insns: &[u32; OpClass::ALL.len()],
+        class_cycles: &[u32; OpClass::ALL.len()],
+    ) {
+        for i in 0..OpClass::ALL.len() {
+            self.instret[i] += u64::from(class_insns[i]);
+            self.cycles[i] += u64::from(class_cycles[i]);
+        }
+    }
+
     /// Total retired instructions (summed on demand; `record` stays
     /// minimal because it runs once per simulated instruction).
     #[must_use]

@@ -11,20 +11,14 @@
 //! (`warp-mb/bench-online/v1`) is described in the README's "Online
 //! warp runtime" section.
 
+use warp_bench::measure::BenchCli;
 use warp_bench::online;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke")
-        || std::env::var("ONLINEPERF_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_online.json".into());
+    let cli = BenchCli::parse("ONLINEPERF_SMOKE", "BENCH_online.json");
 
-    let perf = online::measure_suite(smoke);
-    println!("online warp runtime timeline, {} mode:\n", if smoke { "smoke" } else { "full" });
+    let perf = online::measure_suite(cli.smoke);
+    println!("online warp runtime timeline, {} mode:\n", if cli.smoke { "smoke" } else { "full" });
     print!("{}", perf.render_table());
     println!(
         "\n{} warp events across {} workloads; mean online speedup {:.2}x",
@@ -33,7 +27,5 @@ fn main() {
         perf.mean_online_speedup()
     );
 
-    let json = perf.to_json();
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
-    println!("wrote {out_path} ({} bytes)", json.len());
+    cli.write_json(&perf.to_json());
 }

@@ -1,41 +1,40 @@
 //! Measures simulation throughput (Minsn/s) across the paper suite in
-//! four run modes — decode-per-fetch reference, untraced fast path,
-//! streaming summary, full trace — and writes `BENCH_sim.json`.
+//! five run modes — decode-per-fetch reference, per-instruction
+//! predecoded path, superblock engine, streaming summary, full trace —
+//! and writes `BENCH_sim.json`.
 //!
 //! Usage: `simperf [--smoke] [--out <path>]`
 //!
 //! `--smoke` (or `SIMPERF_SMOKE=1`) runs three repetitions per mode for
 //! CI; the default is best-of-10 (single runs are ~1 ms, so repetitions
-//! are cheap and the minimum filters scheduler noise). The JSON schema is described in the README's
-//! "Performance" section.
+//! are cheap and the minimum filters scheduler noise). The JSON schema
+//! (`warp-mb/bench-sim/v2`) is described in the README's "Performance"
+//! section.
 
+use warp_bench::measure::BenchCli;
 use warp_bench::simperf;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke")
-        || std::env::var("SIMPERF_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_sim.json".into());
-    let reps = if smoke { 3 } else { 10 };
+    let cli = BenchCli::parse("SIMPERF_SMOKE", "BENCH_sim.json");
+    let reps = if cli.smoke { 3 } else { 10 };
 
-    let perf = simperf::measure_suite(reps, smoke);
+    let perf = simperf::measure_suite(reps, cli.smoke);
     println!(
         "simulation throughput, {} mode (best of {} rep{}):\n",
-        if smoke { "smoke" } else { "full" },
+        if cli.smoke { "smoke" } else { "full" },
         reps,
         if reps == 1 { "" } else { "s" },
     );
     print!("{}", perf.render_table());
     println!(
-        "\nuntraced fast path vs. seed decode-per-fetch loop: {:.2}x",
-        perf.aggregate_untraced_speedup()
+        "\nblock engine vs. predecoded per-instruction path: {:.2}x",
+        perf.aggregate_block_speedup()
+    );
+    println!(
+        "predecoded path vs. seed decode-per-fetch loop:   {:.2}x (block vs. seed: {:.2}x)",
+        perf.aggregate_predecoded_speedup(),
+        perf.aggregate_block_speedup_vs_reference()
     );
 
-    let json = perf.to_json();
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
-    println!("wrote {out_path} ({} bytes)", json.len());
+    cli.write_json(&perf.to_json());
 }

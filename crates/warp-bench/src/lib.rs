@@ -17,6 +17,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod measure;
 pub mod online;
 pub mod simperf;
 

@@ -1,0 +1,117 @@
+//! Measurement plumbing shared by the bench harnesses.
+//!
+//! The best-of-N wall-clock helper and the `--smoke`/`--out` CLI
+//! handling were previously duplicated between the `simperf` and
+//! `onlineperf` halves of the crate; they live here so the two
+//! harnesses (and any future one) cannot drift apart on methodology.
+
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock seconds of `run`. Single runs are ~1 ms,
+/// so repetitions are cheap and taking the minimum filters scheduler
+/// noise — the same methodology for every mode keeps ratios honest.
+pub fn best_of_seconds(reps: usize, mut run: impl FnMut()) -> f64 {
+    best_of_seconds_with(reps, || (), |()| run(), |()| {})
+}
+
+/// Like [`best_of_seconds`], but each repetition's `setup` (building
+/// the measured subject) and `verify` (checking `run`'s result) execute
+/// *outside* the timed region — only `run` itself is on the clock.
+/// Single runs are ~1 ms, so a constant setup cost left inside the
+/// timer would inflate the fast modes proportionally more than the slow
+/// ones and quietly compress every speedup ratio.
+pub fn best_of_seconds_with<T, R>(
+    reps: usize,
+    mut setup: impl FnMut() -> T,
+    mut run: impl FnMut(T) -> R,
+    mut verify: impl FnMut(R),
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let subject = setup();
+        let start = Instant::now();
+        let result = run(subject);
+        best = best.min(start.elapsed().as_secs_f64());
+        verify(result);
+    }
+    best
+}
+
+/// The `--smoke`/`--out` arguments shared by the bench binaries.
+#[derive(Clone, Debug)]
+pub struct BenchCli {
+    /// Run with CI-sized iteration counts.
+    pub smoke: bool,
+    /// Where to write the JSON document.
+    pub out_path: String,
+}
+
+impl BenchCli {
+    /// Parses `--smoke` (also settable through `smoke_env`, e.g.
+    /// `SIMPERF_SMOKE=1`) and `--out <path>` (defaulting to
+    /// `default_out`) from the process arguments.
+    #[must_use]
+    pub fn parse(smoke_env: &str, default_out: &str) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let smoke = args.iter().any(|a| a == "--smoke")
+            || std::env::var(smoke_env).is_ok_and(|v| v != "0" && !v.is_empty());
+        let out_path = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| default_out.into());
+        BenchCli { smoke, out_path }
+    }
+
+    /// Writes the rendered JSON document to the chosen path and prints
+    /// the confirmation line the harness binaries end with.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the path cannot be written — a bench run without its
+    /// document is a failed run.
+    pub fn write_json(&self, json: &str) {
+        std::fs::write(&self.out_path, json)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", self.out_path));
+        println!("wrote {} ({} bytes)", self.out_path, json.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_of_takes_the_minimum() {
+        let mut calls = 0;
+        let s = best_of_seconds(3, || calls += 1);
+        assert_eq!(calls, 3);
+        assert!(s >= 0.0 && s.is_finite());
+        // Zero reps still measures once.
+        let mut calls = 0;
+        best_of_seconds(0, || calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn setup_and_verify_bracket_every_rep() {
+        let (mut setups, mut runs, mut verifies) = (0, 0, 0);
+        let s = best_of_seconds_with(
+            4,
+            || {
+                setups += 1;
+                setups
+            },
+            |n| {
+                runs += 1;
+                n * 2
+            },
+            |r| {
+                verifies += 1;
+                assert_eq!(r, verifies * 2);
+            },
+        );
+        assert_eq!((setups, runs, verifies), (4, 4, 4));
+        assert!(s >= 0.0 && s.is_finite());
+    }
+}

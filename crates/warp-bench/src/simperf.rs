@@ -3,26 +3,31 @@
 //! Simulated instructions per second is the metric that gates how many
 //! scenarios the batch runner can cover, so this harness records it per
 //! PR. For every workload in the paper suite it measures host wall-clock
-//! for four run modes of the same simulation:
+//! for five run modes of the same simulation:
 //!
 //! * `reference_decode_per_fetch` — the seed loop: decode on every
 //!   fetch ([`MbConfig::predecode`] off), no tracing;
-//! * `untraced` — the fast path: pre-decoded fetch, [`NullSink`];
-//! * `summary` — pre-decoded fetch streaming a [`TraceSummary`];
-//! * `full_trace` — pre-decoded fetch recording the complete event
-//!   vector.
+//! * `predecoded` — the PR 3 fast path: pre-decoded fetch, stepping one
+//!   instruction per dispatch ([`MbConfig::with_blocks`]`(false)`),
+//!   [`NullSink`];
+//! * `block` — the superblock engine: fused straight-line blocks
+//!   retired one per dispatch, [`NullSink`];
+//! * `summary` — block engine streaming a [`TraceSummary`] through the
+//!   batched `retire_block` hook;
+//! * `full_trace` — block engine recording the complete event vector.
 //!
-//! Simulated cycle/instruction counts are identical across all four
+//! Simulated cycle/instruction counts are identical across all five
 //! modes (asserted here, locked in by `tests/sim_fast_path.rs`); only
 //! host speed differs. [`SimPerf::to_json`] emits the `BENCH_sim.json`
-//! document CI archives per PR; the schema is documented in the README's
-//! "Performance" section.
-
-use std::time::Instant;
+//! document (schema `warp-mb/bench-sim/v2`) CI validates and archives
+//! per PR; the schema is documented in the README's "Performance"
+//! section.
 
 use mb_isa::{MbFeatures, OpClass};
 use mb_sim::{MbConfig, NullSink, Outcome, StopReason, Trace, TraceSummary};
 use workloads::BuiltWorkload;
+
+use crate::measure::best_of_seconds_with;
 
 /// Cycle budget per measured run (matches the warp flow's default).
 const MAX_CYCLES: u64 = 500_000_000;
@@ -54,19 +59,28 @@ pub struct WorkloadPerf {
     pub mb_cycles: u64,
     /// The seed decode-per-fetch loop, untraced.
     pub reference: ModePerf,
-    /// Pre-decoded fetch, no sink.
-    pub untraced: ModePerf,
-    /// Pre-decoded fetch, streaming summary sink.
+    /// Pre-decoded fetch, per-instruction stepping, no sink.
+    pub predecoded: ModePerf,
+    /// Superblock engine, no sink.
+    pub block: ModePerf,
+    /// Superblock engine, streaming summary sink.
     pub summary: ModePerf,
-    /// Pre-decoded fetch, full event vector.
+    /// Superblock engine, full event vector.
     pub full_trace: ModePerf,
 }
 
 impl WorkloadPerf {
-    /// Host speedup of the untraced fast path over the seed loop.
+    /// Host speedup of the block engine over the per-instruction
+    /// predecoded path (both untraced).
     #[must_use]
-    pub fn untraced_speedup(&self) -> f64 {
-        self.reference.seconds / self.untraced.seconds
+    pub fn block_speedup(&self) -> f64 {
+        self.predecoded.seconds / self.block.seconds
+    }
+
+    /// Host speedup of the predecoded path over the seed loop.
+    #[must_use]
+    pub fn predecoded_speedup(&self) -> f64 {
+        self.reference.seconds / self.predecoded.seconds
     }
 }
 
@@ -95,21 +109,37 @@ impl SimPerf {
         insns / secs.max(1e-9) / 1e6
     }
 
-    /// Suite-level untraced speedup over the decode-per-fetch reference
-    /// (total reference seconds over total untraced seconds).
+    /// Suite-level block-engine speedup over the per-instruction
+    /// predecoded path (total seconds over total seconds) — the number
+    /// the `SIMPERF_BLOCK_FLOOR` CI gate watches.
     #[must_use]
-    pub fn aggregate_untraced_speedup(&self) -> f64 {
-        self.totals(|w| w.reference.seconds) / self.totals(|w| w.untraced.seconds).max(1e-9)
+    pub fn aggregate_block_speedup(&self) -> f64 {
+        self.totals(|w| w.predecoded.seconds) / self.totals(|w| w.block.seconds).max(1e-9)
     }
 
-    /// Renders the `BENCH_sim.json` document.
+    /// Suite-level predecoded-path speedup over the decode-per-fetch
+    /// reference (the PR 3 number, still tracked).
+    #[must_use]
+    pub fn aggregate_predecoded_speedup(&self) -> f64 {
+        self.totals(|w| w.reference.seconds) / self.totals(|w| w.predecoded.seconds).max(1e-9)
+    }
+
+    /// Suite-level block-engine speedup over the seed loop.
+    #[must_use]
+    pub fn aggregate_block_speedup_vs_reference(&self) -> f64 {
+        self.totals(|w| w.reference.seconds) / self.totals(|w| w.block.seconds).max(1e-9)
+    }
+
+    /// Renders the `BENCH_sim.json` document (schema
+    /// `warp-mb/bench-sim/v2`: v1 plus the `predecoded`/`block` mode
+    /// split and the block-speedup columns).
     #[must_use]
     pub fn to_json(&self) -> String {
         let mode_json = |m: &ModePerf| {
             format!(r#"{{"seconds": {:.6}, "minsn_per_s": {:.3}}}"#, m.seconds, m.minsn_per_s)
         };
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"warp-mb/bench-sim/v1\",\n");
+        out.push_str("  \"schema\": \"warp-mb/bench-sim/v2\",\n");
         out.push_str(&format!("  \"mode\": \"{}\",\n", if self.smoke { "smoke" } else { "full" }));
         out.push_str(&format!("  \"reps\": {},\n", self.reps));
         out.push_str(&format!("  \"mb_clock_hz\": {},\n", mb_sim::MB_CLOCK_HZ));
@@ -117,30 +147,38 @@ impl SimPerf {
         for (i, w) in self.workloads.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"instructions\": {}, \"mb_cycles\": {}, \
-                 \"modes\": {{\"reference_decode_per_fetch\": {}, \"untraced\": {}, \
-                 \"summary\": {}, \"full_trace\": {}}}, \
-                 \"untraced_speedup_vs_reference\": {:.3}}}{}\n",
+                 \"modes\": {{\"reference_decode_per_fetch\": {}, \"predecoded\": {}, \
+                 \"block\": {}, \"summary\": {}, \"full_trace\": {}}}, \
+                 \"block_speedup_vs_predecoded\": {:.3}, \
+                 \"predecoded_speedup_vs_reference\": {:.3}}}{}\n",
                 w.name,
                 w.instructions,
                 w.mb_cycles,
                 mode_json(&w.reference),
-                mode_json(&w.untraced),
+                mode_json(&w.predecoded),
+                mode_json(&w.block),
                 mode_json(&w.summary),
                 mode_json(&w.full_trace),
-                w.untraced_speedup(),
+                w.block_speedup(),
+                w.predecoded_speedup(),
                 if i + 1 == self.workloads.len() { "" } else { "," },
             ));
         }
         out.push_str("  ],\n");
         out.push_str(&format!(
-            "  \"aggregate\": {{\"untraced_minsn_per_s\": {:.3}, \"summary_minsn_per_s\": {:.3}, \
-             \"full_trace_minsn_per_s\": {:.3}, \"reference_minsn_per_s\": {:.3}, \
-             \"untraced_speedup_vs_reference\": {:.3}}}\n",
-            self.aggregate_minsn(|w| w.untraced),
+            "  \"aggregate\": {{\"block_minsn_per_s\": {:.3}, \"predecoded_minsn_per_s\": {:.3}, \
+             \"summary_minsn_per_s\": {:.3}, \"full_trace_minsn_per_s\": {:.3}, \
+             \"reference_minsn_per_s\": {:.3}, \"block_speedup_vs_predecoded\": {:.3}, \
+             \"predecoded_speedup_vs_reference\": {:.3}, \
+             \"block_speedup_vs_reference\": {:.3}}}\n",
+            self.aggregate_minsn(|w| w.block),
+            self.aggregate_minsn(|w| w.predecoded),
             self.aggregate_minsn(|w| w.summary),
             self.aggregate_minsn(|w| w.full_trace),
             self.aggregate_minsn(|w| w.reference),
-            self.aggregate_untraced_speedup(),
+            self.aggregate_block_speedup(),
+            self.aggregate_predecoded_speedup(),
+            self.aggregate_block_speedup_vs_reference(),
         ));
         out.push_str("}\n");
         out
@@ -150,39 +188,53 @@ impl SimPerf {
     #[must_use]
     pub fn render_table(&self) -> String {
         let mut out = format!(
-            "{:>10} | {:>12} {:>11} {:>11} {:>11} {:>11} {:>8}\n",
-            "benchmark", "insns", "ref Mi/s", "untraced", "summary", "full", "speedup"
+            "{:>10} | {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}\n",
+            "benchmark", "insns", "ref Mi/s", "predec", "block", "summary", "full", "blockup"
         );
-        out.push_str(&"-".repeat(84));
+        out.push_str(&"-".repeat(88));
         out.push('\n');
-        for w in &self.workloads {
+        let mut row = |name: &str,
+                       insns: u64,
+                       r: f64,
+                       p: f64,
+                       b: f64,
+                       s: f64,
+                       f: f64,
+                       speedup: f64| {
             out.push_str(&format!(
-                "{:>10} | {:>12} {:>11.1} {:>11.1} {:>11.1} {:>11.1} {:>7.2}x\n",
-                w.name,
+                "{name:>10} | {insns:>12} {r:>9.1} {p:>9.1} {b:>9.1} {s:>9.1} {f:>9.1} {speedup:>7.2}x\n",
+            ));
+        };
+        for w in &self.workloads {
+            row(
+                &w.name,
                 w.instructions,
                 w.reference.minsn_per_s,
-                w.untraced.minsn_per_s,
+                w.predecoded.minsn_per_s,
+                w.block.minsn_per_s,
                 w.summary.minsn_per_s,
                 w.full_trace.minsn_per_s,
-                w.untraced_speedup(),
-            ));
+                w.block_speedup(),
+            );
         }
-        out.push_str(&format!(
-            "{:>10} | {:>12} {:>11.1} {:>11.1} {:>11.1} {:>11.1} {:>7.2}x\n",
+        row(
             "suite",
             self.workloads.iter().map(|w| w.instructions).sum::<u64>(),
             self.aggregate_minsn(|w| w.reference),
-            self.aggregate_minsn(|w| w.untraced),
+            self.aggregate_minsn(|w| w.predecoded),
+            self.aggregate_minsn(|w| w.block),
             self.aggregate_minsn(|w| w.summary),
             self.aggregate_minsn(|w| w.full_trace),
-            self.aggregate_untraced_speedup(),
-        ));
+            self.aggregate_block_speedup(),
+        );
         out
     }
 }
 
 /// Best-of-`reps` wall-clock for one run mode, checking that the
 /// simulated outcome matches the expected cycle/instruction counts.
+/// System construction and the outcome checks happen off the clock —
+/// only the run itself is timed.
 fn time_mode(
     built: &BuiltWorkload,
     config: &MbConfig,
@@ -190,29 +242,27 @@ fn time_mode(
     expected: (u64, u64),
     run: impl Fn(&mut mb_sim::System) -> mb_sim::Outcome,
 ) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps.max(1) {
-        let mut sys = built.instantiate(config);
-        let start = Instant::now();
-        let outcome = run(&mut sys);
-        let elapsed = start.elapsed().as_secs_f64();
-        assert!(outcome.exited(), "{}: run must exit", built.name);
-        assert_eq!(
-            (outcome.cycles, outcome.instructions),
-            expected,
-            "{}: simulated timing must be mode-independent",
-            built.name
-        );
-        best = best.min(elapsed);
-    }
-    best
+    best_of_seconds_with(
+        reps,
+        || built.instantiate(config),
+        |mut sys| run(&mut sys),
+        |outcome| {
+            assert!(outcome.exited(), "{}: run must exit", built.name);
+            assert_eq!(
+                (outcome.cycles, outcome.instructions),
+                expected,
+                "{}: simulated timing must be mode-independent",
+                built.name
+            );
+        },
+    )
 }
 
 /// The seed run loop, reproduced: step by step with the budget checked
 /// by summing the per-class cycle counters every iteration — exactly
 /// what the original `run_inner` did before the grand totals existed.
 /// Combined with `predecode: false` (decode per fetch, per-instruction
-/// exit-port poll) this is the baseline the fast path is measured
+/// exit-port poll) this is the baseline the fast paths are measured
 /// against.
 fn run_seed_style(sys: &mut mb_sim::System) -> Outcome {
     let linear_cycles =
@@ -240,27 +290,29 @@ fn run_seed_style(sys: &mut mb_sim::System) -> Outcome {
     }
 }
 
-/// Measures one workload across all four modes.
+/// Measures one workload across all five modes.
 #[must_use]
 pub fn measure_workload(workload: &workloads::Workload, reps: usize) -> WorkloadPerf {
     let built = workload.build(MbFeatures::paper_default());
-    let fast = MbConfig::paper_default();
-    let reference = fast.clone().with_predecode(false);
+    let block = MbConfig::paper_default();
+    let predecoded = block.clone().with_blocks(false);
+    let reference = predecoded.clone().with_predecode(false);
 
     // Establish the expected simulated counts once.
-    let mut sys = built.instantiate(&fast);
+    let mut sys = built.instantiate(&block);
     let outcome = sys.run(MAX_CYCLES).expect("workload runs");
     assert!(outcome.exited());
     let expected = (outcome.cycles, outcome.instructions);
 
     let run_untraced =
         |sys: &mut mb_sim::System| sys.run_with_sink(MAX_CYCLES, &mut NullSink).unwrap();
-    let t_untraced = time_mode(&built, &fast, reps, expected, run_untraced);
-    let t_summary = time_mode(&built, &fast, reps, expected, |sys| {
+    let t_block = time_mode(&built, &block, reps, expected, run_untraced);
+    let t_predecoded = time_mode(&built, &predecoded, reps, expected, run_untraced);
+    let t_summary = time_mode(&built, &block, reps, expected, |sys| {
         let mut summary = TraceSummary::new();
         sys.run_with_sink(MAX_CYCLES, &mut summary).unwrap()
     });
-    let t_full = time_mode(&built, &fast, reps, expected, |sys| {
+    let t_full = time_mode(&built, &block, reps, expected, |sys| {
         let mut trace = Trace::new();
         sys.run_with_sink(MAX_CYCLES, &mut trace).unwrap()
     });
@@ -271,7 +323,8 @@ pub fn measure_workload(workload: &workloads::Workload, reps: usize) -> Workload
         instructions: expected.1,
         mb_cycles: expected.0,
         reference: ModePerf::from_best(t_ref, expected.1),
-        untraced: ModePerf::from_best(t_untraced, expected.1),
+        predecoded: ModePerf::from_best(t_predecoded, expected.1),
+        block: ModePerf::from_best(t_block, expected.1),
         summary: ModePerf::from_best(t_summary, expected.1),
         full_trace: ModePerf::from_best(t_full, expected.1),
     }
@@ -298,8 +351,9 @@ mod tests {
                 instructions: 1_000_000,
                 mb_cycles: 1_500_000,
                 reference: mode(0.4),
-                untraced: mode(0.1),
-                summary: mode(0.12),
+                predecoded: mode(0.1),
+                block: mode(0.05),
+                summary: mode(0.06),
                 full_trace: mode(0.2),
             }],
         }
@@ -308,8 +362,11 @@ mod tests {
     #[test]
     fn json_has_schema_and_balanced_structure() {
         let json = synthetic().to_json();
-        assert!(json.contains("\"schema\": \"warp-mb/bench-sim/v1\""));
-        assert!(json.contains("\"untraced_speedup_vs_reference\""));
+        assert!(json.contains("\"schema\": \"warp-mb/bench-sim/v2\""));
+        assert!(json.contains("\"block_speedup_vs_predecoded\""));
+        assert!(json.contains("\"predecoded_speedup_vs_reference\""));
+        assert!(json.contains("\"modes\": {\"reference_decode_per_fetch\""));
+        assert!(json.contains("\"block\": {"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert_eq!(json.matches('"').count() % 2, 0, "quotes must pair");
@@ -321,9 +378,12 @@ mod tests {
     fn speedups_and_aggregates_follow_the_seconds() {
         let p = synthetic();
         let w = &p.workloads[0];
-        assert!((w.untraced_speedup() - 4.0).abs() < 1e-9);
-        assert!((p.aggregate_untraced_speedup() - 4.0).abs() < 1e-9);
-        assert!((p.aggregate_minsn(|w| w.untraced) - 10.0).abs() < 1e-6);
+        assert!((w.block_speedup() - 2.0).abs() < 1e-9);
+        assert!((w.predecoded_speedup() - 4.0).abs() < 1e-9);
+        assert!((p.aggregate_block_speedup() - 2.0).abs() < 1e-9);
+        assert!((p.aggregate_predecoded_speedup() - 4.0).abs() < 1e-9);
+        assert!((p.aggregate_block_speedup_vs_reference() - 8.0).abs() < 1e-9);
+        assert!((p.aggregate_minsn(|w| w.block) - 20.0).abs() < 1e-6);
     }
 
     #[test]
@@ -331,5 +391,6 @@ mod tests {
         let table = synthetic().render_table();
         assert!(table.contains("brev"));
         assert!(table.contains("suite"));
+        assert!(table.contains("blockup"));
     }
 }

@@ -36,7 +36,7 @@
 use std::cell::OnceCell;
 use std::fmt;
 
-use mb_sim::{Trace, TraceEvent, TraceSink};
+use mb_sim::{BlockRetire, Trace, TraceEvent, TraceSink};
 
 /// Geometry of the profiler's branch-frequency cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -105,6 +105,11 @@ pub struct ProfilerStats {
     pub decays: u64,
     /// Entries whose counter decayed/aged to zero and were dropped.
     pub decay_evictions: u64,
+    /// Retired instructions seen on the bus (the address-stream traffic
+    /// the hardware monitor filters branches out of). Stepping bumps
+    /// this once per instruction; a fused superblock bumps it once per
+    /// block, weighted by the block's length.
+    pub instructions: u64,
 }
 
 /// The frequent-loop-detection cache.
@@ -215,6 +220,7 @@ impl Profiler {
 
     /// Feeds one trace event to the profiler.
     pub fn observe(&mut self, event: &TraceEvent) {
+        self.stats.instructions += 1;
         if event.taken == Some(true) {
             if let Some(target) = event.target {
                 self.observe_branch(event.pc, target);
@@ -265,8 +271,21 @@ impl Profiler {
 /// exactly as the paper's hardware profiler watches the instruction bus
 /// — no recorded trace needed in between.
 impl TraceSink for Profiler {
+    /// The profiler only reads branch outcomes, and branches never fuse
+    /// into superblocks — so it needs no per-instruction events for
+    /// block retirements and the engine skips synthesizing them.
+    const WANTS_EVENTS: bool = false;
+
     fn record(&mut self, event: &TraceEvent) {
         self.observe(event);
+    }
+
+    /// Batched block retirement: a straight-line block carries no
+    /// branches, so the frequency cache is untouched and the whole
+    /// update is one counter bump weighted by the block's length.
+    #[inline]
+    fn retire_block(&mut self, block: &BlockRetire<'_>) {
+        self.stats.instructions += u64::from(block.instructions);
     }
 }
 

@@ -1,27 +1,38 @@
-//! Fast-path equivalence: the pre-decoded fetch store, the trace sinks,
-//! and the streaming aggregates must be invisible to simulated results.
+//! Fast-path equivalence: the pre-decoded fetch store, the superblock
+//! engine, the trace sinks, and the streaming aggregates must be
+//! invisible to simulated results.
 //!
-//! Three contracts are locked in here:
+//! Four contracts are locked in here:
 //!
 //! 1. the pre-decoded fetch path produces an instruction-for-instruction
 //!    identical [`Trace`], identical [`ExecStats`], and identical
 //!    [`Outcome`] to the decode-per-fetch reference loop
 //!    (`MbConfig::with_predecode(false)`);
-//! 2. decode-cache invalidation: after an imem patch through
-//!    [`System::imem_mut`] — the WCLA binary-patching interface — the
-//!    patched words execute, never stale pre-decoded ones;
-//! 3. a [`TraceSummary`] streamed during the run equals every aggregate
+//! 2. the superblock engine (`MbConfig::with_blocks`, the default)
+//!    matches the per-instruction step engine the same way — including
+//!    across mid-run patches and cycle budgets that expire mid-block;
+//! 3. decode-cache and block-store invalidation: after an imem patch
+//!    through [`System::imem_mut`] — the WCLA binary-patching interface
+//!    — the patched words execute, never stale pre-decoded ones or
+//!    stale fused blocks;
+//! 4. a [`TraceSummary`] streamed during the run equals every aggregate
 //!    computed from the full trace.
 
-use mb_isa::{encode, Assembler, Insn, MbFeatures, Reg};
-use mb_sim::{MbConfig, NullSink, System, TraceSummary, EXIT_PORT_BASE};
+use mb_isa::{encode, Assembler, Insn, MbFeatures, MemSize, Reg};
+use mb_sim::{MbConfig, NullSink, System, Trace, TraceSummary, EXIT_PORT_BASE};
 
+/// Block engine on (the default configuration).
 fn fast_config() -> MbConfig {
     MbConfig::paper_default()
 }
 
+/// Pre-decoded fetch but per-instruction stepping (the PR 3 fast path).
+fn step_config() -> MbConfig {
+    MbConfig::paper_default().with_blocks(false)
+}
+
 fn reference_config() -> MbConfig {
-    MbConfig::paper_default().with_predecode(false)
+    MbConfig::paper_default().with_predecode(false).with_blocks(false)
 }
 
 #[test]
@@ -109,16 +120,106 @@ fn run_patch_scenario(config: &MbConfig) -> System {
 
 #[test]
 fn imem_patch_invalidates_predecoded_store() {
+    // fast_config has the block engine on, so this exercises both the
+    // predecode-slot and the fused-block invalidation paths.
     let fast = run_patch_scenario(&fast_config());
     // Iteration 1 added 5, iteration 2 must execute the patched word.
     assert_eq!(fast.cpu().reg(Reg::R4), 12, "stale pre-decoded instruction executed");
 
-    // And the whole machine state matches the decode-per-fetch loop
-    // subjected to the identical patch sequence.
+    // And the whole machine state matches the per-instruction step
+    // engine and the decode-per-fetch loop subjected to the identical
+    // patch sequence.
+    let stepped = run_patch_scenario(&step_config());
     let reference = run_patch_scenario(&reference_config());
     assert_eq!(reference.cpu().reg(Reg::R4), 12);
+    assert_eq!(fast.cpu(), stepped.cpu());
+    assert_eq!(fast.stats(), stepped.stats());
     assert_eq!(fast.cpu(), reference.cpu());
     assert_eq!(fast.stats(), reference.stats());
+}
+
+#[test]
+fn faulting_block_preserves_step_engine_prefix_state() {
+    // An `imm` directly before a register-indexed load that faults: the
+    // step engine clears a pending prefix only *after* a successful
+    // Type-A access, so it still holds the prefix at the fault point —
+    // the block engine must restore it when unwinding the fused block,
+    // leaving bit-identical CPU state on the error path too.
+    let run = |config: &MbConfig| {
+        let mut a = Assembler::new(0);
+        a.li(Reg::R2, 0x0010_0000); // beyond the 64 KiB dmem, below the OPB window
+        a.push(Insn::Imm { imm: 0x0123 });
+        a.push(Insn::Load { size: MemSize::Word, rd: Reg::R1, ra: Reg::R2, rb: Reg::R0 });
+        a.li(Reg::R31, EXIT_PORT_BASE as i32);
+        a.push(Insn::swi(Reg::R0, Reg::R31, 0));
+        let program = a.finish().unwrap();
+        let mut sys = System::new(config.clone());
+        sys.load_program(&program).unwrap();
+        let err = sys.run(10_000).unwrap_err();
+        (sys, err)
+    };
+    let (blocks, err_b) = run(&fast_config());
+    let (stepped, err_s) = run(&step_config());
+    assert_eq!(err_b, err_s, "both engines must raise the identical fault");
+    assert!(blocks.cpu().has_imm_prefix(), "the pending prefix must survive the Type-A fault");
+    assert_eq!(blocks.cpu(), stepped.cpu(), "post-fault CPU state must match");
+    assert_eq!(blocks.stats(), stepped.stats(), "post-fault stats must match");
+}
+
+#[test]
+fn block_engine_matches_step_engine_on_all_workloads() {
+    for workload in workloads::all() {
+        let built = workload.build(MbFeatures::paper_default());
+
+        let mut blocks = built.instantiate(&fast_config());
+        let (out_b, trace_b) = blocks.run_traced(500_000_000).unwrap();
+
+        let mut stepped = built.instantiate(&step_config());
+        let (out_s, trace_s) = stepped.run_traced(500_000_000).unwrap();
+
+        assert_eq!(out_b, out_s, "{}: outcome must be identical", workload.name);
+        assert_eq!(
+            trace_b, trace_s,
+            "{}: block retirement must synthesize the identical event stream",
+            workload.name
+        );
+        assert_eq!(blocks.stats(), stepped.stats(), "{}: ExecStats must match", workload.name);
+        assert_eq!(blocks.cpu(), stepped.cpu(), "{}: final CPU state must match", workload.name);
+        built.verify(blocks.dmem()).unwrap();
+    }
+}
+
+#[test]
+fn sliced_block_execution_stops_at_step_engine_boundaries() {
+    // Slice budgets small enough that they constantly expire mid-block:
+    // the engine must split at the exact instruction boundary the step
+    // engine would have used, observable as identical PC / stats /
+    // outcome after every slice.
+    let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());
+    let budgets = [1u64, 3, 7, 17, 33, 129, 513];
+
+    let mut blocks = built.instantiate(&fast_config());
+    let mut stepped = built.instantiate(&step_config());
+    let mut trace_b = Trace::new();
+    let mut trace_s = Trace::new();
+    for (i, &budget) in budgets.iter().cycle().enumerate() {
+        let out_b = blocks.run_slice(budget, &mut trace_b).unwrap();
+        let out_s = stepped.run_slice(budget, &mut trace_s).unwrap();
+        assert_eq!(out_b, out_s, "slice {i} (budget {budget}) diverged");
+        assert_eq!(
+            blocks.cpu().pc(),
+            stepped.cpu().pc(),
+            "slice {i} (budget {budget}): boundary PC diverged"
+        );
+        assert_eq!(blocks.stats(), stepped.stats(), "slice {i}: stats diverged");
+        if out_b.exited() {
+            break;
+        }
+        assert!(i < 20_000_000, "workload never exited under sliced execution");
+    }
+    assert_eq!(trace_b, trace_s, "sliced traces must be event-identical");
+    assert_eq!(blocks.cpu(), stepped.cpu());
+    built.verify(blocks.dmem()).unwrap();
 }
 
 #[test]
