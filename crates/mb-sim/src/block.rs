@@ -19,24 +19,35 @@
 //! consumer carries the resolved 32-bit immediate. The block also
 //! carries its precomputed total cycles and per-class histogram deltas,
 //! so full-block retirement applies statistics in O(classes), not
-//! O(instructions). Block mode requires the no-cache configuration
-//! (the paper's system): with i/d-caches every instruction's cost is
-//! state-dependent and [`System`] falls back to stepping.
+//! O(instructions).
+//!
+//! With loop chaining on (see [`MbConfig::traces`]) a block whose run
+//! ends at a non-delay immediate-target branch with a statically
+//! backward target also fuses that branch as a [`Guard`], turning the
+//! block into a **megablock loop trace**: the engine retires body +
+//! guard per dispatch and, when the guard holds and its target is the
+//! block's own head, keeps iterating without leaving the dispatch. A
+//! guard failure is the side exit — the retired prefix stands and the
+//! engine resumes at `pc + 4`, the exact boundary the step engine pins.
+//! Backward branches are exactly the events the paper's profiler
+//! watches, so the chained shape is the application's critical loop.
 //!
 //! Invalidation mirrors the predecode store: the store compares
 //! [`Bram::generation`] and uses [`Bram::dirty_words_since`] to drop
-//! only blocks overlapping the patched words (a block is dropped if
-//! *any* of its words changed, so the scan walks back one maximum block
-//! length). PCs observed to touch the OPB mid-block are remembered so
-//! rebuilt blocks end before them and peripheral accesses always go
-//! through [`System::step`], which polls the exit port.
+//! only blocks overlapping the patched words — a block is dropped if
+//! *any* of its words changed, *including its guard word*, so the scan
+//! walks back one maximum trace length. PCs observed to touch the OPB
+//! mid-block are remembered so rebuilt blocks end before them and
+//! peripheral accesses always go through [`System::step`], which polls
+//! the exit port.
 //!
 //! [`System`]: crate::System
 //! [`System::step`]: crate::System::step
+//! [`MbConfig::traces`]: crate::MbConfig::traces
 
 use std::sync::Arc;
 
-use mb_isa::{Insn, MbFeatures, MemSize, OpClass, Reg, ShiftKind};
+use mb_isa::{Cond, Insn, MbFeatures, MemSize, OpClass, Reg, ShiftKind};
 
 use crate::predecode::{DecodeCache, Predecoded};
 use crate::Bram;
@@ -134,14 +145,39 @@ pub(crate) struct BlockOp {
     pub cycles: u32,
 }
 
-/// A fused straight-line block with precomputed retirement aggregates.
+/// The fused terminal branch of a megablock loop trace: a non-delay
+/// `bci`/`bri` whose target resolved statically to a backward address.
+/// Predicted taken — when the condition holds and the target is the
+/// block's own head the engine loops without leaving the dispatch; a
+/// guard failure is the side exit, falling through to the branch's
+/// `pc + 4` with every already-retired instruction standing.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Guard {
+    /// The original branch instruction (for trace events).
+    pub insn: Insn,
+    /// Instruction class (a branch).
+    pub class: OpClass,
+    /// Condition and condition register; `None` for unconditional `bri`.
+    pub cond: Option<(Cond, Reg)>,
+    /// Link register written with the branch's own PC, if any.
+    pub link: Option<Reg>,
+    /// Statically-resolved taken target (`<=` the branch PC).
+    pub target: u32,
+    /// Taken latency.
+    pub lat_taken: u32,
+    /// Not-taken (side-exit) latency.
+    pub lat_not_taken: u32,
+}
+
+/// A fused straight-line block with precomputed retirement aggregates,
+/// optionally chained across a backward branch into a loop trace.
 #[derive(Debug)]
 pub(crate) struct Block {
     /// PC of the first instruction.
     pub head: u32,
     /// The fused op sequence (one op per instruction).
     pub ops: Vec<BlockOp>,
-    /// Total static cycles of a full retirement.
+    /// Total static cycles of a full body retirement (guard excluded).
     pub cycles: u64,
     /// Per-class retired-instruction deltas, indexed by `OpClass::index()`.
     pub class_insns: [u32; OpClass::ALL.len()],
@@ -150,6 +186,17 @@ pub(crate) struct Block {
     /// Per-instruction static cycle costs in order (feeds the batched
     /// per-PC tables in [`crate::TraceSummary`]).
     pub insn_cycles: Vec<u32>,
+    /// The backward branch this block was chained across, if any. The
+    /// guard instruction sits at `head + 4 * ops.len()`.
+    pub guard: Option<Guard>,
+}
+
+impl Block {
+    /// Instruction-memory words the block covers, guard included —
+    /// the span invalidation must treat as one unit.
+    pub fn span_words(&self) -> usize {
+        self.ops.len() + usize::from(self.guard.is_some())
+    }
 }
 
 /// Lazily-built block table for one instruction BRAM, keyed by entry PC.
@@ -165,14 +212,18 @@ pub(crate) struct BlockStore {
     opb: Vec<bool>,
     /// The [`Bram::generation`] the table was built against.
     generation: u64,
+    /// Whether the builder chains backward branches into loop-trace
+    /// guards (see [`crate::MbConfig::traces`]).
+    chain: bool,
     /// Blocks constructed (observability for invalidation tests).
     pub(crate) built: u64,
 }
 
 impl BlockStore {
     /// Creates an empty store that syncs to the BRAM on first use.
-    pub fn new() -> Self {
-        BlockStore { blocks: Vec::new(), opb: Vec::new(), generation: u64::MAX, built: 0 }
+    /// `chain` enables guard chaining across backward branches.
+    pub fn new(chain: bool) -> Self {
+        BlockStore { blocks: Vec::new(), opb: Vec::new(), generation: u64::MAX, chain, built: 0 }
     }
 
     /// Returns the (possibly freshly built) non-empty block entered at
@@ -193,7 +244,9 @@ impl BlockStore {
         let w = (pc >> 2) as usize;
         match self.blocks.get(w)? {
             Some(b) => {
-                if b.ops.is_empty() {
+                // A block with no ops and no guard retires nothing:
+                // cached as "unbuildable" so dispatch falls to `step`.
+                if b.ops.is_empty() && b.guard.is_none() {
                     None
                 } else {
                     Some(Arc::clone(b))
@@ -202,9 +255,9 @@ impl BlockStore {
             None => {
                 let b = Arc::new(self.build(decode, imem, features, pc));
                 self.built += 1;
-                let non_empty = (!b.ops.is_empty()).then(|| Arc::clone(&b));
+                let useful = (!b.ops.is_empty() || b.guard.is_some()).then(|| Arc::clone(&b));
                 self.blocks[w] = Some(b);
-                non_empty
+                useful
             }
         }
     }
@@ -239,17 +292,19 @@ impl BlockStore {
 
     /// Drops every block overlapping the inclusive word range and
     /// forgets OPB knowledge for the range itself (the patched words may
-    /// no longer touch the bus). Blocks are at most [`MAX_BLOCK_OPS`]
-    /// words long, so the back-scan is bounded.
+    /// no longer touch the bus). A block spans at most [`MAX_BLOCK_OPS`]
+    /// body words plus one guard word, so the back-scan is bounded —
+    /// and a patch landing on a trace's guard word drops the whole
+    /// chained trace, never leaving a stale loop shape behind.
     fn invalidate_words(&mut self, lo: u32, hi: u32) {
         if self.blocks.is_empty() {
             return;
         }
         let lo = lo as usize;
         let hi = (hi as usize).min(self.blocks.len() - 1);
-        let start = lo.saturating_sub(MAX_BLOCK_OPS - 1);
+        let start = lo.saturating_sub(MAX_BLOCK_OPS);
         for w in start..lo {
-            if self.blocks[w].as_ref().is_some_and(|b| w + b.ops.len() > lo) {
+            if self.blocks[w].as_ref().is_some_and(|b| w + b.span_words() > lo) {
                 self.blocks[w] = None;
             }
         }
@@ -261,7 +316,8 @@ impl BlockStore {
 
     /// Builds the block entered at `pc` (possibly empty): collect the
     /// straight-line run of predecoded slots, then lower it with static
-    /// `imm`-prefix fusion.
+    /// `imm`-prefix fusion. With chaining on, a run ending at a
+    /// non-delay backward `bci`/`bri` fuses that branch as the guard.
     fn build(
         &self,
         decode: &mut DecodeCache,
@@ -283,7 +339,18 @@ impl BlockStore {
             raw.push(d);
             pc = pc.wrapping_add(4);
         }
-        lower(head, &raw)
+        let mut guard_slot = None;
+        if self.chain {
+            let w = (pc >> 2) as usize;
+            if w < self.blocks.len() && !self.opb[w] {
+                if let Ok(d) = decode.fetch(imem, features, pc) {
+                    if d.control_flow && d.supported {
+                        guard_slot = Some((d, pc));
+                    }
+                }
+            }
+        }
+        lower(head, &raw, guard_slot)
     }
 }
 
@@ -296,12 +363,52 @@ fn resolve_imm(imm: i16, prefix: Option<i16>) -> u32 {
     }
 }
 
+/// Chains the slot after a straight-line run into a [`Guard`] when it
+/// is a non-delay immediate-target branch whose target — resolved
+/// against a trailing in-block `imm` prefix, if any — is backward: the
+/// predicted-taken loop shape the paper's profiler watches.
+/// Register-target branches (`br`, `bc`) have dynamic targets and
+/// delay-slot branches split retirement across two PCs; both keep
+/// retiring through [`crate::System::step`].
+fn chain_guard(d: &Predecoded, pc: u32, prefix: Option<i16>) -> Option<Guard> {
+    let (cond, link, target) = match d.insn {
+        Insn::Bci { cond, ra, imm, delay: false } => {
+            (Some((cond, ra)), None, pc.wrapping_add(resolve_imm(imm, prefix)))
+        }
+        Insn::Bri { rd, imm, link, absolute, delay: false } => {
+            let imm32 = resolve_imm(imm, prefix);
+            (None, link.then_some(rd), if absolute { imm32 } else { pc.wrapping_add(imm32) })
+        }
+        _ => return None,
+    };
+    if target > pc {
+        return None; // forward: not a loop-closing branch
+    }
+    Some(Guard {
+        insn: d.insn,
+        class: d.class,
+        cond,
+        link,
+        target,
+        lat_taken: d.lat_taken,
+        lat_not_taken: d.lat_not_taken,
+    })
+}
+
 /// Lowers a straight-line run into fused ops. The caller guarantees the
 /// block is entered with no pending `imm` prefix, so prefix flow is
 /// fully static: an interior `imm` fuses into its successor (every
 /// non-`imm` instruction either consumes or clears the prefix), and
-/// only a trailing `imm` escapes to the architectural prefix register.
-fn lower(head: u32, raw: &[Predecoded]) -> Block {
+/// only a trailing `imm` escapes to the architectural prefix register —
+/// unless a guard was chained, in which case the guard is the trailing
+/// `imm`'s consumer and the prefix fuses into its static target.
+fn lower(head: u32, raw: &[Predecoded], guard_slot: Option<(Predecoded, u32)>) -> Block {
+    let trailing_hi = raw.last().and_then(|d| match d.insn {
+        Insn::Imm { imm } => Some(imm),
+        _ => None,
+    });
+    let guard = guard_slot.and_then(|(d, pc)| chain_guard(&d, pc, trailing_hi));
+
     let mut ops = Vec::with_capacity(raw.len());
     let mut insn_cycles = Vec::with_capacity(raw.len());
     let mut cycles = 0u64;
@@ -313,11 +420,16 @@ fn lower(head: u32, raw: &[Predecoded]) -> Block {
         let prefix = pending.take();
         let effect = match d.insn {
             Insn::Imm { imm } => {
-                if i + 1 == raw.len() {
-                    Effect::ImmTrailing { hi: imm }
-                } else {
+                if i + 1 < raw.len() {
                     pending = Some(imm);
                     Effect::ImmFused { hi: imm }
+                } else if guard.is_some() {
+                    // The guard consumed the prefix statically (its
+                    // target is already resolved), exactly as a Type-B
+                    // branch takes the prefix before evaluating.
+                    Effect::ImmFused { hi: imm }
+                } else {
+                    Effect::ImmTrailing { hi: imm }
                 }
             }
             Insn::Add { rd, ra, rb, keep_carry, use_carry } => {
@@ -386,7 +498,7 @@ fn lower(head: u32, raw: &[Predecoded]) -> Block {
         ops.push(BlockOp { effect, insn: d.insn, class: d.class, cycles: d.lat_not_taken });
     }
 
-    Block { head, ops, cycles, class_insns, class_cycles, insn_cycles }
+    Block { head, ops, cycles, class_insns, class_cycles, insn_cycles, guard }
 }
 
 #[cfg(test)]
@@ -398,12 +510,19 @@ mod tests {
         MbFeatures::paper_default()
     }
 
+    /// Unchained store (PR 5 semantics: blocks end at control flow).
     fn store_with(words: &[Insn]) -> (BlockStore, DecodeCache, Bram) {
-        let mut imem = Bram::new(4 * 64).with_write_log();
+        let (_, decode, imem) = chained_store_with(words);
+        (BlockStore::new(false), decode, imem)
+    }
+
+    /// Chaining store: backward branches fuse into loop-trace guards.
+    fn chained_store_with(words: &[Insn]) -> (BlockStore, DecodeCache, Bram) {
+        let mut imem = Bram::new(4 * 256).with_write_log();
         for (i, insn) in words.iter().enumerate() {
             imem.write_word((i as u32) * 4, encode(insn)).unwrap();
         }
-        (BlockStore::new(), DecodeCache::new(), imem)
+        (BlockStore::new(true), DecodeCache::new(), imem)
     }
 
     #[test]
@@ -512,5 +631,132 @@ mod tests {
     fn misaligned_pc_yields_no_block() {
         let (mut store, mut decode, imem) = store_with(&[Insn::addk(Reg::R1, Reg::R2, Reg::R3)]);
         assert!(store.block_at(&mut decode, &imem, &features(), 2).is_none());
+    }
+
+    fn bnei_back(words: i32) -> Insn {
+        Insn::Bci { cond: mb_isa::Cond::Ne, ra: Reg::R3, imm: (-4 * words) as i16, delay: false }
+    }
+
+    #[test]
+    fn backward_branch_chains_into_a_loop_guard() {
+        let (mut store, mut decode, imem) = chained_store_with(&[
+            Insn::addk(Reg::R1, Reg::R2, Reg::R3),
+            Insn::addik(Reg::R3, Reg::R3, -1),
+            bnei_back(2),
+        ]);
+        let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        assert_eq!(b.ops.len(), 2);
+        assert_eq!(b.cycles, 2, "guard cycles stay out of the body cost");
+        let g = b.guard.expect("backward bnei must chain");
+        assert_eq!(g.target, 0, "loop closes on the block's own head");
+        assert_eq!((g.lat_taken, g.lat_not_taken), (2, 1));
+        assert!(matches!(g.cond, Some((mb_isa::Cond::Ne, Reg::R3))));
+        assert_eq!(b.span_words(), 3, "the guard word belongs to the trace");
+    }
+
+    #[test]
+    fn guard_only_self_loop_is_dispatchable() {
+        // `spin: bri spin` — empty body, guard targeting itself.
+        let (mut store, mut decode, imem) = chained_store_with(&[Insn::Bri {
+            rd: Reg::R0,
+            imm: 0,
+            link: false,
+            absolute: false,
+            delay: false,
+        }]);
+        let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        assert!(b.ops.is_empty());
+        let g = b.guard.unwrap();
+        assert_eq!(g.target, 0);
+        assert!(g.cond.is_none(), "bri is unconditional: the guard always loops");
+    }
+
+    #[test]
+    fn forward_register_target_and_delay_branches_never_chain() {
+        // Forward bci: predicted not-taken, no loop shape.
+        let (mut store, mut decode, imem) = chained_store_with(&[
+            Insn::addk(Reg::R1, Reg::R2, Reg::R3),
+            Insn::Bci { cond: mb_isa::Cond::Ne, ra: Reg::R3, imm: 8, delay: false },
+        ]);
+        let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        assert!(b.guard.is_none(), "forward branch must not chain");
+
+        // Register-target br: dynamic target.
+        let (mut store, mut decode, imem) = chained_store_with(&[
+            Insn::addk(Reg::R1, Reg::R2, Reg::R3),
+            Insn::Br { rd: Reg::R0, rb: Reg::R5, link: false, absolute: false, delay: false },
+        ]);
+        let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        assert!(b.guard.is_none(), "register-target branch must not chain");
+
+        // Delay-slot bci: retirement spans two PCs.
+        let (mut store, mut decode, imem) = chained_store_with(&[
+            Insn::addk(Reg::R1, Reg::R2, Reg::R3),
+            Insn::Bci { cond: mb_isa::Cond::Ne, ra: Reg::R3, imm: -4, delay: true },
+        ]);
+        let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        assert!(b.guard.is_none(), "delay-slot branch must not chain");
+    }
+
+    #[test]
+    fn trailing_imm_fuses_into_the_guard_target() {
+        // imm 0xFFFF ++ bnei -8 resolves to a full 32-bit backward
+        // displacement; the prefix is consumed statically so the imm
+        // lowers to ImmFused, not ImmTrailing.
+        let (mut store, mut decode, imem) = chained_store_with(&[
+            Insn::addk(Reg::R1, Reg::R2, Reg::R3),
+            Insn::Imm { imm: -1 },
+            bnei_back(2),
+        ]);
+        let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        let g = b.guard.expect("prefix-resolved backward target must chain");
+        assert_eq!(g.target, 0);
+        assert!(matches!(b.ops[1].effect, Effect::ImmFused { hi: -1 }));
+    }
+
+    #[test]
+    fn trailing_imm_stays_architectural_when_the_guard_is_rejected() {
+        // The same shape but the prefix makes the target *forward*: no
+        // guard, so the imm must escape to the real prefix register.
+        let (mut store, mut decode, imem) = chained_store_with(&[
+            Insn::addk(Reg::R1, Reg::R2, Reg::R3),
+            Insn::Imm { imm: 1 },
+            bnei_back(2),
+        ]);
+        let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        assert!(b.guard.is_none());
+        assert!(matches!(b.ops[1].effect, Effect::ImmTrailing { hi: 1 }));
+    }
+
+    #[test]
+    fn patch_on_the_guard_word_drops_the_chained_trace() {
+        // Maximum-length body (64 ops) + guard at word 64: a patch on
+        // the guard word alone must still kill the trace at word 0 —
+        // the invalidation back-scan covers body + guard.
+        let mut insns = vec![Insn::addk(Reg::R1, Reg::R2, Reg::R3); MAX_BLOCK_OPS];
+        insns.push(bnei_back(MAX_BLOCK_OPS as i32));
+        let (mut store, mut decode, mut imem) = chained_store_with(&insns);
+        let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        assert_eq!(b.ops.len(), MAX_BLOCK_OPS);
+        assert!(b.guard.is_some());
+        let built = store.built;
+
+        let guard_pc = 4 * MAX_BLOCK_OPS as u32;
+        imem.write_word(guard_pc, encode(&Insn::ret())).unwrap();
+        let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        assert_eq!(store.built, built + 1, "guard-word patch must rebuild the trace");
+        assert!(b.guard.is_none(), "rtsd (delay slot) must not chain");
+    }
+
+    #[test]
+    fn unchained_store_never_builds_guards() {
+        let (mut store, mut decode, imem) = store_with(&[
+            Insn::addk(Reg::R1, Reg::R2, Reg::R3),
+            Insn::addik(Reg::R3, Reg::R3, -1),
+            bnei_back(2),
+        ]);
+        let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        assert!(b.guard.is_none());
+        assert!(store.block_at(&mut decode, &imem, &features(), 8).is_none());
     }
 }

@@ -32,13 +32,25 @@ pub struct MbConfig {
     pub predecode: bool,
     /// Whether the run loop may retire fused straight-line superblocks
     /// in one dispatch instead of stepping instruction by instruction.
-    /// On by default; it takes effect only with `predecode` on and no
-    /// i/d-caches configured (with caches every instruction's cost is
-    /// state-dependent, so the engine steps). Simulated timing, traces,
-    /// and statistics are identical either way — this only changes
+    /// On by default; it takes effect only with `predecode` on. The
+    /// caches-on restriction is lifted: with i/d-caches configured the
+    /// engine no longer silently downgrades to stepping — it retires
+    /// the same fused ops with per-op budget checks and cache waits
+    /// (see `System::active_engine`). Simulated timing, traces, and
+    /// statistics are identical either way — this only changes
     /// host-side speed. `MbConfig::with_blocks(false)` restores the PR 3
     /// per-instruction predecoded loop.
     pub blocks: bool,
+    /// Whether the block store may chain a superblock across a
+    /// predicted-taken backward branch into a megablock loop trace with
+    /// a guarded side exit: a hot loop body then iterates inside one
+    /// dispatch instead of paying a dispatch per iteration. On by
+    /// default; takes effect only with `blocks` on. Guard failure
+    /// resumes at the exact architectural boundary, so simulated
+    /// timing, traces, and statistics are identical either way.
+    /// `MbConfig::with_traces(false)` restores the PR 5 one-block-per-
+    /// dispatch engine.
+    pub traces: bool,
 }
 
 impl MbConfig {
@@ -56,6 +68,7 @@ impl MbConfig {
             dcache: None,
             predecode: true,
             blocks: true,
+            traces: true,
         }
     }
 
@@ -72,6 +85,14 @@ impl MbConfig {
     #[must_use]
     pub fn with_blocks(mut self, blocks: bool) -> Self {
         self.blocks = blocks;
+        self
+    }
+
+    /// Returns a copy with megablock loop-trace chaining enabled or
+    /// disabled.
+    #[must_use]
+    pub fn with_traces(mut self, traces: bool) -> Self {
+        self.traces = traces;
         self
     }
 

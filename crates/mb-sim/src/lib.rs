@@ -54,7 +54,7 @@ mod trace;
 
 pub use config::{MbConfig, MB_CLOCK_HZ};
 pub use cpu::Cpu;
-pub use machine::{Outcome, RunError, StopReason, System};
+pub use machine::{Engine, Outcome, RunError, StopReason, System};
 pub use mem::{Bram, MemError};
 pub use periph::{BusResponse, ExitPort, Peripheral, EXIT_PORT_BASE, OPB_BASE};
 pub use sink::{BlockRetire, NullSink, TraceSink, TraceSummary};

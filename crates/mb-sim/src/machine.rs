@@ -5,7 +5,7 @@ use std::fmt;
 
 use mb_isa::{decode, DecodeError, Insn, MemSize, Program};
 
-use crate::block::{Block, BlockOp, BlockStore, Effect};
+use crate::block::{Block, BlockOp, BlockStore, Effect, Guard};
 use crate::cache::Cache;
 use crate::periph::{OpbBus, Peripheral, EXIT_PORT_BASE, OPB_BASE};
 use crate::predecode::{DecodeCache, Predecoded};
@@ -106,6 +106,70 @@ impl fmt::Display for RunError {
 
 impl Error for RunError {}
 
+/// The execution engine a [`System`] actually dispatches through —
+/// derived from the configuration, never silently downgraded. Benchmark
+/// harnesses and equality tests assert this instead of assuming the
+/// configuration they requested is the engine they got.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Engine {
+    /// Decode-per-fetch reference loop (`predecode` off): the seed
+    /// behavior, re-decoding every fetched word.
+    Reference,
+    /// Per-instruction stepping over the pre-decoded store (`blocks`
+    /// off).
+    Step,
+    /// Superblock retirement: straight-line blocks ending at control
+    /// flow (`traces` off).
+    Block,
+    /// Megablock loop traces: superblocks chained across predicted-taken
+    /// backward branches with guarded side exits (the default).
+    Trace,
+}
+
+impl Engine {
+    /// Stable identifier used in `BENCH_sim.json` and CI gates.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Reference => "reference_decode_per_fetch",
+            Engine::Step => "predecoded_step",
+            Engine::Block => "block",
+            Engine::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// MicroBlaze divide semantics, shared verbatim by the step engine's
+/// [`System::execute`] and the block engine's `exec_effect` so the two
+/// can never drift: `rd = dividend ÷ divisor`, divide-by-zero yields 0,
+/// and signed overflow (`i32::MIN / -1`) wraps.
+#[inline]
+fn divide(divisor: u32, dividend: u32, unsigned: bool) -> u32 {
+    if divisor == 0 {
+        0
+    } else if unsigned {
+        dividend / divisor
+    } else {
+        ((dividend as i32).wrapping_div(divisor as i32)) as u32
+    }
+}
+
+/// MicroBlaze `cmp`/`cmpu` result, shared by both engines: the
+/// subtraction's low 31 bits with the sign bit replaced by the
+/// (signedness-aware) `rb < ra` outcome.
+#[inline]
+fn compare(a: u32, b: u32, unsigned: bool) -> u32 {
+    let diff = b.wrapping_sub(a);
+    let lt = if unsigned { b < a } else { (b as i32) < (a as i32) };
+    (diff & 0x7FFF_FFFF) | (u32::from(lt) << 31)
+}
+
 /// Control-flow outcome of one instruction.
 enum Next {
     Seq,
@@ -165,7 +229,7 @@ impl System {
             stats: ExecStats::new(),
             halted: None,
             decode: DecodeCache::new(),
-            blocks: BlockStore::new(),
+            blocks: BlockStore::new(config.traces),
             block_events: Vec::new(),
             block_eas: Vec::new(),
             config,
@@ -176,6 +240,24 @@ impl System {
     #[must_use]
     pub fn config(&self) -> &MbConfig {
         &self.config
+    }
+
+    /// The execution engine this configuration actually dispatches
+    /// through. This is a pure function of [`MbConfig`] — there is no
+    /// hidden downgrade path: with caches configured, block and trace
+    /// dispatch switch to per-op accounting (cache waits become per-op
+    /// guard checks) instead of silently falling back to stepping.
+    #[must_use]
+    pub fn active_engine(&self) -> Engine {
+        if !self.config.predecode {
+            Engine::Reference
+        } else if !self.config.blocks {
+            Engine::Step
+        } else if !self.config.traces {
+            Engine::Block
+        } else {
+            Engine::Trace
+        }
     }
 
     /// Loads a program into instruction memory and points the PC at its
@@ -310,6 +392,30 @@ impl System {
         wide as u32
     }
 
+    // Single-bit shifts write both `rd` and the carry flag; the helpers
+    // keep the step and block engines on one implementation.
+    #[inline]
+    fn shift_sra(&mut self, rd: mb_isa::Reg, ra: mb_isa::Reg) {
+        let a = self.cpu.reg(ra);
+        self.cpu.set_carry(a & 1 != 0);
+        self.cpu.set_reg(rd, ((a as i32) >> 1) as u32);
+    }
+
+    #[inline]
+    fn shift_src(&mut self, rd: mb_isa::Reg, ra: mb_isa::Reg, carry_in: u32) {
+        let a = self.cpu.reg(ra);
+        let v = (carry_in << 31) | (a >> 1);
+        self.cpu.set_carry(a & 1 != 0);
+        self.cpu.set_reg(rd, v);
+    }
+
+    #[inline]
+    fn shift_srl(&mut self, rd: mb_isa::Reg, ra: mb_isa::Reg) {
+        let a = self.cpu.reg(ra);
+        self.cpu.set_carry(a & 1 != 0);
+        self.cpu.set_reg(rd, a >> 1);
+    }
+
     /// Executes one prepared instruction (no delay-slot handling).
     #[inline]
     fn execute(&mut self, pc: u32, d: &Predecoded) -> Result<Exec, RunError> {
@@ -349,11 +455,7 @@ impl System {
                 self.cpu.set_reg(rd, v);
             }
             Insn::Cmp { rd, ra, rb, unsigned } => {
-                let a = self.cpu.reg(ra);
-                let b = self.cpu.reg(rb);
-                let diff = b.wrapping_sub(a);
-                let lt = if unsigned { b < a } else { (b as i32) < (a as i32) };
-                let v = (diff & 0x7FFF_FFFF) | (u32::from(lt) << 31);
+                let v = compare(self.cpu.reg(ra), self.cpu.reg(rb), unsigned);
                 self.cpu.set_reg(rd, v);
                 self.cpu.clear_imm_prefix();
             }
@@ -368,16 +470,8 @@ impl System {
                 self.cpu.set_reg(rd, v);
             }
             Insn::Idiv { rd, ra, rb, unsigned } => {
-                let a = self.cpu.reg(ra);
-                let b = self.cpu.reg(rb);
-                // MicroBlaze: rd = rb ÷ ra; divide-by-zero yields 0.
-                let v = if a == 0 {
-                    0
-                } else if unsigned {
-                    b / a
-                } else {
-                    ((b as i32).wrapping_div(a as i32)) as u32
-                };
+                // MicroBlaze: rd = rb ÷ ra.
+                let v = divide(self.cpu.reg(ra), self.cpu.reg(rb), unsigned);
                 self.cpu.set_reg(rd, v);
                 self.cpu.clear_imm_prefix();
             }
@@ -428,22 +522,15 @@ impl System {
                 self.cpu.set_reg(rd, self.cpu.reg(ra) & !imm32);
             }
             Insn::Sra { rd, ra } => {
-                let a = self.cpu.reg(ra);
-                self.cpu.set_carry(a & 1 != 0);
-                self.cpu.set_reg(rd, ((a as i32) >> 1) as u32);
+                self.shift_sra(rd, ra);
                 self.cpu.clear_imm_prefix();
             }
             Insn::Src { rd, ra } => {
-                let a = self.cpu.reg(ra);
-                let v = (cpu_carry << 31) | (a >> 1);
-                self.cpu.set_carry(a & 1 != 0);
-                self.cpu.set_reg(rd, v);
+                self.shift_src(rd, ra, cpu_carry);
                 self.cpu.clear_imm_prefix();
             }
             Insn::Srl { rd, ra } => {
-                let a = self.cpu.reg(ra);
-                self.cpu.set_carry(a & 1 != 0);
-                self.cpu.set_reg(rd, a >> 1);
+                self.shift_srl(rd, ra);
                 self.cpu.clear_imm_prefix();
             }
             Insn::Sext8 { rd, ra } => {
@@ -618,15 +705,14 @@ impl System {
         Ok(total)
     }
 
-    /// Whether this configuration can retire fused superblocks: the
-    /// block engine rides on the predecoded store and precomputed
-    /// static cycle costs, so caches (whose waits are state-dependent)
-    /// force per-instruction stepping.
+    /// Whether this configuration dispatches fused superblocks: the
+    /// block engine rides on the predecoded store, so predecode must be
+    /// on. Caches no longer disable it — with caches configured the
+    /// dispatch loop switches to op-at-a-time *careful* retirement
+    /// ([`System::exec_block_careful`]), which charges state-dependent
+    /// waits per op instead of silently downgrading to stepping.
     fn blocks_enabled(&self) -> bool {
-        self.config.blocks
-            && self.config.predecode
-            && self.icache.is_none()
-            && self.dcache.is_none()
+        self.config.blocks && self.config.predecode
     }
 
     /// Looks up (building lazily) the fused block entered at `pc`.
@@ -639,38 +725,52 @@ impl System {
     /// cycles and effective address. Mirrors [`System::execute`] exactly
     /// — with `imm`-prefix traffic already resolved statically by the
     /// block lowerer, so no prefix state is touched mid-block.
+    ///
+    /// Dispatch is two-tiered so the block engines inline the common
+    /// case: [`exec_alu`](System::exec_alu) covers every effect that
+    /// cannot fault and produces no effective address — those return by
+    /// register at their static `op.cycles` cost, with no `Result` on
+    /// the path at all — while the four memory-access effects take the
+    /// out-of-line fallible path in [`exec_mem`](System::exec_mem).
     #[inline]
     fn exec_effect(&mut self, pc: u32, op: &BlockOp) -> Result<(u32, Option<u32>), RunError> {
-        let cpu_carry = u32::from(self.cpu.carry());
-        let mut cycles = op.cycles;
-        let mut ea = None;
+        if self.exec_alu(op) {
+            return Ok((op.cycles, None));
+        }
+        self.exec_mem(pc, op)
+    }
+
+    /// Executes `op` if it is one of the infallible register-to-register
+    /// effects (no fault, no effective address, static cost), returning
+    /// whether it was handled. Memory accesses return `false` and must
+    /// go through [`exec_mem`](System::exec_mem). Carry is read inside
+    /// the arms that consume it, so carry-free ops touch no flag state.
+    #[inline]
+    fn exec_alu(&mut self, op: &BlockOp) -> bool {
         match op.effect {
             Effect::Add { rd, ra, rb, keep, use_c } => {
-                let cin = if use_c { cpu_carry } else { 0 };
+                let cin = if use_c { u32::from(self.cpu.carry()) } else { 0 };
                 let v = self.add_with_carry(self.cpu.reg(ra), self.cpu.reg(rb), cin, keep);
                 self.cpu.set_reg(rd, v);
             }
             Effect::AddImm { rd, ra, imm, keep, use_c } => {
-                let cin = if use_c { cpu_carry } else { 0 };
+                let cin = if use_c { u32::from(self.cpu.carry()) } else { 0 };
                 let v = self.add_with_carry(self.cpu.reg(ra), imm, cin, keep);
                 self.cpu.set_reg(rd, v);
             }
             Effect::Rsub { rd, ra, rb, keep, use_c } => {
-                let cin = if use_c { cpu_carry } else { 1 };
+                let cin = if use_c { u32::from(self.cpu.carry()) } else { 1 };
                 let v = self.add_with_carry(!self.cpu.reg(ra), self.cpu.reg(rb), cin, keep);
                 self.cpu.set_reg(rd, v);
             }
             Effect::RsubImm { rd, ra, imm, keep, use_c } => {
-                let cin = if use_c { cpu_carry } else { 1 };
+                let cin = if use_c { u32::from(self.cpu.carry()) } else { 1 };
                 let v = self.add_with_carry(!self.cpu.reg(ra), imm, cin, keep);
                 self.cpu.set_reg(rd, v);
             }
             Effect::Cmp { rd, ra, rb, unsigned } => {
-                let a = self.cpu.reg(ra);
-                let b = self.cpu.reg(rb);
-                let diff = b.wrapping_sub(a);
-                let lt = if unsigned { b < a } else { (b as i32) < (a as i32) };
-                self.cpu.set_reg(rd, (diff & 0x7FFF_FFFF) | (u32::from(lt) << 31));
+                let v = compare(self.cpu.reg(ra), self.cpu.reg(rb), unsigned);
+                self.cpu.set_reg(rd, v);
             }
             Effect::Mul { rd, ra, rb } => {
                 let v = self.cpu.reg(ra).wrapping_mul(self.cpu.reg(rb));
@@ -680,15 +780,7 @@ impl System {
                 self.cpu.set_reg(rd, self.cpu.reg(ra).wrapping_mul(imm));
             }
             Effect::Idiv { rd, ra, rb, unsigned } => {
-                let a = self.cpu.reg(ra);
-                let b = self.cpu.reg(rb);
-                let v = if a == 0 {
-                    0
-                } else if unsigned {
-                    b / a
-                } else {
-                    ((b as i32).wrapping_div(a as i32)) as u32
-                };
+                let v = divide(self.cpu.reg(ra), self.cpu.reg(rb), unsigned);
                 self.cpu.set_reg(rd, v);
             }
             Effect::Bs { rd, ra, rb, kind } => {
@@ -714,56 +806,61 @@ impl System {
             Effect::AndImm { rd, ra, imm } => self.cpu.set_reg(rd, self.cpu.reg(ra) & imm),
             Effect::XorImm { rd, ra, imm } => self.cpu.set_reg(rd, self.cpu.reg(ra) ^ imm),
             Effect::AndnImm { rd, ra, imm } => self.cpu.set_reg(rd, self.cpu.reg(ra) & !imm),
-            Effect::Sra { rd, ra } => {
-                let a = self.cpu.reg(ra);
-                self.cpu.set_carry(a & 1 != 0);
-                self.cpu.set_reg(rd, ((a as i32) >> 1) as u32);
-            }
+            Effect::Sra { rd, ra } => self.shift_sra(rd, ra),
             Effect::Src { rd, ra } => {
-                let a = self.cpu.reg(ra);
-                let v = (cpu_carry << 31) | (a >> 1);
-                self.cpu.set_carry(a & 1 != 0);
-                self.cpu.set_reg(rd, v);
+                let carry = u32::from(self.cpu.carry());
+                self.shift_src(rd, ra, carry);
             }
-            Effect::Srl { rd, ra } => {
-                let a = self.cpu.reg(ra);
-                self.cpu.set_carry(a & 1 != 0);
-                self.cpu.set_reg(rd, a >> 1);
-            }
+            Effect::Srl { rd, ra } => self.shift_srl(rd, ra),
             Effect::Sext8 { rd, ra } => {
                 self.cpu.set_reg(rd, self.cpu.reg(ra) as u8 as i8 as i32 as u32);
             }
             Effect::Sext16 { rd, ra } => {
                 self.cpu.set_reg(rd, self.cpu.reg(ra) as u16 as i16 as i32 as u32);
             }
+            Effect::ImmFused { .. } => {}
+            Effect::ImmTrailing { hi } => self.cpu.set_imm_prefix(hi),
+            Effect::Load { .. }
+            | Effect::LoadImm { .. }
+            | Effect::Store { .. }
+            | Effect::StoreImm { .. } => return false,
+        }
+        true
+    }
+
+    /// Executes a memory-access block op — the fallible,
+    /// effective-address-producing complement of
+    /// [`exec_alu`](System::exec_alu).
+    fn exec_mem(&mut self, pc: u32, op: &BlockOp) -> Result<(u32, Option<u32>), RunError> {
+        let mut cycles = op.cycles;
+        let ea = match op.effect {
             Effect::Load { size, rd, ra, rb } => {
                 let addr = self.cpu.reg(ra).wrapping_add(self.cpu.reg(rb));
                 let (v, wait) = self.data_load(pc, addr, size)?;
                 self.cpu.set_reg(rd, v);
                 cycles += wait;
-                ea = Some(addr);
+                addr
             }
             Effect::LoadImm { size, rd, ra, imm } => {
                 let addr = self.cpu.reg(ra).wrapping_add(imm);
                 let (v, wait) = self.data_load(pc, addr, size)?;
                 self.cpu.set_reg(rd, v);
                 cycles += wait;
-                ea = Some(addr);
+                addr
             }
             Effect::Store { size, rd, ra, rb } => {
                 let addr = self.cpu.reg(ra).wrapping_add(self.cpu.reg(rb));
                 cycles += self.data_store(pc, addr, self.cpu.reg(rd), size)?;
-                ea = Some(addr);
+                addr
             }
             Effect::StoreImm { size, rd, ra, imm } => {
                 let addr = self.cpu.reg(ra).wrapping_add(imm);
                 cycles += self.data_store(pc, addr, self.cpu.reg(rd), size)?;
-                ea = Some(addr);
+                addr
             }
-            Effect::ImmFused { .. } => {}
-            Effect::ImmTrailing { hi } => self.cpu.set_imm_prefix(hi),
-        }
-        Ok((cycles, ea))
+            _ => unreachable!("exec_alu handles every non-memory effect"),
+        };
+        Ok((cycles, Some(ea)))
     }
 
     /// Retires the first `retired` instructions of a block individually
@@ -802,11 +899,63 @@ impl System {
         }
     }
 
-    /// Retires one fused block, returning the cycles consumed.
+    /// Retires a chained guard branch exactly as the step engine would
+    /// have: evaluate the condition, write the link register, charge the
+    /// taken/not-taken latency plus `fetch_wait`, emit the trace event,
+    /// and move the PC to the target or the fall-through.
     ///
-    /// The fast path retires the whole block: one statistics update from
+    /// Statistics are the caller's job: the trace loop batches guard
+    /// retirements into one [`ExecStats::record_guards`] update per
+    /// dispatch, while the careful path records each one as it goes.
+    ///
+    /// Returns `(taken, cycles)`.
+    #[inline]
+    fn retire_guard<S: TraceSink>(
+        &mut self,
+        g: &Guard,
+        pc: u32,
+        fetch_wait: u32,
+        sink: &mut S,
+    ) -> (bool, u32) {
+        let taken = g.cond.is_none_or(|(cond, ra)| cond.eval(self.cpu.reg(ra)));
+        if let Some(rd) = g.link {
+            self.cpu.set_reg(rd, pc);
+        }
+        let cycles = if taken { g.lat_taken } else { g.lat_not_taken } + fetch_wait;
+        sink.record(&TraceEvent {
+            pc,
+            insn: g.insn,
+            cycles,
+            taken: Some(taken),
+            target: taken.then_some(g.target),
+            ea: None,
+        });
+        self.cpu.set_pc(if taken { g.target } else { pc.wrapping_add(4) });
+        (taken, cycles)
+    }
+
+    /// Retires one fused block — iterating it in place when it carries a
+    /// loop guard — returning the cycles consumed.
+    ///
+    /// The fast path retires each whole body: one statistics update from
     /// the precomputed class deltas and one [`TraceSink::retire_block`]
-    /// call. Two events stop a block early at an exact instruction
+    /// call per iteration. A chained guard then retires through
+    /// [`System::retire_guard`], and when it loops back to the block's
+    /// own head the next iteration runs without returning to the
+    /// dispatch loop — the megablock trace tier. Guard failure (a side
+    /// exit) leaves the machine at the exact architectural boundary the
+    /// step engine would have reached: the retired prefix is already
+    /// recorded and the PC sits on the fall-through or the off-trace
+    /// target.
+    ///
+    /// Budget contract (bit-identical slice boundaries): the caller
+    /// guarantees the first body fits `budget`. The guard executes only
+    /// while `total < budget` — the step engine stops only once spent
+    /// cycles reach the budget, overshooting mid-instruction otherwise —
+    /// and the loop re-enters only when the next body also fully fits,
+    /// so any boundary the step engine would have stopped at inside the
+    /// trace is instead handed back to the dispatch loop's stepping
+    /// tail. Two events stop a body early at an exact instruction
     /// boundary:
     ///
     /// * an op whose effective address lands in the OPB window — it
@@ -823,16 +972,203 @@ impl System {
     ///   Type-A access, so at the fault point it would still hold it
     ///   (Type-B consumers take the prefix before the access, so those
     ///   need no restore).
-    fn exec_block<S: TraceSink>(&mut self, b: &Block, sink: &mut S) -> Result<u64, RunError> {
+    fn exec_block<S: TraceSink>(
+        &mut self,
+        b: &Block,
+        budget: u64,
+        sink: &mut S,
+    ) -> Result<u64, RunError> {
         debug_assert!(!self.cpu.has_imm_prefix(), "blocks are lowered for prefix-free entry");
         let mut events = std::mem::take(&mut self.block_events);
         let mut eas = std::mem::take(&mut self.block_eas);
-        events.clear();
-        eas.clear();
+        let mut total = 0u64;
+        // Statistics are batched across the whole dispatch (every
+        // iteration retires the same per-class deltas, and u64 sums are
+        // order-independent, so the totals stay bit-identical): the
+        // per-iteration cost of the O(classes) array update would rival
+        // a two-op loop body. Sink retirements stay per-iteration —
+        // profiler heat and trace summaries observe each one.
+        let mut iters = 0u64;
+        let mut guards = 0u64;
+        let mut guards_taken = 0u64;
+        let mut guard_cycles = 0u64;
+
+        // Loop-invariant: whether the guard chains back to this block's
+        // own head (the in-dispatch iteration case).
+        let loops_to_head = b.guard.as_ref().is_some_and(|g| g.target == b.head);
+
+        'iterate: loop {
+            if S::WANTS_EVENTS || S::WANTS_RECORDS {
+                events.clear();
+                eas.clear();
+            }
+            let mut body = 0u64;
+            let mut pc = b.head;
+
+            for (i, op) in b.ops.iter().enumerate() {
+                match self.exec_effect(pc, op) {
+                    Err(err) => {
+                        if matches!(op.effect, Effect::Load { .. } | Effect::Store { .. }) {
+                            if let Some(prev) = i.checked_sub(1).map(|p| &b.ops[p]) {
+                                if let Effect::ImmFused { hi } = prev.effect {
+                                    self.cpu.set_imm_prefix(hi);
+                                }
+                            }
+                        }
+                        self.flush_partial_block(b, i, None, &events, &eas, sink);
+                        self.cpu.set_pc(pc);
+                        self.flush_trace_stats(b, iters, guards, guards_taken, guard_cycles);
+                        self.block_events = events;
+                        self.block_eas = eas;
+                        return Err(err);
+                    }
+                    Ok((cycles, ea)) => {
+                        body += u64::from(cycles);
+                        if S::WANTS_EVENTS {
+                            events.push(TraceEvent {
+                                pc,
+                                insn: op.insn,
+                                cycles,
+                                taken: None,
+                                target: None,
+                                ea,
+                            });
+                        } else if S::WANTS_RECORDS {
+                            // A discarding sink never replays the
+                            // prefix, so skip remembering addresses.
+                            if let Some(a) = ea {
+                                eas.push((i as u32, a));
+                            }
+                        }
+                        pc = pc.wrapping_add(4);
+                        if ea.is_some_and(|a| a >= OPB_BASE) {
+                            // Peripheral touched mid-block: retire the
+                            // prefix, poll the exit port (the step-path
+                            // contract), and split future blocks here.
+                            self.flush_partial_block(b, i + 1, Some(cycles), &events, &eas, sink);
+                            self.cpu.set_pc(pc);
+                            self.blocks.learn_opb(pc.wrapping_sub(4));
+                            if self.halted.is_none() {
+                                self.halted = self.opb.exit_request();
+                            }
+                            self.flush_trace_stats(b, iters, guards, guards_taken, guard_cycles);
+                            self.block_events = events;
+                            self.block_eas = eas;
+                            return Ok(total + body);
+                        }
+                    }
+                }
+            }
+
+            debug_assert_eq!(body, b.cycles, "static block cost must match actual retirement");
+            iters += 1;
+            sink.retire_block(&BlockRetire {
+                head: b.head,
+                instructions: b.ops.len() as u32,
+                cycles: b.cycles,
+                class_insns: &b.class_insns,
+                insn_cycles: &b.insn_cycles,
+                events: &events,
+            });
+            total += body;
+
+            // The PC only needs storing on paths that leave the loop:
+            // a retired guard overwrites it with the target or the
+            // fall-through anyway.
+            let Some(g) = &b.guard else {
+                self.cpu.set_pc(pc);
+                break 'iterate;
+            };
+            if total >= budget {
+                self.cpu.set_pc(pc);
+                // The step engine would have stopped at this boundary,
+                // before fetching the guard branch — still holding the
+                // prefix of a trailing `imm` fused into the guard.
+                if let Some(Effect::ImmFused { hi }) = b.ops.last().map(|o| o.effect) {
+                    self.cpu.set_imm_prefix(hi);
+                }
+                break 'iterate;
+            }
+            let (taken, gcycles) = self.retire_guard(g, pc, 0, sink);
+            guards += 1;
+            guards_taken += u64::from(taken);
+            guard_cycles += u64::from(gcycles);
+            total += u64::from(gcycles);
+            // `total + b.cycles <= budget` implies `total < budget` for
+            // any non-empty body; saturating keeps that sound even at
+            // a `u64::MAX` budget.
+            if taken && loops_to_head && total.saturating_add(b.cycles) <= budget {
+                continue 'iterate;
+            }
+            // Side exit (guard failed or jumped elsewhere), or the next
+            // iteration would cross a boundary the step engine must own.
+            break 'iterate;
+        }
+
+        self.flush_trace_stats(b, iters, guards, guards_taken, guard_cycles);
+        self.block_events = events;
+        self.block_eas = eas;
+        Ok(total)
+    }
+
+    /// Applies the statistics a trace dispatch batched up: `iters`
+    /// fully-retired bodies of `b` plus `guards` guard retirements
+    /// (`guards_taken` of them taken, costing `guard_cycles` in total).
+    #[inline]
+    fn flush_trace_stats(
+        &mut self,
+        b: &Block,
+        iters: u64,
+        guards: u64,
+        guards_taken: u64,
+        guard_cycles: u64,
+    ) {
+        if iters > 0 {
+            self.stats.record_block_scaled(&b.class_insns, &b.class_cycles, iters);
+        }
+        if guards > 0 {
+            let g = b.guard.as_ref().expect("guard retirements imply a chained guard");
+            self.stats.record_guards(g.class, guard_cycles, guards, guards_taken);
+        }
+    }
+
+    /// Retires a fused block op-at-a-time — the dispatch mode for
+    /// configurations with caches, whose waits are state-dependent.
+    ///
+    /// This replaces the old silent downgrade to per-instruction
+    /// stepping: the lowered ops still skip per-word refetch and
+    /// redecode, but every op pays its icache fetch wait (ops map 1:1
+    /// onto architectural words, so the access sequence is the step
+    /// engine's), checks the remaining budget at the same boundaries the
+    /// step engine would, and records statistics and events
+    /// individually. A chained guard retires the same way when the
+    /// budget still has room. Never sets the dispatch loop's stepping
+    /// tail — a mid-block budget expiry returns at the exact
+    /// architectural boundary directly.
+    fn exec_block_careful<S: TraceSink>(
+        &mut self,
+        b: &Block,
+        budget: u64,
+        sink: &mut S,
+    ) -> Result<u64, RunError> {
+        debug_assert!(!self.cpu.has_imm_prefix(), "blocks are lowered for prefix-free entry");
         let mut total = 0u64;
         let mut pc = b.head;
 
         for (i, op) in b.ops.iter().enumerate() {
+            if total >= budget {
+                // The step engine stops at this very boundary — and if
+                // the op just retired was a fused `imm`, it would still
+                // hold the architectural prefix here.
+                if let Some(prev) = i.checked_sub(1).map(|p| &b.ops[p]) {
+                    if let Effect::ImmFused { hi } = prev.effect {
+                        self.cpu.set_imm_prefix(hi);
+                    }
+                }
+                self.cpu.set_pc(pc);
+                return Ok(total);
+            }
+            let fetch_wait = self.icache.as_mut().map_or(0, |c| c.access(pc));
             match self.exec_effect(pc, op) {
                 Err(err) => {
                     if matches!(op.effect, Effect::Load { .. } | Effect::Store { .. }) {
@@ -842,58 +1178,47 @@ impl System {
                             }
                         }
                     }
-                    self.flush_partial_block(b, i, None, &events, &eas, sink);
                     self.cpu.set_pc(pc);
-                    self.block_events = events;
-                    self.block_eas = eas;
                     return Err(err);
                 }
                 Ok((cycles, ea)) => {
+                    let cycles = cycles + fetch_wait;
                     total += u64::from(cycles);
-                    if S::WANTS_EVENTS {
-                        events.push(TraceEvent {
-                            pc,
-                            insn: op.insn,
-                            cycles,
-                            taken: None,
-                            target: None,
-                            ea,
-                        });
-                    } else if let Some(a) = ea {
-                        eas.push((i as u32, a));
-                    }
+                    self.stats.record(op.class, cycles);
+                    sink.record(&TraceEvent {
+                        pc,
+                        insn: op.insn,
+                        cycles,
+                        taken: None,
+                        target: None,
+                        ea,
+                    });
                     pc = pc.wrapping_add(4);
                     if ea.is_some_and(|a| a >= OPB_BASE) {
-                        // Peripheral touched mid-block: retire the
-                        // prefix, poll the exit port (the step-path
-                        // contract), and split future blocks here.
-                        self.flush_partial_block(b, i + 1, Some(cycles), &events, &eas, sink);
                         self.cpu.set_pc(pc);
                         self.blocks.learn_opb(pc.wrapping_sub(4));
                         if self.halted.is_none() {
                             self.halted = self.opb.exit_request();
                         }
-                        self.block_events = events;
-                        self.block_eas = eas;
                         return Ok(total);
                     }
                 }
             }
         }
 
-        debug_assert_eq!(total, b.cycles, "static block cost must match actual retirement");
         self.cpu.set_pc(pc);
-        self.stats.record_block(&b.class_insns, &b.class_cycles);
-        sink.retire_block(&BlockRetire {
-            head: b.head,
-            instructions: b.ops.len() as u32,
-            cycles: b.cycles,
-            class_insns: &b.class_insns,
-            insn_cycles: &b.insn_cycles,
-            events: &events,
-        });
-        self.block_events = events;
-        self.block_eas = eas;
+        if let Some(g) = &b.guard {
+            if total < budget {
+                let fetch_wait = self.icache.as_mut().map_or(0, |c| c.access(pc));
+                let (taken, gcycles) = self.retire_guard(g, pc, fetch_wait, sink);
+                self.stats.record_guards(g.class, u64::from(gcycles), 1, u64::from(taken));
+                total += u64::from(gcycles);
+            } else if let Some(Effect::ImmFused { hi }) = b.ops.last().map(|o| o.effect) {
+                // Stopping just before the guard: a trailing fused
+                // `imm`'s prefix is still architecturally pending.
+                self.cpu.set_imm_prefix(hi);
+            }
+        }
         Ok(total)
     }
 
@@ -905,17 +1230,24 @@ impl System {
     /// so the loop touches no statistics until it stops.
     ///
     /// With the superblock engine on (see [`MbConfig::blocks`]) the loop
-    /// retires a whole fused block per iteration whenever one exists at
-    /// the PC, the CPU holds no pending `imm` prefix, and the block's
-    /// precomputed cost fits the remaining budget; otherwise it falls
-    /// back to [`System::step`]. Because every interior boundary of a
-    /// fitting block satisfies `cycles < max_cycles`, the step engine
-    /// would never have stopped inside it — so sliced executions stop at
-    /// bit-identical instruction boundaries with blocks on or off. Once
-    /// a block no longer fits, the tail of the budget is stepped
-    /// instruction by instruction (`stepping_tail`), which both honors
-    /// the exact boundary and avoids building suffix blocks at every
-    /// slice-dependent split point.
+    /// retires a whole fused block — iterated in place while its loop
+    /// guard holds, see [`MbConfig::traces`] — per iteration whenever
+    /// one exists at the PC, the CPU holds no pending `imm` prefix, and
+    /// the block's precomputed cost fits the remaining budget; otherwise
+    /// it falls back to [`System::step`]. Because every interior
+    /// boundary of a fitting block satisfies `cycles < max_cycles`, the
+    /// step engine would never have stopped inside it — so sliced
+    /// executions stop at bit-identical instruction boundaries with
+    /// blocks on or off. Once a block no longer fits, the tail of the
+    /// budget is stepped instruction by instruction (`stepping_tail`),
+    /// which both honors the exact boundary and avoids building suffix
+    /// blocks at every slice-dependent split point.
+    ///
+    /// With caches configured the static precomputed cost is a lower
+    /// bound, not the truth, so dispatch goes through
+    /// [`System::exec_block_careful`]: per-op budget checks and cache
+    /// waits, no fit precheck, no stepping tail — but never a silent
+    /// downgrade to [`System::step`] (see [`System::active_engine`]).
     ///
     /// Ordering contract: the exit check runs **before** the budget
     /// check. The exit port is polled after OPB-touching retirements
@@ -933,6 +1265,7 @@ impl System {
         let start_insns = self.stats.instructions();
         let mut cycles = 0u64;
         let use_blocks = self.blocks_enabled();
+        let careful = use_blocks && (self.icache.is_some() || self.dcache.is_some());
         let mut stepping_tail = false;
         loop {
             if let Some(code) = self.halted {
@@ -951,14 +1284,50 @@ impl System {
             }
             if use_blocks && !stepping_tail && !self.cpu.has_imm_prefix() {
                 if let Some(block) = self.block_at(self.cpu.pc()) {
-                    if block.cycles <= max_cycles - cycles {
-                        cycles += self.exec_block(&block, sink)?;
+                    let remaining = max_cycles - cycles;
+                    if careful {
+                        cycles += self.exec_block_careful(&block, remaining, sink)?;
+                        continue;
+                    }
+                    if block.cycles <= remaining {
+                        cycles += self.exec_block(&block, remaining, sink)?;
                         continue;
                     }
                     stepping_tail = true;
                 }
             }
             cycles += u64::from(self.step(sink)?);
+        }
+    }
+
+    /// Eagerly builds every derived store for the loaded instruction
+    /// image: pre-decodes each word and lowers the fused block (and
+    /// chained loop trace) at every possible entry point. Dispatch
+    /// normally builds these lazily on first touch; a long-running host
+    /// that wants predictable first-slice latency — or a benchmark
+    /// measuring steady-state engine throughput rather than one-time
+    /// lowering cost — calls this once after loading the program.
+    /// Execution is identical either way: the stores are keyed by the
+    /// instruction memory's generation and rebuild after a patch
+    /// exactly as lazily-built ones do. Zero words — BRAM padding
+    /// beyond the loaded image — are skipped, as are words that do not
+    /// decode; anything the skip misjudges is simply built lazily on
+    /// first dispatch as before. A configuration without pre-decoded
+    /// fetch re-decodes every fetch by design, so there is nothing to
+    /// warm and this is a no-op.
+    pub fn prewarm(&mut self) {
+        let size = self.imem.size();
+        for pc in (0..size).step_by(4) {
+            if self.imem.read_word(pc).is_ok_and(|w| w == 0) {
+                continue;
+            }
+            if self.config.predecode {
+                let System { decode, imem, config, .. } = self;
+                let _ = decode.fetch(imem, &config.features, pc);
+            }
+            if self.blocks_enabled() {
+                let _ = self.block_at(pc);
+            }
         }
     }
 

@@ -66,6 +66,13 @@ pub trait TraceSink {
     /// is where the batched dispatch wins its throughput.
     const WANTS_EVENTS: bool = true;
 
+    /// Whether [`record`](TraceSink::record) observes anything at all.
+    /// Sinks that discard every event override this to `false`, letting
+    /// the block engine skip bookkeeping whose only consumer is a
+    /// flush-path `record` call — e.g. remembering load/store effective
+    /// addresses so a fault or OPB exit can replay the retired prefix.
+    const WANTS_RECORDS: bool = true;
+
     /// Observes one retired instruction.
     fn record(&mut self, event: &TraceEvent);
 
@@ -88,6 +95,7 @@ pub struct NullSink;
 
 impl TraceSink for NullSink {
     const WANTS_EVENTS: bool = false;
+    const WANTS_RECORDS: bool = false;
 
     #[inline(always)]
     fn record(&mut self, _event: &TraceEvent) {}
@@ -105,6 +113,7 @@ impl TraceSink for Trace {
 
 impl<S: TraceSink> TraceSink for &mut S {
     const WANTS_EVENTS: bool = S::WANTS_EVENTS;
+    const WANTS_RECORDS: bool = S::WANTS_RECORDS;
 
     #[inline]
     fn record(&mut self, event: &TraceEvent) {

@@ -40,22 +40,42 @@ impl ExecStats {
         self.cycles[i] += u64::from(cycles);
     }
 
-    /// Records a fully-retired straight-line block from its precomputed
-    /// per-class deltas: O(classes) instead of one [`record`] call per
-    /// instruction. Blocks contain no branches, so the branch counters
-    /// are untouched.
+    /// Records `iterations` retirements of the same fully-fused block
+    /// body in one scaled update from its precomputed per-class deltas:
+    /// O(classes) total instead of one [`record`] call per instruction
+    /// per iteration. The megablock trace tier retires whole iterations
+    /// inside a single dispatch, where per-iteration bookkeeping would
+    /// rival the cost of a two-or-three-op body; the sums are identical
+    /// because every iteration contributes the same deltas. Block
+    /// bodies contain no branches, so the branch counters are
+    /// untouched.
     ///
     /// [`record`]: ExecStats::record
     #[inline]
-    pub(crate) fn record_block(
+    pub(crate) fn record_block_scaled(
         &mut self,
         class_insns: &[u32; OpClass::ALL.len()],
         class_cycles: &[u32; OpClass::ALL.len()],
+        iterations: u64,
     ) {
         for i in 0..OpClass::ALL.len() {
-            self.instret[i] += u64::from(class_insns[i]);
-            self.cycles[i] += u64::from(class_cycles[i]);
+            self.instret[i] += u64::from(class_insns[i]) * iterations;
+            self.cycles[i] += u64::from(class_cycles[i]) * iterations;
         }
+    }
+
+    /// Records a batch of retired loop-guard branches of one class:
+    /// `retired` guards costing `cycles` total, `taken` of which
+    /// branched. Guards are backward by construction, so every taken
+    /// guard is also a taken backward branch.
+    #[inline]
+    pub(crate) fn record_guards(&mut self, class: OpClass, cycles: u64, retired: u64, taken: u64) {
+        let i = class.index();
+        self.instret[i] += retired;
+        self.cycles[i] += cycles;
+        self.branches_taken += taken;
+        self.backward_taken += taken;
+        self.branches_not_taken += retired - taken;
     }
 
     /// Total retired instructions (summed on demand; `record` stays

@@ -1,14 +1,17 @@
 //! Measures simulation throughput (Minsn/s) across the paper suite in
-//! five run modes — decode-per-fetch reference, per-instruction
-//! predecoded path, superblock engine, streaming summary, full trace —
-//! and writes `BENCH_sim.json`.
+//! six run modes — decode-per-fetch reference, per-instruction
+//! predecoded path, superblock engine, megablock trace engine,
+//! streaming summary, full trace — and writes `BENCH_sim.json`. Each
+//! mode asserts the engine it measures via `System::active_engine`, so
+//! a silent downgrade fails the run instead of publishing mislabeled
+//! numbers.
 //!
 //! Usage: `simperf [--smoke] [--out <path>]`
 //!
 //! `--smoke` (or `SIMPERF_SMOKE=1`) runs three repetitions per mode for
 //! CI; the default is best-of-10 (single runs are ~1 ms, so repetitions
 //! are cheap and the minimum filters scheduler noise). The JSON schema
-//! (`warp-mb/bench-sim/v2`) is described in the README's "Performance"
+//! (`warp-mb/bench-sim/v3`) is described in the README's "Performance"
 //! section.
 
 use warp_bench::measure::BenchCli;
@@ -16,7 +19,10 @@ use warp_bench::simperf;
 
 fn main() {
     let cli = BenchCli::parse("SIMPERF_SMOKE", "BENCH_sim.json");
-    let reps = if cli.smoke { 3 } else { 10 };
+    // Runs are sub-millisecond, so best-of needs a deep rep count to
+    // converge on the noise floor — host frequency drift between modes
+    // otherwise skews the published mode-vs-mode ratios.
+    let reps = if cli.smoke { 3 } else { 40 };
 
     let perf = simperf::measure_suite(reps, cli.smoke);
     println!(
@@ -27,13 +33,17 @@ fn main() {
     );
     print!("{}", perf.render_table());
     println!(
-        "\nblock engine vs. predecoded per-instruction path: {:.2}x",
+        "\ntrace engine vs. superblock engine:               {:.2}x",
+        perf.aggregate_trace_speedup()
+    );
+    println!(
+        "block engine vs. predecoded per-instruction path: {:.2}x",
         perf.aggregate_block_speedup()
     );
     println!(
-        "predecoded path vs. seed decode-per-fetch loop:   {:.2}x (block vs. seed: {:.2}x)",
+        "predecoded path vs. seed decode-per-fetch loop:   {:.2}x (trace vs. seed: {:.2}x)",
         perf.aggregate_predecoded_speedup(),
-        perf.aggregate_block_speedup_vs_reference()
+        perf.aggregate_trace_speedup_vs_reference()
     );
 
     cli.write_json(&perf.to_json());

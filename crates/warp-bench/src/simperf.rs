@@ -3,28 +3,34 @@
 //! Simulated instructions per second is the metric that gates how many
 //! scenarios the batch runner can cover, so this harness records it per
 //! PR. For every workload in the paper suite it measures host wall-clock
-//! for five run modes of the same simulation:
+//! for six run modes of the same simulation:
 //!
 //! * `reference_decode_per_fetch` — the seed loop: decode on every
 //!   fetch ([`MbConfig::predecode`] off), no tracing;
 //! * `predecoded` — the PR 3 fast path: pre-decoded fetch, stepping one
 //!   instruction per dispatch ([`MbConfig::with_blocks`]`(false)`),
 //!   [`NullSink`];
-//! * `block` — the superblock engine: fused straight-line blocks
-//!   retired one per dispatch, [`NullSink`];
-//! * `summary` — block engine streaming a [`TraceSummary`] through the
+//! * `block` — the PR 5 superblock engine: fused straight-line blocks
+//!   retired one per dispatch ([`MbConfig::with_traces`]`(false)`),
+//!   [`NullSink`];
+//! * `trace` — the megablock trace engine (the default configuration):
+//!   loop bodies chained across their backward guard and iterated
+//!   inside one dispatch, [`NullSink`];
+//! * `summary` — trace engine streaming a [`TraceSummary`] through the
 //!   batched `retire_block` hook;
-//! * `full_trace` — block engine recording the complete event vector.
+//! * `full_trace` — trace engine recording the complete event vector.
 //!
-//! Simulated cycle/instruction counts are identical across all five
+//! Every mode asserts [`System::active_engine`] before timing — the
+//! engine measured is the engine claimed, never a silent downgrade.
+//! Simulated cycle/instruction counts are identical across all six
 //! modes (asserted here, locked in by `tests/sim_fast_path.rs`); only
 //! host speed differs. [`SimPerf::to_json`] emits the `BENCH_sim.json`
-//! document (schema `warp-mb/bench-sim/v2`) CI validates and archives
+//! document (schema `warp-mb/bench-sim/v3`) CI validates and archives
 //! per PR; the schema is documented in the README's "Performance"
 //! section.
 
 use mb_isa::{MbFeatures, OpClass};
-use mb_sim::{MbConfig, NullSink, Outcome, StopReason, Trace, TraceSummary};
+use mb_sim::{Engine, MbConfig, NullSink, Outcome, StopReason, System, Trace, TraceSummary};
 use workloads::BuiltWorkload;
 
 use crate::measure::best_of_seconds_with;
@@ -39,12 +45,20 @@ pub struct ModePerf {
     pub seconds: f64,
     /// Millions of simulated instructions retired per host second.
     pub minsn_per_s: f64,
+    /// The [`Engine`] identifier asserted before timing
+    /// ([`Engine::as_str`]) — recorded so the JSON document proves
+    /// which engine produced each number.
+    pub engine: &'static str,
 }
 
 impl ModePerf {
-    fn from_best(best_seconds: f64, instructions: u64) -> Self {
+    fn from_best(best_seconds: f64, instructions: u64, engine: Engine) -> Self {
         let seconds = best_seconds.max(1e-9);
-        ModePerf { seconds, minsn_per_s: instructions as f64 / seconds / 1e6 }
+        ModePerf {
+            seconds,
+            minsn_per_s: instructions as f64 / seconds / 1e6,
+            engine: engine.as_str(),
+        }
     }
 }
 
@@ -61,11 +75,13 @@ pub struct WorkloadPerf {
     pub reference: ModePerf,
     /// Pre-decoded fetch, per-instruction stepping, no sink.
     pub predecoded: ModePerf,
-    /// Superblock engine, no sink.
+    /// Superblock engine (traces off), no sink.
     pub block: ModePerf,
-    /// Superblock engine, streaming summary sink.
+    /// Megablock trace engine, no sink.
+    pub trace: ModePerf,
+    /// Trace engine, streaming summary sink.
     pub summary: ModePerf,
-    /// Superblock engine, full event vector.
+    /// Trace engine, full event vector.
     pub full_trace: ModePerf,
 }
 
@@ -75,6 +91,14 @@ impl WorkloadPerf {
     #[must_use]
     pub fn block_speedup(&self) -> f64 {
         self.predecoded.seconds / self.block.seconds
+    }
+
+    /// Host speedup of the trace engine over the superblock engine
+    /// (both untraced) — the number the `SIMPERF_TRACE_FLOOR` CI gate
+    /// watches per PR 6.
+    #[must_use]
+    pub fn trace_speedup(&self) -> f64 {
+        self.block.seconds / self.trace.seconds
     }
 
     /// Host speedup of the predecoded path over the seed loop.
@@ -130,16 +154,33 @@ impl SimPerf {
         self.totals(|w| w.reference.seconds) / self.totals(|w| w.block.seconds).max(1e-9)
     }
 
+    /// Suite-level trace-engine speedup over the superblock engine —
+    /// the `SIMPERF_TRACE_FLOOR` CI gate.
+    #[must_use]
+    pub fn aggregate_trace_speedup(&self) -> f64 {
+        self.totals(|w| w.block.seconds) / self.totals(|w| w.trace.seconds).max(1e-9)
+    }
+
+    /// Suite-level trace-engine speedup over the seed loop.
+    #[must_use]
+    pub fn aggregate_trace_speedup_vs_reference(&self) -> f64 {
+        self.totals(|w| w.reference.seconds) / self.totals(|w| w.trace.seconds).max(1e-9)
+    }
+
     /// Renders the `BENCH_sim.json` document (schema
-    /// `warp-mb/bench-sim/v2`: v1 plus the `predecoded`/`block` mode
-    /// split and the block-speedup columns).
+    /// `warp-mb/bench-sim/v3`: v2 plus the `trace` mode, a per-mode
+    /// `engine` field recording the asserted [`Engine`], and the
+    /// trace-speedup columns).
     #[must_use]
     pub fn to_json(&self) -> String {
         let mode_json = |m: &ModePerf| {
-            format!(r#"{{"seconds": {:.6}, "minsn_per_s": {:.3}}}"#, m.seconds, m.minsn_per_s)
+            format!(
+                r#"{{"engine": "{}", "seconds": {:.6}, "minsn_per_s": {:.3}}}"#,
+                m.engine, m.seconds, m.minsn_per_s
+            )
         };
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"warp-mb/bench-sim/v2\",\n");
+        out.push_str("  \"schema\": \"warp-mb/bench-sim/v3\",\n");
         out.push_str(&format!("  \"mode\": \"{}\",\n", if self.smoke { "smoke" } else { "full" }));
         out.push_str(&format!("  \"reps\": {},\n", self.reps));
         out.push_str(&format!("  \"mb_clock_hz\": {},\n", mb_sim::MB_CLOCK_HZ));
@@ -148,7 +189,8 @@ impl SimPerf {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"instructions\": {}, \"mb_cycles\": {}, \
                  \"modes\": {{\"reference_decode_per_fetch\": {}, \"predecoded\": {}, \
-                 \"block\": {}, \"summary\": {}, \"full_trace\": {}}}, \
+                 \"block\": {}, \"trace\": {}, \"summary\": {}, \"full_trace\": {}}}, \
+                 \"trace_speedup_vs_block\": {:.3}, \
                  \"block_speedup_vs_predecoded\": {:.3}, \
                  \"predecoded_speedup_vs_reference\": {:.3}}}{}\n",
                 w.name,
@@ -157,8 +199,10 @@ impl SimPerf {
                 mode_json(&w.reference),
                 mode_json(&w.predecoded),
                 mode_json(&w.block),
+                mode_json(&w.trace),
                 mode_json(&w.summary),
                 mode_json(&w.full_trace),
+                w.trace_speedup(),
                 w.block_speedup(),
                 w.predecoded_speedup(),
                 if i + 1 == self.workloads.len() { "" } else { "," },
@@ -166,18 +210,24 @@ impl SimPerf {
         }
         out.push_str("  ],\n");
         out.push_str(&format!(
-            "  \"aggregate\": {{\"block_minsn_per_s\": {:.3}, \"predecoded_minsn_per_s\": {:.3}, \
+            "  \"aggregate\": {{\"trace_minsn_per_s\": {:.3}, \"block_minsn_per_s\": {:.3}, \
+             \"predecoded_minsn_per_s\": {:.3}, \
              \"summary_minsn_per_s\": {:.3}, \"full_trace_minsn_per_s\": {:.3}, \
-             \"reference_minsn_per_s\": {:.3}, \"block_speedup_vs_predecoded\": {:.3}, \
+             \"reference_minsn_per_s\": {:.3}, \"trace_speedup_vs_block\": {:.3}, \
+             \"block_speedup_vs_predecoded\": {:.3}, \
              \"predecoded_speedup_vs_reference\": {:.3}, \
+             \"trace_speedup_vs_reference\": {:.3}, \
              \"block_speedup_vs_reference\": {:.3}}}\n",
+            self.aggregate_minsn(|w| w.trace),
             self.aggregate_minsn(|w| w.block),
             self.aggregate_minsn(|w| w.predecoded),
             self.aggregate_minsn(|w| w.summary),
             self.aggregate_minsn(|w| w.full_trace),
             self.aggregate_minsn(|w| w.reference),
+            self.aggregate_trace_speedup(),
             self.aggregate_block_speedup(),
             self.aggregate_predecoded_speedup(),
+            self.aggregate_trace_speedup_vs_reference(),
             self.aggregate_block_speedup_vs_reference(),
         ));
         out.push_str("}\n");
@@ -188,21 +238,32 @@ impl SimPerf {
     #[must_use]
     pub fn render_table(&self) -> String {
         let mut out = format!(
-            "{:>10} | {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}\n",
-            "benchmark", "insns", "ref Mi/s", "predec", "block", "summary", "full", "blockup"
+            "{:>10} | {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}\n",
+            "benchmark",
+            "insns",
+            "ref Mi/s",
+            "predec",
+            "block",
+            "trace",
+            "summary",
+            "full",
+            "blockup",
+            "traceup"
         );
-        out.push_str(&"-".repeat(88));
+        out.push_str(&"-".repeat(107));
         out.push('\n');
         let mut row = |name: &str,
                        insns: u64,
                        r: f64,
                        p: f64,
                        b: f64,
+                       t: f64,
                        s: f64,
                        f: f64,
-                       speedup: f64| {
+                       blockup: f64,
+                       traceup: f64| {
             out.push_str(&format!(
-                "{name:>10} | {insns:>12} {r:>9.1} {p:>9.1} {b:>9.1} {s:>9.1} {f:>9.1} {speedup:>7.2}x\n",
+                "{name:>10} | {insns:>12} {r:>9.1} {p:>9.1} {b:>9.1} {t:>9.1} {s:>9.1} {f:>9.1} {blockup:>7.2}x {traceup:>7.2}x\n",
             ));
         };
         for w in &self.workloads {
@@ -212,9 +273,11 @@ impl SimPerf {
                 w.reference.minsn_per_s,
                 w.predecoded.minsn_per_s,
                 w.block.minsn_per_s,
+                w.trace.minsn_per_s,
                 w.summary.minsn_per_s,
                 w.full_trace.minsn_per_s,
                 w.block_speedup(),
+                w.trace_speedup(),
             );
         }
         row(
@@ -223,39 +286,69 @@ impl SimPerf {
             self.aggregate_minsn(|w| w.reference),
             self.aggregate_minsn(|w| w.predecoded),
             self.aggregate_minsn(|w| w.block),
+            self.aggregate_minsn(|w| w.trace),
             self.aggregate_minsn(|w| w.summary),
             self.aggregate_minsn(|w| w.full_trace),
             self.aggregate_block_speedup(),
+            self.aggregate_trace_speedup(),
         );
         out
     }
 }
 
 /// Best-of-`reps` wall-clock for one run mode, checking that the
-/// simulated outcome matches the expected cycle/instruction counts.
-/// System construction and the outcome checks happen off the clock —
-/// only the run itself is timed.
+/// simulated outcome matches the expected cycle/instruction counts
+/// and that the system dispatches the [`Engine`] the mode claims to
+/// measure — a config drift that silently downgraded the engine would
+/// otherwise publish mislabeled numbers. System construction, the
+/// [`System::prewarm`] of the decode/block stores, and the checks all
+/// happen off the clock — the timed region is the steady-state run
+/// itself, so every mode is measured on the same footing instead of
+/// folding one-time lowering cost into whichever engine runs shortest.
 fn time_mode(
     built: &BuiltWorkload,
     config: &MbConfig,
+    engine: Engine,
     reps: usize,
     expected: (u64, u64),
     run: impl Fn(&mut mb_sim::System) -> mb_sim::Outcome,
 ) -> f64 {
-    best_of_seconds_with(
+    assert_eq!(
+        System::new(config.clone()).active_engine(),
+        engine,
+        "{}: mode must measure the engine it claims",
+        built.name
+    );
+    // One workload run is sub-millisecond — too short to time against
+    // host frequency drift and interrupt noise — so each timed rep
+    // executes a batch of independent runs and reports the per-run
+    // share.
+    const TIMED_BATCH: usize = 12;
+    let best = best_of_seconds_with(
         reps,
-        || built.instantiate(config),
-        |mut sys| run(&mut sys),
-        |outcome| {
-            assert!(outcome.exited(), "{}: run must exit", built.name);
-            assert_eq!(
-                (outcome.cycles, outcome.instructions),
-                expected,
-                "{}: simulated timing must be mode-independent",
-                built.name
-            );
+        || {
+            (0..TIMED_BATCH)
+                .map(|_| {
+                    let mut sys = built.instantiate(config);
+                    sys.prewarm();
+                    sys
+                })
+                .collect::<Vec<_>>()
         },
-    )
+        |systems| systems.into_iter().map(|mut sys| run(&mut sys)).collect::<Vec<_>>(),
+        |outcomes| {
+            for outcome in outcomes {
+                assert!(outcome.exited(), "{}: run must exit", built.name);
+                assert_eq!(
+                    (outcome.cycles, outcome.instructions),
+                    expected,
+                    "{}: simulated timing must be mode-independent",
+                    built.name
+                );
+            }
+        },
+    );
+    best / TIMED_BATCH as f64
 }
 
 /// The seed run loop, reproduced: step by step with the budget checked
@@ -290,43 +383,46 @@ fn run_seed_style(sys: &mut mb_sim::System) -> Outcome {
     }
 }
 
-/// Measures one workload across all five modes.
+/// Measures one workload across all six modes.
 #[must_use]
 pub fn measure_workload(workload: &workloads::Workload, reps: usize) -> WorkloadPerf {
     let built = workload.build(MbFeatures::paper_default());
-    let block = MbConfig::paper_default();
+    let trace = MbConfig::paper_default();
+    let block = trace.clone().with_traces(false);
     let predecoded = block.clone().with_blocks(false);
     let reference = predecoded.clone().with_predecode(false);
 
     // Establish the expected simulated counts once.
-    let mut sys = built.instantiate(&block);
+    let mut sys = built.instantiate(&trace);
     let outcome = sys.run(MAX_CYCLES).expect("workload runs");
     assert!(outcome.exited());
     let expected = (outcome.cycles, outcome.instructions);
 
     let run_untraced =
         |sys: &mut mb_sim::System| sys.run_with_sink(MAX_CYCLES, &mut NullSink).unwrap();
-    let t_block = time_mode(&built, &block, reps, expected, run_untraced);
-    let t_predecoded = time_mode(&built, &predecoded, reps, expected, run_untraced);
-    let t_summary = time_mode(&built, &block, reps, expected, |sys| {
+    let t_trace = time_mode(&built, &trace, Engine::Trace, reps, expected, run_untraced);
+    let t_block = time_mode(&built, &block, Engine::Block, reps, expected, run_untraced);
+    let t_predecoded = time_mode(&built, &predecoded, Engine::Step, reps, expected, run_untraced);
+    let t_summary = time_mode(&built, &trace, Engine::Trace, reps, expected, |sys| {
         let mut summary = TraceSummary::new();
         sys.run_with_sink(MAX_CYCLES, &mut summary).unwrap()
     });
-    let t_full = time_mode(&built, &block, reps, expected, |sys| {
+    let t_full = time_mode(&built, &trace, Engine::Trace, reps, expected, |sys| {
         let mut trace = Trace::new();
         sys.run_with_sink(MAX_CYCLES, &mut trace).unwrap()
     });
-    let t_ref = time_mode(&built, &reference, reps, expected, run_seed_style);
+    let t_ref = time_mode(&built, &reference, Engine::Reference, reps, expected, run_seed_style);
 
     WorkloadPerf {
         name: built.name.clone(),
         instructions: expected.1,
         mb_cycles: expected.0,
-        reference: ModePerf::from_best(t_ref, expected.1),
-        predecoded: ModePerf::from_best(t_predecoded, expected.1),
-        block: ModePerf::from_best(t_block, expected.1),
-        summary: ModePerf::from_best(t_summary, expected.1),
-        full_trace: ModePerf::from_best(t_full, expected.1),
+        reference: ModePerf::from_best(t_ref, expected.1, Engine::Reference),
+        predecoded: ModePerf::from_best(t_predecoded, expected.1, Engine::Step),
+        block: ModePerf::from_best(t_block, expected.1, Engine::Block),
+        trace: ModePerf::from_best(t_trace, expected.1, Engine::Trace),
+        summary: ModePerf::from_best(t_summary, expected.1, Engine::Trace),
+        full_trace: ModePerf::from_best(t_full, expected.1, Engine::Trace),
     }
 }
 
@@ -342,7 +438,7 @@ mod tests {
     use super::*;
 
     fn synthetic() -> SimPerf {
-        let mode = |s: f64| ModePerf::from_best(s, 1_000_000);
+        let mode = |s: f64, e: Engine| ModePerf::from_best(s, 1_000_000, e);
         SimPerf {
             smoke: true,
             reps: 1,
@@ -350,11 +446,12 @@ mod tests {
                 name: "brev".into(),
                 instructions: 1_000_000,
                 mb_cycles: 1_500_000,
-                reference: mode(0.4),
-                predecoded: mode(0.1),
-                block: mode(0.05),
-                summary: mode(0.06),
-                full_trace: mode(0.2),
+                reference: mode(0.4, Engine::Reference),
+                predecoded: mode(0.1, Engine::Step),
+                block: mode(0.05, Engine::Block),
+                trace: mode(0.025, Engine::Trace),
+                summary: mode(0.06, Engine::Trace),
+                full_trace: mode(0.2, Engine::Trace),
             }],
         }
     }
@@ -362,11 +459,16 @@ mod tests {
     #[test]
     fn json_has_schema_and_balanced_structure() {
         let json = synthetic().to_json();
-        assert!(json.contains("\"schema\": \"warp-mb/bench-sim/v2\""));
+        assert!(json.contains("\"schema\": \"warp-mb/bench-sim/v3\""));
+        assert!(json.contains("\"trace_speedup_vs_block\""));
         assert!(json.contains("\"block_speedup_vs_predecoded\""));
         assert!(json.contains("\"predecoded_speedup_vs_reference\""));
         assert!(json.contains("\"modes\": {\"reference_decode_per_fetch\""));
         assert!(json.contains("\"block\": {"));
+        assert!(json.contains("\"trace\": {\"engine\": \"trace\""));
+        assert!(json.contains("\"engine\": \"predecoded_step\""));
+        assert!(json.contains("\"engine\": \"reference_decode_per_fetch\""));
+        assert!(json.contains("\"trace_minsn_per_s\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert_eq!(json.matches('"').count() % 2, 0, "quotes must pair");
@@ -379,11 +481,15 @@ mod tests {
         let p = synthetic();
         let w = &p.workloads[0];
         assert!((w.block_speedup() - 2.0).abs() < 1e-9);
+        assert!((w.trace_speedup() - 2.0).abs() < 1e-9);
         assert!((w.predecoded_speedup() - 4.0).abs() < 1e-9);
         assert!((p.aggregate_block_speedup() - 2.0).abs() < 1e-9);
+        assert!((p.aggregate_trace_speedup() - 2.0).abs() < 1e-9);
         assert!((p.aggregate_predecoded_speedup() - 4.0).abs() < 1e-9);
         assert!((p.aggregate_block_speedup_vs_reference() - 8.0).abs() < 1e-9);
+        assert!((p.aggregate_trace_speedup_vs_reference() - 16.0).abs() < 1e-9);
         assert!((p.aggregate_minsn(|w| w.block) - 20.0).abs() < 1e-6);
+        assert!((p.aggregate_minsn(|w| w.trace) - 40.0).abs() < 1e-6);
     }
 
     #[test]
@@ -392,5 +498,6 @@ mod tests {
         assert!(table.contains("brev"));
         assert!(table.contains("suite"));
         assert!(table.contains("blockup"));
+        assert!(table.contains("traceup"));
     }
 }

@@ -462,6 +462,42 @@ mod tests {
         assert!(warm.time_to_first_warp().unwrap() < cold.time_to_first_warp().unwrap());
     }
 
+    /// The megablock trace engine must be invisible to the online
+    /// runtime: hot patches land between slices while the dispatcher is
+    /// mid-trace on the patched loop, and the imem write log must drop
+    /// the dirtied traces so the very next head fetch sees the jump to
+    /// the invocation stub. A full warped run with traces on therefore
+    /// produces the *same* timeline, events, and profiler view as one
+    /// with traces off.
+    #[test]
+    fn warped_timeline_is_identical_with_and_without_traces() {
+        let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());
+        let run = |mb: MbConfig| {
+            Orchestrator::new(&built, OnlineConfig { mb, repeats: 2, ..OnlineConfig::default() })
+                .with_policy(TopKPolicy { k: 1, min_count: 256 })
+                .run()
+                .unwrap()
+        };
+        let traced = run(MbConfig::paper_default());
+        let untraced = run(MbConfig::paper_default().with_traces(false));
+
+        assert_eq!(traced.cycles, untraced.cycles);
+        assert_eq!(traced.instructions, untraced.instructions);
+        assert_eq!(traced.slices, untraced.slices);
+        assert_eq!(traced.exit_code, untraced.exit_code);
+        assert_eq!(traced.profiler, untraced.profiler);
+        assert_eq!(traced.events.len(), untraced.events.len());
+        for (t, u) in traced.events.iter().zip(&untraced.events) {
+            assert_eq!((t.head, t.tail), (u.head, u.tail));
+            assert_eq!(t.detected_cycle, u.detected_cycle);
+            assert_eq!(t.patched_cycle, u.patched_cycle);
+            assert_eq!(t.patched_insns, u.patched_insns);
+            assert_eq!(t.hw.invocations, u.hw.invocations);
+            assert_eq!(t.hw.iterations, u.hw.iterations);
+        }
+        assert!(traced.events[0].hw.invocations >= 2, "patched kernel must run in hardware");
+    }
+
     #[test]
     fn repeats_accumulate_one_timeline_and_stay_patched() {
         let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());

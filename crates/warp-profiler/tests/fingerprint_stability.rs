@@ -11,8 +11,23 @@
 //!    a region, no amount of further decay brings it back; only fresh
 //!    observations of that branch can.
 
+use mb_isa::{Cond, Insn, OpClass, Reg};
+use mb_sim::{BlockRetire, TraceEvent, TraceSink};
 use proptest::prelude::*;
 use warp_profiler::{HotRegion, Profiler, ProfilerConfig};
+
+/// The guard event the megablock trace tier emits when a chained loop
+/// iteration retires: a taken branch at `tail` back to `head`.
+fn guard_event(tail: u32, head: u32) -> TraceEvent {
+    TraceEvent {
+        pc: tail,
+        insn: Insn::Bci { cond: Cond::Ne, ra: Reg::R3, imm: 0, delay: false },
+        cycles: 2,
+        taken: Some(true),
+        target: Some(head),
+        ea: None,
+    }
+}
 
 /// Deterministic branch-event stream derived from one seed: a mix of a
 /// few loop tails (some backward, some forward so they are ignored),
@@ -114,6 +129,57 @@ proptest! {
         // A fresh observation *is* allowed to bring a region back.
         if let Some(&(tail, head)) = stream.iter().find(|(t, h)| h <= t) {
             p.observe_branch(tail, head);
+            prop_assert_eq!(p.best().unwrap().tail, tail);
+        }
+    }
+
+    /// The same no-resurrection law for **trace heads**: heat delivered
+    /// through the megablock tier's batched sink path — one
+    /// `retire_block` per loop body plus one guard branch event per
+    /// iteration — decays and evicts identically, and an evicted trace
+    /// head only returns on a fresh guard retirement, never from decay
+    /// alone.
+    #[test]
+    fn decayed_trace_heads_never_resurrect(seed in any::<u64>()) {
+        let zero_classes = [0u32; OpClass::ALL.len()];
+        let stream = branch_stream(seed, 300);
+        let mut p = Profiler::new(ProfilerConfig::default());
+        for &(tail, head) in &stream {
+            // A chained iteration: body batch, then the guard event
+            // (forward "guards" in the stream must be ignored, exactly
+            // like forward branches on the per-event path).
+            p.retire_block(&BlockRetire {
+                head,
+                instructions: 3,
+                cycles: 4,
+                class_insns: &zero_classes,
+                insn_cycles: &[1, 1, 2],
+                events: &[],
+            });
+            p.record(&guard_event(tail, head));
+        }
+
+        let mut alive: Vec<u32> = p.hot_regions().iter().map(|r| r.tail).collect();
+        for round in 0..17 {
+            p.decay();
+            let now: Vec<u32> = p.hot_regions().iter().map(|r| r.tail).collect();
+            for tail in &now {
+                prop_assert!(
+                    alive.contains(tail),
+                    "decay round {} resurrected trace head tail {:#x} (seed {:#x})",
+                    round, tail, seed
+                );
+            }
+            for r in p.hot_regions() {
+                prop_assert!(r.count > 0, "zero-count trace heads must be evicted, not listed");
+            }
+            alive = now;
+        }
+        prop_assert!(p.hot_regions().is_empty(), "17 halvings must clear 16-bit counters");
+
+        // A fresh guard retirement *is* allowed to bring it back.
+        if let Some(&(tail, head)) = stream.iter().find(|(t, h)| h <= t) {
+            p.record(&guard_event(tail, head));
             prop_assert_eq!(p.best().unwrap().tail, tail);
         }
     }

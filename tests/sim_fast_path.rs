@@ -2,28 +2,39 @@
 //! engine, the trace sinks, and the streaming aggregates must be
 //! invisible to simulated results.
 //!
-//! Four contracts are locked in here:
+//! Five contracts are locked in here:
 //!
 //! 1. the pre-decoded fetch path produces an instruction-for-instruction
 //!    identical [`Trace`], identical [`ExecStats`], and identical
 //!    [`Outcome`] to the decode-per-fetch reference loop
 //!    (`MbConfig::with_predecode(false)`);
-//! 2. the superblock engine (`MbConfig::with_blocks`, the default)
-//!    matches the per-instruction step engine the same way — including
-//!    across mid-run patches and cycle budgets that expire mid-block;
+//! 2. the superblock engine (`MbConfig::with_blocks`) and the megablock
+//!    trace engine above it (`MbConfig::with_traces`, the default)
+//!    match the per-instruction step engine the same way — including
+//!    across mid-run patches, guard-failure side exits, and cycle
+//!    budgets that expire mid-block or mid-trace;
 //! 3. decode-cache and block-store invalidation: after an imem patch
 //!    through [`System::imem_mut`] — the WCLA binary-patching interface
-//!    — the patched words execute, never stale pre-decoded ones or
-//!    stale fused blocks;
+//!    — the patched words execute, never stale pre-decoded ones, stale
+//!    fused blocks, or stale chained traces;
 //! 4. a [`TraceSummary`] streamed during the run equals every aggregate
-//!    computed from the full trace.
+//!    computed from the full trace;
+//! 5. every configuration dispatches the engine it reports via
+//!    [`System::active_engine`] — in particular, caches no longer
+//!    silently downgrade block dispatch to stepping.
 
 use mb_isa::{encode, Assembler, Insn, MbFeatures, MemSize, Reg};
-use mb_sim::{MbConfig, NullSink, System, Trace, TraceSummary, EXIT_PORT_BASE};
+use mb_sim::cache::CacheConfig;
+use mb_sim::{Engine, MbConfig, NullSink, System, Trace, TraceSummary, EXIT_PORT_BASE};
 
-/// Block engine on (the default configuration).
+/// Trace engine on (the default configuration).
 fn fast_config() -> MbConfig {
     MbConfig::paper_default()
+}
+
+/// Superblocks without loop-trace chaining (the PR 5 block engine).
+fn block_config() -> MbConfig {
+    MbConfig::paper_default().with_traces(false)
 }
 
 /// Pre-decoded fetch but per-instruction stepping (the PR 3 fast path).
@@ -33,6 +44,28 @@ fn step_config() -> MbConfig {
 
 fn reference_config() -> MbConfig {
     MbConfig::paper_default().with_predecode(false).with_blocks(false)
+}
+
+/// The trace engine with both caches configured: the configuration that
+/// used to silently downgrade to per-instruction stepping and now
+/// dispatches careful (per-op accounted) blocks.
+fn cached_config(base: MbConfig) -> MbConfig {
+    let mut config = base;
+    config.icache = Some(CacheConfig::small());
+    config.dcache = Some(CacheConfig::small());
+    config
+}
+
+#[test]
+fn every_config_reports_the_engine_it_dispatches() {
+    assert_eq!(System::new(fast_config()).active_engine(), Engine::Trace);
+    assert_eq!(System::new(block_config()).active_engine(), Engine::Block);
+    assert_eq!(System::new(step_config()).active_engine(), Engine::Step);
+    assert_eq!(System::new(reference_config()).active_engine(), Engine::Reference);
+    // Caches no longer demote the engine: the dispatch switches to
+    // per-op accounting instead (pinned by the cached equality tests).
+    assert_eq!(System::new(cached_config(fast_config())).active_engine(), Engine::Trace);
+    assert_eq!(System::new(cached_config(block_config())).active_engine(), Engine::Block);
 }
 
 #[test]
@@ -167,26 +200,107 @@ fn faulting_block_preserves_step_engine_prefix_state() {
 }
 
 #[test]
-fn block_engine_matches_step_engine_on_all_workloads() {
+fn trace_block_and_step_engines_match_on_all_workloads() {
     for workload in workloads::all() {
         let built = workload.build(MbFeatures::paper_default());
 
-        let mut blocks = built.instantiate(&fast_config());
+        let mut traces = built.instantiate(&fast_config());
+        assert_eq!(traces.active_engine(), Engine::Trace);
+        let (out_t, trace_t) = traces.run_traced(500_000_000).unwrap();
+
+        let mut blocks = built.instantiate(&block_config());
+        assert_eq!(blocks.active_engine(), Engine::Block);
         let (out_b, trace_b) = blocks.run_traced(500_000_000).unwrap();
 
         let mut stepped = built.instantiate(&step_config());
+        assert_eq!(stepped.active_engine(), Engine::Step);
         let (out_s, trace_s) = stepped.run_traced(500_000_000).unwrap();
 
         assert_eq!(out_b, out_s, "{}: outcome must be identical", workload.name);
+        assert_eq!(out_t, out_s, "{}: trace-engine outcome must be identical", workload.name);
         assert_eq!(
             trace_b, trace_s,
             "{}: block retirement must synthesize the identical event stream",
             workload.name
         );
+        assert_eq!(
+            trace_t, trace_s,
+            "{}: loop-trace retirement (guard side exits included) must \
+             synthesize the identical event stream",
+            workload.name
+        );
         assert_eq!(blocks.stats(), stepped.stats(), "{}: ExecStats must match", workload.name);
+        assert_eq!(
+            traces.stats(),
+            stepped.stats(),
+            "{}: trace ExecStats must match",
+            workload.name
+        );
         assert_eq!(blocks.cpu(), stepped.cpu(), "{}: final CPU state must match", workload.name);
+        assert_eq!(traces.cpu(), stepped.cpu(), "{}: trace CPU state must match", workload.name);
         built.verify(blocks.dmem()).unwrap();
+        built.verify(traces.dmem()).unwrap();
     }
+}
+
+#[test]
+fn cached_configs_retire_blocks_with_identical_results() {
+    // The configuration that used to silently step: caches on, blocks
+    // on. Careful dispatch must match per-instruction stepping with the
+    // identical cache model bit-for-bit — outcome, trace, stats, CPU,
+    // and dmem.
+    for workload in workloads::paper_suite() {
+        let built = workload.build(MbFeatures::paper_default());
+
+        let mut careful = built.instantiate(&cached_config(fast_config()));
+        let (out_c, trace_c) = careful.run_traced(2_000_000_000).unwrap();
+
+        let mut stepped = built.instantiate(&cached_config(step_config()));
+        assert_eq!(stepped.active_engine(), Engine::Step);
+        let (out_s, trace_s) = stepped.run_traced(2_000_000_000).unwrap();
+
+        assert_eq!(out_c, out_s, "{}: cached outcome must be identical", workload.name);
+        assert_eq!(trace_c, trace_s, "{}: cached event streams must match", workload.name);
+        assert_eq!(
+            careful.stats(),
+            stepped.stats(),
+            "{}: cached ExecStats must match",
+            workload.name
+        );
+        assert_eq!(careful.cpu(), stepped.cpu(), "{}: cached CPU state must match", workload.name);
+        built.verify(careful.dmem()).unwrap();
+    }
+}
+
+#[test]
+fn cached_sliced_execution_stops_at_step_engine_boundaries() {
+    // Careful dispatch checks the budget per op, so slice boundaries
+    // land mid-block; they must be the step engine's exact boundaries.
+    let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());
+    let budgets = [1u64, 3, 7, 17, 33, 129, 513];
+
+    let mut careful = built.instantiate(&cached_config(fast_config()));
+    let mut stepped = built.instantiate(&cached_config(step_config()));
+    let mut trace_c = Trace::new();
+    let mut trace_s = Trace::new();
+    for (i, &budget) in budgets.iter().cycle().enumerate() {
+        let out_c = careful.run_slice(budget, &mut trace_c).unwrap();
+        let out_s = stepped.run_slice(budget, &mut trace_s).unwrap();
+        assert_eq!(out_c, out_s, "slice {i} (budget {budget}) diverged");
+        assert_eq!(
+            careful.cpu().pc(),
+            stepped.cpu().pc(),
+            "slice {i} (budget {budget}): boundary PC diverged"
+        );
+        assert_eq!(careful.stats(), stepped.stats(), "slice {i}: stats diverged");
+        if out_c.exited() {
+            break;
+        }
+        assert!(i < 20_000_000, "workload never exited under sliced execution");
+    }
+    assert_eq!(trace_c, trace_s, "cached sliced traces must be event-identical");
+    assert_eq!(careful.cpu(), stepped.cpu());
+    built.verify(careful.dmem()).unwrap();
 }
 
 #[test]
@@ -220,6 +334,180 @@ fn sliced_block_execution_stops_at_step_engine_boundaries() {
     assert_eq!(trace_b, trace_s, "sliced traces must be event-identical");
     assert_eq!(blocks.cpu(), stepped.cpu());
     built.verify(blocks.dmem()).unwrap();
+}
+
+/// A 100-iteration counting loop: one-word `li`, two-op body, backward
+/// `bnei` — the shape the trace tier chains. Returns the program plus
+/// the body and guard-word PCs.
+fn hot_loop() -> (mb_isa::Program, u32, u32) {
+    let mut a = Assembler::new(0);
+    a.li(Reg::R3, 100);
+    a.label("top");
+    a.push(Insn::addik(Reg::R4, Reg::R4, 5));
+    a.push(Insn::addik(Reg::R3, Reg::R3, -1));
+    a.bnei(Reg::R3, "top");
+    a.li(Reg::R31, EXIT_PORT_BASE as i32);
+    a.push(Insn::swi(Reg::R0, Reg::R31, 0));
+    (a.finish().unwrap(), 4, 12)
+}
+
+#[test]
+fn mid_trace_patches_to_body_and_guard_words_take_effect() {
+    // Run one slice so the loop trace is chained and hot, then — in the
+    // warp-online hot-patch window between slices — rewrite both a body
+    // word and the guard word itself. The stale trace must be dropped:
+    // the patched body executes and the patched (no longer a branch)
+    // guard word falls through to the exit. Every engine must agree.
+    let run = |config: &MbConfig| {
+        let (program, body_pc, guard_pc) = hot_loop();
+        let mut sys = System::new(config.clone());
+        sys.load_program(&program).unwrap();
+        let out = sys.run_slice(100, &mut NullSink).unwrap();
+        assert!(!out.exited(), "slice must stop mid-loop");
+        sys.imem_mut().write_word(body_pc, encode(&Insn::addik(Reg::R4, Reg::R4, 7))).unwrap();
+        sys.imem_mut().write_word(guard_pc, encode(&Insn::addik(Reg::R5, Reg::R5, 1))).unwrap();
+        let out = sys.run(1_000_000).unwrap();
+        assert!(out.exited());
+        sys
+    };
+    let traces = run(&fast_config());
+    let blocks = run(&block_config());
+    let stepped = run(&step_config());
+    let reference = run(&reference_config());
+    assert_eq!(traces.cpu().reg(Reg::R5), 1, "patched guard word must execute");
+    assert_eq!(traces.cpu(), stepped.cpu());
+    assert_eq!(traces.stats(), stepped.stats());
+    assert_eq!(blocks.cpu(), stepped.cpu());
+    assert_eq!(blocks.stats(), stepped.stats());
+    assert_eq!(reference.cpu(), stepped.cpu());
+}
+
+#[test]
+fn write_log_overflow_mid_slice_still_invalidates_traces() {
+    // Overflow the imem write log (`WRITE_LOG_CAP` spans) with scattered
+    // writes to unreachable words before patching the hot body: the
+    // incremental invalidation path gives up and the store must fall
+    // back to a full flush that still drops the stale block and trace.
+    let run = |config: &MbConfig| {
+        let (program, body_pc, _) = hot_loop();
+        let mut sys = System::new(config.clone());
+        sys.load_program(&program).unwrap();
+        let out = sys.run_slice(100, &mut NullSink).unwrap();
+        assert!(!out.exited(), "slice must stop mid-loop");
+        for i in 0..12u32 {
+            sys.imem_mut()
+                .write_word(0x8000 + i * 64, encode(&Insn::addik(Reg::R5, Reg::R5, 1)))
+                .unwrap();
+        }
+        sys.imem_mut().write_word(body_pc, encode(&Insn::addik(Reg::R4, Reg::R4, 7))).unwrap();
+        let out = sys.run(1_000_000).unwrap();
+        assert!(out.exited());
+        sys
+    };
+    let traces = run(&fast_config());
+    let blocks = run(&block_config());
+    let stepped = run(&step_config());
+    assert_eq!(traces.cpu(), stepped.cpu());
+    assert_eq!(traces.stats(), stepped.stats());
+    assert_eq!(blocks.cpu(), stepped.cpu());
+    assert_eq!(blocks.stats(), stepped.stats());
+}
+
+#[test]
+fn guard_failure_side_exit_resumes_at_the_architectural_boundary() {
+    // A nested loop: the inner guard fails every 4th iteration (side
+    // exit to the outer decrement, a non-chainable forward fall-
+    // through), and the outer backward branch re-enters the inner
+    // trace. Slice budgets force boundaries inside and around the
+    // side exits; everything must match the step engine exactly.
+    let program = {
+        let mut a = Assembler::new(0);
+        a.li(Reg::R10, 25); // outer iterations
+        a.label("outer");
+        a.li(Reg::R3, 4); // inner iterations
+        a.label("inner");
+        a.push(Insn::addik(Reg::R4, Reg::R4, 3));
+        a.push(Insn::addik(Reg::R3, Reg::R3, -1));
+        a.bnei(Reg::R3, "inner");
+        a.push(Insn::addik(Reg::R10, Reg::R10, -1));
+        a.bnei(Reg::R10, "outer");
+        a.li(Reg::R31, EXIT_PORT_BASE as i32);
+        a.push(Insn::swi(Reg::R0, Reg::R31, 0));
+        a.finish().unwrap()
+    };
+    for budget in [5u64, 23, 101, 1_000_000] {
+        let mut traces = System::new(fast_config());
+        let mut stepped = System::new(step_config());
+        traces.load_program(&program).unwrap();
+        stepped.load_program(&program).unwrap();
+        let mut trace_t = Trace::new();
+        let mut trace_s = Trace::new();
+        loop {
+            let out_t = traces.run_slice(budget, &mut trace_t).unwrap();
+            let out_s = stepped.run_slice(budget, &mut trace_s).unwrap();
+            assert_eq!(out_t, out_s, "budget {budget} diverged");
+            assert_eq!(traces.cpu().pc(), stepped.cpu().pc(), "budget {budget}: boundary PC");
+            if out_t.exited() {
+                break;
+            }
+        }
+        assert_eq!(trace_t, trace_s, "budget {budget}: event streams must match");
+        assert_eq!(traces.cpu(), stepped.cpu(), "budget {budget}");
+        assert_eq!(traces.stats(), stepped.stats(), "budget {budget}");
+        assert_eq!(traces.cpu().reg(Reg::R4), 25 * 4 * 3);
+    }
+}
+
+#[test]
+fn trailing_imm_guard_prefix_survives_slice_boundaries() {
+    // A loop whose guard needs an `imm` prefix (32-bit backward
+    // displacement): the trailing `imm` fuses into the guard when the
+    // trace chains. A slice boundary landing between the `imm` and the
+    // branch must leave the architectural prefix pending, exactly as
+    // the step engine would — for the trace engine (guard skipped on
+    // budget expiry) and the careful cached path (per-op budget exit)
+    // alike. Full-CPU equality every slice catches a dropped prefix.
+    let program = {
+        let mut a = Assembler::new(0);
+        a.li(Reg::R3, 50);
+        a.push(Insn::addik(Reg::R4, Reg::R4, 9));
+        a.push(Insn::addik(Reg::R3, Reg::R3, -1));
+        a.push(Insn::Imm { imm: -1 });
+        a.push(Insn::Bci { cond: mb_isa::Cond::Ne, ra: Reg::R3, imm: -12, delay: false });
+        a.li(Reg::R31, EXIT_PORT_BASE as i32);
+        a.push(Insn::swi(Reg::R0, Reg::R31, 0));
+        a.finish().unwrap()
+    };
+    let pairs: [(MbConfig, MbConfig); 2] = [
+        (fast_config(), step_config()),
+        (cached_config(fast_config()), cached_config(step_config())),
+    ];
+    for (engine_config, step_config) in pairs {
+        for budget in [1u64, 2, 3, 4, 5, 7, 11] {
+            let mut fast = System::new(engine_config.clone());
+            let mut stepped = System::new(step_config.clone());
+            fast.load_program(&program).unwrap();
+            stepped.load_program(&program).unwrap();
+            let mut trace_f = Trace::new();
+            let mut trace_s = Trace::new();
+            loop {
+                let out_f = fast.run_slice(budget, &mut trace_f).unwrap();
+                let out_s = stepped.run_slice(budget, &mut trace_s).unwrap();
+                assert_eq!(out_f, out_s, "budget {budget} diverged");
+                assert_eq!(
+                    fast.cpu(),
+                    stepped.cpu(),
+                    "budget {budget}: full CPU state (incl. imm prefix) at the boundary"
+                );
+                if out_f.exited() {
+                    break;
+                }
+            }
+            assert_eq!(trace_f, trace_s, "budget {budget}: event streams must match");
+            assert_eq!(fast.stats(), stepped.stats(), "budget {budget}");
+            assert_eq!(fast.cpu().reg(Reg::R4), 50 * 9);
+        }
+    }
 }
 
 #[test]
