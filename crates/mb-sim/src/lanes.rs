@@ -1,0 +1,1051 @@
+//! Lockstep lane engine: N instances of one program executed over
+//! structure-of-arrays state with shared fetch and divergence masks.
+//!
+//! A [`LaneGroup`] runs `LANES` copies of a single binary — different
+//! data, same code — the way a SIMT machine runs a warp: **one**
+//! predecode store, **one** fused-block/megablock-trace store, and one
+//! dispatch loop are shared by every lane, while each lane owns its
+//! architectural column (registers, carry, PC, `imm` prefix, data BRAM,
+//! OPB bus, statistics). While active lanes agree on the PC, whole
+//! blocks and loop traces retire *lane-vectorized*: each lowered
+//! [`Effect`] is matched once and applied across the register planes,
+//! so the per-op dispatch cost — the dominant cost of the scalar
+//! engines — is amortized `LANES`-ways.
+//!
+//! Divergence is handled with a per-lane active mask, never with
+//! speculation: a lane leaves the mask at the exact architectural
+//! boundary the scalar engine would have owned (guard side exit,
+//! per-lane budget expiry, OPB access, fault) and continues on a
+//! lane-native scalar path — the same [`exec_insn`] interpreter the
+//! [`System`] step engine runs, viewed through that lane's plane column
+//! — until it reaches the group's reconvergence PC or the next fused
+//! block head. Lockstep execution is therefore bit-identical to running
+//! the same `LANES` systems sequentially: registers, data memory,
+//! statistics, stop reasons, and slice boundaries all match, which the
+//! lane-fleet equality suite pins across every workload.
+
+use std::sync::Arc;
+
+use mb_isa::{MemSize, Program, Reg};
+
+use crate::block::{exec_effect_lanes, Block, Effect};
+use crate::machine::{exec_insn, Exec, ExecLane, Next};
+use crate::periph::{OpbBus, Peripheral, EXIT_PORT_BASE, OPB_BASE};
+use crate::predecode::Predecoded;
+use crate::{Bram, Cpu, ExecStats, ExitPort, MbConfig, Outcome, RunError, StopReason, System};
+
+/// Stable engine identifier the lockstep lane engine reports in
+/// `BENCH_sim.json` (`lockstep` mode) and the CI schema gate checks —
+/// deliberately not a [`crate::Engine`] variant, because that enum
+/// enumerates the single-instance dispatch tiers of a [`System`].
+pub const LOCKSTEP_ENGINE: &str = "lockstep_lanes";
+
+/// One lane's architectural view over the group's planes: the
+/// [`ExecLane`] implementation that lets the scalar interpreter
+/// [`exec_insn`] run a diverged lane in place — no state swapping, no
+/// second interpreter to keep in sync.
+struct LaneView<'a, const LANES: usize> {
+    regs: &'a mut [[u32; LANES]; 32],
+    carry: &'a mut [bool; LANES],
+    imm: &'a mut [Option<u16>; LANES],
+    dmem: &'a mut Bram,
+    opb: &'a mut OpbBus,
+    lane: usize,
+}
+
+impl<const LANES: usize> ExecLane for LaneView<'_, LANES> {
+    #[inline]
+    fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index() & 31][self.lane]
+    }
+
+    #[inline]
+    fn set_reg(&mut self, r: Reg, v: u32) {
+        self.regs[r.index() & 31][self.lane] = v;
+        self.regs[0][self.lane] = 0;
+    }
+
+    #[inline]
+    fn carry(&self) -> bool {
+        self.carry[self.lane]
+    }
+
+    #[inline]
+    fn set_carry(&mut self, c: bool) {
+        self.carry[self.lane] = c;
+    }
+
+    #[inline]
+    fn set_imm_prefix(&mut self, hi: i16) {
+        self.imm[self.lane] = Some(hi as u16);
+    }
+
+    #[inline]
+    fn take_imm(&mut self, imm16: i16) -> u32 {
+        match self.imm[self.lane].take() {
+            Some(hi) => (u32::from(hi) << 16) | u32::from(imm16 as u16),
+            None => imm16 as i32 as u32,
+        }
+    }
+
+    #[inline]
+    fn clear_imm_prefix(&mut self) {
+        self.imm[self.lane] = None;
+    }
+
+    #[inline]
+    fn lane_load(&mut self, pc: u32, addr: u32, size: MemSize) -> Result<(u32, u32), RunError> {
+        if addr >= OPB_BASE {
+            let Some((m, off)) = self.opb.find(addr) else {
+                return Err(RunError::UnmappedAddress { pc, addr });
+            };
+            let r = m.dev.read(off, self.dmem);
+            Ok((r.value, r.wait))
+        } else {
+            let value = self.dmem.read(addr, size).map_err(|err| RunError::Mem { pc, err })?;
+            Ok((value, 0))
+        }
+    }
+
+    #[inline]
+    fn lane_store(
+        &mut self,
+        pc: u32,
+        addr: u32,
+        value: u32,
+        size: MemSize,
+    ) -> Result<u32, RunError> {
+        if addr >= OPB_BASE {
+            let Some((m, off)) = self.opb.find(addr) else {
+                return Err(RunError::UnmappedAddress { pc, addr });
+            };
+            Ok(m.dev.write(off, value, self.dmem))
+        } else {
+            self.dmem.write(addr, value, size).map_err(|err| RunError::Mem { pc, err })?;
+            Ok(0)
+        }
+    }
+}
+
+/// `LANES` lockstep instances of one program over structure-of-arrays
+/// state, sharing a single predecode and fused-block store.
+///
+/// Construction rejects cache configurations: caches make per-op costs
+/// state-dependent and per-instance, which is exactly what lockstep
+/// retirement amortizes away. (The scalar [`System`] keeps its careful
+/// per-op path for caches-on runs.)
+pub struct LaneGroup<const LANES: usize> {
+    /// Shared fetch side: instruction BRAM, predecode store, and block
+    /// store. Its own CPU/dmem/OPB stay at reset — lanes never touch
+    /// them.
+    sys: System,
+    /// Register planes, register-major: `regs[r][lane]`.
+    regs: [[u32; LANES]; 32],
+    carry: [bool; LANES],
+    imm: [Option<u16>; LANES],
+    pc: [u32; LANES],
+    halted: [Option<u32>; LANES],
+    dmem: Vec<Bram>,
+    opb: Vec<OpbBus>,
+    stats: Vec<ExecStats>,
+}
+
+impl<const LANES: usize> LaneGroup<LANES> {
+    /// Creates a lane group per the configuration, each lane with its
+    /// own data BRAM and an exit port mapped at [`EXIT_PORT_BASE`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration enables an instruction or data
+    /// cache, or if `LANES` is zero.
+    #[must_use]
+    pub fn new(config: MbConfig) -> Self {
+        assert!(LANES > 0, "a lane group needs at least one lane");
+        assert!(
+            config.icache.is_none() && config.dcache.is_none(),
+            "lockstep lanes require a cache-less configuration"
+        );
+        let dmem = (0..LANES).map(|_| Bram::new(config.dmem_bytes)).collect();
+        let opb = (0..LANES)
+            .map(|_| {
+                let mut bus = OpbBus::default();
+                bus.map(EXIT_PORT_BASE, 16, Box::new(ExitPort::new()));
+                bus
+            })
+            .collect();
+        LaneGroup {
+            sys: System::new(config),
+            regs: [[0; LANES]; 32],
+            carry: [false; LANES],
+            imm: [None; LANES],
+            pc: [0; LANES],
+            halted: [None; LANES],
+            dmem,
+            opb,
+            stats: (0..LANES).map(|_| ExecStats::new()).collect(),
+        }
+    }
+
+    /// The number of lanes in the group.
+    #[must_use]
+    pub const fn lanes(&self) -> usize {
+        LANES
+    }
+
+    /// The shared system configuration.
+    #[must_use]
+    pub fn config(&self) -> &MbConfig {
+        self.sys.config()
+    }
+
+    /// Loads a program into the shared instruction memory and points
+    /// every lane's PC at its base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Mem`] if the program does not fit.
+    pub fn load_program(&mut self, program: &Program) -> Result<(), RunError> {
+        self.sys.load_program(program)?;
+        self.pc = [program.base; LANES];
+        Ok(())
+    }
+
+    /// Loads words into one lane's data memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Mem`] if the region does not fit.
+    pub fn load_data(&mut self, lane: usize, addr: u32, words: &[u32]) -> Result<(), RunError> {
+        self.dmem[lane].load_words(addr, words).map_err(|err| RunError::Mem { pc: 0, err })
+    }
+
+    /// Maps a peripheral into one lane's OPB window.
+    pub fn map_peripheral(&mut self, lane: usize, base: u32, size: u32, dev: Box<dyn Peripheral>) {
+        self.opb[lane].map(base, size, dev);
+    }
+
+    /// The shared instruction BRAM.
+    #[must_use]
+    pub fn imem(&self) -> &Bram {
+        self.sys.imem()
+    }
+
+    /// Mutable shared instruction BRAM — the hot-patch interface. A
+    /// patch invalidates the shared predecode and block stores exactly
+    /// as on a [`System`]; every lane observes it from its next fetch.
+    pub fn imem_mut(&mut self) -> &mut Bram {
+        self.sys.imem_mut()
+    }
+
+    /// One lane's data BRAM.
+    #[must_use]
+    pub fn dmem(&self, lane: usize) -> &Bram {
+        &self.dmem[lane]
+    }
+
+    /// Mutable access to one lane's data BRAM (for test setup).
+    pub fn dmem_mut(&mut self, lane: usize) -> &mut Bram {
+        &mut self.dmem[lane]
+    }
+
+    /// One lane's accumulated execution statistics.
+    #[must_use]
+    pub fn stats(&self, lane: usize) -> &ExecStats {
+        &self.stats[lane]
+    }
+
+    /// Whether one lane has written its exit port.
+    #[must_use]
+    pub fn halted(&self, lane: usize) -> Option<u32> {
+        self.halted[lane]
+    }
+
+    /// Materializes one lane's plane column as an ordinary [`Cpu`] —
+    /// the representation the bit-equality suites compare against a
+    /// sequential [`System`] run.
+    #[must_use]
+    pub fn cpu(&self, lane: usize) -> Cpu {
+        let mut cpu = Cpu::new();
+        for (r, plane) in self.regs.iter().enumerate() {
+            cpu.regs_mut()[r] = plane[lane];
+        }
+        cpu.set_pc(self.pc[lane]);
+        cpu.set_carry(self.carry[lane]);
+        cpu.set_imm_prefix_raw(self.imm[lane]);
+        cpu
+    }
+
+    /// Eagerly builds the shared predecode and block stores, exactly as
+    /// [`System::prewarm`] — one warm covers every lane.
+    pub fn prewarm(&mut self) {
+        self.sys.prewarm();
+    }
+
+    /// Borrows one lane's architectural column as an [`ExecLane`].
+    fn lane_view(&mut self, lane: usize) -> LaneView<'_, LANES> {
+        let LaneGroup { regs, carry, imm, dmem, opb, .. } = self;
+        LaneView { regs, carry, imm, dmem: &mut dmem[lane], opb: &mut opb[lane], lane }
+    }
+
+    /// Per-lane mirror of the scalar step engine's statistics
+    /// recording (`System::record` without the sink).
+    #[inline]
+    fn record_lane(&mut self, lane: usize, pc: u32, d: &Predecoded, exec: &Exec) {
+        self.stats[lane].record(d.class, exec.cycles);
+        if let Some(t) = exec.taken {
+            if t {
+                self.stats[lane].branches_taken += 1;
+                if exec.target.is_some_and(|tt| tt <= pc) {
+                    self.stats[lane].backward_taken += 1;
+                }
+            } else {
+                self.stats[lane].branches_not_taken += 1;
+            }
+        }
+    }
+
+    /// Executes one instruction (plus its delay slot if taken) on one
+    /// lane — [`System::step`] viewed through the lane's plane column,
+    /// with fetch going through the shared predecode store.
+    fn step_lane(&mut self, lane: usize) -> Result<u32, RunError> {
+        let pc = self.pc[lane];
+        let d = self.sys.fetch_shared(pc)?;
+        let exec = {
+            let mut view = self.lane_view(lane);
+            exec_insn(&mut view, pc, &d)?
+        };
+        self.record_lane(lane, pc, &d, &exec);
+        let mut total = exec.cycles;
+        let mut touched_opb = exec.ea.is_some_and(|a| a >= OPB_BASE);
+
+        match exec.next {
+            Next::Seq => self.pc[lane] = pc.wrapping_add(4),
+            Next::Jump(t) => self.pc[lane] = t,
+            Next::JumpAfterDelay(t) => {
+                let dpc = pc.wrapping_add(4);
+                let dd = self.sys.fetch_shared(dpc)?;
+                if dd.control_flow {
+                    return Err(RunError::BranchInDelaySlot { pc: dpc });
+                }
+                let dexec = {
+                    let mut view = self.lane_view(lane);
+                    exec_insn(&mut view, dpc, &dd)?
+                };
+                self.record_lane(lane, dpc, &dd, &dexec);
+                total += dexec.cycles;
+                touched_opb |= dexec.ea.is_some_and(|a| a >= OPB_BASE);
+                self.pc[lane] = t;
+            }
+        }
+
+        if (touched_opb || !self.sys.config().predecode) && self.halted[lane].is_none() {
+            self.halted[lane] = self.opb[lane].exit_request();
+        }
+        Ok(total)
+    }
+
+    /// Applies the statistics a vectorized trace dispatch batched up
+    /// for one lane — the per-lane mirror of the scalar engine's
+    /// `flush_trace_stats`.
+    #[inline]
+    fn flush_lane_trace_stats(
+        &mut self,
+        lane: usize,
+        b: &Block,
+        iters: u64,
+        guards: u64,
+        guards_taken: u64,
+        guard_cycles: u64,
+    ) {
+        if iters > 0 {
+            self.stats[lane].record_block_scaled(&b.class_insns, &b.class_cycles, iters);
+        }
+        if guards > 0 {
+            let g = b.guard.as_ref().expect("guard retirements imply a chained guard");
+            self.stats[lane].record_guards(g.class, guard_cycles, guards, guards_taken);
+        }
+    }
+
+    /// Drops one lane out of a vectorized dispatch on a fault, leaving
+    /// it at the exact state the scalar engine's fault path produces:
+    /// retired prefix flushed per-insn, a fused `imm` prefix restored
+    /// before a faulting Type-A access, PC on the faulting op.
+    #[allow(clippy::too_many_arguments)]
+    fn fault_lane(
+        &mut self,
+        lane: usize,
+        b: &Block,
+        i: usize,
+        iters: u64,
+        guards: u64,
+        guards_taken: u64,
+        guard_cycles: u64,
+        err: RunError,
+        done: &mut [Option<Result<Outcome, RunError>>; LANES],
+    ) {
+        if matches!(b.ops[i].effect, Effect::Load { .. } | Effect::Store { .. }) {
+            if let Some(prev) = i.checked_sub(1).map(|p| &b.ops[p]) {
+                if let Effect::ImmFused { hi } = prev.effect {
+                    self.imm[lane] = Some(hi as u16);
+                }
+            }
+        }
+        for op in &b.ops[..i] {
+            self.stats[lane].record(op.class, op.cycles);
+        }
+        self.pc[lane] = b.head.wrapping_add(4 * i as u32);
+        self.flush_lane_trace_stats(lane, b, iters, guards, guards_taken, guard_cycles);
+        done[lane] = Some(Err(err));
+    }
+
+    /// Drops one lane out of a vectorized dispatch after an op touched
+    /// its OPB window — the lane-side mirror of the block engine's OPB
+    /// early-out: the prefix retires per-insn, the exit port is polled,
+    /// and the shared block store learns the split point for every
+    /// lane.
+    #[allow(clippy::too_many_arguments)]
+    fn opb_retire_lane(
+        &mut self,
+        lane: usize,
+        b: &Block,
+        i: usize,
+        last_cycles: u32,
+        body: u64,
+        total: u64,
+        iters: u64,
+        guards: u64,
+        guards_taken: u64,
+        guard_cycles: u64,
+        cycles: &mut [u64; LANES],
+    ) {
+        for op in &b.ops[..i] {
+            self.stats[lane].record(op.class, op.cycles);
+        }
+        self.stats[lane].record(b.ops[i].class, last_cycles);
+        let op_pc = b.head.wrapping_add(4 * i as u32);
+        self.pc[lane] = op_pc.wrapping_add(4);
+        self.sys.learn_opb(op_pc);
+        if self.halted[lane].is_none() {
+            self.halted[lane] = self.opb[lane].exit_request();
+        }
+        self.flush_lane_trace_stats(lane, b, iters, guards, guards_taken, guard_cycles);
+        cycles[lane] += total + body + u64::from(last_cycles);
+    }
+
+    /// Retires one fused block — iterated in place while its loop guard
+    /// holds — across every lane in `mask` simultaneously.
+    ///
+    /// This is the scalar trace loop (`System::exec_block`) transposed:
+    /// each infallible effect is matched once and applied to all active
+    /// lane columns ([`exec_effect_lanes`]); memory ops run lane by
+    /// lane (per-lane dmem/OPB, per-lane faults); the guard evaluates
+    /// per lane and lanes whose trip count ends leave the mask with
+    /// their PC on the side exit. Because every masked lane retires the
+    /// identical op sequence, one set of batch counters (`iters`,
+    /// guard tallies, `total` cycles) is valid for each lane at the
+    /// moment it drops out, so statistics and budgets stay
+    /// bit-identical to sequential runs.
+    ///
+    /// The caller guarantees every masked lane sits at `b.head` with no
+    /// pending `imm` prefix and that the first body fits its remaining
+    /// budget (`b.cycles <= max_cycles - cycles[lane]`).
+    fn exec_block_lanes(
+        &mut self,
+        b: &Block,
+        mut mask: [bool; LANES],
+        max_cycles: u64,
+        cycles: &mut [u64; LANES],
+        done: &mut [Option<Result<Outcome, RunError>>; LANES],
+    ) {
+        debug_assert!((0..LANES).all(|l| {
+            !mask[l] || (self.pc[l] == b.head && self.imm[l].is_none() && done[l].is_none())
+        }));
+        let rem: [u64; LANES] =
+            core::array::from_fn(|l| if mask[l] { max_cycles - cycles[l] } else { 0 });
+        // The tightest masked budget: while `total` stays below it, no
+        // lane can expire and the per-lane budget walk is skippable. A
+        // lane dropping out mid-dispatch only raises the true minimum,
+        // so the cached value stays a safe lower bound.
+        let min_rem = (0..LANES).filter(|&l| mask[l]).map(|l| rem[l]).min().unwrap_or(0);
+        // Fullness powers the vector fast paths: the `FULL` effect
+        // instantiation and the all-lanes guard retirement. Any lane
+        // leaving the mask clears it.
+        let mut full = mask.iter().all(|&m| m);
+        let loops_to_head = b.guard.as_ref().is_some_and(|g| g.target == b.head);
+        let guard_pc = b.head.wrapping_add(4 * b.ops.len() as u32);
+        let mut total = 0u64;
+        let mut iters = 0u64;
+        let mut guards = 0u64;
+        let mut guards_taken = 0u64;
+        let mut guard_cycles = 0u64;
+
+        'iterate: loop {
+            let mut body = 0u64;
+            for (i, op) in b.ops.iter().enumerate() {
+                let vectorized = if full {
+                    exec_effect_lanes::<LANES, true>(
+                        &op.effect,
+                        &mut self.regs,
+                        &mut self.carry,
+                        &mut self.imm,
+                        &mask,
+                    )
+                } else {
+                    exec_effect_lanes::<LANES, false>(
+                        &op.effect,
+                        &mut self.regs,
+                        &mut self.carry,
+                        &mut self.imm,
+                        &mask,
+                    )
+                };
+                if vectorized {
+                    body += u64::from(op.cycles);
+                    continue;
+                }
+                // Memory op: the operands are matched once, then each
+                // lane resolves its own address against its own memory
+                // (per-lane faults and OPB early-outs).
+                let op_pc = b.head.wrapping_add(4 * i as u32);
+                let (size, rd, rai, rbi, imm32, is_store) = match op.effect {
+                    Effect::Load { size, rd, ra, rb } => {
+                        (size, rd, ra.index() & 31, Some(rb.index() & 31), 0, false)
+                    }
+                    Effect::LoadImm { size, rd, ra, imm } => {
+                        (size, rd, ra.index() & 31, None, imm, false)
+                    }
+                    Effect::Store { size, rd, ra, rb } => {
+                        (size, rd, ra.index() & 31, Some(rb.index() & 31), 0, true)
+                    }
+                    Effect::StoreImm { size, rd, ra, imm } => {
+                        (size, rd, ra.index() & 31, None, imm, true)
+                    }
+                    _ => unreachable!("exec_effect_lanes handles every non-memory effect"),
+                };
+                let rdi = rd.index() & 31;
+                // Indexing (not iterating) is load-bearing here: the
+                // body reads several plane rows and calls `&mut self`
+                // fault/retire helpers, which an iterator borrow of any
+                // one plane would block.
+                #[allow(clippy::needless_range_loop)]
+                for l in 0..LANES {
+                    if !mask[l] {
+                        continue;
+                    }
+                    let offset = match rbi {
+                        Some(rb) => self.regs[rb][l],
+                        None => imm32,
+                    };
+                    let addr = self.regs[rai][l].wrapping_add(offset);
+                    if addr >= OPB_BASE {
+                        let opb_wait: Option<u32> = match self.opb[l].find(addr) {
+                            None => None,
+                            Some((m, off)) => Some(if is_store {
+                                let v = self.regs[rdi][l];
+                                m.dev.write(off, v, &mut self.dmem[l])
+                            } else {
+                                let r = m.dev.read(off, &mut self.dmem[l]);
+                                self.regs[rdi][l] = r.value;
+                                if rdi == 0 {
+                                    self.regs[0][l] = 0;
+                                }
+                                r.wait
+                            }),
+                        };
+                        match opb_wait {
+                            None => {
+                                self.fault_lane(
+                                    l,
+                                    b,
+                                    i,
+                                    iters,
+                                    guards,
+                                    guards_taken,
+                                    guard_cycles,
+                                    RunError::UnmappedAddress { pc: op_pc, addr },
+                                    done,
+                                );
+                            }
+                            Some(wait) => {
+                                self.opb_retire_lane(
+                                    l,
+                                    b,
+                                    i,
+                                    op.cycles + wait,
+                                    body,
+                                    total,
+                                    iters,
+                                    guards,
+                                    guards_taken,
+                                    guard_cycles,
+                                    cycles,
+                                );
+                            }
+                        }
+                        mask[l] = false;
+                        full = false;
+                    } else {
+                        let res = if is_store {
+                            let v = self.regs[rdi][l];
+                            self.dmem[l].write(addr, v, size)
+                        } else {
+                            self.dmem[l].read(addr, size).map(|v| {
+                                self.regs[rdi][l] = v;
+                                if rdi == 0 {
+                                    self.regs[0][l] = 0;
+                                }
+                            })
+                        };
+                        if let Err(err) = res {
+                            self.fault_lane(
+                                l,
+                                b,
+                                i,
+                                iters,
+                                guards,
+                                guards_taken,
+                                guard_cycles,
+                                RunError::Mem { pc: op_pc, err },
+                                done,
+                            );
+                            mask[l] = false;
+                            full = false;
+                        }
+                    }
+                }
+                if !mask.iter().any(|&m| m) {
+                    return;
+                }
+                body += u64::from(op.cycles);
+            }
+
+            debug_assert_eq!(body, b.cycles, "static block cost must match actual retirement");
+            iters += 1;
+            total += body;
+
+            let Some(g) = &b.guard else {
+                for l in 0..LANES {
+                    if mask[l] {
+                        self.pc[l] = guard_pc;
+                        self.flush_lane_trace_stats(
+                            l,
+                            b,
+                            iters,
+                            guards,
+                            guards_taken,
+                            guard_cycles,
+                        );
+                        cycles[l] += total;
+                    }
+                }
+                return;
+            };
+
+            // Per-lane budget boundary, before the guard: the scalar
+            // engine stops here still holding a trailing fused `imm`'s
+            // prefix. While `total` is under the tightest masked budget
+            // no lane can have expired, so the walk is skipped outright.
+            if total >= min_rem {
+                for l in 0..LANES {
+                    if mask[l] && total >= rem[l] {
+                        self.pc[l] = guard_pc;
+                        if let Some(Effect::ImmFused { hi }) = b.ops.last().map(|o| o.effect) {
+                            self.imm[l] = Some(hi as u16);
+                        }
+                        self.flush_lane_trace_stats(
+                            l,
+                            b,
+                            iters,
+                            guards,
+                            guards_taken,
+                            guard_cycles,
+                        );
+                        cycles[l] += total;
+                        mask[l] = false;
+                        full = false;
+                    }
+                }
+                if !mask.iter().any(|&m| m) {
+                    return;
+                }
+            }
+
+            // Guard fast path: with every lane active, no link register
+            // to write, and the next body provably inside the tightest
+            // budget, an all-lanes-taken guard needs only the shared
+            // batch counters — the per-lane walk below is pure
+            // bookkeeping for lanes that are provably not leaving.
+            if full
+                && loops_to_head
+                && g.link.is_none()
+                && (total + u64::from(g.lat_taken)).saturating_add(b.cycles) <= min_rem
+                && match g.cond {
+                    None => true,
+                    Some((cond, ra)) => self.regs[ra.index() & 31].iter().all(|&v| cond.eval(v)),
+                }
+            {
+                guards += 1;
+                guards_taken += 1;
+                guard_cycles += u64::from(g.lat_taken);
+                total += u64::from(g.lat_taken);
+                continue 'iterate;
+            }
+
+            // Retire the guard per lane. Lanes whose trip count ends
+            // (guard failed, jumped off-trace, or the next body would
+            // cross a boundary the scalar engine must own) leave the
+            // mask with their batched statistics flushed; the rest
+            // share the taken path and iterate.
+            for l in 0..LANES {
+                if !mask[l] {
+                    continue;
+                }
+                let taken =
+                    g.cond.is_none_or(|(cond, ra)| cond.eval(self.regs[ra.index() & 31][l]));
+                if let Some(rd) = g.link {
+                    let rdi = rd.index() & 31;
+                    self.regs[rdi][l] = guard_pc;
+                    if rdi == 0 {
+                        self.regs[0][l] = 0;
+                    }
+                }
+                let gcycles = if taken { g.lat_taken } else { g.lat_not_taken };
+                let continues = taken
+                    && loops_to_head
+                    && (total + u64::from(gcycles)).saturating_add(b.cycles) <= rem[l];
+                if !continues {
+                    self.pc[l] = if taken { g.target } else { guard_pc.wrapping_add(4) };
+                    self.flush_lane_trace_stats(
+                        l,
+                        b,
+                        iters,
+                        guards + 1,
+                        guards_taken + u64::from(taken),
+                        guard_cycles + u64::from(gcycles),
+                    );
+                    cycles[l] += total + u64::from(gcycles);
+                    mask[l] = false;
+                    full = false;
+                }
+            }
+            if !mask.iter().any(|&m| m) {
+                return;
+            }
+            // Every continuing lane took the guard back to the head.
+            guards += 1;
+            guards_taken += 1;
+            guard_cycles += u64::from(g.lat_taken);
+            total += u64::from(g.lat_taken);
+            continue 'iterate;
+        }
+    }
+
+    /// Advances one diverged lane scalar-style until it reaches the
+    /// group's reconvergence PC, the next fused-block head (a fresh
+    /// vectorization opportunity), its budget, its exit, or an error.
+    /// Each dispatch unit mirrors the scalar `run_budgeted` body
+    /// exactly: try the block/trace at the PC (falling into the sticky
+    /// stepping tail once one no longer fits), otherwise step.
+    #[allow(clippy::too_many_arguments)]
+    fn scalar_advance(
+        &mut self,
+        lane: usize,
+        target: u32,
+        use_blocks: bool,
+        max_cycles: u64,
+        cycles: &mut [u64; LANES],
+        stepping_tail: &mut [bool; LANES],
+        done: &mut [Option<Result<Outcome, RunError>>; LANES],
+    ) {
+        let mut first = true;
+        loop {
+            if done[lane].is_some() || self.halted[lane].is_some() || cycles[lane] >= max_cycles {
+                return;
+            }
+            let eligible = use_blocks && !stepping_tail[lane] && self.imm[lane].is_none();
+            let blk: Option<Arc<Block>> =
+                if eligible { self.sys.block_at(self.pc[lane]) } else { None };
+            if !first && (blk.is_some() || self.pc[lane] == target) {
+                // Reconvergence point: stop so the round scheduler can
+                // regroup this lane with the others.
+                return;
+            }
+            first = false;
+            if let Some(b) = blk {
+                if b.cycles <= max_cycles - cycles[lane] {
+                    let mut mask = [false; LANES];
+                    mask[lane] = true;
+                    self.exec_block_lanes(&b, mask, max_cycles, cycles, done);
+                    continue;
+                }
+                stepping_tail[lane] = true;
+            }
+            match self.step_lane(lane) {
+                Ok(c) => cycles[lane] += u64::from(c),
+                Err(err) => {
+                    done[lane] = Some(Err(err));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs every lane until it exits or consumes `max_cycles` cycles,
+    /// returning one [`Outcome`] (or [`RunError`]) per lane.
+    ///
+    /// Slice semantics match [`System::run_slice`] lane-for-lane: the
+    /// budget is per lane and per call, state persists across calls (a
+    /// halted lane reports `Exited` with zero cycles on later calls),
+    /// and mid-run `imem` patches through [`LaneGroup::imem_mut`] take
+    /// effect on every lane's next fetch.
+    ///
+    /// The scheduler is round-based: each round settles finished lanes,
+    /// picks the most common PC among live lanes as the reconvergence
+    /// point, retires the fused block there lane-vectorized for every
+    /// lane that agrees, and scalar-advances the rest toward the group
+    /// (stopping at the next block head — a diverged lane rejoining the
+    /// loop becomes next round's majority). Every live lane makes
+    /// progress every round, so rounds terminate at the budget.
+    pub fn run(&mut self, max_cycles: u64) -> [Result<Outcome, RunError>; LANES] {
+        let start_insns: [u64; LANES] = core::array::from_fn(|l| self.stats[l].instructions());
+        let mut cycles = [0u64; LANES];
+        let mut done: [Option<Result<Outcome, RunError>>; LANES] = core::array::from_fn(|_| None);
+        let mut stepping_tail = [false; LANES];
+        let use_blocks = self.sys.blocks_enabled();
+
+        loop {
+            // Settle finished lanes. Exit is checked before the budget,
+            // matching the scalar loop's ordering contract: a
+            // retirement that writes the exit port and exhausts the
+            // budget reports `Exited`, never `CycleLimit`.
+            for l in 0..LANES {
+                if done[l].is_some() {
+                    continue;
+                }
+                if let Some(code) = self.halted[l] {
+                    done[l] = Some(Ok(Outcome {
+                        stop: StopReason::Exited(code),
+                        cycles: cycles[l],
+                        instructions: self.stats[l].instructions() - start_insns[l],
+                    }));
+                } else if cycles[l] >= max_cycles {
+                    done[l] = Some(Ok(Outcome {
+                        stop: StopReason::CycleLimit,
+                        cycles: cycles[l],
+                        instructions: self.stats[l].instructions() - start_insns[l],
+                    }));
+                }
+            }
+            let live: [bool; LANES] = core::array::from_fn(|l| done[l].is_none());
+            if !live.iter().any(|&b| b) {
+                break;
+            }
+
+            // Reconvergence PC: the most common live PC (ties to the
+            // lowest) — the loop head the largest subgroup sits at. The
+            // quadratic popularity count only runs on actual divergence;
+            // the common fully-converged round settles with one scan.
+            let first_live_pc = (0..LANES).find(|&l| live[l]).map(|l| self.pc[l]).unwrap_or(0);
+            let conv_pc = if (0..LANES).all(|l| !live[l] || self.pc[l] == first_live_pc) {
+                first_live_pc
+            } else {
+                let mut conv_pc = 0u32;
+                let mut conv_n = 0usize;
+                for l in 0..LANES {
+                    if !live[l] {
+                        continue;
+                    }
+                    let p = self.pc[l];
+                    let n = (0..LANES).filter(|&k| live[k] && self.pc[k] == p).count();
+                    if n > conv_n || (n == conv_n && p < conv_pc) {
+                        conv_pc = p;
+                        conv_n = n;
+                    }
+                }
+                conv_pc
+            };
+
+            let mut handled = [false; LANES];
+            if use_blocks {
+                let mut mask: [bool; LANES] = core::array::from_fn(|l| {
+                    live[l] && self.pc[l] == conv_pc && self.imm[l].is_none() && !stepping_tail[l]
+                });
+                if mask.iter().any(|&m| m) {
+                    if let Some(b) = self.sys.block_at(conv_pc) {
+                        for l in 0..LANES {
+                            if mask[l] && b.cycles > max_cycles - cycles[l] {
+                                // Sticky stepping tail, exactly as the
+                                // scalar dispatch loop: this lane owns
+                                // its budget boundary instruction by
+                                // instruction from here on.
+                                mask[l] = false;
+                                stepping_tail[l] = true;
+                            }
+                        }
+                        if mask.iter().any(|&m| m) {
+                            handled = mask;
+                            self.exec_block_lanes(&b, mask, max_cycles, &mut cycles, &mut done);
+                        }
+                    }
+                }
+            }
+
+            for l in 0..LANES {
+                if live[l] && !handled[l] {
+                    self.scalar_advance(
+                        l,
+                        conv_pc,
+                        use_blocks,
+                        max_cycles,
+                        &mut cycles,
+                        &mut stepping_tail,
+                        &mut done,
+                    );
+                }
+            }
+        }
+
+        done.map(|d| d.expect("every lane settled before the rounds ended"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_isa::{Assembler, Insn, Reg};
+
+    /// Countdown loop: r3 starts from dmem[0], decrements to zero, then
+    /// stores r4 (accumulated sum) and exits with code from r5.
+    fn loop_program() -> Program {
+        let mut a = Assembler::new(0);
+        a.push(Insn::lwi(Reg::R3, Reg::R0, 0)); // r3 = dmem[0] (trip count)
+        a.li(Reg::R4, 0);
+        a.label("loop");
+        a.push(Insn::addk(Reg::R4, Reg::R4, Reg::R3));
+        a.push(Insn::addik(Reg::R3, Reg::R3, -1));
+        a.bnei(Reg::R3, "loop");
+        a.push(Insn::swi(Reg::R4, Reg::R0, 4)); // dmem[4] = sum
+        a.li(Reg::R5, EXIT_PORT_BASE as i32);
+        a.push(Insn::swi(Reg::R4, Reg::R5, 0)); // exit(sum)
+        a.finish().unwrap()
+    }
+
+    fn run_sequential(
+        program: &Program,
+        trips: u32,
+        config: &MbConfig,
+    ) -> (Outcome, Cpu, ExecStats) {
+        let mut sys = System::new(config.clone());
+        sys.load_program(program).unwrap();
+        sys.load_data(0, &[trips]).unwrap();
+        let outcome = sys.run(1_000_000).unwrap();
+        (outcome, sys.cpu().clone(), sys.stats().clone())
+    }
+
+    #[test]
+    fn lockstep_matches_sequential_with_divergent_trip_counts() {
+        let program = loop_program();
+        let config = MbConfig::paper_default();
+        let trips = [3u32, 17, 1, 64];
+
+        let mut group: LaneGroup<4> = LaneGroup::new(config.clone());
+        group.load_program(&program).unwrap();
+        for (l, &t) in trips.iter().enumerate() {
+            group.load_data(l, 0, &[t]).unwrap();
+        }
+        let results = group.run(1_000_000);
+
+        for (l, &t) in trips.iter().enumerate() {
+            let (seq_outcome, seq_cpu, seq_stats) = run_sequential(&program, t, &config);
+            let lane_outcome = results[l].as_ref().unwrap();
+            assert_eq!(*lane_outcome, seq_outcome, "lane {l} outcome");
+            assert_eq!(group.cpu(l), seq_cpu, "lane {l} cpu");
+            assert_eq!(*group.stats(l), seq_stats, "lane {l} stats");
+            let expected_sum = (1..=t).sum::<u32>();
+            assert_eq!(group.dmem(l).read_word(4).unwrap(), expected_sum, "lane {l} dmem");
+            assert_eq!(group.halted(l), Some(expected_sum), "lane {l} exit code");
+        }
+    }
+
+    #[test]
+    fn lockstep_matches_sequential_on_every_engine_config() {
+        let program = loop_program();
+        let trips = [5u32, 9];
+        for (predecode, blocks, traces) in
+            [(true, true, true), (true, true, false), (true, false, false), (false, false, false)]
+        {
+            let config = MbConfig::paper_default()
+                .with_predecode(predecode)
+                .with_blocks(blocks)
+                .with_traces(traces);
+            let mut group: LaneGroup<2> = LaneGroup::new(config.clone());
+            group.load_program(&program).unwrap();
+            for (l, &t) in trips.iter().enumerate() {
+                group.load_data(l, 0, &[t]).unwrap();
+            }
+            let results = group.run(1_000_000);
+            for (l, &t) in trips.iter().enumerate() {
+                let (seq_outcome, seq_cpu, seq_stats) = run_sequential(&program, t, &config);
+                assert_eq!(*results[l].as_ref().unwrap(), seq_outcome);
+                assert_eq!(group.cpu(l), seq_cpu);
+                assert_eq!(*group.stats(l), seq_stats);
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_budget_slices_match_one_sequential_run() {
+        let program = loop_program();
+        let config = MbConfig::paper_default();
+        let trips = [40u32, 11, 27];
+
+        let mut group: LaneGroup<3> = LaneGroup::new(config.clone());
+        group.load_program(&program).unwrap();
+        for (l, &t) in trips.iter().enumerate() {
+            group.load_data(l, 0, &[t]).unwrap();
+        }
+        // Tiny slices force mid-trace budget expiry and stepping tails.
+        let mut lane_cycles = [0u64; 3];
+        for _ in 0..10_000 {
+            let results = group.run(7);
+            for (l, r) in results.iter().enumerate() {
+                lane_cycles[l] += r.as_ref().unwrap().cycles;
+            }
+            if (0..3).all(|l| group.halted(l).is_some()) {
+                break;
+            }
+        }
+        for (l, &t) in trips.iter().enumerate() {
+            let (seq_outcome, seq_cpu, seq_stats) = run_sequential(&program, t, &config);
+            assert_eq!(seq_outcome.cycles, lane_cycles[l], "lane {l} sliced cycle total");
+            assert_eq!(group.cpu(l), seq_cpu, "lane {l} cpu after slicing");
+            assert_eq!(*group.stats(l), seq_stats, "lane {l} stats after slicing");
+        }
+    }
+
+    #[test]
+    fn lane_group_rejects_cache_configs() {
+        let mut config = MbConfig::paper_default();
+        config.icache = Some(crate::cache::CacheConfig::small());
+        let result = std::panic::catch_unwind(|| LaneGroup::<2>::new(config));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn halted_lane_reports_exited_with_zero_cycles_on_rerun() {
+        let program = loop_program();
+        let mut group: LaneGroup<2> = LaneGroup::new(MbConfig::paper_default());
+        group.load_program(&program).unwrap();
+        group.load_data(0, 0, &[2]).unwrap();
+        group.load_data(1, 0, &[4]).unwrap();
+        let first = group.run(1_000_000);
+        assert!(first.iter().all(|r| r.as_ref().unwrap().exited()));
+        let second = group.run(1_000_000);
+        for r in &second {
+            let o = r.as_ref().unwrap();
+            assert!(o.exited());
+            assert_eq!(o.cycles, 0);
+            assert_eq!(o.instructions, 0);
+        }
+    }
+}

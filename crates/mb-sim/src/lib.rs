@@ -43,6 +43,7 @@ mod block;
 pub mod cache;
 mod config;
 mod cpu;
+mod lanes;
 mod machine;
 mod mem;
 mod periph;
@@ -54,6 +55,7 @@ mod trace;
 
 pub use config::{MbConfig, MB_CLOCK_HZ};
 pub use cpu::Cpu;
+pub use lanes::{LaneGroup, LOCKSTEP_ENGINE};
 pub use machine::{Engine, Outcome, RunError, StopReason, System};
 pub use mem::{Bram, MemError};
 pub use periph::{BusResponse, ExitPort, Peripheral, EXIT_PORT_BASE, OPB_BASE};

@@ -209,6 +209,7 @@ impl Bram {
         &self.words
     }
 
+    #[inline]
     fn word_index(&self, addr: u32, align: u32) -> Result<usize, MemError> {
         if !addr.is_multiple_of(align) {
             return Err(MemError::Misaligned { addr, align });
@@ -225,6 +226,7 @@ impl Bram {
     /// # Errors
     ///
     /// Returns [`MemError`] on misalignment or out-of-range access.
+    #[inline]
     pub fn read_word(&self, addr: u32) -> Result<u32, MemError> {
         Ok(self.words[self.word_index(addr, 4)?])
     }
@@ -234,6 +236,7 @@ impl Bram {
     /// # Errors
     ///
     /// Returns [`MemError`] on misalignment or out-of-range access.
+    #[inline]
     pub fn write_word(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
         let idx = self.word_index(addr, 4)?;
         self.words[idx] = value;
@@ -247,6 +250,7 @@ impl Bram {
     /// # Errors
     ///
     /// Returns [`MemError`] on misalignment or out-of-range access.
+    #[inline]
     pub fn read(&self, addr: u32, size: MemSize) -> Result<u32, MemError> {
         match size {
             MemSize::Word => self.read_word(addr),
@@ -271,6 +275,7 @@ impl Bram {
     /// # Errors
     ///
     /// Returns [`MemError`] on misalignment or out-of-range access.
+    #[inline]
     pub fn write(&mut self, addr: u32, value: u32, size: MemSize) -> Result<(), MemError> {
         match size {
             MemSize::Word => self.write_word(addr, value),

@@ -20,23 +20,44 @@
 //!   batched `retire_block` hook;
 //! * `full_trace` — trace engine recording the complete event vector.
 //!
+//! A seventh measurement covers the lockstep lane engine: one
+//! [`LaneGroup`] executing [`LOCKSTEP_LANES`] seeded instances of each
+//! workload against the same instances run sequentially on the trace
+//! engine, with per-lane outcomes asserted bit-identical before any
+//! number is published.
+//!
 //! Every mode asserts [`System::active_engine`] before timing — the
 //! engine measured is the engine claimed, never a silent downgrade.
 //! Simulated cycle/instruction counts are identical across all six
 //! modes (asserted here, locked in by `tests/sim_fast_path.rs`); only
 //! host speed differs. [`SimPerf::to_json`] emits the `BENCH_sim.json`
-//! document (schema `warp-mb/bench-sim/v3`) CI validates and archives
+//! document (schema `warp-mb/bench-sim/v4`) CI validates and archives
 //! per PR; the schema is documented in the README's "Performance"
 //! section.
 
 use mb_isa::{MbFeatures, OpClass};
-use mb_sim::{Engine, MbConfig, NullSink, Outcome, StopReason, System, Trace, TraceSummary};
+use mb_sim::{
+    Engine, LaneGroup, MbConfig, NullSink, Outcome, StopReason, System, Trace, TraceSummary,
+    LOCKSTEP_ENGINE,
+};
 use workloads::BuiltWorkload;
 
 use crate::measure::best_of_seconds_with;
 
 /// Cycle budget per measured run (matches the warp flow's default).
 const MAX_CYCLES: u64 = 500_000_000;
+
+/// Lanes in the lockstep measurement: eight seeded instances of each
+/// workload executed by one [`LaneGroup`] against the same eight run
+/// sequentially on the trace engine.
+pub const LOCKSTEP_LANES: usize = 8;
+
+/// Per-workload advisory floor for `trace_speedup_vs_block`: workloads
+/// below it are listed in the JSON `below_floor` array and warned about
+/// on stderr. (The *aggregate* floor is the CI gate; a single workload
+/// whose loop bodies are too large to gain from trace chaining — `idct`
+/// — sits below this today and is reported, not failed.)
+pub const PER_WORKLOAD_TRACE_FLOOR: f64 = 1.5;
 
 /// One run mode's measurement for one workload.
 #[derive(Clone, Copy, Debug)]
@@ -108,6 +129,87 @@ impl WorkloadPerf {
     }
 }
 
+/// One workload's lockstep-vs-sequential measurement.
+#[derive(Clone, Debug)]
+pub struct LockstepWorkloadPerf {
+    /// Benchmark name.
+    pub name: String,
+    /// Instructions retired across all lanes (identical in both modes).
+    pub instructions: u64,
+    /// One [`LaneGroup`] running [`LOCKSTEP_LANES`] seeded instances.
+    pub lockstep: ModePerf,
+    /// The same seeded instances run one after another on the trace
+    /// engine.
+    pub sequential: ModePerf,
+}
+
+impl LockstepWorkloadPerf {
+    /// Host speedup of the lane group over the sequential runs.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.sequential.seconds / self.lockstep.seconds
+    }
+}
+
+/// The lockstep lane engine's suite measurement.
+#[derive(Clone, Debug)]
+pub struct LockstepPerf {
+    /// Lanes per group ([`LOCKSTEP_LANES`]).
+    pub lanes: usize,
+    /// Per-workload results in suite order.
+    pub workloads: Vec<LockstepWorkloadPerf>,
+}
+
+impl LockstepPerf {
+    /// Renders the human-readable lockstep table the binary prints.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = format!(
+            "{:>10} | {:>12} {:>12} {:>12} {:>8}\n",
+            "benchmark", "insns(all)", "seq Mi/s", "lock Mi/s", "laneup"
+        );
+        out.push_str(&"-".repeat(62));
+        out.push('\n');
+        for w in &self.workloads {
+            out.push_str(&format!(
+                "{:>10} | {:>12} {:>12.1} {:>12.1} {:>7.2}x\n",
+                w.name,
+                w.instructions,
+                w.sequential.minsn_per_s,
+                w.lockstep.minsn_per_s,
+                w.speedup(),
+            ));
+        }
+        out.push_str(&format!(
+            "{:>10} | {:>12} {:>12.1} {:>12.1} {:>7.2}x\n",
+            "suite",
+            self.workloads.iter().map(|w| w.instructions).sum::<u64>(),
+            self.aggregate_minsn(|w| w.sequential),
+            self.aggregate_minsn(|w| w.lockstep),
+            self.aggregate_speedup(),
+        ));
+        out
+    }
+
+    /// Suite-level Minsn/s for a mode.
+    #[must_use]
+    pub fn aggregate_minsn(&self, mode: impl Fn(&LockstepWorkloadPerf) -> ModePerf) -> f64 {
+        let insns: f64 = self.workloads.iter().map(|w| w.instructions as f64).sum();
+        let secs: f64 = self.workloads.iter().map(|w| mode(w).seconds).sum();
+        insns / secs.max(1e-9) / 1e6
+    }
+
+    /// Suite-level lockstep speedup over sequential (total seconds over
+    /// total seconds) — the number the `SIMPERF_LANES_FLOOR` CI gate
+    /// watches.
+    #[must_use]
+    pub fn aggregate_speedup(&self) -> f64 {
+        let seq: f64 = self.workloads.iter().map(|w| w.sequential.seconds).sum();
+        let lock: f64 = self.workloads.iter().map(|w| w.lockstep.seconds).sum();
+        seq / lock.max(1e-9)
+    }
+}
+
 /// The whole suite's measurements.
 #[derive(Clone, Debug)]
 pub struct SimPerf {
@@ -117,6 +219,8 @@ pub struct SimPerf {
     pub reps: usize,
     /// Per-workload results in suite order.
     pub workloads: Vec<WorkloadPerf>,
+    /// Lockstep lane-engine measurement over the same suite.
+    pub lockstep: LockstepPerf,
 }
 
 impl SimPerf {
@@ -167,10 +271,25 @@ impl SimPerf {
         self.totals(|w| w.reference.seconds) / self.totals(|w| w.trace.seconds).max(1e-9)
     }
 
+    /// Workloads whose per-workload `trace_speedup_vs_block` sits below
+    /// [`PER_WORKLOAD_TRACE_FLOOR`] — outliers reported in the JSON
+    /// `below_floor` array and warned about on stderr by the harness
+    /// binary.
+    #[must_use]
+    pub fn below_floor(&self) -> Vec<(&str, f64)> {
+        self.workloads
+            .iter()
+            .filter(|w| w.trace_speedup() < PER_WORKLOAD_TRACE_FLOOR)
+            .map(|w| (w.name.as_str(), w.trace_speedup()))
+            .collect()
+    }
+
     /// Renders the `BENCH_sim.json` document (schema
-    /// `warp-mb/bench-sim/v3`: v2 plus the `trace` mode, a per-mode
-    /// `engine` field recording the asserted [`Engine`], and the
-    /// trace-speedup columns).
+    /// `warp-mb/bench-sim/v4`: v3 plus the `lockstep` mode block — one
+    /// [`LaneGroup`] of [`LOCKSTEP_LANES`] seeded instances vs. the same
+    /// instances run sequentially on the trace engine, with a `lanes`
+    /// field — and the `below_floor` outlier list for per-workload
+    /// trace-vs-block speedups).
     #[must_use]
     pub fn to_json(&self) -> String {
         let mode_json = |m: &ModePerf| {
@@ -180,7 +299,7 @@ impl SimPerf {
             )
         };
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"warp-mb/bench-sim/v3\",\n");
+        out.push_str("  \"schema\": \"warp-mb/bench-sim/v4\",\n");
         out.push_str(&format!("  \"mode\": \"{}\",\n", if self.smoke { "smoke" } else { "full" }));
         out.push_str(&format!("  \"reps\": {},\n", self.reps));
         out.push_str(&format!("  \"mb_clock_hz\": {},\n", mb_sim::MB_CLOCK_HZ));
@@ -209,6 +328,41 @@ impl SimPerf {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"below_floor\": [{}],\n",
+            self.below_floor()
+                .iter()
+                .map(|(name, speedup)| format!(
+                    r#"{{"name": "{name}", "trace_speedup_vs_block": {speedup:.3}, "floor": {PER_WORKLOAD_TRACE_FLOOR}}}"#
+                ))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+        out.push_str(&format!("  \"lockstep\": {{\"lanes\": {},\n", self.lockstep.lanes));
+        out.push_str("    \"workloads\": [\n");
+        for (i, w) in self.lockstep.workloads.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"name\": \"{}\", \"instructions\": {}, \
+                 \"modes\": {{\"lockstep\": {}, \"sequential\": {}}}, \
+                 \"lockstep_speedup_vs_sequential\": {:.3}}}{}\n",
+                w.name,
+                w.instructions,
+                mode_json(&w.lockstep),
+                mode_json(&w.sequential),
+                w.speedup(),
+                if i + 1 == self.lockstep.workloads.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("    ],\n");
+        out.push_str(&format!(
+            "    \"aggregate\": {{\"lockstep_minsn_per_s\": {:.3}, \
+             \"sequential_minsn_per_s\": {:.3}, \
+             \"lockstep_speedup_vs_sequential\": {:.3}}}\n",
+            self.lockstep.aggregate_minsn(|w| w.lockstep),
+            self.lockstep.aggregate_minsn(|w| w.sequential),
+            self.lockstep.aggregate_speedup(),
+        ));
+        out.push_str("  },\n");
         out.push_str(&format!(
             "  \"aggregate\": {{\"trace_minsn_per_s\": {:.3}, \"block_minsn_per_s\": {:.3}, \
              \"predecoded_minsn_per_s\": {:.3}, \
@@ -426,11 +580,121 @@ pub fn measure_workload(workload: &workloads::Workload, reps: usize) -> Workload
     }
 }
 
+/// Measures one workload's lockstep-vs-sequential throughput: one
+/// [`LaneGroup`] executing [`LOCKSTEP_LANES`] seeded instances of the
+/// program against the same builds run one after another on the trace
+/// engine. Both sides assert bit-identical per-lane [`Outcome`]s against
+/// an untimed reference pass (which also verifies the seeded golden
+/// results), so the published speedup compares equal work.
+#[must_use]
+pub fn measure_lockstep(workload: &workloads::Workload, reps: usize) -> LockstepWorkloadPerf {
+    const SEED_BASE: u64 = 0x10C4_57E9;
+    let config = MbConfig::paper_default();
+    let builds: [BuiltWorkload; LOCKSTEP_LANES] = core::array::from_fn(|lane| {
+        workload.build_seeded(MbFeatures::paper_default(), SEED_BASE + lane as u64)
+    });
+
+    let expected: Vec<Outcome> = builds
+        .iter()
+        .map(|b| {
+            let mut sys = b.instantiate(&config);
+            let out = sys.run(MAX_CYCLES).expect("workload runs");
+            assert!(out.exited(), "{}: seeded run must exit", workload.name);
+            b.verify(sys.dmem()).expect("seeded golden results hold");
+            out
+        })
+        .collect();
+    let instructions: u64 = expected.iter().map(|o| o.instructions).sum();
+
+    // Same batching rationale as `time_mode`: amortize timer noise over
+    // a batch of independent runs built and checked off the clock.
+    const TIMED_BATCH: usize = 4;
+    let t_lock = best_of_seconds_with(
+        reps,
+        || {
+            (0..TIMED_BATCH)
+                .map(|_| {
+                    let mut group: LaneGroup<LOCKSTEP_LANES> =
+                        workloads::instantiate_lanes(&builds, &config);
+                    group.prewarm();
+                    group
+                })
+                .collect::<Vec<_>>()
+        },
+        |groups| groups.into_iter().map(|mut g| g.run(MAX_CYCLES)).collect::<Vec<_>>(),
+        |batches| {
+            for results in batches {
+                for (lane, r) in results.iter().enumerate() {
+                    let out = r.as_ref().expect("lane runs");
+                    assert_eq!(
+                        out, &expected[lane],
+                        "{}: lockstep lane {lane} must match its sequential run",
+                        workload.name
+                    );
+                }
+            }
+        },
+    ) / TIMED_BATCH as f64;
+
+    let t_seq = best_of_seconds_with(
+        reps,
+        || {
+            (0..TIMED_BATCH)
+                .map(|_| {
+                    builds
+                        .iter()
+                        .map(|b| {
+                            let mut sys = b.instantiate(&config);
+                            sys.prewarm();
+                            sys
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        },
+        |batch| {
+            batch
+                .into_iter()
+                .map(|systems| {
+                    systems
+                        .into_iter()
+                        .map(|mut sys| sys.run_with_sink(MAX_CYCLES, &mut NullSink).unwrap())
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        },
+        |batches| {
+            for outcomes in batches {
+                for (lane, out) in outcomes.iter().enumerate() {
+                    assert_eq!(out, &expected[lane], "{}: sequential lane {lane}", workload.name);
+                }
+            }
+        },
+    ) / TIMED_BATCH as f64;
+
+    let lock_seconds = t_lock.max(1e-9);
+    LockstepWorkloadPerf {
+        name: workload.name.into(),
+        instructions,
+        lockstep: ModePerf {
+            seconds: lock_seconds,
+            minsn_per_s: instructions as f64 / lock_seconds / 1e6,
+            engine: LOCKSTEP_ENGINE,
+        },
+        sequential: ModePerf::from_best(t_seq, instructions, Engine::Trace),
+    }
+}
+
 /// Measures the whole paper suite.
 #[must_use]
 pub fn measure_suite(reps: usize, smoke: bool) -> SimPerf {
-    let workloads = workloads::paper_suite().iter().map(|w| measure_workload(w, reps)).collect();
-    SimPerf { smoke, reps, workloads }
+    let suite = workloads::paper_suite();
+    let workloads = suite.iter().map(|w| measure_workload(w, reps)).collect();
+    let lockstep = LockstepPerf {
+        lanes: LOCKSTEP_LANES,
+        workloads: suite.iter().map(|w| measure_lockstep(w, reps)).collect(),
+    };
+    SimPerf { smoke, reps, workloads, lockstep }
 }
 
 #[cfg(test)]
@@ -453,13 +717,26 @@ mod tests {
                 summary: mode(0.06, Engine::Trace),
                 full_trace: mode(0.2, Engine::Trace),
             }],
+            lockstep: LockstepPerf {
+                lanes: LOCKSTEP_LANES,
+                workloads: vec![LockstepWorkloadPerf {
+                    name: "brev".into(),
+                    instructions: 8_000_000,
+                    lockstep: ModePerf {
+                        seconds: 0.05,
+                        minsn_per_s: 8_000_000.0 / 0.05 / 1e6,
+                        engine: LOCKSTEP_ENGINE,
+                    },
+                    sequential: ModePerf::from_best(0.2, 8_000_000, Engine::Trace),
+                }],
+            },
         }
     }
 
     #[test]
     fn json_has_schema_and_balanced_structure() {
         let json = synthetic().to_json();
-        assert!(json.contains("\"schema\": \"warp-mb/bench-sim/v3\""));
+        assert!(json.contains("\"schema\": \"warp-mb/bench-sim/v4\""));
         assert!(json.contains("\"trace_speedup_vs_block\""));
         assert!(json.contains("\"block_speedup_vs_predecoded\""));
         assert!(json.contains("\"predecoded_speedup_vs_reference\""));
@@ -469,11 +746,43 @@ mod tests {
         assert!(json.contains("\"engine\": \"predecoded_step\""));
         assert!(json.contains("\"engine\": \"reference_decode_per_fetch\""));
         assert!(json.contains("\"trace_minsn_per_s\""));
+        assert!(json.contains("\"below_floor\": ["));
+        assert!(json.contains("\"lockstep\": {\"lanes\": 8"));
+        assert!(json.contains("\"engine\": \"lockstep_lanes\""));
+        assert!(json.contains("\"lockstep_speedup_vs_sequential\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert_eq!(json.matches('"').count() % 2, 0, "quotes must pair");
         // No NaN/inf can ever leak into the document.
         assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn below_floor_flags_only_outliers() {
+        let mut p = synthetic();
+        // Synthetic trace speedup is 2.0 — above the 1.5 floor.
+        assert!(p.below_floor().is_empty());
+        // Slow the trace mode below the floor and it must be listed.
+        p.workloads[0].trace = ModePerf::from_best(0.045, 1_000_000, Engine::Trace);
+        let below = p.below_floor();
+        assert_eq!(below.len(), 1);
+        assert_eq!(below[0].0, "brev");
+        assert!(below[0].1 < PER_WORKLOAD_TRACE_FLOOR);
+        let json = p.to_json();
+        assert!(json.contains(r#""below_floor": [{"name": "brev""#));
+    }
+
+    #[test]
+    fn lockstep_speedups_follow_the_seconds() {
+        let p = synthetic();
+        let w = &p.lockstep.workloads[0];
+        assert!((w.speedup() - 4.0).abs() < 1e-9);
+        assert!((p.lockstep.aggregate_speedup() - 4.0).abs() < 1e-9);
+        assert!((p.lockstep.aggregate_minsn(|w| w.lockstep) - 160.0).abs() < 1e-6);
+        assert!((p.lockstep.aggregate_minsn(|w| w.sequential) - 40.0).abs() < 1e-6);
+        let table = p.lockstep.render_table();
+        assert!(table.contains("laneup"));
+        assert!(table.contains("suite"));
     }
 
     #[test]

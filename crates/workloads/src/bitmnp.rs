@@ -43,8 +43,18 @@ fn input_data() -> Vec<u32> {
     common::lcg_fill(N, 0xB17_0001, 22_695_477, 1)
 }
 
+/// Builds `bitmnp` with input words drawn from `seed` (the program is
+/// identical to [`build`]; only data and expected results change).
+pub fn build_seeded(features: MbFeatures, seed: u64) -> BuiltWorkload {
+    build_with_input(features, common::seeded_words(N, seed, 0xB17))
+}
+
 /// Builds `bitmnp` for a feature configuration.
 pub fn build(features: MbFeatures) -> BuiltWorkload {
+    build_with_input(features, input_data())
+}
+
+fn build_with_input(features: MbFeatures, input: Vec<u32>) -> BuiltWorkload {
     let mut cg = CodeGen::new(0, features);
     cg.asm_mut().equ("in", IN_ADDR).unwrap();
     cg.asm_mut().equ("out", OUT_ADDR).unwrap();
@@ -110,7 +120,6 @@ pub fn build(features: MbFeatures) -> BuiltWorkload {
         tail: program.symbol("k_tail").unwrap(),
     };
 
-    let input = input_data();
     let output = golden(&input);
     let pre = input.iter().take(SETUP_N).fold(0u32, |a, &x| a.wrapping_add(x));
     let csum = common::checksum(&output[..CSUM_N]);

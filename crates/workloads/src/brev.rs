@@ -35,6 +35,12 @@ fn input_data() -> Vec<u32> {
     common::lcg_fill(N, 0xB5E7_CAFE, 1_664_525, 1_013_904_223)
 }
 
+/// Builds `brev` with input words drawn from `seed` (the program is
+/// identical to [`build`]; only data and expected results change).
+pub fn build_seeded(features: MbFeatures, seed: u64) -> BuiltWorkload {
+    build_with_input(features, common::seeded_words(N, seed, 0xB5E7))
+}
+
 /// One shift/mask stage: `x = ((x >> k) & mask) | ((x & mask) << k)`.
 fn emit_stage(cg: &mut CodeGen, x: Reg, t0: Reg, t1: Reg, k: u8, mask: u32) {
     cg.shr_const(t0, x, k);
@@ -46,6 +52,10 @@ fn emit_stage(cg: &mut CodeGen, x: Reg, t0: Reg, t1: Reg, k: u8, mask: u32) {
 
 /// Builds `brev` for a feature configuration.
 pub fn build(features: MbFeatures) -> BuiltWorkload {
+    build_with_input(features, input_data())
+}
+
+fn build_with_input(features: MbFeatures, input: Vec<u32>) -> BuiltWorkload {
     let mut cg = CodeGen::new(0, features);
     cg.asm_mut().equ("in", IN_ADDR).unwrap();
     cg.asm_mut().equ("out", OUT_ADDR).unwrap();
@@ -88,7 +98,6 @@ pub fn build(features: MbFeatures) -> BuiltWorkload {
         tail: program.symbol("k_tail").unwrap(),
     };
 
-    let input = input_data();
     let output = golden(&input);
     let csum = common::checksum(&output[..CSUM_WORDS]);
 

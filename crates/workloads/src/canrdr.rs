@@ -48,16 +48,28 @@ pub fn golden(msgs: &[u32]) -> Vec<u32> {
         .collect()
 }
 
+/// Shapes raw words into (id, payload) pairs: ids constrained to an
+/// 11-bit CAN identifier, payload arbitrary.
+fn shape_messages(raw: &[u32]) -> Vec<u32> {
+    raw.chunks(2).flat_map(|c| [c[0] & 0x7FF, c[1]]).collect()
+}
+
 fn messages() -> Vec<u32> {
-    // ids: constrain to an 11-bit CAN identifier; payload arbitrary.
-    common::lcg_fill(2 * N, 0xCA_4D11, 1_664_525, 1_013_904_223)
-        .chunks(2)
-        .flat_map(|c| [c[0] & 0x7FF, c[1]])
-        .collect()
+    shape_messages(&common::lcg_fill(2 * N, 0xCA_4D11, 1_664_525, 1_013_904_223))
+}
+
+/// Builds `canrdr` with messages drawn from `seed` (the program is
+/// identical to [`build`]; only data and expected results change).
+pub fn build_seeded(features: MbFeatures, seed: u64) -> BuiltWorkload {
+    build_with_input(features, shape_messages(&common::seeded_words(2 * N, seed, 0xCA4D)))
 }
 
 /// Builds `canrdr` for a feature configuration.
 pub fn build(features: MbFeatures) -> BuiltWorkload {
+    build_with_input(features, messages())
+}
+
+fn build_with_input(features: MbFeatures, msgs: Vec<u32>) -> BuiltWorkload {
     let mut cg = CodeGen::new(0, features);
     cg.asm_mut().equ("msgs", MSGS_ADDR).unwrap();
     cg.asm_mut().equ("out", OUT_ADDR).unwrap();
@@ -117,7 +129,6 @@ pub fn build(features: MbFeatures) -> BuiltWorkload {
         tail: program.symbol("k_tail").unwrap(),
     };
 
-    let msgs = messages();
     let output = golden(&msgs);
     let idsum = msgs.chunks(2).take(SETUP_N).fold(0u32, |acc, m| acc ^ m[0]);
     let csum = common::checksum(&output[..CSUM_N]);

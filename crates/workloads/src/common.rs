@@ -53,6 +53,21 @@ pub fn emit_lcg_fill(
     a.bnei(Reg::R17, top);
 }
 
+/// Fills `n` words from the workspace `rand` shim (SplitMix64) seeded
+/// with `seed ^ tag`.
+///
+/// This is the input source for the seeded workload variants
+/// ([`crate::Workload::build_seeded`]): `tag` separates the streams of
+/// workloads (and of multiple arrays within one workload) so that the
+/// same user seed does not hand every benchmark correlated data.
+#[must_use]
+pub fn seeded_words(n: usize, seed: u64, tag: u64) -> Vec<u32> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed ^ tag);
+    (0..n).map(|_| rng.gen::<u32>()).collect()
+}
+
 /// Golden model of [`emit_lcg_fill`].
 #[must_use]
 pub fn lcg_fill(n: usize, seed: u32, mult: u32, inc: u32) -> Vec<u32> {

@@ -33,8 +33,27 @@ pub fn fir_golden(x: &[u32]) -> Vec<u32> {
         .collect()
 }
 
+/// Shapes raw words into signed 12-bit samples centred on zero.
+fn shape_samples(raw: &[u32]) -> Vec<u32> {
+    raw.iter().map(|v| ((v & 0xFFF) as i32 - 2048) as u32).collect()
+}
+
+/// Builds the FIR workload with samples drawn from `seed` (the program
+/// is identical to [`build_fir`]; only data and expected results
+/// change).
+pub fn build_fir_seeded(features: MbFeatures, seed: u64) -> BuiltWorkload {
+    build_fir_with_input(features, shape_samples(&common::seeded_words(FIR_N + 8, seed, 0xF1)))
+}
+
 /// Builds the FIR workload.
 pub fn build_fir(features: MbFeatures) -> BuiltWorkload {
+    build_fir_with_input(
+        features,
+        shape_samples(&common::lcg_fill(FIR_N + 8, 0xF1_0001, 1_664_525, 7)),
+    )
+}
+
+fn build_fir_with_input(features: MbFeatures, x: Vec<u32>) -> BuiltWorkload {
     let mut cg = CodeGen::new(0, features);
     cg.asm_mut().equ("x", FIR_IN).unwrap();
     cg.asm_mut().equ("y", FIR_OUT).unwrap();
@@ -76,10 +95,6 @@ pub fn build_fir(features: MbFeatures) -> BuiltWorkload {
         tail: program.symbol("k_tail").unwrap(),
     };
 
-    let x: Vec<u32> = common::lcg_fill(FIR_N + 8, 0xF1_0001, 1_664_525, 7)
-        .iter()
-        .map(|v| ((v & 0xFFF) as i32 - 2048) as u32)
-        .collect();
     let y = fir_golden(&x);
     let csum = common::checksum(&y[..FIR_N - 20]);
 
@@ -113,8 +128,19 @@ pub fn crc_golden(words: &[u32]) -> u32 {
     state
 }
 
+/// Builds the CRC workload with a message drawn from `seed` (the
+/// program is identical to [`build_crc32`]; only data and expected
+/// results change).
+pub fn build_crc32_seeded(features: MbFeatures, seed: u64) -> BuiltWorkload {
+    build_crc32_with_input(features, common::seeded_words(CRC_N, seed, 0xC4C))
+}
+
 /// Builds the CRC workload (accumulator-only kernel).
 pub fn build_crc32(features: MbFeatures) -> BuiltWorkload {
+    build_crc32_with_input(features, common::lcg_fill(CRC_N, 0xC4C_0001, 22_695_477, 3))
+}
+
+fn build_crc32_with_input(features: MbFeatures, msg: Vec<u32>) -> BuiltWorkload {
     let mut cg = CodeGen::new(0, features);
     cg.asm_mut().equ("msg", CRC_IN).unwrap();
     cg.asm_mut().equ("out", CRC_OUT).unwrap();
@@ -149,7 +175,6 @@ pub fn build_crc32(features: MbFeatures) -> BuiltWorkload {
         tail: program.symbol("k_tail").unwrap(),
     };
 
-    let msg = common::lcg_fill(CRC_N, 0xC4C_0001, 22_695_477, 3);
     let crc = crc_golden(&msg);
 
     BuiltWorkload {

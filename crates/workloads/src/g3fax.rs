@@ -51,8 +51,19 @@ fn input_codes() -> Vec<u32> {
     common::lcg_fill(N, 0x6FA0_0001, 22_695_477, 1).iter().map(|x| x & 0x3F).collect()
 }
 
+/// Builds `g3fax` with run-length codes drawn from `seed` (the program
+/// is identical to [`build`]; only data and expected results change).
+pub fn build_seeded(features: MbFeatures, seed: u64) -> BuiltWorkload {
+    let codes = common::seeded_words(N, seed, 0x6FA0).iter().map(|x| x & 0x3F).collect();
+    build_with_input(features, codes)
+}
+
 /// Builds `g3fax` for a feature configuration.
 pub fn build(features: MbFeatures) -> BuiltWorkload {
+    build_with_input(features, input_codes())
+}
+
+fn build_with_input(features: MbFeatures, codes: Vec<u32>) -> BuiltWorkload {
     let mut cg = CodeGen::new(0, features);
     cg.asm_mut().equ("codes", CODES_ADDR).unwrap();
     cg.asm_mut().equ("out", OUT_ADDR).unwrap();
@@ -122,7 +133,6 @@ pub fn build(features: MbFeatures) -> BuiltWorkload {
         tail: program.symbol("k_tail").unwrap(),
     };
 
-    let codes = input_codes();
     let output = golden(&codes);
     let csum = common::checksum(&output);
     let line: Vec<u32> = codes.chunks(8).take(N / 8).map(|c| c[0] ^ c[1]).collect();

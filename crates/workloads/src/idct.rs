@@ -77,12 +77,20 @@ pub fn golden(input: &[u32]) -> Vec<u32> {
         .collect()
 }
 
+/// Shapes raw words into DCT coefficients in a plausible dynamic range
+/// (-512..511).
+fn shape_coefficients(raw: &[u32]) -> Vec<u32> {
+    raw.iter().map(|x| ((x & 0x3FF) as i32 - 512) as u32).collect()
+}
+
 fn input_data() -> Vec<u32> {
-    // DCT coefficients in a plausible dynamic range (-512..511).
-    common::lcg_fill(8 * ROWS, 0x1DC7_0003, 1_664_525, 12345)
-        .iter()
-        .map(|x| ((x & 0x3FF) as i32 - 512) as u32)
-        .collect()
+    shape_coefficients(&common::lcg_fill(8 * ROWS, 0x1DC7_0003, 1_664_525, 12345))
+}
+
+/// Builds `idct` with coefficient rows drawn from `seed` (the program
+/// is identical to [`build`]; only data and expected results change).
+pub fn build_seeded(features: MbFeatures, seed: u64) -> BuiltWorkload {
+    build_with_input(features, shape_coefficients(&common::seeded_words(8 * ROWS, seed, 0x1DC7)))
 }
 
 // Register plan (safe with the no-multiplier runtime, which clobbers
@@ -115,6 +123,10 @@ fn emit_mac2(cg: &mut CodeGen, rd: Reg, ra: Reg, ca: i16, rb: Reg, cb: i16, sub:
 
 /// Builds `idct` for a feature configuration.
 pub fn build(features: MbFeatures) -> BuiltWorkload {
+    build_with_input(features, input_data())
+}
+
+fn build_with_input(features: MbFeatures, input: Vec<u32>) -> BuiltWorkload {
     let mut cg = CodeGen::new(0, features);
     cg.asm_mut().equ("in", IN_ADDR).unwrap();
     cg.asm_mut().equ("out", OUT_ADDR).unwrap();
@@ -211,7 +223,6 @@ pub fn build(features: MbFeatures) -> BuiltWorkload {
         tail: program.symbol("k_tail").unwrap(),
     };
 
-    let input = input_data();
     let output = golden(&input);
     let pre = input.chunks(8).take(SETUP_N).fold(0u32, |a, r| a.wrapping_add(r[0]));
     let csum = common::checksum(&output[..CSUM_N]);

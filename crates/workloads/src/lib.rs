@@ -224,6 +224,7 @@ pub struct Workload {
     /// One-line description of the critical kernel.
     pub description: &'static str,
     build_fn: fn(MbFeatures) -> BuiltWorkload,
+    build_seeded_fn: fn(MbFeatures, u64) -> BuiltWorkload,
 }
 
 impl Workload {
@@ -231,6 +232,19 @@ impl Workload {
     #[must_use]
     pub fn build(&self, features: MbFeatures) -> BuiltWorkload {
         (self.build_fn)(features)
+    }
+
+    /// Builds the benchmark with input data drawn from `seed`.
+    ///
+    /// The program binary and kernel bounds are identical to
+    /// [`build`](Workload::build) — only the initial data and the
+    /// expected results (recomputed through the golden model) change.
+    /// The same seed always produces the same data; different seeds
+    /// produce different data. Inputs come from the workspace `rand`
+    /// shim (SplitMix64) via [`common::seeded_words`].
+    #[must_use]
+    pub fn build_seeded(&self, features: MbFeatures, seed: u64) -> BuiltWorkload {
+        (self.build_seeded_fn)(features, seed)
     }
 }
 
@@ -249,36 +263,42 @@ pub fn paper_suite() -> Vec<Workload> {
             suite: Suite::Powerstone,
             description: "bit reversal of a word array using shift/mask stages",
             build_fn: brev::build,
+            build_seeded_fn: brev::build_seeded,
         },
         Workload {
             name: "g3fax",
             suite: Suite::Powerstone,
             description: "Group-3 fax run-length expansion into scanline words",
             build_fn: g3fax::build,
+            build_seeded_fn: g3fax::build_seeded,
         },
         Workload {
             name: "canrdr",
             suite: Suite::Eembc,
             description: "CAN bus message filtering and payload extraction",
             build_fn: canrdr::build,
+            build_seeded_fn: canrdr::build_seeded,
         },
         Workload {
             name: "bitmnp",
             suite: Suite::Eembc,
             description: "bit manipulation: interleave/parity/swap per word",
             build_fn: bitmnp::build,
+            build_seeded_fn: bitmnp::build_seeded,
         },
         Workload {
             name: "idct",
             suite: Suite::Eembc,
             description: "fixed-point 8-point inverse DCT over coefficient rows",
             build_fn: idct::build,
+            build_seeded_fn: idct::build_seeded,
         },
         Workload {
             name: "matmul",
             suite: Suite::Powerstone,
             description: "integer matrix multiply with MAC inner loop",
             build_fn: matmul::build,
+            build_seeded_fn: matmul::build_seeded,
         },
     ]
 }
@@ -293,18 +313,21 @@ pub fn extra_suite() -> Vec<Workload> {
             suite: Suite::Extra,
             description: "8-tap FIR filter over a sample stream",
             build_fn: extra::build_fir,
+            build_seeded_fn: extra::build_fir_seeded,
         },
         Workload {
             name: "crc32",
             suite: Suite::Extra,
             description: "word-parallel checksum over a message buffer",
             build_fn: extra::build_crc32,
+            build_seeded_fn: extra::build_crc32_seeded,
         },
         Workload {
             name: "phased",
             suite: Suite::Extra,
             description: "two-phase run whose hot kernel shifts mid-execution",
             build_fn: phased::build,
+            build_seeded_fn: phased::build_seeded,
         },
     ]
 }
@@ -321,6 +344,37 @@ pub fn all() -> Vec<Workload> {
 #[must_use]
 pub fn by_name(name: &str) -> Option<Workload> {
     all().into_iter().find(|w| w.name == name)
+}
+
+/// Creates a lockstep [`mb_sim::LaneGroup`] from per-lane builds of the
+/// same workload — typically one [`Workload::build_seeded`] per lane, so
+/// every lane runs the shared program over its own input data.
+///
+/// # Panics
+///
+/// Panics if the builds disagree on program image or features (the lane
+/// engine shares one instruction fetch), or if the program or data do
+/// not fit the configured memories.
+#[must_use]
+pub fn instantiate_lanes<const LANES: usize>(
+    builds: &[BuiltWorkload; LANES],
+    config: &MbConfig,
+) -> mb_sim::LaneGroup<LANES> {
+    let first = &builds[0];
+    for b in &builds[1..] {
+        assert_eq!(b.program.words, first.program.words, "lane programs must be identical");
+        assert_eq!(b.program.base, first.program.base, "lane programs must share a base");
+        assert_eq!(b.features, first.features, "lane features must be identical");
+    }
+    let config = config.clone().with_features(first.features);
+    let mut group = mb_sim::LaneGroup::new(config);
+    group.load_program(&first.program).expect("program fits instruction BRAM");
+    for (lane, b) in builds.iter().enumerate() {
+        for (addr, words) in &b.data {
+            group.load_data(lane, *addr, words).expect("data fits data BRAM");
+        }
+    }
+    group
 }
 
 /// The matrix dimension of the `matmul` benchmark (its inner loop is
@@ -354,5 +408,74 @@ mod tests {
         assert_eq!(k.range(), (0x100, 0x144));
         assert_eq!(k.after(), 0x144);
         assert_eq!(k.words(), 17);
+    }
+
+    #[test]
+    fn seeded_builds_are_deterministic_per_seed() {
+        let features = MbFeatures::paper_default();
+        for w in all() {
+            let a = w.build_seeded(features, 42);
+            let b = w.build_seeded(features, 42);
+            assert_eq!(a.data, b.data, "{}: same seed must give same data", w.name);
+            assert_eq!(a.checks, b.checks, "{}: same seed must give same checks", w.name);
+        }
+    }
+
+    #[test]
+    fn seeded_builds_differ_across_seeds() {
+        let features = MbFeatures::paper_default();
+        for w in all() {
+            let a = w.build_seeded(features, 1);
+            let b = w.build_seeded(features, 2);
+            assert_ne!(a.data, b.data, "{}: different seeds must give different data", w.name);
+            assert_ne!(
+                a.checks, b.checks,
+                "{}: different seeds must give different expected results",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_builds_share_the_unseeded_program() {
+        let features = MbFeatures::paper_default();
+        for w in all() {
+            let plain = w.build(features);
+            for seed in [0u64, 1, 0xDEAD_BEEF] {
+                let seeded = w.build_seeded(features, seed);
+                assert_eq!(
+                    seeded.program.words, plain.program.words,
+                    "{}: program must not depend on the seed",
+                    w.name
+                );
+                assert_eq!(seeded.kernel, plain.kernel, "{}: kernel bounds fixed", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_build_runs_and_verifies() {
+        // End-to-end check that the recomputed golden results match what
+        // the program actually produces on seeded data.
+        let w = by_name("brev").unwrap();
+        let built = w.build_seeded(MbFeatures::paper_default(), 7);
+        let mut sys = built.instantiate(&MbConfig::paper_default());
+        let out = sys.run(50_000_000).unwrap();
+        assert!(out.exited());
+        built.verify(sys.dmem()).unwrap();
+    }
+
+    #[test]
+    fn instantiate_lanes_loads_per_lane_data() {
+        let w = by_name("crc32").unwrap();
+        let builds: [BuiltWorkload; 2] =
+            core::array::from_fn(|lane| w.build_seeded(MbFeatures::paper_default(), lane as u64));
+        let mut group = instantiate_lanes(&builds, &MbConfig::paper_default());
+        let results = group.run(100_000_000);
+        for (lane, (r, b)) in results.iter().zip(&builds).enumerate() {
+            let out = r.as_ref().unwrap();
+            assert!(out.exited(), "lane {lane} must exit");
+            b.verify(group.dmem(lane)).unwrap_or_else(|e| panic!("lane {lane}: {e}"));
+        }
     }
 }

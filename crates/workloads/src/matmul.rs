@@ -40,10 +40,10 @@ pub fn golden(a: &[u32], b: &[u32]) -> Vec<u32> {
     c
 }
 
-/// Sparse small-valued matrix entries: ~75% zeros, the rest 1–3.
-fn sparse_entries(seed: u32) -> Vec<u32> {
-    common::lcg_fill(DIM * DIM, seed, 1_664_525, 1_013_904_223)
-        .iter()
+/// Shapes raw words into sparse small-valued matrix entries: ~75%
+/// zeros, the rest 1–3 (matching the original benchmark's data set).
+fn sparse_shape(raw: &[u32]) -> Vec<u32> {
+    raw.iter()
         .map(|&x| {
             let sel = (x >> 7) & 3;
             if sel == 0 {
@@ -55,8 +55,26 @@ fn sparse_entries(seed: u32) -> Vec<u32> {
         .collect()
 }
 
+/// Sparse small-valued matrix entries from the legacy LCG stream.
+fn sparse_entries(seed: u32) -> Vec<u32> {
+    sparse_shape(&common::lcg_fill(DIM * DIM, seed, 1_664_525, 1_013_904_223))
+}
+
+/// Builds `matmul` with both operand matrices drawn from `seed` (the
+/// program is identical to [`build`]; only data and expected results
+/// change).
+pub fn build_seeded(features: MbFeatures, seed: u64) -> BuiltWorkload {
+    let a = sparse_shape(&common::seeded_words(DIM * DIM, seed, 0xA11CE));
+    let b = sparse_shape(&common::seeded_words(DIM * DIM, seed, 0xB0B57));
+    build_with_input(features, a, b)
+}
+
 /// Builds `matmul` for a feature configuration.
 pub fn build(features: MbFeatures) -> BuiltWorkload {
+    build_with_input(features, sparse_entries(0xA11CE), sparse_entries(0xB0B57))
+}
+
+fn build_with_input(features: MbFeatures, a: Vec<u32>, b: Vec<u32>) -> BuiltWorkload {
     let mut cg = CodeGen::new(0, features);
     cg.asm_mut().equ("a", A_ADDR).unwrap();
     cg.asm_mut().equ("b", B_ADDR).unwrap();
@@ -117,8 +135,6 @@ pub fn build(features: MbFeatures) -> BuiltWorkload {
         tail: program.symbol("k_tail").unwrap(),
     };
 
-    let a = sparse_entries(0xA11CE);
-    let b = sparse_entries(0xB0B57);
     let c = golden(&a, &b);
     let csum = common::checksum(&c);
 

@@ -64,6 +64,19 @@ pub fn build(features: MbFeatures) -> BuiltWorkload {
     build_scaled(features, OUTER_A, OUTER_B)
 }
 
+/// Builds the registry variant with both phase inputs drawn from `seed`
+/// (the program is identical to [`build`]; only data and expected
+/// results change).
+pub fn build_seeded(features: MbFeatures, seed: u64) -> BuiltWorkload {
+    build_with_inputs(
+        features,
+        OUTER_A,
+        OUTER_B,
+        common::seeded_words(N_A, seed, 0xA5),
+        common::seeded_words(N_B, seed, 0xB5),
+    )
+}
+
 /// Builds `phased` with explicit outer repeat counts.
 ///
 /// The online runtime uses large counts so each phase outlasts the
@@ -75,6 +88,18 @@ pub fn build(features: MbFeatures) -> BuiltWorkload {
 ///
 /// Panics if either count is zero (each phase must run).
 pub fn build_scaled(features: MbFeatures, outer_a: u32, outer_b: u32) -> BuiltWorkload {
+    let input_a = common::lcg_fill(N_A, 0x00A5_0001, 1_664_525, 1013);
+    let msg_b = common::lcg_fill(N_B, 0x00B5_0001, 22_695_477, 7);
+    build_with_inputs(features, outer_a, outer_b, input_a, msg_b)
+}
+
+fn build_with_inputs(
+    features: MbFeatures,
+    outer_a: u32,
+    outer_b: u32,
+    input_a: Vec<u32>,
+    msg_b: Vec<u32>,
+) -> BuiltWorkload {
     assert!(outer_a > 0 && outer_b > 0, "both phases must execute");
     let mut cg = CodeGen::new(0, features);
     cg.asm_mut().equ("in_a", IN_A).unwrap();
@@ -144,8 +169,6 @@ pub fn build_scaled(features: MbFeatures, outer_a: u32, outer_b: u32) -> BuiltWo
         tail: program.symbol("k1_tail").unwrap(),
     };
 
-    let input_a = common::lcg_fill(N_A, 0x00A5_0001, 1_664_525, 1013);
-    let msg_b = common::lcg_fill(N_B, 0x00B5_0001, 22_695_477, 7);
     let out_a = golden_a(&input_a);
     let out_b = golden_b(&msg_b);
 

@@ -1,0 +1,181 @@
+//! Lane-fleet equality suite: the lockstep lane engine must be
+//! bit-identical — outcome, CPU state, execution statistics, and final
+//! data memory — to running the same N program instances sequentially,
+//! on every workload in the registry, including forced control-flow
+//! divergence, mid-run hot patches, and budget expiry mid-trace.
+
+use mb_isa::MbFeatures;
+use mb_sim::{LaneGroup, MbConfig, Outcome, RunError, System};
+use workloads::{all, by_name, instantiate_lanes, BuiltWorkload};
+
+const LANES: usize = 4;
+const BUDGET: u64 = 200_000_000;
+
+/// Builds one seeded instance per lane and the matching sequential
+/// systems.
+fn fleet(
+    name: &str,
+    features: MbFeatures,
+    config: &MbConfig,
+) -> ([BuiltWorkload; LANES], LaneGroup<LANES>, Vec<System>) {
+    let w = by_name(name).unwrap_or_else(|| panic!("workload {name}"));
+    let builds: [BuiltWorkload; LANES] =
+        core::array::from_fn(|lane| w.build_seeded(features, 0x5EED_0000 + lane as u64));
+    let group = instantiate_lanes(&builds, config);
+    let systems: Vec<System> = builds.iter().map(|b| b.instantiate(config)).collect();
+    (builds, group, systems)
+}
+
+/// Asserts every lane of a finished group matches its sequential twin.
+fn assert_lanes_match(
+    name: &str,
+    builds: &[BuiltWorkload; LANES],
+    group: &LaneGroup<LANES>,
+    lane_results: &[Result<Outcome, RunError>; LANES],
+    systems: &mut [System],
+    seq_results: &[Result<Outcome, RunError>],
+) {
+    for lane in 0..LANES {
+        let ctx = format!("{name} lane {lane}");
+        assert_eq!(lane_results[lane], seq_results[lane], "{ctx}: outcome");
+        assert_eq!(&group.cpu(lane), systems[lane].cpu(), "{ctx}: cpu state");
+        assert_eq!(group.stats(lane), systems[lane].stats(), "{ctx}: stats");
+        assert_eq!(group.dmem(lane), systems[lane].dmem(), "{ctx}: data memory");
+        assert_eq!(group.halted(lane), systems[lane].halted(), "{ctx}: exit code");
+        if let Ok(out) = &lane_results[lane] {
+            if out.exited() {
+                builds[lane]
+                    .verify(group.dmem(lane))
+                    .unwrap_or_else(|e| panic!("{ctx}: verify: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_workload_matches_sequential_runs() {
+    let config = MbConfig::paper_default();
+    for w in all() {
+        let (builds, mut group, mut systems) = fleet(w.name, MbFeatures::paper_default(), &config);
+        let lane_results = group.run(BUDGET);
+        let seq_results: Vec<_> = systems.iter_mut().map(|s| s.run(BUDGET)).collect();
+        for (lane, r) in lane_results.iter().enumerate() {
+            let out = r.as_ref().unwrap_or_else(|e| panic!("{} lane {lane}: {e:?}", w.name));
+            assert!(out.exited(), "{} lane {lane} must exit", w.name);
+        }
+        assert_lanes_match(w.name, &builds, &group, &lane_results, &mut systems, &seq_results);
+    }
+}
+
+#[test]
+fn forced_divergence_matches_sequential_runs() {
+    // Without the hardware multiplier, `matmul` calls the shift-add
+    // software multiply, whose trip count depends on operand values —
+    // so lanes with different seeded matrices genuinely diverge and
+    // must fall back to scalar stepping before reconverging.
+    let config = MbConfig::paper_default();
+    let features = MbFeatures::paper_default().with_multiplier(false);
+    let (builds, mut group, mut systems) = fleet("matmul", features, &config);
+    let lane_results = group.run(BUDGET);
+    let seq_results: Vec<_> = systems.iter_mut().map(|s| s.run(BUDGET)).collect();
+    for r in &lane_results {
+        assert!(r.as_ref().unwrap().exited());
+    }
+    assert_lanes_match("matmul/no-mul", &builds, &group, &lane_results, &mut systems, &seq_results);
+}
+
+#[test]
+fn budget_expiry_mid_trace_matches_sliced_sequential_runs() {
+    // Tiny budget slices force the trace engine to stop mid-megablock
+    // and resume; the lane group must land on exactly the same boundary
+    // states as sequential systems driven with the same slice pattern.
+    let config = MbConfig::paper_default();
+    let (builds, mut group, mut systems) = fleet("crc32", MbFeatures::paper_default(), &config);
+    const SLICE: u64 = 1_013;
+    let mut lane_results = group.run(SLICE);
+    let mut seq_results: Vec<_> = systems.iter_mut().map(|s| s.run(SLICE)).collect();
+    for _ in 0..200_000 {
+        if lane_results.iter().all(|r| r.as_ref().map(Outcome::exited).unwrap_or(true)) {
+            break;
+        }
+        lane_results = group.run(SLICE);
+        seq_results = systems.iter_mut().map(|s| s.run(SLICE)).collect();
+    }
+    for r in &lane_results {
+        assert!(r.as_ref().unwrap().exited(), "sliced run must finish");
+    }
+    assert_lanes_match("crc32/sliced", &builds, &group, &lane_results, &mut systems, &seq_results);
+}
+
+#[test]
+fn mid_run_hot_patch_matches_sequential_runs() {
+    // Patch a kernel instruction while the program is running — through
+    // the same dual-ported instruction BRAM interface the dynamic
+    // partitioning module uses — on both the lane group and the
+    // sequential systems, at the same budget boundary. The shared
+    // predecode/block caches must pick up the change on every side.
+    let config = MbConfig::paper_default();
+    let (_builds, mut group, mut systems) = fleet("crc32", MbFeatures::paper_default(), &config);
+    let head = _builds[0].kernel.head;
+
+    const SLICE: u64 = 5_000;
+    let mut lane_results = group.run(SLICE);
+    let mut seq_results: Vec<_> = systems.iter_mut().map(|s| s.run(SLICE)).collect();
+
+    // Overwrite the instruction after the kernel's load with a copy of
+    // the load itself: still valid code, but different semantics — the
+    // run must reflect the patch identically on both engines.
+    let patch_addr = head + 4;
+    let patch_word = group.imem().read_word(head).unwrap();
+    group.imem_mut().write_word(patch_addr, patch_word).unwrap();
+    for sys in &mut systems {
+        sys.imem_mut().write_word(patch_addr, patch_word).unwrap();
+    }
+
+    for _ in 0..200_000 {
+        if lane_results.iter().all(|r| r.as_ref().map(Outcome::exited).unwrap_or(true)) {
+            break;
+        }
+        lane_results = group.run(SLICE);
+        seq_results = systems.iter_mut().map(|s| s.run(SLICE)).collect();
+    }
+    for lane in 0..LANES {
+        assert_eq!(lane_results[lane], seq_results[lane], "patched lane {lane}: outcome");
+        assert_eq!(&group.cpu(lane), systems[lane].cpu(), "patched lane {lane}: cpu");
+        assert_eq!(group.stats(lane), systems[lane].stats(), "patched lane {lane}: stats");
+        assert_eq!(group.dmem(lane), systems[lane].dmem(), "patched lane {lane}: dmem");
+    }
+}
+
+#[test]
+fn engines_agree_on_seeded_inputs() {
+    // Differential: the same seeded build must produce identical final
+    // memory on the reference decoder, the predecoded stepper, the
+    // block engine, the trace engine, and the lockstep lane engine.
+    let w = by_name("bitmnp").unwrap();
+    let built = w.build_seeded(MbFeatures::paper_default(), 0xD1FF);
+    let configs = [
+        MbConfig::paper_default().with_predecode(false).with_blocks(false).with_traces(false),
+        MbConfig::paper_default().with_blocks(false).with_traces(false),
+        MbConfig::paper_default().with_traces(false),
+        MbConfig::paper_default(),
+    ];
+    let mut reference_dmem = None;
+    for config in configs {
+        let mut sys = built.instantiate(&config);
+        let out = sys.run(BUDGET).unwrap();
+        assert!(out.exited());
+        built.verify(sys.dmem()).unwrap();
+        let dmem = sys.dmem().clone();
+        if let Some(prev) = &reference_dmem {
+            assert_eq!(&dmem, prev, "engines must agree on final memory");
+        }
+        // The lane engine over a single lane must match too.
+        let builds = [built.clone()];
+        let mut group: LaneGroup<1> = instantiate_lanes(&builds, &config);
+        let [lane_out] = group.run(BUDGET);
+        assert_eq!(lane_out.unwrap(), out, "lane engine outcome");
+        assert_eq!(group.dmem(0), &dmem, "lane engine final memory");
+        reference_dmem = Some(dmem);
+    }
+}
