@@ -364,6 +364,11 @@ impl<const LANES: usize> LaneGroup<LANES> {
             let g = b.guard.as_ref().expect("guard retirements imply a chained guard");
             self.stats[lane].record_guards(g.class, guard_cycles, guards, guards_taken);
         }
+        // Mirror the scalar engine's tier attribution exactly: lane
+        // statistics are compared against System runs for equality.
+        let body = b.ops.len() as u64;
+        self.stats[lane].attribute_block(iters.min(1) * body + guards.min(1));
+        self.stats[lane].attribute_trace(iters.saturating_sub(1) * body + guards.saturating_sub(1));
     }
 
     /// Drops one lane out of a vectorized dispatch on a fault, leaving

@@ -1254,6 +1254,12 @@ impl System {
             let g = b.guard.as_ref().expect("guard retirements imply a chained guard");
             self.stats.record_guards(g.class, guard_cycles, guards, guards_taken);
         }
+        // Engine attribution: the dispatch's first body and first guard
+        // belong to the superblock tier; everything chained in place past
+        // them is the megablock trace tier's contribution.
+        let body = b.ops.len() as u64;
+        self.stats.attribute_block(iters.min(1) * body + guards.min(1));
+        self.stats.attribute_trace(iters.saturating_sub(1) * body + guards.saturating_sub(1));
     }
 
     /// Retires a fused block op-at-a-time — the dispatch mode for
@@ -1309,6 +1315,7 @@ impl System {
                     let cycles = cycles + fetch_wait;
                     total += u64::from(cycles);
                     self.stats.record(op.class, cycles);
+                    self.stats.attribute_block(1);
                     sink.record(&TraceEvent {
                         pc,
                         insn: op.insn,
@@ -1336,6 +1343,7 @@ impl System {
                 let fetch_wait = self.icache.as_mut().map_or(0, |c| c.access(pc));
                 let (taken, gcycles) = self.retire_guard(g, pc, fetch_wait, sink);
                 self.stats.record_guards(g.class, u64::from(gcycles), 1, u64::from(taken));
+                self.stats.attribute_block(1);
                 total += u64::from(gcycles);
             } else if let Some(Effect::ImmFused { hi }) = b.ops.last().map(|o| o.effect) {
                 // Stopping just before the guard: a trailing fused

@@ -11,8 +11,16 @@ use mb_isa::OpClass;
 /// cycle budget from [`System::step`]'s return value rather than polling
 /// these counters, and the grand totals are summed on demand.
 ///
+/// Equality compares only the architectural counters (per-class
+/// instructions and cycles, branch totals). The engine-coverage tier
+/// counters are deliberately excluded: *which* engine retires an
+/// instruction depends on dispatch batching — a budget boundary cuts a
+/// trace chain where a monolithic run would keep chaining — so they are
+/// diagnostics about the simulator, not properties of the simulated
+/// execution.
+///
 /// [`System::step`]: crate::System::step
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ExecStats {
     instret: [u64; OpClass::ALL.len()],
     cycles: [u64; OpClass::ALL.len()],
@@ -23,6 +31,13 @@ pub struct ExecStats {
     /// Number of backward (negative-displacement) taken branches — the
     /// events the warp profiler watches.
     pub backward_taken: u64,
+    /// Instructions retired through the superblock tier: the first body
+    /// (and first guard) of each block dispatch, plus careful-mode
+    /// op-at-a-time block retirement. See [`ExecStats::engine_coverage`].
+    block_instret: u64,
+    /// Instructions retired through the megablock trace tier: bodies and
+    /// guards chained in place past a dispatch's first iteration.
+    trace_instret: u64,
 }
 
 impl ExecStats {
@@ -78,11 +93,65 @@ impl ExecStats {
         self.branches_not_taken += retired - taken;
     }
 
+    /// Attributes `insns` retired instructions to the superblock tier.
+    /// The hot per-instruction [`record`](ExecStats::record) path stays
+    /// untouched: engine attribution is batched at dispatch boundaries,
+    /// and the step tier falls out by subtraction.
+    #[inline]
+    pub(crate) fn attribute_block(&mut self, insns: u64) {
+        self.block_instret += insns;
+    }
+
+    /// Attributes `insns` retired instructions to the megablock trace
+    /// tier (iterations chained in place beyond a dispatch's first).
+    #[inline]
+    pub(crate) fn attribute_trace(&mut self, insns: u64) {
+        self.trace_instret += insns;
+    }
+
     /// Total retired instructions (summed on demand; `record` stays
     /// minimal because it runs once per simulated instruction).
     #[must_use]
     pub fn instructions(&self) -> u64 {
         self.instret.iter().sum()
+    }
+
+    /// Instructions retired through the superblock tier.
+    #[must_use]
+    pub fn block_instructions(&self) -> u64 {
+        self.block_instret
+    }
+
+    /// Instructions retired through the megablock trace tier.
+    #[must_use]
+    pub fn trace_instructions(&self) -> u64 {
+        self.trace_instret
+    }
+
+    /// Instructions retired by per-instruction stepping (everything the
+    /// block and trace tiers did not claim).
+    #[must_use]
+    pub fn step_instructions(&self) -> u64 {
+        self.instructions().saturating_sub(self.block_instret + self.trace_instret)
+    }
+
+    /// Fractions of retired instructions per execution tier, as
+    /// `(step, block, trace)`; zeros when nothing retired. These are the
+    /// engine-coverage counters the simulation-throughput harness
+    /// publishes — a workload whose trace fraction is low cannot gain
+    /// from trace chaining no matter how fast that tier is.
+    #[must_use]
+    pub fn engine_coverage(&self) -> (f64, f64, f64) {
+        let total = self.instructions();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = total as f64;
+        (
+            self.step_instructions() as f64 / t,
+            self.block_instret as f64 / t,
+            self.trace_instret as f64 / t,
+        )
     }
 
     /// Total cycles (summed on demand).
@@ -123,8 +192,22 @@ impl ExecStats {
         self.branches_taken += other.branches_taken;
         self.branches_not_taken += other.branches_not_taken;
         self.backward_taken += other.backward_taken;
+        self.block_instret += other.block_instret;
+        self.trace_instret += other.trace_instret;
     }
 }
+
+impl PartialEq for ExecStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.instret == other.instret
+            && self.cycles == other.cycles
+            && self.branches_taken == other.branches_taken
+            && self.branches_not_taken == other.branches_not_taken
+            && self.backward_taken == other.backward_taken
+    }
+}
+
+impl Eq for ExecStats {}
 
 impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -183,6 +266,33 @@ mod tests {
         assert_eq!(a.instructions_of(OpClass::Load), 2);
         assert_eq!(a.branches_taken, 3);
         assert_eq!(a.backward_taken, 1);
+    }
+
+    #[test]
+    fn engine_coverage_partitions_retired_instructions() {
+        let mut s = ExecStats::new();
+        for _ in 0..10 {
+            s.record(OpClass::Alu, 1);
+        }
+        s.attribute_block(3);
+        s.attribute_trace(5);
+        assert_eq!(s.block_instructions(), 3);
+        assert_eq!(s.trace_instructions(), 5);
+        assert_eq!(s.step_instructions(), 2);
+        let (step, block, trace) = s.engine_coverage();
+        assert!((step - 0.2).abs() < 1e-12);
+        assert!((block - 0.3).abs() < 1e-12);
+        assert!((trace - 0.5).abs() < 1e-12);
+        assert_eq!(ExecStats::new().engine_coverage(), (0.0, 0.0, 0.0));
+
+        // Tier counters are batching diagnostics: excluded from equality,
+        // but summed by merge.
+        let other = ExecStats { instret: s.instret, cycles: s.cycles, ..ExecStats::default() };
+        assert_eq!(s, other);
+        let mut merged = s.clone();
+        merged.merge(&s);
+        assert_eq!(merged.block_instructions(), 6);
+        assert_eq!(merged.trace_instructions(), 10);
     }
 
     #[test]

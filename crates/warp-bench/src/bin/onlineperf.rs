@@ -7,9 +7,12 @@
 //!
 //! `--smoke` (or `ONLINEPERF_SMOKE=1`) uses smaller repeat counts and a
 //! shorter phased workload for CI. All numbers are simulated cycles, so
-//! the document is bit-deterministic across hosts; the schema
-//! (`warp-mb/bench-online/v1`) is described in the README's "Online
-//! warp runtime" section.
+//! the document is bit-deterministic across hosts — including across
+//! `WARP_CAD_THREADS` settings, since background CAD workers trade host
+//! wall-clock only; the schema (`warp-mb/bench-online/v2`, with
+//! per-event incremental-CAD counters and the `rewarp_cad_ratio`
+//! aggregate) is described in the README's "Online warp runtime"
+//! section.
 
 use warp_bench::measure::BenchCli;
 use warp_bench::online;

@@ -12,10 +12,12 @@
 //! `--smoke` (or `SIMPERF_SMOKE=1`) runs three repetitions per mode for
 //! CI; the default is best-of-10 (single runs are ~1 ms, so repetitions
 //! are cheap and the minimum filters scheduler noise). The JSON schema
-//! (`warp-mb/bench-sim/v4`) is described in the README's "Performance"
-//! section. Workloads whose per-workload trace-vs-block speedup sits
-//! below the advisory floor are listed in the JSON `below_floor` array
-//! and warned about on stderr.
+//! (`warp-mb/bench-sim/v5`, with per-workload `engine_coverage`
+//! fractions showing which tier — step, block, trace — retired the
+//! instructions) is described in the README's "Performance" section.
+//! Workloads whose per-workload trace-vs-block speedup sits below the
+//! advisory floor are listed in the JSON `below_floor` array and warned
+//! about on stderr; the coverage fractions are what diagnose them.
 
 use warp_bench::measure::BenchCli;
 use warp_bench::simperf;

@@ -7,9 +7,16 @@
 //! software-only timeline, and the offline amortization numbers next to
 //! it. Everything here is a function of simulated cycles, so —
 //! unlike `simperf` — the measurements are bit-deterministic and CI can
-//! validate them strictly. [`OnlinePerf::to_json`] emits
-//! `BENCH_online.json` (schema `warp-mb/bench-online/v1`, documented in
-//! the README's "Online warp runtime" section).
+//! validate them strictly (including across `WARP_CAD_THREADS`
+//! settings — the background CAD workers never touch the modeled
+//! timeline). [`OnlinePerf::to_json`] emits `BENCH_online.json`
+//! (schema `warp-mb/bench-online/v2`, documented in the README's
+//! "Online warp runtime" section). v2 adds the incremental-CAD columns
+//! per event — clusters replayed from the sub-kernel caches, nets
+//! re-routed, detection-to-patch overlap — and the
+//! `rewarp_cad_ratio` aggregate CI gates on: the phased workload's
+//! re-warp of a shifted-but-similar kernel must charge at most half
+//! the modeled CAD cycles of its from-scratch first warp.
 
 use warp_core::pipeline;
 use warp_core::WarpOptions;
@@ -34,6 +41,17 @@ pub struct EventPerf {
     pub patched_cycle: u64,
     /// Whether the circuit came from the cache.
     pub cache_hit: bool,
+    /// LUT clusters replayed from the sub-kernel CAD caches.
+    pub reused_clusters: u64,
+    /// Total LUT clusters in the mapped netlist.
+    pub total_clusters: u64,
+    /// Nets whose first-pass route was computed fresh.
+    pub rerouted_nets: usize,
+    /// Total routed nets.
+    pub total_nets: usize,
+    /// Modeled cycles between detection and the landed patch (the
+    /// compilation-overlaps-simulation window).
+    pub cad_overlap_cycles: u64,
     /// Region evicted by this warp, if any.
     pub evicted: Option<(u32, u32)>,
 }
@@ -96,23 +114,41 @@ impl OnlinePerf {
         self.workloads.iter().map(|w| w.events.len()).sum()
     }
 
+    /// Modeled CAD cycles of the phased workload's re-warp relative to
+    /// its from-scratch first warp — the incremental-CAD payoff CI
+    /// gates on (`None` when the phased timeline has fewer than two
+    /// warps). The second warp compiles a shifted-but-similar kernel
+    /// through the sub-kernel caches its first warp populated, so it
+    /// should charge a small fraction of the first warp's budget.
+    #[must_use]
+    pub fn rewarp_cad_ratio(&self) -> Option<f64> {
+        let phased = self.workloads.iter().find(|w| w.name == "phased")?;
+        let (first, second) = (phased.events.first()?, phased.events.get(1)?);
+        Some(second.cad_cycles as f64 / first.cad_cycles.max(1) as f64)
+    }
+
     /// Renders the `BENCH_online.json` document.
     #[must_use]
     pub fn to_json(&self) -> String {
         let event_json = |e: &EventPerf| {
             format!(
-                r#"{{"head": {}, "tail": {}, "detected_cycle": {}, "cad_cycles": {}, "patched_cycle": {}, "cache_hit": {}, "evicted": {}}}"#,
+                r#"{{"head": {}, "tail": {}, "detected_cycle": {}, "cad_cycles": {}, "patched_cycle": {}, "cache_hit": {}, "reused_clusters": {}, "total_clusters": {}, "rerouted_nets": {}, "total_nets": {}, "cad_overlap_cycles": {}, "evicted": {}}}"#,
                 e.head,
                 e.tail,
                 e.detected_cycle,
                 e.cad_cycles,
                 e.patched_cycle,
                 e.cache_hit,
+                e.reused_clusters,
+                e.total_clusters,
+                e.rerouted_nets,
+                e.total_nets,
+                e.cad_overlap_cycles,
                 e.evicted.map_or("null".into(), |(h, t)| format!("[{h}, {t}]")),
             )
         };
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"warp-mb/bench-online/v1\",\n");
+        out.push_str("  \"schema\": \"warp-mb/bench-online/v2\",\n");
         out.push_str(&format!("  \"mode\": \"{}\",\n", if self.smoke { "smoke" } else { "full" }));
         out.push_str(&format!("  \"mb_clock_hz\": {},\n", mb_sim::MB_CLOCK_HZ));
         out.push_str("  \"workloads\": [\n");
@@ -140,10 +176,11 @@ impl OnlinePerf {
         out.push_str("  ],\n");
         out.push_str(&format!(
             "  \"aggregate\": {{\"workloads\": {}, \"total_warp_events\": {}, \
-             \"mean_online_speedup\": {:.3}}}\n",
+             \"mean_online_speedup\": {:.3}, \"rewarp_cad_ratio\": {}}}\n",
             self.workloads.len(),
             self.total_events(),
             self.mean_online_speedup(),
+            self.rewarp_cad_ratio().map_or("null".into(), |r| format!("{r:.4}")),
         ));
         out.push_str("}\n");
         out
@@ -318,9 +355,18 @@ pub fn measure_single_kernel(workload: &Workload, repeats: u32) -> OnlineWorkloa
 ///
 /// Panics if the online or software-only arm fails.
 #[must_use]
-pub fn measure_phased(outer_a: u32, outer_b: u32, min_count: u64) -> OnlineWorkloadPerf {
-    let built =
-        workloads::phased::build_scaled(mb_isa::MbFeatures::paper_default(), outer_a, outer_b);
+pub fn measure_phased(
+    outer_a: u32,
+    outer_a2: u32,
+    outer_b: u32,
+    min_count: u64,
+) -> OnlineWorkloadPerf {
+    let built = workloads::phased::build_scaled(
+        mb_isa::MbFeatures::paper_default(),
+        outer_a,
+        outer_a2,
+        outer_b,
+    );
     let config = OnlineConfig {
         slice_cycles: 20_000,
         decay_interval: 8,
@@ -368,6 +414,11 @@ fn perf_from(
                 cad_cycles: e.cad_cycles,
                 patched_cycle: e.patched_cycle,
                 cache_hit: e.cache_hit,
+                reused_clusters: e.reused_clusters,
+                total_clusters: e.total_clusters,
+                rerouted_nets: e.rerouted_nets,
+                total_nets: e.total_nets,
+                cad_overlap_cycles: e.cad_overlap_cycles,
                 evicted: e.evicted,
             })
             .collect(),
@@ -387,9 +438,9 @@ pub fn measure_suite(smoke: bool) -> OnlinePerf {
         .map(|w| measure_single_kernel(w, repeats))
         .collect();
     results.push(if smoke {
-        measure_phased(150, 350, 1500)
+        measure_phased(150, 75, 350, 1500)
     } else {
-        measure_phased(300, 700, 3000)
+        measure_phased(300, 150, 700, 3000)
     });
     OnlinePerf { smoke, workloads: results }
 }
@@ -402,7 +453,7 @@ mod tests {
         OnlinePerf {
             smoke: true,
             workloads: vec![OnlineWorkloadPerf {
-                name: "brev".into(),
+                name: "phased".into(),
                 repeats: 2,
                 dpm_clock_hz: 85_000_000,
                 sw_cycles: 200_000,
@@ -416,15 +467,25 @@ mod tests {
                         cad_cycles: 14_000,
                         patched_cycle: 40_000,
                         cache_hit: false,
+                        reused_clusters: 0,
+                        total_clusters: 32,
+                        rerouted_nets: 8,
+                        total_nets: 8,
+                        cad_overlap_cycles: 20_000,
                         evicted: None,
                     },
                     EventPerf {
                         head: 0x100,
                         tail: 0x140,
                         detected_cycle: 50_000,
-                        cad_cycles: 900,
+                        cad_cycles: 3_500,
                         patched_cycle: 60_000,
-                        cache_hit: true,
+                        cache_hit: false,
+                        reused_clusters: 30,
+                        total_clusters: 32,
+                        rerouted_nets: 1,
+                        total_nets: 8,
+                        cad_overlap_cycles: 10_000,
                         evicted: Some((0x14, 0xA4)),
                     },
                 ],
@@ -437,10 +498,13 @@ mod tests {
     #[test]
     fn json_has_schema_and_balanced_structure() {
         let json = synthetic().to_json();
-        assert!(json.contains("\"schema\": \"warp-mb/bench-online/v1\""));
+        assert!(json.contains("\"schema\": \"warp-mb/bench-online/v2\""));
         assert!(json.contains("\"warp_events\""));
         assert!(json.contains("\"evicted\": [20, 164]"));
-        assert!(json.contains("\"cache_hit\": true"));
+        assert!(json.contains("\"reused_clusters\": 30"));
+        assert!(json.contains("\"rerouted_nets\": 1"));
+        assert!(json.contains("\"cad_overlap_cycles\": 20000"));
+        assert!(json.contains("\"rewarp_cad_ratio\": 0.2500"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert_eq!(json.matches('"').count() % 2, 0, "quotes must pair");
@@ -453,12 +517,13 @@ mod tests {
         assert!((p.workloads[0].online_speedup() - 2.5).abs() < 1e-9);
         assert!((p.mean_online_speedup() - 2.5).abs() < 1e-9);
         assert_eq!(p.total_events(), 2);
+        assert!((p.rewarp_cad_ratio().unwrap() - 0.25).abs() < 1e-9);
     }
 
     #[test]
     fn table_lists_workloads_and_warp_counts() {
         let table = synthetic().render_table();
-        assert!(table.contains("brev"));
+        assert!(table.contains("phased"));
         assert!(table.contains("2.50x"));
     }
 }

@@ -31,9 +31,17 @@
 //! Simulated cycle/instruction counts are identical across all six
 //! modes (asserted here, locked in by `tests/sim_fast_path.rs`); only
 //! host speed differs. [`SimPerf::to_json`] emits the `BENCH_sim.json`
-//! document (schema `warp-mb/bench-sim/v4`) CI validates and archives
+//! document (schema `warp-mb/bench-sim/v5`) CI validates and archives
 //! per PR; the schema is documented in the README's "Performance"
 //! section.
+//!
+//! v5 adds per-workload **engine coverage**: the fraction of retired
+//! instructions the trace-config run attributed to each execution tier
+//! (per-instruction step, superblock dispatch, megablock trace
+//! chaining). Coverage explains the `below_floor` outliers — a
+//! workload whose trace fraction is low spends its retirements in
+//! dispatch overhead or stepping, so no amount of trace-tier speed can
+//! lift its trace-vs-block ratio.
 
 use mb_isa::{MbFeatures, OpClass};
 use mb_sim::{
@@ -104,6 +112,15 @@ pub struct WorkloadPerf {
     pub summary: ModePerf,
     /// Trace engine, full event vector.
     pub full_trace: ModePerf,
+    /// Fraction of retired instructions the trace-config run stepped
+    /// one at a time.
+    pub step_fraction: f64,
+    /// Fraction retired through the superblock tier (first body/guard
+    /// of each block dispatch).
+    pub block_fraction: f64,
+    /// Fraction retired through the megablock trace tier (iterations
+    /// chained in place past a dispatch's first).
+    pub trace_fraction: f64,
 }
 
 impl WorkloadPerf {
@@ -285,11 +302,11 @@ impl SimPerf {
     }
 
     /// Renders the `BENCH_sim.json` document (schema
-    /// `warp-mb/bench-sim/v4`: v3 plus the `lockstep` mode block — one
-    /// [`LaneGroup`] of [`LOCKSTEP_LANES`] seeded instances vs. the same
-    /// instances run sequentially on the trace engine, with a `lanes`
-    /// field — and the `below_floor` outlier list for per-workload
-    /// trace-vs-block speedups).
+    /// `warp-mb/bench-sim/v5`: v4 — the `lockstep` mode block and the
+    /// `below_floor` outlier list — plus the per-workload
+    /// `engine_coverage` object: the step/block/trace retirement
+    /// fractions of the trace-config run, the diagnosis key for the
+    /// `below_floor` entries).
     #[must_use]
     pub fn to_json(&self) -> String {
         let mode_json = |m: &ModePerf| {
@@ -299,7 +316,7 @@ impl SimPerf {
             )
         };
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"warp-mb/bench-sim/v4\",\n");
+        out.push_str("  \"schema\": \"warp-mb/bench-sim/v5\",\n");
         out.push_str(&format!("  \"mode\": \"{}\",\n", if self.smoke { "smoke" } else { "full" }));
         out.push_str(&format!("  \"reps\": {},\n", self.reps));
         out.push_str(&format!("  \"mb_clock_hz\": {},\n", mb_sim::MB_CLOCK_HZ));
@@ -309,6 +326,7 @@ impl SimPerf {
                 "    {{\"name\": \"{}\", \"instructions\": {}, \"mb_cycles\": {}, \
                  \"modes\": {{\"reference_decode_per_fetch\": {}, \"predecoded\": {}, \
                  \"block\": {}, \"trace\": {}, \"summary\": {}, \"full_trace\": {}}}, \
+                 \"engine_coverage\": {{\"step\": {:.4}, \"block\": {:.4}, \"trace\": {:.4}}}, \
                  \"trace_speedup_vs_block\": {:.3}, \
                  \"block_speedup_vs_predecoded\": {:.3}, \
                  \"predecoded_speedup_vs_reference\": {:.3}}}{}\n",
@@ -321,6 +339,9 @@ impl SimPerf {
                 mode_json(&w.trace),
                 mode_json(&w.summary),
                 mode_json(&w.full_trace),
+                w.step_fraction,
+                w.block_fraction,
+                w.trace_fraction,
                 w.trace_speedup(),
                 w.block_speedup(),
                 w.predecoded_speedup(),
@@ -546,11 +567,13 @@ pub fn measure_workload(workload: &workloads::Workload, reps: usize) -> Workload
     let predecoded = block.clone().with_blocks(false);
     let reference = predecoded.clone().with_predecode(false);
 
-    // Establish the expected simulated counts once.
+    // Establish the expected simulated counts once; the same run yields
+    // the engine-coverage fractions for the trace configuration.
     let mut sys = built.instantiate(&trace);
     let outcome = sys.run(MAX_CYCLES).expect("workload runs");
     assert!(outcome.exited());
     let expected = (outcome.cycles, outcome.instructions);
+    let (step_fraction, block_fraction, trace_fraction) = sys.stats().engine_coverage();
 
     let run_untraced =
         |sys: &mut mb_sim::System| sys.run_with_sink(MAX_CYCLES, &mut NullSink).unwrap();
@@ -577,6 +600,9 @@ pub fn measure_workload(workload: &workloads::Workload, reps: usize) -> Workload
         trace: ModePerf::from_best(t_trace, expected.1, Engine::Trace),
         summary: ModePerf::from_best(t_summary, expected.1, Engine::Trace),
         full_trace: ModePerf::from_best(t_full, expected.1, Engine::Trace),
+        step_fraction,
+        block_fraction,
+        trace_fraction,
     }
 }
 
@@ -716,6 +742,9 @@ mod tests {
                 trace: mode(0.025, Engine::Trace),
                 summary: mode(0.06, Engine::Trace),
                 full_trace: mode(0.2, Engine::Trace),
+                step_fraction: 0.02,
+                block_fraction: 0.08,
+                trace_fraction: 0.9,
             }],
             lockstep: LockstepPerf {
                 lanes: LOCKSTEP_LANES,
@@ -736,7 +765,10 @@ mod tests {
     #[test]
     fn json_has_schema_and_balanced_structure() {
         let json = synthetic().to_json();
-        assert!(json.contains("\"schema\": \"warp-mb/bench-sim/v4\""));
+        assert!(json.contains("\"schema\": \"warp-mb/bench-sim/v5\""));
+        assert!(json.contains(
+            "\"engine_coverage\": {\"step\": 0.0200, \"block\": 0.0800, \"trace\": 0.9000}"
+        ));
         assert!(json.contains("\"trace_speedup_vs_block\""));
         assert!(json.contains("\"block_speedup_vs_predecoded\""));
         assert!(json.contains("\"predecoded_speedup_vs_reference\""));

@@ -21,6 +21,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use warp_wcla::CadCaches;
+
 use crate::pipeline::{compile_circuit, CompiledWcla, DecompiledKernel};
 use crate::system::WarpError;
 
@@ -36,9 +38,16 @@ pub struct CacheStats {
 }
 
 /// A thread-safe, content-addressed store of compiled WCLA circuits.
+///
+/// Beyond whole-circuit artifacts, the cache carries a set of
+/// [`CadCaches`] — sub-kernel memoization of mapped LUT cones,
+/// placements, and first-pass net routes — so an online runtime
+/// attached to this cache can compile a *shifted-but-similar* kernel
+/// incrementally even when its whole-kernel fingerprint misses.
 #[derive(Debug, Default)]
 pub struct CircuitCache {
     slots: Mutex<HashMap<u64, Arc<CompiledWcla>>>,
+    cad: Arc<CadCaches>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -55,6 +64,42 @@ impl CircuitCache {
     #[must_use]
     pub fn get(&self, fingerprint: u64) -> Option<Arc<CompiledWcla>> {
         self.slots.lock().expect("cache lock").get(&fingerprint).cloned()
+    }
+
+    /// The sub-kernel CAD caches carried by this circuit cache. Runtimes
+    /// that compile through these caches share mapped cones, placements,
+    /// and net routes with every other compile that went through them.
+    #[must_use]
+    pub fn cad_caches(&self) -> Arc<CadCaches> {
+        Arc::clone(&self.cad)
+    }
+
+    /// Probes for an exact whole-kernel hit, verifying the kernel itself
+    /// (the 64-bit fingerprint is not collision-proof). Counts a hit on
+    /// success and nothing otherwise; a probe miss is expected to be
+    /// followed by [`CircuitCache::insert_compiled`], which counts the
+    /// miss.
+    #[must_use]
+    pub fn probe(&self, decompiled: &DecompiledKernel) -> Option<Arc<CompiledWcla>> {
+        let hit = self.get(decompiled.fingerprint)?;
+        if hit.circuit.kernel == decompiled.kernel {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(hit)
+        } else {
+            None
+        }
+    }
+
+    /// Publishes a freshly compiled circuit, counting a miss. On a
+    /// fingerprint collision the slot stays with its first owner; the
+    /// caller keeps using its own artifact either way.
+    pub fn insert_compiled(&self, compiled: &Arc<CompiledWcla>) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.slots
+            .lock()
+            .expect("cache lock")
+            .entry(compiled.fingerprint)
+            .or_insert_with(|| Arc::clone(compiled));
     }
 
     /// Returns the compiled circuit for a decompiled kernel, running

@@ -14,6 +14,7 @@
 use warp_cdfg::LoopKernel;
 use warp_fabric::CompiledCircuit;
 use warp_synth::{LutNetlist, SynthReport};
+use warp_wcla::CadWork;
 
 /// Cycles charged per unit of work in each CAD stage (MicroBlaze
 /// cycles; documented model constants).
@@ -72,18 +73,25 @@ impl DpmReport {
 }
 
 /// Derives the DPM cost model from what the tools actually did.
+///
+/// Each stage is charged for the work units it *performed*, taken from
+/// the [`CadWork`] accounting of the compile. A from-scratch compile
+/// (empty caches) charges the full chain; an incremental re-warp that
+/// replayed mapped cones, restored its placement, and restored its net
+/// routes is charged only the delta — decompilation, full re-synthesis
+/// (the sweep always runs), whatever cut enumeration and routing the
+/// caches could not cover, and the bitstream write (the physical
+/// reconfiguration is never skipped).
 #[must_use]
 pub fn estimate(
     kernel: &LoopKernel,
     synth: &SynthReport,
     netlist: &LutNetlist,
     compiled: &CompiledCircuit,
+    work: &CadWork,
 ) -> DpmReport {
     let gates = synth.gates_before_sweep.max(1);
     let luts = netlist.lut_count() as u64;
-    let place_attempts = (luts * 24).clamp(1, 120_000);
-    let wirelength =
-        compiled.route_stats.wirelength.max(1) * compiled.route_stats.iterations.max(1) as u64;
 
     // Peak memory: gate netlist (≈16 B/gate), LUT netlist (≈24 B/LUT),
     // routing occupancy/history (≈8 B/wire), bitstream.
@@ -94,9 +102,9 @@ pub fn estimate(
     DpmReport {
         decompile_cycles: kernel.body_insns as u64 * costs::DECOMPILE_PER_INSN,
         synth_cycles: gates * costs::SYNTH_PER_GATE,
-        map_cycles: gates * costs::MAP_PER_GATE,
-        place_cycles: place_attempts * costs::PLACE_PER_ATTEMPT,
-        route_cycles: wirelength * costs::ROUTE_PER_WIRE,
+        map_cycles: work.map.gates_enumerated * costs::MAP_PER_GATE,
+        place_cycles: work.fabric.place_attempts * costs::PLACE_PER_ATTEMPT,
+        route_cycles: work.fabric.routed_wires * costs::ROUTE_PER_WIRE,
         bitstream_cycles: compiled.bitstream.words().len() as u64 * costs::BITSTREAM_PER_WORD,
         peak_memory_bytes,
     }
@@ -113,8 +121,8 @@ mod tests {
     fn dpm_cost_is_seconds_scale_and_sub_megabyte_for_small_kernels() {
         let built = workloads::by_name("canrdr").unwrap().build(MbFeatures::paper_default());
         let kernel = decompile_loop(&built.program, built.kernel.head, built.kernel.tail).unwrap();
-        let (circuit, synth) = WclaCircuit::build(kernel).unwrap();
-        let report = estimate(&circuit.kernel, &synth, &circuit.netlist, &circuit.compiled);
+        let (circuit, synth, work) = WclaCircuit::build_cached(kernel, None).unwrap();
+        let report = estimate(&circuit.kernel, &synth, &circuit.netlist, &circuit.compiled, &work);
         let seconds = report.seconds(85_000_000);
         assert!(
             (0.000_01..30.0).contains(&seconds),
@@ -133,14 +141,14 @@ mod tests {
         let small = {
             let b = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());
             let k = decompile_loop(&b.program, b.kernel.head, b.kernel.tail).unwrap();
-            let (c, s) = WclaCircuit::build(k).unwrap();
-            estimate(&c.kernel, &s, &c.netlist, &c.compiled).total_cycles()
+            let (c, s, w) = WclaCircuit::build_cached(k, None).unwrap();
+            estimate(&c.kernel, &s, &c.netlist, &c.compiled, &w).total_cycles()
         };
         let big = {
             let b = workloads::by_name("idct").unwrap().build(MbFeatures::paper_default());
             let k = decompile_loop(&b.program, b.kernel.head, b.kernel.tail).unwrap();
-            let (c, s) = WclaCircuit::build(k).unwrap();
-            estimate(&c.kernel, &s, &c.netlist, &c.compiled).total_cycles()
+            let (c, s, w) = WclaCircuit::build_cached(k, None).unwrap();
+            estimate(&c.kernel, &s, &c.netlist, &c.compiled, &w).total_cycles()
         };
         assert!(big > small * 5, "idct DPM {big} vs brev {small}");
     }

@@ -33,7 +33,11 @@
 //!   Figure 7 (normalized energy), the Section 2 configurability study,
 //!   and the in-text summary statistics;
 //! * [`multi`] — the Figure 4 multi-processor warp system with a single
-//!   shared DPM serving processors round-robin.
+//!   shared DPM serving processors round-robin;
+//! * [`service`] — the concurrent CAD service: background worker
+//!   threads that overlap host-side compilation with simulation behind
+//!   a poll-able [`CadHandle`], without letting host speed or thread
+//!   count leak into the modeled timeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,11 +48,13 @@ pub mod dpm;
 pub mod experiments;
 pub mod multi;
 pub mod pipeline;
+pub mod service;
 mod system;
 
 pub use batch::BatchRunner;
 pub use cache::{CacheStats, CircuitCache};
 pub use pipeline::{PipelineStats, WarpMeasurement};
+pub use service::{CadHandle, CadService, CAD_THREADS_ENV};
 pub use system::{warp_run, WarpError, WarpReport};
 
 /// The paper's DPM clock: the dynamic partitioning module is "another

@@ -32,7 +32,7 @@ use warp_profiler::Profiler;
 use warp_synth::SynthReport;
 use warp_wcla::device::WCLA_WINDOW;
 use warp_wcla::patch::{apply_patch, stub_base_for, PatchError, PatchPlan};
-use warp_wcla::{WclaCircuit, WclaDevice, WCLA_BASE};
+use warp_wcla::{CadCaches, CadWork, WclaCircuit, WclaDevice, WCLA_BASE};
 use workloads::BuiltWorkload;
 
 use crate::cache::CircuitCache;
@@ -95,8 +95,14 @@ pub struct CompiledWcla {
     pub circuit: WclaCircuit,
     /// Synthesis cost reporting.
     pub synth: SynthReport,
-    /// The DPM's modeled CAD cost for this kernel.
+    /// The DPM's modeled CAD cost for this compile. Unlike the circuit,
+    /// this is *not* a pure function of the kernel — an incremental
+    /// compile that reused cached sub-kernel artifacts reports a smaller
+    /// cost than a from-scratch one for the same bit-identical circuit.
     pub dpm: DpmReport,
+    /// What the CAD chain actually did (cones mapped vs. replayed,
+    /// placement attempts, wires routed vs. restored).
+    pub work: CadWork,
     /// Fingerprint of the kernel this was compiled from.
     pub fingerprint: u64,
 }
@@ -243,14 +249,39 @@ pub fn decompile(built: &BuiltWorkload, hot: &HotRegion) -> Result<DecompiledKer
 /// Phase 4: the CAD chain — synthesis, technology mapping, place &
 /// route, bitstream, cycle model, and the DPM cost estimate.
 ///
+/// A from-scratch compile runs through fresh, private [`CadCaches`]: the
+/// memoizing tools *are* the CAD algorithm, so even a cold compile
+/// benefits from within-chain reuse (a channel-width retry restores the
+/// placement it just computed instead of re-placing), and its modeled
+/// cost is identical to what an online runtime charges for the same
+/// kernel through empty shared caches.
+///
 /// # Errors
 ///
 /// [`WarpError::Fabric`] if the kernel does not fit or route.
 pub fn compile_circuit(decompiled: &DecompiledKernel) -> Result<CompiledWcla, WarpError> {
-    let (circuit, synth) =
-        WclaCircuit::build(decompiled.kernel.clone()).map_err(WarpError::Fabric)?;
-    let dpm = dpm::estimate(&circuit.kernel, &synth, &circuit.netlist, &circuit.compiled);
-    Ok(CompiledWcla { circuit, synth, dpm, fingerprint: decompiled.fingerprint })
+    compile_circuit_cached(decompiled, Some(&CadCaches::new()))
+}
+
+/// [`compile_circuit`] with sub-kernel memoization: mapped cones,
+/// placements, and net routes are reused from `caches` where the
+/// structure matches. The circuit artifacts are bit-identical with or
+/// without caches — a from-scratch compile *is* an incremental compile
+/// with empty caches — but the DPM cost reflects only the work actually
+/// performed, which is what makes a re-warp of a shifted-but-similar
+/// kernel delta-cost on the online timeline.
+///
+/// # Errors
+///
+/// [`WarpError::Fabric`] if the kernel does not fit or route.
+pub fn compile_circuit_cached(
+    decompiled: &DecompiledKernel,
+    caches: Option<&CadCaches>,
+) -> Result<CompiledWcla, WarpError> {
+    let (circuit, synth, work) =
+        WclaCircuit::build_cached(decompiled.kernel.clone(), caches).map_err(WarpError::Fabric)?;
+    let dpm = dpm::estimate(&circuit.kernel, &synth, &circuit.netlist, &circuit.compiled, &work);
+    Ok(CompiledWcla { circuit, synth, dpm, work, fingerprint: decompiled.fingerprint })
 }
 
 /// Phase 5: plan the binary rewrite — the invocation stub goes at
@@ -264,7 +295,21 @@ pub fn plan_patch(
     built: &BuiltWorkload,
     compiled: &CompiledWcla,
 ) -> Result<PatchedBinary, WarpError> {
-    let kernel = &compiled.circuit.kernel;
+    plan_patch_kernel(built, &compiled.circuit.kernel)
+}
+
+/// [`plan_patch`] from the decompiled kernel alone. The plan depends
+/// only on the kernel and the program image — not on the compiled
+/// circuit — so an online runtime can plan the rewrite at detection
+/// time, before (and concurrently with) compilation.
+///
+/// # Errors
+///
+/// [`WarpError::Patch`] if the stub cannot be built.
+pub fn plan_patch_kernel(
+    built: &BuiltWorkload,
+    kernel: &LoopKernel,
+) -> Result<PatchedBinary, WarpError> {
     let head_word = built
         .program
         .word_at(kernel.head)

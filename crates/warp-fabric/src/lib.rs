@@ -45,10 +45,47 @@ use warp_synth::LutNetlist;
 
 pub use arch::FabricConfig;
 pub use bitstream::Bitstream;
-pub use place::Placement;
-pub use route::RouteStats;
+pub use place::{PlaceCache, Placement};
+pub use route::{RouteCache, RouteStats};
 pub use sim::FabricSim;
 pub use timing::TimingReport;
+
+/// Memoization caches for the fabric back-end stages.
+///
+/// Compiling with caches never changes the result — every cached
+/// artifact is the memoized output of a pure function of the netlist
+/// structure and fabric geometry, verified structurally on lookup — it
+/// only changes how much work [`compile_cached`] reports having done.
+#[derive(Debug, Default)]
+pub struct FabricCaches {
+    /// Memoized placements keyed by netlist structure.
+    pub place: PlaceCache,
+    /// Memoized first-pass net routes keyed by geometry and pins.
+    pub route: RouteCache,
+}
+
+impl FabricCaches {
+    /// Creates empty caches.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Modeled work the fabric back end actually performed, summed over
+/// channel-width retries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FabricWork {
+    /// Placement refinement attempts executed (0 when restored).
+    pub place_attempts: u64,
+    /// Whether the successful attempt restored its placement.
+    pub place_restored: bool,
+    /// Wire segments traversed by freshly computed route paths.
+    pub routed_wires: u64,
+    /// Nets whose first-pass route was restored on the successful
+    /// attempt.
+    pub nets_restored: usize,
+}
 
 /// Why a netlist could not be compiled onto the fabric.
 #[derive(Clone, PartialEq, Debug)]
@@ -108,21 +145,47 @@ pub struct CompiledCircuit {
 /// Returns [`CompileError`] if the netlist exceeds the fabric capacity
 /// or remains unroutable at the maximum channel width.
 pub fn compile(netlist: &LutNetlist, base: &FabricConfig) -> Result<CompiledCircuit, CompileError> {
+    compile_cached(netlist, base, None).map(|(circuit, _)| circuit)
+}
+
+/// [`compile`] with memoization: restores placements and first-pass net
+/// routes from `caches` when the structure matches, and reports the
+/// work actually performed. The compiled circuit is bit-identical with
+/// or without caches.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if the netlist exceeds the fabric capacity
+/// or remains unroutable at the maximum channel width.
+pub fn compile_cached(
+    netlist: &LutNetlist,
+    base: &FabricConfig,
+    caches: Option<&FabricCaches>,
+) -> Result<(CompiledCircuit, FabricWork), CompileError> {
     let mut config = base.clone();
     let mut last_overused = 0;
+    let mut work = FabricWork::default();
     for _attempt in 0..5 {
-        let placement = place::place(netlist, &config)?;
-        match route::route(netlist, &placement, &config) {
-            Ok(routing) => {
+        let (placement, place_work) =
+            place::place_cached(netlist, &config, caches.map(|c| &c.place))?;
+        work.place_attempts += place_work.attempts;
+        work.place_restored = place_work.restored;
+        match route::route_cached(netlist, &placement, &config, caches.map(|c| &c.route)) {
+            Ok((routing, route_work)) => {
+                work.routed_wires += route_work.routed_wires;
+                work.nets_restored = route_work.nets_restored;
                 let bitstream = bitstream::generate(netlist, &placement, &routing, &config);
                 let timing = timing::analyze(netlist, &placement, &routing, &config);
-                return Ok(CompiledCircuit {
-                    config,
-                    placement,
-                    bitstream,
-                    route_stats: routing.stats,
-                    timing,
-                });
+                return Ok((
+                    CompiledCircuit {
+                        config,
+                        placement,
+                        bitstream,
+                        route_stats: routing.stats,
+                        timing,
+                    },
+                    work,
+                ));
             }
             Err(route::RouteError::Congested { overused }) => {
                 last_overused = overused;

@@ -5,9 +5,18 @@
 //! fan-in centroid, and a bounded greedy swap pass shortens the longest
 //! nets. Flip-flops co-locate with the slot of the LUT driving their D
 //! input where possible.
+//!
+//! The placer is a pure function of the netlist's *placement view* —
+//! LUT-to-LUT connectivity, flip-flop D drivers, and grid geometry (the
+//! swap pass is seeded deterministically) — so a [`PlaceCache`] can
+//! memoize whole placements by content hash and restore them
+//! bit-identically when a structurally identical netlist re-warps.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
+use warp_cdfg::fingerprint::Fnv1a;
 use warp_synth::map::LutNode;
 use warp_synth::LutNetlist;
 
@@ -61,6 +70,156 @@ fn wirelength(
     }
     let _ = config;
     total
+}
+
+/// Everything the placer reads, canonicalized: LUT nodes renamed to
+/// their rank in node order, inputs restricted to LUT-to-LUT edges
+/// (non-LUT fan-ins are level-0 and invisible to the cost function),
+/// flip-flops by their D-driver rank, plus the grid geometry.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct PlaceView {
+    rows: usize,
+    cols: usize,
+    luts: Vec<Vec<u32>>,
+    ffs: Vec<Option<u32>>,
+}
+
+fn placement_view(netlist: &LutNetlist, config: &FabricConfig) -> PlaceView {
+    let mut rank: HashMap<u32, u32> = HashMap::new();
+    for (i, node) in netlist.nodes().iter().enumerate() {
+        if matches!(node, LutNode::Lut { .. }) {
+            let r = rank.len() as u32;
+            rank.insert(i as u32, r);
+        }
+    }
+    let luts = netlist
+        .nodes()
+        .iter()
+        .filter_map(|node| match node {
+            LutNode::Lut { inputs, .. } => {
+                Some(inputs.iter().filter_map(|r| rank.get(r).copied()).collect())
+            }
+            _ => None,
+        })
+        .collect();
+    let ffs = netlist.ffs().iter().map(|ff| rank.get(&ff.d).copied()).collect();
+    PlaceView { rows: config.rows, cols: config.cols, luts, ffs }
+}
+
+/// A memoized whole placement: slots by LUT rank and FF index.
+#[derive(Clone, Debug)]
+struct CachedPlacement {
+    view: PlaceView,
+    lut_slots: Vec<SlotId>,
+    ff_slots: Vec<SlotId>,
+}
+
+/// Memoized placements, shared across compiles.
+///
+/// Purely an accelerator: [`place_cached`] restores the exact placement
+/// [`place`] would compute (the placer is deterministic), so only the
+/// reported [`PlaceWork`] changes. Entries are verified structurally on
+/// hit; a hash collision degrades to a miss.
+#[derive(Debug, Default)]
+pub struct PlaceCache {
+    slots: Mutex<HashMap<u64, CachedPlacement>>,
+}
+
+impl PlaceCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized placements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("place cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lookup(&self, key: u64, view: &PlaceView) -> Option<CachedPlacement> {
+        let slots = self.slots.lock().expect("place cache lock");
+        slots.get(&key).filter(|c| &c.view == view).cloned()
+    }
+
+    fn insert(&self, key: u64, cached: CachedPlacement) {
+        self.slots.lock().expect("place cache lock").entry(key).or_insert(cached);
+    }
+}
+
+/// Placement work actually performed (vs. restored from a
+/// [`PlaceCache`]), for the on-chip CAD cost model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct PlaceWork {
+    /// Greedy swap attempts the placer ran.
+    pub attempts: u64,
+    /// Whether the whole placement was restored from the cache.
+    pub restored: bool,
+}
+
+/// Places a mapped netlist, restoring the whole placement from `cache`
+/// when a structurally identical netlist was placed before (and
+/// memoizing fresh placements).
+///
+/// Bit-identical to [`place`] either way — only [`PlaceWork`] changes.
+///
+/// # Errors
+///
+/// Returns [`CompileError::FabricFull`] when the netlist needs more
+/// slots than the fabric provides.
+pub fn place_cached(
+    netlist: &LutNetlist,
+    config: &FabricConfig,
+    cache: Option<&PlaceCache>,
+) -> Result<(Placement, PlaceWork), CompileError> {
+    let lut_ids: Vec<u32> = netlist
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| matches!(n, LutNode::Lut { .. }))
+        .map(|(i, _)| i as u32)
+        .collect();
+    let needed = lut_ids.len().max(netlist.ffs().len());
+    if needed > config.lut_slots() {
+        return Err(CompileError::FabricFull { needed, available: config.lut_slots() });
+    }
+
+    let view = placement_view(netlist, config);
+    let key = {
+        let mut h = Fnv1a::new();
+        view.hash(&mut h);
+        h.finish()
+    };
+    if let Some(hit) = cache.and_then(|c| c.lookup(key, &view)) {
+        let mut placement = Placement::default();
+        for (rank, &id) in lut_ids.iter().enumerate() {
+            placement.lut_slot.insert(id, hit.lut_slots[rank]);
+        }
+        for (k, &s) in hit.ff_slots.iter().enumerate() {
+            placement.ff_slot.insert(k, s);
+        }
+        return Ok((placement, PlaceWork { attempts: 0, restored: true }));
+    }
+
+    let placement = place(netlist, config)?;
+    let attempts = if lut_ids.len() >= 2 { (lut_ids.len() * 24).min(120_000) as u64 } else { 0 };
+    if let Some(c) = cache {
+        let lut_slots = lut_ids.iter().map(|id| placement.lut_slot[id]).collect();
+        let ff_slots = (0..netlist.ffs().len()).map(|k| placement.ff_slot[&k]).collect();
+        c.insert(key, CachedPlacement { view, lut_slots, ff_slots });
+    }
+    Ok((placement, PlaceWork { attempts, restored: false }))
 }
 
 /// Places a mapped netlist.
@@ -303,6 +462,26 @@ mod tests {
         let cfg = FabricConfig::sized_for(nl.lut_count(), nl.ffs().len());
         let p = place(&nl, &cfg).unwrap();
         assert_eq!(p.ff_slot.len(), 1);
+    }
+
+    #[test]
+    fn cached_placement_restores_bit_identically() {
+        let nl = small_netlist();
+        let cfg = FabricConfig::sized_for(nl.lut_count(), 0);
+        let fresh = place(&nl, &cfg).unwrap();
+
+        let cache = PlaceCache::new();
+        let (first, w1) = place_cached(&nl, &cfg, Some(&cache)).unwrap();
+        assert!(!w1.restored);
+        assert!(w1.attempts > 0, "the adder has enough LUTs for a swap pass");
+        assert_eq!(first.lut_slot, fresh.lut_slot);
+        assert_eq!(first.ff_slot, fresh.ff_slot);
+
+        let (second, w2) = place_cached(&nl, &cfg, Some(&cache)).unwrap();
+        assert!(w2.restored, "an identical view must restore");
+        assert_eq!(w2.attempts, 0);
+        assert_eq!(second.lut_slot, fresh.lut_slot);
+        assert_eq!(second.ff_slot, fresh.ff_slot);
     }
 
     #[test]

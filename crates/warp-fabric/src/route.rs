@@ -8,10 +8,21 @@
 //! This implementation uses A*-directed searches over the wire graph
 //! with integer milli-unit costs and epoch-stamped visited arrays (no
 //! per-iteration clearing), which is both fast and memory-lean.
+//!
+//! Iteration 0 is congestion-blind: the presence multiplier starts at
+//! zero, so every net's first route is a pure function of the fabric
+//! geometry, its driver slot, and its ordered sink list. That purity is
+//! what makes the per-net [`RouteCache`] sound — a restored first-pass
+//! path is bit-identical to the one the router would have computed, and
+//! the negotiation iterations that resolve any sharing proceed
+//! identically whether the paths were computed or restored.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
+use warp_cdfg::fingerprint::Fnv1a;
 use warp_synth::map::LutNode;
 use warp_synth::LutNetlist;
 
@@ -86,6 +97,100 @@ struct PendingNet {
     sinks: Vec<(SlotId, u8)>,
 }
 
+/// The full identity of a first-pass net route: everything the
+/// congestion-blind iteration-0 search depends on. The driver node
+/// index is deliberately excluded — it names the net but does not
+/// influence its path.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct NetKey {
+    rows: usize,
+    cols: usize,
+    tracks: usize,
+    driver_slot: SlotId,
+    sinks: Vec<(SlotId, u8)>,
+}
+
+impl NetKey {
+    fn of(config: &FabricConfig, net: &PendingNet) -> Self {
+        NetKey {
+            rows: config.rows,
+            cols: config.cols,
+            tracks: config.tracks,
+            driver_slot: net.driver_slot,
+            sinks: net.sinks.clone(),
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// A memoized iteration-0 route: the sink paths the congestion-blind
+/// first pass produces for this key. The key is stored in full so a
+/// hash collision verifies as a miss rather than corrupting a route.
+#[derive(Clone, Debug)]
+struct CachedNetRoute {
+    key: NetKey,
+    sinks: Vec<RoutedSink>,
+}
+
+/// Cross-compile cache of first-pass net routes.
+///
+/// Keys cover the fabric geometry, the driver slot, and the ordered
+/// sink list, so a re-warped kernel whose placement survives intact
+/// restores its wire paths instead of re-running the A* searches. The
+/// restored paths are bit-identical to freshly computed ones (see the
+/// module docs), so routing results never depend on cache state — only
+/// the modeled routing work does.
+#[derive(Debug, Default)]
+pub struct RouteCache {
+    nets: Mutex<HashMap<u64, CachedNetRoute>>,
+}
+
+impl RouteCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized net routes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nets.lock().expect("route cache poisoned").len()
+    }
+
+    /// True when nothing has been memoized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lookup(&self, key: &NetKey) -> Option<Vec<RoutedSink>> {
+        let nets = self.nets.lock().expect("route cache poisoned");
+        let cached = nets.get(&key.fingerprint())?;
+        (cached.key == *key).then(|| cached.sinks.clone())
+    }
+
+    fn insert(&self, key: NetKey, sinks: Vec<RoutedSink>) {
+        let mut nets = self.nets.lock().expect("route cache poisoned");
+        nets.entry(key.fingerprint()).or_insert(CachedNetRoute { key, sinks });
+    }
+}
+
+/// Modeled work the router actually performed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RouteWork {
+    /// Wire segments traversed by freshly computed paths, summed over
+    /// every iteration. Restored first-pass routes charge nothing.
+    pub routed_wires: u64,
+    /// Nets whose first-pass route was restored from the cache.
+    pub nets_restored: usize,
+}
+
 /// Collects the nets that must use general routing: LUT/FF-Q sources to
 /// LUT-input/FF-D sinks. Input-bus and output-bus connections are
 /// dedicated wiring and need no channel resources.
@@ -142,13 +247,35 @@ pub fn route(
     placement: &Placement,
     config: &FabricConfig,
 ) -> Result<Routing, RouteError> {
+    route_cached(netlist, placement, config, None).map(|(routing, _)| routing)
+}
+
+/// Routes a placed netlist, restoring first-pass net routes from
+/// `cache` when possible and reporting the work actually performed.
+///
+/// The routing result is bit-identical with or without a cache; only
+/// [`RouteWork`] differs.
+///
+/// # Errors
+///
+/// Returns [`RouteError::Congested`] if wires are still shared after
+/// `MAX_ITERS` (24) iterations (the caller widens the channels and retries).
+pub fn route_cached(
+    netlist: &LutNetlist,
+    placement: &Placement,
+    config: &FabricConfig,
+    cache: Option<&RouteCache>,
+) -> Result<(Routing, RouteWork), RouteError> {
     let wires = Wires::new(config);
     let n_wires = wires.count();
     let pending = collect_nets(netlist, placement);
+    let mut work = RouteWork::default();
 
     let mut history: Vec<u64> = vec![0; n_wires];
     let mut occupancy: Vec<u16> = vec![0; n_wires];
-    let mut pres_mult: u64 = 500;
+    // Iteration 0 is congestion-blind (see the module docs); the
+    // presence multiplier only turns on once sharing is observed.
+    let mut pres_mult: u64 = 0;
 
     // Epoch-stamped A* state.
     let mut gscore: Vec<u64> = vec![0; n_wires];
@@ -192,6 +319,25 @@ pub fn route(
                 }
             }
             let net = &pending[net_idx];
+            if iter == 0 {
+                if let Some(sinks) = cache.and_then(|c| c.lookup(&NetKey::of(config, net))) {
+                    let mut seen = std::collections::HashSet::new();
+                    for sink in &sinks {
+                        for &w in &sink.path {
+                            if seen.insert(w) {
+                                occupancy[w.0 as usize] += 1;
+                            }
+                        }
+                    }
+                    routes[net_idx] = Some(RoutedNet {
+                        driver_node: net.driver_node,
+                        driver_slot: net.driver_slot,
+                        sinks,
+                    });
+                    work.nets_restored += 1;
+                    continue;
+                }
+            }
             let (dr, dc, _) = net.driver_slot.pos(config);
             let mut routed = RoutedNet {
                 driver_node: net.driver_node,
@@ -293,6 +439,7 @@ pub fn route(
                     path.push(cur);
                 }
                 path.reverse();
+                work.routed_wires += path.len() as u64;
                 // Add new wires to tree and occupancy (skip wires already
                 // in this net's tree).
                 for &w in &path {
@@ -304,6 +451,11 @@ pub fn route(
                 }
                 routed.sinks.push(RoutedSink { slot: sink_slot, pin, path });
             }
+            if iter == 0 {
+                if let Some(c) = cache {
+                    c.insert(NetKey::of(config, net), routed.sinks.clone());
+                }
+            }
             routes[net_idx] = Some(routed);
         }
 
@@ -312,22 +464,25 @@ pub fn route(
         if overused == 0 {
             let wirelength = occupancy.iter().map(|&o| u64::from(o)).sum();
             let nets: Vec<RoutedNet> = routes.into_iter().flatten().collect();
-            return Ok(Routing {
-                nets,
-                stats: RouteStats {
-                    iterations: iter + 1,
-                    wirelength,
-                    tracks: config.tracks,
-                    nets: pending.len(),
+            return Ok((
+                Routing {
+                    nets,
+                    stats: RouteStats {
+                        iterations: iter + 1,
+                        wirelength,
+                        tracks: config.tracks,
+                        nets: pending.len(),
+                    },
                 },
-            });
+                work,
+            ));
         }
         for (w, &o) in occupancy.iter().enumerate() {
             if o > 1 {
                 history[w] += u64::from(o - 1) * 400;
             }
         }
-        pres_mult = (pres_mult as f64 * 1.7) as u64;
+        pres_mult = if pres_mult == 0 { 500 } else { (pres_mult as f64 * 1.7) as u64 };
     }
 
     let overused = occupancy.iter().filter(|&&o| o > 1).count();
@@ -414,6 +569,55 @@ mod tests {
                     if !tree.contains(&w) {
                         tree.push(w);
                     }
+                }
+            }
+        }
+    }
+
+    fn ff_netlist() -> LutNetlist {
+        // An accumulator: FFs feed back into an adder, so FF-Q nets and
+        // LUT-to-FF-D nets exercise general routing.
+        let mut n = GateNetlist::new();
+        let a = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+        let (ffs, qs): (Vec<_>, Vec<_>) = (0..32).map(|bit| n.ff(mb_isa::Reg::R22, bit)).unzip();
+        let acc = core::array::from_fn(|i| qs[i]);
+        let s = n.add_word(a, acc, false);
+        for (ff, d) in ffs.into_iter().zip(s) {
+            n.set_ff_d(ff, d);
+        }
+        n.output(0, s);
+        map_netlist(&n)
+    }
+
+    #[test]
+    fn cached_routing_is_bit_identical_and_charges_only_fresh_paths() {
+        let nl = ff_netlist();
+        let mut cfg = FabricConfig::sized_for(nl.lut_count(), nl.ffs().len());
+        cfg.tracks = 16;
+        let p = place(&nl, &cfg).unwrap();
+        let fresh = route(&nl, &p, &cfg).expect("accumulator must route");
+        assert!(fresh.stats.nets > 0);
+
+        let cache = RouteCache::new();
+        let (first, w1) = route_cached(&nl, &p, &cfg, Some(&cache)).unwrap();
+        assert_eq!(w1.nets_restored, 0);
+        assert!(w1.routed_wires > 0);
+        assert!(!cache.is_empty());
+
+        let (second, w2) = route_cached(&nl, &p, &cfg, Some(&cache)).unwrap();
+        assert_eq!(w2.nets_restored, first.stats.nets, "every first-pass route must restore");
+        assert!(w2.routed_wires < w1.routed_wires, "restored first passes must not be re-charged");
+
+        for r in [&first, &second] {
+            assert_eq!(r.stats, fresh.stats);
+            assert_eq!(r.nets.len(), fresh.nets.len());
+            for (a, b) in r.nets.iter().zip(&fresh.nets) {
+                assert_eq!(a.driver_node, b.driver_node);
+                assert_eq!(a.driver_slot, b.driver_slot);
+                assert_eq!(a.sinks.len(), b.sinks.len());
+                for (sa, sb) in a.sinks.iter().zip(&b.sinks) {
+                    assert_eq!((sa.slot, sa.pin), (sb.slot, sb.pin));
+                    assert_eq!(sa.path, sb.path);
                 }
             }
         }

@@ -9,9 +9,34 @@
 //!   on a fixed cadence so it tracks the current program phase;
 //! * the **OCPM**, which — once the policy commits to a region — runs
 //!   the real CAD chain host-side through the typed
-//!   [`warp_core::pipeline`] stages, while the *modeled* lean-processor
-//!   cycle cost is charged to the timeline; the patch lands only when
-//!   that budget has elapsed in simulated time.
+//!   [`warp_core::pipeline`] stages on a background
+//!   [`CadService`](warp_core::CadService) worker, while the *modeled*
+//!   lean-processor cycle cost is charged to the timeline; the patch
+//!   lands only when that budget has elapsed in simulated time.
+//!
+//! # Concurrency without nondeterminism
+//!
+//! The paper's DPM is a separate processor: CAD runs *while* the
+//! application keeps executing. The runtime reproduces that overlap in
+//! host wall-clock — compilation is submitted to a worker thread at
+//! detection and the MicroBlaze keeps simulating slices — without ever
+//! letting host speed or `WARP_CAD_THREADS` leak into the modeled
+//! timeline. The trick is that the background result is only *consumed*
+//! at a boundary computed from modeled quantities: the first slice
+//! boundary at-or-after `detected + decompile_floor` (a lower bound on
+//! the CAD budget known at detection). If the worker is still running
+//! there, the orchestrator blocks on it; if it finished earlier, the
+//! result waited. Either way every downstream decision — blacklisting,
+//! `ready_at`, the patch cycle — happens at the same simulated cycle on
+//! every host, so [`OnlineReport`]s are byte-identical across thread
+//! counts.
+//!
+//! When a [`CircuitCache`] is attached, its sub-kernel
+//! [`CadCaches`](warp_wcla::CadCaches) ride along into the background
+//! compile: a re-warp of a shifted-but-similar kernel replays mapped
+//! LUT cones, placements, and first-pass net routes, producing a
+//! bit-identical circuit while charging only the delta work to the
+//! timeline (see [`warp_core::pipeline::compile_circuit_cached`]).
 //!
 //! Hot-patching happens between slices through
 //! [`System::imem_mut`](mb_sim::System::imem_mut); the pre-decoded
@@ -25,11 +50,12 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use mb_sim::{MbConfig, StopReason};
-use warp_core::dpm::DpmReport;
+use warp_core::dpm::{costs, DpmReport};
 use warp_core::pipeline::{self, CompiledWcla};
-use warp_core::{CircuitCache, WarpError, WarpOptions};
+use warp_core::{CadHandle, CadService, CircuitCache, WarpError, WarpOptions};
 use warp_profiler::{HotRegion, Profiler};
 use warp_wcla::patch::{apply_patch, revert_patch, PatchPlan};
+use warp_wcla::CadCaches;
 use warp_wcla::{WclaDevice, WclaStats, WCLA_BASE, WCLA_WINDOW};
 use workloads::BuiltWorkload;
 
@@ -90,6 +116,33 @@ struct PendingWarp {
     cache_hit: bool,
 }
 
+/// A committed warp whose CAD chain is still running on a background
+/// worker. Decompilation and patch planning already happened
+/// synchronously at detection; only compilation is in flight.
+struct InFlightWarp {
+    region: HotRegion,
+    plan: PatchPlan,
+    detected_cycle: u64,
+    /// First timeline cycle at which the background result may be
+    /// consumed: detection plus the decompile floor — a lower bound on
+    /// the modeled CAD budget computable *without* compiling. Joining
+    /// no earlier than this keeps the timeline independent of how fast
+    /// the host workers are.
+    join_at: u64,
+    handle: CadHandle<Result<CompiledWcla, WarpError>>,
+}
+
+/// The OCPM's one-job-at-a-time state machine.
+enum CadState {
+    /// No warp committed; detection may run.
+    Idle,
+    /// Compilation running on a background worker.
+    InFlight(InFlightWarp),
+    /// Compilation finished (or cache hit); the modeled budget is still
+    /// elapsing toward `ready_at`.
+    Ready(PendingWarp),
+}
+
 /// The warp currently holding the fabric.
 struct ActiveWarp {
     region: (u32, u32),
@@ -147,6 +200,12 @@ impl<'w> Orchestrator<'w> {
         let Orchestrator { built, config, mut policy, cache } = self;
         let mut profiler = Profiler::new(config.options.profiler);
         let slot = SharedSlot::new();
+        let service = CadService::from_env();
+        // Background compiles share the attached circuit cache's
+        // sub-kernel caches (incremental re-warps); without a cache the
+        // orchestrator still gets private ones, so evict + re-warp of a
+        // similar kernel within one run is delta-cost too.
+        let cad_caches = cache.map_or_else(|| Arc::new(CadCaches::new()), CircuitCache::cad_caches);
 
         let mut cycles = 0u64;
         let mut instructions = 0u64;
@@ -155,7 +214,7 @@ impl<'w> Orchestrator<'w> {
         let mut exit_code = 0u32;
         let mut events: Vec<WarpEvent> = Vec::new();
         let mut active: Option<ActiveWarp> = None;
-        let mut pending: Option<PendingWarp> = None;
+        let mut cad = CadState::Idle;
         let mut blacklist: BTreeSet<(u32, u32)> = BTreeSet::new();
 
         for _rep in 0..config.repeats.max(1) {
@@ -182,13 +241,56 @@ impl<'w> Orchestrator<'w> {
                     }
                 }
 
+                // Join: the background compile may only be consumed at
+                // the first slice boundary at-or-after `join_at`. The
+                // host may block here (the worker is slower than the
+                // floor) or the result may have been waiting for many
+                // slices — the modeled timeline cannot tell the
+                // difference.
+                if matches!(&cad, CadState::InFlight(f) if cycles >= f.join_at) {
+                    let CadState::InFlight(f) = std::mem::replace(&mut cad, CadState::Idle) else {
+                        unreachable!("matched InFlight above")
+                    };
+                    match f.handle.wait() {
+                        Ok(compiled) => {
+                            let compiled = Arc::new(compiled);
+                            if let Some(c) = cache {
+                                c.insert_compiled(&compiled);
+                            }
+                            let cad_cycles = cad_timeline_cycles(
+                                &compiled.dpm,
+                                false,
+                                config.mb.clock_hz,
+                                config.options.dpm_clock_hz,
+                            );
+                            cad = CadState::Ready(PendingWarp {
+                                region: f.region,
+                                compiled,
+                                plan: f.plan,
+                                detected_cycle: f.detected_cycle,
+                                cad_cycles,
+                                ready_at: f.detected_cycle + cad_cycles,
+                                cache_hit: false,
+                            });
+                        }
+                        // Not WCLA-implementable: blacklisted at this
+                        // deterministic boundary, software continues.
+                        Err(e) if rejects_region(&e) => {
+                            blacklist.insert((f.region.head, f.region.tail));
+                        }
+                        Err(e) => return Err(OnlineError::Warp(e)),
+                    }
+                }
+
                 // CAD completion: the pending warp's lean-processor
                 // budget has elapsed — hot-patch, unless the PC sits in
                 // the stub words about to be rewritten (retry next
                 // slice; the stub is straight-line and exits quickly).
-                let ready = pending.as_ref().is_some_and(|p| cycles >= p.ready_at);
+                let ready = matches!(&cad, CadState::Ready(p) if cycles >= p.ready_at);
                 if ready && stub_is_clear(sys.cpu().pc(), active.as_ref()) {
-                    let p = pending.take().expect("checked above");
+                    let CadState::Ready(p) = std::mem::replace(&mut cad, CadState::Idle) else {
+                        unreachable!("matched Ready above")
+                    };
                     let mut evicted = None;
                     if let Some(old) = active.take() {
                         revert_patch(sys.imem_mut(), &old.plan).map_err(OnlineError::Patch)?;
@@ -200,6 +302,8 @@ impl<'w> Orchestrator<'w> {
                         WclaDevice::new(p.compiled.circuit.clone(), config.mb.clock_hz);
                     slot.install(device);
                     let event_index = events.len();
+                    let work = p.compiled.work;
+                    let total_nets = p.compiled.circuit.compiled.route_stats.nets;
                     events.push(WarpEvent {
                         head: p.region.head,
                         tail: p.region.tail,
@@ -210,6 +314,22 @@ impl<'w> Orchestrator<'w> {
                         patched_cycle: cycles,
                         patched_insns: instructions,
                         cache_hit: p.cache_hit,
+                        // A whole-circuit hit replayed everything; a
+                        // (possibly incremental) compile reports what
+                        // its sub-kernel caches replayed.
+                        reused_clusters: if p.cache_hit {
+                            work.map.clusters
+                        } else {
+                            work.map.clusters_reused
+                        },
+                        total_clusters: work.map.clusters,
+                        rerouted_nets: if p.cache_hit {
+                            0
+                        } else {
+                            total_nets - work.fabric.nets_restored
+                        },
+                        total_nets,
+                        cad_overlap_cycles: cycles - p.detected_cycle,
                         evicted,
                         dpm: p.compiled.dpm,
                         model: p.compiled.circuit.model,
@@ -221,7 +341,7 @@ impl<'w> Orchestrator<'w> {
                         stats,
                         event_index,
                     });
-                } else if pending.is_none() {
+                } else if matches!(cad, CadState::Idle) {
                     // Detection: offer ranked candidates to the policy.
                     let active_key = active.as_ref().map(|a| a.region);
                     let ranked = profiler.hot_regions();
@@ -241,10 +361,18 @@ impl<'w> Orchestrator<'w> {
                         .find(|r| policy.should_warp(r, &ctx))
                         .copied();
                     if let Some(region) = candidate {
-                        match prepare_warp(built, cache, &config, &region, cycles) {
-                            Ok(Some(p)) => pending = Some(p),
-                            // Not WCLA-implementable: leave the region
-                            // in software, permanently.
+                        match begin_warp(
+                            built,
+                            cache,
+                            &service,
+                            &cad_caches,
+                            &config,
+                            &region,
+                            cycles,
+                        ) {
+                            Ok(Some(state)) => cad = state,
+                            // Not decompilable/patchable: leave the
+                            // region in software, permanently.
                             Ok(None) => {
                                 blacklist.insert((region.head, region.tail));
                             }
@@ -304,25 +432,33 @@ fn stub_is_clear(pc: u32, active: Option<&ActiveWarp>) -> bool {
     }
 }
 
-/// Runs the OCPM's CAD chain host-side (decompile → compile → patch
-/// plan) and converts its modeled cost into a timeline budget.
+/// Whether a CAD failure means "region not WCLA-implementable" — the
+/// caller blacklists the region and execution simply continues in
+/// software, exactly the partitioner's fallback in the paper.
+fn rejects_region(e: &WarpError) -> bool {
+    matches!(e, WarpError::Decompile(_) | WarpError::Fabric(_) | WarpError::Patch(_))
+}
+
+/// Starts the OCPM on a committed region: decompiles, plans the binary
+/// rewrite, probes the circuit cache — all synchronously, so their
+/// rejections blacklist at the detection boundary — then either returns
+/// the cached circuit as [`CadState::Ready`] or submits compilation to
+/// a background worker as [`CadState::InFlight`].
 ///
-/// `Ok(None)` means the region is not WCLA-implementable (decompilation,
-/// fabric capacity, or patching rejected it) — the caller blacklists it
-/// and execution simply continues in software, exactly the partitioner's
-/// fallback in the paper.
-fn prepare_warp(
+/// `Ok(None)` means decompilation or patch planning rejected the
+/// region (blacklist it). Fabric rejections surface later, at the
+/// in-flight join boundary.
+fn begin_warp(
     built: &BuiltWorkload,
     cache: Option<&CircuitCache>,
+    service: &CadService,
+    cad_caches: &Arc<CadCaches>,
     config: &OnlineConfig,
     region: &HotRegion,
     now: u64,
-) -> Result<Option<PendingWarp>, OnlineError> {
-    let reject = |e: &WarpError| {
-        matches!(e, WarpError::Decompile(_) | WarpError::Fabric(_) | WarpError::Patch(_))
-    };
-    let lift = |e: WarpError| -> Result<Option<PendingWarp>, OnlineError> {
-        if reject(&e) {
+) -> Result<Option<CadState>, OnlineError> {
+    let lift = |e: WarpError| -> Result<Option<CadState>, OnlineError> {
+        if rejects_region(&e) {
             Ok(None)
         } else {
             Err(OnlineError::Warp(e))
@@ -333,36 +469,57 @@ fn prepare_warp(
         Ok(d) => d,
         Err(e) => return lift(e),
     };
-    let (compiled, cache_hit) = match cache {
-        Some(cache) => match cache.lookup_or_compile(&decompiled) {
-            Ok(pair) => pair,
-            Err(e) => return lift(e),
-        },
-        None => match pipeline::compile_circuit(&decompiled) {
-            Ok(c) => (Arc::new(c), false),
-            Err(e) => return lift(e),
-        },
-    };
-    let plan = match pipeline::plan_patch(built, &compiled) {
+    // The rewrite plan depends only on the kernel and the program
+    // image, so it is ready before compilation even starts.
+    let plan = match pipeline::plan_patch_kernel(built, &decompiled.kernel) {
         Ok(p) => p.plan,
         Err(e) => return lift(e),
     };
 
-    let cad_cycles = cad_timeline_cycles(
-        &compiled.dpm,
-        cache_hit,
-        config.mb.clock_hz,
-        config.options.dpm_clock_hz,
-    );
-    Ok(Some(PendingWarp {
+    if let Some(cache) = cache {
+        if let Some(hit) = cache.probe(&decompiled) {
+            let cad_cycles = cad_timeline_cycles(
+                &hit.dpm,
+                true,
+                config.mb.clock_hz,
+                config.options.dpm_clock_hz,
+            );
+            return Ok(Some(CadState::Ready(PendingWarp {
+                region: *region,
+                compiled: hit,
+                plan,
+                detected_cycle: now,
+                cad_cycles,
+                ready_at: now + cad_cycles,
+                cache_hit: true,
+            })));
+        }
+    }
+
+    // The earliest the full budget could possibly elapse is the
+    // decompile floor — known right here, before compiling anything —
+    // so that is the deterministic join boundary for the background
+    // result.
+    let floor_dpm = decompiled.kernel.body_insns as u64 * costs::DECOMPILE_PER_INSN;
+    let join_at =
+        now + to_timeline_cycles(floor_dpm, config.mb.clock_hz, config.options.dpm_clock_hz);
+    let caches = Arc::clone(cad_caches);
+    let handle =
+        service.submit(move || pipeline::compile_circuit_cached(&decompiled, Some(&caches)));
+    Ok(Some(CadState::InFlight(InFlightWarp {
         region: *region,
-        compiled,
         plan,
         detected_cycle: now,
-        cad_cycles,
-        ready_at: now + cad_cycles,
-        cache_hit,
-    }))
+        join_at,
+        handle,
+    })))
+}
+
+/// Converts modeled OCPM cycles (at its own clock) into MicroBlaze
+/// timeline cycles.
+fn to_timeline_cycles(dpm_cycles: u64, mb_hz: u64, dpm_hz: u64) -> u64 {
+    u64::try_from((u128::from(dpm_cycles) * u128::from(mb_hz)).div_ceil(u128::from(dpm_hz.max(1))))
+        .unwrap_or(u64::MAX)
 }
 
 /// Converts the OCPM's modeled CAD cycles (at its own clock) into
@@ -370,8 +527,7 @@ fn prepare_warp(
 /// chain and pays only the reconfiguration — the bitstream write.
 fn cad_timeline_cycles(dpm: &DpmReport, cache_hit: bool, mb_hz: u64, dpm_hz: u64) -> u64 {
     let dpm_cycles = if cache_hit { dpm.bitstream_cycles } else { dpm.total_cycles() };
-    u64::try_from((u128::from(dpm_cycles) * u128::from(mb_hz)).div_ceil(u128::from(dpm_hz.max(1))))
-        .unwrap_or(u64::MAX)
+    to_timeline_cycles(dpm_cycles, mb_hz, dpm_hz)
 }
 
 #[cfg(test)]

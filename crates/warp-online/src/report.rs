@@ -35,6 +35,22 @@ pub struct WarpEvent {
     pub patched_insns: u64,
     /// Whether the circuit came from the shared cache (warm start).
     pub cache_hit: bool,
+    /// LUT clusters replayed from the sub-kernel CAD caches instead of
+    /// being mapped fresh. Equal to [`total_clusters`](Self::total_clusters)
+    /// on a whole-circuit cache hit.
+    pub reused_clusters: u64,
+    /// Total LUT clusters in the mapped netlist.
+    pub total_clusters: u64,
+    /// Nets whose first-pass route was computed fresh rather than
+    /// restored from the route cache (0 on a whole-circuit cache hit).
+    pub rerouted_nets: usize,
+    /// Total routed nets in the compiled circuit.
+    pub total_nets: usize,
+    /// Modeled cycles between detection and the landed patch — the
+    /// window in which the background CAD workers overlapped host-side
+    /// compilation with continued simulation. Always at least
+    /// [`cad_cycles`](Self::cad_cycles).
+    pub cad_overlap_cycles: u64,
     /// The region whose circuit this warp evicted, if any.
     pub evicted: Option<(u32, u32)>,
     /// The OCPM's modeled cost breakdown for this kernel.
@@ -213,6 +229,11 @@ mod tests {
             patched_cycle,
             patched_insns,
             cache_hit: false,
+            reused_clusters: 0,
+            total_clusters: 4,
+            rerouted_nets: 2,
+            total_nets: 2,
+            cad_overlap_cycles: patched_cycle - patched_cycle / 2,
             evicted: None,
             dpm: DpmReport::default(),
             model: ExecModel {

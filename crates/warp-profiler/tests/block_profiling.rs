@@ -63,12 +63,12 @@ proptest! {
     /// Slicing the run at arbitrary cycle budgets — so block retirement
     /// is interrupted at arbitrary points and the engine keeps switching
     /// between whole-block and stepped-tail dispatch — never perturbs
-    /// the fingerprint. Uses the small scaled phased workload (two
+    /// the fingerprint. Uses the small scaled phased workload (three
     /// distinct kernels, so the fingerprint has several live regions)
     /// to keep 256 deterministic cases fast.
     #[test]
     fn sliced_block_profiling_matches_unsliced(seed in any::<u64>()) {
-        let built = workloads::phased::build_scaled(MbFeatures::paper_default(), 3, 2);
+        let built = workloads::phased::build_scaled(MbFeatures::paper_default(), 3, 2, 2);
         let (_, reference) = profile_run(&mut built.instantiate(
             &MbConfig::paper_default().with_blocks(false),
         ));

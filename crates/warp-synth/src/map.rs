@@ -5,10 +5,22 @@
 //! netlist with 3-input LUTs using greedy cut enlargement — the lean
 //! mapping pass of the on-chip tool flow — and produces the
 //! [`LutNetlist`] that placement and routing consume.
+//!
+//! Mapping is organized around **root cones** (one per output bit,
+//! flip-flop input, and MAC operand bit — the "LUT clusters" of the
+//! incremental flow): every decision the mapper makes for a cone is a
+//! pure function of the cone's transitive fan-in structure, so a
+//! [`MapCache`] can memoize mapped cones by content hash and replay
+//! them bit-identically when a *similar* kernel re-warps. The work that
+//! was actually performed (vs. replayed) is reported in [`MapWork`] and
+//! feeds the on-chip CAD cost model.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 use mb_isa::Reg;
+use warp_cdfg::fingerprint::Fnv1a;
 
 use crate::bits::{BitDef, BitId, GateNetlist, InputWord};
 use crate::rocm;
@@ -229,11 +241,18 @@ const MAX_CUTS: usize = 8;
 /// All cuts of one bit; each cut is the list of leaf bits feeding it.
 type CutList = Vec<Vec<BitId>>;
 
-fn enumerate_cuts(n: &GateNetlist) -> (Vec<CutList>, Vec<CutList>) {
+/// Enumerates cuts for the bits with `scope` set (a transitive-fan-in
+/// closed set); everything out of scope is skipped. `None` = all bits.
+fn enumerate_cuts(n: &GateNetlist, scope: Option<&[bool]>) -> Vec<CutList> {
     let len = n.defs().len();
     let mut parent_cuts: Vec<CutList> = vec![Vec::new(); len];
     let mut own_cuts: Vec<CutList> = vec![Vec::new(); len];
     for id in 0..len as BitId {
+        if let Some(s) = scope {
+            if !s[id as usize] {
+                continue;
+            }
+        }
         let def = n.def(id);
         match def {
             BitDef::Const(_) => {
@@ -281,7 +300,7 @@ fn enumerate_cuts(n: &GateNetlist) -> (Vec<CutList>, Vec<CutList>) {
             }
         }
     }
-    (parent_cuts, own_cuts)
+    own_cuts
 }
 
 /// Chooses the mapping cut for a gate: fewest gate members, then fewest
@@ -335,6 +354,172 @@ fn cone_value(n: &GateNetlist, bit: BitId, cut: &[BitId], assignment: u8) -> boo
     eval(n, bit, cut, assignment, &mut memo)
 }
 
+/// One bit of a root cone, canonicalized by renaming every bit in the
+/// cone's transitive fan-in to its rank in ascending-id order.
+///
+/// Two cones with equal canonical forms map identically: every decision
+/// the cut search makes (cut-member sorts, cut-list ordering, truth
+/// tables) only ever compares bit ids for *order*, and ranks preserve
+/// order. Inputs and flip-flop outputs collapse to [`CanonBit::Leaf`]
+/// because both behave as opaque cut leaves; constants keep their value
+/// because it folds into truth tables.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum CanonBit {
+    /// Constant bit.
+    Const(bool),
+    /// Input or flip-flop output: an opaque cut leaf.
+    Leaf,
+    /// NOT gate.
+    Not(u32),
+    /// AND gate (argument positions preserved).
+    And(u32, u32),
+    /// OR gate.
+    Or(u32, u32),
+    /// XOR gate.
+    Xor(u32, u32),
+    /// MUX gate.
+    Mux {
+        /// Select rank.
+        sel: u32,
+        /// Then rank.
+        t: u32,
+        /// Else rank.
+        f: u32,
+    },
+}
+
+/// One materialized bit of a cached cone: its fan-in rank and, for
+/// gates, the chosen cut (as ranks) plus LUT truth table (`None` for
+/// leaves and constants, which materialize from their own defs).
+type PlannedBit = (u32, Option<(Vec<u32>, u8)>);
+
+/// A memoized root-cone mapping: which fan-in ranks materialize, and
+/// the gate plan for each.
+#[derive(Clone, PartialEq, Debug)]
+struct CachedCone {
+    /// The canonical structure — stored in full so a hash collision is
+    /// detected by equality instead of silently replaying the wrong
+    /// cone.
+    canon: Vec<CanonBit>,
+    /// `(rank, gate plan)` for every bit the mapped cone materializes.
+    needed: Vec<PlannedBit>,
+}
+
+/// Memoized root-cone mappings, shared across compiles.
+///
+/// The cache is purely an accelerator: [`map_netlist_cached`] produces
+/// a bit-identical [`LutNetlist`] whether a cone is replayed or mapped
+/// from scratch — only the reported [`MapWork`] changes. Entries are
+/// verified structurally on every hit, so a content-hash collision
+/// degrades to a miss, never to a wrong netlist.
+#[derive(Debug, Default)]
+pub struct MapCache {
+    cones: Mutex<HashMap<u64, CachedCone>>,
+}
+
+impl MapCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized cones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cones.lock().expect("map cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lookup(&self, key: u64, canon: &[CanonBit]) -> Option<CachedCone> {
+        let cones = self.cones.lock().expect("map cache lock");
+        cones.get(&key).filter(|c| c.canon == canon).cloned()
+    }
+
+    fn insert(&self, key: u64, cone: CachedCone) {
+        self.cones.lock().expect("map cache lock").entry(key).or_insert(cone);
+    }
+}
+
+/// Mapping work actually performed (vs. replayed from a [`MapCache`]),
+/// for the on-chip CAD cost model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct MapWork {
+    /// Unique root cones (LUT clusters) in this netlist.
+    pub clusters: u64,
+    /// Clusters replayed from the cache.
+    pub clusters_reused: u64,
+    /// Gate bits that went through cut enumeration — the mapping work
+    /// the lean processor actually performed.
+    pub gates_enumerated: u64,
+}
+
+/// The root bits of a netlist — every bit the mapped netlist must
+/// materialize directly: output bits, flip-flop inputs, MAC operands.
+fn root_bits(n: &GateNetlist) -> Vec<BitId> {
+    let mut roots = Vec::new();
+    for o in n.outputs() {
+        roots.extend(o.bits);
+    }
+    for f in n.ffs() {
+        roots.push(f.d);
+    }
+    for m in n.macs() {
+        roots.extend(m.a);
+        roots.extend(m.b);
+        roots.extend(m.addend);
+    }
+    roots
+}
+
+/// The transitive fan-in of `root` (inclusive), ascending by id.
+fn cone_tfi(n: &GateNetlist, root: BitId) -> Vec<BitId> {
+    let mut seen: HashSet<BitId> = HashSet::new();
+    let mut stack = vec![root];
+    while let Some(b) = stack.pop() {
+        if seen.insert(b) {
+            stack.extend(n.def(b).args());
+        }
+    }
+    let mut ids: Vec<BitId> = seen.into_iter().collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Canonicalizes a cone: each fan-in bit becomes its rank-renamed def.
+fn canonicalize(n: &GateNetlist, tfi: &[BitId]) -> Vec<CanonBit> {
+    let rank: HashMap<BitId, u32> = tfi.iter().enumerate().map(|(k, &b)| (b, k as u32)).collect();
+    tfi.iter()
+        .map(|&b| match n.def(b) {
+            BitDef::Const(v) => CanonBit::Const(v),
+            BitDef::Input { .. } | BitDef::FfQ(_) => CanonBit::Leaf,
+            BitDef::Not(a) => CanonBit::Not(rank[&a]),
+            BitDef::And(a, c) => CanonBit::And(rank[&a], rank[&c]),
+            BitDef::Or(a, c) => CanonBit::Or(rank[&a], rank[&c]),
+            BitDef::Xor(a, c) => CanonBit::Xor(rank[&a], rank[&c]),
+            BitDef::Mux { sel, t, f } => {
+                CanonBit::Mux { sel: rank[&sel], t: rank[&t], f: rank[&f] }
+            }
+        })
+        .collect()
+}
+
+/// Stable content hash of a canonical cone (the [`MapCache`] key).
+fn canon_key(canon: &[CanonBit]) -> u64 {
+    let mut h = Fnv1a::new();
+    canon.hash(&mut h);
+    h.finish()
+}
+
 /// Maps a gate netlist onto 3-input LUTs.
 ///
 /// Every output bit, flip-flop input, and MAC operand is materialized;
@@ -342,44 +527,104 @@ fn cone_value(n: &GateNetlist, bit: BitId, cut: &[BitId], assignment: u8) -> boo
 /// exists.
 #[must_use]
 pub fn map_netlist(n: &GateNetlist) -> LutNetlist {
+    map_netlist_cached(n, None).0
+}
+
+/// Maps a gate netlist onto 3-input LUTs, replaying root cones whose
+/// structure is already memoized in `cache` (and memoizing the rest).
+///
+/// The produced netlist is **bit-identical** to [`map_netlist`]'s —
+/// from-scratch mapping *is* this function with an empty cache; the
+/// cache only changes the [`MapWork`] accounting.
+#[must_use]
+pub fn map_netlist_cached(n: &GateNetlist, cache: Option<&MapCache>) -> (LutNetlist, MapWork) {
     let defs_len = n.defs().len();
+    let mut work = MapWork::default();
 
-    // Cuts for every gate.
-    let (_parent_cuts, own_cuts) = enumerate_cuts(n);
-    let mut cuts: Vec<Option<Vec<BitId>>> = vec![None; defs_len];
-    for id in 0..defs_len as BitId {
-        if n.def(id).is_gate() {
-            cuts[id as usize] = Some(choose_cut(&own_cuts[id as usize]));
+    // Unique root cones, in first-appearance order.
+    let mut roots: Vec<BitId> = Vec::new();
+    let mut is_root = vec![false; defs_len];
+    for b in root_bits(n) {
+        if !is_root[b as usize] {
+            is_root[b as usize] = true;
+            roots.push(b);
         }
     }
+    work.clusters = roots.len() as u64;
 
-    // Needed bits: roots plus, transitively, cut members of needed gates.
+    // Per-gate mapping plan: the chosen cut, plus the truth table when
+    // replayed (fresh cones compute truths at materialization).
+    let mut plan: Vec<Option<(Vec<BitId>, Option<u8>)>> = vec![None; defs_len];
     let mut needed = vec![false; defs_len];
-    let mut stack: Vec<BitId> = Vec::new();
-    for o in n.outputs() {
-        stack.extend(o.bits);
-    }
-    for f in n.ffs() {
-        stack.push(f.d);
-    }
-    for m in n.macs() {
-        stack.extend(m.a);
-        stack.extend(m.b);
-        stack.extend(m.addend);
-    }
-    while let Some(b) = stack.pop() {
-        if needed[b as usize] {
-            continue;
+    let mut tfis: Vec<Vec<BitId>> = Vec::with_capacity(roots.len());
+    let mut canons: Vec<Vec<CanonBit>> = Vec::with_capacity(roots.len());
+    let mut keys: Vec<u64> = Vec::with_capacity(roots.len());
+    let mut missed: Vec<usize> = Vec::new();
+
+    for (i, &r) in roots.iter().enumerate() {
+        let tfi = cone_tfi(n, r);
+        let canon = canonicalize(n, &tfi);
+        let key = canon_key(&canon);
+        match cache.and_then(|c| c.lookup(key, &canon)) {
+            Some(cone) => {
+                // Replay: mark the cone's needed closure and record each
+                // gate's cut and truth, translated back from ranks.
+                work.clusters_reused += 1;
+                for (rank, gate) in &cone.needed {
+                    let id = tfi[*rank as usize];
+                    needed[id as usize] = true;
+                    if let (Some((cut_ranks, truth)), None) = (gate, &plan[id as usize]) {
+                        let cut: Vec<BitId> =
+                            cut_ranks.iter().map(|&cr| tfi[cr as usize]).collect();
+                        plan[id as usize] = Some((cut, Some(*truth)));
+                    }
+                }
+            }
+            None => missed.push(i),
         }
-        needed[b as usize] = true;
-        if let Some(cut) = &cuts[b as usize] {
-            stack.extend(cut.iter().copied());
+        tfis.push(tfi);
+        canons.push(canon);
+        keys.push(key);
+    }
+
+    // Cut enumeration over the union of missed cones' fan-ins only —
+    // this is the work the incremental flow skips.
+    let mut in_scope = vec![false; defs_len];
+    for &i in &missed {
+        for &id in &tfis[i] {
+            in_scope[id as usize] = true;
+        }
+    }
+    let own_cuts = enumerate_cuts(n, Some(&in_scope));
+    for id in 0..defs_len as BitId {
+        if in_scope[id as usize] && n.def(id).is_gate() {
+            work.gates_enumerated += 1;
+            if plan[id as usize].is_none() {
+                plan[id as usize] = Some((choose_cut(&own_cuts[id as usize]), None));
+            }
         }
     }
 
-    // Materialize in topological order.
+    // Needed bits for missed roots: the root plus, transitively, cut
+    // members of needed gates. (Replayed cones marked theirs above.)
+    for &i in &missed {
+        let mut stack = vec![roots[i]];
+        while let Some(b) = stack.pop() {
+            if needed[b as usize] {
+                continue;
+            }
+            needed[b as usize] = true;
+            if let Some((cut, _)) = &plan[b as usize] {
+                stack.extend(cut.iter().copied());
+            }
+        }
+    }
+
+    // Materialize in topological order; identical whether a gate's plan
+    // was replayed or freshly chosen.
     let mut out = LutNetlist::default();
     let mut map: Vec<Option<LutRef>> = vec![None; defs_len];
+    let mut final_truth: Vec<Option<u8>> = vec![None; defs_len];
     for id in 0..defs_len as BitId {
         if !needed[id as usize] {
             continue;
@@ -389,21 +634,30 @@ pub fn map_netlist(n: &GateNetlist) -> LutNetlist {
             BitDef::Input { word, bit } => LutNode::Input { word, bit },
             BitDef::FfQ(k) => LutNode::FfQ(k),
             _ => {
-                let cut = cuts[id as usize].as_ref().expect("gates have cuts");
+                let (cut, replayed) = plan[id as usize].clone().expect("needed gates have cuts");
                 if cut.is_empty() {
                     // The cone folds to a constant.
-                    LutNode::Const(cone_value(n, id, cut, 0))
+                    let v = match replayed {
+                        Some(t) => t & 1 == 1,
+                        None => cone_value(n, id, &cut, 0),
+                    };
+                    final_truth[id as usize] = Some(u8::from(v));
+                    LutNode::Const(v)
                 } else {
                     let inputs: Vec<LutRef> = cut
                         .iter()
                         .map(|&c| map[c as usize].expect("cut member materialized"))
                         .collect();
-                    let mut truth = 0u8;
-                    for a in 0..(1u8 << cut.len()) {
-                        if cone_value(n, id, cut, a) {
-                            truth |= 1 << a;
+                    let truth = replayed.unwrap_or_else(|| {
+                        let mut t = 0u8;
+                        for a in 0..(1u8 << cut.len()) {
+                            if cone_value(n, id, &cut, a) {
+                                t |= 1 << a;
+                            }
                         }
-                    }
+                        t
+                    });
+                    final_truth[id as usize] = Some(truth);
                     LutNode::Lut { inputs, truth }
                 }
             }
@@ -427,7 +681,43 @@ pub fn map_netlist(n: &GateNetlist) -> LutNetlist {
             mode: m.mode,
         });
     }
-    out
+
+    // Memoize every freshly mapped cone: its root-local needed closure
+    // with the final cuts and truths, rank-renamed.
+    if let Some(cache) = cache {
+        for &i in &missed {
+            let tfi = &tfis[i];
+            let rank: HashMap<BitId, u32> =
+                tfi.iter().enumerate().map(|(k, &b)| (b, k as u32)).collect();
+            let mut local = vec![false; tfi.len()];
+            let mut stack = vec![roots[i]];
+            while let Some(b) = stack.pop() {
+                let rk = rank[&b] as usize;
+                if local[rk] {
+                    continue;
+                }
+                local[rk] = true;
+                if let Some((cut, _)) = &plan[b as usize] {
+                    stack.extend(cut.iter().copied());
+                }
+            }
+            let needed_ranks: Vec<PlannedBit> = tfi
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| local[k])
+                .map(|(k, &b)| {
+                    let gate = plan[b as usize].as_ref().map(|(cut, _)| {
+                        let cut_ranks: Vec<u32> = cut.iter().map(|m| rank[m]).collect();
+                        (cut_ranks, final_truth[b as usize].expect("needed gate materialized"))
+                    });
+                    (k as u32, gate)
+                })
+                .collect();
+            cache.insert(keys[i], CachedCone { canon: canons[i].clone(), needed: needed_ranks });
+        }
+    }
+
+    (out, work)
 }
 
 #[cfg(test)]
@@ -506,6 +796,61 @@ mod tests {
         // value 5*3 = 15, bit0 = 1; ff q=0 -> d = 1.
         let res = mapped.eval(|_| 5, &[false]);
         assert!(res.value(mapped.ffs()[0].d));
+    }
+
+    #[test]
+    fn cached_mapping_is_bit_identical_and_skips_replayed_work() {
+        let adder = || {
+            let mut n = GateNetlist::new();
+            let a = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+            let b = n.input_word(InputWord::Load { stream: 1, offset: 0 });
+            let s = n.add_word(a, b, false);
+            n.output(0, s);
+            n
+        };
+        let n = adder();
+        let fresh = map_netlist(&n);
+
+        let cache = MapCache::new();
+        let (first, w1) = map_netlist_cached(&n, Some(&cache));
+        assert_eq!(first, fresh, "an empty cache must not change the mapping");
+        assert_eq!(w1.clusters_reused, 0);
+        assert!(w1.gates_enumerated > 0);
+        assert!(!cache.is_empty());
+
+        // The same structure again (a fresh netlist, so ids could in
+        // principle differ): every cone replays, zero enumeration, and
+        // the result is still bit-identical.
+        let (second, w2) = map_netlist_cached(&adder(), Some(&cache));
+        assert_eq!(second, fresh, "replayed mapping must be bit-identical");
+        assert_eq!(w2.clusters_reused, w2.clusters, "every cone must hit");
+        assert_eq!(w2.gates_enumerated, 0, "no cut enumeration on a full hit");
+    }
+
+    #[test]
+    fn similar_netlists_share_cones_across_the_cache() {
+        // Two mixers with different shift distances: the interior cone
+        // *shapes* coincide (xor-of-xor over opaque leaves), so mapping
+        // the second after the first reuses nearly every cluster.
+        let mixer = |l: u8, r: u8| {
+            let mut n = GateNetlist::new();
+            let x = n.input_word(InputWord::Load { stream: 0, offset: 0 });
+            let m = n.input_word(InputWord::Load { stream: 1, offset: 0 });
+            let sh = n.shl_word(x, l);
+            let sr = n.shr_word(x, r);
+            let t = n.xor_word(sh, sr);
+            let y = n.xor_word(t, m);
+            n.output(0, y);
+            n
+        };
+        let cache = MapCache::new();
+        let (_, w1) = map_netlist_cached(&mixer(3, 7), Some(&cache));
+        assert_eq!(w1.clusters_reused, 0);
+        let n2 = mixer(5, 9);
+        let (mapped, w2) = map_netlist_cached(&n2, Some(&cache));
+        assert_eq!(mapped, map_netlist(&n2), "reuse must not change the result");
+        assert_eq!(w2.clusters_reused, w2.clusters, "all mixer cone shapes recur");
+        assert_eq!(w2.gates_enumerated, 0);
     }
 
     #[test]

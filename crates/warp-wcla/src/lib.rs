@@ -33,12 +33,45 @@ pub mod executor;
 pub mod patch;
 
 use warp_cdfg::LoopKernel;
-use warp_fabric::{CompiledCircuit, FabricConfig};
+use warp_fabric::{CompiledCircuit, FabricCaches, FabricConfig, FabricWork};
+use warp_synth::map::{MapCache, MapWork};
 use warp_synth::{LutNetlist, SynthReport};
 
 pub use device::{WclaDevice, WclaStats, WCLA_BASE, WCLA_WINDOW};
 pub use executor::{ExecModel, HwOutcome};
 pub use patch::{apply_patch, stub_base_for, PatchPlan, STUB_GAP_WORDS};
+
+/// Memoization caches spanning the whole CAD back end: technology
+/// mapping cones, placements, and first-pass net routes.
+///
+/// Compiling with caches never changes any artifact — a from-scratch
+/// compile is exactly an incremental compile with empty caches — it
+/// only changes the work a [`CadWork`] reports, and hence the modeled
+/// CAD time charged to the online timeline.
+#[derive(Debug, Default)]
+pub struct CadCaches {
+    /// Mapped LUT-cone cache (sub-kernel fingerprints).
+    pub map: MapCache,
+    /// Placement and routing caches.
+    pub fabric: FabricCaches,
+}
+
+impl CadCaches {
+    /// Creates empty caches.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Work the CAD back end actually performed for one compile.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CadWork {
+    /// Technology-mapping work (cones mapped vs. replayed).
+    pub map: MapWork,
+    /// Place & route work (attempts, fresh wires, restored nets).
+    pub fabric: FabricWork,
+}
 
 /// Fabric clock ceiling: "the remaining FPGA circuits can operate at up
 /// to 250 MHz" (paper Section 4).
@@ -68,12 +101,30 @@ impl WclaCircuit {
     ///
     /// Propagates fabric capacity/routability errors.
     pub fn build(kernel: LoopKernel) -> Result<(Self, SynthReport), warp_fabric::CompileError> {
+        Self::build_cached(kernel, None).map(|(circuit, report, _)| (circuit, report))
+    }
+
+    /// [`WclaCircuit::build`] with memoization: reuses mapped cones,
+    /// placements, and net routes from `caches`, reporting the work
+    /// actually performed. The circuit is bit-identical with or without
+    /// caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fabric capacity/routability errors.
+    pub fn build_cached(
+        kernel: LoopKernel,
+        caches: Option<&CadCaches>,
+    ) -> Result<(Self, SynthReport, CadWork), warp_fabric::CompileError> {
         let report = warp_synth::synthesize(&kernel);
-        let netlist = warp_synth::map::map_netlist(&report.netlist);
+        let (netlist, map_work) =
+            warp_synth::map::map_netlist_cached(&report.netlist, caches.map(|c| &c.map));
         let base = FabricConfig::sized_for(netlist.lut_count(), netlist.ffs().len());
-        let compiled = warp_fabric::compile(&netlist, &base)?;
+        let (compiled, fabric_work) =
+            warp_fabric::compile_cached(&netlist, &base, caches.map(|c| &c.fabric))?;
         let model = ExecModel::derive(&kernel, &netlist, &compiled);
-        Ok((WclaCircuit { kernel, netlist, compiled, model }, report))
+        let work = CadWork { map: map_work, fabric: fabric_work };
+        Ok((WclaCircuit { kernel, netlist, compiled, model }, report, work))
     }
 }
 

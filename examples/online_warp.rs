@@ -40,10 +40,12 @@ fn main() {
         report.speedup_vs(software.cycles)
     );
 
-    // Part 2: the phased workload — its hot loop *moves* mid-run. The
-    // decaying profiler notices, the first circuit is evicted, and the
-    // runtime re-warps to the new kernel.
-    let phased = workloads::phased::build_scaled(MbFeatures::paper_default(), 300, 700);
+    // Part 2: the phased workload — its hot loop *moves* mid-run,
+    // twice. The decaying profiler notices, the sitting circuit is
+    // evicted, and the runtime re-warps to the new kernel; the A → A'
+    // re-warp reuses phase A's mapped clusters and placement, so its
+    // CAD charge is a fraction of a from-scratch compile.
+    let phased = workloads::phased::build_scaled(MbFeatures::paper_default(), 300, 150, 700);
     let config = OnlineConfig { decay_interval: 8, ..OnlineConfig::default() };
 
     println!("online-warping `phased` (hot loop shifts mid-run)");

@@ -1,7 +1,7 @@
 //! The online runtime against the offline pipeline: convergence,
 //! mid-run invalidation, and phased re-warping.
 //!
-//! Three contracts:
+//! Five contracts:
 //!
 //! 1. **online == offline convergence** — warping a single-kernel
 //!    workload online must install the *exact* circuit the offline
@@ -13,10 +13,20 @@
 //!    must behave identically with the pre-decoded fetch store on and
 //!    off (the `tests/sim_fast_path.rs` contract, replayed from inside
 //!    the online runtime);
-//! 3. **phased re-warp** — on a workload whose hot loop shifts mid-run,
-//!    the timeline must show two warp events, the second evicting the
-//!    first, with results bit-identical to software-only execution
-//!    (verified against the golden model inside the run).
+//! 3. **phased re-warp** — on a workload whose hot loop shifts mid-run
+//!    (A → A′ → B), the timeline must show three warp events, each
+//!    after the first evicting its predecessor, with the
+//!    shifted-but-similar A′ re-warp charging at most half of A's
+//!    modeled CAD budget (the incremental-CAD payoff), and results
+//!    bit-identical to software-only execution (verified against the
+//!    golden model inside the run);
+//! 4. **incremental == from-scratch** — compiling A′ through the
+//!    sub-kernel caches populated by A must produce bit-identical
+//!    artifacts (bitstream, cycle model, patch plan) to an empty-cache
+//!    compile, differing only in the work/cost accounting;
+//! 5. **thread-count invariance** — the whole online timeline must be
+//!    identical under `WARP_CAD_THREADS=1` and `=4`: background CAD
+//!    workers trade host wall-clock only, never modeled cycles.
 
 use mb_isa::MbFeatures;
 use warp_bench::online::offline_reference;
@@ -142,17 +152,17 @@ fn orchestrator_patch_replays_the_fast_path_invalidation_contract() {
 #[test]
 fn phased_workload_rewarps_with_eviction() {
     let features = MbFeatures::paper_default();
-    let built = workloads::phased::build_scaled(features, 300, 700);
-    let [kernel_a, kernel_b] = workloads::phased::phase_kernels(&built);
+    let built = workloads::phased::build_scaled(features, 300, 150, 700);
+    let [kernel_a, kernel_a2, kernel_b] = workloads::phased::phase_kernels(&built);
 
-    // The two phase kernels are genuinely different circuits.
-    let fp_a = warp_mb::warp_cdfg::decompile_loop(&built.program, kernel_a.head, kernel_a.tail)
-        .unwrap()
-        .fingerprint();
-    let fp_b = warp_mb::warp_cdfg::decompile_loop(&built.program, kernel_b.head, kernel_b.tail)
-        .unwrap()
-        .fingerprint();
+    // The three phase kernels are genuinely different circuits.
+    let fp = |k: &workloads::KernelBounds| {
+        warp_mb::warp_cdfg::decompile_loop(&built.program, k.head, k.tail).unwrap().fingerprint()
+    };
+    let (fp_a, fp_a2, fp_b) = (fp(&kernel_a), fp(&kernel_a2), fp(&kernel_b));
+    assert_ne!(fp_a, fp_a2);
     assert_ne!(fp_a, fp_b);
+    assert_ne!(fp_a2, fp_b);
 
     let config = OnlineConfig {
         slice_cycles: 20_000,
@@ -167,23 +177,58 @@ fn phased_workload_rewarps_with_eviction() {
 
     assert_eq!(
         report.events.len(),
-        2,
-        "the shifting hot loop must force exactly one re-warp: {report}"
+        3,
+        "the shifting hot loop must force exactly two re-warps: {report}"
     );
-    let [first, second] = [&report.events[0], &report.events[1]];
+    let [first, second, third] = [&report.events[0], &report.events[1], &report.events[2]];
     assert_eq!((first.head, first.tail), (kernel_a.head, kernel_a.tail));
     assert_eq!(first.fingerprint, fp_a);
     assert_eq!(first.evicted, None);
-    assert_eq!((second.head, second.tail), (kernel_b.head, kernel_b.tail));
-    assert_eq!(second.fingerprint, fp_b);
+    assert_eq!((second.head, second.tail), (kernel_a2.head, kernel_a2.tail));
+    assert_eq!(second.fingerprint, fp_a2);
     assert_eq!(
         second.evicted,
         Some((kernel_a.head, kernel_a.tail)),
-        "the re-warp must evict phase A's circuit"
+        "the A' re-warp must evict phase A's circuit"
+    );
+    assert_eq!((third.head, third.tail), (kernel_b.head, kernel_b.tail));
+    assert_eq!(third.fingerprint, fp_b);
+    assert_eq!(
+        third.evicted,
+        Some((kernel_a2.head, kernel_a2.tail)),
+        "the B re-warp must evict phase A''s circuit"
     );
     assert!(first.patched_cycle < second.detected_cycle, "events in timeline order");
-    assert!(first.hw.invocations > 0 && second.hw.invocations > 0, "both circuits must run");
-    assert!(report.profiler.decays > 0, "decay is what lets phase B rise");
+    assert!(second.patched_cycle < third.detected_cycle, "events in timeline order");
+    assert!(
+        first.hw.invocations > 0 && second.hw.invocations > 0 && third.hw.invocations > 0,
+        "all three circuits must run"
+    );
+    assert!(report.profiler.decays > 0, "decay is what lets later phases rise");
+
+    // The incremental-CAD payoff: A' is a shifted-but-similar kernel
+    // (same cone structure, different mixing constant and streams), so
+    // its compile replays A's mapped clusters, placement, and net
+    // routes, and must charge at most half of A's modeled CAD budget.
+    assert_eq!(first.reused_clusters, 0, "phase A compiles through empty caches");
+    assert!(
+        second.reused_clusters > 0,
+        "A' must replay clusters A mapped ({} of {})",
+        second.reused_clusters,
+        second.total_clusters
+    );
+    assert!(
+        second.cad_cycles * 2 <= first.cad_cycles,
+        "incremental re-warp must charge at most half of from-scratch: A' {} vs A {}",
+        second.cad_cycles,
+        first.cad_cycles
+    );
+    assert!(!second.cache_hit, "A' is a new kernel, not a whole-circuit hit");
+    // Overlap is bounded below by the budget itself (patch never lands
+    // before the modeled CAD completes).
+    for e in &report.events {
+        assert!(e.cad_overlap_cycles >= e.cad_cycles);
+    }
 
     // Results were verified bit-identical to the golden model inside
     // the run; the warped timeline must also beat the software-only
@@ -196,6 +241,89 @@ fn phased_workload_rewarps_with_eviction() {
         report.cycles,
         software.cycles
     );
+}
+
+#[test]
+fn incremental_rewarp_is_bit_identical_to_from_scratch() {
+    use warp_mb::warp_core::pipeline;
+    use warp_mb::warp_profiler::HotRegion;
+    use warp_mb::warp_wcla::CadCaches;
+
+    let built = workloads::phased::build(MbFeatures::paper_default());
+    let [kernel_a, kernel_a2, _] = workloads::phased::phase_kernels(&built);
+    let hot = |k: &workloads::KernelBounds| HotRegion { head: k.head, tail: k.tail, count: 10_000 };
+    let da = pipeline::decompile(&built, &hot(&kernel_a)).unwrap();
+    let da2 = pipeline::decompile(&built, &hot(&kernel_a2)).unwrap();
+
+    // Warm the sub-kernel caches with phase A, then compile A' through
+    // them (the evict + re-warp path) and from scratch.
+    let caches = CadCaches::new();
+    let a = pipeline::compile_circuit_cached(&da, Some(&caches)).unwrap();
+    let incremental = pipeline::compile_circuit_cached(&da2, Some(&caches)).unwrap();
+    let scratch = pipeline::compile_circuit(&da2).unwrap();
+
+    // Bit-identity: every artifact that reaches hardware or the
+    // simulated timeline is equal — the caches are pure memoization.
+    assert_eq!(
+        incremental.circuit.compiled.bitstream.words(),
+        scratch.circuit.compiled.bitstream.words(),
+        "configuration bitstream must be bit-identical"
+    );
+    assert_eq!(incremental.circuit.compiled.route_stats, scratch.circuit.compiled.route_stats);
+    assert_eq!(incremental.circuit.model, scratch.circuit.model, "cycle model must be identical");
+    assert_eq!(incremental.fingerprint, scratch.fingerprint);
+    let plan_inc = pipeline::plan_patch(&built, &incremental).unwrap();
+    let plan_scratch = pipeline::plan_patch(&built, &scratch).unwrap();
+    assert_eq!(plan_inc, plan_scratch, "patched binary must be identical");
+
+    // Only the work accounting differs: the incremental compile replays
+    // A's clusters/placement/routes and charges a fraction of the cost.
+    assert!(incremental.work.map.clusters_reused > 0);
+    assert_eq!(scratch.work.map.clusters_reused, 0);
+    assert!(incremental.work.fabric.place_restored);
+    assert!(
+        incremental.work.fabric.nets_restored > 0 || scratch.circuit.compiled.route_stats.nets == 0
+    );
+    assert!(
+        incremental.dpm.total_cycles() * 2 <= scratch.dpm.total_cycles(),
+        "incremental CAD {} must be at most half of from-scratch {}",
+        incremental.dpm.total_cycles(),
+        scratch.dpm.total_cycles()
+    );
+    // Sanity: A itself was a full-price compile through empty caches.
+    assert_eq!(a.work.map.clusters_reused, 0);
+}
+
+#[test]
+fn online_timeline_is_identical_across_cad_thread_counts() {
+    let built = workloads::phased::build_scaled(MbFeatures::paper_default(), 150, 75, 350);
+    let run = |threads: &str| {
+        std::env::set_var(warp_mb::warp_core::CAD_THREADS_ENV, threads);
+        let config = OnlineConfig {
+            slice_cycles: 20_000,
+            decay_interval: 8,
+            repeats: 1,
+            ..OnlineConfig::default()
+        };
+        let report = Orchestrator::new(&built, config)
+            .with_policy(ThresholdPolicy { min_count: 1500 })
+            .run()
+            .unwrap();
+        std::env::remove_var(warp_mb::warp_core::CAD_THREADS_ENV);
+        report
+    };
+    let one = run("1");
+    let four = run("4");
+
+    // The modeled timeline is byte-identical: worker count trades host
+    // wall-clock only.
+    assert_eq!(one.cycles, four.cycles);
+    assert_eq!(one.instructions, four.instructions);
+    assert_eq!(one.slices, four.slices);
+    assert_eq!(one.exit_code, four.exit_code);
+    assert_eq!(one.profiler, four.profiler);
+    assert_eq!(one.events, four.events, "warp events must be thread-count independent");
+    assert!(one.events.len() >= 2, "the phased run must re-warp: {one}");
 }
 
 #[test]
