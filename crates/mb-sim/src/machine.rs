@@ -1547,6 +1547,15 @@ impl System {
     }
 }
 
+// A `System` (with every mapped peripheral behind the OPB) is an owned,
+// movable session: the multi-session server migrates it between worker
+// threads at slice boundaries. Fail the build loudly if any engine
+// store, sink plumbing, or peripheral regains thread-pinned state.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<System>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

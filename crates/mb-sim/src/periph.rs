@@ -36,7 +36,12 @@ impl BusResponse {
 /// Peripherals receive mutable access to the data BRAM on every call,
 /// modelling the dual-ported BRAM of the paper's warp system (the WCLA's
 /// data address generator reads and writes application data directly).
-pub trait Peripheral {
+///
+/// Peripherals are `Send`: a [`System`](crate::System) with its mapped
+/// peripherals is an owned, movable session — a long-running host (the
+/// `warp-serve` scheduler) migrates sessions between worker threads at
+/// slice boundaries, so nothing behind the bus may be thread-pinned.
+pub trait Peripheral: Send {
     /// Short name for diagnostics.
     fn name(&self) -> &str;
 

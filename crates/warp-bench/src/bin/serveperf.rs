@@ -1,0 +1,45 @@
+//! Measures the warp-serve scheduler at fleet scale — ≥1k concurrent
+//! seeded sessions (256 in smoke mode) time-sliced over a fixed worker
+//! pool, all sharing one bounded circuit cache — and writes
+//! `BENCH_serve.json` (schema `warp-mb/bench-serve/v1`).
+//!
+//! Usage: `serveperf [--smoke] [--out <path>]`
+//!
+//! `--smoke` (or `SERVEPERF_SMOKE=1`) drives the CI-sized fleet.
+//! `SERVEPERF_WORKERS` overrides the worker-thread count (default 4,
+//! which is what CI pins). `SERVEPERF_FLOOR`, when set, is a hard gate:
+//! the run aborts nonzero if sessions-per-second lands below it.
+
+use warp_bench::measure::BenchCli;
+use warp_bench::serve;
+
+fn main() {
+    let cli = BenchCli::parse("SERVEPERF_SMOKE", "BENCH_serve.json");
+    let workers =
+        std::env::var("SERVEPERF_WORKERS").ok().and_then(|v| v.parse::<usize>().ok()).unwrap_or(4);
+
+    let perf = serve::measure_fleet(cli.smoke, workers);
+    println!(
+        "warp-serve fleet, {} mode, {} workers:\n",
+        if cli.smoke { "smoke" } else { "full" },
+        workers
+    );
+    print!("{}", perf.render_table());
+
+    assert_eq!(perf.failed, 0, "every served session must verify");
+    assert!(
+        perf.cache.hits > 0,
+        "fleet of same-kernel tenants must produce cross-session cache hits"
+    );
+
+    if let Some(floor) = std::env::var("SERVEPERF_FLOOR").ok().and_then(|v| v.parse::<f64>().ok()) {
+        let got = perf.sessions_per_second();
+        assert!(
+            got >= floor,
+            "serving throughput {got:.1} sessions/s below the SERVEPERF_FLOOR of {floor:.1}"
+        );
+        println!("\nSERVEPERF_FLOOR {floor:.1} sessions/s: ok ({got:.1})");
+    }
+
+    cli.write_json(&perf.to_json());
+}

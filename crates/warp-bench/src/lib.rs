@@ -11,6 +11,7 @@
 //! | `fig_multiproc` | Figure 4 extension: multi-processor warp system |
 //! | `simperf` | Simulation throughput (Minsn/s) → `BENCH_sim.json` |
 //! | `onlineperf` | Online-runtime timeline (time-to-warp, re-warps) → `BENCH_online.json` |
+//! | `serveperf` | Multi-session serving throughput (sessions/s, fleet Minsn/s, cache hit rate) → `BENCH_serve.json` |
 //!
 //! Criterion benches (`cargo bench -p warp-bench`) measure the CAD
 //! pipeline stages, the simulators, and the end-to-end warp flow.
@@ -19,6 +20,7 @@
 
 pub mod measure;
 pub mod online;
+pub mod serve;
 pub mod simperf;
 
 use warp_core::experiments::{BenchmarkComparison, Fig6Row, Fig7Row};

@@ -1,0 +1,378 @@
+//! Fleet-scale measurement of the warp-serve scheduler: how many
+//! concurrent warp-simulation sessions one server sustains, what the
+//! aggregate simulated-instruction throughput is, how time-to-first-warp
+//! distributes across tenants, and how much the shared circuit cache
+//! saves the fleet. [`ServePerf::to_json`] emits `BENCH_serve.json`
+//! (schema `warp-mb/bench-serve/v1`, documented in the README's "Warp
+//! as a service" section).
+//!
+//! Unlike `onlineperf`'s numbers, the throughput figures here are
+//! host wall-clock (like `simperf`'s): they depend on the machine and
+//! the worker count. The *simulated* figures riding along (cycles,
+//! warps, time-to-first-warp, cache hit counts) are functions of the
+//! fleet composition only.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mb_isa::MbFeatures;
+use warp_core::{CacheStats, CadService, CircuitCache};
+use warp_online::{OnlineConfig, OnlineSession, TopKPolicy};
+use warp_serve::{ServeConfig, Server};
+
+/// Sessions driven in `--smoke` mode (the CI gate: ≥256 sessions on 4
+/// workers).
+pub const SMOKE_SESSIONS: usize = 256;
+/// Sessions driven in full mode (the acceptance bar: ≥1k concurrent).
+pub const FULL_SESSIONS: usize = 1024;
+
+/// Distribution summary of time-to-first-warp across the fleet.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TtfwDistribution {
+    /// Sessions that landed at least one warp.
+    pub sessions: u64,
+    /// Minimum simulated cycles to the first landed patch.
+    pub min: u64,
+    /// Mean simulated cycles to the first landed patch.
+    pub mean: f64,
+    /// Median (p50).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl TtfwDistribution {
+    fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return TtfwDistribution::default();
+        }
+        samples.sort_unstable();
+        let sum: u128 = samples.iter().map(|&v| u128::from(v)).sum();
+        let pct = |p: usize| samples[(samples.len() - 1) * p / 100];
+        TtfwDistribution {
+            sessions: samples.len() as u64,
+            min: samples[0],
+            mean: sum as f64 / samples.len() as f64,
+            p50: pct(50),
+            p90: pct(90),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Everything `serveperf` measured.
+#[derive(Clone, Debug)]
+pub struct ServePerf {
+    /// Whether this was a smoke (CI-sized) run.
+    pub smoke: bool,
+    /// Scheduler worker threads.
+    pub workers: usize,
+    /// Fairness quantum in scheduler slices.
+    pub quantum_slices: u64,
+    /// Sessions created and served to completion.
+    pub sessions: usize,
+    /// Sessions that finished with a verified report.
+    pub finished: u64,
+    /// Sessions that failed.
+    pub failed: u64,
+    /// Scheduling quanta the pool executed.
+    pub quanta: u64,
+    /// Wall-clock seconds from first grant to last report.
+    pub wall_seconds: f64,
+    /// Total simulated cycles across the fleet.
+    pub sim_cycles: u64,
+    /// Total software instructions retired across the fleet.
+    pub sim_instructions: u64,
+    /// Total warp events landed across the fleet.
+    pub warps: u64,
+    /// Time-to-first-warp distribution.
+    pub ttfw: TtfwDistribution,
+    /// Shared circuit cache counters at end of run.
+    pub cache: CacheStats,
+}
+
+impl ServePerf {
+    /// Sessions served to completion per wall-clock second.
+    #[must_use]
+    pub fn sessions_per_second(&self) -> f64 {
+        self.finished as f64 / self.wall_seconds.max(1e-9)
+    }
+
+    /// Aggregate fleet throughput in millions of simulated instructions
+    /// per wall-clock second.
+    #[must_use]
+    pub fn minsn_per_second(&self) -> f64 {
+        self.sim_instructions as f64 / 1e6 / self.wall_seconds.max(1e-9)
+    }
+
+    /// Renders the `BENCH_serve.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"warp-mb/bench-serve/v1\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", if self.smoke { "smoke" } else { "full" }));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!("  \"quantum_slices\": {},\n", self.quantum_slices));
+        out.push_str(&format!("  \"sessions\": {},\n", self.sessions));
+        out.push_str(&format!("  \"finished\": {},\n", self.finished));
+        out.push_str(&format!("  \"failed\": {},\n", self.failed));
+        out.push_str(&format!("  \"quanta\": {},\n", self.quanta));
+        out.push_str(&format!("  \"wall_seconds\": {:.4},\n", self.wall_seconds));
+        out.push_str(&format!("  \"sessions_per_second\": {:.2},\n", self.sessions_per_second()));
+        out.push_str(&format!("  \"minsn_per_second\": {:.2},\n", self.minsn_per_second()));
+        out.push_str(&format!("  \"sim_cycles\": {},\n", self.sim_cycles));
+        out.push_str(&format!("  \"sim_instructions\": {},\n", self.sim_instructions));
+        out.push_str(&format!("  \"warps\": {},\n", self.warps));
+        out.push_str(&format!(
+            "  \"time_to_first_warp\": {{\"sessions\": {}, \"min\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \"max\": {}}},\n",
+            self.ttfw.sessions, self.ttfw.min, self.ttfw.mean, self.ttfw.p50, self.ttfw.p90, self.ttfw.max
+        ));
+        out.push_str(&format!(
+            "  \"shared_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \"capacity\": {}, \"hit_rate\": {:.4}}}\n",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.entries,
+            self.cache.capacity.map_or("null".into(), |c| c.to_string()),
+            self.cache.hit_rate(),
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable summary table.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        format!(
+            "sessions           {:>10}\n\
+             finished/failed    {:>6} / {}\n\
+             workers            {:>10}\n\
+             wall seconds       {:>10.2}\n\
+             sessions/s         {:>10.1}\n\
+             aggregate Minsn/s  {:>10.1}\n\
+             warps landed       {:>10}\n\
+             ttfw p50/p90 (cyc) {:>7} / {}\n\
+             cache hit rate     {:>9.1}%  ({} hits, {} misses, {} evictions)\n",
+            self.sessions,
+            self.finished,
+            self.failed,
+            self.workers,
+            self.wall_seconds,
+            self.sessions_per_second(),
+            self.minsn_per_second(),
+            self.warps,
+            self.ttfw.p50,
+            self.ttfw.p90,
+            100.0 * self.cache.hit_rate(),
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+        )
+    }
+}
+
+/// Drives a fleet of seeded sessions through one server and measures
+/// it. The fleet cycles through the whole workload registry with a
+/// distinct data seed per session, every session sharing one bounded
+/// circuit cache — so tenants running the same kernel warm-start from
+/// each other and the measured hit rate is the cross-session one.
+#[must_use]
+pub fn measure_fleet(smoke: bool, workers: usize) -> ServePerf {
+    let sessions = if smoke { SMOKE_SESSIONS } else { FULL_SESSIONS };
+    let specs = workloads::all();
+    // Capacity below the distinct-kernel count: the cache must evict
+    // under real fleet pressure, not just grow to fit.
+    let cache = Arc::new(CircuitCache::bounded(specs.len().saturating_sub(2).max(1)));
+    let cad = Arc::new(CadService::from_env());
+    let config = ServeConfig { workers, ..ServeConfig::default() };
+    let quantum_slices = config.quantum_slices;
+    let server = Server::start(config);
+
+    // Create the whole fleet parked, then grant everything at once:
+    // the measured window is pure serving, no setup.
+    let ids: Vec<_> = (0..sessions)
+        .map(|i| {
+            let spec = &specs[i % specs.len()];
+            let built = Arc::new(spec.build_seeded(MbFeatures::paper_default(), i as u64));
+            let session = OnlineSession::new(built, OnlineConfig::default())
+                .with_policy(TopKPolicy { k: 2, min_count: 256 })
+                .with_cache(Arc::clone(&cache))
+                .with_service(Arc::clone(&cad));
+            server.create(session)
+        })
+        .collect();
+
+    let start = Instant::now();
+    for &id in &ids {
+        server.run(id).expect("session just created");
+    }
+    let mut ttfw = Vec::new();
+    let (mut sim_cycles, mut sim_instructions, mut warps, mut failed) = (0u64, 0u64, 0u64, 0u64);
+    for id in ids {
+        match server.wait(id) {
+            Ok(report) => {
+                sim_cycles += report.cycles;
+                sim_instructions += report.instructions;
+                warps += report.events.len() as u64;
+                if let Some(t) = report.time_to_first_warp() {
+                    ttfw.push(t);
+                }
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let fleet = server.fleet();
+
+    ServePerf {
+        smoke,
+        workers,
+        quantum_slices,
+        sessions,
+        finished: fleet.finished,
+        failed,
+        quanta: fleet.quanta,
+        wall_seconds,
+        sim_cycles,
+        sim_instructions,
+        warps,
+        ttfw: TtfwDistribution::from_samples(ttfw),
+        cache: cache.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic() -> ServePerf {
+        ServePerf {
+            smoke: true,
+            workers: 4,
+            quantum_slices: 32,
+            sessions: 256,
+            finished: 256,
+            failed: 0,
+            quanta: 4096,
+            wall_seconds: 2.0,
+            sim_cycles: 1_000_000_000,
+            sim_instructions: 400_000_000,
+            warps: 300,
+            ttfw: TtfwDistribution::from_samples(vec![100, 200, 300, 400, 500, 600, 700, 800]),
+            cache: CacheStats {
+                hits: 240,
+                misses: 16,
+                evictions: 7,
+                entries: 7,
+                capacity: Some(7),
+            },
+        }
+    }
+
+    #[test]
+    fn throughput_figures_divide_by_wall_clock() {
+        let p = synthetic();
+        assert!((p.sessions_per_second() - 128.0).abs() < 1e-9);
+        assert!((p.minsn_per_second() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ttfw_distribution_is_order_statistics() {
+        let d = TtfwDistribution::from_samples(vec![500, 100, 300, 200, 400]);
+        assert_eq!((d.sessions, d.min, d.max), (5, 100, 500));
+        assert_eq!(d.p50, 300);
+        assert_eq!(d.p90, 400, "p90 of 5 samples indexes the 4th");
+        assert!((d.mean - 300.0).abs() < 1e-9);
+        // Empty fleets don't divide by zero.
+        assert_eq!(TtfwDistribution::from_samples(vec![]).sessions, 0);
+    }
+
+    #[test]
+    fn json_has_schema_and_required_fields() {
+        let json = synthetic().to_json();
+        assert!(json.contains("\"schema\": \"warp-mb/bench-serve/v1\""));
+        for key in [
+            "\"sessions\": 256",
+            "\"sessions_per_second\": 128.00",
+            "\"minsn_per_second\": 200.00",
+            "\"time_to_first_warp\"",
+            "\"shared_cache\"",
+            "\"hit_rate\": 0.9375",
+            "\"capacity\": 7",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        // Balanced braces — the document must parse.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    /// A miniature fleet end-to-end: the measurement path itself, at
+    /// test scale (the full ≥1k-session bar runs in the bench binary).
+    #[test]
+    fn tiny_fleet_measures_nonzero_throughput_and_hits() {
+        let mut mini = measure_mini(24, 2);
+        // Clamp for assertion stability on loaded machines.
+        mini.wall_seconds = mini.wall_seconds.max(1e-6);
+        assert_eq!(mini.finished, 24);
+        assert_eq!(mini.failed, 0);
+        assert!(mini.warps >= 1);
+        assert!(mini.cache.hits >= 1, "same-kernel tenants must warm-start");
+        assert!(mini.sessions_per_second() > 0.0);
+        assert!(mini.minsn_per_second() > 0.0);
+    }
+
+    fn measure_mini(sessions: usize, workers: usize) -> ServePerf {
+        // Same path as measure_fleet but tiny: cycle two kernels so the
+        // cache sees same-kernel tenants quickly.
+        let specs: Vec<_> =
+            ["brev", "crc32"].iter().map(|n| workloads::by_name(n).unwrap()).collect();
+        let cache = Arc::new(CircuitCache::bounded(4));
+        let cad = Arc::new(CadService::from_env());
+        let server = Server::start(ServeConfig { workers, quantum_slices: 16 });
+        let ids: Vec<_> = (0..sessions)
+            .map(|i| {
+                let spec = &specs[i % specs.len()];
+                let built = Arc::new(spec.build_seeded(MbFeatures::paper_default(), i as u64));
+                let session = OnlineSession::new(built, OnlineConfig::default())
+                    .with_policy(TopKPolicy { k: 1, min_count: 256 })
+                    .with_cache(Arc::clone(&cache))
+                    .with_service(Arc::clone(&cad));
+                let id = server.create(session);
+                server.run(id).unwrap();
+                id
+            })
+            .collect();
+        let start = Instant::now();
+        let mut ttfw = Vec::new();
+        let (mut cyc, mut insn, mut warps, mut failed) = (0, 0, 0, 0);
+        for id in ids {
+            match server.wait(id) {
+                Ok(r) => {
+                    cyc += r.cycles;
+                    insn += r.instructions;
+                    warps += r.events.len() as u64;
+                    ttfw.extend(r.time_to_first_warp());
+                }
+                Err(_) => failed += 1,
+            }
+        }
+        let fleet = server.fleet();
+        ServePerf {
+            smoke: true,
+            workers,
+            quantum_slices: 16,
+            sessions,
+            finished: fleet.finished,
+            failed,
+            quanta: fleet.quanta,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            sim_cycles: cyc,
+            sim_instructions: insn,
+            warps,
+            ttfw: TtfwDistribution::from_samples(ttfw),
+            cache: cache.stats(),
+        }
+    }
+}

@@ -13,9 +13,20 @@
 //! bit-identical to a cold run's.
 //!
 //! The cache is safe to share across the
-//! [`BatchRunner`](crate::batch::BatchRunner)'s worker threads: lookups
-//! take a short mutex, but compilation itself runs outside the lock so
-//! concurrent misses on *different* kernels still compile in parallel.
+//! [`BatchRunner`](crate::batch::BatchRunner)'s worker threads and the
+//! `warp-serve` session fleet: lookups take a short mutex, but
+//! compilation itself runs outside the lock so concurrent misses on
+//! *different* kernels still compile in parallel.
+//!
+//! # Bounded mode
+//!
+//! A long-running multi-tenant host cannot let the cache grow with
+//! every kernel its sessions ever warped. [`CircuitCache::bounded`]
+//! caps the store at a fixed number of entries and evicts the
+//! least-recently-used circuit to admit a new one (recency is bumped on
+//! every hit, probe, or insertion). The default [`CircuitCache::new`]
+//! keeps the historical unbounded behavior — existing single-run flows
+//! and their committed benchmarks are unchanged.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,15 +37,57 @@ use warp_wcla::CadCaches;
 use crate::pipeline::{compile_circuit, CompiledWcla, DecompiledKernel};
 use crate::system::WarpError;
 
-/// Hit/miss counters for a [`CircuitCache`].
+/// Hit/miss/eviction counters for a [`CircuitCache`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct CacheStats {
     /// Lookups that found a compiled circuit.
     pub hits: u64,
     /// Lookups that had to run the CAD chain.
     pub misses: u64,
+    /// Circuits evicted to admit new ones (bounded caches only).
+    pub evictions: u64,
     /// Distinct kernels currently cached.
     pub entries: usize,
+    /// Maximum entries admitted (`None` = unbounded).
+    pub capacity: Option<usize>,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none yet).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cached circuit plus the recency stamp the LRU policy orders by.
+struct Entry {
+    artifact: Arc<CompiledWcla>,
+    last_used: u64,
+}
+
+/// The keyed store behind the mutex: entries plus the logical clock
+/// that stamps recency (monotonic per cache, bumped on every touch).
+#[derive(Default)]
+struct Slots {
+    map: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+impl Slots {
+    fn touch(&mut self, fingerprint: u64) -> Option<Arc<CompiledWcla>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&fingerprint).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.artifact)
+        })
+    }
 }
 
 /// A thread-safe, content-addressed store of compiled WCLA circuits.
@@ -44,26 +97,63 @@ pub struct CacheStats {
 /// placements, and first-pass net routes — so an online runtime
 /// attached to this cache can compile a *shifted-but-similar* kernel
 /// incrementally even when its whole-kernel fingerprint misses.
-#[derive(Debug, Default)]
 pub struct CircuitCache {
-    slots: Mutex<HashMap<u64, Arc<CompiledWcla>>>,
+    slots: Mutex<Slots>,
+    /// Maximum entries; `usize::MAX` means unbounded (the default).
+    capacity: usize,
     cad: Arc<CadCaches>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for CircuitCache {
+    /// An unbounded cache, same as [`CircuitCache::new`].
+    fn default() -> Self {
+        CircuitCache {
+            slots: Mutex::default(),
+            capacity: usize::MAX,
+            cad: Arc::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for CircuitCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CircuitCache").field("stats", &self.stats()).finish_non_exhaustive()
+    }
 }
 
 impl CircuitCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache (the historical behavior).
     #[must_use]
     pub fn new() -> Self {
         CircuitCache::default()
     }
 
-    /// Returns the cached circuit for a kernel fingerprint, if present.
-    /// Does not touch the hit/miss counters.
+    /// Creates an empty cache holding at most `capacity` circuits
+    /// (clamped to at least 1); admitting a circuit beyond that evicts
+    /// the least-recently-used entry.
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
+        CircuitCache { capacity: capacity.max(1), ..CircuitCache::default() }
+    }
+
+    /// The configured capacity (`None` when unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        (self.capacity != usize::MAX).then_some(self.capacity)
+    }
+
+    /// Returns the cached circuit for a kernel fingerprint, if present,
+    /// marking the entry most-recently used. Does not touch the
+    /// hit/miss counters.
     #[must_use]
     pub fn get(&self, fingerprint: u64) -> Option<Arc<CompiledWcla>> {
-        self.slots.lock().expect("cache lock").get(&fingerprint).cloned()
+        self.slots.lock().expect("cache lock").touch(fingerprint)
     }
 
     /// The sub-kernel CAD caches carried by this circuit cache. Runtimes
@@ -92,14 +182,36 @@ impl CircuitCache {
 
     /// Publishes a freshly compiled circuit, counting a miss. On a
     /// fingerprint collision the slot stays with its first owner; the
-    /// caller keeps using its own artifact either way.
+    /// caller keeps using its own artifact either way. A full bounded
+    /// cache evicts its least-recently-used circuit to admit the new
+    /// one (concurrent insertions each admit their entry — an insertion
+    /// is never silently dropped).
     pub fn insert_compiled(&self, compiled: &Arc<CompiledWcla>) {
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.slots
-            .lock()
-            .expect("cache lock")
-            .entry(compiled.fingerprint)
-            .or_insert_with(|| Arc::clone(compiled));
+        self.admit(compiled.fingerprint, compiled);
+    }
+
+    /// Inserts under the lock, evicting LRU entries down to capacity.
+    fn admit(&self, fingerprint: u64, artifact: &Arc<CompiledWcla>) {
+        let mut slots = self.slots.lock().expect("cache lock");
+        slots.tick += 1;
+        let tick = slots.tick;
+        if slots.map.contains_key(&fingerprint) {
+            // First owner keeps the slot; refresh its recency so a
+            // racing duplicate insert does not age the shared artifact.
+            if let Some(e) = slots.map.get_mut(&fingerprint) {
+                e.last_used = tick;
+            }
+            return;
+        }
+        while slots.map.len() >= self.capacity.max(1) {
+            let Some((&victim, _)) = slots.map.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            slots.map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        slots.map.insert(fingerprint, Entry { artifact: Arc::clone(artifact), last_used: tick });
     }
 
     /// Returns the compiled circuit for a decompiled kernel, running
@@ -132,30 +244,30 @@ impl CircuitCache {
         }
         let compiled = Arc::new(compile_circuit(decompiled)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let stored = self
-            .slots
-            .lock()
-            .expect("cache lock")
-            .entry(decompiled.fingerprint)
-            .or_insert(compiled)
-            .clone();
+        self.admit(decompiled.fingerprint, &compiled);
+        // Serve whatever the slot now holds so racing compilers of the
+        // same kernel converge on one shared artifact; if a bounded
+        // cache already evicted it again, fall back to our own copy.
+        let stored = self.get(decompiled.fingerprint).unwrap_or(compiled);
         Ok((stored, false))
     }
 
-    /// Current hit/miss/occupancy counters.
+    /// Current hit/miss/eviction/occupancy counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.slots.lock().expect("cache lock").len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.slots.lock().expect("cache lock").map.len(),
+            capacity: self.capacity(),
         }
     }
 
     /// Number of distinct kernels cached.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("cache lock").len()
+        self.slots.lock().expect("cache lock").map.len()
     }
 
     /// Whether the cache holds no circuits.
@@ -166,7 +278,7 @@ impl CircuitCache {
 
     /// Drops every cached circuit (counters are kept).
     pub fn clear(&self) {
-        self.slots.lock().expect("cache lock").clear();
+        self.slots.lock().expect("cache lock").map.clear();
     }
 }
 
@@ -202,7 +314,11 @@ mod tests {
         assert!(!hit0);
         assert!(hit1);
         assert!(Arc::ptr_eq(&cold, &warm), "hit must share the cached artifact");
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, entries: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats { hits: 1, misses: 1, evictions: 0, entries: 1, capacity: None }
+        );
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -216,5 +332,52 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = CircuitCache::bounded(2);
+        assert_eq!(cache.capacity(), Some(2));
+        let a = decompiled("brev");
+        let b = decompiled("canrdr");
+        let c = decompiled("crc32");
+
+        cache.lookup_or_compile(&a).unwrap();
+        cache.lookup_or_compile(&b).unwrap();
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(cache.probe(&a).is_some());
+        cache.lookup_or_compile(&c).unwrap();
+
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(a.fingerprint).is_some(), "recently-used entry must survive");
+        assert!(cache.get(b.fingerprint).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(c.fingerprint).is_some(), "new entry must be admitted");
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn evicted_kernel_recompiles_bit_identical() {
+        let cache = CircuitCache::bounded(1);
+        let a = decompiled("brev");
+        let b = decompiled("canrdr");
+        let (first, _) = cache.lookup_or_compile(&a).unwrap();
+        cache.lookup_or_compile(&b).unwrap(); // evicts `a`
+        let (again, hit) = cache.lookup_or_compile(&a).unwrap();
+        assert!(!hit, "evicted circuit must recompile");
+        assert!(!Arc::ptr_eq(&first, &again));
+        assert_eq!(first.circuit.compiled.bitstream, again.circuit.compiled.bitstream);
+        assert_eq!(first.circuit.model, again.circuit.model);
+        assert_eq!(first.dpm, again.dpm);
+    }
+
+    #[test]
+    fn unbounded_default_never_evicts() {
+        let cache = CircuitCache::new();
+        assert_eq!(cache.capacity(), None);
+        for name in ["brev", "canrdr", "crc32", "fir"] {
+            cache.lookup_or_compile(&decompiled(name)).unwrap();
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().evictions, 0);
     }
 }

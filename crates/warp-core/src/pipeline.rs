@@ -360,7 +360,7 @@ pub fn execute_and_measure(
     built.verify(warped.dmem()).map_err(|e| WarpError::Verification(e.to_string()))?;
 
     // Time and energy accounting.
-    let hw = *hw_stats.borrow();
+    let hw = *hw_stats.lock().expect("wcla stats lock");
     let sw_seconds = traced.sw_seconds;
     let warped_cycles = warped_outcome.cycles;
     let warped_seconds = mb_config.seconds(warped_cycles);

@@ -61,9 +61,11 @@ mod error;
 mod orchestrator;
 mod policy;
 mod report;
+mod session;
 mod slot;
 
 pub use error::OnlineError;
 pub use orchestrator::{OnlineConfig, Orchestrator};
 pub use policy::{NeverPolicy, PolicyCtx, ThresholdPolicy, TopKPolicy, WarpPolicy};
 pub use report::{OnlineReport, WarpEvent};
+pub use session::{OnlineSession, SessionStatus};

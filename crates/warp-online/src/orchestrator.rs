@@ -45,24 +45,25 @@
 //! the stub marshals the *current* counter, stream pointers, and
 //! accumulators, a patch that lands mid-loop is safe: the next pass
 //! over the loop head hands the remaining iterations to hardware.
+//!
+//! # The orchestrator is a wrapper
+//!
+//! All of the above is implemented by [`OnlineSession`], the resumable
+//! state machine a multi-session server schedules in slices.
+//! `Orchestrator::run` builds one session and drives it to completion —
+//! a served session and a standalone run share every line of the loop
+//! body, so their reports are bit-identical *by construction*.
 
-use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use mb_sim::{MbConfig, StopReason};
-use warp_core::dpm::{costs, DpmReport};
-use warp_core::pipeline::{self, CompiledWcla};
-use warp_core::{CadHandle, CadService, CircuitCache, WarpError, WarpOptions};
-use warp_profiler::{HotRegion, Profiler};
-use warp_wcla::patch::{apply_patch, revert_patch, PatchPlan};
-use warp_wcla::CadCaches;
-use warp_wcla::{WclaDevice, WclaStats, WCLA_BASE, WCLA_WINDOW};
+use mb_sim::MbConfig;
+use warp_core::{CircuitCache, WarpOptions};
 use workloads::BuiltWorkload;
 
 use crate::error::OnlineError;
-use crate::policy::{PolicyCtx, ThresholdPolicy, WarpPolicy};
-use crate::report::{OnlineReport, WarpEvent};
-use crate::slot::SharedSlot;
+use crate::policy::{ThresholdPolicy, WarpPolicy};
+use crate::report::OnlineReport;
+use crate::session::{OnlineSession, SessionStatus};
 
 /// Knobs of the online runtime.
 #[derive(Clone, Debug)]
@@ -105,58 +106,13 @@ impl Default for OnlineConfig {
     }
 }
 
-/// A committed warp whose CAD budget is still elapsing on the timeline.
-struct PendingWarp {
-    region: HotRegion,
-    compiled: Arc<CompiledWcla>,
-    plan: PatchPlan,
-    detected_cycle: u64,
-    cad_cycles: u64,
-    ready_at: u64,
-    cache_hit: bool,
-}
-
-/// A committed warp whose CAD chain is still running on a background
-/// worker. Decompilation and patch planning already happened
-/// synchronously at detection; only compilation is in flight.
-struct InFlightWarp {
-    region: HotRegion,
-    plan: PatchPlan,
-    detected_cycle: u64,
-    /// First timeline cycle at which the background result may be
-    /// consumed: detection plus the decompile floor — a lower bound on
-    /// the modeled CAD budget computable *without* compiling. Joining
-    /// no earlier than this keeps the timeline independent of how fast
-    /// the host workers are.
-    join_at: u64,
-    handle: CadHandle<Result<CompiledWcla, WarpError>>,
-}
-
-/// The OCPM's one-job-at-a-time state machine.
-enum CadState {
-    /// No warp committed; detection may run.
-    Idle,
-    /// Compilation running on a background worker.
-    InFlight(InFlightWarp),
-    /// Compilation finished (or cache hit); the modeled budget is still
-    /// elapsing toward `ready_at`.
-    Ready(PendingWarp),
-}
-
-/// The warp currently holding the fabric.
-struct ActiveWarp {
-    region: (u32, u32),
-    plan: PatchPlan,
-    stats: std::rc::Rc<std::cell::RefCell<WclaStats>>,
-    event_index: usize,
-}
-
-/// The online warp runtime for one workload.
+/// The online warp runtime for one workload, driven to completion in
+/// one call. See [`OnlineSession`] for the sliced form a server hosts.
 pub struct Orchestrator<'w> {
     built: &'w BuiltWorkload,
     config: OnlineConfig,
-    policy: Box<dyn WarpPolicy + 'w>,
-    cache: Option<&'w CircuitCache>,
+    policy: Box<dyn WarpPolicy>,
+    cache: Option<Arc<CircuitCache>>,
 }
 
 impl<'w> Orchestrator<'w> {
@@ -173,16 +129,16 @@ impl<'w> Orchestrator<'w> {
 
     /// Replaces the warp policy.
     #[must_use]
-    pub fn with_policy(mut self, policy: impl WarpPolicy + 'w) -> Self {
+    pub fn with_policy(mut self, policy: impl WarpPolicy + 'static) -> Self {
         self.policy = Box::new(policy);
         self
     }
 
     /// Shares a circuit cache: kernels compiled in previous runs (or by
-    /// other orchestrators) warm-start, paying only the reconfiguration
-    /// cycles on the timeline.
+    /// other orchestrators and served sessions) warm-start, paying only
+    /// the reconfiguration cycles on the timeline.
     #[must_use]
-    pub fn with_cache(mut self, cache: &'w CircuitCache) -> Self {
+    pub fn with_cache(mut self, cache: Arc<CircuitCache>) -> Self {
         self.cache = Some(cache);
         self
     }
@@ -197,360 +153,28 @@ impl<'w> Orchestrator<'w> {
     /// implementable" (those are skipped and blacklisted), or the
     /// timeline budget runs out.
     pub fn run(self) -> Result<OnlineReport, OnlineError> {
-        let Orchestrator { built, config, mut policy, cache } = self;
-        let mut profiler = Profiler::new(config.options.profiler);
-        let slot = SharedSlot::new();
-        let service = CadService::from_env();
-        // Background compiles share the attached circuit cache's
-        // sub-kernel caches (incremental re-warps); without a cache the
-        // orchestrator still gets private ones, so evict + re-warp of a
-        // similar kernel within one run is delta-cost too.
-        let cad_caches = cache.map_or_else(|| Arc::new(CadCaches::new()), CircuitCache::cad_caches);
-
-        let mut cycles = 0u64;
-        let mut instructions = 0u64;
-        let mut slices = 0u64;
-        let mut slices_since_decay = 0u32;
-        let mut exit_code = 0u32;
-        let mut events: Vec<WarpEvent> = Vec::new();
-        let mut active: Option<ActiveWarp> = None;
-        let mut cad = CadState::Idle;
-        let mut blacklist: BTreeSet<(u32, u32)> = BTreeSet::new();
-
-        for _rep in 0..config.repeats.max(1) {
-            let mut sys = built.instantiate(&config.mb);
-            sys.map_peripheral(WCLA_BASE, WCLA_WINDOW, Box::new(slot.port()));
-            // A re-entered application starts already warped: the OCPM
-            // re-applies the standing patch at load time, no CAD.
-            if let Some(a) = &active {
-                apply_patch(sys.imem_mut(), &a.plan).map_err(OnlineError::Patch)?;
-            }
-
-            loop {
-                let out =
-                    sys.run_slice(config.slice_cycles, &mut profiler).map_err(OnlineError::Run)?;
-                cycles += out.cycles;
-                instructions += out.instructions;
-                slices += 1;
-
-                if config.decay_interval > 0 {
-                    slices_since_decay += 1;
-                    if slices_since_decay >= config.decay_interval {
-                        profiler.decay();
-                        slices_since_decay = 0;
-                    }
-                }
-
-                // Join: the background compile may only be consumed at
-                // the first slice boundary at-or-after `join_at`. The
-                // host may block here (the worker is slower than the
-                // floor) or the result may have been waiting for many
-                // slices — the modeled timeline cannot tell the
-                // difference.
-                if matches!(&cad, CadState::InFlight(f) if cycles >= f.join_at) {
-                    let CadState::InFlight(f) = std::mem::replace(&mut cad, CadState::Idle) else {
-                        unreachable!("matched InFlight above")
-                    };
-                    match f.handle.wait() {
-                        Ok(compiled) => {
-                            let compiled = Arc::new(compiled);
-                            if let Some(c) = cache {
-                                c.insert_compiled(&compiled);
-                            }
-                            let cad_cycles = cad_timeline_cycles(
-                                &compiled.dpm,
-                                false,
-                                config.mb.clock_hz,
-                                config.options.dpm_clock_hz,
-                            );
-                            cad = CadState::Ready(PendingWarp {
-                                region: f.region,
-                                compiled,
-                                plan: f.plan,
-                                detected_cycle: f.detected_cycle,
-                                cad_cycles,
-                                ready_at: f.detected_cycle + cad_cycles,
-                                cache_hit: false,
-                            });
-                        }
-                        // Not WCLA-implementable: blacklisted at this
-                        // deterministic boundary, software continues.
-                        Err(e) if rejects_region(&e) => {
-                            blacklist.insert((f.region.head, f.region.tail));
-                        }
-                        Err(e) => return Err(OnlineError::Warp(e)),
-                    }
-                }
-
-                // CAD completion: the pending warp's lean-processor
-                // budget has elapsed — hot-patch, unless the PC sits in
-                // the stub words about to be rewritten (retry next
-                // slice; the stub is straight-line and exits quickly).
-                let ready = matches!(&cad, CadState::Ready(p) if cycles >= p.ready_at);
-                if ready && stub_is_clear(sys.cpu().pc(), active.as_ref()) {
-                    let CadState::Ready(p) = std::mem::replace(&mut cad, CadState::Idle) else {
-                        unreachable!("matched Ready above")
-                    };
-                    let mut evicted = None;
-                    if let Some(old) = active.take() {
-                        revert_patch(sys.imem_mut(), &old.plan).map_err(OnlineError::Patch)?;
-                        events[old.event_index].hw = *old.stats.borrow();
-                        evicted = Some(old.region);
-                    }
-                    apply_patch(sys.imem_mut(), &p.plan).map_err(OnlineError::Patch)?;
-                    let (device, stats) =
-                        WclaDevice::new(p.compiled.circuit.clone(), config.mb.clock_hz);
-                    slot.install(device);
-                    let event_index = events.len();
-                    let work = p.compiled.work;
-                    let total_nets = p.compiled.circuit.compiled.route_stats.nets;
-                    events.push(WarpEvent {
-                        head: p.region.head,
-                        tail: p.region.tail,
-                        count_at_detection: p.region.count,
-                        fingerprint: p.compiled.fingerprint,
-                        detected_cycle: p.detected_cycle,
-                        cad_cycles: p.cad_cycles,
-                        patched_cycle: cycles,
-                        patched_insns: instructions,
-                        cache_hit: p.cache_hit,
-                        // A whole-circuit hit replayed everything; a
-                        // (possibly incremental) compile reports what
-                        // its sub-kernel caches replayed.
-                        reused_clusters: if p.cache_hit {
-                            work.map.clusters
-                        } else {
-                            work.map.clusters_reused
-                        },
-                        total_clusters: work.map.clusters,
-                        rerouted_nets: if p.cache_hit {
-                            0
-                        } else {
-                            total_nets - work.fabric.nets_restored
-                        },
-                        total_nets,
-                        cad_overlap_cycles: cycles - p.detected_cycle,
-                        evicted,
-                        dpm: p.compiled.dpm,
-                        model: p.compiled.circuit.model,
-                        hw: WclaStats::default(),
-                    });
-                    active = Some(ActiveWarp {
-                        region: (p.region.head, p.region.tail),
-                        plan: p.plan,
-                        stats,
-                        event_index,
-                    });
-                } else if matches!(cad, CadState::Idle) {
-                    // Detection: offer ranked candidates to the policy.
-                    let active_key = active.as_ref().map(|a| a.region);
-                    let ranked = profiler.hot_regions();
-                    let ctx = PolicyCtx {
-                        active: active_key,
-                        active_count: active_key
-                            .and_then(|(h, t)| ranked.iter().find(|r| (r.head, r.tail) == (h, t)))
-                            .map_or(0, |r| r.count),
-                        warps_committed: events.len(),
-                        timeline_cycles: cycles,
-                        profiler: profiler.stats(),
-                    };
-                    let candidate = ranked
-                        .iter()
-                        .filter(|r| Some((r.head, r.tail)) != active_key)
-                        .filter(|r| !blacklist.contains(&(r.head, r.tail)))
-                        .find(|r| policy.should_warp(r, &ctx))
-                        .copied();
-                    if let Some(region) = candidate {
-                        match begin_warp(
-                            built,
-                            cache,
-                            &service,
-                            &cad_caches,
-                            &config,
-                            &region,
-                            cycles,
-                        ) {
-                            Ok(Some(state)) => cad = state,
-                            // Not decompilable/patchable: leave the
-                            // region in software, permanently.
-                            Ok(None) => {
-                                blacklist.insert((region.head, region.tail));
-                            }
-                            Err(e) => return Err(e),
-                        }
-                    }
-                }
-
-                // Detection and patching run on *every* slice boundary,
-                // including the one where the program exits: the
-                // profiler's view persists across re-entries, so heat
-                // retired in a run's final slice (a kernel that finishes
-                // right before the exit) must still be able to commit a
-                // warp — it lands in the next repeat, already patched at
-                // load time.
-                if let StopReason::Exited(code) = out.stop {
-                    exit_code = code;
-                    break;
-                }
-                if cycles >= config.max_cycles {
-                    return Err(OnlineError::BudgetExhausted { cycles, limit: config.max_cycles });
-                }
-            }
-
-            built.verify(sys.dmem()).map_err(OnlineError::Verify)?;
-        }
-
-        if let Some(a) = &active {
-            events[a.event_index].hw = *a.stats.borrow();
-        }
-        Ok(OnlineReport {
-            name: built.name.clone(),
-            repeats: config.repeats.max(1),
-            slices,
-            cycles,
-            instructions,
-            exit_code,
-            events,
-            profiler: profiler.stats(),
-        })
-    }
-}
-
-/// Whether the PC is outside the stub words an eviction would rewrite.
-/// (Patching the loop head itself is always safe — the current
-/// iteration completes on the original body and the *next* head fetch
-/// sees the jump; only overwriting straight-line stub code under the PC
-/// would corrupt execution.)
-fn stub_is_clear(pc: u32, active: Option<&ActiveWarp>) -> bool {
-    match active {
-        None => true,
-        Some(a) => {
-            let start = a.plan.stub_base;
-            let end = start + 4 * a.plan.stub.len() as u32;
-            !(start..end).contains(&pc)
-        }
-    }
-}
-
-/// Whether a CAD failure means "region not WCLA-implementable" — the
-/// caller blacklists the region and execution simply continues in
-/// software, exactly the partitioner's fallback in the paper.
-fn rejects_region(e: &WarpError) -> bool {
-    matches!(e, WarpError::Decompile(_) | WarpError::Fabric(_) | WarpError::Patch(_))
-}
-
-/// Starts the OCPM on a committed region: decompiles, plans the binary
-/// rewrite, probes the circuit cache — all synchronously, so their
-/// rejections blacklist at the detection boundary — then either returns
-/// the cached circuit as [`CadState::Ready`] or submits compilation to
-/// a background worker as [`CadState::InFlight`].
-///
-/// `Ok(None)` means decompilation or patch planning rejected the
-/// region (blacklist it). Fabric rejections surface later, at the
-/// in-flight join boundary.
-fn begin_warp(
-    built: &BuiltWorkload,
-    cache: Option<&CircuitCache>,
-    service: &CadService,
-    cad_caches: &Arc<CadCaches>,
-    config: &OnlineConfig,
-    region: &HotRegion,
-    now: u64,
-) -> Result<Option<CadState>, OnlineError> {
-    let lift = |e: WarpError| -> Result<Option<CadState>, OnlineError> {
-        if rejects_region(&e) {
-            Ok(None)
-        } else {
-            Err(OnlineError::Warp(e))
-        }
-    };
-
-    let decompiled = match pipeline::decompile(built, region) {
-        Ok(d) => d,
-        Err(e) => return lift(e),
-    };
-    // The rewrite plan depends only on the kernel and the program
-    // image, so it is ready before compilation even starts.
-    let plan = match pipeline::plan_patch_kernel(built, &decompiled.kernel) {
-        Ok(p) => p.plan,
-        Err(e) => return lift(e),
-    };
-
-    if let Some(cache) = cache {
-        if let Some(hit) = cache.probe(&decompiled) {
-            let cad_cycles = cad_timeline_cycles(
-                &hit.dpm,
-                true,
-                config.mb.clock_hz,
-                config.options.dpm_clock_hz,
-            );
-            return Ok(Some(CadState::Ready(PendingWarp {
-                region: *region,
-                compiled: hit,
-                plan,
-                detected_cycle: now,
-                cad_cycles,
-                ready_at: now + cad_cycles,
-                cache_hit: true,
-            })));
-        }
+        let Orchestrator { built, config, policy, cache } = self;
+        let mut session =
+            crate::session::session_from_parts(Arc::new(built.clone()), config, policy, cache);
+        while session.advance(u64::MAX) == SessionStatus::Runnable {}
+        session.into_outcome().expect("session drove to completion")
     }
 
-    // The earliest the full budget could possibly elapse is the
-    // decompile floor — known right here, before compiling anything —
-    // so that is the deterministic join boundary for the background
-    // result.
-    let floor_dpm = decompiled.kernel.body_insns as u64 * costs::DECOMPILE_PER_INSN;
-    let join_at =
-        now + to_timeline_cycles(floor_dpm, config.mb.clock_hz, config.options.dpm_clock_hz);
-    let caches = Arc::clone(cad_caches);
-    let handle =
-        service.submit(move || pipeline::compile_circuit_cached(&decompiled, Some(&caches)));
-    Ok(Some(CadState::InFlight(InFlightWarp {
-        region: *region,
-        plan,
-        detected_cycle: now,
-        join_at,
-        handle,
-    })))
-}
-
-/// Converts modeled OCPM cycles (at its own clock) into MicroBlaze
-/// timeline cycles.
-fn to_timeline_cycles(dpm_cycles: u64, mb_hz: u64, dpm_hz: u64) -> u64 {
-    u64::try_from((u128::from(dpm_cycles) * u128::from(mb_hz)).div_ceil(u128::from(dpm_hz.max(1))))
-        .unwrap_or(u64::MAX)
-}
-
-/// Converts the OCPM's modeled CAD cycles (at its own clock) into
-/// MicroBlaze timeline cycles. A circuit-cache hit skips the whole CAD
-/// chain and pays only the reconfiguration — the bitstream write.
-fn cad_timeline_cycles(dpm: &DpmReport, cache_hit: bool, mb_hz: u64, dpm_hz: u64) -> u64 {
-    let dpm_cycles = if cache_hit { dpm.bitstream_cycles } else { dpm.total_cycles() };
-    to_timeline_cycles(dpm_cycles, mb_hz, dpm_hz)
+    /// Converts the runtime into its sliced, owned form (cloning the
+    /// workload), for callers that want to interleave it with others.
+    #[must_use]
+    pub fn into_session(self) -> OnlineSession {
+        let Orchestrator { built, config, policy, cache } = self;
+        crate::session::session_from_parts(Arc::new(built.clone()), config, policy, cache)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::policy::{NeverPolicy, TopKPolicy};
+    use crate::session::cad_timeline_cycles;
     use mb_isa::MbFeatures;
-
-    #[test]
-    fn cad_budget_scales_with_the_ocpm_clock() {
-        let dpm = DpmReport {
-            decompile_cycles: 500,
-            synth_cycles: 500,
-            bitstream_cycles: 100,
-            ..DpmReport::default()
-        };
-        // Same clock: 1:1.
-        assert_eq!(cad_timeline_cycles(&dpm, false, 85_000_000, 85_000_000), 1100);
-        // A 10x faster OCPM charges a tenth of the timeline.
-        assert_eq!(cad_timeline_cycles(&dpm, false, 85_000_000, 850_000_000), 110);
-        // Warm start pays only the reconfiguration.
-        assert_eq!(cad_timeline_cycles(&dpm, true, 85_000_000, 85_000_000), 100);
-    }
 
     #[test]
     fn never_policy_is_a_pure_software_timeline() {
@@ -591,18 +215,18 @@ mod tests {
     #[test]
     fn warm_cache_charges_only_reconfiguration() {
         let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());
-        let cache = CircuitCache::new();
+        let cache = Arc::new(CircuitCache::new());
         // Slices finer than the CAD budget, so the patch cycle resolves
         // the cold/warm difference instead of quantizing it away.
         let config = OnlineConfig { slice_cycles: 2_000, ..OnlineConfig::default() };
         let cold = Orchestrator::new(&built, config.clone())
             .with_policy(TopKPolicy { k: 1, min_count: 256 })
-            .with_cache(&cache)
+            .with_cache(Arc::clone(&cache))
             .run()
             .unwrap();
         let warm = Orchestrator::new(&built, config)
             .with_policy(TopKPolicy { k: 1, min_count: 256 })
-            .with_cache(&cache)
+            .with_cache(Arc::clone(&cache))
             .run()
             .unwrap();
         assert!(!cold.events[0].cache_hit);
@@ -674,5 +298,24 @@ mod tests {
             .run()
             .unwrap();
         assert!(report.cycles < sw.cycles, "online {} vs software {}", report.cycles, sw.cycles);
+    }
+
+    /// The wrapper contract itself: a session advanced slice-by-slice
+    /// (as a server would) reports exactly what `run()` reports.
+    #[test]
+    fn served_session_matches_orchestrator_run() {
+        let built = workloads::by_name("brev").unwrap().build(MbFeatures::paper_default());
+        let direct = Orchestrator::new(&built, OnlineConfig::default())
+            .with_policy(TopKPolicy { k: 1, min_count: 256 })
+            .run()
+            .unwrap();
+
+        let mut session = Orchestrator::new(&built, OnlineConfig::default())
+            .with_policy(TopKPolicy { k: 1, min_count: 256 })
+            .into_session();
+        while session.advance(2) == SessionStatus::Runnable {}
+        let served = session.into_outcome().unwrap().unwrap();
+
+        assert_eq!(direct, served);
     }
 }

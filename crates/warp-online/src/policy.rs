@@ -28,7 +28,11 @@ pub struct PolicyCtx {
 /// regions that previously failed decompilation. Returning `true`
 /// commits the runtime to the candidate: the OCPM starts its CAD work
 /// and the warp lands when the modeled cycle budget elapses.
-pub trait WarpPolicy {
+///
+/// Policies are `Send`: they live inside an
+/// [`OnlineSession`](crate::OnlineSession) that a multi-session server
+/// migrates between worker threads.
+pub trait WarpPolicy: Send {
     /// Whether to start warping `candidate` now.
     fn should_warp(&mut self, candidate: &HotRegion, ctx: &PolicyCtx) -> bool;
 

@@ -91,7 +91,10 @@ impl fmt::Display for WarpEvent {
 }
 
 /// Everything measured from one online run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` is load-bearing: the determinism tests assert a served
+/// session's report equal to a standalone run's, field for field.
+#[derive(Clone, PartialEq, Debug)]
 pub struct OnlineReport {
     /// Workload name.
     pub name: String,

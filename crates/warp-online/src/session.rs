@@ -1,0 +1,769 @@
+//! The online runtime as an owned, resumable state machine.
+//!
+//! [`Orchestrator::run`](crate::Orchestrator::run) is the one-shot
+//! driver; an [`OnlineSession`] is the same runtime with the run loop
+//! turned inside out. All of the loop-carried state — the simulated
+//! [`System`], the profiler, the OCPM's in-flight/pending CAD job, the
+//! active patch, the warp-event timeline — lives in the session struct,
+//! and [`OnlineSession::advance`] executes a bounded number of
+//! scheduler slices before handing control back.
+//!
+//! That inversion is what makes **warp-as-a-service** possible: a
+//! session is `Send` and `'static` (it owns its workload via `Arc` and
+//! shares the [`CircuitCache`]/[`CadService`] via `Arc`), so a server
+//! can host thousands of them and time-slice runnable sessions across a
+//! fixed worker pool, migrating a session between threads at any
+//! `advance` boundary. Because `advance` replays exactly the loop body
+//! of `Orchestrator::run` — same slice budget, same join/patch/detect
+//! ordering at every slice boundary — a served session's
+//! [`OnlineReport`] is bit-identical to a standalone run of the same
+//! workload, no matter how its slices interleave with other sessions or
+//! how many worker threads the server uses. The compile-time
+//! `assert_send` at the bottom of this module keeps regressions from
+//! ever reaching the server.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+use mb_sim::{StopReason, System};
+use warp_core::dpm::{costs, DpmReport};
+use warp_core::pipeline::{self, CompiledWcla};
+use warp_core::{CadHandle, CadService, CircuitCache, WarpError};
+use warp_profiler::{HotRegion, Profiler};
+use warp_wcla::patch::{apply_patch, revert_patch, PatchPlan};
+use warp_wcla::CadCaches;
+use warp_wcla::{WclaDevice, WclaStats, WCLA_BASE, WCLA_WINDOW};
+use workloads::BuiltWorkload;
+
+use crate::error::OnlineError;
+use crate::orchestrator::OnlineConfig;
+use crate::policy::{PolicyCtx, ThresholdPolicy, WarpPolicy};
+use crate::report::{OnlineReport, WarpEvent};
+use crate::slot::SharedSlot;
+
+/// What [`OnlineSession::advance`] left behind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionStatus {
+    /// The program has more work; call `advance` again.
+    Runnable,
+    /// All repeats exited and verified; the [`OnlineReport`] is ready
+    /// ([`OnlineSession::into_outcome`]).
+    Finished,
+    /// The run failed; the [`OnlineError`] is in
+    /// [`OnlineSession::into_outcome`].
+    Failed,
+}
+
+/// A committed warp whose CAD budget is still elapsing on the timeline.
+struct PendingWarp {
+    region: HotRegion,
+    compiled: Arc<CompiledWcla>,
+    plan: PatchPlan,
+    detected_cycle: u64,
+    cad_cycles: u64,
+    ready_at: u64,
+    cache_hit: bool,
+}
+
+/// A committed warp whose CAD chain is still running on a background
+/// worker. Decompilation and patch planning already happened
+/// synchronously at detection; only compilation is in flight.
+struct InFlightWarp {
+    region: HotRegion,
+    plan: PatchPlan,
+    detected_cycle: u64,
+    /// First timeline cycle at which the background result may be
+    /// consumed: detection plus the decompile floor — a lower bound on
+    /// the modeled CAD budget computable *without* compiling. Joining
+    /// no earlier than this keeps the timeline independent of how fast
+    /// the host workers are.
+    join_at: u64,
+    handle: CadHandle<Result<CompiledWcla, WarpError>>,
+}
+
+/// The OCPM's one-job-at-a-time state machine.
+enum CadState {
+    /// No warp committed; detection may run.
+    Idle,
+    /// Compilation running on a background worker.
+    InFlight(InFlightWarp),
+    /// Compilation finished (or cache hit); the modeled budget is still
+    /// elapsing toward `ready_at`.
+    Ready(PendingWarp),
+}
+
+/// The warp currently holding the fabric.
+struct ActiveWarp {
+    region: (u32, u32),
+    plan: PatchPlan,
+    stats: Arc<Mutex<WclaStats>>,
+    event_index: usize,
+}
+
+/// The online warp runtime for one workload, sliced for cooperative
+/// scheduling. See the module docs for how this relates to
+/// [`Orchestrator`](crate::Orchestrator).
+pub struct OnlineSession {
+    built: Arc<BuiltWorkload>,
+    config: OnlineConfig,
+    policy: Box<dyn WarpPolicy>,
+    cache: Option<Arc<CircuitCache>>,
+    service: Arc<CadService>,
+    cad_caches: Arc<CadCaches>,
+
+    profiler: Profiler,
+    slot: SharedSlot,
+    /// The live system of the current repeat (`None` between repeats
+    /// and after the run completes).
+    sys: Option<System>,
+    rep: u32,
+
+    cycles: u64,
+    instructions: u64,
+    slices: u64,
+    slices_since_decay: u32,
+    exit_code: u32,
+    events: Vec<WarpEvent>,
+    active: Option<ActiveWarp>,
+    cad: CadState,
+    blacklist: BTreeSet<(u32, u32)>,
+
+    outcome: Option<Result<OnlineReport, OnlineError>>,
+}
+
+impl OnlineSession {
+    /// Creates a session with the default [`ThresholdPolicy`], no shared
+    /// circuit cache, and a private [`CadService`] sized by
+    /// `WARP_CAD_THREADS` — the exact defaults of
+    /// [`Orchestrator::new`](crate::Orchestrator::new).
+    #[must_use]
+    pub fn new(built: Arc<BuiltWorkload>, config: OnlineConfig) -> Self {
+        let profiler = Profiler::new(config.options.profiler);
+        OnlineSession {
+            built,
+            config,
+            policy: Box::new(ThresholdPolicy { min_count: 2048 }),
+            cache: None,
+            service: Arc::new(CadService::from_env()),
+            cad_caches: Arc::new(CadCaches::new()),
+            profiler,
+            slot: SharedSlot::new(),
+            sys: None,
+            rep: 0,
+            cycles: 0,
+            instructions: 0,
+            slices: 0,
+            slices_since_decay: 0,
+            exit_code: 0,
+            events: Vec::new(),
+            active: None,
+            cad: CadState::Idle,
+            blacklist: BTreeSet::new(),
+            outcome: None,
+        }
+    }
+
+    /// Replaces the warp policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: impl WarpPolicy + 'static) -> Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Replaces the warp policy with an already-boxed one.
+    #[must_use]
+    pub fn with_policy_box(mut self, policy: Box<dyn WarpPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Shares a circuit cache: kernels compiled by other sessions (or
+    /// previous runs) warm-start this one, paying only reconfiguration
+    /// cycles on the timeline; this session's compiles warm everyone
+    /// else. The cache's sub-kernel [`CadCaches`] ride along into
+    /// background compiles.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<CircuitCache>) -> Self {
+        self.cad_caches = cache.cad_caches();
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Shares a CAD worker pool instead of owning one. A server hosting
+    /// thousands of sessions passes one pool; results are still consumed
+    /// only at deterministic simulated-time boundaries, so the pool (and
+    /// its contention) never leaks into the modeled timeline.
+    #[must_use]
+    pub fn with_service(mut self, service: Arc<CadService>) -> Self {
+        self.service = service;
+        self
+    }
+
+    /// The workload this session runs.
+    #[must_use]
+    pub fn workload(&self) -> &BuiltWorkload {
+        &self.built
+    }
+
+    /// Simulated cycles accumulated so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instructions retired in software so far.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Scheduler slices executed so far.
+    #[must_use]
+    pub fn slices(&self) -> u64 {
+        self.slices
+    }
+
+    /// Warp events landed so far.
+    #[must_use]
+    pub fn warp_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Timeline cycle of the first landed patch, if any yet.
+    #[must_use]
+    pub fn time_to_first_warp(&self) -> Option<u64> {
+        self.events.first().map(|e| e.patched_cycle)
+    }
+
+    /// Current status without advancing.
+    #[must_use]
+    pub fn status(&self) -> SessionStatus {
+        match &self.outcome {
+            None => SessionStatus::Runnable,
+            Some(Ok(_)) => SessionStatus::Finished,
+            Some(Err(_)) => SessionStatus::Failed,
+        }
+    }
+
+    /// Consumes the session and returns its outcome: `Some` once
+    /// [`advance`](OnlineSession::advance) reported
+    /// [`Finished`](SessionStatus::Finished) or
+    /// [`Failed`](SessionStatus::Failed), `None` while still runnable.
+    #[must_use]
+    pub fn into_outcome(self) -> Option<Result<OnlineReport, OnlineError>> {
+        self.outcome
+    }
+
+    /// Hot-patches the live instruction memory (tenant-driven code
+    /// update over the wire protocol). The pre-decoded fetch store and
+    /// block/trace stores invalidate through the BRAM write log, so the
+    /// next fetch of a patched word sees the new code — exactly the
+    /// interface the OCPM itself patches through.
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::Patch`] if the write falls outside instruction
+    /// memory.
+    pub fn patch_imem(&mut self, addr: u32, words: &[u32]) -> Result<(), OnlineError> {
+        self.ensure_system()?;
+        let sys = self.sys.as_mut().expect("ensure_system populated the system");
+        sys.imem_mut().load_words(addr, words).map_err(OnlineError::Patch)
+    }
+
+    /// Instantiates the current repeat's system if none is live:
+    /// load program + data, map the fabric slot, re-apply the standing
+    /// patch (a re-entered application starts already warped).
+    fn ensure_system(&mut self) -> Result<(), OnlineError> {
+        if self.sys.is_some() {
+            return Ok(());
+        }
+        let mut sys = self.built.instantiate(&self.config.mb);
+        sys.map_peripheral(WCLA_BASE, WCLA_WINDOW, Box::new(self.slot.port()));
+        if let Some(a) = &self.active {
+            apply_patch(sys.imem_mut(), &a.plan).map_err(OnlineError::Patch)?;
+        }
+        self.sys = Some(sys);
+        Ok(())
+    }
+
+    /// Runs up to `max_slices` scheduler slices (each bounded by the
+    /// config's `slice_cycles`) and returns the resulting status. A
+    /// finished or failed session returns immediately without work —
+    /// `advance` is idempotent past the end.
+    ///
+    /// Each slice performs exactly the boundary work of
+    /// [`Orchestrator::run`](crate::Orchestrator::run)'s loop body:
+    /// profiler decay on its cadence, joining a background compile at
+    /// its deterministic boundary, landing a ready patch, offering
+    /// candidates to the policy, and rolling into the next repeat when
+    /// the program exits — so any slicing of a run produces the
+    /// identical timeline.
+    pub fn advance(&mut self, max_slices: u64) -> SessionStatus {
+        for _ in 0..max_slices {
+            if self.outcome.is_some() {
+                break;
+            }
+            if let Err(e) = self.step_slice() {
+                self.outcome = Some(Err(e));
+            }
+        }
+        self.status()
+    }
+
+    /// One scheduler slice plus its boundary work. Sets `outcome` when
+    /// the final repeat completes.
+    fn step_slice(&mut self) -> Result<(), OnlineError> {
+        self.ensure_system()?;
+        let sys = self.sys.as_mut().expect("ensure_system populated the system");
+
+        let out = sys
+            .run_slice(self.config.slice_cycles, &mut self.profiler)
+            .map_err(OnlineError::Run)?;
+        self.cycles += out.cycles;
+        self.instructions += out.instructions;
+        self.slices += 1;
+
+        if self.config.decay_interval > 0 {
+            self.slices_since_decay += 1;
+            if self.slices_since_decay >= self.config.decay_interval {
+                self.profiler.decay();
+                self.slices_since_decay = 0;
+            }
+        }
+
+        // Join: the background compile may only be consumed at the
+        // first slice boundary at-or-after `join_at`. The host may
+        // block here (the worker is slower than the floor) or the
+        // result may have been waiting for many slices — the modeled
+        // timeline cannot tell the difference.
+        if matches!(&self.cad, CadState::InFlight(f) if self.cycles >= f.join_at) {
+            let CadState::InFlight(f) = std::mem::replace(&mut self.cad, CadState::Idle) else {
+                unreachable!("matched InFlight above")
+            };
+            match f.handle.wait() {
+                Ok(compiled) => {
+                    let compiled = Arc::new(compiled);
+                    if let Some(c) = &self.cache {
+                        c.insert_compiled(&compiled);
+                    }
+                    let cad_cycles = cad_timeline_cycles(
+                        &compiled.dpm,
+                        false,
+                        self.config.mb.clock_hz,
+                        self.config.options.dpm_clock_hz,
+                    );
+                    self.cad = CadState::Ready(PendingWarp {
+                        region: f.region,
+                        compiled,
+                        plan: f.plan,
+                        detected_cycle: f.detected_cycle,
+                        cad_cycles,
+                        ready_at: f.detected_cycle + cad_cycles,
+                        cache_hit: false,
+                    });
+                }
+                // Not WCLA-implementable: blacklisted at this
+                // deterministic boundary, software continues.
+                Err(e) if rejects_region(&e) => {
+                    self.blacklist.insert((f.region.head, f.region.tail));
+                }
+                Err(e) => return Err(OnlineError::Warp(e)),
+            }
+        }
+
+        // CAD completion: the pending warp's lean-processor budget has
+        // elapsed — hot-patch, unless the PC sits in the stub words
+        // about to be rewritten (retry next slice; the stub is
+        // straight-line and exits quickly).
+        let sys = self.sys.as_mut().expect("system is live within a slice");
+        let ready = matches!(&self.cad, CadState::Ready(p) if self.cycles >= p.ready_at);
+        if ready && stub_is_clear(sys.cpu().pc(), self.active.as_ref()) {
+            let CadState::Ready(p) = std::mem::replace(&mut self.cad, CadState::Idle) else {
+                unreachable!("matched Ready above")
+            };
+            let mut evicted = None;
+            if let Some(old) = self.active.take() {
+                revert_patch(sys.imem_mut(), &old.plan).map_err(OnlineError::Patch)?;
+                self.events[old.event_index].hw = *old.stats.lock().expect("wcla stats lock");
+                evicted = Some(old.region);
+            }
+            apply_patch(sys.imem_mut(), &p.plan).map_err(OnlineError::Patch)?;
+            let (device, stats) =
+                WclaDevice::new(p.compiled.circuit.clone(), self.config.mb.clock_hz);
+            self.slot.install(device);
+            let event_index = self.events.len();
+            let work = p.compiled.work;
+            let total_nets = p.compiled.circuit.compiled.route_stats.nets;
+            self.events.push(WarpEvent {
+                head: p.region.head,
+                tail: p.region.tail,
+                count_at_detection: p.region.count,
+                fingerprint: p.compiled.fingerprint,
+                detected_cycle: p.detected_cycle,
+                cad_cycles: p.cad_cycles,
+                patched_cycle: self.cycles,
+                patched_insns: self.instructions,
+                cache_hit: p.cache_hit,
+                // A whole-circuit hit replayed everything; a (possibly
+                // incremental) compile reports what its sub-kernel
+                // caches replayed.
+                reused_clusters: if p.cache_hit {
+                    work.map.clusters
+                } else {
+                    work.map.clusters_reused
+                },
+                total_clusters: work.map.clusters,
+                rerouted_nets: if p.cache_hit { 0 } else { total_nets - work.fabric.nets_restored },
+                total_nets,
+                cad_overlap_cycles: self.cycles - p.detected_cycle,
+                evicted,
+                dpm: p.compiled.dpm,
+                model: p.compiled.circuit.model,
+                hw: WclaStats::default(),
+            });
+            self.active = Some(ActiveWarp {
+                region: (p.region.head, p.region.tail),
+                plan: p.plan,
+                stats,
+                event_index,
+            });
+        } else if matches!(self.cad, CadState::Idle) {
+            // Detection: offer ranked candidates to the policy.
+            let active_key = self.active.as_ref().map(|a| a.region);
+            let ranked = self.profiler.hot_regions();
+            let ctx = PolicyCtx {
+                active: active_key,
+                active_count: active_key
+                    .and_then(|(h, t)| ranked.iter().find(|r| (r.head, r.tail) == (h, t)))
+                    .map_or(0, |r| r.count),
+                warps_committed: self.events.len(),
+                timeline_cycles: self.cycles,
+                profiler: self.profiler.stats(),
+            };
+            let blacklist = &self.blacklist;
+            let policy = &mut self.policy;
+            let candidate = ranked
+                .iter()
+                .filter(|r| Some((r.head, r.tail)) != active_key)
+                .filter(|r| !blacklist.contains(&(r.head, r.tail)))
+                .find(|r| policy.should_warp(r, &ctx))
+                .copied();
+            if let Some(region) = candidate {
+                match begin_warp(
+                    &self.built,
+                    self.cache.as_deref(),
+                    &self.service,
+                    &self.cad_caches,
+                    &self.config,
+                    &region,
+                    self.cycles,
+                ) {
+                    Ok(Some(state)) => self.cad = state,
+                    // Not decompilable/patchable: leave the region in
+                    // software, permanently.
+                    Ok(None) => {
+                        self.blacklist.insert((region.head, region.tail));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        // Detection and patching run on *every* slice boundary,
+        // including the one where the program exits: the profiler's
+        // view persists across re-entries, so heat retired in a run's
+        // final slice (a kernel that finishes right before the exit)
+        // must still be able to commit a warp — it lands in the next
+        // repeat, already patched at load time.
+        if let StopReason::Exited(code) = out.stop {
+            self.exit_code = code;
+            let sys = self.sys.take().expect("exited repeat had a live system");
+            self.built.verify(sys.dmem()).map_err(OnlineError::Verify)?;
+            self.rep += 1;
+            if self.rep >= self.config.repeats.max(1) {
+                self.outcome = Some(Ok(self.finalize()));
+            }
+            return Ok(());
+        }
+        if self.cycles >= self.config.max_cycles {
+            return Err(OnlineError::BudgetExhausted {
+                cycles: self.cycles,
+                limit: self.config.max_cycles,
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds the final report (last repeat exited and verified).
+    fn finalize(&mut self) -> OnlineReport {
+        if let Some(a) = &self.active {
+            self.events[a.event_index].hw = *a.stats.lock().expect("wcla stats lock");
+        }
+        OnlineReport {
+            name: self.built.name.clone(),
+            repeats: self.config.repeats.max(1),
+            slices: self.slices,
+            cycles: self.cycles,
+            instructions: self.instructions,
+            exit_code: self.exit_code,
+            events: self.events.clone(),
+            profiler: self.profiler.stats(),
+        }
+    }
+}
+
+/// Builds a session from the parts an [`Orchestrator`](crate::Orchestrator)
+/// holds.
+pub(crate) fn session_from_parts(
+    built: Arc<BuiltWorkload>,
+    config: OnlineConfig,
+    policy: Box<dyn WarpPolicy>,
+    cache: Option<Arc<CircuitCache>>,
+) -> OnlineSession {
+    let mut session = OnlineSession::new(built, config).with_policy_box(policy);
+    if let Some(cache) = cache {
+        session = session.with_cache(cache);
+    }
+    session
+}
+
+/// Whether the PC is outside the stub words an eviction would rewrite.
+/// (Patching the loop head itself is always safe — the current
+/// iteration completes on the original body and the *next* head fetch
+/// sees the jump; only overwriting straight-line stub code under the PC
+/// would corrupt execution.)
+fn stub_is_clear(pc: u32, active: Option<&ActiveWarp>) -> bool {
+    match active {
+        None => true,
+        Some(a) => {
+            let start = a.plan.stub_base;
+            let end = start + 4 * a.plan.stub.len() as u32;
+            !(start..end).contains(&pc)
+        }
+    }
+}
+
+/// Whether a CAD failure means "region not WCLA-implementable" — the
+/// caller blacklists the region and execution simply continues in
+/// software, exactly the partitioner's fallback in the paper.
+pub(crate) fn rejects_region(e: &WarpError) -> bool {
+    matches!(e, WarpError::Decompile(_) | WarpError::Fabric(_) | WarpError::Patch(_))
+}
+
+/// Starts the OCPM on a committed region: decompiles, plans the binary
+/// rewrite, probes the circuit cache — all synchronously, so their
+/// rejections blacklist at the detection boundary — then either returns
+/// the cached circuit as [`CadState::Ready`] or submits compilation to
+/// a background worker as [`CadState::InFlight`].
+///
+/// `Ok(None)` means decompilation or patch planning rejected the
+/// region (blacklist it). Fabric rejections surface later, at the
+/// in-flight join boundary.
+fn begin_warp(
+    built: &BuiltWorkload,
+    cache: Option<&CircuitCache>,
+    service: &CadService,
+    cad_caches: &Arc<CadCaches>,
+    config: &OnlineConfig,
+    region: &HotRegion,
+    now: u64,
+) -> Result<Option<CadState>, OnlineError> {
+    let lift = |e: WarpError| -> Result<Option<CadState>, OnlineError> {
+        if rejects_region(&e) {
+            Ok(None)
+        } else {
+            Err(OnlineError::Warp(e))
+        }
+    };
+
+    let decompiled = match pipeline::decompile(built, region) {
+        Ok(d) => d,
+        Err(e) => return lift(e),
+    };
+    // The rewrite plan depends only on the kernel and the program
+    // image, so it is ready before compilation even starts.
+    let plan = match pipeline::plan_patch_kernel(built, &decompiled.kernel) {
+        Ok(p) => p.plan,
+        Err(e) => return lift(e),
+    };
+
+    if let Some(cache) = cache {
+        if let Some(hit) = cache.probe(&decompiled) {
+            let cad_cycles = cad_timeline_cycles(
+                &hit.dpm,
+                true,
+                config.mb.clock_hz,
+                config.options.dpm_clock_hz,
+            );
+            return Ok(Some(CadState::Ready(PendingWarp {
+                region: *region,
+                compiled: hit,
+                plan,
+                detected_cycle: now,
+                cad_cycles,
+                ready_at: now + cad_cycles,
+                cache_hit: true,
+            })));
+        }
+    }
+
+    // The earliest the full budget could possibly elapse is the
+    // decompile floor — known right here, before compiling anything —
+    // so that is the deterministic join boundary for the background
+    // result.
+    let floor_dpm = decompiled.kernel.body_insns as u64 * costs::DECOMPILE_PER_INSN;
+    let join_at =
+        now + to_timeline_cycles(floor_dpm, config.mb.clock_hz, config.options.dpm_clock_hz);
+    let caches = Arc::clone(cad_caches);
+    let handle =
+        service.submit(move || pipeline::compile_circuit_cached(&decompiled, Some(&caches)));
+    Ok(Some(CadState::InFlight(InFlightWarp {
+        region: *region,
+        plan,
+        detected_cycle: now,
+        join_at,
+        handle,
+    })))
+}
+
+/// Converts modeled OCPM cycles (at its own clock) into MicroBlaze
+/// timeline cycles.
+fn to_timeline_cycles(dpm_cycles: u64, mb_hz: u64, dpm_hz: u64) -> u64 {
+    u64::try_from((u128::from(dpm_cycles) * u128::from(mb_hz)).div_ceil(u128::from(dpm_hz.max(1))))
+        .unwrap_or(u64::MAX)
+}
+
+/// Converts the OCPM's modeled CAD cycles (at its own clock) into
+/// MicroBlaze timeline cycles. A circuit-cache hit skips the whole CAD
+/// chain and pays only the reconfiguration — the bitstream write.
+pub(crate) fn cad_timeline_cycles(
+    dpm: &DpmReport,
+    cache_hit: bool,
+    mb_hz: u64,
+    dpm_hz: u64,
+) -> u64 {
+    let dpm_cycles = if cache_hit { dpm.bitstream_cycles } else { dpm.total_cycles() };
+    to_timeline_cycles(dpm_cycles, mb_hz, dpm_hz)
+}
+
+// The whole point of the session split: a session (with its simulated
+// system, mapped fabric slot, in-flight CAD handle, and policy) must be
+// an owned value the server can move between worker threads. Fail the
+// build, not the server, if any component regains thread-pinned state.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<OnlineSession>();
+    assert_send::<SessionStatus>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::TopKPolicy;
+    use mb_isa::MbFeatures;
+
+    #[test]
+    fn cad_budget_scales_with_the_ocpm_clock() {
+        let dpm = DpmReport {
+            decompile_cycles: 500,
+            synth_cycles: 500,
+            bitstream_cycles: 100,
+            ..DpmReport::default()
+        };
+        // Same clock: 1:1.
+        assert_eq!(cad_timeline_cycles(&dpm, false, 85_000_000, 85_000_000), 1100);
+        // A 10x faster OCPM charges a tenth of the timeline.
+        assert_eq!(cad_timeline_cycles(&dpm, false, 85_000_000, 850_000_000), 110);
+        // Warm start pays only the reconfiguration.
+        assert_eq!(cad_timeline_cycles(&dpm, true, 85_000_000, 85_000_000), 100);
+    }
+
+    #[test]
+    fn session_slicing_is_invisible_to_the_timeline() {
+        let built =
+            Arc::new(workloads::by_name("brev").unwrap().build(MbFeatures::paper_default()));
+        let run_with_budgets = |budgets: &[u64]| {
+            let mut session = OnlineSession::new(Arc::clone(&built), OnlineConfig::default())
+                .with_policy(TopKPolicy { k: 1, min_count: 256 });
+            let mut i = 0;
+            while session.advance(budgets[i % budgets.len()]) == SessionStatus::Runnable {
+                i += 1;
+            }
+            session.into_outcome().unwrap().unwrap()
+        };
+        let one_at_a_time = run_with_budgets(&[1]);
+        let ragged = run_with_budgets(&[3, 1, 7, 2]);
+        let all_at_once = run_with_budgets(&[u64::MAX]);
+
+        for other in [&ragged, &all_at_once] {
+            assert_eq!(one_at_a_time.cycles, other.cycles);
+            assert_eq!(one_at_a_time.instructions, other.instructions);
+            assert_eq!(one_at_a_time.slices, other.slices);
+            assert_eq!(one_at_a_time.events, other.events);
+            assert_eq!(one_at_a_time.profiler, other.profiler);
+        }
+        assert_eq!(one_at_a_time.events.len(), 1);
+    }
+
+    #[test]
+    fn advance_past_the_end_is_idempotent() {
+        let built =
+            Arc::new(workloads::by_name("brev").unwrap().build(MbFeatures::paper_default()));
+        let mut session = OnlineSession::new(built, OnlineConfig::default())
+            .with_policy(TopKPolicy { k: 1, min_count: 256 });
+        while session.advance(4) == SessionStatus::Runnable {}
+        let (cycles, slices) = (session.cycles(), session.slices());
+        assert_eq!(session.advance(10), SessionStatus::Finished);
+        assert_eq!(session.cycles(), cycles);
+        assert_eq!(session.slices(), slices);
+        assert!(session.warp_count() >= 1);
+        assert!(session.time_to_first_warp().unwrap() <= cycles);
+    }
+
+    #[test]
+    fn sessions_migrate_between_threads_mid_run() {
+        // Advance a few slices here, move the session to another thread,
+        // finish it there: the report must match a single-thread run.
+        let built =
+            Arc::new(workloads::by_name("crc32").unwrap().build(MbFeatures::paper_default()));
+        let fresh = |built: &Arc<BuiltWorkload>| {
+            OnlineSession::new(Arc::clone(built), OnlineConfig::default())
+                .with_policy(TopKPolicy { k: 1, min_count: 256 })
+        };
+
+        let mut migrated = fresh(&built);
+        migrated.advance(5);
+        let migrated = std::thread::spawn(move || {
+            while migrated.advance(3) == SessionStatus::Runnable {}
+            migrated.into_outcome().unwrap().unwrap()
+        })
+        .join()
+        .unwrap();
+
+        let mut local = fresh(&built);
+        while local.advance(u64::MAX) == SessionStatus::Runnable {}
+        let local = local.into_outcome().unwrap().unwrap();
+
+        assert_eq!(migrated.cycles, local.cycles);
+        assert_eq!(migrated.instructions, local.instructions);
+        assert_eq!(migrated.events, local.events);
+        assert_eq!(migrated.profiler, local.profiler);
+    }
+
+    #[test]
+    fn patch_imem_reaches_the_live_system() {
+        let built =
+            Arc::new(workloads::by_name("brev").unwrap().build(MbFeatures::paper_default()));
+        let mut session = OnlineSession::new(Arc::clone(&built), OnlineConfig::default());
+        // Overwrite a word far past the program image: harmless to
+        // execution, visible through the system's imem.
+        let addr = built.program.base + 4 * built.program.words.len() as u32 + 0x100;
+        session.patch_imem(addr, &[0xDEAD_BEEF]).unwrap();
+        let sys = session.sys.as_ref().unwrap();
+        assert_eq!(sys.imem().read_word(addr).unwrap(), 0xDEAD_BEEF);
+
+        // Out-of-range writes surface as patch errors.
+        let err = session.patch_imem(u32::MAX - 64, &[1]).unwrap_err();
+        assert!(matches!(err, OnlineError::Patch(_)));
+    }
+}

@@ -9,16 +9,21 @@
 //! An empty slot (before the first warp) reads as zero and ignores
 //! writes — the unconfigured fabric.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use mb_sim::{Bram, BusResponse, Peripheral};
 use warp_wcla::WclaDevice;
 
 /// Orchestrator-side handle to the fabric slot.
+///
+/// Shared via `Arc<Mutex<_>>` (not `Rc<RefCell<_>>`) so the session that
+/// owns it stays `Send` — a server migrates sessions between worker
+/// threads. The lock is uncontended: the port touches it from the bus
+/// during a slice, the session reconfigures it between slices, and the
+/// slot is never shared across sessions.
 #[derive(Clone, Default)]
 pub(crate) struct SharedSlot {
-    inner: Rc<RefCell<Option<WclaDevice>>>,
+    inner: Arc<Mutex<Option<WclaDevice>>>,
 }
 
 impl SharedSlot {
@@ -29,21 +34,21 @@ impl SharedSlot {
     /// Reconfigures the fabric: the previous circuit (if any) is
     /// evicted and replaced.
     pub(crate) fn install(&self, device: WclaDevice) {
-        *self.inner.borrow_mut() = Some(device);
+        *self.inner.lock().expect("wcla slot lock") = Some(device);
     }
 
     /// The bus-facing peripheral for [`System::map_peripheral`].
     ///
     /// [`System::map_peripheral`]: mb_sim::System::map_peripheral
     pub(crate) fn port(&self) -> SlotPort {
-        SlotPort { inner: Rc::clone(&self.inner) }
+        SlotPort { inner: Arc::clone(&self.inner) }
     }
 }
 
 /// The peripheral face of the slot (one per mapped system; all share
 /// the same hosted device).
 pub(crate) struct SlotPort {
-    inner: Rc<RefCell<Option<WclaDevice>>>,
+    inner: Arc<Mutex<Option<WclaDevice>>>,
 }
 
 impl Peripheral for SlotPort {
@@ -52,14 +57,14 @@ impl Peripheral for SlotPort {
     }
 
     fn read(&mut self, offset: u32, dmem: &mut Bram) -> BusResponse {
-        match self.inner.borrow_mut().as_mut() {
+        match self.inner.lock().expect("wcla slot lock").as_mut() {
             Some(device) => device.read(offset, dmem),
             None => BusResponse::immediate(0),
         }
     }
 
     fn write(&mut self, offset: u32, value: u32, dmem: &mut Bram) -> u32 {
-        match self.inner.borrow_mut().as_mut() {
+        match self.inner.lock().expect("wcla slot lock").as_mut() {
             Some(device) => device.write(offset, value, dmem),
             None => 0,
         }
@@ -106,6 +111,6 @@ mod tests {
         port_b.write(regs::CTRL, 1, &mut dmem);
 
         assert_eq!(dmem.read_word(0x2000).unwrap(), 0x0000_0001);
-        assert_eq!(stats.borrow().invocations, 1);
+        assert_eq!(stats.lock().unwrap().invocations, 1);
     }
 }

@@ -1,0 +1,52 @@
+//! Server-side failures.
+
+use std::fmt;
+
+use warp_online::OnlineError;
+
+use crate::server::SessionId;
+
+/// Why a server operation failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The session id was never created, or was already consumed by
+    /// [`Server::wait`](crate::Server::wait) or removed.
+    UnknownSession(SessionId),
+    /// The operation needs a live session but this one completed.
+    SessionDone(SessionId),
+    /// The session itself failed (simulation fault, verify divergence,
+    /// bad patch, CAD error, budget exhaustion).
+    Session(OnlineError),
+    /// A wire-protocol frame could not be decoded.
+    Protocol(String),
+    /// Socket-level failure on the wire front-end.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServeError::SessionDone(id) => write!(f, "session {id} already completed"),
+            ServeError::Session(e) => write!(f, "session error: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Session(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

@@ -8,8 +8,7 @@
 //! (idle, for the energy model) until the loop-control hardware raises
 //! done. Accumulator results are read back through the same window.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use mb_sim::{Bram, BusResponse, Peripheral};
 use warp_cdfg::KernelEnv;
@@ -73,15 +72,22 @@ pub struct WclaDevice {
     accs: Vec<u32>,
     invs: Vec<u32>,
     pending_wait: u32,
-    stats: Rc<RefCell<WclaStats>>,
+    stats: Arc<Mutex<WclaStats>>,
 }
 
 impl WclaDevice {
     /// Creates a device for a compiled circuit; returns the device and a
     /// shared handle to its activity statistics.
+    ///
+    /// The handle is `Arc<Mutex<_>>` rather than `Rc<RefCell<_>>`: the
+    /// device is mapped into a [`System`](mb_sim::System) that a
+    /// multi-session host migrates between worker threads, so the stats
+    /// channel back to the orchestrator must be `Send`. The lock is
+    /// uncontended in practice — the device mutates it from the bus and
+    /// the orchestrator reads it between slices, never concurrently.
     #[must_use]
-    pub fn new(circuit: WclaCircuit, mb_clock_hz: u64) -> (Self, Rc<RefCell<WclaStats>>) {
-        let stats = Rc::new(RefCell::new(WclaStats::default()));
+    pub fn new(circuit: WclaCircuit, mb_clock_hz: u64) -> (Self, Arc<Mutex<WclaStats>>) {
+        let stats = Arc::new(Mutex::new(WclaStats::default()));
         let n_accs = circuit.kernel.accs.len();
         let n_invs = circuit.kernel.invariants.len();
         (
@@ -93,7 +99,7 @@ impl WclaDevice {
                 accs: vec![0; n_accs],
                 invs: vec![0; n_invs],
                 pending_wait: 0,
-                stats: Rc::clone(&stats),
+                stats: Arc::clone(&stats),
             },
             stats,
         )
@@ -132,7 +138,7 @@ impl WclaDevice {
             .ceil() as u32;
         self.pending_wait = stall.max(1);
 
-        let mut st = self.stats.borrow_mut();
+        let mut st = self.stats.lock().expect("wcla stats lock");
         st.invocations += 1;
         st.iterations += outcome.iterations;
         st.fabric_cycles += outcome.fabric_cycles;
@@ -219,7 +225,7 @@ mod tests {
         let r2 = dev.read(regs::STATUS, &mut dmem);
         assert_eq!(r2.wait, 0);
 
-        let st = stats.borrow();
+        let st = stats.lock().unwrap();
         assert_eq!(st.invocations, 1);
         assert_eq!(st.iterations, 3);
         assert_eq!(st.loads, 3);
