@@ -199,9 +199,12 @@ impl Block {
     }
 }
 
-/// Lazily-built block table for one instruction BRAM, keyed by entry PC.
-#[derive(Debug)]
-pub(crate) struct BlockStore {
+/// The block store's two parallel per-word tables, frozen and shared as
+/// one unit: the built blocks and the learned OPB-touching words. They
+/// invalidate together ([`BlockStore::invalidate_words`] clears both),
+/// so a copy-on-patch detach must copy both or neither.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Tables {
     /// Block starting at word index `w` (`pc >> 2`); `None` = not built.
     /// Unbuildable entries cache an empty block so hot dispatch does not
     /// retry them.
@@ -210,6 +213,46 @@ pub(crate) struct BlockStore {
     /// blocks end before them, so peripheral accesses (and the exit-port
     /// poll they require) always run through `step`.
     opb: Vec<bool>,
+}
+
+/// The store's table storage: privately owned, or a read-only view into
+/// a fully-built table pair shared with sibling systems (a frozen
+/// [`ProgramImage`](crate::ProgramImage)). Same CoW discipline as the
+/// [`Bram`] word storage: reads branch once, the first mutation — a
+/// post-patch invalidation or a lazy build of an unvisited entry —
+/// detaches a private copy.
+#[derive(Clone, Debug)]
+enum Store {
+    Owned(Tables),
+    Shared(Arc<Tables>),
+}
+
+impl Store {
+    #[inline]
+    fn tables(&self) -> &Tables {
+        match self {
+            Store::Owned(t) => t,
+            Store::Shared(a) => a,
+        }
+    }
+
+    #[inline]
+    fn make_owned(&mut self) -> &mut Tables {
+        if let Store::Shared(a) = self {
+            *self = Store::Owned(a.as_ref().clone());
+        }
+        match self {
+            Store::Owned(t) => t,
+            Store::Shared(_) => unreachable!("just detached"),
+        }
+    }
+}
+
+/// Lazily-built block table for one instruction BRAM, keyed by entry PC.
+#[derive(Debug)]
+pub(crate) struct BlockStore {
+    /// The per-word block and OPB tables (possibly a shared image view).
+    store: Store,
     /// The [`Bram::generation`] the table was built against.
     generation: u64,
     /// Whether the builder chains backward branches into loop-trace
@@ -223,7 +266,35 @@ impl BlockStore {
     /// Creates an empty store that syncs to the BRAM on first use.
     /// `chain` enables guard chaining across backward branches.
     pub fn new(chain: bool) -> Self {
-        BlockStore { blocks: Vec::new(), opb: Vec::new(), generation: u64::MAX, chain, built: 0 }
+        BlockStore { store: Store::Owned(Tables::default()), generation: u64::MAX, chain, built: 0 }
+    }
+
+    /// Brings the tables fully in sync with `imem` (normally lazy on the
+    /// next dispatch) — the pre-freeze step of an image capture.
+    pub fn sync(&mut self, imem: &Bram) {
+        if self.generation != imem.generation() {
+            self.resync(imem);
+        }
+    }
+
+    /// Freezes the built tables into a shareable read-only pair and
+    /// switches this store to the shared view (see [`Bram::freeze`]).
+    pub fn freeze(&mut self) -> Arc<Tables> {
+        if let Store::Owned(t) = &mut self.store {
+            self.store = Store::Shared(Arc::new(std::mem::take(t)));
+        }
+        match &self.store {
+            Store::Shared(a) => Arc::clone(a),
+            Store::Owned(_) => unreachable!("just frozen"),
+        }
+    }
+
+    /// Replaces the tables with a shared fully-built pair captured at
+    /// `generation` (against the same program words this store's BRAM
+    /// now holds). The next mutation detaches a private copy.
+    pub fn attach_shared(&mut self, tables: Arc<Tables>, generation: u64) {
+        self.store = Store::Shared(tables);
+        self.generation = generation;
     }
 
     /// Returns the (possibly freshly built) non-empty block entered at
@@ -242,7 +313,7 @@ impl BlockStore {
             self.resync(imem);
         }
         let w = (pc >> 2) as usize;
-        match self.blocks.get(w)? {
+        match self.store.tables().blocks.get(w)? {
             Some(b) => {
                 // A block with no ops and no guard retires nothing:
                 // cached as "unbuildable" so dispatch falls to `step`.
@@ -256,7 +327,7 @@ impl BlockStore {
                 let b = Arc::new(self.build(decode, imem, features, pc));
                 self.built += 1;
                 let useful = (!b.ops.is_empty() || b.guard.is_some()).then(|| Arc::clone(&b));
-                self.blocks[w] = Some(b);
+                self.store.make_owned().blocks[w] = Some(b);
                 useful
             }
         }
@@ -264,27 +335,41 @@ impl BlockStore {
 
     /// Records that the instruction at `pc` touched the OPB window and
     /// drops every block containing it, so rebuilt blocks end before it.
+    ///
+    /// Already-learned words return immediately: `opb[w]` set implies no
+    /// cached block contains `w` (the builder stops at OPB words, and
+    /// [`invalidate_words`](Self::invalidate_words) clears blocks and
+    /// OPB knowledge together), so there is nothing to drop — and, just
+    /// as important, re-learning a word must not detach a shared image
+    /// table on every peripheral access of every session.
     pub fn learn_opb(&mut self, pc: u32) {
         let w = (pc >> 2) as usize;
-        if w < self.opb.len() {
+        let t = self.store.tables();
+        if w < t.opb.len() && !t.opb[w] {
             self.invalidate_words(w as u32, w as u32);
-            self.opb[w] = true;
+            self.store.make_owned().opb[w] = true;
         }
     }
 
     /// Re-syncs to the BRAM: incrementally when the write log bounds the
-    /// dirtied words, wholesale otherwise.
+    /// dirtied words, wholesale otherwise. Only reached after the BRAM
+    /// was written, so detaching a shared table here is the
+    /// copy-on-patch path, not steady state.
     fn resync(&mut self, imem: &Bram) {
         let words = imem.words().len();
-        let dirty =
-            if self.blocks.len() == words { imem.dirty_words_since(self.generation) } else { None };
+        let dirty = if self.store.tables().blocks.len() == words {
+            imem.dirty_words_since(self.generation)
+        } else {
+            None
+        };
         match dirty {
             Some((lo, hi)) => self.invalidate_words(lo, hi),
             None => {
-                self.blocks.clear();
-                self.blocks.resize(words, None);
-                self.opb.clear();
-                self.opb.resize(words, false);
+                let t = self.store.make_owned();
+                t.blocks.clear();
+                t.blocks.resize(words, None);
+                t.opb.clear();
+                t.opb.resize(words, false);
             }
         }
         self.generation = imem.generation();
@@ -297,20 +382,21 @@ impl BlockStore {
     /// and a patch landing on a trace's guard word drops the whole
     /// chained trace, never leaving a stale loop shape behind.
     fn invalidate_words(&mut self, lo: u32, hi: u32) {
-        if self.blocks.is_empty() {
+        if self.store.tables().blocks.is_empty() {
             return;
         }
+        let t = self.store.make_owned();
         let lo = lo as usize;
-        let hi = (hi as usize).min(self.blocks.len() - 1);
+        let hi = (hi as usize).min(t.blocks.len() - 1);
         let start = lo.saturating_sub(MAX_BLOCK_OPS);
         for w in start..lo {
-            if self.blocks[w].as_ref().is_some_and(|b| w + b.span_words() > lo) {
-                self.blocks[w] = None;
+            if t.blocks[w].as_ref().is_some_and(|b| w + b.span_words() > lo) {
+                t.blocks[w] = None;
             }
         }
         for w in lo..=hi {
-            self.blocks[w] = None;
-            self.opb[w] = false;
+            t.blocks[w] = None;
+            t.opb[w] = false;
         }
     }
 
@@ -325,11 +411,12 @@ impl BlockStore {
         features: &MbFeatures,
         head: u32,
     ) -> Block {
+        let t = self.store.tables();
         let mut raw: Vec<Predecoded> = Vec::new();
         let mut pc = head;
         while raw.len() < MAX_BLOCK_OPS {
             let w = (pc >> 2) as usize;
-            if w >= self.blocks.len() || self.opb[w] {
+            if w >= t.blocks.len() || t.opb[w] {
                 break;
             }
             let Ok(d) = decode.fetch(imem, features, pc) else { break };
@@ -342,7 +429,7 @@ impl BlockStore {
         let mut guard_slot = None;
         if self.chain {
             let w = (pc >> 2) as usize;
-            if w < self.blocks.len() && !self.opb[w] {
+            if w < t.blocks.len() && !t.opb[w] {
                 if let Ok(d) = decode.fetch(imem, features, pc) {
                     if d.control_flow && d.supported {
                         guard_slot = Some((d, pc));
@@ -785,6 +872,43 @@ mod tests {
         let b = store.block_at(&mut decode, &imem, &features(), 0).unwrap();
         assert_eq!(b.ops.len(), 1, "rebuilt block must end before the OPB store");
         assert!(store.block_at(&mut decode, &imem, &features(), 4).is_none());
+    }
+
+    #[test]
+    fn shared_tables_serve_blocks_and_relearn_without_detaching() {
+        let (mut store, mut decode, imem) = store_with(&[
+            Insn::addk(Reg::R1, Reg::R2, Reg::R3),
+            Insn::swi(Reg::R0, Reg::R31, 0),
+            Insn::addk(Reg::R4, Reg::R5, Reg::R6),
+            Insn::ret(),
+        ]);
+        // Warm the store the way an image build does: run shape learned,
+        // blocks rebuilt to end before the OPB word.
+        store.block_at(&mut decode, &imem, &features(), 0);
+        store.learn_opb(4);
+        assert_eq!(store.block_at(&mut decode, &imem, &features(), 0).unwrap().ops.len(), 1);
+        store.block_at(&mut decode, &imem, &features(), 8);
+        store.sync(&imem);
+        let tables = store.freeze();
+
+        let mut fresh = BlockStore::new(false);
+        fresh.attach_shared(Arc::clone(&tables), imem.generation());
+        let b = fresh.block_at(&mut decode, &imem, &features(), 0).unwrap();
+        assert_eq!(b.ops.len(), 1, "the shared table serves the learned shape");
+        assert_eq!(fresh.built, 0, "a warm image needs no lazy builds");
+
+        // Re-learning an already-learned OPB word — every session's exit
+        // store does this — must not detach the shared tables.
+        fresh.learn_opb(4);
+        assert!(matches!(fresh.store, Store::Shared(_)), "re-learning must stay shared");
+
+        // Learning a genuinely new word detaches a private copy and
+        // leaves the image (and the sibling still attached) intact.
+        fresh.learn_opb(8);
+        assert!(matches!(fresh.store, Store::Owned(_)));
+        assert!(fresh.block_at(&mut decode, &imem, &features(), 8).is_none());
+        let sibling = store.block_at(&mut decode, &imem, &features(), 8).unwrap();
+        assert_eq!(sibling.ops.len(), 1, "the frozen image must never change");
     }
 
     #[test]

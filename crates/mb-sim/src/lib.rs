@@ -43,6 +43,7 @@ mod block;
 pub mod cache;
 mod config;
 mod cpu;
+mod image;
 mod lanes;
 mod machine;
 mod mem;
@@ -55,6 +56,7 @@ mod trace;
 
 pub use config::{MbConfig, MB_CLOCK_HZ};
 pub use cpu::Cpu;
+pub use image::ProgramImage;
 pub use lanes::{LaneGroup, LOCKSTEP_ENGINE};
 pub use machine::{Engine, Outcome, RunError, StopReason, System};
 pub use mem::{Bram, MemError};

@@ -7,6 +7,7 @@ use mb_isa::{decode, DecodeError, Insn, MemSize, Program};
 
 use crate::block::{Block, BlockOp, BlockStore, Effect, Guard};
 use crate::cache::Cache;
+use crate::image::ProgramImage;
 use crate::periph::{OpbBus, Peripheral, EXIT_PORT_BASE, OPB_BASE};
 use crate::predecode::{DecodeCache, Predecoded};
 use crate::sink::{BlockRetire, NullSink, TraceSink, TraceSummary};
@@ -1461,6 +1462,92 @@ impl System {
                 let _ = self.block_at(pc);
             }
         }
+    }
+
+    /// Freezes this system's per-program artifacts — instruction words,
+    /// pre-decoded slots, and built block/trace tables — into a
+    /// [`ProgramImage`] that any number of sibling systems can attach
+    /// read-only via [`System::attach_image`].
+    ///
+    /// Call on a *warmed* system: load the program, [`prewarm`], run it
+    /// to completion once (so the block store has learned OPB store
+    /// splits), and [`prewarm`] again (the learn invalidated the
+    /// exit-sequence block). The derived stores are synced here before
+    /// freezing, so a capture straight after a patch is also coherent —
+    /// but an unwarmed capture just bakes in empty tables that siblings
+    /// rebuild privately, losing the sharing win.
+    ///
+    /// Freezing converts the live stores to shared mode in place; the
+    /// captured system keeps running and detaches private copies on its
+    /// next patch like any other sibling.
+    ///
+    /// [`prewarm`]: System::prewarm
+    pub fn capture_image(&mut self, entry_pc: u32) -> ProgramImage {
+        self.decode.sync(&self.imem);
+        self.blocks.sync(&self.imem);
+        let generation = self.imem.generation();
+        ProgramImage {
+            entry_pc,
+            generation,
+            words: self.imem.freeze(),
+            slots: self.decode.freeze(),
+            tables: self.blocks.freeze(),
+        }
+    }
+
+    /// Attaches a captured [`ProgramImage`]: instruction memory,
+    /// pre-decoded slots, and block tables become shared read-only
+    /// views, and the PC points at the image's entry. The first
+    /// instruction-memory write detaches private copies (copy-on-patch),
+    /// so hot-patching works exactly as with owned stores.
+    ///
+    /// Run state (registers, data memory, caches, stats, peripherals) is
+    /// untouched — pair with [`System::reset_run_state`] when recycling
+    /// a used system. The image must come from a system with this
+    /// system's configuration; debug builds assert the memory geometry
+    /// matches.
+    pub fn attach_image(&mut self, image: &ProgramImage) {
+        debug_assert_eq!(
+            self.imem.size() as usize,
+            image.words.len() * 4,
+            "image captured under a different imem geometry"
+        );
+        self.imem.attach_shared(std::sync::Arc::clone(&image.words), image.generation);
+        self.decode.attach_shared(std::sync::Arc::clone(&image.slots), image.generation);
+        self.blocks.attach_shared(std::sync::Arc::clone(&image.tables), image.generation);
+        self.cpu.set_pc(image.entry_pc);
+    }
+
+    /// Resets everything a finished run dirtied — CPU registers, data
+    /// memory, caches, statistics, the exit latch and other peripheral
+    /// state — without touching instruction memory or the derived
+    /// stores, and points the PC at `entry_pc`.
+    ///
+    /// This is the pool-recycling primitive: a recycled system reruns
+    /// bit-identically to a freshly built one, but keeps its attached
+    /// [`ProgramImage`] (or its privately warmed stores, standing
+    /// patches included) and performs no allocation.
+    pub fn reset_run_state(&mut self, entry_pc: u32) {
+        self.cpu.reset();
+        self.cpu.set_pc(entry_pc);
+        self.dmem.clear();
+        self.halted = None;
+        self.stats = ExecStats::new();
+        self.opb.reset_all();
+        if let Some(c) = &mut self.icache {
+            c.reset();
+        }
+        if let Some(c) = &mut self.dcache {
+            c.reset();
+        }
+    }
+
+    /// Removes the peripheral mapped at `base`, if any. Recycled
+    /// systems unmap the previous session's devices before mapping
+    /// their own — bus routing returns the first match, so a stale
+    /// mapping would shadow the replacement.
+    pub fn unmap_peripheral(&mut self, base: u32) {
+        self.opb.unmap(base);
     }
 
     /// Runs until the program exits or `max_cycles` elapse, feeding

@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use mb_isa::MemSize;
 
@@ -115,6 +116,44 @@ impl WriteLog {
     }
 }
 
+/// The BRAM's word storage: privately owned, or a read-only view into a
+/// word array shared with sibling BRAMs (a frozen
+/// [`ProgramImage`](crate::ProgramImage)). The variants are checked with
+/// one branch per access — deliberately *not* `Arc::make_mut` per write,
+/// which would put an atomic refcount probe on the simulated store path
+/// of every owned data BRAM.
+#[derive(Clone, Debug)]
+enum Words {
+    /// Private storage; mutations write in place.
+    Owned(Vec<u32>),
+    /// Shared read-only storage; the first mutation detaches a private
+    /// copy (copy-on-patch).
+    Shared(Arc<Vec<u32>>),
+}
+
+impl Words {
+    #[inline]
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            Words::Owned(v) => v,
+            Words::Shared(a) => a,
+        }
+    }
+
+    /// The mutable word array, detaching a private copy first when the
+    /// storage is shared.
+    #[inline]
+    fn make_owned(&mut self) -> &mut Vec<u32> {
+        if let Words::Shared(a) = self {
+            *self = Words::Owned(a.as_ref().clone());
+        }
+        match self {
+            Words::Owned(v) => v,
+            Words::Shared(_) => unreachable!("just detached"),
+        }
+    }
+}
+
 /// A dual-ported block RAM, word-organized with big-endian byte order
 /// (matching the MicroBlaze).
 ///
@@ -133,7 +172,7 @@ impl WriteLog {
 /// overlapping slots instead of flushing wholesale.
 #[derive(Clone, Debug)]
 pub struct Bram {
-    words: Vec<u32>,
+    words: Words,
     generation: u64,
     /// Present only on BRAMs that opted into write tracking (the
     /// instruction BRAM); the data BRAM skips the bookkeeping so
@@ -145,7 +184,7 @@ pub struct Bram {
 /// bookkeeping, so a patched-then-reverted BRAM equals the original.
 impl PartialEq for Bram {
     fn eq(&self, other: &Self) -> bool {
-        self.words == other.words
+        self.words.as_slice() == other.words.as_slice()
     }
 }
 
@@ -155,7 +194,11 @@ impl Bram {
     /// Creates a zero-filled BRAM of `size_bytes` (rounded up to a word).
     #[must_use]
     pub fn new(size_bytes: u32) -> Self {
-        Bram { words: vec![0; (size_bytes as usize).div_ceil(4)], generation: 0, log: None }
+        Bram {
+            words: Words::Owned(vec![0; (size_bytes as usize).div_ceil(4)]),
+            generation: 0,
+            log: None,
+        }
     }
 
     /// Enables write-range tracking: every mutation is recorded in a
@@ -200,13 +243,48 @@ impl Bram {
     /// Size in bytes.
     #[must_use]
     pub fn size(&self) -> u32 {
-        (self.words.len() * 4) as u32
+        (self.words.as_slice().len() * 4) as u32
     }
 
     /// The raw word array.
     #[must_use]
     pub fn words(&self) -> &[u32] {
-        &self.words
+        self.words.as_slice()
+    }
+
+    /// Whether the storage is currently a shared read-only view (the
+    /// next mutation will detach a private copy).
+    #[must_use]
+    pub fn is_shared(&self) -> bool {
+        matches!(self.words, Words::Shared(_))
+    }
+
+    /// Freezes the current contents into a shareable read-only word
+    /// array and switches this BRAM to the shared view. Reads are
+    /// unchanged; the next mutation detaches a private copy. Returns the
+    /// shared array so sibling BRAMs can [`attach_shared`](Bram::attach_shared)
+    /// it without copying.
+    pub fn freeze(&mut self) -> Arc<Vec<u32>> {
+        if let Words::Owned(v) = &mut self.words {
+            self.words = Words::Shared(Arc::new(std::mem::take(v)));
+        }
+        match &self.words {
+            Words::Shared(a) => Arc::clone(a),
+            Words::Owned(_) => unreachable!("just frozen"),
+        }
+    }
+
+    /// Replaces the contents with a shared read-only word array captured
+    /// at `generation` (a [`Bram::freeze`] of a sibling). The generation
+    /// is adopted so consumers attached alongside see a clean store, and
+    /// the write log restarts at it so consumers synced *before* the
+    /// attach are told to resync fully rather than fed stale spans.
+    pub fn attach_shared(&mut self, words: Arc<Vec<u32>>, generation: u64) {
+        self.words = Words::Shared(words);
+        self.generation = generation;
+        if self.log.is_some() {
+            self.log = Some(WriteLog { base: generation, spans: Vec::new() });
+        }
     }
 
     #[inline]
@@ -215,7 +293,7 @@ impl Bram {
             return Err(MemError::Misaligned { addr, align });
         }
         let idx = (addr / 4) as usize;
-        if idx >= self.words.len() {
+        if idx >= self.words.as_slice().len() {
             return Err(MemError::OutOfRange { addr, size: self.size() });
         }
         Ok(idx)
@@ -228,7 +306,7 @@ impl Bram {
     /// Returns [`MemError`] on misalignment or out-of-range access.
     #[inline]
     pub fn read_word(&self, addr: u32) -> Result<u32, MemError> {
-        Ok(self.words[self.word_index(addr, 4)?])
+        Ok(self.words.as_slice()[self.word_index(addr, 4)?])
     }
 
     /// Writes a 32-bit word at a 4-aligned byte address.
@@ -239,7 +317,7 @@ impl Bram {
     #[inline]
     pub fn write_word(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
         let idx = self.word_index(addr, 4)?;
-        self.words[idx] = value;
+        self.words.make_owned()[idx] = value;
         self.touch(idx as u32, idx as u32);
         Ok(())
     }
@@ -256,13 +334,13 @@ impl Bram {
             MemSize::Word => self.read_word(addr),
             MemSize::Half => {
                 let idx = self.word_index(addr, 2)?;
-                let word = self.words[idx];
+                let word = self.words.as_slice()[idx];
                 let shift = (2 - (addr & 2)) * 8; // big-endian halves
                 Ok((word >> shift) & 0xFFFF)
             }
             MemSize::Byte => {
                 let idx = self.word_index(addr, 1)?;
-                let word = self.words[idx];
+                let word = self.words.as_slice()[idx];
                 let shift = (3 - (addr & 3)) * 8; // big-endian bytes
                 Ok((word >> shift) & 0xFF)
             }
@@ -283,7 +361,8 @@ impl Bram {
                 let idx = self.word_index(addr, 2)?;
                 let shift = (2 - (addr & 2)) * 8;
                 let mask = 0xFFFFu32 << shift;
-                self.words[idx] = (self.words[idx] & !mask) | ((value & 0xFFFF) << shift);
+                let words = self.words.make_owned();
+                words[idx] = (words[idx] & !mask) | ((value & 0xFFFF) << shift);
                 self.touch(idx as u32, idx as u32);
                 Ok(())
             }
@@ -291,7 +370,8 @@ impl Bram {
                 let idx = self.word_index(addr, 1)?;
                 let shift = (3 - (addr & 3)) * 8;
                 let mask = 0xFFu32 << shift;
-                self.words[idx] = (self.words[idx] & !mask) | ((value & 0xFF) << shift);
+                let words = self.words.make_owned();
+                words[idx] = (words[idx] & !mask) | ((value & 0xFF) << shift);
                 self.touch(idx as u32, idx as u32);
                 Ok(())
             }
@@ -336,20 +416,22 @@ impl Bram {
         if !addr.is_multiple_of(4) {
             return Err(MemError::Misaligned { addr, align: 4 });
         }
+        let words = self.words.as_slice();
         let start = (addr / 4) as usize;
-        let Some(end) = start.checked_add(out.len()).filter(|&e| e <= self.words.len()) else {
+        let Some(end) = start.checked_add(out.len()).filter(|&e| e <= words.len()) else {
             // Report the first word that falls outside the BRAM.
-            let first_bad = addr + (self.words.len().saturating_sub(start) as u32) * 4;
+            let first_bad = addr + (words.len().saturating_sub(start) as u32) * 4;
             return Err(MemError::OutOfRange { addr: first_bad, size: self.size() });
         };
-        out.copy_from_slice(&self.words[start..end]);
+        out.copy_from_slice(&words[start..end]);
         Ok(())
     }
 
     /// Fills the entire BRAM with zeros.
     pub fn clear(&mut self) {
-        self.words.fill(0);
-        let hi = (self.words.len() as u32).saturating_sub(1);
+        let words = self.words.make_owned();
+        words.fill(0);
+        let hi = (words.len() as u32).saturating_sub(1);
         self.touch(0, hi);
     }
 }
@@ -505,6 +587,57 @@ mod tests {
         let g0 = m.generation();
         m.clear();
         assert_eq!(m.dirty_words_since(g0), Some((0, 15)));
+    }
+
+    #[test]
+    fn freeze_shares_words_and_first_write_detaches() {
+        let mut a = Bram::new(64).with_write_log();
+        a.load_words(0, &[1, 2, 3]).unwrap();
+        let generation = a.generation();
+        let shared = a.freeze();
+        assert!(a.is_shared(), "freeze leaves the source on the shared view");
+        assert_eq!(a.read_word(0).unwrap(), 1, "reads are unchanged after freeze");
+
+        let mut b = Bram::new(64).with_write_log();
+        b.attach_shared(Arc::clone(&shared), generation);
+        assert!(b.is_shared());
+        assert_eq!(a, b);
+        assert_eq!(b.generation(), generation);
+        // Consumers synced before the attach must resync fully: the log
+        // restarts at the adopted generation.
+        assert_eq!(b.dirty_words_since(generation - 1), None);
+
+        // First write detaches a private copy; the sibling and the
+        // frozen image are untouched.
+        b.write_word(0, 99).unwrap();
+        assert!(!b.is_shared(), "a write must detach the shared view");
+        assert_eq!(b.read_word(0).unwrap(), 99);
+        assert_eq!(a.read_word(0).unwrap(), 1);
+        assert_eq!(shared[0], 1);
+        // The write is logged against the adopted generation.
+        assert_eq!(b.dirty_words_since(generation), Some((0, 0)));
+    }
+
+    #[test]
+    fn every_mutation_kind_detaches_a_shared_bram() {
+        let mut src = Bram::new(64);
+        src.write_word(0, 0xAABB_CCDD).unwrap();
+        let generation = src.generation();
+        let image = src.freeze();
+
+        for mutate in [
+            (|m: &mut Bram| m.write_word(0, 1).unwrap()) as fn(&mut Bram),
+            |m| m.write(1, 0xEE, MemSize::Byte).unwrap(),
+            |m| m.write(2, 0x1234, MemSize::Half).unwrap(),
+            |m| m.load_words(0, &[7]).unwrap(),
+            |m| m.clear(),
+        ] {
+            let mut b = Bram::new(64);
+            b.attach_shared(Arc::clone(&image), generation);
+            mutate(&mut b);
+            assert!(!b.is_shared());
+            assert_eq!(image[0], 0xAABB_CCDD, "the frozen image must never change");
+        }
     }
 
     #[test]

@@ -55,6 +55,11 @@ pub trait Peripheral: Send {
     fn exit_request(&self) -> Option<u32> {
         None
     }
+
+    /// Restores power-on state, so a pooled [`System`](crate::System)
+    /// can be recycled for a fresh run without remapping its
+    /// peripherals. Stateless peripherals need not implement it.
+    fn reset(&mut self) {}
 }
 
 /// The exit port: writing a word halts the system.
@@ -87,6 +92,10 @@ impl Peripheral for ExitPort {
 
     fn exit_request(&self) -> Option<u32> {
         self.code
+    }
+
+    fn reset(&mut self) {
+        self.code = None;
     }
 }
 
@@ -122,6 +131,21 @@ impl OpbBus {
     pub fn exit_request(&self) -> Option<u32> {
         self.mappings.iter().find_map(|m| m.dev.exit_request())
     }
+
+    /// Resets every mapped peripheral to power-on state (pool recycling).
+    pub fn reset_all(&mut self) {
+        for m in &mut self.mappings {
+            m.dev.reset();
+        }
+    }
+
+    /// Removes the peripheral mapped at `base`, if any. Recycled systems
+    /// unmap the previous session's devices before mapping their own —
+    /// [`find`](OpbBus::find) returns the first match, so a stale
+    /// mapping would shadow the replacement.
+    pub fn unmap(&mut self, base: u32) {
+        self.mappings.retain(|m| m.base != base);
+    }
 }
 
 #[cfg(test)]
@@ -136,6 +160,22 @@ mod tests {
         p.write(0, 42, &mut dmem);
         assert_eq!(p.exit_request(), Some(42));
         assert_eq!(p.read(0, &mut dmem).value, 42);
+    }
+
+    #[test]
+    fn reset_clears_the_exit_latch_and_unmap_removes_devices() {
+        let mut bus = OpbBus::default();
+        bus.map(OPB_BASE, 16, Box::new(ExitPort::new()));
+        let mut dmem = Bram::new(16);
+        bus.find(OPB_BASE).unwrap().0.dev.write(0, 7, &mut dmem);
+        assert_eq!(bus.exit_request(), Some(7));
+        bus.reset_all();
+        assert_eq!(bus.exit_request(), None, "reset must clear the exit latch");
+
+        bus.map(OPB_BASE + 16, 16, Box::new(ExitPort::new()));
+        bus.unmap(OPB_BASE + 16);
+        assert!(bus.find(OPB_BASE + 16).is_none());
+        assert!(bus.find(OPB_BASE).is_some(), "unmap removes only the named base");
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //!
 //! [`System::imem_mut`]: crate::System::imem_mut
 
+use std::sync::Arc;
+
 use mb_isa::{decode, Insn, MbFeatures, OpClass};
 
 use crate::machine::RunError;
@@ -62,11 +64,43 @@ impl Predecoded {
     }
 }
 
+/// The decode table's slot storage: privately owned, or a read-only
+/// view into a fully-prepared table shared with sibling systems (a
+/// frozen [`ProgramImage`](crate::ProgramImage)). Mirrors the CoW shape
+/// of [`Bram`]'s word storage: one branch on the slow path, detach on
+/// first mutation.
+#[derive(Clone, Debug)]
+enum Slots {
+    Owned(Vec<Option<Predecoded>>),
+    Shared(Arc<Vec<Option<Predecoded>>>),
+}
+
+impl Slots {
+    #[inline]
+    fn as_slice(&self) -> &[Option<Predecoded>] {
+        match self {
+            Slots::Owned(v) => v,
+            Slots::Shared(a) => a,
+        }
+    }
+
+    #[inline]
+    fn make_owned(&mut self) -> &mut Vec<Option<Predecoded>> {
+        if let Slots::Shared(a) = self {
+            *self = Slots::Owned(a.as_ref().clone());
+        }
+        match self {
+            Slots::Owned(v) => v,
+            Slots::Shared(_) => unreachable!("just detached"),
+        }
+    }
+}
+
 /// Lazily-filled decode side table for one instruction BRAM.
 #[derive(Clone, Debug)]
 pub(crate) struct DecodeCache {
     /// One slot per imem word; `None` = not prepared yet.
-    slots: Vec<Option<Predecoded>>,
+    slots: Slots,
     /// The [`Bram::generation`] the slots were decoded against.
     generation: u64,
     /// Slow-path decodes performed (observability for the incremental
@@ -80,7 +114,36 @@ impl DecodeCache {
     pub fn new() -> Self {
         // u64::MAX can never equal a real generation (they start at 0 and
         // increment), so the first fetch always syncs.
-        DecodeCache { slots: Vec::new(), generation: u64::MAX, prepared: 0 }
+        DecodeCache { slots: Slots::Owned(Vec::new()), generation: u64::MAX, prepared: 0 }
+    }
+
+    /// Brings the table fully in sync with `imem` (normally lazy on the
+    /// next fetch) — the pre-freeze step of an image capture.
+    pub fn sync(&mut self, imem: &Bram) {
+        if self.generation != imem.generation() {
+            self.resync(imem);
+        }
+    }
+
+    /// Freezes the prepared slots into a shareable read-only table and
+    /// switches this cache to the shared view (see [`Bram::freeze`]).
+    pub fn freeze(&mut self) -> Arc<Vec<Option<Predecoded>>> {
+        if let Slots::Owned(v) = &mut self.slots {
+            self.slots = Slots::Shared(Arc::new(std::mem::take(v)));
+        }
+        match &self.slots {
+            Slots::Shared(a) => Arc::clone(a),
+            Slots::Owned(_) => unreachable!("just frozen"),
+        }
+    }
+
+    /// Replaces the table with a shared fully-prepared one captured at
+    /// `generation` (against the same program words this cache's BRAM
+    /// now holds). The next mutation — a resync after a patch, or a
+    /// slow-path decode of an unprepared word — detaches a private copy.
+    pub fn attach_shared(&mut self, slots: Arc<Vec<Option<Predecoded>>>, generation: u64) {
+        self.slots = Slots::Shared(slots);
+        self.generation = generation;
     }
 
     /// Fetches the prepared instruction at `pc`, decoding and caching on
@@ -93,7 +156,7 @@ impl DecodeCache {
         pc: u32,
     ) -> Result<Predecoded, RunError> {
         if self.generation == imem.generation() && pc & 3 == 0 {
-            if let Some(Some(d)) = self.slots.get((pc >> 2) as usize) {
+            if let Some(Some(d)) = self.slots.as_slice().get((pc >> 2) as usize) {
                 return Ok(*d);
             }
         }
@@ -102,21 +165,24 @@ impl DecodeCache {
 
     /// Re-syncs to the BRAM after a mutation: incrementally when the
     /// write log can bound the dirtied words, wholesale otherwise.
+    /// Detaches a shared table first — a resync only happens after the
+    /// BRAM was written, i.e. this system diverged from the image.
     fn resync(&mut self, imem: &Bram) {
         let words = imem.words().len();
-        let dirty = if self.slots.len() == words {
+        let dirty = if self.slots.as_slice().len() == words {
             imem.dirty_words_since(self.generation)
         } else {
             None // first sync or a resized BRAM: nothing reusable
         };
+        let slots = self.slots.make_owned();
         match dirty {
             Some((lo, hi)) => {
                 let hi = (hi as usize).min(words - 1);
-                self.slots[lo as usize..=hi].fill(None);
+                slots[lo as usize..=hi].fill(None);
             }
             None => {
-                self.slots.clear();
-                self.slots.resize(words, None);
+                slots.clear();
+                slots.resize(words, None);
             }
         }
         self.generation = imem.generation();
@@ -135,7 +201,7 @@ impl DecodeCache {
         let word = imem.read_word(pc).map_err(|err| RunError::Mem { pc, err })?;
         let insn = decode(word).map_err(|err| RunError::Decode { pc, err })?;
         let d = Predecoded::prepare(insn, features);
-        self.slots[(pc >> 2) as usize] = Some(d);
+        self.slots.make_owned()[(pc >> 2) as usize] = Some(d);
         self.prepared += 1;
         Ok(d)
     }
@@ -229,6 +295,30 @@ mod tests {
             cache.fetch(&imem, &features(), w * 4).unwrap();
         }
         assert_eq!(cache.prepared, prepared + 4, "no write log: the whole table refills");
+    }
+
+    #[test]
+    fn shared_slots_serve_fetches_and_detach_on_patch() {
+        let mut imem = Bram::new(64).with_write_log();
+        let add = Insn::addk(Reg::R1, Reg::R2, Reg::R3);
+        imem.write_word(0, encode(&add)).unwrap();
+        let mut warm = DecodeCache::new();
+        warm.fetch(&imem, &features(), 0).unwrap();
+        warm.sync(&imem);
+        let table = warm.freeze();
+
+        let mut cache = DecodeCache::new();
+        cache.attach_shared(Arc::clone(&table), imem.generation());
+        assert_eq!(cache.fetch(&imem, &features(), 0).unwrap().insn, add);
+        assert_eq!(cache.prepared, 0, "a shared table must serve without slow-path decodes");
+
+        // A patch detaches this cache's private copy; the frozen table
+        // (and every sibling attached to it) keeps the original slot.
+        let xor = Insn::Xor { rd: Reg::R4, ra: Reg::R5, rb: Reg::R6 };
+        imem.write_word(0, encode(&xor)).unwrap();
+        assert_eq!(cache.fetch(&imem, &features(), 0).unwrap().insn, xor);
+        assert_eq!(cache.prepared, 1, "only the patched slot re-decodes");
+        assert_eq!(table[0].map(|d| d.insn), Some(add), "the frozen table must never change");
     }
 
     #[test]

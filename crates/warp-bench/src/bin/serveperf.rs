@@ -1,17 +1,23 @@
 //! Measures the warp-serve scheduler at fleet scale — ≥1k concurrent
 //! seeded sessions (256 in smoke mode) time-sliced over a fixed worker
 //! pool, all sharing one bounded circuit cache — and writes
-//! `BENCH_serve.json` (schema `warp-mb/bench-serve/v1`).
+//! `BENCH_serve.json` (schema `warp-mb/bench-serve/v2`: setup vs
+//! execute wall-clock split plus the debug-only allocation count).
 //!
 //! Usage: `serveperf [--smoke] [--out <path>]`
 //!
 //! `--smoke` (or `SERVEPERF_SMOKE=1`) drives the CI-sized fleet.
 //! `SERVEPERF_WORKERS` overrides the worker-thread count (default 4,
-//! which is what CI pins). `SERVEPERF_FLOOR`, when set, is a hard gate:
-//! the run aborts nonzero if sessions-per-second lands below it.
+//! which is what CI pins). Two env gates abort the run nonzero when
+//! breached: `SERVEPERF_FLOOR` (sessions per second of the serving
+//! window) and `SERVEPERF_MINSN_FLOOR` (aggregate fleet Minsn/s).
 
 use warp_bench::measure::BenchCli;
 use warp_bench::serve;
+
+fn env_floor(name: &str) -> Option<f64> {
+    std::env::var(name).ok().and_then(|v| v.parse::<f64>().ok())
+}
 
 fn main() {
     let cli = BenchCli::parse("SERVEPERF_SMOKE", "BENCH_serve.json");
@@ -32,13 +38,21 @@ fn main() {
         "fleet of same-kernel tenants must produce cross-session cache hits"
     );
 
-    if let Some(floor) = std::env::var("SERVEPERF_FLOOR").ok().and_then(|v| v.parse::<f64>().ok()) {
+    if let Some(floor) = env_floor("SERVEPERF_FLOOR") {
         let got = perf.sessions_per_second();
         assert!(
             got >= floor,
             "serving throughput {got:.1} sessions/s below the SERVEPERF_FLOOR of {floor:.1}"
         );
         println!("\nSERVEPERF_FLOOR {floor:.1} sessions/s: ok ({got:.1})");
+    }
+    if let Some(floor) = env_floor("SERVEPERF_MINSN_FLOOR") {
+        let got = perf.minsn_per_second();
+        assert!(
+            got >= floor,
+            "fleet throughput {got:.1} Minsn/s below the SERVEPERF_MINSN_FLOOR of {floor:.1}"
+        );
+        println!("SERVEPERF_MINSN_FLOOR {floor:.1} Minsn/s: ok ({got:.1})");
     }
 
     cli.write_json(&perf.to_json());

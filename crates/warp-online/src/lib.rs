@@ -60,6 +60,7 @@
 mod error;
 mod orchestrator;
 mod policy;
+mod pool;
 mod report;
 mod session;
 mod slot;
@@ -67,5 +68,6 @@ mod slot;
 pub use error::OnlineError;
 pub use orchestrator::{OnlineConfig, Orchestrator};
 pub use policy::{NeverPolicy, PolicyCtx, ThresholdPolicy, TopKPolicy, WarpPolicy};
+pub use pool::{ImageStore, PoolStats, SessionPool};
 pub use report::{OnlineReport, WarpEvent};
 pub use session::{OnlineSession, SessionStatus};

@@ -25,7 +25,7 @@
 use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex};
 
-use mb_sim::{StopReason, System};
+use mb_sim::{ProgramImage, StopReason, System};
 use warp_core::dpm::{costs, DpmReport};
 use warp_core::pipeline::{self, CompiledWcla};
 use warp_core::{CadHandle, CadService, CircuitCache, WarpError};
@@ -38,6 +38,7 @@ use workloads::BuiltWorkload;
 use crate::error::OnlineError;
 use crate::orchestrator::OnlineConfig;
 use crate::policy::{PolicyCtx, ThresholdPolicy, WarpPolicy};
+use crate::pool::SessionPool;
 use crate::report::{OnlineReport, WarpEvent};
 use crate::slot::SharedSlot;
 
@@ -110,6 +111,12 @@ pub struct OnlineSession {
     cache: Option<Arc<CircuitCache>>,
     service: Arc<CadService>,
     cad_caches: Arc<CadCaches>,
+    /// Shared-image + recycled-`System` store (see [`SessionPool`]).
+    pool: Option<Arc<SessionPool>>,
+    /// This session's workload fingerprint, computed once on first use.
+    fingerprint: Option<u64>,
+    /// The attached shared image (pooled sessions only).
+    image: Option<Arc<ProgramImage>>,
 
     profiler: Profiler,
     slot: SharedSlot,
@@ -146,6 +153,9 @@ impl OnlineSession {
             cache: None,
             service: Arc::new(CadService::from_env()),
             cad_caches: Arc::new(CadCaches::new()),
+            pool: None,
+            fingerprint: None,
+            image: None,
             profiler,
             slot: SharedSlot::new(),
             sys: None,
@@ -197,6 +207,39 @@ impl OnlineSession {
     pub fn with_service(mut self, service: Arc<CadService>) -> Self {
         self.service = service;
         self
+    }
+
+    /// Shares a [`SessionPool`]: this session attaches the pooled
+    /// frozen program image (building it on first use) instead of
+    /// rebuilding decode/block stores privately, recycles an idle
+    /// `System` carcass instead of allocating one, rearms repeats in
+    /// place, and parks its `System` back in the pool when it
+    /// finishes. Execution is bit-identical to an unpooled session —
+    /// the pool only changes where the buffers come from.
+    ///
+    /// Combined with [`with_cache`](OnlineSession::with_cache) (the
+    /// opt-in to cross-session artifact sharing), the pool's
+    /// [`ImageStore`](crate::ImageStore) additionally keeps every
+    /// compiled warp circuit with its program image: a region evicted
+    /// from the bounded cache is re-served as a bitstream rewrite
+    /// instead of a recompile. Without `with_cache` the store is never
+    /// consulted and tenancy stays invisible.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<SessionPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Attaches `pool` only if the session has none yet — the hook a
+    /// serving worker uses to give every session it schedules its own
+    /// per-worker pool without overriding an explicit
+    /// [`with_pool`](OnlineSession::with_pool) choice. Safe at any
+    /// point: a session that migrates workers keeps its cached image
+    /// and simply parks its carcass in the last worker's pool.
+    pub fn adopt_pool(&mut self, pool: &Arc<SessionPool>) {
+        if self.pool.is_none() {
+            self.pool = Some(Arc::clone(pool));
+        }
     }
 
     /// The workload this session runs.
@@ -273,17 +316,127 @@ impl OnlineSession {
     /// Instantiates the current repeat's system if none is live:
     /// load program + data, map the fabric slot, re-apply the standing
     /// patch (a re-entered application starts already warped).
+    ///
+    /// With a [`SessionPool`], "instantiate" means: attach the shared
+    /// program image (building it on this workload's first use) to a
+    /// recycled carcass — or to a fresh `System` when the pool has
+    /// none — then load this session's data on top.
     fn ensure_system(&mut self) -> Result<(), OnlineError> {
         if self.sys.is_some() {
             return Ok(());
         }
-        let mut sys = self.built.instantiate(&self.config.mb);
+        let mut sys = if let Some(pool) = self.pool.clone() {
+            let image = self.image_for(&pool);
+            let mut sys = match pool.acquire(self.fingerprint.expect("image_for set the key")) {
+                Some(mut sys) => {
+                    sys.reset_run_state(image.entry_pc());
+                    sys
+                }
+                None => System::new(self.config.mb.clone().with_features(self.built.features)),
+            };
+            sys.attach_image(&image);
+            for (addr, words) in &self.built.data {
+                sys.load_data(*addr, words).map_err(OnlineError::Run)?;
+            }
+            sys
+        } else {
+            self.built.instantiate(&self.config.mb)
+        };
         sys.map_peripheral(WCLA_BASE, WCLA_WINDOW, Box::new(self.slot.port()));
         if let Some(a) = &self.active {
             apply_patch(sys.imem_mut(), &a.plan).map_err(OnlineError::Patch)?;
         }
         self.sys = Some(sys);
         Ok(())
+    }
+
+    /// The shared image for this workload, from the session's cached
+    /// handle, the pool, or (first use fleet-wide) a warm capture run.
+    fn image_for(&mut self, pool: &SessionPool) -> Arc<ProgramImage> {
+        if let Some(image) = &self.image {
+            return Arc::clone(image);
+        }
+        let key = match self.fingerprint {
+            Some(k) => k,
+            None => {
+                let k = self.built.fingerprint(&self.config.mb);
+                self.fingerprint = Some(k);
+                k
+            }
+        };
+        let built = &self.built;
+        let config = &self.config;
+        let image = pool.image_or_build(key, || {
+            let (image, warm) = capture_warm_image(built, config);
+            // The capture run's system becomes the first carcass.
+            pool.release(key, warm);
+            image
+        });
+        self.image = Some(Arc::clone(&image));
+        image
+    }
+
+    /// Rolls the live system into the next repeat **in place**: reset
+    /// run state, restore the pristine program (re-attach the shared
+    /// image), reload data, re-apply the standing patch. Equivalent to
+    /// dropping the system and instantiating a fresh one — the repeat's
+    /// timeline is bit-identical — but allocation-free.
+    ///
+    /// Unpooled sessions have no image to restore from, so they keep
+    /// the drop-and-rebuild path.
+    fn rearm_repeat(&mut self) -> Result<(), OnlineError> {
+        let Some(image) = self.image.clone() else {
+            self.sys = None;
+            return Ok(());
+        };
+        let sys = self.sys.as_mut().expect("exited repeat had a live system");
+        sys.reset_run_state(image.entry_pc());
+        sys.attach_image(&image);
+        for (addr, words) in &self.built.data {
+            sys.load_data(*addr, words).map_err(OnlineError::Run)?;
+        }
+        if let Some(a) = &self.active {
+            apply_patch(sys.imem_mut(), &a.plan).map_err(OnlineError::Patch)?;
+        }
+        Ok(())
+    }
+
+    /// The pool's fleet-shared circuit store, engaged only when the
+    /// session opted into cross-session artifact sharing via
+    /// [`with_cache`](OnlineSession::with_cache) — without that opt-in,
+    /// tenancy must stay invisible to the modeled timeline.
+    fn circuit_store(&self) -> Option<&CircuitCache> {
+        if self.cache.is_some() {
+            self.pool.as_deref().map(SessionPool::circuits)
+        } else {
+            None
+        }
+    }
+
+    /// Parks the finished session's `System` in the pool (or drops it).
+    fn retire_system(&mut self) {
+        // A background compile the timeline never consumed (the program
+        // exited before the join boundary) still produced a host-side
+        // artifact: publish it to the image store so sibling sessions
+        // of the same binary never re-pay the CAD chain. Host memory
+        // only — the modeled on-chip cache is untouched.
+        if self.circuit_store().is_some() {
+            if let CadState::InFlight(f) = std::mem::replace(&mut self.cad, CadState::Idle) {
+                if let Ok(compiled) = f.handle.wait() {
+                    let store = self.circuit_store().expect("checked above");
+                    store.insert_compiled(&Arc::new(compiled));
+                }
+            }
+        }
+        let Some(mut sys) = self.sys.take() else {
+            return;
+        };
+        if let (Some(pool), Some(key)) = (&self.pool, self.fingerprint) {
+            // The fabric slot port is session-private: unmap it so it
+            // cannot shadow the next session's mapping.
+            sys.unmap_peripheral(WCLA_BASE);
+            pool.release(key, sys);
+        }
     }
 
     /// Runs up to `max_slices` scheduler slices (each bounded by the
@@ -345,6 +498,9 @@ impl OnlineSession {
                     let compiled = Arc::new(compiled);
                     if let Some(c) = &self.cache {
                         c.insert_compiled(&compiled);
+                    }
+                    if let Some(store) = self.circuit_store() {
+                        store.insert_compiled(&compiled);
                     }
                     let cad_cycles = cad_timeline_cycles(
                         &compiled.dpm,
@@ -430,6 +586,7 @@ impl OnlineSession {
         } else if matches!(self.cad, CadState::Idle) {
             // Detection: offer ranked candidates to the policy.
             let active_key = self.active.as_ref().map(|a| a.region);
+            let profiler_stats = self.profiler.stats();
             let ranked = self.profiler.hot_regions();
             let ctx = PolicyCtx {
                 active: active_key,
@@ -438,7 +595,7 @@ impl OnlineSession {
                     .map_or(0, |r| r.count),
                 warps_committed: self.events.len(),
                 timeline_cycles: self.cycles,
-                profiler: self.profiler.stats(),
+                profiler: profiler_stats,
             };
             let blacklist = &self.blacklist;
             let policy = &mut self.policy;
@@ -452,6 +609,7 @@ impl OnlineSession {
                 match begin_warp(
                     &self.built,
                     self.cache.as_deref(),
+                    self.circuit_store(),
                     &self.service,
                     &self.cad_caches,
                     &self.config,
@@ -477,11 +635,14 @@ impl OnlineSession {
         // repeat, already patched at load time.
         if let StopReason::Exited(code) = out.stop {
             self.exit_code = code;
-            let sys = self.sys.take().expect("exited repeat had a live system");
+            let sys = self.sys.as_ref().expect("exited repeat had a live system");
             self.built.verify(sys.dmem()).map_err(OnlineError::Verify)?;
             self.rep += 1;
             if self.rep >= self.config.repeats.max(1) {
                 self.outcome = Some(Ok(self.finalize()));
+                self.retire_system();
+            } else {
+                self.rearm_repeat()?;
             }
             return Ok(());
         }
@@ -510,6 +671,22 @@ impl OnlineSession {
             profiler: self.profiler.stats(),
         }
     }
+}
+
+/// Builds a workload's shared image the way the pool expects: load,
+/// prewarm, run one full warm pass (the block store learns the OPB
+/// split at the exit store), prewarm again (that learn invalidated the
+/// exit-sequence block), capture. The warm run's `System` is returned
+/// too — it makes a perfectly good first carcass.
+fn capture_warm_image(built: &BuiltWorkload, config: &OnlineConfig) -> (ProgramImage, System) {
+    let mut warm = built.instantiate(&config.mb);
+    warm.prewarm();
+    // A budget overrun or run error just means a partially warmed
+    // image: siblings lazily build (privately) whatever is missing.
+    let _ = warm.run(config.max_cycles);
+    warm.prewarm();
+    let image = warm.capture_image(built.program.base);
+    (image, warm)
 }
 
 /// Builds a session from the parts an [`Orchestrator`](crate::Orchestrator)
@@ -559,9 +736,11 @@ pub(crate) fn rejects_region(e: &WarpError) -> bool {
 /// `Ok(None)` means decompilation or patch planning rejected the
 /// region (blacklist it). Fabric rejections surface later, at the
 /// in-flight join boundary.
+#[allow(clippy::too_many_arguments)]
 fn begin_warp(
     built: &BuiltWorkload,
     cache: Option<&CircuitCache>,
+    store: Option<&CircuitCache>,
     service: &CadService,
     cad_caches: &Arc<CadCaches>,
     config: &OnlineConfig,
@@ -587,24 +766,30 @@ fn begin_warp(
         Err(e) => return lift(e),
     };
 
-    if let Some(cache) = cache {
-        if let Some(hit) = cache.probe(&decompiled) {
-            let cad_cycles = cad_timeline_cycles(
-                &hit.dpm,
-                true,
-                config.mb.clock_hz,
-                config.options.dpm_clock_hz,
-            );
-            return Ok(Some(CadState::Ready(PendingWarp {
-                region: *region,
-                compiled: hit,
-                plan,
-                detected_cycle: now,
-                cad_cycles,
-                ready_at: now + cad_cycles,
-                cache_hit: true,
-            })));
+    // Probe the modeled on-chip configuration cache first; on a miss,
+    // fall back to the pool's image store (the serving layer's
+    // host-side backing copy). Either way the kernel skips the CAD
+    // chain and pays only the bitstream write — a store rescue also
+    // re-inserts the configuration, making it resident on-chip again.
+    let rescue = cache.and_then(|c| c.probe(&decompiled)).or_else(|| {
+        let hit = store?.probe(&decompiled)?;
+        if let Some(cache) = cache {
+            cache.insert_compiled(&hit);
         }
+        Some(hit)
+    });
+    if let Some(hit) = rescue {
+        let cad_cycles =
+            cad_timeline_cycles(&hit.dpm, true, config.mb.clock_hz, config.options.dpm_clock_hz);
+        return Ok(Some(CadState::Ready(PendingWarp {
+            region: *region,
+            compiled: hit,
+            plan,
+            detected_cycle: now,
+            cad_cycles,
+            ready_at: now + cad_cycles,
+            cache_hit: true,
+        })));
     }
 
     // The earliest the full budget could possibly elapse is the

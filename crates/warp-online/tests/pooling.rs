@@ -1,0 +1,134 @@
+//! Session-pool equivalence: shared images and recycled `System`s are
+//! pure plumbing.
+//!
+//! 1. **Recycling determinism** — for every registry workload, a pooled
+//!    session (attaching the shared frozen image, recycling a carcass,
+//!    rearming repeats in place) reports bit-identically to an unpooled
+//!    session that rebuilds everything from scratch.
+//! 2. **Copy-on-patch isolation** — two sessions share one program
+//!    image; hot-patching one mid-trace changes *its* outcome and only
+//!    its outcome: the sibling stays byte-identical to an unshared run.
+
+use std::sync::Arc;
+
+use mb_isa::MbFeatures;
+use warp_online::{OnlineConfig, OnlineSession, SessionPool, SessionStatus, TopKPolicy};
+use workloads::BuiltWorkload;
+
+fn policy() -> TopKPolicy {
+    TopKPolicy { k: 1, min_count: 256 }
+}
+
+fn drive(
+    mut session: OnlineSession,
+) -> Result<warp_online::OnlineReport, warp_online::OnlineError> {
+    while session.advance(u64::MAX) == SessionStatus::Runnable {}
+    session.into_outcome().expect("session drove to completion")
+}
+
+fn run_unpooled(built: &Arc<BuiltWorkload>, config: &OnlineConfig) -> warp_online::OnlineReport {
+    drive(OnlineSession::new(Arc::clone(built), config.clone()).with_policy(policy())).unwrap()
+}
+
+#[test]
+fn pooled_sessions_match_unpooled_on_every_workload() {
+    let config = OnlineConfig { repeats: 2, ..OnlineConfig::default() };
+    for workload in workloads::all() {
+        let built = Arc::new(workload.build(MbFeatures::paper_default()));
+        let reference = run_unpooled(&built, &config);
+
+        let pool = Arc::new(SessionPool::new());
+        for round in 0..2 {
+            let pooled = drive(
+                OnlineSession::new(Arc::clone(&built), config.clone())
+                    .with_policy(policy())
+                    .with_pool(Arc::clone(&pool)),
+            )
+            .unwrap();
+            assert_eq!(
+                pooled, reference,
+                "{} round {round}: pooled report must be bit-identical",
+                workload.name
+            );
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.images, 1, "{}: one image per fingerprint", workload.name);
+        assert_eq!(stats.image_builds, 1, "{}: the image is built once", workload.name);
+        assert!(
+            stats.recycled >= 2,
+            "{}: both sessions must recycle a carcass (got {})",
+            workload.name,
+            stats.recycled
+        );
+    }
+}
+
+#[test]
+fn seeded_siblings_share_one_image() {
+    // Different seeds vary only the data, so they share a fingerprint —
+    // and therefore one image and one carcass store.
+    let workload = workloads::by_name("crc32").unwrap();
+    let config = OnlineConfig::default();
+    let pool = Arc::new(SessionPool::new());
+    for seed in 0..3u64 {
+        let built = Arc::new(workload.build_seeded(MbFeatures::paper_default(), seed));
+        let reference = run_unpooled(&built, &config);
+        let pooled = drive(
+            OnlineSession::new(built, config.clone())
+                .with_policy(policy())
+                .with_pool(Arc::clone(&pool)),
+        )
+        .unwrap();
+        assert_eq!(pooled, reference, "seed {seed}");
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.images, 1, "seeds must share one image");
+    assert_eq!(stats.image_builds, 1);
+    assert_eq!(stats.carcasses, 1, "seeds must share one recycled system");
+}
+
+#[test]
+fn hot_patching_one_pooled_sibling_never_perturbs_the_other() {
+    let built = Arc::new(workloads::by_name("brev").unwrap().build(MbFeatures::paper_default()));
+    // Slices fine enough that the whole run spans many of them — the
+    // patch must land mid-run, not after the program already exited.
+    let config = OnlineConfig { slice_cycles: 2_000, ..OnlineConfig::default() };
+    let reference = run_unpooled(&built, &config);
+
+    let pool = Arc::new(SessionPool::new());
+    let fresh = || {
+        OnlineSession::new(Arc::clone(&built), config.clone())
+            .with_policy(policy())
+            .with_pool(Arc::clone(&pool))
+    };
+    let mut clean = fresh();
+    let mut patched = fresh();
+
+    // Let both siblings run a few slices on the shared image, then
+    // hot-patch one mid-run: the kernel's backward branch becomes a
+    // fall-through, so the patched session's loop stops iterating and
+    // its final memory diverges from the golden model.
+    assert_eq!(clean.advance(3), SessionStatus::Runnable);
+    assert_eq!(patched.advance(3), SessionStatus::Runnable);
+    let nop = mb_isa::encode(&mb_isa::Insn::addik(mb_isa::Reg::R0, mb_isa::Reg::R0, 0));
+    patched.patch_imem(built.kernel.tail, &[nop]).unwrap();
+
+    // Interleave to completion, as a server would.
+    loop {
+        let a = clean.advance(2);
+        let b = patched.advance(2);
+        if a != SessionStatus::Runnable && b != SessionStatus::Runnable {
+            break;
+        }
+    }
+    assert_eq!(patched.status(), SessionStatus::Failed, "the patch must change the outcome");
+    let err = patched.into_outcome().unwrap().unwrap_err();
+    assert!(
+        matches!(err, warp_online::OnlineError::Verify(_)),
+        "de-looped kernel must fail verification, got {err:?}"
+    );
+
+    let clean = clean.into_outcome().unwrap().unwrap();
+    assert_eq!(clean, reference, "the sibling must stay byte-identical to an unshared run");
+    assert_eq!(pool.stats().images, 1, "both siblings shared one image");
+}

@@ -33,7 +33,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::cell::OnceCell;
 use std::fmt;
 
 use mb_sim::{BlockRetire, Trace, TraceEvent, TraceSink};
@@ -118,9 +117,13 @@ pub struct Profiler {
     config: ProfilerConfig,
     entries: Vec<Entry>,
     stats: ProfilerStats,
-    /// [`hot_regions`](Profiler::hot_regions) result, computed on first
-    /// query and discarded whenever an observation mutates the cache.
-    ranked: OnceCell<Vec<HotRegion>>,
+    /// [`hot_regions`](Profiler::hot_regions) result, rebuilt in place
+    /// on the first query after a mutating observation. A reused
+    /// buffer, not a per-query allocation: an online session queries
+    /// the ranking every scheduling slice for the program's lifetime.
+    ranked: Vec<HotRegion>,
+    /// Whether an observation has invalidated `ranked`.
+    ranked_dirty: bool,
 }
 
 impl Profiler {
@@ -131,7 +134,8 @@ impl Profiler {
             config,
             entries: Vec::with_capacity(config.entries),
             stats: ProfilerStats::default(),
-            ranked: OnceCell::new(),
+            ranked: Vec::with_capacity(config.entries),
+            ranked_dirty: false,
         }
     }
 
@@ -155,7 +159,7 @@ impl Profiler {
         if target > branch_pc {
             return;
         }
-        self.ranked.take();
+        self.ranked_dirty = true;
         self.stats.events += 1;
         if let Some(e) = self.entries.iter_mut().find(|e| e.tail == branch_pc) {
             self.stats.hits += 1;
@@ -213,7 +217,7 @@ impl Profiler {
     /// decay to zero are dropped and never resurface without fresh
     /// observations.
     pub fn decay(&mut self) {
-        self.ranked.take();
+        self.ranked_dirty = true;
         self.stats.decays += 1;
         self.halve_all();
     }
@@ -237,25 +241,32 @@ impl Profiler {
 
     /// All candidate regions, hottest first.
     ///
-    /// The ranking is computed on the first call after an observation
-    /// and cached; repeated queries return the same slice without
-    /// re-sorting or cloning.
+    /// The ranking is rebuilt in a reused buffer on the first call
+    /// after an observation; repeated queries return the same slice
+    /// without re-sorting, and steady-state queries never allocate
+    /// (the buffer is pre-sized to the cache geometry and the entry
+    /// count is bounded by it).
     #[must_use]
-    pub fn hot_regions(&self) -> &[HotRegion] {
-        self.ranked.get_or_init(|| {
-            let mut v: Vec<HotRegion> = self
-                .entries
-                .iter()
-                .map(|e| HotRegion { head: e.head, tail: e.tail, count: e.count })
-                .collect();
-            v.sort_by(|a, b| b.count.cmp(&a.count).then(a.tail.cmp(&b.tail)));
-            v
-        })
+    pub fn hot_regions(&mut self) -> &[HotRegion] {
+        if self.ranked_dirty {
+            self.ranked.clear();
+            self.ranked.extend(self.entries.iter().map(|e| HotRegion {
+                head: e.head,
+                tail: e.tail,
+                count: e.count,
+            }));
+            // Unstable sort: no scratch allocation, and the comparator
+            // is a total order (tails are unique per entry) so the
+            // result is deterministic anyway.
+            self.ranked.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.tail.cmp(&b.tail)));
+            self.ranked_dirty = false;
+        }
+        &self.ranked
     }
 
     /// The single most frequent loop, if any branch was observed.
     #[must_use]
-    pub fn best(&self) -> Option<HotRegion> {
+    pub fn best(&mut self) -> Option<HotRegion> {
         self.hot_regions().first().copied()
     }
 
@@ -263,7 +274,8 @@ impl Profiler {
     pub fn reset(&mut self) {
         self.entries.clear();
         self.stats = ProfilerStats::default();
-        self.ranked.take();
+        self.ranked.clear();
+        self.ranked_dirty = false;
     }
 }
 

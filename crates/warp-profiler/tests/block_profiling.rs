@@ -34,8 +34,8 @@ fn block_profiling_fingerprints_match_per_instruction_on_all_workloads() {
     for workload in workloads::all() {
         let built = workload.build(MbFeatures::paper_default());
 
-        let (out_b, prof_b) = profile_run(&mut built.instantiate(&blocks_on));
-        let (out_s, prof_s) = profile_run(&mut built.instantiate(&blocks_off));
+        let (out_b, mut prof_b) = profile_run(&mut built.instantiate(&blocks_on));
+        let (out_s, mut prof_s) = profile_run(&mut built.instantiate(&blocks_off));
 
         assert_eq!(out_b, out_s, "{}: outcome must be engine-independent", workload.name);
         assert_eq!(
@@ -69,7 +69,7 @@ proptest! {
     #[test]
     fn sliced_block_profiling_matches_unsliced(seed in any::<u64>()) {
         let built = workloads::phased::build_scaled(MbFeatures::paper_default(), 3, 2, 2);
-        let (_, reference) = profile_run(&mut built.instantiate(
+        let (_, mut reference) = profile_run(&mut built.instantiate(
             &MbConfig::paper_default().with_blocks(false),
         ));
 

@@ -1,4 +1,4 @@
-//! The session table and the fair-share scheduler.
+//! The sharded session table and the fair-share scheduler.
 //!
 //! A [`Server`] hosts many [`OnlineSession`]s — each a full online-warp
 //! runtime (simulated MicroBlaze + profiler + OCPM) — and time-slices
@@ -12,21 +12,37 @@
 //!   advanced by two workers at once because only one of them can hold
 //!   it; clients that need the machine itself (patch, step) wait on a
 //!   condvar until it is parked again.
-//! * **Ready queue, not polling.** Runnable session ids sit in a
-//!   `VecDeque`; workers block on a condvar when it is empty. A parked
-//!   session with no granted slices costs nothing — no timer, no scan,
-//!   no wakeup — which is what lets one server hold thousands of mostly
-//!   idle tenants.
+//! * **One shard per worker.** The session table and ready queue are
+//!   split into per-worker shards (a session's home shard is
+//!   `id % workers`), so the grant path and the park path touch only
+//!   one short shard mutex instead of a fleet-global table lock. A
+//!   worker drains its own shard first and steals round-robin from the
+//!   others when idle, so load still balances; a fleet-wide `pending`
+//!   counter plus a tiny notify-only lock wakes sleeping workers
+//!   without ever serializing the slot bookkeeping.
+//! * **Ready queues, not polling.** Runnable session ids sit in
+//!   per-shard `VecDeque`s; workers block on a condvar when `pending`
+//!   is zero. A parked session with no granted slices costs nothing —
+//!   no timer, no scan, no wakeup — which is what lets one server hold
+//!   thousands of mostly idle tenants.
 //! * **Fair round-robin.** A worker advances a session by at most
 //!   `quantum_slices` scheduler slices, then pushes it to the *back* of
-//!   the ready queue. Long-running sessions therefore interleave at
-//!   quantum granularity instead of head-of-line blocking short ones.
+//!   its shard's ready queue. Long-running sessions therefore
+//!   interleave at quantum granularity instead of head-of-line blocking
+//!   short ones.
 //! * **Slice grants.** Every session carries a budget of granted
 //!   slices. [`Server::run`] grants unbounded slices (serve to
 //!   completion); [`Server::step`] grants an exact count, which is how
 //!   a wire client single-steps a session it is debugging. The workers
 //!   decrement grants as they advance, so both modes flow through the
 //!   identical scheduling path.
+//! * **Per-worker session pools.** Each worker owns a
+//!   [`SessionPool`](warp_online::SessionPool) and hands it to every
+//!   session it schedules ([`OnlineSession::adopt_pool`]): sessions of
+//!   the same workload share one frozen program image and recycle
+//!   `System` carcasses, so the steady-state serving path allocates
+//!   nothing per session. Pooling is bit-identical plumbing (see
+//!   `warp-online/tests/pooling.rs`), so determinism is untouched.
 //!
 //! Determinism: a session's timeline depends only on the sequence of
 //! `advance` calls applied to it, never on wall-clock or on which
@@ -43,7 +59,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use warp_online::{OnlineError, OnlineReport, OnlineSession, SessionStatus};
+use warp_online::{
+    ImageStore, OnlineError, OnlineReport, OnlineSession, SessionPool, SessionStatus,
+};
 
 use crate::error::ServeError;
 
@@ -53,7 +71,8 @@ pub type SessionId = u64;
 /// Tuning knobs of the serving scheduler.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Worker threads advancing sessions (clamped to at least 1).
+    /// Worker threads advancing sessions (clamped to at least 1). The
+    /// session table is sharded one shard per worker.
     pub workers: usize,
     /// Scheduler slices one worker runs a session for before requeueing
     /// it (the fairness quantum; clamped to at least 1). With the
@@ -119,9 +138,19 @@ struct Slot {
 }
 
 #[derive(Default)]
-struct TableInner {
+struct ShardInner {
     slots: HashMap<SessionId, Slot>,
     ready: VecDeque<SessionId>,
+}
+
+/// One worker's slice of the session table. All slot bookkeeping for a
+/// session happens under its home shard's lock only.
+#[derive(Default)]
+struct Shard {
+    inner: Mutex<ShardInner>,
+    /// Signals clients blocked on this shard (patch, wait): a slot
+    /// parked or finished.
+    park_cv: Condvar,
 }
 
 /// Fleet-wide counters (monotonic; survive session removal).
@@ -163,17 +192,42 @@ pub struct FleetStats {
 }
 
 struct Shared {
-    table: Mutex<TableInner>,
-    /// Signals workers: ready queue non-empty or shutting down.
+    shards: Vec<Shard>,
+    /// Ready entries fleet-wide. Incremented before any push, decremented
+    /// at every pop; workers sleep only while it reads zero.
+    pending: AtomicU64,
+    /// Notify-only lock pairing with `work_cv`. Its critical section is
+    /// empty — it exists so a "push then notify" cannot slip between a
+    /// worker's `pending == 0` check and its wait (the lost-wakeup
+    /// window), not to protect any data.
+    work_lock: Mutex<()>,
+    /// Signals workers: `pending` became non-zero or shutting down.
     work_cv: Condvar,
-    /// Signals clients: some slot changed state (parked or finished).
-    park_cv: Condvar,
     shutdown: AtomicBool,
     fleet: FleetCounters,
+    /// Program images and compiled warp circuits, shared by every
+    /// worker's [`SessionPool`]: a binary is imaged once and each hot
+    /// region compiled once for the whole fleet, while `System`
+    /// carcasses stay worker-local.
+    images: Arc<ImageStore>,
+}
+
+impl Shared {
+    fn shard_of(&self, id: SessionId) -> &Shard {
+        &self.shards[(id % self.shards.len() as u64) as usize]
+    }
+
+    /// Wakes a sleeping worker after `pending` was raised. Must run
+    /// *after* the push and its `pending` increment; the empty lock
+    /// acquisition orders this notify against any worker mid-check.
+    fn signal_work(&self) {
+        drop(self.work_lock.lock().expect("serve work lock"));
+        self.work_cv.notify_one();
+    }
 }
 
 /// A multi-session warp-simulation server. Dropping it drains the
-/// ready queue's current quanta and joins the workers.
+/// ready queues' current quanta and joins the workers.
 pub struct Server {
     shared: Arc<Shared>,
     next_id: AtomicU64,
@@ -182,23 +236,26 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts the worker pool.
+    /// Starts the worker pool, one table shard per worker.
     #[must_use]
     pub fn start(config: ServeConfig) -> Self {
+        let worker_count = config.workers.max(1);
         let shared = Arc::new(Shared {
-            table: Mutex::new(TableInner::default()),
+            shards: (0..worker_count).map(|_| Shard::default()).collect(),
+            pending: AtomicU64::new(0),
+            work_lock: Mutex::new(()),
             work_cv: Condvar::new(),
-            park_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             fleet: FleetCounters::default(),
+            images: Arc::new(ImageStore::new()),
         });
         let quantum = config.quantum_slices.max(1);
-        let workers = (0..config.workers.max(1))
+        let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("warp-serve-{i}"))
-                    .spawn(move || worker_loop(&shared, quantum))
+                    .spawn(move || worker_loop(&shared, i, quantum))
                     .expect("spawn warp-serve worker")
             })
             .collect();
@@ -210,12 +267,15 @@ impl Server {
     /// runnable. The session arrives fully configured — policy, shared
     /// [`CircuitCache`](warp_core::CircuitCache), shared
     /// [`CadService`](warp_core::CadService) — because those are
-    /// builder decisions of [`OnlineSession`], not of the server.
+    /// builder decisions of [`OnlineSession`], not of the server. The
+    /// one builder choice the server makes for it: a session without a
+    /// [`SessionPool`](warp_online::SessionPool) adopts the pool of
+    /// whichever worker schedules it.
     pub fn create(&self, session: OnlineSession) -> SessionId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let snapshot = snapshot_of(&session, false);
-        let mut table = self.shared.table.lock().expect("serve table lock");
-        table.slots.insert(
+        let shard = self.shared.shard_of(id);
+        shard.inner.lock().expect("serve shard lock").slots.insert(
             id,
             Slot { state: SlotState::Parked(Box::new(session)), snapshot, grant: 0, queued: false },
         );
@@ -247,16 +307,22 @@ impl Server {
     }
 
     fn grant(&self, id: SessionId, slices: u64) -> Result<(), ServeError> {
-        let mut table = self.shared.table.lock().expect("serve table lock");
-        let slot = table.slots.get_mut(&id).ok_or(ServeError::UnknownSession(id))?;
+        let shard = self.shared.shard_of(id);
+        let mut inner = shard.inner.lock().expect("serve shard lock");
+        let slot = inner.slots.get_mut(&id).ok_or(ServeError::UnknownSession(id))?;
         if matches!(slot.state, SlotState::Done(_)) {
             return Ok(());
         }
         slot.grant = slot.grant.saturating_add(slices);
-        if slot.grant > 0 && !slot.queued && matches!(slot.state, SlotState::Parked(_)) {
+        let enqueued = slot.grant > 0 && !slot.queued && matches!(slot.state, SlotState::Parked(_));
+        if enqueued {
             slot.queued = true;
-            table.ready.push_back(id);
-            self.shared.work_cv.notify_one();
+            inner.ready.push_back(id);
+            self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        }
+        drop(inner);
+        if enqueued {
+            self.shared.signal_work();
         }
         Ok(())
     }
@@ -273,16 +339,17 @@ impl Server {
     /// [`ServeError::Session`] if the write lands outside instruction
     /// memory.
     pub fn patch(&self, id: SessionId, addr: u32, words: &[u32]) -> Result<(), ServeError> {
-        let mut table = self.shared.table.lock().expect("serve table lock");
+        let shard = self.shared.shard_of(id);
+        let mut inner = shard.inner.lock().expect("serve shard lock");
         loop {
-            let slot = table.slots.get_mut(&id).ok_or(ServeError::UnknownSession(id))?;
+            let slot = inner.slots.get_mut(&id).ok_or(ServeError::UnknownSession(id))?;
             match &mut slot.state {
                 SlotState::Parked(session) => {
                     return session.patch_imem(addr, words).map_err(ServeError::Session);
                 }
                 SlotState::Done(_) => return Err(ServeError::SessionDone(id)),
                 SlotState::Running => {
-                    table = self.shared.park_cv.wait(table).expect("serve table lock");
+                    inner = shard.park_cv.wait(inner).expect("serve shard lock");
                 }
             }
         }
@@ -294,8 +361,9 @@ impl Server {
     ///
     /// [`ServeError::UnknownSession`] for a bad id.
     pub fn query(&self, id: SessionId) -> Result<SessionSnapshot, ServeError> {
-        let table = self.shared.table.lock().expect("serve table lock");
-        table.slots.get(&id).map(|s| s.snapshot).ok_or(ServeError::UnknownSession(id))
+        let shard = self.shared.shard_of(id);
+        let inner = shard.inner.lock().expect("serve shard lock");
+        inner.slots.get(&id).map(|s| s.snapshot).ok_or(ServeError::UnknownSession(id))
     }
 
     /// Blocks until the session completes, removes it from the table,
@@ -310,17 +378,18 @@ impl Server {
     /// [`ServeError::Session`] carries the session's own failure.
     pub fn wait(&self, id: SessionId) -> Result<OnlineReport, ServeError> {
         self.run(id)?;
-        let mut table = self.shared.table.lock().expect("serve table lock");
+        let shard = self.shared.shard_of(id);
+        let mut inner = shard.inner.lock().expect("serve shard lock");
         loop {
-            let slot = table.slots.get_mut(&id).ok_or(ServeError::UnknownSession(id))?;
+            let slot = inner.slots.get_mut(&id).ok_or(ServeError::UnknownSession(id))?;
             if let SlotState::Done(outcome) = &mut slot.state {
                 // `None` only for a session being discarded by
                 // `remove` — indistinguishable from already-gone.
                 let outcome = outcome.take().ok_or(ServeError::UnknownSession(id))?;
-                table.slots.remove(&id);
+                inner.slots.remove(&id);
                 return outcome.map_err(ServeError::Session);
             }
-            table = self.shared.park_cv.wait(table).expect("serve table lock");
+            inner = shard.park_cv.wait(inner).expect("serve shard lock");
         }
     }
 
@@ -328,8 +397,9 @@ impl Server {
     /// its current quantum parks it). Unknown ids are a no-op — remove
     /// is how clients say "I no longer care".
     pub fn remove(&self, id: SessionId) {
-        let mut table = self.shared.table.lock().expect("serve table lock");
-        if let Some(slot) = table.slots.get_mut(&id) {
+        let shard = self.shared.shard_of(id);
+        let mut inner = shard.inner.lock().expect("serve shard lock");
+        if let Some(slot) = inner.slots.get_mut(&id) {
             match slot.state {
                 SlotState::Running => {
                     // The worker holds the machine; mark for discard by
@@ -338,7 +408,7 @@ impl Server {
                     slot.state = SlotState::Done(None);
                 }
                 _ => {
-                    table.slots.remove(&id);
+                    inner.slots.remove(&id);
                 }
             }
         }
@@ -347,7 +417,11 @@ impl Server {
     /// Live session count (any state still in the table).
     #[must_use]
     pub fn sessions(&self) -> usize {
-        self.shared.table.lock().expect("serve table lock").slots.len()
+        self.shared
+            .shards
+            .iter()
+            .map(|s| s.inner.lock().expect("serve shard lock").slots.len())
+            .sum()
     }
 
     /// The fairness quantum workers use, in scheduler slices.
@@ -377,6 +451,7 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        drop(self.shared.work_lock.lock().expect("serve work lock"));
         self.shared.work_cv.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -384,63 +459,91 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop(shared: &Shared, quantum_slices: u64) {
-    loop {
-        // Take a runnable session out of the table.
-        let (id, mut session, budget) = {
-            let mut table = shared.table.lock().expect("serve table lock");
-            let id = loop {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                match table.ready.pop_front() {
-                    Some(id) => break id,
-                    None => table = shared.work_cv.wait(table).expect("serve table lock"),
-                }
-            };
-            let Some(slot) = table.slots.get_mut(&id) else { continue };
+/// Pops the next runnable session, scanning the worker's own shard
+/// first and stealing round-robin from the others. Consumes (and
+/// accounts for) stale ready entries along the way.
+fn claim(
+    shared: &Shared,
+    me: usize,
+    quantum_slices: u64,
+) -> Option<(usize, SessionId, Box<OnlineSession>, u64)> {
+    let n = shared.shards.len();
+    for k in 0..n {
+        let si = (me + k) % n;
+        let mut inner = shared.shards[si].inner.lock().expect("serve shard lock");
+        while let Some(id) = inner.ready.pop_front() {
+            shared.pending.fetch_sub(1, Ordering::SeqCst);
+            let Some(slot) = inner.slots.get_mut(&id) else { continue };
             slot.queued = false;
             if slot.grant == 0 {
                 continue;
             }
             let budget = slot.grant.min(quantum_slices);
             match std::mem::replace(&mut slot.state, SlotState::Running) {
-                SlotState::Parked(session) => (id, session, budget),
+                SlotState::Parked(session) => return Some((si, id, session, budget)),
                 // Raced with remove(); put the marker back.
                 other => {
                     slot.state = other;
                     continue;
                 }
             }
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: &Shared, me: usize, quantum_slices: u64) {
+    // One pool per worker, all sharing the server's image store:
+    // recycled `System` carcasses stay core-local (the carcass mutex is
+    // uncontended) while images and compiled circuits are fleet-wide.
+    let pool = Arc::new(SessionPool::sharing(&shared.images));
+    loop {
+        let Some((shard_idx, id, mut session, budget)) = claim(shared, me, quantum_slices) else {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let guard = shared.work_lock.lock().expect("serve work lock");
+            // Re-check under the notify lock: a push that raised
+            // `pending` before we got here must not be slept through.
+            if shared.pending.load(Ordering::SeqCst) == 0 && !shared.shutdown.load(Ordering::SeqCst)
+            {
+                drop(shared.work_cv.wait(guard).expect("serve work lock"));
+            }
+            continue;
         };
 
-        // Advance outside the lock: this is the expensive part, and the
-        // whole point — many workers simulate many sessions at once.
+        // Advance outside every lock: this is the expensive part, and
+        // the whole point — many workers simulate many sessions at once.
+        session.adopt_pool(&pool);
         let status = session.advance(budget);
         shared.fleet.quanta.fetch_add(1, Ordering::Relaxed);
 
-        // Park the result back into the table.
-        let mut table = shared.table.lock().expect("serve table lock");
-        let Some(slot) = table.slots.get_mut(&id) else {
+        // Park the result back into its home shard.
+        let shard = &shared.shards[shard_idx];
+        let mut inner = shard.inner.lock().expect("serve shard lock");
+        let Some(slot) = inner.slots.get_mut(&id) else {
             // Removed while running; drop the machine.
             continue;
         };
         if matches!(slot.state, SlotState::Done(_)) {
             // remove() marked it for discard while we ran.
-            table.slots.remove(&id);
-            shared.park_cv.notify_all();
+            inner.slots.remove(&id);
+            drop(inner);
+            shard.park_cv.notify_all();
             continue;
         }
         slot.grant = slot.grant.saturating_sub(budget);
         slot.snapshot = snapshot_of(&session, status != SessionStatus::Runnable);
+        let mut requeued = false;
         match status {
             SessionStatus::Runnable => {
                 slot.state = SlotState::Parked(session);
                 if slot.grant > 0 {
                     // Back of the queue: round-robin fairness.
                     slot.queued = true;
-                    table.ready.push_back(id);
-                    shared.work_cv.notify_one();
+                    inner.ready.push_back(id);
+                    shared.pending.fetch_add(1, Ordering::SeqCst);
+                    requeued = true;
                 }
             }
             SessionStatus::Finished | SessionStatus::Failed => {
@@ -460,7 +563,12 @@ fn worker_loop(shared: &Shared, quantum_slices: u64) {
                     SlotState::Done(Some(session.into_outcome().expect("session completed")));
             }
         }
-        shared.park_cv.notify_all();
+        drop(inner);
+        shard.park_cv.notify_all();
+        if requeued {
+            // Other workers may be asleep while this shard has work.
+            shared.signal_work();
+        }
     }
 }
 
@@ -562,5 +670,21 @@ mod tests {
         // the live system even while the scheduler owns the session.
         let err = server.patch(id, u32::MAX - 64, &[1]).unwrap_err();
         assert!(matches!(err, ServeError::Session(_)));
+    }
+
+    #[test]
+    fn sessions_spread_across_shards_and_steal_cleanly() {
+        // 4 shards, ids land round-robin; a single hot shard's work is
+        // stolen by the other workers and everything still completes.
+        let server = Server::start(ServeConfig { workers: 4, quantum_slices: 2 });
+        let ids: Vec<_> = (0..8).map(|_| server.create(session("brev"))).collect();
+        for &id in &ids {
+            server.run(id).unwrap();
+        }
+        for id in ids {
+            let report = server.wait(id).unwrap();
+            assert_eq!(report.exit_code, 0);
+        }
+        assert_eq!(server.fleet().finished, 8);
     }
 }

@@ -11,9 +11,8 @@
 use std::sync::{Arc, Mutex};
 
 use mb_sim::{Bram, BusResponse, Peripheral};
-use warp_cdfg::KernelEnv;
 
-use crate::executor;
+use crate::executor::{self, ExecScratch};
 use crate::WclaCircuit;
 
 /// OPB base address of the WCLA register window.
@@ -72,6 +71,7 @@ pub struct WclaDevice {
     accs: Vec<u32>,
     invs: Vec<u32>,
     pending_wait: u32,
+    scratch: ExecScratch,
     stats: Arc<Mutex<WclaStats>>,
 }
 
@@ -99,6 +99,7 @@ impl WclaDevice {
                 accs: vec![0; n_accs],
                 invs: vec![0; n_invs],
                 pending_wait: 0,
+                scratch: ExecScratch::default(),
                 stats: Arc::clone(&stats),
             },
             stats,
@@ -113,24 +114,22 @@ impl WclaDevice {
 
     fn run(&mut self, dmem: &mut Bram) {
         let kernel = &self.circuit.kernel;
-        let mut env = KernelEnv { counter: self.count, ..KernelEnv::default() };
-        for (i, s) in kernel.streams.iter().enumerate() {
-            env.pointers.insert(s.base, self.bases[i]);
-        }
-        for (k, a) in kernel.accs.iter().enumerate() {
-            env.accs.insert(a.reg, self.accs[k]);
-        }
-        for (k, &r) in kernel.invariants.iter().enumerate() {
-            env.invariants.insert(r, self.invs[k]);
-        }
-
-        let outcome =
-            executor::execute(kernel, &self.circuit.netlist, &self.circuit.model, &env, dmem)
-                .expect("hardware generated an address outside the data BRAM");
-
-        for (k, a) in kernel.accs.iter().enumerate() {
-            self.accs[k] = outcome.accs[&a.reg];
-        }
+        // The base registers hold the *initial* stream addresses; the
+        // executor advances its cursors in a private copy so a re-start
+        // without rewriting BASEi replays from the programmed bases,
+        // exactly as the register file semantics demand.
+        let mut ptrs = self.bases;
+        let outcome = executor::execute_flat(
+            kernel,
+            &self.circuit.model,
+            self.count,
+            &mut ptrs[..kernel.streams.len()],
+            &mut self.accs,
+            &self.invs,
+            dmem,
+            &mut self.scratch,
+        )
+        .expect("hardware generated an address outside the data BRAM");
 
         // Convert hardware time into MicroBlaze stall cycles.
         let stall = (outcome.fabric_cycles as f64 * self.mb_clock_hz as f64

@@ -97,11 +97,147 @@ pub struct HwOutcome {
 
 /// Executes a compiled kernel against the data BRAM.
 ///
+/// Functional behaviour uses the kernel's word-level DFG — the source
+/// of truth the netlist is synthesized from, and bit-identical to it
+/// (pinned per-workload by `word_and_bit_level_executors_agree` below
+/// and by the synthesis crate's own equivalence checks). Evaluating
+/// words instead of LUT bits keeps warped hot loops within the same
+/// order of host cost as the software engines; [`execute_netlist`]
+/// remains as the bit-level reference.
+///
 /// # Errors
 ///
 /// Returns [`MemError`] if a generated address leaves the BRAM — the
 /// hardware equivalent of a wild pointer.
 pub fn execute(
+    kernel: &warp_cdfg::LoopKernel,
+    _netlist: &LutNetlist,
+    model: &ExecModel,
+    env: &KernelEnv,
+    dmem: &mut Bram,
+) -> Result<HwOutcome, MemError> {
+    let mut scratch = ExecScratch::default();
+    let mut ptrs: Vec<u32> = kernel.streams.iter().map(|s| env.pointers[&s.base]).collect();
+    let mut accs: Vec<u32> =
+        kernel.accs.iter().map(|a| env.accs.get(&a.reg).copied().unwrap_or(0)).collect();
+    let invs: Vec<u32> =
+        kernel.invariants.iter().map(|r| env.invariants.get(r).copied().unwrap_or(0)).collect();
+
+    let flat =
+        execute_flat(kernel, model, env.counter, &mut ptrs, &mut accs, &invs, dmem, &mut scratch)?;
+
+    let accs: BTreeMap<Reg, u32> =
+        kernel.accs.iter().enumerate().map(|(k, a)| (a.reg, accs[k])).collect();
+    Ok(HwOutcome {
+        iterations: flat.iterations,
+        fabric_cycles: flat.fabric_cycles,
+        accs,
+        loads: flat.loads,
+        stores: flat.stores,
+    })
+}
+
+/// Reusable per-device evaluation buffers: a [`WclaDevice`] is invoked
+/// many times per warp (once per dispatch of the patched loop), and the
+/// serving hot path must not allocate per invocation.
+///
+/// [`WclaDevice`]: crate::WclaDevice
+#[derive(Default)]
+pub struct ExecScratch {
+    vals: Vec<u32>,
+    load_vals: Vec<((usize, i32), u32)>,
+}
+
+/// [`execute`]'s outcome without the register-keyed map — the flat
+/// counters; accumulators are updated in the caller's buffer in place.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FlatOutcome {
+    /// Iterations executed (the seeded counter value).
+    pub iterations: u64,
+    /// Fabric cycles consumed.
+    pub fabric_cycles: u64,
+    /// Loads performed.
+    pub loads: u64,
+    /// Stores performed.
+    pub stores: u64,
+}
+
+/// The allocation-free core of [`execute`]: all inputs and outputs are
+/// flat, index-aligned buffers (`ptrs` by stream index, `accs` by
+/// kernel accumulator index, `invs` by kernel invariant index), updated
+/// in place so a device can feed its own registers straight in.
+///
+/// # Errors
+///
+/// Returns [`MemError`] if a generated address leaves the BRAM — the
+/// hardware equivalent of a wild pointer.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_flat(
+    kernel: &warp_cdfg::LoopKernel,
+    model: &ExecModel,
+    count: u32,
+    ptrs: &mut [u32],
+    accs: &mut [u32],
+    invs: &[u32],
+    dmem: &mut Bram,
+    scratch: &mut ExecScratch,
+) -> Result<FlatOutcome, MemError> {
+    let iterations = u64::from(count);
+    let mut loads = 0u64;
+    let mut stores = 0u64;
+    let ExecScratch { vals, load_vals } = scratch;
+
+    for _ in 0..iterations {
+        // DADG load phase: fetch every (stream, offset) word.
+        load_vals.clear();
+        for (si, s) in kernel.streams.iter().enumerate() {
+            let base = ptrs[si];
+            for &off in &s.load_offsets {
+                let v = dmem.read_word(base.wrapping_add(off as u32))?;
+                load_vals.push(((si, off), v));
+                loads += 1;
+            }
+        }
+
+        // Word-level settle: one pass over the DFG in topological
+        // order. The operand sets are tiny, so linear scans beat maps.
+        kernel.dfg.eval_into(
+            vals,
+            |stream, offset| {
+                load_vals.iter().find(|(k, _)| *k == (stream, offset)).map_or(0, |(_, v)| *v)
+            },
+            |reg| kernel.invariants.iter().position(|&r| r == reg).map_or(0, |k| invs[k]),
+            |reg| kernel.accs.iter().position(|a| a.reg == reg).map_or(0, |k| accs[k]),
+        );
+
+        // DADG store phase.
+        for s in &kernel.stores {
+            let base = ptrs[s.stream];
+            dmem.write_word(base.wrapping_add(s.offset as u32), vals[s.value.0 as usize])?;
+            stores += 1;
+        }
+
+        // Clock the accumulators and advance the streams.
+        for (k, a) in kernel.accs.iter().enumerate() {
+            accs[k] = vals[a.next.0 as usize];
+        }
+        for (si, s) in kernel.streams.iter().enumerate() {
+            ptrs[si] = ptrs[si].wrapping_add(s.stride as u32);
+        }
+    }
+
+    Ok(FlatOutcome { iterations, fabric_cycles: model.total_cycles(iterations), loads, stores })
+}
+
+/// The bit-level reference executor: identical contract to [`execute`],
+/// but functional behaviour comes from evaluating the mapped LUT
+/// netlist every iteration. Kept as the cross-check anchoring the
+/// word-level fast path to the synthesized hardware.
+///
+/// # Errors
+///
+/// Returns [`MemError`] if a generated address leaves the BRAM.
+pub fn execute_netlist(
     kernel: &warp_cdfg::LoopKernel,
     netlist: &LutNetlist,
     model: &ExecModel,
@@ -229,6 +365,52 @@ mod tests {
             }
             assert_eq!(hw.iterations, 40);
             assert!(hw.fabric_cycles >= 40, "{}: cycles sane", workload.name);
+        }
+    }
+
+    /// The word-level fast path and the bit-level netlist reference
+    /// must agree exactly — outcome, accumulators, memory image, and
+    /// stats — for every registry workload. This is the anchor that
+    /// lets [`execute`] skip LUT evaluation at runtime.
+    #[test]
+    fn word_and_bit_level_executors_agree() {
+        for workload in workloads::all() {
+            let built = workload.build(MbFeatures::paper_default());
+            let kernel =
+                decompile_loop(&built.program, built.kernel.head, built.kernel.tail).unwrap();
+            let (circuit, _) = crate::WclaCircuit::build(kernel.clone()).unwrap();
+
+            let mut word_mem = Bram::new(64 * 1024);
+            for (addr, words) in &built.data {
+                word_mem.load_words(*addr, words).unwrap();
+            }
+            let mut bit_mem = word_mem.clone();
+
+            let mut env = KernelEnv { counter: 37, ..KernelEnv::default() };
+            for (si, s) in kernel.streams.iter().enumerate() {
+                env.pointers.insert(s.base, 0x1000 + (si as u32) * 0x2000);
+            }
+            for a in &kernel.accs {
+                env.accs.insert(a.reg, 0xDEAD_BEEF);
+            }
+            for &r in &kernel.invariants {
+                env.invariants.insert(r, 13);
+            }
+
+            let word =
+                execute(&circuit.kernel, &circuit.netlist, &circuit.model, &env, &mut word_mem)
+                    .unwrap();
+            let bit = execute_netlist(
+                &circuit.kernel,
+                &circuit.netlist,
+                &circuit.model,
+                &env,
+                &mut bit_mem,
+            )
+            .unwrap();
+
+            assert_eq!(word, bit, "{}: outcome diverged", workload.name);
+            assert_eq!(word_mem.words(), bit_mem.words(), "{}: memory diverged", workload.name);
         }
     }
 

@@ -177,6 +177,36 @@ impl BuiltWorkload {
         sys
     }
 
+    /// A stable identity for "this binary under this machine
+    /// configuration" — the key a serving-fleet session pool uses to
+    /// share one frozen program image (and recycle `System` carcasses)
+    /// across sessions.
+    ///
+    /// Hashes (FNV-1a) the program base and words plus the *effective*
+    /// configuration the workload instantiates with (`config` with this
+    /// build's features applied) — everything that determines the
+    /// decoded slots and block tables. Initial data and expected
+    /// results are deliberately excluded: seeded builds share the
+    /// unseeded binary, so every seed of a workload maps to one image.
+    #[must_use]
+    pub fn fingerprint(&self, config: &MbConfig) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        mix(&mut h, &self.program.base.to_le_bytes());
+        for w in &self.program.words {
+            mix(&mut h, &w.to_le_bytes());
+        }
+        let effective = config.clone().with_features(self.features);
+        mix(&mut h, format!("{effective:?}").as_bytes());
+        h
+    }
+
     /// Checks final data memory against the golden model.
     ///
     /// Regions are read with one bulk [`Bram::read_words_into`] each
@@ -451,6 +481,33 @@ mod tests {
                 assert_eq!(seeded.kernel, plain.kernel, "{}: kernel bounds fixed", w.name);
             }
         }
+    }
+
+    #[test]
+    fn fingerprints_key_on_binary_and_config_not_seed() {
+        let features = MbFeatures::paper_default();
+        let config = MbConfig::paper_default();
+        let brev = by_name("brev").unwrap();
+        let base = brev.build(features).fingerprint(&config);
+        for seed in [0u64, 1, 0xDEAD_BEEF] {
+            assert_eq!(
+                brev.build_seeded(features, seed).fingerprint(&config),
+                base,
+                "seeds share the binary, so they must share the fingerprint"
+            );
+        }
+        assert_ne!(
+            by_name("g3fax").unwrap().build(features).fingerprint(&config),
+            base,
+            "different binaries must not collide"
+        );
+        let mut no_blocks = config.clone();
+        no_blocks.blocks = false;
+        assert_ne!(
+            brev.build(features).fingerprint(&no_blocks),
+            base,
+            "the machine configuration is part of the image identity"
+        );
     }
 
     #[test]
